@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Evaluation of the Section 6 extensions against the paper's
+ * baseline TCP-8K: per-set stride assist, Markov-style multi-target
+ * PHT entries, the critical-miss filter, and gshare indexing. For
+ * each engine: geometric-mean IPC improvement over no prefetching,
+ * plus coverage and traffic on the full set.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcp;
+    ArgParser args;
+    bench::addSuiteFlags(args, "1000000");
+    args.parse(argc, argv);
+    auto opt = bench::suiteOptions(args);
+    if (!args.wasSet("workloads")) {
+        opt.workloads = {"gzip",  "bzip2", "parser", "facerec",
+                         "gcc",   "applu", "art",    "swim",
+                         "mgrid", "ammp"};
+    }
+    bench::printHeader("Extensions vs baseline TCP-8K", opt);
+
+    const std::vector<std::pair<std::string, std::string>> engines = {
+        {"tcp8k", "baseline (paper)"},
+        {"tcps8k", "per-set stride assist"},
+        {"tcpmt8k", "2-target PHT entries"},
+        {"tcpcrit8k", "critical-miss filter"},
+        {"tcpgshare8k", "gshare indexing"},
+        {"tcpa8k", "feedback-directed throttle"},
+    };
+
+    TextTable table("Section 6 extensions (geomean over suite)");
+    table.setHeader({"engine", "what", "speedup", "coverage",
+                     "extra", "storage"});
+    for (const auto &[engine, what] : engines) {
+        std::vector<double> ratios;
+        double cov_sum = 0.0, extra_sum = 0.0;
+        std::uint64_t storage = 0;
+        for (const std::string &name : opt.workloads) {
+            const RunResult base = runNamed(name, "none",
+                                            opt.instructions,
+                                            MachineConfig{}, opt.seed);
+            const RunResult r = runNamed(name, engine,
+                                         opt.instructions,
+                                         MachineConfig{}, opt.seed);
+            ratios.push_back(r.ipc() / base.ipc());
+            if (r.original_l2) {
+                cov_sum += static_cast<double>(r.prefetched_original) /
+                           static_cast<double>(r.original_l2);
+                extra_sum += static_cast<double>(r.prefetchedExtra()) /
+                             static_cast<double>(r.original_l2);
+            }
+            storage = r.pf_storage_bits;
+        }
+        const double n = static_cast<double>(opt.workloads.size());
+        table.addRow({engine, what,
+                      formatPercent(geomean(ratios) - 1.0, 1),
+                      formatPercent(cov_sum / n, 1),
+                      formatPercent(extra_sum / n, 1),
+                      formatBytes(storage / 8)});
+    }
+    std::cout << table.render();
+    return 0;
+}

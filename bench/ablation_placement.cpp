@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Two architectural ablations around the paper's placement argument:
+ *
+ * 1. Prefetcher attachment point (Section 4, Figure 10): the paper
+ *    places TCP between L1 and L2 where it observes the L1-D miss
+ *    stream. The alternative — observing the L2 demand-miss stream —
+ *    sees a filtered, sparser history. Same 8 KB PHT budget for both.
+ *
+ * 2. Core model (the Figure 14 discussion): an aggressive OoO core
+ *    tolerates L2-hit latency, so prefetching into L2 captures most
+ *    of the benefit. On an in-order, stall-on-use core the same
+ *    machine is far more latency-sensitive and the relative value of
+ *    prefetching grows.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "cpu/inorder_core.hh"
+
+namespace {
+
+using namespace tcp;
+
+/** Run one workload on the in-order core with the given engine. */
+CoreResult
+runInorder(const std::string &workload, const std::string &engine_name,
+           std::uint64_t instructions, std::uint64_t seed)
+{
+    auto wl = makeWorkload(workload, seed);
+    EngineSetup engine = makeEngine(engine_name);
+    MachineConfig cfg;
+    if (engine.wants_prefetch_bus)
+        cfg.prefetch_bus = true;
+    MemoryHierarchy mem(cfg, engine.prefetcher.get(),
+                        engine.dbp.get());
+    InorderCore core(InorderConfig{}, mem);
+    core.run(*wl, instructions / 2); // warmup
+    return core.run(*wl, instructions);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    bench::addSuiteFlags(args, "1000000");
+    args.parse(argc, argv);
+    auto opt = bench::suiteOptions(args);
+    if (!args.wasSet("workloads")) {
+        opt.workloads = {"gzip", "facerec", "gcc", "applu",
+                         "art",  "swim",    "ammp"};
+    }
+    bench::printHeader("Placement and core-model ablations", opt);
+
+    // --- 1. Training-stream placement.
+    TextTable placement("Ablation: prefetcher attachment point "
+                        "(IPC improvement, OoO core)");
+    placement.setHeader({"workload", "L1 miss stream (paper)",
+                         "L2 miss stream"});
+    std::vector<double> r_l1, r_l2;
+    for (const std::string &name : opt.workloads) {
+        const RunResult base = runNamed(name, "none", opt.instructions,
+                                        MachineConfig{}, opt.seed);
+        const RunResult l1 = runNamed(name, "tcp8k", opt.instructions,
+                                      MachineConfig{}, opt.seed);
+        const RunResult l2 = runNamed(name, "tcpl2_8k",
+                                      opt.instructions,
+                                      MachineConfig{}, opt.seed);
+        r_l1.push_back(l1.ipc() / base.ipc());
+        r_l2.push_back(l2.ipc() / base.ipc());
+        placement.addRow({name,
+                          formatPercent(ipcImprovement(l1, base), 1),
+                          formatPercent(ipcImprovement(l2, base), 1)});
+    }
+    placement.addRow({"geomean", formatPercent(geomean(r_l1) - 1, 1),
+                      formatPercent(geomean(r_l2) - 1, 1)});
+    std::cout << placement.render() << "\n";
+
+    // --- 2. Core model sensitivity.
+    TextTable cores("Ablation: OoO vs in-order core "
+                    "(TCP-8K / Hybrid-8K IPC improvement)");
+    cores.setHeader({"workload", "OoO tcp8k", "OoO hybrid8k",
+                     "inorder tcp8k", "inorder hybrid8k"});
+    std::vector<double> o_t, o_h, i_t, i_h;
+    for (const std::string &name : opt.workloads) {
+        const RunResult ob = runNamed(name, "none", opt.instructions,
+                                      MachineConfig{}, opt.seed);
+        const RunResult ot = runNamed(name, "tcp8k", opt.instructions,
+                                      MachineConfig{}, opt.seed);
+        const RunResult oh = runNamed(name, "hybrid8k",
+                                      opt.instructions,
+                                      MachineConfig{}, opt.seed);
+        const CoreResult ib =
+            runInorder(name, "none", opt.instructions, opt.seed);
+        const CoreResult it =
+            runInorder(name, "tcp8k", opt.instructions, opt.seed);
+        const CoreResult ih =
+            runInorder(name, "hybrid8k", opt.instructions, opt.seed);
+        o_t.push_back(ot.ipc() / ob.ipc());
+        o_h.push_back(oh.ipc() / ob.ipc());
+        i_t.push_back(it.ipc / ib.ipc);
+        i_h.push_back(ih.ipc / ib.ipc);
+        cores.addRow({name,
+                      formatPercent(ot.ipc() / ob.ipc() - 1, 1),
+                      formatPercent(oh.ipc() / ob.ipc() - 1, 1),
+                      formatPercent(it.ipc / ib.ipc - 1, 1),
+                      formatPercent(ih.ipc / ib.ipc - 1, 1)});
+    }
+    cores.addRow({"geomean", formatPercent(geomean(o_t) - 1, 1),
+                  formatPercent(geomean(o_h) - 1, 1),
+                  formatPercent(geomean(i_t) - 1, 1),
+                  formatPercent(geomean(i_h) - 1, 1)});
+    std::cout << cores.render();
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Machine-parameter sensitivity of the headline result: how the
+ * TCP-8K improvement scales with main-memory latency, L2 capacity,
+ * and memory-bus width. These sweeps bound how strongly the paper's
+ * conclusions depend on its Table 1 operating point (2003-era 70
+ * cycles, 1 MB L2) — the latency sweep in particular shows the gains
+ * *grow* as the processor/memory gap widens, the paper's motivating
+ * trend.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace {
+
+using namespace tcp;
+
+double
+improvementAt(const bench::SuiteOptions &opt, const MachineConfig &cfg)
+{
+    std::vector<double> ratios;
+    for (const std::string &name : opt.workloads) {
+        const RunResult base =
+            runNamed(name, "none", opt.instructions, cfg, opt.seed);
+        const RunResult r =
+            runNamed(name, "tcp8k", opt.instructions, cfg, opt.seed);
+        ratios.push_back(r.ipc() / base.ipc());
+    }
+    return geomean(ratios) - 1.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    bench::addSuiteFlags(args, "1000000");
+    args.parse(argc, argv);
+    auto opt = bench::suiteOptions(args);
+    if (!args.wasSet("workloads")) {
+        opt.workloads = {"gzip", "facerec", "gcc", "applu",
+                         "art",  "swim",    "ammp"};
+    }
+    bench::printHeader("Machine sensitivity of the TCP-8K gain", opt);
+
+    TextTable lat("Sensitivity 1: main-memory latency");
+    lat.setHeader({"memory latency", "TCP-8K improvement"});
+    for (Cycle l : {35u, 70u, 140u, 280u}) {
+        MachineConfig cfg;
+        cfg.memory_latency = l;
+        lat.addRow({std::to_string(l) + " cycles" +
+                        (l == 70 ? " (paper)" : ""),
+                    formatPercent(improvementAt(opt, cfg), 1)});
+    }
+    std::cout << lat.render() << "\n";
+
+    TextTable l2("Sensitivity 2: L2 capacity");
+    l2.setHeader({"L2 size", "TCP-8K improvement"});
+    for (std::uint64_t mb : {1u, 2u, 4u}) {
+        MachineConfig cfg;
+        cfg.l2.size_bytes = mb * 1024 * 1024;
+        l2.addRow({std::to_string(mb) + "MB" +
+                       (mb == 1 ? " (paper)" : ""),
+                   formatPercent(improvementAt(opt, cfg), 1)});
+    }
+    std::cout << l2.render() << "\n";
+
+    TextTable bus("Sensitivity 3: memory-bus width");
+    bus.setHeader({"bytes/cycle", "TCP-8K improvement"});
+    for (unsigned w : {16u, 32u, 64u}) {
+        MachineConfig cfg;
+        cfg.mem_bus.bytes_per_cycle = w;
+        bus.addRow({std::to_string(w) + (w == 64 ? " (default)" : ""),
+                    formatPercent(improvementAt(opt, cfg), 1)});
+    }
+    std::cout << bus.render();
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablations for the TCP design choices called out in DESIGN.md:
+ *   1. THT history depth k (the paper fixes k = 2),
+ *   2. PHT associativity (the paper uses 8-way),
+ *   3. PHT index function (the paper's truncated addition vs an XOR
+ *      fold vs ignoring all history but the last tag),
+ *   4. prefetch degree (Section 6's multiple-targets future work).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/tcp.hh"
+
+namespace {
+
+using namespace tcp;
+
+double
+meanIpcFor(const bench::SuiteOptions &opt, const TcpConfig &cfg)
+{
+    std::vector<double> ipcs;
+    for (const std::string &name : opt.workloads) {
+        auto wl = makeWorkload(name, opt.seed);
+        EngineSetup engine;
+        engine.prefetcher =
+            std::make_unique<TagCorrelatingPrefetcher>(cfg, "tcp");
+        const RunResult r = runTrace(*wl, MachineConfig{}, engine,
+                                     opt.instructions);
+        ipcs.push_back(r.ipc());
+    }
+    return geomean(ipcs);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    bench::addSuiteFlags(args, "1000000");
+    args.parse(argc, argv);
+    auto opt = bench::suiteOptions(args);
+    if (!args.wasSet("workloads")) {
+        opt.workloads = {"gzip", "facerec", "gcc", "applu",
+                         "art",  "swim",    "ammp"};
+    }
+    bench::printHeader("Ablation: TCP geometry", opt);
+
+    TextTable depth("Ablation 1: THT history depth k (8KB PHT)");
+    depth.setHeader({"k", "mean IPC"});
+    for (unsigned k = 1; k <= 4; ++k) {
+        TcpConfig cfg = TcpConfig::tcp8k();
+        cfg.history_depth = k;
+        depth.addRow({std::to_string(k),
+                      formatDouble(meanIpcFor(opt, cfg), 3)});
+    }
+    std::cout << depth.render() << "\n";
+
+    TextTable assoc("Ablation 2: PHT associativity (8KB PHT)");
+    assoc.setHeader({"ways", "mean IPC"});
+    for (unsigned ways : {1u, 2u, 4u, 8u, 16u}) {
+        TcpConfig cfg = TcpConfig::tcp8k();
+        cfg.pht.assoc = ways;
+        cfg.pht.sets = 2048 / ways; // keep 2048 entries = 8KB
+        assoc.addRow({std::to_string(ways),
+                      formatDouble(meanIpcFor(opt, cfg), 3)});
+    }
+    std::cout << assoc.render() << "\n";
+
+    TextTable index("Ablation 3: PHT index function (8KB PHT)");
+    index.setHeader({"index fn", "mean IPC"});
+    const std::pair<PhtIndexFn, const char *> fns[] = {
+        {PhtIndexFn::TruncatedAdd, "truncated add (paper)"},
+        {PhtIndexFn::XorFold, "xor fold"},
+        {PhtIndexFn::LastTagOnly, "last tag only"},
+    };
+    for (const auto &[fn, label] : fns) {
+        TcpConfig cfg = TcpConfig::tcp8k();
+        cfg.pht.index_fn = fn;
+        index.addRow({label, formatDouble(meanIpcFor(opt, cfg), 3)});
+    }
+    std::cout << index.render() << "\n";
+
+    TextTable degree("Ablation 4: prefetch degree (8KB PHT)");
+    degree.setHeader({"degree", "mean IPC"});
+    for (unsigned d = 1; d <= 4; ++d) {
+        TcpConfig cfg = TcpConfig::tcp8k();
+        cfg.degree = d;
+        degree.addRow({std::to_string(d),
+                       formatDouble(meanIpcFor(opt, cfg), 3)});
+    }
+    std::cout << degree.render();
+    return 0;
+}

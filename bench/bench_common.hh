@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction benches: common
+ * flags (workload selection, instruction budget, seed) and suite
+ * iteration helpers. Every bench binary prints the rows/series of
+ * one table or figure from the paper.
+ */
+
+#ifndef TCP_BENCH_BENCH_COMMON_HH
+#define TCP_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "trace/workloads.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace tcp::bench {
+
+/** Flags every figure bench accepts. */
+struct SuiteOptions
+{
+    std::vector<std::string> workloads;
+    std::uint64_t instructions = 0;
+    std::uint64_t seed = 1;
+};
+
+/** Register the common flags on @p args. */
+inline void
+addSuiteFlags(ArgParser &args, const std::string &default_instructions)
+{
+    args.addFlag("workloads", "all",
+                 "comma-separated workload subset, or 'all'");
+    args.addFlag("instructions", default_instructions,
+                 "micro-ops to simulate per run");
+    args.addFlag("seed", "1", "workload stream seed");
+}
+
+/** Resolve the common flags after parsing. */
+inline SuiteOptions
+suiteOptions(const ArgParser &args)
+{
+    SuiteOptions opt;
+    const std::string sel = args.getString("workloads");
+    if (sel == "all") {
+        opt.workloads = workloadNames();
+    } else {
+        opt.workloads = splitString(sel, ',');
+        for (const std::string &name : opt.workloads) {
+            if (!isWorkloadName(name))
+                tcp_fatal("unknown workload '", name, "'");
+        }
+    }
+    opt.instructions = args.getUint("instructions");
+    opt.seed = args.getUint("seed");
+    return opt;
+}
+
+/** Print a one-line provenance header for reproducibility. */
+inline void
+printHeader(const std::string &what, const SuiteOptions &opt)
+{
+    std::cout << "# " << what << "\n# instructions/run="
+              << opt.instructions << " seed=" << opt.seed
+              << " workloads=" << opt.workloads.size() << "\n\n";
+}
+
+} // namespace tcp::bench
+
+#endif // TCP_BENCH_BENCH_COMMON_HH

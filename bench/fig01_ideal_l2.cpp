@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 1: potential IPC improvement with an ideal L2 data cache
+ * (every L2 access hits), per benchmark. This bounds what any
+ * L2-targeted prefetcher can achieve and fixes the left-to-right
+ * benchmark order used by all later figures.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcp;
+    ArgParser args;
+    bench::addSuiteFlags(args, "2000000");
+    args.parse(argc, argv);
+    const auto opt = bench::suiteOptions(args);
+    bench::printHeader("Figure 1: IPC improvement with ideal L2", opt);
+
+    TextTable table("Fig 1: potential IPC improvement with ideal L2");
+    table.setHeader({"workload", "base IPC", "ideal-L2 IPC",
+                     "improvement"});
+    for (const std::string &name : opt.workloads) {
+        const RunResult base = runNamed(name, "none", opt.instructions,
+                                        MachineConfig{}, opt.seed);
+        MachineConfig ideal;
+        ideal.ideal_l2 = true;
+        const RunResult best = runNamed(name, "none", opt.instructions,
+                                        ideal, opt.seed);
+        table.addRow({name, formatDouble(base.ipc(), 3),
+                      formatDouble(best.ipc(), 3),
+                      formatPercent(ipcImprovement(best, base), 1)});
+    }
+    std::cout << table.render();
+    return 0;
+}

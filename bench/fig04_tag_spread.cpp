@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 4: average number of cache sets each tag appears in (top,
+ * spatial locality) and average number of times a tag appears within
+ * a single set (bottom, temporal locality).
+ */
+
+#include <iostream>
+
+#include "analysis/miss_stream.hh"
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcp;
+    ArgParser args;
+    bench::addSuiteFlags(args, "2000000");
+    args.parse(argc, argv);
+    const auto opt = bench::suiteOptions(args);
+    bench::printHeader("Figure 4: tag spread across sets", opt);
+
+    TextTable table("Fig 4: per-tag set spread (max 1024 sets)");
+    table.setHeader({"workload", "sets/tag", "appearances/(tag,set)"});
+    for (const std::string &name : opt.workloads) {
+        auto wl = makeWorkload(name, opt.seed);
+        MissStreamAnalyzer an;
+        an.profileTrace(*wl, opt.instructions);
+        const TagStatsResult t = an.tagStats();
+        table.addRow({name, formatDouble(t.mean_sets_per_tag, 1),
+                      formatDouble(t.mean_appearances_per_tag_set, 1)});
+    }
+    std::cout << table.render();
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 7: average number of sets each three-tag sequence appears
+ * in (top) and average number of times a sequence appears within a
+ * single set (bottom). Cross-set sequence sharing is the paper's key
+ * argument for a shared PHT (TCP-8K).
+ */
+
+#include <iostream>
+
+#include "analysis/miss_stream.hh"
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcp;
+    ArgParser args;
+    bench::addSuiteFlags(args, "2000000");
+    args.parse(argc, argv);
+    const auto opt = bench::suiteOptions(args);
+    bench::printHeader("Figure 7: sequence spread across sets", opt);
+
+    TextTable table("Fig 7: per-sequence set spread (max 1024 sets)");
+    table.setHeader({"workload", "sets/seq", "appearances/(seq,set)"});
+    for (const std::string &name : opt.workloads) {
+        auto wl = makeWorkload(name, opt.seed);
+        MissStreamAnalyzer an;
+        an.profileTrace(*wl, opt.instructions);
+        const SeqStatsResult s = an.seqStats();
+        table.addRow({name, formatDouble(s.mean_sets_per_seq, 1),
+                      formatDouble(s.mean_appearances_per_seq_set, 1)});
+    }
+    std::cout << table.render();
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 11: IPC improvement of TCP with an 8 KB PHT (TCP-8K) and an
+ * 8 MB PHT (TCP-8M) versus DBCP with a 2 MB correlation table — the
+ * paper's headline comparison. The last row is the suite geometric
+ * mean (the paper reports ~7% for DBCP, ~14% for TCP-8K, ~15% for
+ * TCP-8M).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcp;
+    ArgParser args;
+    bench::addSuiteFlags(args, "2000000");
+    args.parse(argc, argv);
+    const auto opt = bench::suiteOptions(args);
+    bench::printHeader("Figure 11: TCP vs DBCP IPC improvement", opt);
+
+    const std::vector<std::string> engines = {"dbcp2m", "tcp8k",
+                                              "tcp8m"};
+    TextTable table("Fig 11: IPC improvement over no prefetching");
+    table.setHeader({"workload", "base IPC", "DBCP-2M", "TCP-8K",
+                     "TCP-8M"});
+    std::vector<std::vector<double>> ratios(engines.size());
+    for (const std::string &name : opt.workloads) {
+        const RunResult base = runNamed(name, "none", opt.instructions,
+                                        MachineConfig{}, opt.seed);
+        std::vector<std::string> row = {name,
+                                        formatDouble(base.ipc(), 3)};
+        for (std::size_t e = 0; e < engines.size(); ++e) {
+            const RunResult r = runNamed(name, engines[e],
+                                         opt.instructions,
+                                         MachineConfig{}, opt.seed);
+            ratios[e].push_back(r.ipc() / base.ipc());
+            row.push_back(
+                formatPercent(ipcImprovement(r, base), 1));
+        }
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> mean_row = {"geomean", "-"};
+    for (const auto &r : ratios)
+        mean_row.push_back(formatPercent(geomean(r) - 1.0, 1));
+    table.addRow(std::move(mean_row));
+    std::cout << table.render();
+    return 0;
+}

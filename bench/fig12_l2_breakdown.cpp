@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 12: classification of L2 accesses under TCP-8K and TCP-8M,
+ * normalised to the number of original (demand) L2 accesses:
+ *   - "prefetched original": originals served by prefetched data,
+ *   - "non-prefetched original": originals the prefetcher missed,
+ *   - "prefetched extra": prefetch fills never used by a demand.
+ * An ideal prefetcher scores 100% / 0% / 0%.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace {
+
+void
+breakdownTable(const tcp::bench::SuiteOptions &opt,
+               const std::string &engine)
+{
+    using namespace tcp;
+    TextTable table("Fig 12: L2 access breakdown, " + engine +
+                    " (% of original L2 accesses)");
+    table.setHeader({"workload", "prefetched orig",
+                     "non-prefetched orig", "prefetched extra"});
+    for (const std::string &name : opt.workloads) {
+        const RunResult r = runNamed(name, engine, opt.instructions,
+                                     MachineConfig{}, opt.seed);
+        const double denom =
+            r.original_l2 ? static_cast<double>(r.original_l2) : 1.0;
+        table.addRow({
+            name,
+            formatPercent(r.prefetched_original / denom, 1),
+            formatPercent(r.nonprefetched_original / denom, 1),
+            formatPercent(r.prefetchedExtra() / denom, 1),
+        });
+    }
+    std::cout << table.render() << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcp;
+    ArgParser args;
+    bench::addSuiteFlags(args, "2000000");
+    args.parse(argc, argv);
+    const auto opt = bench::suiteOptions(args);
+    bench::printHeader("Figure 12: L2 access classification", opt);
+
+    breakdownTable(opt, "tcp8k");
+    breakdownTable(opt, "tcp8m");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 13: sensitivity of TCP to PHT configuration.
+ *   Top: mean IPC with PHT sizes 2 KB – 8 MB, for the shared scheme
+ *        (0 miss-index bits) and the private scheme (full miss
+ *        index, clamped when the PHT is too small to take all 10
+ *        bits).
+ *   Bottom: mean IPC of an 8 KB PHT using 0–3 miss-index bits.
+ *
+ * The default workload subset covers the suite's behaviour classes
+ * (strided, pointer-chasing, mixed, compute-bound); pass
+ * --workloads=all for the full suite.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/pht.hh"
+#include "util/bits.hh"
+
+namespace {
+
+/** Geometric-mean IPC of one TCP geometry across the workloads. */
+double
+meanIpc(const tcp::bench::SuiteOptions &opt, std::uint64_t pht_bytes,
+        unsigned index_bits)
+{
+    using namespace tcp;
+    std::vector<double> ipcs;
+    const std::string engine = "tcp:" + std::to_string(pht_bytes) +
+                               ":" + std::to_string(index_bits);
+    for (const std::string &name : opt.workloads) {
+        const RunResult r = runNamed(name, engine, opt.instructions,
+                                     MachineConfig{}, opt.seed);
+        ipcs.push_back(r.ipc());
+    }
+    return geomean(ipcs);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcp;
+    ArgParser args;
+    bench::addSuiteFlags(args, "1000000");
+    args.parse(argc, argv);
+    auto opt = bench::suiteOptions(args);
+    if (!args.wasSet("workloads")) {
+        opt.workloads = {"gzip", "mesa",  "bzip2", "facerec",
+                         "gcc",  "applu", "art",   "swim",
+                         "ammp", "mcf"};
+    }
+    bench::printHeader("Figure 13: PHT size and indexing sweep", opt);
+
+    // --- Top: PHT size sweep, shared (n=0) vs private (full index).
+    TextTable top("Fig 13 top: mean IPC vs PHT size");
+    top.setHeader({"PHT size", "shared (n=0)", "private (full index)",
+                   "n used"});
+    for (std::uint64_t bytes = 2 * 1024; bytes <= 8 * 1024 * 1024;
+         bytes *= 4) {
+        // A PHT of `bytes` has bytes/4 entries in 8-way sets; the
+        // private scheme wants all 10 miss-index bits but small
+        // tables cannot spare them.
+        const PhtConfig probe = PhtConfig::ofSize(bytes, 0);
+        const unsigned set_bits =
+            static_cast<unsigned>(floorLog2(probe.sets));
+        const unsigned full_n = std::min(10u, set_bits);
+        top.addRow({formatBytes(bytes),
+                    formatDouble(meanIpc(opt, bytes, 0), 3),
+                    formatDouble(meanIpc(opt, bytes, full_n), 3),
+                    std::to_string(full_n)});
+    }
+    std::cout << top.render() << "\n";
+
+    // --- Bottom: miss-index bits in an 8 KB PHT.
+    TextTable bottom("Fig 13 bottom: mean IPC vs miss-index bits "
+                     "(8KB PHT)");
+    bottom.setHeader({"miss-index bits", "mean IPC"});
+    for (unsigned n = 0; n <= 3; ++n) {
+        bottom.addRow({std::to_string(n),
+                       formatDouble(meanIpc(opt, 8 * 1024, n), 3)});
+    }
+    std::cout << bottom.render();
+    return 0;
+}

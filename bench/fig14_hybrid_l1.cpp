@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 14: prefetching into L2 only (TCP-8K) versus the hybrid
+ * scheme (Hybrid-8K) that additionally promotes prefetched blocks
+ * into L1 once a timekeeping dead-block predictor declares the
+ * victim dead, over a dedicated prefetch bus.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcp;
+    ArgParser args;
+    bench::addSuiteFlags(args, "2000000");
+    args.parse(argc, argv);
+    const auto opt = bench::suiteOptions(args);
+    bench::printHeader("Figure 14: L2-only vs hybrid L1 prefetching",
+                       opt);
+
+    TextTable table("Fig 14: IPC improvement over no prefetching");
+    table.setHeader({"workload", "TCP-8K", "Hybrid-8K",
+                     "naive L1 (no gate)", "L1 promotions"});
+    std::vector<double> r_tcp, r_hybrid, r_naive;
+    for (const std::string &name : opt.workloads) {
+        const RunResult base = runNamed(name, "none", opt.instructions,
+                                        MachineConfig{}, opt.seed);
+        const RunResult tcp8k = runNamed(name, "tcp8k",
+                                         opt.instructions,
+                                         MachineConfig{}, opt.seed);
+        const RunResult hybrid = runNamed(name, "hybrid8k",
+                                          opt.instructions,
+                                          MachineConfig{}, opt.seed);
+        const RunResult naive = runNamed(name, "naive_l1_8k",
+                                         opt.instructions,
+                                         MachineConfig{}, opt.seed);
+        r_tcp.push_back(tcp8k.ipc() / base.ipc());
+        r_hybrid.push_back(hybrid.ipc() / base.ipc());
+        r_naive.push_back(naive.ipc() / base.ipc());
+        table.addRow({name,
+                      formatPercent(ipcImprovement(tcp8k, base), 1),
+                      formatPercent(ipcImprovement(hybrid, base), 1),
+                      formatPercent(ipcImprovement(naive, base), 1),
+                      std::to_string(hybrid.promotions_l1)});
+    }
+    table.addRow({"geomean", formatPercent(geomean(r_tcp) - 1.0, 1),
+                  formatPercent(geomean(r_hybrid) - 1.0, 1),
+                  formatPercent(geomean(r_naive) - 1.0, 1), "-"});
+    std::cout << table.render();
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table 1: the simulated machine configuration, plus the storage
+ * budgets of every prefetcher configuration evaluated in the paper
+ * (the TCP size formulas of Section 4).
+ */
+
+#include <iostream>
+
+#include "core/tcp.hh"
+#include "harness/runner.hh"
+#include "sim/config.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace tcp;
+
+    std::cout << "# Table 1: Configuration of Simulated Processor\n\n"
+              << MachineConfig{}.describe() << "\n";
+
+    TextTable table("Prefetcher storage budgets");
+    table.setHeader({"engine", "tables", "storage"});
+    const TcpConfig k8 = TcpConfig::tcp8k();
+    const TcpConfig m8 = TcpConfig::tcp8m();
+    table.addRow({"TCP-8K",
+                  "THT 1024x2 tags + PHT 256-set 8-way (n=0)",
+                  formatBytes(k8.storageBits() / 8)});
+    table.addRow({"TCP-8M",
+                  "THT 1024x2 tags + PHT 262144-set 8-way (n=10)",
+                  formatBytes(m8.storageBits() / 8)});
+    for (const std::string &name :
+         {std::string("dbcp2m"), std::string("stride"),
+          std::string("stream"), std::string("markov")}) {
+        EngineSetup e = makeEngine(name);
+        table.addRow({name, "see src/prefetch",
+                      formatBytes(e.prefetcher->storageBits() / 8)});
+    }
+    std::cout << table.render();
+    return 0;
+}

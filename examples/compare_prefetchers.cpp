@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Compare every prefetch engine in the library on one workload:
+ * the no-prefetch baseline, the classic hardware prefetchers
+ * (stride, stream, Markov, DBCP-2M), and the paper's TCP variants
+ * (TCP-8K, TCP-8M, Hybrid-8K). Prints IPC, coverage, traffic, and
+ * hardware cost so the paper's resource-efficiency argument can be
+ * inspected directly.
+ *
+ * Usage: compare_prefetchers [--workload=ammp] [--instructions=N]
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "trace/workloads.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    tcp::ArgParser args;
+    args.addFlag("workload", "ammp", "workload to run");
+    args.addFlag("instructions", "2000000", "micro-ops to simulate");
+    args.parse(argc, argv);
+
+    const std::string workload = args.getString("workload");
+    const std::uint64_t instructions = args.getUint("instructions");
+
+    std::cout << "workload " << workload << ": "
+              << tcp::workloadDescription(workload) << "\n\n";
+
+    const tcp::RunResult base =
+        tcp::runNamed(workload, "none", instructions);
+
+    tcp::TextTable table("prefetcher comparison: " + workload);
+    table.setHeader({"engine", "IPC", "speedup", "coverage", "extra",
+                     "late", "storage"});
+    for (const std::string &engine : tcp::standardEngineNames()) {
+        const tcp::RunResult r =
+            engine == "none"
+                ? base
+                : tcp::runNamed(workload, engine, instructions);
+        const double coverage =
+            r.original_l2
+                ? static_cast<double>(r.prefetched_original) /
+                      static_cast<double>(r.original_l2)
+                : 0.0;
+        const double extra =
+            r.original_l2
+                ? static_cast<double>(r.prefetchedExtra()) /
+                      static_cast<double>(r.original_l2)
+                : 0.0;
+        table.addRow({
+            engine,
+            tcp::formatDouble(r.ipc(), 3),
+            tcp::formatPercent(tcp::ipcImprovement(r, base), 1),
+            tcp::formatPercent(coverage, 1),
+            tcp::formatPercent(extra, 1),
+            std::to_string(r.pf_late),
+            tcp::formatBytes(r.pf_storage_bits / 8),
+        });
+    }
+    std::cout << table.render();
+    return 0;
+}

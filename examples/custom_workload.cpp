@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Compose a custom workload from the kernel library and study how
+ * each prefetcher handles it — the workflow for evaluating TCP on
+ * *your* application's access pattern rather than the built-in
+ * SPEC2000-like suite.
+ *
+ * The example builds a "database node" workload: Zipf-skewed index
+ * probes (hot B-tree upper levels), an indexed gather (row fetch via
+ * a rowid array), and a sequential log writer.
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "trace/kernels.hh"
+#include "trace/workload.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace tcp;
+
+std::unique_ptr<SyntheticWorkload>
+makeDatabaseWorkload(std::uint64_t seed)
+{
+    auto wl = std::make_unique<SyntheticWorkload>("dbnode", seed);
+
+    // Hot index probes: a 4 MB index with Zipf-skewed key popularity.
+    KernelParams idx;
+    idx.base = 0x100000000ULL;
+    idx.code_base = 0x400000;
+    idx.compute_per_access = 4;
+    idx.mispredict_rate = 0.03;
+    idx.pc_variants = 2;
+    idx.seed = seed * 3 + 1;
+    wl->addKernel(std::make_unique<ZipfProbeKernel>(idx, 4 << 20,
+                                                    1 << 20),
+                  2.0);
+
+    // Row fetch: sequential rowid array driving a scattered gather
+    // over a 3 MB heap (the same scatter order every scan).
+    KernelParams rows;
+    rows.base = 0x140000000ULL;
+    rows.code_base = 0x402000;
+    rows.compute_per_access = 3;
+    rows.mispredict_rate = 0.01;
+    rows.pc_variants = 2;
+    rows.seed = seed * 3 + 2;
+    wl->addKernel(std::make_unique<GatherKernel>(rows, 24576,
+                                                 3 << 20),
+                  2.0);
+
+    // Log writer: pure sequential stores through a 1 MB buffer.
+    KernelParams log;
+    log.base = 0x180000000ULL;
+    log.code_base = 0x404000;
+    log.compute_per_access = 2;
+    log.store_fraction = 0.9;
+    log.mispredict_rate = 0.002;
+    log.seed = seed * 3 + 3;
+    wl->addKernel(std::make_unique<StridedSweepKernel>(log, 1 << 20,
+                                                       64),
+                  1.0);
+    return wl;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addFlag("instructions", "1500000", "micro-ops to simulate");
+    args.addFlag("seed", "1", "stream seed");
+    args.parse(argc, argv);
+    const std::uint64_t instructions = args.getUint("instructions");
+    const std::uint64_t seed = args.getUint("seed");
+
+    std::cout << "custom 'database node' workload: Zipf index probes "
+                 "+ rowid gather + log writer\n\n";
+
+    // Baseline.
+    auto base_wl = makeDatabaseWorkload(seed);
+    EngineSetup none = makeEngine("none");
+    const RunResult base =
+        runTrace(*base_wl, MachineConfig{}, none, instructions);
+
+    TextTable table("prefetchers on the custom workload");
+    table.setHeader({"engine", "IPC", "speedup", "coverage"});
+    for (const std::string &engine :
+         {std::string("none"), std::string("stride"),
+          std::string("stream"), std::string("dbcp2m"),
+          std::string("tcp8k"), std::string("tcp8m")}) {
+        RunResult r = base;
+        if (engine != "none") {
+            auto wl = makeDatabaseWorkload(seed);
+            EngineSetup e = makeEngine(engine);
+            r = runTrace(*wl, MachineConfig{}, e, instructions);
+        }
+        const double coverage =
+            r.original_l2
+                ? static_cast<double>(r.prefetched_original) /
+                      static_cast<double>(r.original_l2)
+                : 0.0;
+        table.addRow({engine, formatDouble(r.ipc(), 3),
+                      formatPercent(ipcImprovement(r, base), 1),
+                      formatPercent(coverage, 1)});
+    }
+    std::cout << table.render()
+              << "\nThe gather's scattered-but-repeating row fetches "
+                 "are where tag correlation\npays; the Zipf head "
+                 "lives in L2 and the log writes stream past "
+                 "everything.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: build a Table 1 machine, attach a TCP-8K prefetcher,
+ * run one synthetic SPEC2000-like workload, and print the headline
+ * statistics. This is the smallest complete use of the library.
+ *
+ * Usage: quickstart [--workload=mcf] [--instructions=1000000]
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+#include "trace/workloads.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    tcp::ArgParser args;
+    args.addFlag("workload", "mcf", "workload to run (see --list)");
+    args.addFlag("instructions", "1000000", "micro-ops to simulate");
+    args.addFlag("list", "false", "list available workloads and exit");
+    args.parse(argc, argv);
+
+    if (args.getBool("list")) {
+        for (const auto &name : tcp::workloadNames())
+            std::cout << name << ": "
+                      << tcp::workloadDescription(name) << "\n";
+        return 0;
+    }
+
+    const std::string workload = args.getString("workload");
+    const std::uint64_t instructions = args.getUint("instructions");
+
+    // 1. The machine: Table 1 of the paper.
+    const tcp::MachineConfig machine;
+    std::cout << machine.describe() << "\n";
+
+    // 2. Run the workload without prefetching, then with TCP-8K.
+    const tcp::RunResult base =
+        tcp::runNamed(workload, "none", instructions, machine);
+    const tcp::RunResult with_tcp =
+        tcp::runNamed(workload, "tcp8k", instructions, machine);
+
+    // 3. Report.
+    tcp::TextTable table("quickstart: " + workload);
+    table.setHeader({"metric", "no prefetch", "TCP-8K"});
+    auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+    table.addRow({"IPC", tcp::formatDouble(base.ipc(), 3),
+                  tcp::formatDouble(with_tcp.ipc(), 3)});
+    table.addRow({"cycles", u64(base.core.cycles),
+                  u64(with_tcp.core.cycles)});
+    table.addRow({"L1-D misses", u64(base.l1d_misses),
+                  u64(with_tcp.l1d_misses)});
+    table.addRow({"L2 demand misses", u64(base.l2_demand_misses),
+                  u64(with_tcp.l2_demand_misses)});
+    table.addRow({"prefetches issued", "-", u64(with_tcp.pf_issued)});
+    table.addRow({"prefetches useful", "-", u64(with_tcp.pf_useful)});
+    table.addRow({"prefetcher storage", "0",
+                  tcp::formatBytes(with_tcp.pf_storage_bits / 8)});
+    std::cout << table.render() << "\n"
+              << "IPC improvement with TCP-8K: "
+              << tcp::formatPercent(
+                     tcp::ipcImprovement(with_tcp, base), 1)
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Explore the TCP design space on one workload using the library's
+ * configuration API directly: PHT size, miss-index bits, history
+ * depth, and prediction degree, reporting IPC, coverage, and the
+ * hardware budget of every point. Demonstrates how a user would
+ * evaluate their own TCP variant.
+ *
+ * Usage: tcp_geometry_explorer [--workload=swim] [--instructions=N]
+ */
+
+#include <iostream>
+
+#include "core/tcp.hh"
+#include "harness/runner.hh"
+#include "trace/workloads.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace tcp;
+
+/** Run one geometry and add its row to @p table. */
+void
+evaluate(TextTable &table, const std::string &label,
+         const TcpConfig &cfg, const std::string &workload,
+         std::uint64_t instructions, double base_ipc)
+{
+    auto wl = makeWorkload(workload, 1);
+    EngineSetup engine;
+    engine.prefetcher =
+        std::make_unique<TagCorrelatingPrefetcher>(cfg, label);
+    const RunResult r =
+        runTrace(*wl, MachineConfig{}, engine, instructions);
+    const double coverage =
+        r.original_l2 ? static_cast<double>(r.prefetched_original) /
+                            static_cast<double>(r.original_l2)
+                      : 0.0;
+    table.addRow({
+        label,
+        formatBytes(cfg.storageBits() / 8),
+        formatDouble(r.ipc(), 3),
+        formatPercent(r.ipc() / base_ipc - 1.0, 1),
+        formatPercent(coverage, 1),
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addFlag("workload", "swim", "workload to explore");
+    args.addFlag("instructions", "1000000", "micro-ops per run");
+    args.parse(argc, argv);
+    const std::string workload = args.getString("workload");
+    const std::uint64_t instructions = args.getUint("instructions");
+
+    const RunResult base = runNamed(workload, "none", instructions);
+    std::cout << "workload " << workload << ", base IPC "
+              << formatDouble(base.ipc(), 3) << "\n\n";
+
+    TextTable table("TCP design space on " + workload);
+    table.setHeader({"config", "storage", "IPC", "speedup",
+                     "coverage"});
+
+    // The paper's two design points.
+    evaluate(table, "TCP-8K (paper)", TcpConfig::tcp8k(), workload,
+             instructions, base.ipc());
+    evaluate(table, "TCP-8M (paper)", TcpConfig::tcp8m(), workload,
+             instructions, base.ipc());
+
+    // PHT size scaling at n = 0.
+    for (std::uint64_t kb : {2, 32, 512}) {
+        TcpConfig cfg = TcpConfig::tcp8k();
+        cfg.pht = PhtConfig::ofSize(kb * 1024, 0);
+        evaluate(table, "PHT " + std::to_string(kb) + "KB", cfg,
+                 workload, instructions, base.ipc());
+    }
+
+    // Deeper history.
+    for (unsigned k : {1, 3}) {
+        TcpConfig cfg = TcpConfig::tcp8k();
+        cfg.history_depth = k;
+        evaluate(table, "k=" + std::to_string(k), cfg, workload,
+                 instructions, base.ipc());
+    }
+
+    // Multi-degree chained prefetching (Section 6 future work).
+    for (unsigned d : {2, 4}) {
+        TcpConfig cfg = TcpConfig::tcp8k();
+        cfg.degree = d;
+        evaluate(table, "degree=" + std::to_string(d), cfg, workload,
+                 instructions, base.ipc());
+    }
+
+    std::cout << table.render();
+    return 0;
+}

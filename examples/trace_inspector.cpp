@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Characterise a workload's L1-D miss stream the way Section 3 of
+ * the paper does: tag recurrence, tag spread across sets, sequence
+ * repetitiveness, and strided fraction — the measurements that
+ * motivate tag correlating prefetching. Useful for understanding why
+ * TCP does or does not cover a given access pattern.
+ *
+ * Usage: trace_inspector [--workload=swim] [--instructions=N]
+ *                        [--seqlen=3]
+ */
+
+#include <iostream>
+
+#include "analysis/miss_stream.hh"
+#include "analysis/reuse_distance.hh"
+#include "trace/workloads.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcp;
+    ArgParser args;
+    args.addFlag("workload", "swim", "workload to characterise");
+    args.addFlag("instructions", "2000000", "micro-ops to profile");
+    args.addFlag("seqlen", "3", "tag sequence length (1-4)");
+    args.parse(argc, argv);
+
+    const std::string workload = args.getString("workload");
+    const auto instructions = args.getUint("instructions");
+    const auto seqlen = static_cast<unsigned>(args.getUint("seqlen"));
+
+    std::cout << "workload " << workload << ": "
+              << workloadDescription(workload) << "\n\n";
+
+    auto wl = makeWorkload(workload, 1);
+    MissStreamAnalyzer an(MissStreamAnalyzer::defaultFilter(), seqlen);
+    const std::uint64_t mem_ops = an.profileTrace(*wl, instructions);
+
+    const TagStatsResult tags = an.tagStats();
+    const AddrStatsResult addrs = an.addrStats();
+    const SeqStatsResult seqs = an.seqStats();
+
+    TextTable table("miss-stream characterisation (32KB DM L1 filter)");
+    table.setHeader({"metric", "value"});
+    auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+    table.addRow({"memory accesses", u64(mem_ops)});
+    table.addRow({"L1-D misses", u64(an.misses())});
+    table.addRow({"miss ratio",
+                  formatPercent(mem_ops ? double(an.misses()) / mem_ops
+                                        : 0.0, 1)});
+    table.addRow({"unique tags (Fig 2)", u64(tags.unique_tags)});
+    table.addRow({"appearances per tag (Fig 2)",
+                  formatDouble(tags.mean_appearances_per_tag, 1)});
+    table.addRow({"unique block addrs (Fig 3)",
+                  u64(addrs.unique_addrs)});
+    table.addRow({"appearances per addr (Fig 3)",
+                  formatDouble(addrs.mean_appearances_per_addr, 1)});
+    table.addRow({"sets per tag (Fig 4)",
+                  formatDouble(tags.mean_sets_per_tag, 1)});
+    table.addRow({"appearances per (tag,set) (Fig 4)",
+                  formatDouble(tags.mean_appearances_per_tag_set, 1)});
+    table.addRow({"unique " + std::to_string(seqlen) +
+                      "-tag sequences (Fig 6)",
+                  u64(seqs.unique_seqs)});
+    table.addRow({"% of random upper limit (Fig 5)",
+                  formatPercent(seqs.fraction_of_upper_limit, 3)});
+    table.addRow({"appearances per sequence (Fig 6)",
+                  formatDouble(seqs.mean_appearances_per_seq, 1)});
+    table.addRow({"sets per sequence (Fig 7)",
+                  formatDouble(seqs.mean_sets_per_seq, 1)});
+    table.addRow({"appearances per (seq,set) (Fig 7)",
+                  formatDouble(seqs.mean_appearances_per_seq_set, 1)});
+    table.addRow({"strided sequences (Fig 15)",
+                  formatPercent(seqs.strided_fraction, 2)});
+    std::cout << table.render();
+
+    // Reuse-distance view: where the working set sits relative to
+    // the cache hierarchy (L1 = 32 KB, L2 = 1 MB).
+    {
+        ReuseDistanceProfiler rd(64);
+        auto wl2 = makeWorkload(workload, 1);
+        MicroOp op;
+        const std::uint64_t budget =
+            std::min<std::uint64_t>(instructions, 500000);
+        for (std::uint64_t i = 0; i < budget; ++i) {
+            wl2->next(op);
+            if (op.isMem())
+                rd.observe(op.addr);
+        }
+        TextTable curve("fully-associative LRU miss-rate curve "
+                        "(64B blocks)");
+        curve.setHeader({"capacity", "miss ratio"});
+        for (const auto &[cap, ratio] : rd.missRatioCurve()) {
+            if (cap * 64 < 4096)
+                continue;
+            curve.addRow({formatBytes(cap * 64),
+                          formatPercent(ratio, 1)});
+        }
+        std::cout << "\n" << curve.render();
+    }
+
+    std::cout
+        << "\nReading the numbers: many sets per sequence means a\n"
+           "shared PHT (TCP-8K) covers the workload cheaply; few\n"
+           "sets per sequence with many unique sequences calls for\n"
+           "private histories (TCP-8M); a high fraction of the\n"
+           "random upper limit means no correlation prefetcher will\n"
+           "do well.\n";
+    return 0;
+}

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Reproduce everything: build, run the full test suite, regenerate
+# every paper figure and ablation, and archive the outputs.
+#
+# Usage: scripts/run_all.sh [build-dir]
+set -e
+
+BUILD=${1:-build}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+
+echo "== configure + build =="
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" --output-on-failure 2>&1 \
+    | tee "$ROOT/test_output.txt"
+
+echo "== benches =="
+mkdir -p "$ROOT/results"
+{
+    for b in "$BUILD"/bench/*; do
+        [ -f "$b" ] && [ -x "$b" ] || continue
+        echo "=== $(basename "$b") ==="
+        "$b"
+    done
+} 2>&1 | tee "$ROOT/results/bench_all.txt" \
+       | tee "$ROOT/bench_output.txt" >/dev/null
+
+echo "== done =="
+echo "tests:   $ROOT/test_output.txt"
+echo "figures: $ROOT/results/bench_all.txt"

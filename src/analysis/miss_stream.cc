@@ -1,0 +1,189 @@
+#include "miss_stream.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+CacheConfig
+MissStreamAnalyzer::defaultFilter()
+{
+    // The paper profiles the miss stream of a 32 KB direct-mapped L1
+    // data cache with 32-byte blocks (Section 3).
+    return CacheConfig{"profile-l1", 32 * 1024, 1, 32, 1, 64};
+}
+
+MissStreamAnalyzer::MissStreamAnalyzer(const CacheConfig &l1,
+                                       unsigned seq_len)
+    : filter_(l1), seq_len_(seq_len)
+{
+    tcp_assert(seq_len_ >= 1 && seq_len_ <= 4,
+               "sequence length must be 1..4");
+    history_.assign(filter_.numSets(), {});
+    history_len_.assign(filter_.numSets(), 0);
+}
+
+void
+MissStreamAnalyzer::observe(Addr addr)
+{
+    ++accesses_;
+    if (filter_.access(addr, accesses_))
+        return; // hit: the paper profiles miss streams only
+    filter_.fill(addr, accesses_);
+    recordMiss(addr);
+}
+
+void
+MissStreamAnalyzer::recordMiss(Addr addr)
+{
+    ++misses_;
+    const Tag tag = filter_.tagOf(addr);
+    const SetIndex set = filter_.setOf(addr);
+    const Addr block = filter_.blockAlign(addr);
+
+    TagInfo &ti = tags_[tag];
+    ++ti.count;
+    ++ti.sets[set];
+
+    ++addrs_[block];
+
+    // Shift the per-set history and record the N-tag sequence.
+    auto &hist = history_[set];
+    std::uint8_t &len = history_len_[set];
+    for (unsigned i = 0; i + 1 < seq_len_; ++i)
+        hist[i] = hist[i + 1];
+    hist[seq_len_ - 1] = tag;
+    if (len < seq_len_)
+        ++len;
+    if (len < seq_len_)
+        return;
+
+    SeqKey key;
+    for (unsigned i = 0; i < seq_len_; ++i)
+        key.tags[i] = hist[i];
+
+    SeqInfo &si = seqs_[key];
+    ++si.count;
+    ++si.sets[set];
+    ++sequences_observed_;
+
+    if (seq_len_ >= 2) {
+        bool strided = true;
+        const std::int64_t stride =
+            static_cast<std::int64_t>(hist[1]) -
+            static_cast<std::int64_t>(hist[0]);
+        for (unsigned i = 2; i < seq_len_; ++i) {
+            const std::int64_t s =
+                static_cast<std::int64_t>(hist[i]) -
+                static_cast<std::int64_t>(hist[i - 1]);
+            if (s != stride)
+                strided = false;
+        }
+        if (strided) {
+            if (stride == 0)
+                ++constant_;
+            else
+                ++strided_;
+        }
+    }
+}
+
+std::uint64_t
+MissStreamAnalyzer::profileTrace(TraceSource &source,
+                                 std::uint64_t instructions)
+{
+    MicroOp op;
+    std::uint64_t mem_ops = 0;
+    for (std::uint64_t n = 0; n < instructions; ++n) {
+        if (!source.next(op))
+            break;
+        if (op.isMem()) {
+            observe(op.addr);
+            ++mem_ops;
+        }
+    }
+    return mem_ops;
+}
+
+TagStatsResult
+MissStreamAnalyzer::tagStats() const
+{
+    TagStatsResult out;
+    out.misses = misses_;
+    out.unique_tags = tags_.size();
+    if (tags_.empty())
+        return out;
+
+    std::uint64_t total_sets = 0;
+    std::uint64_t total_pairs = 0;
+    std::uint64_t total_count = 0;
+    for (const auto &[tag, info] : tags_) {
+        total_count += info.count;
+        total_sets += info.sets.size();
+        total_pairs += info.sets.size();
+    }
+    out.mean_appearances_per_tag =
+        static_cast<double>(total_count) / tags_.size();
+    out.mean_sets_per_tag =
+        static_cast<double>(total_sets) / tags_.size();
+    out.mean_appearances_per_tag_set =
+        total_pairs ? static_cast<double>(total_count) / total_pairs
+                    : 0.0;
+    return out;
+}
+
+AddrStatsResult
+MissStreamAnalyzer::addrStats() const
+{
+    AddrStatsResult out;
+    out.unique_addrs = addrs_.size();
+    if (addrs_.empty())
+        return out;
+    std::uint64_t total = 0;
+    for (const auto &[addr, count] : addrs_)
+        total += count;
+    out.mean_appearances_per_addr =
+        static_cast<double>(total) / addrs_.size();
+    return out;
+}
+
+SeqStatsResult
+MissStreamAnalyzer::seqStats() const
+{
+    SeqStatsResult out;
+    out.sequences_observed = sequences_observed_;
+    out.unique_seqs = seqs_.size();
+    out.strided_sequences = strided_;
+    out.constant_sequences = constant_;
+    if (seqs_.empty())
+        return out;
+
+    const double upper =
+        std::pow(static_cast<double>(tags_.size()),
+                 static_cast<double>(seq_len_));
+    out.fraction_of_upper_limit =
+        upper > 0.0 ? static_cast<double>(out.unique_seqs) / upper
+                    : 0.0;
+
+    std::uint64_t total_count = 0;
+    std::uint64_t total_sets = 0;
+    for (const auto &[key, info] : seqs_) {
+        total_count += info.count;
+        total_sets += info.sets.size();
+    }
+    out.mean_appearances_per_seq =
+        static_cast<double>(total_count) / seqs_.size();
+    out.mean_sets_per_seq =
+        static_cast<double>(total_sets) / seqs_.size();
+    out.mean_appearances_per_seq_set =
+        total_sets ? static_cast<double>(total_count) / total_sets
+                   : 0.0;
+    out.strided_fraction =
+        sequences_observed_
+            ? static_cast<double>(strided_) / sequences_observed_
+            : 0.0;
+    return out;
+}
+
+} // namespace tcp

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Miss-stream characterisation, reproducing the measurements of
+ * Section 3 of the paper (Figures 2–7 and 15): the profiler feeds a
+ * workload's data accesses through a 32 KB direct-mapped L1 filter
+ * and records, over the resulting miss stream,
+ *   - per-tag recurrence and per-set spread (Figs 2, 4),
+ *   - per-block-address recurrence (Fig 3),
+ *   - per-N-tag-sequence recurrence, spread and strided fraction
+ *     (Figs 5, 6, 7, 15).
+ */
+
+#ifndef TCP_ANALYSIS_MISS_STREAM_HH
+#define TCP_ANALYSIS_MISS_STREAM_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/cache.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+#include "trace/microop.hh"
+
+namespace tcp {
+
+/** Single-tag statistics (Figures 2 and 4). */
+struct TagStatsResult
+{
+    std::uint64_t misses = 0;
+    std::uint64_t unique_tags = 0;
+    /** Mean occurrences of each tag in the miss stream (Fig 2). */
+    double mean_appearances_per_tag = 0.0;
+    /** Mean number of distinct sets each tag touches (Fig 4 top). */
+    double mean_sets_per_tag = 0.0;
+    /** Mean occurrences of a tag within one set (Fig 4 bottom). */
+    double mean_appearances_per_tag_set = 0.0;
+};
+
+/** Block-address statistics (Figure 3). */
+struct AddrStatsResult
+{
+    std::uint64_t unique_addrs = 0;
+    /** Mean occurrences of each block address in the miss stream. */
+    double mean_appearances_per_addr = 0.0;
+};
+
+/** N-tag-sequence statistics (Figures 5, 6, 7 and 15). */
+struct SeqStatsResult
+{
+    std::uint64_t sequences_observed = 0;
+    std::uint64_t unique_seqs = 0;
+    /**
+     * unique sequences / (unique tags)^N — the fraction of the
+     * random-sequence upper limit actually seen (Fig 5).
+     */
+    double fraction_of_upper_limit = 0.0;
+    /** Mean occurrences of each unique sequence (Fig 6 bottom). */
+    double mean_appearances_per_seq = 0.0;
+    /** Mean number of sets each sequence appears in (Fig 7 top). */
+    double mean_sets_per_seq = 0.0;
+    /** Mean occurrences of a sequence within one set (Fig 7 bot.). */
+    double mean_appearances_per_seq_set = 0.0;
+    /** Sequences with a constant nonzero tag stride (Fig 15). */
+    std::uint64_t strided_sequences = 0;
+    double strided_fraction = 0.0;
+    /** Sequences of one repeated tag (zero stride), reported apart. */
+    std::uint64_t constant_sequences = 0;
+};
+
+/**
+ * One-pass profiler over an L1-D miss stream.
+ *
+ * Usage: call observe() with every data address the workload issues
+ * (or use profileTrace()); read the three result structs afterwards.
+ */
+class MissStreamAnalyzer
+{
+  public:
+    /**
+     * @param l1 the filter cache (paper: 32 KB direct-mapped, 32 B
+     *        blocks)
+     * @param seq_len tracked sequence length N (paper: 3)
+     */
+    explicit MissStreamAnalyzer(const CacheConfig &l1 = defaultFilter(),
+                                unsigned seq_len = 3);
+
+    /** The paper's filter configuration. */
+    static CacheConfig defaultFilter();
+
+    /** Feed one data access. */
+    void observe(Addr addr);
+
+    /**
+     * Convenience: pull @p instructions micro-ops from @p source and
+     * observe every memory access among them.
+     * @return number of memory accesses observed
+     */
+    std::uint64_t profileTrace(TraceSource &source,
+                               std::uint64_t instructions);
+
+    TagStatsResult tagStats() const;
+    AddrStatsResult addrStats() const;
+    SeqStatsResult seqStats() const;
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    /** Key for a tag sequence of up to 4 elements. */
+    struct SeqKey
+    {
+        std::array<Tag, 4> tags{};
+        bool operator==(const SeqKey &) const = default;
+    };
+    struct SeqKeyHash
+    {
+        std::size_t
+        operator()(const SeqKey &k) const
+        {
+            std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+            for (Tag t : k.tags) {
+                h ^= t + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+            }
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    template <typename V>
+    using SetCountMap = std::unordered_map<SetIndex, V>;
+
+    struct TagInfo
+    {
+        std::uint64_t count = 0;
+        SetCountMap<std::uint32_t> sets;
+    };
+    struct SeqInfo
+    {
+        std::uint64_t count = 0;
+        SetCountMap<std::uint32_t> sets;
+    };
+
+    void recordMiss(Addr addr);
+
+    CacheModel filter_;
+    unsigned seq_len_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+
+    std::unordered_map<Tag, TagInfo> tags_;
+    std::unordered_map<Addr, std::uint64_t> addrs_;
+    std::unordered_map<SeqKey, SeqInfo, SeqKeyHash> seqs_;
+    std::uint64_t sequences_observed_ = 0;
+    std::uint64_t strided_ = 0;
+    std::uint64_t constant_ = 0;
+    /** Per-set recent-tag shift registers. */
+    std::vector<std::array<Tag, 4>> history_;
+    std::vector<std::uint8_t> history_len_;
+};
+
+} // namespace tcp
+
+#endif // TCP_ANALYSIS_MISS_STREAM_HH

@@ -1,0 +1,117 @@
+#include "reuse_distance.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+ReuseDistanceProfiler::ReuseDistanceProfiler(unsigned block_bytes)
+{
+    tcp_assert(isPowerOfTwo(block_bytes),
+               "block size must be a power of two");
+    block_shift_ = floorLog2(block_bytes);
+    fenwick_.assign(1, 0); // index 0 unused
+    dist_hist_.assign(64, 0);
+}
+
+void
+ReuseDistanceProfiler::bitAdd(std::size_t pos, std::int64_t delta)
+{
+    for (; pos < fenwick_.size(); pos += pos & (~pos + 1))
+        fenwick_[pos] += delta;
+}
+
+std::int64_t
+ReuseDistanceProfiler::bitSum(std::size_t pos) const
+{
+    std::int64_t sum = 0;
+    for (; pos > 0; pos -= pos & (~pos + 1))
+        sum += fenwick_[pos];
+    return sum;
+}
+
+std::uint64_t
+ReuseDistanceProfiler::observe(Addr addr)
+{
+    const Addr block = addr >> block_shift_;
+    ++accesses_;
+    const std::uint64_t now = accesses_; // 1-based timestamp
+
+    // Grow the Fenwick tree by doubling. With power-of-two
+    // capacities the only new node whose range covers existing
+    // elements is the new root (index 2^(k+1), range (0, 2^(k+1)]);
+    // it must carry the running total, the other new nodes start
+    // empty.
+    while (now >= fenwick_.size()) {
+        const std::size_t old_cap = fenwick_.size() - 1;
+        const std::int64_t total =
+            old_cap ? bitSum(old_cap) : 0;
+        const std::size_t new_cap = old_cap ? old_cap * 2 : 1;
+        fenwick_.resize(new_cap + 1, 0);
+        if (old_cap)
+            fenwick_[new_cap] = total;
+    }
+
+    std::uint64_t distance = kCold;
+    auto it = last_time_.find(block);
+    if (it != last_time_.end()) {
+        const std::uint64_t prev = it->second;
+        // Distinct blocks touched strictly after prev = markers in
+        // (prev, now).
+        distance = static_cast<std::uint64_t>(
+            bitSum(now - 1) - bitSum(prev));
+        bitAdd(prev, -1);
+        finite_sum_ += static_cast<double>(distance);
+        ++finite_count_;
+        unsigned bucket = 0;
+        while ((std::uint64_t{1} << bucket) <= distance &&
+               bucket + 1 < dist_hist_.size())
+            ++bucket;
+        ++dist_hist_[bucket];
+    } else {
+        ++cold_;
+    }
+    bitAdd(now, 1);
+    last_time_[block] = now;
+    return distance;
+}
+
+double
+ReuseDistanceProfiler::missRatioAtCapacity(std::uint64_t blocks) const
+{
+    if (accesses_ == 0)
+        return 0.0;
+    // Bucket b holds distances in [2^(b-1), 2^b) (bucket 0: d == 0).
+    // An access misses a capacity-C LRU cache when distance >= C.
+    std::uint64_t misses = cold_;
+    for (std::size_t b = 0; b < dist_hist_.size(); ++b) {
+        const std::uint64_t lo = b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+        if (lo >= blocks)
+            misses += dist_hist_[b];
+    }
+    return static_cast<double>(misses) /
+           static_cast<double>(accesses_);
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+ReuseDistanceProfiler::missRatioCurve() const
+{
+    std::vector<std::pair<std::uint64_t, double>> curve;
+    const std::uint64_t ws = uniqueBlocks();
+    for (std::uint64_t cap = 1; cap / 2 <= ws && cap < (1ULL << 40);
+         cap *= 2)
+        curve.emplace_back(cap, missRatioAtCapacity(cap));
+    return curve;
+}
+
+double
+ReuseDistanceProfiler::meanDistance() const
+{
+    return finite_count_ ? finite_sum_ /
+                               static_cast<double>(finite_count_)
+                         : 0.0;
+}
+
+} // namespace tcp

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reuse-distance (LRU stack distance) profiling. The stack distance
+ * of an access is the number of distinct blocks touched since the
+ * previous access to the same block; a fully-associative LRU cache of
+ * C blocks hits exactly the accesses with distance < C. The resulting
+ * miss-rate curve explains *why* a workload's misses recur (Figures
+ * 2/6): footprints just beyond a cache level re-miss every lap, which
+ * is precisely the repetitive stream TCP feeds on.
+ *
+ * Implementation: the classic O(log n) Bennett–Kruskal style
+ * algorithm with a Fenwick (binary indexed) tree over access
+ * timestamps plus a last-access hash map.
+ */
+
+#ifndef TCP_ANALYSIS_REUSE_DISTANCE_HH
+#define TCP_ANALYSIS_REUSE_DISTANCE_HH
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tcp {
+
+/** Streaming reuse-distance profiler over block addresses. */
+class ReuseDistanceProfiler
+{
+  public:
+    /**
+     * @param block_bytes granularity (power of two); the paper's L1
+     *        uses 32-byte blocks
+     */
+    explicit ReuseDistanceProfiler(unsigned block_bytes = 32);
+
+    /** Sentinel distance for first-ever (cold) accesses. */
+    static constexpr std::uint64_t kCold =
+        std::numeric_limits<std::uint64_t>::max();
+
+    /**
+     * Feed one access.
+     * @return the access's stack distance, or kCold
+     */
+    std::uint64_t observe(Addr addr);
+
+    /// @name Aggregate results
+    /// @{
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t coldAccesses() const { return cold_; }
+    std::uint64_t uniqueBlocks() const { return last_time_.size(); }
+
+    /**
+     * Fraction of accesses whose stack distance is >= @p blocks —
+     * the miss rate of a fully-associative LRU cache of that many
+     * blocks (plus cold misses).
+     */
+    double missRatioAtCapacity(std::uint64_t blocks) const;
+
+    /**
+     * Miss-rate curve: one (capacity_blocks, miss_ratio) point per
+     * power-of-two capacity from 1 to the working-set size.
+     */
+    std::vector<std::pair<std::uint64_t, double>> missRatioCurve()
+        const;
+
+    /** Mean finite (non-cold) reuse distance. */
+    double meanDistance() const;
+    /// @}
+
+  private:
+    /** Fenwick tree over access timestamps. */
+    void bitAdd(std::size_t pos, std::int64_t delta);
+    std::int64_t bitSum(std::size_t pos) const; // prefix [1..pos]
+
+    unsigned block_shift_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t cold_ = 0;
+    double finite_sum_ = 0.0;
+    std::uint64_t finite_count_ = 0;
+    /** last access timestamp (1-based) per block */
+    std::unordered_map<Addr, std::uint64_t> last_time_;
+    /** fenwick[i] counts "still most-recent" markers */
+    std::vector<std::int64_t> fenwick_;
+    /** distance histogram in power-of-two buckets (bucket 0 = d<1) */
+    std::vector<std::uint64_t> dist_hist_;
+};
+
+} // namespace tcp
+
+#endif // TCP_ANALYSIS_REUSE_DISTANCE_HH

@@ -1,0 +1,225 @@
+#include "pht.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+PhtConfig
+PhtConfig::tcp8k()
+{
+    PhtConfig c;
+    c.sets = 256;
+    c.assoc = 8;
+    c.miss_index_bits = 0;
+    return c;
+}
+
+PhtConfig
+PhtConfig::tcp8m()
+{
+    PhtConfig c;
+    c.sets = 262144;
+    c.assoc = 8;
+    c.miss_index_bits = 10; // the full L1 miss index
+    return c;
+}
+
+PhtConfig
+PhtConfig::ofSize(std::uint64_t bytes, unsigned n)
+{
+    // The paper costs entries at 4 bytes (two ~16-bit tag fields).
+    PhtConfig c;
+    c.assoc = 8;
+    const std::uint64_t entries = bytes / 4;
+    tcp_assert(entries >= c.assoc,
+               "PHT of ", bytes, " bytes is smaller than one set");
+    c.sets = entries / c.assoc;
+    tcp_assert(isPowerOfTwo(c.sets),
+               "PHT set count must be a power of two, got ", c.sets);
+    c.miss_index_bits = n;
+    return c;
+}
+
+PatternHistoryTable::PatternHistoryTable(const PhtConfig &config)
+    : config_(config)
+{
+    tcp_assert(config_.sets > 0 && isPowerOfTwo(config_.sets),
+               "PHT set count must be a nonzero power of two");
+    tcp_assert(config_.assoc > 0, "PHT associativity must be positive");
+    set_bits_ = floorLog2(config_.sets);
+    tcp_assert(config_.miss_index_bits <= set_bits_,
+               "more miss-index bits (", config_.miss_index_bits,
+               ") than PHT index bits (", set_bits_, ")");
+    tcp_assert(config_.targets >= 1 && config_.targets <= kMaxTargets,
+               "PHT targets must be 1..", kMaxTargets);
+    entries_.resize(config_.sets * config_.assoc);
+}
+
+std::uint64_t
+PatternHistoryTable::indexOf(std::span<const Tag> seq,
+                             SetIndex miss_index) const
+{
+    const unsigned n = config_.miss_index_bits;
+    const unsigned m = set_bits_ - n;
+
+    std::uint64_t high = 0;
+    switch (config_.index_fn) {
+      case PhtIndexFn::TruncatedAdd:
+        // Figure 9: (tag1 + ... + tagk)[1:m], carries discarded.
+        for (Tag t : seq)
+            high = truncatedAdd(high, t, m);
+        break;
+      case PhtIndexFn::XorFold:
+        for (Tag t : seq)
+            high ^= xorFold(t, m);
+        high &= mask(m);
+        break;
+      case PhtIndexFn::LastTagOnly:
+        high = seq.empty() ? 0 : (seq.back() & mask(m));
+        break;
+      case PhtIndexFn::GshareXor: {
+        // gshare: hash the whole sequence and XOR with the miss
+        // index over the full index width (no dedicated bit fields).
+        std::uint64_t sum = 0;
+        for (Tag t : seq)
+            sum = truncatedAdd(sum, t, set_bits_);
+        return (sum ^ miss_index) & mask(set_bits_);
+      }
+    }
+    return (high << n) | (miss_index & mask(n));
+}
+
+Tag
+PatternHistoryTable::matchField(Tag tag) const
+{
+    if (config_.entry_tag_bits == 0)
+        return tag;
+    return tag & mask(config_.entry_tag_bits);
+}
+
+PatternHistoryTable::Entry *
+PatternHistoryTable::findEntry(std::uint64_t set, Tag match)
+{
+    Entry *base = &entries_[set * config_.assoc];
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].match == match)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+std::optional<Tag>
+PatternHistoryTable::lookup(std::span<const Tag> seq,
+                            SetIndex miss_index)
+{
+    tcp_assert(!seq.empty(), "PHT lookup with empty sequence");
+    ++lookups_;
+    const std::uint64_t set = indexOf(seq, miss_index);
+    Entry *e = findEntry(set, matchField(seq.back()));
+    if (!e)
+        return std::nullopt;
+    ++hits_;
+    e->lru = ++stamp_;
+    return e->next[0];
+}
+
+unsigned
+PatternHistoryTable::lookupAll(std::span<const Tag> seq,
+                               SetIndex miss_index,
+                               std::vector<Tag> &out)
+{
+    tcp_assert(!seq.empty(), "PHT lookup with empty sequence");
+    ++lookups_;
+    const std::uint64_t set = indexOf(seq, miss_index);
+    Entry *e = findEntry(set, matchField(seq.back()));
+    if (!e)
+        return 0;
+    ++hits_;
+    e->lru = ++stamp_;
+    const unsigned n =
+        std::min<unsigned>(e->next_count, config_.targets);
+    for (unsigned i = 0; i < n; ++i)
+        out.push_back(e->next[i]);
+    return n;
+}
+
+void
+PatternHistoryTable::update(std::span<const Tag> seq,
+                            SetIndex miss_index, Tag next_tag)
+{
+    tcp_assert(!seq.empty(), "PHT update with empty sequence");
+    ++updates_;
+    const std::uint64_t set = indexOf(seq, miss_index);
+    const Tag match = matchField(seq.back());
+
+    if (Entry *e = findEntry(set, match)) {
+        // Promote next_tag to the MRU target slot (Markov-style
+        // multi-target maintenance collapses to simple overwrite
+        // when targets == 1).
+        unsigned found = e->next_count;
+        for (unsigned i = 0; i < e->next_count; ++i) {
+            if (e->next[i] == next_tag) {
+                found = i;
+                break;
+            }
+        }
+        const unsigned limit =
+            std::min<unsigned>(config_.targets, kMaxTargets);
+        unsigned upto = found;
+        if (found == e->next_count) {
+            // New target: shift everything down, maybe growing.
+            if (e->next_count < limit)
+                ++e->next_count;
+            upto = e->next_count - 1;
+        }
+        for (unsigned i = upto; i > 0; --i)
+            e->next[i] = e->next[i - 1];
+        e->next[0] = next_tag;
+        e->lru = ++stamp_;
+        return;
+    }
+
+    // Allocate: prefer an invalid way, else evict LRU.
+    Entry *base = &entries_[set * config_.assoc];
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (!victim) {
+        victim = base;
+        for (unsigned w = 1; w < config_.assoc; ++w)
+            if (base[w].lru < victim->lru)
+                victim = &base[w];
+        ++replacements_;
+    }
+    victim->valid = true;
+    victim->match = match;
+    victim->next[0] = next_tag;
+    victim->next_count = 1;
+    victim->lru = ++stamp_;
+}
+
+std::uint64_t
+PatternHistoryTable::occupancy() const
+{
+    std::uint64_t n = 0;
+    for (const Entry &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+void
+PatternHistoryTable::reset()
+{
+    std::fill(entries_.begin(), entries_.end(), Entry{});
+    stamp_ = 0;
+    lookups_ = hits_ = updates_ = replacements_ = 0;
+}
+
+} // namespace tcp

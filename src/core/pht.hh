@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The Pattern History Table (PHT): the second level of the TCP. A
+ * set-associative table of (tag -> next tag) correlations, indexed by
+ * a hash of the tag-history sequence per Figure 9: the high index
+ * bits come from a truncated addition of all tags in the sequence,
+ * the low n bits from the miss index. n trades pattern sharing across
+ * cache sets (n = 0, TCP-8K) against private per-set histories
+ * (n = full index, TCP-8M).
+ */
+
+#ifndef TCP_CORE_PHT_HH
+#define TCP_CORE_PHT_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tcp {
+
+/** How the high PHT index bits are derived from the tag sequence. */
+enum class PhtIndexFn : std::uint8_t
+{
+    TruncatedAdd, ///< the paper's scheme (Figure 9, after [12])
+    XorFold,      ///< ablation: XOR of the tags, folded
+    LastTagOnly,  ///< ablation: ignore all history but the last tag
+    /**
+     * Branch-predictor lesson (Section 6/8): gshare-style hashing —
+     * the truncated tag sum XORed with the miss index over the full
+     * index width, instead of concatenating dedicated bit fields.
+     */
+    GshareXor,
+};
+
+/** Geometry and indexing of a PatternHistoryTable. */
+struct PhtConfig
+{
+    std::uint64_t sets = 256;
+    unsigned assoc = 8;
+    /** n: low index bits taken from the miss index (Figure 9). */
+    unsigned miss_index_bits = 0;
+    PhtIndexFn index_fn = PhtIndexFn::TruncatedAdd;
+    /**
+     * Stored entry-tag width for the match field; 0 means full tags
+     * (no aliasing in the match). Small widths model the aliasing a
+     * cost-reduced hardware table would suffer.
+     */
+    unsigned entry_tag_bits = 0;
+    /** Assumed tag width for storage accounting (Alpha-ish). */
+    unsigned cost_tag_bits = 16;
+    /**
+     * Successor tags stored per entry (Section 6's multiple-targets
+     * future work, after the Markov prefetcher [9]). 1 reproduces
+     * the paper's design; higher values trade traffic for accuracy.
+     */
+    unsigned targets = 1;
+
+    /** Total entries. */
+    std::uint64_t entries() const { return sets * assoc; }
+
+    /**
+     * Hardware budget in bits:
+     * PHTSize = #sets x assoc x (|tag| + targets x |tag'|) — the
+     * paper's formula (two tag-width fields per entry) generalised
+     * to multi-target entries.
+     */
+    std::uint64_t
+    storageBits() const
+    {
+        return entries() * ((1ull + targets) * cost_tag_bits);
+    }
+
+    /** The paper's TCP-8K PHT: 256 sets, 8-way, n = 0. */
+    static PhtConfig tcp8k();
+    /** The paper's TCP-8M PHT: 262144 sets, 8-way, full miss index. */
+    static PhtConfig tcp8m();
+    /**
+     * A PHT of @p bytes total (paper cost model: 4 bytes/entry),
+     * 8-way, with @p n miss-index bits.
+     */
+    static PhtConfig ofSize(std::uint64_t bytes, unsigned n = 0);
+};
+
+/** Second-level correlation table. */
+class PatternHistoryTable
+{
+  public:
+    explicit PatternHistoryTable(const PhtConfig &config);
+
+    /**
+     * Compute the set index for a history sequence (Figure 9).
+     * @param seq tag sequence, oldest first, last element = the tag
+     *        that will be matched against entry tags
+     * @param miss_index the current miss index
+     */
+    std::uint64_t indexOf(std::span<const Tag> seq,
+                          SetIndex miss_index) const;
+
+    /**
+     * Predict the successor of @p seq.
+     * @return the most recent stored next tag, or nullopt on a miss
+     */
+    std::optional<Tag> lookup(std::span<const Tag> seq,
+                              SetIndex miss_index);
+
+    /**
+     * Multi-target prediction: append up to config().targets stored
+     * successors of @p seq to @p out, most recent first.
+     * @return number of targets appended
+     */
+    unsigned lookupAll(std::span<const Tag> seq, SetIndex miss_index,
+                       std::vector<Tag> &out);
+
+    /** Install/refresh the correlation seq -> @p next_tag. */
+    void update(std::span<const Tag> seq, SetIndex miss_index,
+                Tag next_tag);
+
+    const PhtConfig &config() const { return config_; }
+
+    /** Valid entries currently stored (occupancy, for reports). */
+    std::uint64_t occupancy() const;
+
+    void reset();
+
+    /// @name Statistics
+    /// @{
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t updates() const { return updates_; }
+    std::uint64_t replacements() const { return replacements_; }
+    /// @}
+
+  private:
+    static constexpr unsigned kMaxTargets = 4;
+
+    struct Entry
+    {
+        bool valid = false;
+        Tag match = kInvalidTag; ///< (possibly truncated) entry tag
+        /** Predicted successors, most recent first. */
+        Tag next[kMaxTargets] = {kInvalidTag, kInvalidTag,
+                                 kInvalidTag, kInvalidTag};
+        std::uint8_t next_count = 0;
+        std::uint64_t lru = 0;
+    };
+
+    /** Truncate @p tag to the configured entry-tag width. */
+    Tag matchField(Tag tag) const;
+    Entry *findEntry(std::uint64_t set, Tag match);
+
+    PhtConfig config_;
+    unsigned set_bits_;
+    std::uint64_t stamp_ = 0;
+    std::vector<Entry> entries_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t updates_ = 0;
+    std::uint64_t replacements_ = 0;
+};
+
+} // namespace tcp
+
+#endif // TCP_CORE_PHT_HH

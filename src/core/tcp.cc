@@ -1,0 +1,266 @@
+#include "tcp.hh"
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+TcpConfig
+TcpConfig::tcp8k()
+{
+    TcpConfig c;
+    c.pht = PhtConfig::tcp8k();
+    return c;
+}
+
+TcpConfig
+TcpConfig::stride8k()
+{
+    TcpConfig c = tcp8k();
+    c.stride_assist = true;
+    return c;
+}
+
+TcpConfig
+TcpConfig::adaptive8k()
+{
+    TcpConfig c = tcp8k();
+    c.adaptive = true;
+    return c;
+}
+
+TcpConfig
+TcpConfig::multiTarget8k()
+{
+    TcpConfig c = tcp8k();
+    // Same 8 KB budget: half the sets, two targets per entry
+    // (entries cost |tag| + 2|tag'| instead of |tag| + |tag'|).
+    c.pht.sets = 128;
+    c.pht.targets = 2;
+    return c;
+}
+
+TcpConfig
+TcpConfig::tcp8m()
+{
+    TcpConfig c;
+    c.pht = PhtConfig::tcp8m();
+    return c;
+}
+
+TcpConfig
+TcpConfig::hybrid8k()
+{
+    TcpConfig c = tcp8k();
+    c.promote_to_l1 = true;
+    return c;
+}
+
+std::uint64_t
+TcpConfig::storageBits() const
+{
+    std::uint64_t bits =
+        tht_rows * history_depth * pht.cost_tag_bits + pht.storageBits();
+    if (stride_assist) {
+        // Per-row stride (8 bits) + 2-bit confidence.
+        bits += tht_rows * 10;
+    }
+    return bits;
+}
+
+TagCorrelatingPrefetcher::TagCorrelatingPrefetcher(
+    const TcpConfig &config, std::string name)
+    : Prefetcher(std::move(name)),
+      config_(config),
+      tht_(config.tht_rows, config.history_depth),
+      pht_(config.pht),
+      tht_warmups(stats_, "tht_warmups",
+                  "misses before the THT row filled"),
+      pht_updates(stats_, "pht_updates", "correlations written"),
+      pht_lookups(stats_, "pht_lookups", "prediction attempts"),
+      pht_misses(stats_, "pht_misses", "lookups with no match"),
+      predictions(stats_, "predictions", "next tags predicted"),
+      self_targets(stats_, "self_targets",
+                   "predictions pointing at the missing block itself"),
+      stride_predictions(stats_, "stride_predictions",
+                         "predictions made by the stride assist"),
+      filtered(stats_, "filtered",
+               "misses skipped by the critical-miss filter"),
+      gated(stats_, "gated",
+            "issues suppressed by the adaptive throttle"),
+      epochs_low(stats_, "epochs_low", "epochs throttled down"),
+      epochs_high(stats_, "epochs_high", "epochs boosted")
+{
+    tcp_assert(config_.degree >= 1, "prediction degree must be >= 1");
+    seq_scratch_.resize(config_.history_depth);
+    if (config_.stride_assist)
+        row_stride_.resize(config_.tht_rows);
+}
+
+void
+TagCorrelatingPrefetcher::adaptEpoch()
+{
+    const std::uint64_t d_issued = issued.value() - epoch_issued_base_;
+    const std::uint64_t d_useful = useful.value() - epoch_useful_base_;
+    epoch_issued_base_ = issued.value();
+    epoch_useful_base_ = useful.value();
+    if (d_issued < 64)
+        return; // too few samples to judge
+    const double accuracy =
+        static_cast<double>(d_useful) / static_cast<double>(d_issued);
+    if (accuracy < 0.30) {
+        aggression_ = Aggression::Low;
+        ++epochs_low;
+    } else if (accuracy > 0.75) {
+        aggression_ = Aggression::High;
+        ++epochs_high;
+    } else {
+        aggression_ = Aggression::Normal;
+    }
+}
+
+void
+TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
+                                      std::vector<PrefetchRequest> &out)
+{
+    if (config_.adaptive && ++epoch_misses_ >= config_.adapt_epoch) {
+        epoch_misses_ = 0;
+        adaptEpoch();
+    }
+
+    const SetIndex index = missIndex(ctx.addr);
+    const Tag tag = missTag(ctx.addr);
+    const bool row_was_full = tht_.full(index);
+
+    // --- Critical-miss filter (Section 6): non-critical misses still
+    // maintain the tag history (it must stay faithful to the miss
+    // stream) but neither consume PHT space nor prefetch.
+    if (config_.critical_filter && crit_table_ &&
+        !crit_table_->isCritical(ctx.pc)) {
+        ++filtered;
+        tht_.push(index, tag);
+        return;
+    }
+
+    // --- Stride assist (Section 6): track the per-row tag stride.
+    bool strided = false;
+    std::int64_t stride = 0;
+    if (config_.stride_assist && row_was_full) {
+        const Tag prev = tht_.history(index).back();
+        stride = static_cast<std::int64_t>(tag) -
+                 static_cast<std::int64_t>(prev);
+        RowStride &rs = row_stride_[tht_.rowOf(index)];
+        if (stride == rs.stride && stride != 0) {
+            if (rs.confidence < 3)
+                ++rs.confidence;
+        } else {
+            rs.stride = stride;
+            rs.confidence = 0;
+        }
+        strided = rs.confidence >= 2;
+    }
+
+    // --- Update (Section 4): correlate the row's previous sequence
+    // with the tag that just missed, then shift the history. Strided
+    // transitions are predicted by the stride assist and need no PHT
+    // entry (that is the space saving).
+    if (row_was_full) {
+        if (!strided) {
+            pht_.update(tht_.history(index), index, tag);
+            ++pht_updates;
+        }
+    } else {
+        ++tht_warmups;
+    }
+    tht_.push(index, tag);
+
+    // --- Lookup: predict the successor(s) of the updated sequence
+    // and reconstruct prefetch addresses with the same miss index.
+    if (!tht_.full(index))
+        return;
+
+    if (strided) {
+        // Predict tag + stride directly.
+        const std::int64_t next =
+            static_cast<std::int64_t>(tag) + stride;
+        if (next > 0) {
+            ++predictions;
+            ++stride_predictions;
+            out.push_back(PrefetchRequest{
+                rebuildAddr(static_cast<Tag>(next), index),
+                config_.promote_to_l1});
+        }
+        return;
+    }
+
+    std::span<const Tag> hist = tht_.history(index);
+    seq_scratch_.assign(hist.begin(), hist.end());
+
+    // The adaptive throttle gates alternate issues when accuracy is
+    // poor and follows the chain one step further when excellent.
+    unsigned degree = config_.degree;
+    if (config_.adaptive) {
+        if (aggression_ == Aggression::Low &&
+            (gate_counter_++ & 1)) {
+            ++gated;
+            return;
+        }
+        if (aggression_ == Aggression::High)
+            ++degree;
+    }
+
+    for (unsigned d = 0; d < degree; ++d) {
+        ++pht_lookups;
+        targets_scratch_.clear();
+        const unsigned n =
+            pht_.lookupAll(seq_scratch_, index, targets_scratch_);
+        if (n == 0) {
+            ++pht_misses;
+            break;
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            const Tag next = targets_scratch_[i];
+            ++predictions;
+            if (next == tag && d == 0 && i == 0) {
+                // The predicted block is the one being fetched right
+                // now; issuing it would be pure overhead.
+                ++self_targets;
+                continue;
+            }
+            out.push_back(PrefetchRequest{rebuildAddr(next, index),
+                                          config_.promote_to_l1});
+        }
+        // Follow the most recent target for multi-degree chaining.
+        const Tag follow = targets_scratch_[0];
+        for (std::size_t i = 0; i + 1 < seq_scratch_.size(); ++i)
+            seq_scratch_[i] = seq_scratch_[i + 1];
+        seq_scratch_.back() = follow;
+    }
+}
+
+std::uint64_t
+TagCorrelatingPrefetcher::storageBits() const
+{
+    std::uint64_t bits = config_.storageBits();
+    // The filter table is shared infrastructure; cost it here only
+    // when this TCP is what requires it.
+    if (config_.critical_filter && crit_table_)
+        bits += crit_table_->storageBits();
+    return bits;
+}
+
+void
+TagCorrelatingPrefetcher::reset()
+{
+    tht_.reset();
+    pht_.reset();
+    for (RowStride &rs : row_stride_)
+        rs = RowStride{};
+    aggression_ = Aggression::Normal;
+    epoch_misses_ = 0;
+    epoch_issued_base_ = 0;
+    epoch_useful_base_ = 0;
+    gate_counter_ = 0;
+    stats_.resetAll();
+}
+
+} // namespace tcp

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The Tag Correlating Prefetcher (TCP), the paper's contribution
+ * (Section 4). TCP observes the L1-D miss stream, keeps per-set tag
+ * histories in a THT, correlates tag sequences to successor tags in a
+ * PHT, and issues prefetches — reconstructed as (predicted tag,
+ * current miss index) — into the L2.
+ */
+
+#ifndef TCP_CORE_TCP_HH
+#define TCP_CORE_TCP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pht.hh"
+#include "core/tht.hh"
+#include "prefetch/criticality.hh"
+#include "prefetch/prefetcher.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace tcp {
+
+/** Full configuration of a TCP instance. */
+struct TcpConfig
+{
+    /** THT rows; one per L1-D set (1024 in the paper). */
+    std::uint64_t tht_rows = 1024;
+    /** k: tags of history per set (2 in both evaluated configs). */
+    unsigned history_depth = 2;
+    PhtConfig pht = PhtConfig::tcp8k();
+
+    /** L1-D geometry used to decompose miss addresses. */
+    unsigned l1_block_bits = 5; ///< 32-byte blocks
+    unsigned l1_set_bits = 10;  ///< 1024 sets
+
+    /**
+     * Prediction degree: 1 issues the single next-tag prefetch the
+     * paper evaluates; higher degrees follow the predicted chain
+     * (Section 6's multiple-targets future work).
+     */
+    unsigned degree = 1;
+
+    /**
+     * Request dead-block-gated L1 promotion for every prefetch — the
+     * hybrid scheme of Section 5.2.2. Plain TCP leaves this false.
+     */
+    bool promote_to_l1 = false;
+
+    /**
+     * Section 6 extension: detect per-set *strided* tag sequences
+     * with a per-row stride/confidence pair and predict tag+stride
+     * directly, without consuming PHT entries for them. Improves
+     * space efficiency on strided codes (Figure 15's observation).
+     */
+    bool stride_assist = false;
+
+    /**
+     * Section 6 extension: consult a criticality table and store
+     * correlations (and prefetch) only for misses from critical
+     * load PCs, as DBCP [12] filtered with a critical-miss
+     * predictor. Requires setCriticalityTable().
+     */
+    bool critical_filter = false;
+
+    /**
+     * Feedback-directed throttling (after Srinath et al.'s FDP, a
+     * natural treatment of Section 6's traffic concern): track the
+     * prefetch accuracy over epochs of misses and modulate
+     * aggressiveness — gate half the issues when accuracy is poor,
+     * chain one extra prediction when it is excellent.
+     */
+    bool adaptive = false;
+    /** Misses per adaptation epoch. */
+    std::uint32_t adapt_epoch = 4096;
+
+    /** The paper's TCP-8K: shared 8 KB PHT, no miss-index bits. */
+    static TcpConfig tcp8k();
+    /** TCP-8K plus the per-set stride-assist extension. */
+    static TcpConfig stride8k();
+    /** TCP-8K plus feedback-directed throttling. */
+    static TcpConfig adaptive8k();
+    /** TCP-8K with Markov-style 2-target PHT entries (Section 6). */
+    static TcpConfig multiTarget8k();
+    /** The paper's TCP-8M: private 8 MB PHT, full miss index. */
+    static TcpConfig tcp8m();
+    /** Hybrid-8K: TCP-8K plus dead-block-gated L1 promotion. */
+    static TcpConfig hybrid8k();
+
+    /** Total table budget in bits (THT + PHT). */
+    std::uint64_t storageBits() const;
+};
+
+/** The tag correlating prefetcher. */
+class TagCorrelatingPrefetcher : public Prefetcher
+{
+  public:
+    explicit TagCorrelatingPrefetcher(const TcpConfig &config,
+                                      std::string name = "tcp");
+
+    void observeMiss(const AccessContext &ctx,
+                     std::vector<PrefetchRequest> &out) override;
+
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+    /**
+     * Attach the criticality estimator consulted when
+     * config().critical_filter is set. The table stays owned by the
+     * caller (the harness wires the same instance into the core).
+     */
+    void
+    setCriticalityTable(const CriticalityTable *table)
+    {
+        crit_table_ = table;
+    }
+
+    /// @name Component access (tests, ablations)
+    /// @{
+    const TagHistoryTable &tht() const { return tht_; }
+    const PatternHistoryTable &pht() const { return pht_; }
+    const TcpConfig &config() const { return config_; }
+    /// @}
+
+    /// @name Address decomposition (L1-D geometry)
+    /// @{
+    SetIndex
+    missIndex(Addr addr) const
+    {
+        return (addr >> config_.l1_block_bits) &
+               ((std::uint64_t{1} << config_.l1_set_bits) - 1);
+    }
+    Tag
+    missTag(Addr addr) const
+    {
+        return addr >> (config_.l1_block_bits + config_.l1_set_bits);
+    }
+    Addr
+    rebuildAddr(Tag tag, SetIndex index) const
+    {
+        return (tag << (config_.l1_block_bits + config_.l1_set_bits)) |
+               (index << config_.l1_block_bits);
+    }
+    /// @}
+
+  private:
+    /** Per-THT-row stride detector state (stride_assist). */
+    struct RowStride
+    {
+        std::int64_t stride = 0;
+        std::uint8_t confidence = 0;
+    };
+
+    /** Feedback-directed aggressiveness levels. */
+    enum class Aggression : std::uint8_t { Low, Normal, High };
+
+    /** Re-evaluate the aggressiveness from the epoch's accuracy. */
+    void adaptEpoch();
+
+    TcpConfig config_;
+    TagHistoryTable tht_;
+    PatternHistoryTable pht_;
+    std::vector<Tag> seq_scratch_;
+    std::vector<Tag> targets_scratch_;
+    std::vector<RowStride> row_stride_;
+    const CriticalityTable *crit_table_ = nullptr;
+
+    /// @name Adaptive-throttling state
+    /// @{
+    Aggression aggression_ = Aggression::Normal;
+    std::uint32_t epoch_misses_ = 0;
+    std::uint64_t epoch_issued_base_ = 0;
+    std::uint64_t epoch_useful_base_ = 0;
+    std::uint64_t gate_counter_ = 0;
+    /// @}
+
+  public:
+    /// @name TCP-specific statistics
+    /// @{
+    Counter tht_warmups;   ///< misses skipped: THT row not yet full
+    Counter pht_updates;   ///< correlations installed/refreshed
+    Counter pht_lookups;   ///< prediction attempts
+    Counter pht_misses;    ///< lookups with no matching entry
+    Counter predictions;   ///< next tags predicted
+    Counter self_targets;  ///< predictions equal to the missing block
+    Counter stride_predictions; ///< predictions from stride assist
+    Counter filtered;      ///< misses skipped by the critical filter
+    Counter gated;         ///< issues suppressed by adaptive throttle
+    Counter epochs_low;    ///< epochs spent throttled down
+    Counter epochs_high;   ///< epochs spent boosted
+    /// @}
+};
+
+} // namespace tcp
+
+#endif // TCP_CORE_TCP_HH

@@ -1,0 +1,25 @@
+#include "tht.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+
+namespace tcp {
+
+TagHistoryTable::TagHistoryTable(std::uint64_t rows, unsigned depth)
+    : rows_(rows), depth_(depth)
+{
+    tcp_assert(rows_ > 0, "THT needs at least one row");
+    tcp_assert(depth_ > 0, "THT history depth must be positive");
+    tags_.assign(rows_ * depth_, kInvalidTag);
+    valid_.assign(rows_, 0);
+}
+
+void
+TagHistoryTable::reset()
+{
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(valid_.begin(), valid_.end(), 0);
+}
+
+} // namespace tcp

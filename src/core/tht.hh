@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The Tag History Table (THT): the first level of the TCP's two-level
+ * structure (Figure 8). One row per L1 data-cache set; each row holds
+ * the last k tags seen in that set's miss stream, oldest first.
+ */
+
+#ifndef TCP_CORE_THT_HH
+#define TCP_CORE_THT_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/types.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+/** First-level tag history, indexed directly by the miss index. */
+class TagHistoryTable
+{
+  public:
+    /**
+     * @param rows table rows; one per L1 set (1024 in the paper)
+     * @param depth tags tracked per row (k; 2 in the paper's configs)
+     */
+    TagHistoryTable(std::uint64_t rows, unsigned depth);
+
+    /**
+     * The row for @p index. Rows map 1:1 to L1 sets when the table
+     * has as many rows as the cache has sets; otherwise the index is
+     * folded.
+     */
+    std::uint64_t rowOf(SetIndex index) const { return index % rows_; }
+
+    /** @return true once the row has seen at least k misses. */
+    bool
+    full(SetIndex index) const
+    {
+        return valid_[rowOf(index)] >= depth_;
+    }
+
+    /**
+     * The tag history of the row, oldest first. Entries beyond the
+     * valid count are kInvalidTag.
+     */
+    std::span<const Tag>
+    history(SetIndex index) const
+    {
+        return {&tags_[rowOf(index) * depth_], depth_};
+    }
+
+    /** Shift @p tag in as the newest history element of the row. */
+    void
+    push(SetIndex index, Tag tag)
+    {
+        const std::uint64_t row = rowOf(index);
+        Tag *base = &tags_[row * depth_];
+        for (unsigned i = 0; i + 1 < depth_; ++i)
+            base[i] = base[i + 1];
+        base[depth_ - 1] = tag;
+        if (valid_[row] < depth_)
+            ++valid_[row];
+    }
+
+    /** Invalidate all rows. */
+    void reset();
+
+    std::uint64_t rows() const { return rows_; }
+    unsigned depth() const { return depth_; }
+
+    /**
+     * Hardware budget in bits: rows x k x tag width
+     * (THTSize = #L1 sets x k x |tag| in the paper's formula).
+     */
+    std::uint64_t
+    storageBits(unsigned tag_bits) const
+    {
+        return rows_ * depth_ * tag_bits;
+    }
+
+  private:
+    std::uint64_t rows_;
+    unsigned depth_;
+    std::vector<Tag> tags_;
+    std::vector<std::uint8_t> valid_;
+};
+
+} // namespace tcp
+
+#endif // TCP_CORE_THT_HH

@@ -1,0 +1,151 @@
+#include "inorder_core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+InorderCore::InorderCore(const InorderConfig &config,
+                         MemoryHierarchy &mem)
+    : config_(config), mem_(mem), stats_("inorder"),
+      insns(stats_, "insns", "instructions retired"),
+      loads(stats_, "loads", "load instructions"),
+      stores(stats_, "stores", "store instructions"),
+      branches(stats_, "branches", "branch instructions"),
+      mispredicts(stats_, "mispredicts", "mispredicted branches"),
+      use_stalls(stats_, "use_stalls",
+                 "cycles stalled waiting for producers")
+{
+    tcp_assert(config_.issue_width > 0, "issue width must be positive");
+    tcp_assert(config_.outstanding_loads > 0,
+               "need at least one outstanding load");
+    complete_ring_.assign(kWindow, 0);
+    load_ring_.assign(config_.outstanding_loads, 0);
+}
+
+CoreResult
+InorderCore::run(TraceSource &source, std::uint64_t max_instructions)
+{
+    MicroOp op;
+    for (std::uint64_t n = 0; n < max_instructions; ++n) {
+        if (!source.next(op))
+            break;
+
+        // --- Fetch (per instruction block).
+        const Addr fetch_block = op.pc >> 6;
+        if (fetch_block != last_fetch_block_) {
+            last_fetch_done_ =
+                mem_.instFetch(op.pc, std::max(fetch_ready_, now_));
+            last_fetch_block_ = fetch_block;
+        }
+        Cycle issue = std::max({now_, fetch_ready_, last_fetch_done_});
+
+        // --- Issue-width throttle.
+        if (issue > now_) {
+            now_ = issue;
+            issued_this_cycle_ = 0;
+        }
+        if (issued_this_cycle_ >= config_.issue_width) {
+            ++now_;
+            issued_this_cycle_ = 0;
+            issue = now_;
+        }
+        ++issued_this_cycle_;
+
+        // --- Stall on use: wait until producers are complete.
+        Cycle ready = issue;
+        auto apply_dep = [&](std::uint8_t dep) {
+            if (dep == 0 || dep >= kWindow || dep > insn_count_)
+                return;
+            ready = std::max(
+                ready, complete_ring_[(insn_count_ - dep) % kWindow]);
+        };
+        apply_dep(op.dep1);
+        apply_dep(op.dep2);
+        if (ready > issue) {
+            use_stalls += ready - issue;
+            now_ = ready;
+            issued_this_cycle_ = 1;
+        }
+
+        // --- Execute.
+        Cycle c;
+        switch (op.cls) {
+          case OpClass::Load: {
+            // Non-blocking loads up to the outstanding limit: the
+            // oldest in-flight load must finish before a new one can
+            // start beyond the limit.
+            const std::size_t slot =
+                load_count_ % config_.outstanding_loads;
+            const Cycle start =
+                load_count_ >= config_.outstanding_loads
+                    ? std::max(ready, load_ring_[slot])
+                    : ready;
+            const AccessResult res = mem_.dataAccess(
+                op.addr, AccessType::Read, op.pc, start);
+            c = res.complete;
+            load_ring_[slot] = c;
+            ++load_count_;
+            ++loads;
+            break;
+          }
+          case OpClass::Store:
+            mem_.dataAccess(op.addr, AccessType::Write, op.pc, ready);
+            c = ready + opClassLatency(op.cls);
+            ++stores;
+            break;
+          default:
+            c = ready + opClassLatency(op.cls);
+            break;
+        }
+
+        if (op.cls == OpClass::Branch) {
+            ++branches;
+            if (op.mispredicted) {
+                ++mispredicts;
+                fetch_ready_ = std::max(
+                    fetch_ready_, c + config_.mispredict_penalty);
+                last_fetch_block_ = kInvalidAddr;
+            }
+        }
+
+        complete_ring_[insn_count_ % kWindow] = c;
+        ++insn_count_;
+        ++insns;
+    }
+
+    CoreResult out;
+    out.instructions = insn_count_;
+    // The last instruction's completion bounds the run; now_ tracks
+    // the issue frontier.
+    Cycle end = now_;
+    for (Cycle c : complete_ring_)
+        end = std::max(end, c);
+    out.cycles = end;
+    out.ipc = out.cycles ? static_cast<double>(out.instructions) /
+                               static_cast<double>(out.cycles)
+                         : 0.0;
+    out.loads = loads.value();
+    out.stores = stores.value();
+    out.branches = branches.value();
+    out.mispredicts = mispredicts.value();
+    return out;
+}
+
+void
+InorderCore::reset()
+{
+    std::fill(complete_ring_.begin(), complete_ring_.end(), 0);
+    std::fill(load_ring_.begin(), load_ring_.end(), 0);
+    now_ = 0;
+    fetch_ready_ = 0;
+    last_fetch_block_ = kInvalidAddr;
+    last_fetch_done_ = 0;
+    insn_count_ = 0;
+    load_count_ = 0;
+    issued_this_cycle_ = 0;
+    stats_.resetAll();
+}
+
+} // namespace tcp

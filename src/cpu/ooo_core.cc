@@ -1,0 +1,235 @@
+#include "ooo_core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+OooCore::OooCore(const CoreConfig &config, MemoryHierarchy &mem)
+    : config_(config), mem_(mem), stats_("core"),
+      insns(stats_, "insns", "instructions retired"),
+      loads(stats_, "loads", "load instructions"),
+      stores(stats_, "stores", "store instructions"),
+      branches(stats_, "branches", "branch instructions"),
+      mispredicts(stats_, "mispredicts", "mispredicted branches"),
+      port_delays(stats_, "port_delays",
+                  "issues delayed by functional-unit ports")
+{
+    tcp_assert(config_.rob_entries > 0, "ROB must be non-empty");
+    tcp_assert(config_.lsq_entries > 0, "LSQ must be non-empty");
+    tcp_assert(config_.issue_width > 0, "issue width must be positive");
+    complete_ring_.assign(config_.rob_entries, 0);
+    retire_ring_.assign(config_.rob_entries, 0);
+    lsq_ring_.assign(config_.lsq_entries, 0);
+    for (auto &ring : ports_)
+        ring.assign(kPortWindow, PortSlot{});
+    port_limit_[PortIntAlu] = config_.int_alu;
+    port_limit_[PortIntMult] = config_.int_mult;
+    port_limit_[PortFpAlu] = config_.fp_alu;
+    port_limit_[PortFpMult] = config_.fp_mult;
+    port_limit_[PortMem] = config_.mem_ports;
+}
+
+OooCore::PortClass
+OooCore::portClassOf(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+        return PortIntAlu;
+      case OpClass::IntMult:
+        return PortIntMult;
+      case OpClass::FpAlu:
+        return PortFpAlu;
+      case OpClass::FpMult:
+        return PortFpMult;
+      case OpClass::Load:
+      case OpClass::Store:
+        return PortMem;
+    }
+    tcp_panic("unknown OpClass");
+}
+
+Cycle
+OooCore::reservePort(PortClass pc, Cycle want)
+{
+    auto &ring = ports_[pc];
+    const unsigned limit = port_limit_[pc];
+    Cycle c = want;
+    // Port conflicts are short-lived; bound the scan defensively.
+    for (unsigned tries = 0; tries < 4096; ++tries, ++c) {
+        PortSlot &slot = ring[c & (kPortWindow - 1)];
+        if (slot.cycle != c) {
+            slot.cycle = c;
+            slot.used = 0;
+        }
+        if (slot.used < limit) {
+            ++slot.used;
+            if (c != want)
+                ++port_delays;
+            return c;
+        }
+    }
+    // Pathological saturation: accept oversubscription rather than
+    // spinning (the timing error is negligible at this point).
+    return c;
+}
+
+Cycle
+OooCore::throttle(Cycle want, Cycle &cur, unsigned &count,
+                  unsigned width)
+{
+    if (want > cur) {
+        cur = want;
+        count = 0;
+    }
+    if (count >= width) {
+        ++cur;
+        count = 0;
+    }
+    ++count;
+    return cur;
+}
+
+CoreResult
+OooCore::run(TraceSource &source, std::uint64_t max_instructions)
+{
+    MicroOp op;
+    const unsigned rob = config_.rob_entries;
+    const unsigned lsq = config_.lsq_entries;
+
+    for (std::uint64_t n = 0; n < max_instructions; ++n) {
+        if (!source.next(op))
+            break;
+
+        // --- Front end: fetch the instruction block.
+        const Addr fetch_block = op.pc >> 6;
+        if (fetch_block != last_fetch_block_) {
+            const Cycle when = std::max(fetch_ready_, dispatch_cycle_);
+            last_fetch_done_ = mem_.instFetch(op.pc, when);
+            last_fetch_block_ = fetch_block;
+        }
+
+        // --- Dispatch: limited by fetch, ROB/LSQ space, and width.
+        Cycle d = std::max(fetch_ready_, last_fetch_done_);
+        const std::size_t rob_slot = insn_count_ % rob;
+        if (insn_count_ >= rob) {
+            // The slot still holds the retire cycle of insn - ROB.
+            d = std::max(d, retire_ring_[rob_slot]);
+        }
+        std::size_t lsq_slot = 0;
+        if (op.isMem()) {
+            lsq_slot = mem_count_ % lsq;
+            if (mem_count_ >= lsq)
+                d = std::max(d, lsq_ring_[lsq_slot]);
+        }
+        d = throttle(d, dispatch_cycle_, dispatched_,
+                     config_.issue_width);
+
+        // --- Issue: wait for producers, then grab a port.
+        Cycle s = d + 1;
+        auto apply_dep = [&](std::uint8_t dep) {
+            if (dep == 0 || dep >= rob || dep > insn_count_)
+                return;
+            // Ring slot (insn - dep) still holds its completion time:
+            // dep < ROB so the producer has not been overwritten.
+            s = std::max(s, complete_ring_[(insn_count_ - dep) % rob]);
+        };
+        apply_dep(op.dep1);
+        apply_dep(op.dep2);
+        s = reservePort(portClassOf(op.cls), s);
+
+        // --- Execute / complete.
+        Cycle c;
+        switch (op.cls) {
+          case OpClass::Load: {
+            const AccessResult res =
+                mem_.dataAccess(op.addr, AccessType::Read, op.pc, s);
+            c = res.complete;
+            ++loads;
+            break;
+          }
+          case OpClass::Store: {
+            // Stores drain through a write buffer: the access updates
+            // hierarchy state/timing, but retirement does not wait
+            // for the fill.
+            mem_.dataAccess(op.addr, AccessType::Write, op.pc, s);
+            c = s + opClassLatency(op.cls);
+            ++stores;
+            break;
+          }
+          default:
+            c = s + opClassLatency(op.cls);
+            break;
+        }
+
+        if (crit_ && op.cls == OpClass::Load) {
+            // The load blocked retirement if its completion defines
+            // the new retire frontier.
+            crit_->train(op.pc, c + 1 > last_retire_);
+        }
+
+        if (op.cls == OpClass::Branch) {
+            ++branches;
+            if (op.mispredicted) {
+                ++mispredicts;
+                // Squash: the front end refills after resolution.
+                fetch_ready_ =
+                    std::max(fetch_ready_, c + mispredict_penalty_);
+                last_fetch_block_ = kInvalidAddr;
+            }
+        }
+
+        // --- Retire: in order, width-limited.
+        Cycle r = std::max(c + 1, last_retire_);
+        r = throttle(r, retire_cycle_, retired_,
+                     config_.issue_width);
+        last_retire_ = r;
+
+        complete_ring_[rob_slot] = c;
+        retire_ring_[rob_slot] = r;
+        if (op.isMem())
+            lsq_ring_[lsq_slot] = r;
+
+        ++insn_count_;
+        if (op.isMem())
+            ++mem_count_;
+        ++insns;
+    }
+
+    CoreResult out;
+    out.instructions = insn_count_;
+    out.cycles = last_retire_;
+    out.ipc = out.cycles ? static_cast<double>(out.instructions) /
+                               static_cast<double>(out.cycles)
+                         : 0.0;
+    out.loads = loads.value();
+    out.stores = stores.value();
+    out.branches = branches.value();
+    out.mispredicts = mispredicts.value();
+    return out;
+}
+
+void
+OooCore::reset()
+{
+    std::fill(complete_ring_.begin(), complete_ring_.end(), 0);
+    std::fill(retire_ring_.begin(), retire_ring_.end(), 0);
+    std::fill(lsq_ring_.begin(), lsq_ring_.end(), 0);
+    for (auto &ring : ports_)
+        std::fill(ring.begin(), ring.end(), PortSlot{});
+    dispatch_cycle_ = 0;
+    dispatched_ = 0;
+    retire_cycle_ = 0;
+    retired_ = 0;
+    fetch_ready_ = 0;
+    last_fetch_block_ = kInvalidAddr;
+    last_fetch_done_ = 0;
+    insn_count_ = 0;
+    mem_count_ = 0;
+    last_retire_ = 0;
+    stats_.resetAll();
+}
+
+} // namespace tcp

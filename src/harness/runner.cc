@@ -1,0 +1,210 @@
+#include "runner.hh"
+
+#include <cmath>
+
+#include "prefetch/dbcp.hh"
+#include "prefetch/markov.hh"
+#include "prefetch/stream.hh"
+#include "prefetch/stride.hh"
+#include "trace/workloads.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+EngineSetup
+makeEngine(const std::string &name)
+{
+    EngineSetup setup;
+    if (name == "none") {
+        setup.prefetcher = std::make_unique<NullPrefetcher>();
+    } else if (name == "tcp8k") {
+        setup.prefetcher = std::make_unique<TagCorrelatingPrefetcher>(
+            TcpConfig::tcp8k(), "tcp8k");
+    } else if (name == "tcp8m") {
+        setup.prefetcher = std::make_unique<TagCorrelatingPrefetcher>(
+            TcpConfig::tcp8m(), "tcp8m");
+    } else if (name == "hybrid8k") {
+        setup.prefetcher = std::make_unique<TagCorrelatingPrefetcher>(
+            TcpConfig::hybrid8k(), "hybrid8k");
+        setup.dbp = std::make_unique<DeadBlockPredictor>();
+        setup.wants_prefetch_bus = true;
+    } else if (name == "naive_l1_8k") {
+        // Figure 14 counterfactual: TCP promoting into L1 with no
+        // dead-block gate (and no dedicated prefetch bus).
+        setup.prefetcher = std::make_unique<TagCorrelatingPrefetcher>(
+            TcpConfig::hybrid8k(), "naive_l1_8k");
+        setup.wants_naive_promote = true;
+    } else if (name == "tcps8k") {
+        setup.prefetcher = std::make_unique<TagCorrelatingPrefetcher>(
+            TcpConfig::stride8k(), "tcps8k");
+    } else if (name == "tcpa8k") {
+        setup.prefetcher = std::make_unique<TagCorrelatingPrefetcher>(
+            TcpConfig::adaptive8k(), "tcpa8k");
+    } else if (name == "tcpmt8k") {
+        setup.prefetcher = std::make_unique<TagCorrelatingPrefetcher>(
+            TcpConfig::multiTarget8k(), "tcpmt8k");
+    } else if (name == "tcpgshare8k") {
+        TcpConfig cfg = TcpConfig::tcp8k();
+        cfg.pht.index_fn = PhtIndexFn::GshareXor;
+        setup.prefetcher = std::make_unique<TagCorrelatingPrefetcher>(
+            cfg, "tcpgshare8k");
+    } else if (name == "tcpcrit8k") {
+        TcpConfig cfg = TcpConfig::tcp8k();
+        cfg.critical_filter = true;
+        auto pf = std::make_unique<TagCorrelatingPrefetcher>(
+            cfg, "tcpcrit8k");
+        setup.crit = std::make_unique<CriticalityTable>();
+        pf->setCriticalityTable(setup.crit.get());
+        setup.prefetcher = std::move(pf);
+    } else if (name == "tcpl2_8k") {
+        // Placement ablation: same 8 KB PHT budget, but observing
+        // the L2 demand-miss stream with L2 geometry (64 B blocks,
+        // 4096 sets).
+        TcpConfig cfg = TcpConfig::tcp8k();
+        cfg.tht_rows = 4096;
+        cfg.l1_block_bits = 6;
+        cfg.l1_set_bits = 12;
+        setup.prefetcher = std::make_unique<TagCorrelatingPrefetcher>(
+            cfg, "tcpl2_8k");
+        setup.wants_l2_training = true;
+    } else if (name == "dbcp2m") {
+        setup.prefetcher = std::make_unique<DbcpPrefetcher>();
+    } else if (name == "stride") {
+        setup.prefetcher = std::make_unique<StridePrefetcher>();
+    } else if (name == "stream") {
+        setup.prefetcher = std::make_unique<StreamPrefetcher>();
+    } else if (name == "markov") {
+        setup.prefetcher = std::make_unique<MarkovPrefetcher>();
+    } else if (name.rfind("tcp:", 0) == 0) {
+        // "tcp:<pht_bytes>:<miss_index_bits>"
+        const auto parts = splitString(name, ':');
+        if (parts.size() != 3)
+            tcp_fatal("expected tcp:<pht_bytes>:<index_bits>, got '",
+                      name, "'");
+        const std::uint64_t bytes = std::stoull(parts[1]);
+        const unsigned n = static_cast<unsigned>(std::stoul(parts[2]));
+        TcpConfig cfg = TcpConfig::tcp8k();
+        cfg.pht = PhtConfig::ofSize(bytes, n);
+        setup.prefetcher = std::make_unique<TagCorrelatingPrefetcher>(
+            cfg, name);
+    } else {
+        tcp_fatal("unknown prefetch engine '", name, "'");
+    }
+    return setup;
+}
+
+const std::vector<std::string> &
+standardEngineNames()
+{
+    static const std::vector<std::string> names = {
+        "none", "stride", "stream", "markov", "dbcp2m",
+        "tcp8k", "tcp8m", "hybrid8k",
+    };
+    return names;
+}
+
+RunResult
+runTrace(TraceSource &source, const MachineConfig &machine,
+         EngineSetup &engine, std::uint64_t instructions,
+         std::uint64_t warmup)
+{
+    MachineConfig cfg = machine;
+    if (engine.wants_prefetch_bus)
+        cfg.prefetch_bus = true;
+    if (engine.wants_l2_training)
+        cfg.train_on_l2_misses = true;
+    if (engine.wants_naive_promote)
+        cfg.naive_l1_promote = true;
+    if (warmup == kAutoWarmup)
+        warmup = instructions / 2;
+
+    MemoryHierarchy mem(cfg, engine.prefetcher.get(),
+                        engine.dbp.get());
+    OooCore core(cfg.core, mem);
+    if (engine.crit)
+        core.setCriticalityTable(engine.crit.get());
+
+    // Warmup: populate caches and predictor tables, then reset the
+    // statistics (but not the learned state) before measuring.
+    CoreResult warm{};
+    if (warmup > 0) {
+        warm = core.run(source, warmup);
+        mem.stats().resetAll();
+        if (engine.prefetcher)
+            engine.prefetcher->stats().resetAll();
+        if (engine.dbp)
+            engine.dbp->stats().resetAll();
+        if (engine.crit)
+            engine.crit->stats().resetAll();
+    }
+
+    CoreResult cr = core.run(source, instructions);
+    // The core accumulates across run() calls; report the measured
+    // window only.
+    cr.instructions -= warm.instructions;
+    cr.cycles -= warm.cycles;
+    cr.ipc = cr.cycles ? static_cast<double>(cr.instructions) /
+                             static_cast<double>(cr.cycles)
+                       : 0.0;
+    cr.loads -= warm.loads;
+    cr.stores -= warm.stores;
+    cr.branches -= warm.branches;
+    cr.mispredicts -= warm.mispredicts;
+
+    RunResult out;
+    out.workload = source.name();
+    out.prefetcher =
+        engine.prefetcher ? engine.prefetcher->name() : "none";
+    out.core = cr;
+    out.l1d_hits = mem.l1d_hits.value();
+    out.l1d_misses = mem.l1d_misses.value();
+    out.l2_demand_hits = mem.l2_demand_hits.value();
+    out.l2_demand_misses = mem.l2_demand_misses.value();
+    out.original_l2 = mem.original_l2.value();
+    out.prefetched_original = mem.prefetched_original.value();
+    out.nonprefetched_original = mem.nonprefetched_original.value();
+    out.promotions_l1 = mem.promotions_l1.value();
+    if (engine.prefetcher) {
+        out.pf_fills = mem.prefetch_fills.value();
+        out.pf_issued = engine.prefetcher->issued.value();
+        out.pf_useful = engine.prefetcher->useful.value();
+        out.pf_late = engine.prefetcher->late.value();
+        out.pf_dropped = engine.prefetcher->dropped.value();
+        out.pf_storage_bits = engine.prefetcher->storageBits();
+    }
+    return out;
+}
+
+RunResult
+runNamed(const std::string &workload_name,
+         const std::string &engine_name, std::uint64_t instructions,
+         const MachineConfig &base, std::uint64_t seed,
+         std::uint64_t warmup)
+{
+    auto workload = makeWorkload(workload_name, seed);
+    EngineSetup engine = makeEngine(engine_name);
+    return runTrace(*workload, base, engine, instructions, warmup);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    tcp_assert(!values.empty(), "geomean of an empty set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        tcp_assert(v > 0.0, "geomean requires positive values, got ",
+                   v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+ipcImprovement(const RunResult &with, const RunResult &without)
+{
+    tcp_assert(without.ipc() > 0.0, "baseline IPC must be positive");
+    return with.ipc() / without.ipc() - 1.0;
+}
+
+} // namespace tcp

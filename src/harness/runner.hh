@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The experiment harness: builds a full system (core + hierarchy +
+ * prefetcher), runs a workload, and returns the statistics the
+ * paper's figures are built from. All bench binaries and examples go
+ * through this.
+ */
+
+#ifndef TCP_HARNESS_RUNNER_HH
+#define TCP_HARNESS_RUNNER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tcp.hh"
+#include "prefetch/criticality.hh"
+#include "cpu/ooo_core.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/prefetcher.hh"
+#include "sim/config.hh"
+#include "trace/microop.hh"
+
+namespace tcp {
+
+/** Everything one timing run produces. */
+struct RunResult
+{
+    std::string workload;
+    std::string prefetcher;
+    CoreResult core;
+
+    /// @name Hierarchy statistics snapshot
+    /// @{
+    std::uint64_t l1d_hits = 0;
+    std::uint64_t l1d_misses = 0;
+    std::uint64_t l2_demand_hits = 0;
+    std::uint64_t l2_demand_misses = 0;
+    std::uint64_t original_l2 = 0;
+    std::uint64_t prefetched_original = 0;
+    std::uint64_t nonprefetched_original = 0;
+    std::uint64_t promotions_l1 = 0;
+    /// @}
+
+    /// @name Prefetcher statistics snapshot
+    /// @{
+    std::uint64_t pf_issued = 0;
+    std::uint64_t pf_fills = 0; ///< prefetch fills from memory
+    std::uint64_t pf_useful = 0;
+    std::uint64_t pf_late = 0;
+    std::uint64_t pf_dropped = 0;
+    std::uint64_t pf_storage_bits = 0;
+    /// @}
+
+    double ipc() const { return core.ipc; }
+
+    /**
+     * "Prefetched extra" L2 accesses in the Figure 12 sense:
+     * prefetch fills whose data never served a demand access.
+     */
+    std::uint64_t
+    prefetchedExtra() const
+    {
+        return pf_fills >= pf_useful ? pf_fills - pf_useful : 0;
+    }
+};
+
+/**
+ * A packaged prefetch engine: the engine itself plus the machine
+ * adjustments it requires (dead-block predictor, prefetch bus).
+ */
+struct EngineSetup
+{
+    std::unique_ptr<Prefetcher> prefetcher;       ///< may be null
+    std::unique_ptr<DeadBlockPredictor> dbp;      ///< may be null
+    std::unique_ptr<CriticalityTable> crit;       ///< may be null
+    bool wants_prefetch_bus = false;
+    /** Engine trains on the L2 miss stream (placement ablation). */
+    bool wants_l2_training = false;
+    /** Promotions apply without the dead-block gate (fig14 foil). */
+    bool wants_naive_promote = false;
+};
+
+/**
+ * Build an engine by name. Recognised names:
+ *   none, tcp8k, tcp8m, hybrid8k, dbcp2m, stride, stream, markov,
+ * the Section 6 extensions tcps8k (stride assist), tcpmt8k
+ * (2-target PHT entries), tcpcrit8k (critical-miss filter), and
+ * tcpgshare8k (gshare indexing), plus
+ * "tcp:<pht_bytes>:<index_bits>" for PHT sweeps.
+ */
+EngineSetup makeEngine(const std::string &name);
+
+/** Engine names used in comparison tables. */
+const std::vector<std::string> &standardEngineNames();
+
+/** Sentinel: derive the warmup length from the instruction budget. */
+inline constexpr std::uint64_t kAutoWarmup = ~std::uint64_t{0};
+
+/**
+ * Run @p instructions micro-ops of @p source on a machine built from
+ * @p machine with @p engine attached.
+ *
+ * As in the paper's methodology (skip 1 B instructions, measure 2 B),
+ * @p warmup instructions are executed first to populate caches and
+ * predictor tables; statistics and the cycle baseline are then reset
+ * and @p instructions are measured. kAutoWarmup uses instructions/2.
+ */
+RunResult runTrace(TraceSource &source, const MachineConfig &machine,
+                   EngineSetup &engine, std::uint64_t instructions,
+                   std::uint64_t warmup = kAutoWarmup);
+
+/**
+ * Convenience: build the named workload and engine and run them on a
+ * (possibly adjusted) Table 1 machine.
+ */
+RunResult runNamed(const std::string &workload_name,
+                   const std::string &engine_name,
+                   std::uint64_t instructions,
+                   const MachineConfig &base = MachineConfig{},
+                   std::uint64_t seed = 1,
+                   std::uint64_t warmup = kAutoWarmup);
+
+/** Geometric mean of @p values (which must all be positive). */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Relative IPC improvement of @p with over @p without, as used by
+ * Figures 11 and 14: ipc_with / ipc_without - 1.
+ */
+double ipcImprovement(const RunResult &with, const RunResult &without);
+
+} // namespace tcp
+
+#endif // TCP_HARNESS_RUNNER_HH

@@ -1,0 +1,193 @@
+#include "cache.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+CacheModel::CacheModel(const CacheConfig &config)
+    : CacheModel(config, config.repl)
+{
+}
+
+CacheModel::CacheModel(const CacheConfig &config, ReplPolicy policy)
+    : name_(config.name), assoc_(config.assoc), policy_(policy)
+{
+    tcp_assert(config.block_bytes > 0 && isPowerOfTwo(config.block_bytes),
+               name_, ": block size must be a power of two");
+    tcp_assert(config.assoc > 0, name_, ": associativity must be > 0");
+    num_sets_ = config.numSets();
+    tcp_assert(num_sets_ > 0 && isPowerOfTwo(num_sets_),
+               name_, ": set count must be a nonzero power of two, got ",
+               num_sets_);
+    block_bits_ = floorLog2(config.block_bytes);
+    set_bits_ = floorLog2(num_sets_);
+    block_mask_ = mask(block_bits_);
+    set_mask_ = num_sets_ - 1;
+    lines_.resize(num_sets_ * assoc_);
+    if (policy_ == ReplPolicy::TreePLRU) {
+        tcp_assert(isPowerOfTwo(assoc_),
+                   name_, ": tree-PLRU needs power-of-two ways");
+        plru_.assign(num_sets_, 0);
+    }
+}
+
+void
+CacheModel::touchWay(SetIndex set, unsigned way)
+{
+    if (policy_ != ReplPolicy::TreePLRU)
+        return;
+    // Walk root -> leaf; at every node point the bit *away* from the
+    // accessed way. Node i's children are 2i and 2i+1; leaves map to
+    // ways in order.
+    std::uint64_t &bits = plru_[set];
+    unsigned node = 1;
+    for (unsigned span = assoc_ / 2; span >= 1; span /= 2) {
+        const bool right = (way / span) & 1;
+        if (right)
+            bits &= ~(std::uint64_t{1} << node); // point left
+        else
+            bits |= (std::uint64_t{1} << node); // point right
+        node = node * 2 + (right ? 1 : 0);
+        if (span == 1)
+            break;
+    }
+}
+
+CacheLine *
+CacheModel::findLine(Addr addr)
+{
+    const SetIndex set = setOf(addr);
+    const Tag tag = tagOf(addr);
+    CacheLine *base = &lines_[set * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheModel::findLine(Addr addr) const
+{
+    return const_cast<CacheModel *>(this)->findLine(addr);
+}
+
+const CacheLine *
+CacheModel::probe(Addr addr) const
+{
+    return findLine(addr);
+}
+
+CacheLine *
+CacheModel::access(Addr addr, Cycle now)
+{
+    CacheLine *line = findLine(addr);
+    if (line) {
+        line->lru_stamp = ++stamp_;
+        line->last_access = now;
+        const SetIndex set = setOf(addr);
+        touchWay(set, static_cast<unsigned>(
+                          line - &lines_[set * assoc_]));
+    }
+    return line;
+}
+
+unsigned
+CacheModel::victimWay(SetIndex set) const
+{
+    const CacheLine *base = &lines_[set * assoc_];
+    // Prefer an invalid way.
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (!base[w].valid)
+            return w;
+    if (policy_ == ReplPolicy::Random) {
+        // Deterministic pseudo-random pick from the stamp counter.
+        return static_cast<unsigned>((stamp_ * 2654435761u) % assoc_);
+    }
+    if (policy_ == ReplPolicy::TreePLRU) {
+        // Follow the direction bits root -> leaf.
+        const std::uint64_t bits = plru_[set];
+        unsigned node = 1;
+        unsigned way = 0;
+        for (unsigned span = assoc_ / 2; span >= 1; span /= 2) {
+            const bool right = (bits >> node) & 1;
+            if (right)
+                way += span;
+            node = node * 2 + (right ? 1 : 0);
+            if (span == 1)
+                break;
+        }
+        return way;
+    }
+    unsigned victim = 0;
+    for (unsigned w = 1; w < assoc_; ++w)
+        if (base[w].lru_stamp < base[victim].lru_stamp)
+            victim = w;
+    return victim;
+}
+
+std::optional<Eviction>
+CacheModel::fill(Addr addr, Cycle now)
+{
+    tcp_assert(findLine(addr) == nullptr,
+               name_, ": fill of already-resident block");
+    const SetIndex set = setOf(addr);
+    const unsigned way = victimWay(set);
+    CacheLine &line = lines_[set * assoc_ + way];
+
+    std::optional<Eviction> evicted;
+    if (line.valid) {
+        evicted = Eviction{addrOf(line.tag, set), line.dirty, line};
+    }
+
+    line = CacheLine{};
+    line.tag = tagOf(addr);
+    line.valid = true;
+    line.fill_cycle = now;
+    line.last_access = now;
+    line.lru_stamp = ++stamp_;
+    touchWay(set, way);
+    return evicted;
+}
+
+const CacheLine *
+CacheModel::victimOf(Addr addr) const
+{
+    const SetIndex set = setOf(addr);
+    const CacheLine *base = &lines_[set * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (!base[w].valid)
+            return nullptr;
+    return &base[victimWay(set)];
+}
+
+void
+CacheModel::invalidate(Addr addr)
+{
+    if (CacheLine *line = findLine(addr))
+        line->valid = false;
+}
+
+void
+CacheModel::flush()
+{
+    for (CacheLine &line : lines_)
+        line = CacheLine{};
+    std::fill(plru_.begin(), plru_.end(), 0);
+}
+
+unsigned
+CacheModel::setOccupancy(Addr addr) const
+{
+    const SetIndex set = setOf(addr);
+    const CacheLine *base = &lines_[set * assoc_];
+    unsigned n = 0;
+    for (unsigned w = 0; w < assoc_; ++w)
+        n += base[w].valid ? 1 : 0;
+    return n;
+}
+
+} // namespace tcp

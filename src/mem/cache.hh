@@ -1,0 +1,164 @@
+/**
+ * @file
+ * A set-associative cache model with per-line metadata, LRU or random
+ * replacement, and probe/access/fill/invalidate operations. The model
+ * is state-only: timing is composed around it by MemoryHierarchy.
+ */
+
+#ifndef TCP_MEM_CACHE_HH
+#define TCP_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace tcp {
+
+/**
+ * State of one cache line. MemoryHierarchy and the prefetchers use the
+ * metadata fields; the cache itself only interprets valid/lru_stamp.
+ */
+struct CacheLine
+{
+    Tag tag = kInvalidTag;
+    bool valid = false;
+    bool dirty = false;
+    /** Block was installed by a prefetch and not yet demand-touched. */
+    bool prefetched = false;
+    /** A demand access consumed the prefetched data. */
+    bool demand_touched = false;
+    /** Cycle at which the line's data is actually present. */
+    Cycle available_at = 0;
+    /** Cycle the line was filled. */
+    Cycle fill_cycle = 0;
+    /** Cycle of the most recent access (demand or fill). */
+    Cycle last_access = 0;
+    /** Replacement recency stamp (higher = more recent). */
+    std::uint64_t lru_stamp = 0;
+};
+
+/** Outcome of a CacheModel::fill: the victim line, if one was evicted. */
+struct Eviction
+{
+    Addr block_addr;
+    bool dirty;
+    CacheLine line;
+};
+
+/**
+ * A set-associative cache directory.
+ *
+ * Addresses are decomposed as [ tag | set index | block offset ].
+ * All public operations take full byte addresses; the model aligns
+ * them internally.
+ */
+class CacheModel
+{
+  public:
+    /**
+     * @param config geometry (size, associativity, block size) and
+     *        replacement policy
+     * @pre size, associativity, and block size describe a power-of-two
+     *      set count
+     */
+    explicit CacheModel(const CacheConfig &config);
+    /** Construct with an explicit policy override. */
+    CacheModel(const CacheConfig &config, ReplPolicy policy);
+
+    /// @name Address decomposition
+    /// @{
+    Addr blockAlign(Addr addr) const { return addr & ~Addr{block_mask_}; }
+    SetIndex setOf(Addr addr) const
+    {
+        return (addr >> block_bits_) & set_mask_;
+    }
+    Tag tagOf(Addr addr) const
+    {
+        return addr >> (block_bits_ + set_bits_);
+    }
+    /** Rebuild a block address from a (tag, set) pair. */
+    Addr
+    addrOf(Tag tag, SetIndex set) const
+    {
+        return (tag << (block_bits_ + set_bits_)) | (set << block_bits_);
+    }
+    /// @}
+
+    /// @name Geometry accessors
+    /// @{
+    std::uint64_t numSets() const { return num_sets_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned blockBytes() const { return 1u << block_bits_; }
+    unsigned blockBits() const { return block_bits_; }
+    unsigned setBits() const { return set_bits_; }
+    const std::string &name() const { return name_; }
+    /// @}
+
+    /**
+     * Look up @p addr without updating replacement state.
+     * @return the line if resident, nullptr otherwise
+     */
+    const CacheLine *probe(Addr addr) const;
+
+    /**
+     * Look up @p addr and, on a hit, update LRU and access metadata.
+     * @param now current cycle for last_access bookkeeping
+     * @return the (mutable) line if resident, nullptr on miss
+     */
+    CacheLine *access(Addr addr, Cycle now);
+
+    /**
+     * Install the block containing @p addr, evicting the replacement
+     * victim if the set is full.
+     * @param now cycle of the fill
+     * @return the eviction, if a valid line was displaced
+     * @pre the block is not already resident
+     */
+    std::optional<Eviction> fill(Addr addr, Cycle now);
+
+    /**
+     * @return the line that fill() would evict right now, or nullptr
+     *         if the set has an invalid (free) way. Does not modify
+     *         any state; used by dead-block-gated L1 promotion.
+     */
+    const CacheLine *victimOf(Addr addr) const;
+
+    /** Drop the block containing @p addr if resident. */
+    void invalidate(Addr addr);
+
+    /** Invalidate every line. */
+    void flush();
+
+    /** @return number of valid lines in the set holding @p addr. */
+    unsigned setOccupancy(Addr addr) const;
+
+  private:
+    CacheLine *findLine(Addr addr);
+    const CacheLine *findLine(Addr addr) const;
+    /** Index of the way to replace in @p set. */
+    unsigned victimWay(SetIndex set) const;
+    /** Update replacement state after touching @p way of @p set. */
+    void touchWay(SetIndex set, unsigned way);
+
+    std::string name_;
+    std::uint64_t num_sets_;
+    unsigned assoc_;
+    unsigned block_bits_;
+    unsigned set_bits_;
+    Addr block_mask_;
+    std::uint64_t set_mask_;
+    ReplPolicy policy_;
+    std::uint64_t stamp_ = 0;
+    /** lines_[set * assoc_ + way] */
+    std::vector<CacheLine> lines_;
+    /** Tree-PLRU direction bits, one word per set (TreePLRU only). */
+    std::vector<std::uint64_t> plru_;
+};
+
+} // namespace tcp
+
+#endif // TCP_MEM_CACHE_HH

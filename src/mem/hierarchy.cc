@@ -1,0 +1,368 @@
+#include "hierarchy.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+MemoryHierarchy::MemoryHierarchy(const MachineConfig &config,
+                                 Prefetcher *prefetcher,
+                                 DeadBlockPredictor *dbp)
+    : config_(config),
+      l1d_(config.l1d),
+      l1i_(config.l1i),
+      l2_(config.l2),
+      l1l2_bus_(config.l1l2_bus),
+      mem_bus_(config.mem_bus),
+      prefetch_bus_(BusConfig{"prefetch bus",
+                              config.l1l2_bus.bytes_per_cycle}),
+      l1d_mshrs_(config.l1d.mshrs),
+      l1i_mshrs_(config.l1i.mshrs),
+      prefetch_mshrs_(64),
+      prefetcher_(prefetcher),
+      dbp_(dbp),
+      stats_("mem"),
+      l1d_hits(stats_, "l1d_hits", "L1-D demand hits"),
+      l1d_misses(stats_, "l1d_misses", "L1-D primary misses"),
+      l1d_merged(stats_, "l1d_merged", "L1-D hits on in-flight fills"),
+      l1i_hits(stats_, "l1i_hits", "L1-I fetch hits"),
+      l1i_misses(stats_, "l1i_misses", "L1-I fetch misses"),
+      l2_demand_hits(stats_, "l2_demand_hits", "L2 demand hits"),
+      l2_demand_misses(stats_, "l2_demand_misses", "L2 demand misses"),
+      original_l2(stats_, "original_l2",
+                  "original (demand data) L2 accesses"),
+      prefetched_original(stats_, "prefetched_original",
+                          "originals that hit prefetched data"),
+      nonprefetched_original(stats_, "nonprefetched_original",
+                             "originals not covered by prefetch"),
+      prefetch_l2_present(stats_, "prefetch_l2_present",
+                          "prefetches whose target was already in L2"),
+      prefetch_fills(stats_, "prefetch_fills",
+                     "prefetch fills brought from memory"),
+      promotions_l1(stats_, "promotions_l1",
+                    "prefetched blocks promoted into L1"),
+      promotions_blocked(stats_, "promotions_blocked",
+                         "promotions blocked by live victims"),
+      writebacks(stats_, "writebacks", "dirty evictions written back"),
+      miss_latency(stats_, "miss_latency",
+                   "L1-D primary miss latency in cycles")
+{
+    tcp_assert(config_.l2.block_bytes >= config_.l1d.block_bytes,
+               "L2 blocks must be at least as large as L1 blocks");
+}
+
+AccessResult
+MemoryHierarchy::dataAccess(Addr addr, AccessType type, Pc pc, Cycle now)
+{
+    if (!promo_queue_.empty())
+        drainPromotions(now);
+
+    CacheLine *line = l1d_.access(addr, now);
+
+    if (prefetcher_) {
+        pending_.clear();
+        prefetcher_->observeAccess(
+            AccessContext{addr, pc, now, line != nullptr, type},
+            pending_);
+        for (const PrefetchRequest &req : pending_)
+            issuePrefetch(req, now);
+    }
+
+    if (line) {
+        ++l1d_hits;
+        if (type == AccessType::Write)
+            line->dirty = true;
+        Cycle done = now + config_.l1d.latency;
+        if (line->available_at > now) {
+            ++l1d_merged;
+            done = std::max(done, line->available_at);
+        }
+        if (line->prefetched && !line->demand_touched) {
+            // First demand touch of a line promoted into L1 by the
+            // hybrid scheme.
+            line->demand_touched = true;
+            if (prefetcher_) {
+                ++prefetcher_->useful;
+                if (line->available_at > now)
+                    ++prefetcher_->late;
+                // This access would have been an L1 miss without the
+                // promotion: feed it to the predictor as a *virtual
+                // miss* so the per-set tag history stays faithful to
+                // the demand stream and the prefetch chain continues.
+                pending_.clear();
+                prefetcher_->observeMiss(
+                    AccessContext{addr, pc, now, false, type},
+                    pending_);
+                for (const PrefetchRequest &req : pending_)
+                    issuePrefetch(req, now);
+            }
+        }
+        return AccessResult{done, true, false};
+    }
+
+    // Primary miss: wait for an MSHR, then look up L2.
+    ++l1d_misses;
+    const Cycle start = std::max(now, l1d_mshrs_.earliestFree(now));
+    const Cycle t = start + config_.l1d.latency;
+
+    const Addr l2_block = l2_.blockAlign(addr);
+    auto [data_ready, l2_hit] = l2DemandAccess(l2_block, t, true);
+
+    // Response transfer of the L1 block over the L1/L2 bus.
+    const Cycle done = l1l2_bus_.request(data_ready,
+                                         l1d_.blockBytes());
+    l1d_mshrs_.allocate(done);
+    miss_latency.sample(done - now);
+    fillL1D(addr, t, done, false);
+
+    // The prefetcher observes its configured miss stream and may
+    // issue requests. Default placement (the paper's): the L1 miss
+    // stream. The placement ablation trains on L2 demand misses
+    // instead — plus virtual misses on prefetched L2 hits, so its
+    // own coverage does not starve the training stream.
+    if (prefetcher_) {
+        bool train;
+        if (!config_.train_on_l2_misses) {
+            train = true;
+        } else {
+            train = !l2_hit || l2_virtual_miss_;
+        }
+        if (train) {
+            pending_.clear();
+            prefetcher_->observeMiss(
+                AccessContext{addr, pc, t, false, type}, pending_);
+            for (const PrefetchRequest &req : pending_)
+                issuePrefetch(req, t);
+        }
+    }
+
+    // Stores dirty the newly filled line.
+    if (type == AccessType::Write) {
+        if (CacheLine *nl = l1d_.access(addr, t))
+            nl->dirty = true;
+    }
+    return AccessResult{done, false, l2_hit};
+}
+
+Cycle
+MemoryHierarchy::instFetch(Pc pc, Cycle now)
+{
+    CacheLine *line = l1i_.access(pc, now);
+    if (line) {
+        ++l1i_hits;
+        return std::max(now + config_.l1i.latency, line->available_at);
+    }
+    ++l1i_misses;
+    const Cycle start = std::max(now, l1i_mshrs_.earliestFree(now));
+    const Cycle t = start + config_.l1i.latency;
+    auto [data_ready, l2_hit] =
+        l2DemandAccess(l2_.blockAlign(pc), t, false);
+    (void)l2_hit;
+    const Cycle done = l1l2_bus_.request(data_ready, l1i_.blockBytes());
+    l1i_mshrs_.allocate(done);
+    if (auto ev = l1i_.fill(pc, t); ev && ev->dirty) {
+        // Instruction lines are never dirty; keep the branch for
+        // structural symmetry and catch modelling errors.
+        tcp_panic("dirty line evicted from the instruction cache");
+    }
+    if (CacheLine *nl = l1i_.access(pc, t))
+        nl->available_at = done;
+    return done;
+}
+
+std::pair<Cycle, bool>
+MemoryHierarchy::l2DemandAccess(Addr block_addr, Cycle t, bool classify)
+{
+    l2_virtual_miss_ = false;
+    if (classify)
+        ++original_l2;
+
+    if (config_.ideal_l2) {
+        // Figure 1's bound: every L2 access hits.
+        if (classify)
+            ++nonprefetched_original;
+        ++l2_demand_hits;
+        return {t + config_.l2.latency, true};
+    }
+
+    CacheLine *line = l2_.access(block_addr, t);
+    if (line) {
+        ++l2_demand_hits;
+        const Cycle ready =
+            std::max(t + config_.l2.latency, line->available_at);
+        if (classify) {
+            if (line->prefetched) {
+                // Every demand access served by prefetched data is a
+                // "prefetched original" L2 access (Figure 12); the
+                // engine's useful/late counters tick once per block.
+                ++prefetched_original;
+                if (!line->demand_touched) {
+                    line->demand_touched = true;
+                    l2_virtual_miss_ = true;
+                    if (prefetcher_) {
+                        ++prefetcher_->useful;
+                        if (line->available_at > t)
+                            ++prefetcher_->late;
+                    }
+                }
+            } else {
+                ++nonprefetched_original;
+            }
+        }
+        return {ready, true};
+    }
+
+    // L2 miss: fetch the block from main memory.
+    ++l2_demand_misses;
+    if (classify)
+        ++nonprefetched_original;
+    const Cycle ready =
+        mem_bus_.request(t + config_.l2.latency, l2_.blockBytes()) +
+        config_.memory_latency;
+    if (auto ev = l2_.fill(block_addr, t); ev && ev->dirty) {
+        ++writebacks;
+        mem_bus_.request(t, l2_.blockBytes());
+    }
+    if (CacheLine *nl = l2_.access(block_addr, t))
+        nl->available_at = ready;
+    return {ready, false};
+}
+
+void
+MemoryHierarchy::fillL1D(Addr addr, Cycle t, Cycle available,
+                         bool prefetched)
+{
+    auto ev = l1d_.fill(addr, t);
+    if (ev) {
+        if (prefetcher_) {
+            prefetcher_->observeEvict(EvictContext{
+                ev->block_addr, t, ev->line.fill_cycle,
+                ev->line.last_access});
+        }
+        if (dbp_ && !prefetched) {
+            // Evictions forced by promotions truncate the victim's
+            // generation; training on them would teach spuriously
+            // short live times.
+            dbp_->recordEviction(ev->block_addr, ev->line.fill_cycle,
+                                 ev->line.last_access);
+        }
+        if (ev->dirty) {
+            ++writebacks;
+            l1l2_bus_.request(t, l1d_.blockBytes());
+            if (CacheLine *l2line = l2_.access(ev->block_addr, t))
+                l2line->dirty = true;
+        }
+    }
+    if (CacheLine *nl = l1d_.access(addr, t)) {
+        nl->available_at = available;
+        nl->prefetched = prefetched;
+    }
+}
+
+void
+MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
+{
+    tcp_assert(prefetcher_ != nullptr, "prefetch without an engine");
+    const Addr block = l2_.blockAlign(req.addr);
+    ++prefetcher_->issued;
+
+    Cycle ready;
+    if (l2_.probe(block)) {
+        // Data already present: the prefetch completes at the L2.
+        ++prefetch_l2_present;
+        const CacheLine *line = l2_.probe(block);
+        ready = std::max(t + config_.l2.latency, line->available_at);
+    } else {
+        if (prefetch_mshrs_.earliestFree(t) > t) {
+            // No prefetch MSHR free: drop rather than queue, as a
+            // real engine deprioritises prefetches behind demands.
+            ++prefetcher_->dropped;
+            return;
+        }
+        ready = mem_bus_.request(t + config_.l2.latency,
+                                 l2_.blockBytes()) +
+                config_.memory_latency;
+        prefetch_mshrs_.allocate(ready);
+        ++prefetch_fills;
+        if (auto ev = l2_.fill(block, t); ev && ev->dirty) {
+            ++writebacks;
+            mem_bus_.request(t, l2_.blockBytes());
+        }
+        if (CacheLine *nl = l2_.access(block, t)) {
+            nl->available_at = ready;
+            nl->prefetched = true;
+        }
+    }
+
+    // Hybrid scheme: queue a promotion into L1 for when the data
+    // arrives (Section 5.2.2). Deferring to the arrival time keeps
+    // the victim resident through the cycles in which it is live.
+    if (req.to_l1) {
+        if (promo_queue_.size() >= 64) {
+            ++promotions_blocked;
+            return;
+        }
+        promo_queue_.push_back(
+            PendingPromotion{l1d_.blockAlign(req.addr), ready});
+    }
+}
+
+void
+MemoryHierarchy::drainPromotions(Cycle now)
+{
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < promo_queue_.size(); ++i) {
+        const PendingPromotion &p = promo_queue_[i];
+        if (p.ready > now) {
+            promo_queue_[kept++] = p;
+            continue;
+        }
+        if (l1d_.probe(p.l1_block))
+            continue; // demand beat the promotion to it
+        const CacheLine *victim = l1d_.victimOf(p.l1_block);
+        bool dead = victim == nullptr;
+        if (config_.naive_l1_promote) {
+            // Counterfactual: promote over whatever is there.
+            dead = true;
+        } else if (victim && victim->prefetched &&
+                   !victim->demand_touched) {
+            // Never displace a prefetched line still awaiting its
+            // consumer: it is live by construction.
+            dead = false;
+        } else if (victim && dbp_) {
+            const Addr victim_addr =
+                l1d_.addrOf(victim->tag, l1d_.setOf(p.l1_block));
+            dead = dbp_->isPredictedDead(victim_addr,
+                                         victim->fill_cycle,
+                                         victim->last_access, p.ready);
+        }
+        if (!dead) {
+            ++promotions_blocked;
+            continue;
+        }
+        Bus &bus = config_.prefetch_bus ? prefetch_bus_ : l1l2_bus_;
+        const Cycle arrive = bus.request(p.ready, l1d_.blockBytes());
+        fillL1D(p.l1_block, p.ready, arrive, true);
+        ++promotions_l1;
+    }
+    promo_queue_.resize(kept);
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1d_.flush();
+    l1i_.flush();
+    l2_.flush();
+    l1l2_bus_.reset();
+    mem_bus_.reset();
+    prefetch_bus_.reset();
+    l1d_mshrs_.reset();
+    l1i_mshrs_.reset();
+    prefetch_mshrs_.reset();
+    promo_queue_.clear();
+    stats_.resetAll();
+}
+
+} // namespace tcp

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The full memory hierarchy of Table 1 / Figure 10: L1 I/D caches, a
+ * contended L1/L2 bus, a unified L2, a contended memory bus, fixed-
+ * latency main memory, MSHR files, and the prefetcher attachment point
+ * between L1-D and L2.
+ *
+ * Timing convention: cache directory state is updated eagerly at the
+ * cycle a request is handled, and every line carries an available_at
+ * cycle saying when its data is actually present. A demand access that
+ * finds a line with available_at in the future is a secondary miss
+ * merged into the outstanding fill (MSHR hit) and completes then.
+ */
+
+#ifndef TCP_MEM_HIERARCHY_HH
+#define TCP_MEM_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/mshr.hh"
+#include "prefetch/dead_block.hh"
+#include "prefetch/prefetcher.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tcp {
+
+/** Timing outcome of one data access. */
+struct AccessResult
+{
+    Cycle complete; ///< cycle the data is available to the core
+    bool l1_hit;    ///< hit in L1-D (includes merged in-flight hits)
+    bool l2_hit;    ///< meaningful only when !l1_hit
+};
+
+/**
+ * The memory system. The CPU model calls dataAccess() for loads and
+ * stores and instFetch() for instruction-block fetches; both return
+ * data-ready cycles that already include bus contention and MSHR
+ * capacity stalls.
+ */
+class MemoryHierarchy
+{
+  public:
+    /**
+     * @param config machine parameters (Table 1 defaults)
+     * @param prefetcher engine observing the L1-D stream, or nullptr
+     * @param dbp dead-block predictor used to gate to_l1 promotions
+     *        of hybrid prefetches, or nullptr (promotions then only
+     *        use free ways)
+     */
+    explicit MemoryHierarchy(const MachineConfig &config,
+                             Prefetcher *prefetcher = nullptr,
+                             DeadBlockPredictor *dbp = nullptr);
+
+    /** Perform a load/store at cycle @p now. */
+    AccessResult dataAccess(Addr addr, AccessType type, Pc pc, Cycle now);
+
+    /**
+     * Fetch the instruction block containing @p pc.
+     * @return the cycle the block is available to the front end
+     */
+    Cycle instFetch(Pc pc, Cycle now);
+
+    /// @name Component access (tests, analysis)
+    /// @{
+    const CacheModel &l1d() const { return l1d_; }
+    const CacheModel &l1i() const { return l1i_; }
+    const CacheModel &l2() const { return l2_; }
+    const Bus &l1l2Bus() const { return l1l2_bus_; }
+    const Bus &memBus() const { return mem_bus_; }
+    Prefetcher *prefetcher() { return prefetcher_; }
+    const MachineConfig &config() const { return config_; }
+    /// @}
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Reset all cache/bus/stat state (tables keep their config). */
+    void reset();
+
+  private:
+    /**
+     * A demand request arriving at the L2 at cycle @p t.
+     * @param block_addr L2-block-aligned address
+     * @param classify whether this access participates in the
+     *        Figure 12 original-access classification (data side)
+     * @return data-ready cycle at the L2 and hit flag
+     */
+    std::pair<Cycle, bool> l2DemandAccess(Addr block_addr, Cycle t,
+                                          bool classify);
+
+    /** Install a block into L1-D, handling eviction side effects. */
+    void fillL1D(Addr addr, Cycle t, Cycle available, bool prefetched);
+
+    /** Handle one prefetch request from the engine at cycle @p t. */
+    void issuePrefetch(const PrefetchRequest &req, Cycle t);
+
+    /**
+     * Apply queued L1 promotions whose data has arrived by @p now.
+     * Promotions are deferred to their arrival time so they never
+     * evict a victim before the cycles in which it is still live.
+     */
+    void drainPromotions(Cycle now);
+
+    /** An L1 promotion waiting for its prefetch data to arrive. */
+    struct PendingPromotion
+    {
+        Addr l1_block;
+        Cycle ready;
+    };
+    std::vector<PendingPromotion> promo_queue_;
+
+    MachineConfig config_;
+    CacheModel l1d_;
+    CacheModel l1i_;
+    CacheModel l2_;
+    Bus l1l2_bus_;
+    Bus mem_bus_;
+    Bus prefetch_bus_;
+    MshrFile l1d_mshrs_;
+    MshrFile l1i_mshrs_;
+    MshrFile prefetch_mshrs_;
+    Prefetcher *prefetcher_;
+    DeadBlockPredictor *dbp_;
+    std::vector<PrefetchRequest> pending_;
+    /**
+     * Set by l2DemandAccess when a demand hit consumed prefetched
+     * data for the first time — in L2-trained placement this access
+     * would have missed without the prefetcher, so it trains.
+     */
+    bool l2_virtual_miss_ = false;
+
+    StatGroup stats_;
+
+  public:
+    /// @name Statistics
+    /// @{
+    Counter l1d_hits;
+    Counter l1d_misses;
+    Counter l1d_merged; ///< hits on in-flight lines (MSHR merges)
+    Counter l1i_hits;
+    Counter l1i_misses;
+    Counter l2_demand_hits;
+    Counter l2_demand_misses;
+    Counter original_l2;           ///< demand (data) L2 accesses
+    Counter prefetched_original;   ///< originals served by prefetch
+    Counter nonprefetched_original;
+    Counter prefetch_l2_present;   ///< prefetch target already in L2
+    Counter prefetch_fills;        ///< prefetch fills from memory
+    Counter promotions_l1;         ///< hybrid promotions into L1
+    Counter promotions_blocked;    ///< victim not dead, stayed in L2
+    Counter writebacks;            ///< dirty evictions (both levels)
+    /** Latency of L1-D primary misses (request to data ready). */
+    Histogram miss_latency;
+    /// @}
+};
+
+} // namespace tcp
+
+#endif // TCP_MEM_HIERARCHY_HH

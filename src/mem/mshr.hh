@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A miss-status holding register file. Limits the number of misses a
+ * cache can have outstanding: when every register is busy, a new miss
+ * must wait for the earliest in-flight fill to complete.
+ *
+ * Miss merging (secondary misses to an in-flight block) is handled by
+ * MemoryHierarchy through per-line availability times; the MSHR file
+ * only models the *capacity* constraint, so it just tracks ready
+ * cycles.
+ */
+
+#ifndef TCP_MEM_MSHR_HH
+#define TCP_MEM_MSHR_HH
+
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tcp {
+
+/** Capacity-limited set of outstanding-miss completion times. */
+class MshrFile
+{
+  public:
+    /** @param count number of registers (0 means unlimited) */
+    explicit MshrFile(unsigned count) : count_(count) {}
+
+    /**
+     * Earliest cycle at which a new miss can allocate a register,
+     * given the current cycle @p now. Returns @p now when a register
+     * is free; otherwise the completion time of the earliest
+     * outstanding miss.
+     */
+    Cycle
+    earliestFree(Cycle now)
+    {
+        if (count_ == 0)
+            return now;
+        drain(now);
+        if (ready_.size() < count_)
+            return now;
+        return ready_.top();
+    }
+
+    /**
+     * Record a newly allocated miss that completes at @p ready.
+     * The caller must have honoured earliestFree().
+     */
+    void
+    allocate(Cycle ready)
+    {
+        if (count_ == 0)
+            return;
+        if (ready_.size() >= count_)
+            ready_.pop();
+        ready_.push(ready);
+    }
+
+    /** Number of misses still outstanding at cycle @p now. */
+    std::size_t
+    outstanding(Cycle now)
+    {
+        drain(now);
+        return ready_.size();
+    }
+
+    unsigned capacity() const { return count_; }
+
+    void
+    reset()
+    {
+        while (!ready_.empty())
+            ready_.pop();
+    }
+
+  private:
+    /** Release registers whose fills completed at or before @p now. */
+    void
+    drain(Cycle now)
+    {
+        while (!ready_.empty() && ready_.top() <= now)
+            ready_.pop();
+    }
+
+    unsigned count_;
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>> ready_;
+};
+
+} // namespace tcp
+
+#endif // TCP_MEM_MSHR_HH

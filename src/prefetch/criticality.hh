@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A critical-miss predictor in the spirit of Srinivasan et al. [20]
+ * and Fields et al. [6], which Section 6 of the TCP paper proposes
+ * combining with TCP: a PC-indexed table of saturating counters
+ * tracking whether a load's misses tend to block retirement. The
+ * core trains it at retire time; a filtering TCP consults it to
+ * store correlations (and issue prefetches) only for critical
+ * misses, improving space efficiency as DBCP [12] did.
+ */
+
+#ifndef TCP_PREFETCH_CRITICALITY_HH
+#define TCP_PREFETCH_CRITICALITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+/** PC-indexed criticality estimator (2-bit saturating counters). */
+class CriticalityTable
+{
+  public:
+    explicit CriticalityTable(std::size_t entries = 4096)
+        : entries_(entries), counters_(entries, kInitial),
+          stats_("crit"),
+          trainings(stats_, "trainings", "retired loads observed"),
+          critical_seen(stats_, "critical_seen",
+                        "loads that blocked retirement")
+    {
+        tcp_assert(isPowerOfTwo(entries_),
+                   "criticality table entries must be a power of two");
+    }
+
+    /** Train on a retired load: did it block the retire frontier? */
+    void
+    train(Pc pc, bool critical)
+    {
+        ++trainings;
+        std::uint8_t &c = counters_[indexOf(pc)];
+        if (critical) {
+            ++critical_seen;
+            if (c < 3)
+                ++c;
+        } else if (c > 0) {
+            --c;
+        }
+    }
+
+    /** @return true if loads from @p pc are predicted critical. */
+    bool
+    isCritical(Pc pc) const
+    {
+        return counters_[indexOf(pc)] >= 2;
+    }
+
+    /** Hardware budget: 2 bits per counter. */
+    std::uint64_t storageBits() const { return entries_ * 2; }
+
+    void
+    reset()
+    {
+        std::fill(counters_.begin(), counters_.end(), kInitial);
+        stats_.resetAll();
+    }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    /**
+     * Counters start weakly critical so cold PCs are not filtered
+     * out before any training evidence arrives.
+     */
+    static constexpr std::uint8_t kInitial = 2;
+
+    std::size_t
+    indexOf(Pc pc) const
+    {
+        return static_cast<std::size_t>((pc >> 2) *
+                                        0x9e3779b97f4a7c15ULL >> 40) &
+               (entries_ - 1);
+    }
+
+    std::size_t entries_;
+    std::vector<std::uint8_t> counters_;
+    StatGroup stats_;
+
+  public:
+    Counter trainings;
+    Counter critical_seen;
+};
+
+} // namespace tcp
+
+#endif // TCP_PREFETCH_CRITICALITY_HH

@@ -1,0 +1,131 @@
+#include "dbcp.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+DbcpPrefetcher::DbcpPrefetcher(const DbcpConfig &config)
+    : Prefetcher("dbcp"), config_(config),
+      table_(config.entries()),
+      deaths_recorded(stats_, "deaths_recorded",
+                      "evictions correlated with successors"),
+      death_predictions(stats_, "death_predictions",
+                        "live blocks whose signature matched a death")
+{
+    tcp_assert(isPowerOfTwo(config_.entries()),
+               "DBCP table entries must be a power of two, got ",
+               config_.entries());
+    tcp_assert(config_.signature_bits > 0 &&
+                   config_.signature_bits <= 32,
+               "signature width must be 1..32 bits");
+}
+
+std::uint32_t
+DbcpPrefetcher::truncAddPc(std::uint32_t sig, Pc pc) const
+{
+    return static_cast<std::uint32_t>(
+        truncatedAdd(sig, pc >> 2, config_.signature_bits));
+}
+
+std::uint64_t
+DbcpPrefetcher::keyOf(Addr block, std::uint32_t sig) const
+{
+    return (block << config_.signature_bits) | sig;
+}
+
+DbcpPrefetcher::CorrEntry &
+DbcpPrefetcher::entryFor(std::uint64_t key)
+{
+    std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    return table_[(h >> 20) & (config_.entries() - 1)];
+}
+
+void
+DbcpPrefetcher::observeAccess(const AccessContext &ctx,
+                              std::vector<PrefetchRequest> &out)
+{
+    if (!ctx.hit)
+        return; // miss-side handling happens in observeMiss
+
+    const Addr block = ctx.addr & ~Addr{config_.block_bytes - 1};
+    std::uint32_t &sig = live_sig_[block];
+    sig = truncAddPc(sig, ctx.pc);
+
+    // Does the updated live signature match a learned death trace?
+    const std::uint64_t key = keyOf(block, sig);
+    CorrEntry &e = entryFor(key);
+    if (e.valid && e.key == key) {
+        ++death_predictions;
+        out.push_back(PrefetchRequest{e.next, false});
+    }
+}
+
+void
+DbcpPrefetcher::observeMiss(const AccessContext &ctx,
+                            std::vector<PrefetchRequest> &out)
+{
+    const Addr block = ctx.addr & ~Addr{config_.block_bytes - 1};
+
+    // Train: the death recorded during this miss's fill-eviction is
+    // followed by this very miss.
+    if (have_pending_death_) {
+        const std::uint64_t key = keyOf(pending_block_, pending_sig_);
+        CorrEntry &e = entryFor(key);
+        e.valid = true;
+        e.key = key;
+        e.next = block;
+        ++deaths_recorded;
+        have_pending_death_ = false;
+    }
+
+    // The incoming block starts a fresh signature with the filling
+    // instruction's PC. The map tracks resident L1 blocks and is
+    // bounded by observeEvict in normal operation; the guard keeps
+    // standalone use (no eviction feed) from growing without bound.
+    if (live_sig_.size() > 8192)
+        live_sig_.clear();
+    live_sig_[block] = truncAddPc(0, ctx.pc);
+
+    // Predict at fill time as well: a block whose first-touch
+    // signature already matches a death trace (single-access blocks)
+    // prefetches its successor immediately.
+    const std::uint64_t key = keyOf(block, live_sig_[block]);
+    CorrEntry &e = entryFor(key);
+    if (e.valid && e.key == key) {
+        ++death_predictions;
+        out.push_back(PrefetchRequest{e.next, false});
+    }
+}
+
+void
+DbcpPrefetcher::observeEvict(const EvictContext &ctx)
+{
+    auto it = live_sig_.find(ctx.block_addr);
+    if (it == live_sig_.end())
+        return;
+    pending_block_ = ctx.block_addr;
+    pending_sig_ = it->second;
+    have_pending_death_ = true;
+    live_sig_.erase(it);
+}
+
+std::uint64_t
+DbcpPrefetcher::storageBits() const
+{
+    // The correlation table (8 B/entry) plus the per-L1-line
+    // signature fields (1024 lines x signature width).
+    return config_.table_bytes * 8 + 1024ull * config_.signature_bits;
+}
+
+void
+DbcpPrefetcher::reset()
+{
+    for (CorrEntry &e : table_)
+        e = CorrEntry{};
+    live_sig_.clear();
+    have_pending_death_ = false;
+    stats_.resetAll();
+}
+
+} // namespace tcp

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dead-Block Correlating Prefetcher after Lai, Fide and Falsafi
+ * (ISCA 2001) [12] — the paper's primary comparison point (the
+ * "DBCP-2M" bars of Figure 11).
+ *
+ * DBCP encodes each resident L1 block's history as a *trace
+ * signature*: a truncated addition of the PCs of the memory
+ * instructions that have touched the block since its fill. When a
+ * block dies (is evicted), the correlation table learns that the
+ * (block address, signature-at-death) pair is followed by the miss
+ * that killed it. Later, when a resident block's live signature
+ * matches a learned death signature, the block is predicted dead and
+ * the recorded successor is prefetched into L2.
+ *
+ * This is exactly the structure the TCP paper contrasts itself with:
+ * DBCP correlates on full addresses *and* PC traces, so its table
+ * needs an entry per (address, trace) pair — megabytes of state —
+ * and it requires PC information to be forwarded to the prefetcher.
+ */
+
+#ifndef TCP_PREFETCH_DBCP_HH
+#define TCP_PREFETCH_DBCP_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tcp {
+
+/** DBCP configuration. */
+struct DbcpConfig
+{
+    /**
+     * Correlation-table budget in bytes. The paper's comparison uses
+     * 2 MB. Entries cost 8 bytes (key tag + successor address).
+     */
+    std::uint64_t table_bytes = 2 * 1024 * 1024;
+    /** Signature width (truncated-addition field). */
+    unsigned signature_bits = 16;
+    /** Correlation granularity: the L1 block size. */
+    unsigned block_bytes = 32;
+
+    std::uint64_t entries() const { return table_bytes / 8; }
+};
+
+/** Lai et al.-style dead-block correlating prefetcher. */
+class DbcpPrefetcher : public Prefetcher
+{
+  public:
+    explicit DbcpPrefetcher(const DbcpConfig &config = {});
+
+    void observeAccess(const AccessContext &ctx,
+                       std::vector<PrefetchRequest> &out) override;
+    void observeMiss(const AccessContext &ctx,
+                     std::vector<PrefetchRequest> &out) override;
+    void observeEvict(const EvictContext &ctx) override;
+
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+  private:
+    struct CorrEntry
+    {
+        bool valid = false;
+        std::uint64_t key = 0; ///< full key for tag check
+        Addr next = 0;         ///< successor block to prefetch
+    };
+
+    std::uint64_t keyOf(Addr block, std::uint32_t sig) const;
+    CorrEntry &entryFor(std::uint64_t key);
+    std::uint32_t truncAddPc(std::uint32_t sig, Pc pc) const;
+
+    DbcpConfig config_;
+    std::vector<CorrEntry> table_;
+    /** Live signatures of resident L1 blocks. */
+    std::unordered_map<Addr, std::uint32_t> live_sig_;
+    /** Death event awaiting its successor (the very next miss). */
+    bool have_pending_death_ = false;
+    Addr pending_block_ = 0;
+    std::uint32_t pending_sig_ = 0;
+
+  public:
+    /// @name DBCP-specific statistics
+    /// @{
+    Counter deaths_recorded;  ///< evictions correlated
+    Counter death_predictions;///< signature matches on live blocks
+    /// @}
+};
+
+} // namespace tcp
+
+#endif // TCP_PREFETCH_DBCP_HH

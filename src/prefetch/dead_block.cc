@@ -1,0 +1,107 @@
+#include "dead_block.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+DeadBlockPredictor::DeadBlockPredictor(std::size_t entries,
+                                       double live_time_scale,
+                                       Cycle floor_cycles)
+    : entries_(entries), scale_(live_time_scale), floor_(floor_cycles),
+      live_time_(entries, 0),
+      entry_tag_(entries, 0),
+      stats_("dbp"),
+      trainings(stats_, "trainings", "evictions observed"),
+      predictions(stats_, "predictions", "dead-block queries"),
+      dead_votes(stats_, "dead_votes", "queries answered dead")
+{
+    tcp_assert(isPowerOfTwo(entries_),
+               "dead-block table entries must be a power of two");
+    tcp_assert(scale_ > 0.0, "live-time scale must be positive");
+}
+
+std::size_t
+DeadBlockPredictor::indexOf(Addr block_addr) const
+{
+    // Mix the block address so neighbouring blocks spread out.
+    Addr h = block_addr * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(h >> 32) & (entries_ - 1);
+}
+
+namespace {
+
+/** 16-bit identity check mixed independently of the index hash. */
+std::uint16_t
+tagOf(Addr block_addr)
+{
+    return static_cast<std::uint16_t>(
+        (block_addr * 0xc4ceb9fe1a85ec53ULL) >> 48);
+}
+
+} // namespace
+
+void
+DeadBlockPredictor::recordEviction(Addr block_addr, Cycle fill_cycle,
+                                   Cycle last_access)
+{
+    ++trainings;
+    const Cycle live = last_access >= fill_cycle
+                           ? last_access - fill_cycle : 0;
+    const auto clamped = static_cast<std::uint32_t>(std::min<Cycle>(
+        live, std::numeric_limits<std::uint32_t>::max()));
+    const std::size_t idx = indexOf(block_addr);
+    live_time_[idx] = std::max<std::uint32_t>(clamped, 1);
+    entry_tag_[idx] = tagOf(block_addr);
+}
+
+bool
+DeadBlockPredictor::isPredictedDead(Addr block_addr, Cycle fill_cycle,
+                                    Cycle last_access, Cycle now) const
+{
+    auto &self = const_cast<DeadBlockPredictor &>(*this);
+    ++self.predictions;
+
+    if (now <= last_access)
+        return false;
+    const Cycle idle = now - last_access;
+
+    const std::size_t idx = indexOf(block_addr);
+    const std::uint32_t learned =
+        entry_tag_[idx] == tagOf(block_addr) ? live_time_[idx] : 0;
+    if (learned == 0) {
+        // No observed generation for this block yet: predicting dead
+        // without history evicts live lines and — worse — truncates
+        // generations so the table learns spuriously short live
+        // times. Stay conservative until an eviction trains us.
+        return false;
+    }
+    const Cycle threshold = std::max<Cycle>(
+        floor_, static_cast<Cycle>(scale_ * learned));
+
+    const bool dead = idle > threshold;
+    if (dead)
+        ++self.dead_votes;
+    return dead;
+}
+
+std::uint64_t
+DeadBlockPredictor::storageBits() const
+{
+    // A 22-bit saturating live-time field (the timekeeping paper's
+    // coarse-ticked counters) plus a 16-bit identity tag per entry.
+    return static_cast<std::uint64_t>(entries_) * (22 + 16);
+}
+
+void
+DeadBlockPredictor::reset()
+{
+    std::fill(live_time_.begin(), live_time_.end(), 0);
+    std::fill(entry_tag_.begin(), entry_tag_.end(), 0);
+    stats_.resetAll();
+}
+
+} // namespace tcp

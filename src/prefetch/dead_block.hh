@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Timekeeping dead-block predictor after Hu, Kaxiras and Martonosi
+ * (ISCA 2002), used by the hybrid TCP scheme (Section 5.2.2 of the
+ * TCP paper) to decide when a prefetched line may safely be promoted
+ * into the L1 data cache.
+ *
+ * The predictor learns, per block, the *live time* of the block's
+ * previous generation (cycles from fill to last demand access). A
+ * resident block is predicted dead once it has been idle for longer
+ * than its learned live time (scaled by a safety factor), because in
+ * the timekeeping characterisation dead time is typically much longer
+ * than live time.
+ */
+
+#ifndef TCP_PREFETCH_DEAD_BLOCK_HH
+#define TCP_PREFETCH_DEAD_BLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tcp {
+
+/** Timekeeping dead-block predictor. */
+class DeadBlockPredictor
+{
+  public:
+    /**
+     * @param entries live-time table entries (power of two)
+     * @param live_time_scale idle threshold = scale * learned live
+     *        time; the ISCA'02 scheme uses 2x as a safe margin
+     * @param floor_cycles minimum idle threshold, guards blocks whose
+     *        learned live time is tiny
+     */
+    explicit DeadBlockPredictor(std::size_t entries = 131072,
+                                double live_time_scale = 2.0,
+                                Cycle floor_cycles = 64);
+
+    /**
+     * Train on an L1 eviction: record the generation's live time.
+     * @param block_addr aligned address of the dying block
+     * @param fill_cycle cycle the generation was filled
+     * @param last_access last demand touch of the generation
+     */
+    void recordEviction(Addr block_addr, Cycle fill_cycle,
+                        Cycle last_access);
+
+    /**
+     * @return true if a block with the given access history is
+     *         predicted dead at cycle @p now
+     */
+    bool isPredictedDead(Addr block_addr, Cycle fill_cycle,
+                         Cycle last_access, Cycle now) const;
+
+    /** Hardware budget in bits (entries x live-time field). */
+    std::uint64_t storageBits() const;
+
+    void reset();
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    std::size_t indexOf(Addr block_addr) const;
+
+    std::size_t entries_;
+    double scale_;
+    Cycle floor_;
+    /** Learned live time per (hashed) block; 0 = never observed. */
+    std::vector<std::uint32_t> live_time_;
+    /**
+     * Partial block tag per entry: a mismatch means the entry holds
+     * another block's history, which must read as "untrained" rather
+     * than poisoning this block's prediction.
+     */
+    std::vector<std::uint16_t> entry_tag_;
+
+    StatGroup stats_;
+
+  public:
+    /// @name Statistics
+    /// @{
+    Counter trainings;   ///< evictions observed
+    Counter predictions; ///< isPredictedDead queries
+    Counter dead_votes;  ///< queries answered "dead"
+    /// @}
+};
+
+} // namespace tcp
+
+#endif // TCP_PREFETCH_DEAD_BLOCK_HH

@@ -1,0 +1,76 @@
+#include "markov.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+MarkovPrefetcher::MarkovPrefetcher(const MarkovConfig &config)
+    : Prefetcher("markov"), config_(config),
+      table_(config.entries),
+      transitions(stats_, "transitions", "successor pairs recorded")
+{
+    tcp_assert(isPowerOfTwo(config_.entries),
+               "Markov table entries must be a power of two");
+    tcp_assert(config_.targets >= 1, "need at least one target slot");
+}
+
+MarkovPrefetcher::Row &
+MarkovPrefetcher::rowFor(Addr block)
+{
+    Addr h = block * 0x9e3779b97f4a7c15ULL;
+    return table_[(h >> 24) & (config_.entries - 1)];
+}
+
+void
+MarkovPrefetcher::observeMiss(const AccessContext &ctx,
+                              std::vector<PrefetchRequest> &out)
+{
+    const Addr block = ctx.addr & ~Addr{config_.block_bytes - 1};
+
+    // Train: the previous miss's successors now include this block.
+    if (prev_block_ != kInvalidAddr && prev_block_ != block) {
+        Row &row = rowFor(prev_block_);
+        if (!row.valid || row.block != prev_block_) {
+            row.valid = true;
+            row.block = prev_block_;
+            row.targets.clear();
+        }
+        auto it = std::find(row.targets.begin(), row.targets.end(),
+                            block);
+        if (it != row.targets.end())
+            row.targets.erase(it);
+        row.targets.insert(row.targets.begin(), block);
+        if (row.targets.size() > config_.targets)
+            row.targets.resize(config_.targets);
+        ++transitions;
+    }
+    prev_block_ = block;
+
+    // Predict: prefetch every stored successor of this block.
+    Row &row = rowFor(block);
+    if (row.valid && row.block == block) {
+        for (Addr t : row.targets)
+            out.push_back(PrefetchRequest{t, false});
+    }
+}
+
+std::uint64_t
+MarkovPrefetcher::storageBits() const
+{
+    // Row tag (32) + targets x 32-bit addresses.
+    return config_.entries * (32 + 32ull * config_.targets);
+}
+
+void
+MarkovPrefetcher::reset()
+{
+    for (Row &row : table_)
+        row = Row{};
+    prev_block_ = kInvalidAddr;
+    stats_.resetAll();
+}
+
+} // namespace tcp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Markov prefetching after Joseph and Grunwald [9]: an address-
+ * correlating table mapping each miss address to its most recent
+ * successor addresses (multiple targets, LRU-ordered). On a miss, all
+ * stored successors of that address are prefetched. This is the
+ * classic address-based correlation scheme TCP is compared against in
+ * spirit: it needs an entry per miss *address*, which is why its
+ * tables are megabytes where TCP's are kilobytes.
+ */
+
+#ifndef TCP_PREFETCH_MARKOV_HH
+#define TCP_PREFETCH_MARKOV_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tcp {
+
+/** Markov table configuration. */
+struct MarkovConfig
+{
+    std::uint64_t entries = 65536; ///< table rows (power of two)
+    unsigned targets = 2;          ///< successor slots per row
+    unsigned block_bytes = 32;     ///< correlation granularity
+};
+
+/** Joseph/Grunwald-style Markov prefetcher. */
+class MarkovPrefetcher : public Prefetcher
+{
+  public:
+    explicit MarkovPrefetcher(const MarkovConfig &config = {});
+
+    void observeMiss(const AccessContext &ctx,
+                     std::vector<PrefetchRequest> &out) override;
+
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+  private:
+    struct Row
+    {
+        bool valid = false;
+        Addr block = 0; ///< full block address (tag check)
+        std::vector<Addr> targets; ///< MRU first
+    };
+
+    Row &rowFor(Addr block);
+
+    MarkovConfig config_;
+    std::vector<Row> table_;
+    Addr prev_block_ = kInvalidAddr;
+
+  public:
+    Counter transitions; ///< successor pairs recorded
+};
+
+} // namespace tcp
+
+#endif // TCP_PREFETCH_MARKOV_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The prefetcher interface all engines (TCP, DBCP, stride, stream,
+ * Markov) implement, plus the shared bookkeeping statistics.
+ *
+ * A prefetcher sits between the L1 data cache and the L2 (Figure 10 of
+ * the paper): it observes the L1-D access/miss stream and emits
+ * prefetch decisions that MemoryHierarchy turns into L2 fills (or, for
+ * the hybrid scheme, dead-block-gated L1 promotions).
+ */
+
+#ifndef TCP_PREFETCH_PREFETCHER_HH
+#define TCP_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tcp {
+
+/** Context handed to a prefetcher on every L1-D demand access. */
+struct AccessContext
+{
+    Addr addr;       ///< full byte address of the access
+    Pc pc;           ///< program counter of the memory instruction
+    Cycle cycle;     ///< cycle the access reached the L1
+    bool hit;        ///< whether it hit in the L1 D-cache
+    AccessType type; ///< read or write
+};
+
+/** Context for an L1-D line eviction (for dead-block training). */
+struct EvictContext
+{
+    Addr block_addr; ///< aligned address of the evicted block
+    Cycle cycle;     ///< eviction cycle
+    Cycle fill_cycle;   ///< when the evicted line was filled
+    Cycle last_access;  ///< last demand touch of the evicted line
+};
+
+/** One prefetch the engine wants issued. */
+struct PrefetchRequest
+{
+    Addr addr;          ///< target byte address (any alignment)
+    /**
+     * Request dead-block-gated promotion into L1 once the data
+     * arrives (hybrid scheme, Section 5.2.2). Plain TCP and all
+     * baselines leave this false and prefetch into L2 only.
+     */
+    bool to_l1 = false;
+};
+
+/**
+ * Abstract prefetch engine.
+ *
+ * MemoryHierarchy invokes observeAccess() for every L1-D demand
+ * access (hits included, because DBCP-style engines need per-access PC
+ * traces), observeMiss() for every primary L1-D miss, and
+ * observeEvict() for every L1-D eviction.
+ */
+class Prefetcher
+{
+  public:
+    explicit Prefetcher(std::string name)
+        : stats_(name), name_(std::move(name)),
+          issued(stats_, "issued", "prefetches issued to L2"),
+          useful(stats_, "useful", "prefetched blocks later demanded"),
+          late(stats_, "late", "useful but data not yet arrived"),
+          dropped(stats_, "dropped",
+                  "prefetches dropped (resource limits)")
+    {}
+
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Every L1-D demand access (hit or miss). Engines that act on
+     * hits — DBCP predicts a block dead while it is still resident —
+     * may append prefetch requests to @p out. Default: ignore.
+     */
+    virtual void observeAccess(const AccessContext &ctx,
+                               std::vector<PrefetchRequest> &out)
+    {
+        (void)ctx;
+        (void)out;
+    }
+
+    /**
+     * A primary L1-D miss (one that allocates an MSHR). The engine
+     * appends any prefetch requests to @p out.
+     */
+    virtual void observeMiss(const AccessContext &ctx,
+                             std::vector<PrefetchRequest> &out) = 0;
+
+    /** An L1-D line was evicted. Default: ignore. */
+    virtual void observeEvict(const EvictContext &ctx) { (void)ctx; }
+
+    /** Engine name for reports. */
+    const std::string &name() const { return name_; }
+
+    /** Hardware budget of all tables, in bits (for cost reporting). */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /** Reset all learned state (tables) and statistics. */
+    virtual void reset() = 0;
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  protected:
+    StatGroup stats_;
+
+  private:
+    std::string name_;
+
+  public:
+    /// @name Bookkeeping counters maintained by MemoryHierarchy
+    /// @{
+    Counter issued;
+    Counter useful;
+    Counter late;
+    Counter dropped;
+    /// @}
+};
+
+/** A trivial engine that never prefetches (the no-prefetch baseline). */
+class NullPrefetcher : public Prefetcher
+{
+  public:
+    NullPrefetcher() : Prefetcher("none") {}
+
+    void
+    observeMiss(const AccessContext &,
+                std::vector<PrefetchRequest> &) override
+    {}
+
+    std::uint64_t storageBits() const override { return 0; }
+    void reset() override { stats_.resetAll(); }
+};
+
+} // namespace tcp
+
+#endif // TCP_PREFETCH_PREFETCHER_HH

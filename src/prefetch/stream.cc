@@ -1,0 +1,76 @@
+#include "stream.hh"
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+StreamPrefetcher::StreamPrefetcher(const StreamConfig &config)
+    : Prefetcher("stream"), config_(config),
+      buffers_(config.buffers),
+      allocations(stats_, "allocations", "streams allocated"),
+      advances(stats_, "advances", "misses matching a stream")
+{
+    tcp_assert(config_.buffers > 0, "need at least one stream buffer");
+    tcp_assert(config_.depth > 0, "stream depth must be positive");
+}
+
+void
+StreamPrefetcher::observeMiss(const AccessContext &ctx,
+                              std::vector<PrefetchRequest> &out)
+{
+    const Addr block = ctx.addr & ~Addr{config_.block_bytes - 1};
+
+    // A miss within the window of an active stream advances it.
+    for (Buffer &b : buffers_) {
+        if (!b.valid)
+            continue;
+        const Addr window_lo =
+            b.next_block - Addr{config_.depth} * config_.block_bytes;
+        if (block >= window_lo && block < b.next_block) {
+            ++advances;
+            b.lru = ++stamp_;
+            // Top the stream back up to full depth.
+            out.push_back(PrefetchRequest{b.next_block, false});
+            b.next_block += config_.block_bytes;
+            return;
+        }
+    }
+
+    // No match: allocate the LRU buffer to this stream.
+    Buffer *victim = &buffers_[0];
+    for (Buffer &b : buffers_) {
+        if (!b.valid) {
+            victim = &b;
+            break;
+        }
+        if (b.lru < victim->lru)
+            victim = &b;
+    }
+    ++allocations;
+    victim->valid = true;
+    victim->lru = ++stamp_;
+    victim->next_block = block + config_.block_bytes;
+    for (unsigned d = 0; d < config_.depth; ++d) {
+        out.push_back(PrefetchRequest{victim->next_block, false});
+        victim->next_block += config_.block_bytes;
+    }
+}
+
+std::uint64_t
+StreamPrefetcher::storageBits() const
+{
+    // Each buffer holds depth blocks of data plus an address tag.
+    return static_cast<std::uint64_t>(config_.buffers) *
+           (config_.depth * config_.block_bytes * 8 + 32);
+}
+
+void
+StreamPrefetcher::reset()
+{
+    for (Buffer &b : buffers_)
+        b = Buffer{};
+    stamp_ = 0;
+    stats_.resetAll();
+}
+
+} // namespace tcp

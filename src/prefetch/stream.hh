@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Stream-buffer prefetching after Jouppi [10]: a small number of
+ * stream buffers, each following one sequential block stream. A miss
+ * that matches the head of a buffer confirms the stream and prefetches
+ * further ahead; a miss matching no buffer allocates one (replacing
+ * the least recently used) and fetches the next blocks.
+ */
+
+#ifndef TCP_PREFETCH_STREAM_HH
+#define TCP_PREFETCH_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tcp {
+
+/** Stream-buffer pool configuration. */
+struct StreamConfig
+{
+    unsigned buffers = 4;     ///< concurrent streams tracked
+    unsigned depth = 4;       ///< blocks prefetched ahead per stream
+    unsigned block_bytes = 64; ///< stream granularity (L2 blocks)
+};
+
+/** Jouppi-style stream buffers (modelled as a next-block engine). */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    explicit StreamPrefetcher(const StreamConfig &config = {});
+
+    void observeMiss(const AccessContext &ctx,
+                     std::vector<PrefetchRequest> &out) override;
+
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+  private:
+    struct Buffer
+    {
+        bool valid = false;
+        Addr next_block = 0; ///< first block not yet prefetched
+        std::uint64_t lru = 0;
+    };
+
+    StreamConfig config_;
+    std::vector<Buffer> buffers_;
+    std::uint64_t stamp_ = 0;
+
+  public:
+    Counter allocations; ///< streams (re)allocated
+    Counter advances;    ///< misses that matched an active stream
+};
+
+} // namespace tcp
+
+#endif // TCP_PREFETCH_STREAM_HH

@@ -1,0 +1,98 @@
+#include "stride.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+StridePrefetcher::StridePrefetcher(const StrideConfig &config)
+    : Prefetcher("stride"), config_(config),
+      table_(config.entries),
+      steady_hits(stats_, "steady_hits",
+                  "accesses matching a confirmed stride")
+{
+    tcp_assert(isPowerOfTwo(config_.entries),
+               "RPT entries must be a power of two");
+    tcp_assert(config_.degree >= 1, "degree must be >= 1");
+}
+
+StridePrefetcher::Entry &
+StridePrefetcher::entryFor(Pc pc)
+{
+    const std::uint64_t idx = (pc >> 2) & (config_.entries - 1);
+    return table_[idx];
+}
+
+void
+StridePrefetcher::train(const AccessContext &ctx,
+                        std::vector<PrefetchRequest> *out)
+{
+    Entry &e = entryFor(ctx.pc);
+    if (!e.valid || e.pc != ctx.pc) {
+        e = Entry{true, ctx.pc, ctx.addr, 0, State::Initial};
+        return;
+    }
+
+    const std::int64_t stride =
+        static_cast<std::int64_t>(ctx.addr) -
+        static_cast<std::int64_t>(e.last_addr);
+
+    if (stride == e.stride && stride != 0) {
+        // One confirmation suffices (Baer/Chen prefetch from the
+        // transient state): init -> learn stride -> steady.
+        e.state = State::Steady;
+    } else {
+        e.state = State::Initial;
+        e.stride = stride;
+    }
+    e.last_addr = ctx.addr;
+
+    if (e.state == State::Steady) {
+        ++steady_hits;
+        if (out) {
+            for (unsigned d = 1; d <= config_.degree; ++d) {
+                const std::int64_t target =
+                    static_cast<std::int64_t>(ctx.addr) +
+                    e.stride * static_cast<std::int64_t>(d);
+                if (target > 0)
+                    out->push_back(PrefetchRequest{
+                        static_cast<Addr>(target), false});
+            }
+        }
+    }
+}
+
+void
+StridePrefetcher::observeAccess(const AccessContext &ctx,
+                                std::vector<PrefetchRequest> &out)
+{
+    // Hits train the table but do not issue prefetches; misses do
+    // both via observeMiss.
+    (void)out;
+    if (ctx.hit)
+        train(ctx, nullptr);
+}
+
+void
+StridePrefetcher::observeMiss(const AccessContext &ctx,
+                              std::vector<PrefetchRequest> &out)
+{
+    train(ctx, &out);
+}
+
+std::uint64_t
+StridePrefetcher::storageBits() const
+{
+    // pc tag (16) + last addr (32) + stride (16) + state (2)
+    return config_.entries * (16 + 32 + 16 + 2);
+}
+
+void
+StridePrefetcher::reset()
+{
+    for (Entry &e : table_)
+        e = Entry{};
+    stats_.resetAll();
+}
+
+} // namespace tcp

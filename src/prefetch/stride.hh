@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A PC-indexed stride prefetcher after Baer and Chen [2]: a reference
+ * prediction table tracks, per load/store PC, the last address and
+ * stride with a two-bit confidence state; confirmed strides prefetch
+ * addr + stride (x degree) into L2.
+ */
+
+#ifndef TCP_PREFETCH_STRIDE_HH
+#define TCP_PREFETCH_STRIDE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tcp {
+
+/** Configuration of the reference prediction table. */
+struct StrideConfig
+{
+    std::uint64_t entries = 512; ///< RPT entries (power of two)
+    unsigned degree = 2;         ///< prefetches per confirmed stride
+};
+
+/** Baer/Chen-style stride prefetcher. */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(const StrideConfig &config = {});
+
+    /** Trains on every access so strides confirm quickly. */
+    void observeAccess(const AccessContext &ctx,
+                       std::vector<PrefetchRequest> &out) override;
+    void observeMiss(const AccessContext &ctx,
+                     std::vector<PrefetchRequest> &out) override;
+
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+  private:
+    enum class State : std::uint8_t { Initial, Steady };
+
+    struct Entry
+    {
+        bool valid = false;
+        Pc pc = 0;
+        Addr last_addr = 0;
+        std::int64_t stride = 0;
+        State state = State::Initial;
+    };
+
+    Entry &entryFor(Pc pc);
+    /** Shared train/predict step. */
+    void train(const AccessContext &ctx,
+               std::vector<PrefetchRequest> *out);
+
+    StrideConfig config_;
+    std::vector<Entry> table_;
+
+  public:
+    Counter steady_hits; ///< accesses matching a confirmed stride
+};
+
+} // namespace tcp
+
+#endif // TCP_PREFETCH_STRIDE_HH

@@ -1,0 +1,49 @@
+#include "config.hh"
+
+#include <sstream>
+
+namespace tcp {
+
+namespace {
+
+std::string
+describeCache(const CacheConfig &c)
+{
+    std::ostringstream oss;
+    oss << c.size_bytes / 1024 << "KB, " << c.assoc << "-way, "
+        << c.block_bytes << "B blocks, " << c.latency << "-cycle latency, "
+        << c.mshrs << " MSHRs";
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+MachineConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << "Processor Core\n"
+        << "  Clock rate          2GHz\n"
+        << "  Instruction window  " << core.rob_entries << "-RUU, "
+        << core.lsq_entries << "-LSQ\n"
+        << "  Issue width         " << core.issue_width
+        << " instructions per cycle\n"
+        << "  Functional units    " << core.int_alu << " IntALU, "
+        << core.int_mult << " IntMult/Div, " << core.fp_alu << " FPALU, "
+        << core.fp_mult << " FPMult/Div, " << core.mem_ports
+        << " Load/Store Units\n"
+        << "Memory Hierarchy\n"
+        << "  L1 Dcache           " << describeCache(l1d) << "\n"
+        << "  L1 Icache           " << describeCache(l1i) << "\n"
+        << "  L1/L2 bus           " << l1l2_bus.bytes_per_cycle
+        << "-byte wide, 2GHz\n"
+        << "  L2                  " << describeCache(l2) << "\n"
+        << "  Memory latency      " << memory_latency << " cycles\n";
+    if (ideal_l2)
+        oss << "  (ideal L2: every L2 access hits)\n";
+    if (prefetch_bus)
+        oss << "  (dedicated L1/L2 prefetch bus enabled)\n";
+    return oss.str();
+}
+
+} // namespace tcp

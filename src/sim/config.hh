@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Machine configuration structures. Defaults reproduce Table 1 of the
+ * paper: an 8-issue out-of-order core at 2 GHz with a 32 KB
+ * direct-mapped L1 D-cache, 32 KB 4-way L1 I-cache, 1 MB 4-way L2
+ * (12-cycle latency), a 32-byte 2 GHz L1/L2 bus, and 70-cycle memory.
+ */
+
+#ifndef TCP_SIM_CONFIG_HH
+#define TCP_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace tcp {
+
+/**
+ * Replacement policy selector shared by the cache models (defined
+ * here so MachineConfig can carry it without including mem/).
+ */
+enum class ReplPolicy : std::uint8_t
+{
+    LRU,      ///< true least-recently-used (stamp-based)
+    Random,   ///< deterministic pseudo-random victim
+    TreePLRU, ///< tree pseudo-LRU (the common hardware approximation)
+};
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t size_bytes = 32 * 1024;
+    unsigned assoc = 1;
+    unsigned block_bytes = 32;
+    Cycle latency = 1;
+    unsigned mshrs = 64;
+    ReplPolicy repl = ReplPolicy::LRU;
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t numSets() const
+    {
+        return size_bytes / (static_cast<std::uint64_t>(assoc) *
+                             block_bytes);
+    }
+};
+
+/** A bandwidth-limited bus between two memory levels. */
+struct BusConfig
+{
+    std::string name = "bus";
+    /** Bus width in bytes per core cycle (32-byte bus at core clock). */
+    unsigned bytes_per_cycle = 32;
+};
+
+/** Out-of-order core resources (Table 1, "Processor Core"). */
+struct CoreConfig
+{
+    unsigned rob_entries = 128;   ///< RUU size
+    unsigned lsq_entries = 128;   ///< load/store queue size
+    unsigned issue_width = 8;     ///< instructions per cycle
+    unsigned int_alu = 8;
+    unsigned int_mult = 3;
+    unsigned fp_alu = 6;
+    unsigned fp_mult = 2;
+    unsigned mem_ports = 4;       ///< load/store units
+};
+
+/** Whole-machine configuration (Table 1). */
+struct MachineConfig
+{
+    CoreConfig core;
+
+    CacheConfig l1d{"L1D", 32 * 1024, 1, 32, /*latency=*/1, 64};
+    CacheConfig l1i{"L1I", 32 * 1024, 4, 32, /*latency=*/1, 8};
+    CacheConfig l2{"L2", 1024 * 1024, 4, 64, /*latency=*/12, 64};
+
+    BusConfig l1l2_bus{"L1/L2 bus", 32};
+    /**
+     * The memory bus is sized so that, as the paper observes for
+     * SPEC2000, L1/L2 bus occupancy exceeds L2/memory occupancy
+     * (one 64B L2 block per cycle vs. one 32B L1 block per cycle
+     * plus instruction traffic and promotions).
+     */
+    BusConfig mem_bus{"L2/memory bus", 64};
+
+    /** Main memory access latency in core cycles. */
+    Cycle memory_latency = 70;
+
+    /**
+     * When true, every L2 access hits (the "ideal L2" used by
+     * Figure 1 to bound the achievable speedup).
+     */
+    bool ideal_l2 = false;
+
+    /**
+     * When true, the hybrid prefetcher gets a dedicated L1/L2
+     * prefetch bus (Section 5.2.2) so L1 promotions do not contend
+     * with demand traffic.
+     */
+    bool prefetch_bus = false;
+
+    /**
+     * Placement study (Section 4 chooses the L1/L2 boundary): when
+     * true, the prefetcher observes the *L2* demand-miss stream
+     * instead of the L1 miss stream. The engine must be configured
+     * with L2 geometry (64 B blocks, 4096 sets).
+     */
+    bool train_on_l2_misses = false;
+
+    /**
+     * Counterfactual for Section 5.2.2: apply to_l1 promotions
+     * unconditionally, without the dead-block gate. The paper argues
+     * wrong or ill-timed L1 prefetches "can create significant
+     * disruption" — this switch lets the fig14 bench demonstrate it.
+     */
+    bool naive_l1_promote = false;
+
+    /** @return the Table 1 default configuration. */
+    static MachineConfig makeDefault() { return MachineConfig{}; }
+
+    /** Render a human-readable summary (reproduces Table 1). */
+    std::string describe() const;
+};
+
+} // namespace tcp
+
+#endif // TCP_SIM_CONFIG_HH

@@ -1,0 +1,111 @@
+#include "stats.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+Counter::Counter(StatGroup &group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    group.adopt(this);
+}
+
+Distribution::Distribution(StatGroup &group, std::string name,
+                           std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    group.adopt(this);
+}
+
+Histogram::Histogram(StatGroup &group, std::string name,
+                     std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    group.adopt(this);
+}
+
+std::uint64_t
+Histogram::quantileBound(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    const auto want = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        seen += buckets_[b];
+        if (seen > want)
+            return b == 0 ? 0 : (std::uint64_t{1} << b);
+    }
+    return std::uint64_t{1} << (kBuckets - 1);
+}
+
+void
+Histogram::reset()
+{
+    total_ = 0;
+    for (auto &b : buckets_)
+        b = 0;
+}
+
+StatGroup::StatGroup(StatGroup &parent, const std::string &name)
+    : name_(parent.name() + "." + name)
+{
+    parent.adopt(this);
+}
+
+std::string
+StatGroup::report() const
+{
+    std::ostringstream oss;
+    for (const Counter *c : counters_) {
+        oss << std::left << std::setw(44) << (name_ + "." + c->name())
+            << std::right << std::setw(16) << c->value()
+            << "  # " << c->desc() << "\n";
+    }
+    for (const Distribution *d : dists_) {
+        oss << std::left << std::setw(44)
+            << (name_ + "." + d->name() + ".mean") << std::right
+            << std::setw(16) << std::fixed << std::setprecision(4)
+            << d->mean() << "  # " << d->desc() << " (n=" << d->count()
+            << ", min=" << d->minValue() << ", max=" << d->maxValue()
+            << ")\n";
+    }
+    for (const Histogram *h : hists_) {
+        oss << std::left << std::setw(44)
+            << (name_ + "." + h->name()) << std::right << std::setw(16)
+            << h->total() << "  # " << h->desc()
+            << " (p50<=" << h->quantileBound(0.5) << ", p99<="
+            << h->quantileBound(0.99) << ")\n";
+    }
+    for (const StatGroup *g : children_)
+        oss << g->report();
+    return oss.str();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Counter *c : counters_)
+        c->reset();
+    for (Distribution *d : dists_)
+        d->reset();
+    for (Histogram *h : hists_)
+        h->reset();
+    for (StatGroup *g : children_)
+        g->resetAll();
+}
+
+const Counter &
+StatGroup::counter(const std::string &name) const
+{
+    for (const Counter *c : counters_)
+        if (c->name() == name)
+            return *c;
+    tcp_panic("no counter named '", name, "' in group '", name_, "'");
+}
+
+} // namespace tcp

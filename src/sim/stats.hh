@@ -1,0 +1,167 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's: named counters,
+ * scalars, and distributions register themselves with a StatGroup,
+ * which can render a formatted report after simulation.
+ */
+
+#ifndef TCP_SIM_STATS_HH
+#define TCP_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tcp {
+
+class StatGroup;
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    /** Register a counter named @p name under @p group. */
+    Counter(StatGroup &group, std::string name, std::string desc);
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    void reset() { value_ = 0; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t value_ = 0;
+};
+
+/** Streaming min/max/mean over sampled values. */
+class Distribution
+{
+  public:
+    Distribution(StatGroup &group, std::string name, std::string desc);
+
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minValue() const { return count_ ? min_ : 0.0; }
+    double maxValue() const { return count_ ? max_ : 0.0; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A log2-bucketed histogram: sample values are counted into
+ * power-of-two buckets, giving cheap latency/size distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram(StatGroup &group, std::string name, std::string desc);
+
+    void
+    sample(std::uint64_t v)
+    {
+        ++total_;
+        unsigned b = 0;
+        while ((std::uint64_t{1} << b) <= v && b + 1 < kBuckets)
+            ++b;
+        ++buckets_[b];
+    }
+
+    /** Count of samples in [2^(b-1), 2^b) (bucket 0: value 0). */
+    std::uint64_t bucket(unsigned b) const { return buckets_[b]; }
+    std::uint64_t total() const { return total_; }
+
+    /** Smallest power-of-two upper bound covering quantile @p q. */
+    std::uint64_t quantileBound(double q) const;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    void reset();
+
+    static constexpr unsigned kBuckets = 40;
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t total_ = 0;
+    std::uint64_t buckets_[kBuckets] = {};
+};
+
+/**
+ * A registry of statistics belonging to one component. Groups may nest
+ * (a child registers under a parent with a dotted prefix).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+    StatGroup(StatGroup &parent, const std::string &name);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Render all registered statistics, one per line. */
+    std::string report() const;
+
+    /** Reset every registered statistic to zero. */
+    void resetAll();
+
+    /** Look up a counter by name; panics if absent (test helper). */
+    const Counter &counter(const std::string &name) const;
+
+  private:
+    friend class Counter;
+    friend class Distribution;
+    friend class Histogram;
+
+    void adopt(Counter *c) { counters_.push_back(c); }
+    void adopt(Distribution *d) { dists_.push_back(d); }
+    void adopt(Histogram *h) { hists_.push_back(h); }
+    void adopt(StatGroup *g) { children_.push_back(g); }
+
+    std::string name_;
+    std::vector<Counter *> counters_;
+    std::vector<Distribution *> dists_;
+    std::vector<Histogram *> hists_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace tcp
+
+#endif // TCP_SIM_STATS_HH

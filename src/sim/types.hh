@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental simulator types shared by every subsystem.
+ */
+
+#ifndef TCP_SIM_TYPES_HH
+#define TCP_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace tcp {
+
+/** A byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** A cache tag (the address bits above index+offset). */
+using Tag = std::uint64_t;
+
+/** A cache set index. */
+using SetIndex = std::uint64_t;
+
+/** A simulated clock cycle count (core clock domain, 2 GHz). */
+using Cycle = std::uint64_t;
+
+/** A program counter value. */
+using Pc = std::uint64_t;
+
+/** Sentinel for "no valid tag stored". */
+inline constexpr Tag kInvalidTag = ~Tag{0};
+
+/** Sentinel for "no valid address". */
+inline constexpr Addr kInvalidAddr = ~Addr{0};
+
+/** Memory access direction. */
+enum class AccessType : std::uint8_t { Read, Write };
+
+/** Why a request arrived at a cache: CPU demand or prefetch engine. */
+enum class RequestOrigin : std::uint8_t { Demand, Prefetch };
+
+} // namespace tcp
+
+#endif // TCP_SIM_TYPES_HH

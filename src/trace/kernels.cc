@@ -1,0 +1,561 @@
+#include "kernels.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+Kernel::Kernel(std::string name, const KernelParams &params)
+    : params_(params), rng_(params.seed), name_(std::move(name))
+{
+}
+
+void
+Kernel::reset()
+{
+    rng_.reseed(params_.seed);
+    pc_slot_ = 0;
+    has_last_mem_ = false;
+    last_mem_idx_ = 0;
+}
+
+void
+Kernel::beginStep()
+{
+    // Each iteration reuses the same PC layout so that per-PC
+    // predictors (stride tables, DBCP signatures) see stable PCs.
+    pc_slot_ = 0;
+}
+
+MicroOp
+Kernel::makeOp(OpClass cls)
+{
+    MicroOp op;
+    op.cls = cls;
+    op.pc = params_.code_base + 4 * pc_slot_++;
+    return op;
+}
+
+void
+Kernel::emitCompute(std::vector<MicroOp> &out, unsigned count)
+{
+    for (unsigned i = 0; i < count; ++i) {
+        const bool fp = rng_.chance(params_.fp_fraction);
+        OpClass cls;
+        if (fp) {
+            cls = rng_.chance(0.25) ? OpClass::FpMult : OpClass::FpAlu;
+        } else {
+            cls = rng_.chance(0.1) ? OpClass::IntMult : OpClass::IntAlu;
+        }
+        MicroOp op = makeOp(cls);
+        // Short dependence chains give realistic ILP (not infinite).
+        op.dep1 = static_cast<std::uint8_t>(rng_.chance(0.6) ? 1 : 0);
+        op.dep2 = static_cast<std::uint8_t>(rng_.chance(0.3) ? 2 : 0);
+        out.push_back(op);
+    }
+}
+
+void
+Kernel::emitMem(std::vector<MicroOp> &out, Addr addr, std::uint8_t dep1)
+{
+    const bool store = rng_.chance(params_.store_fraction);
+    MicroOp op = makeOp(store ? OpClass::Store : OpClass::Load);
+    if (params_.pc_variants > 1) {
+        // The access issues from one of several code sites; each
+        // variant body lives 1 KB apart in the kernel's code region.
+        const std::uint64_t v = rng_.below(params_.pc_variants);
+        op.pc += v * 0x400;
+    }
+    op.addr = addr;
+    op.dep1 = dep1;
+    out.push_back(op);
+}
+
+void
+Kernel::emitSerialMem(std::vector<MicroOp> &out, Addr addr,
+                      std::uint64_t global_idx)
+{
+    // pc_slot_ counts the ops emitted so far in this step, so the
+    // op's stream position is the step's base index plus that count
+    // (out may accumulate many steps; its size is not the offset).
+    const std::uint64_t this_idx = global_idx + pc_slot_;
+    std::uint8_t dep = 0;
+    if (has_last_mem_) {
+        const std::uint64_t dist = this_idx - last_mem_idx_;
+        dep = static_cast<std::uint8_t>(std::min<std::uint64_t>(dist,
+                                                                255));
+    }
+    emitMem(out, addr, dep);
+    last_mem_idx_ = this_idx;
+    has_last_mem_ = true;
+}
+
+void
+Kernel::emitBranch(std::vector<MicroOp> &out)
+{
+    MicroOp op = makeOp(OpClass::Branch);
+    op.dep1 = 1;
+    op.mispredicted = rng_.chance(params_.mispredict_rate);
+    out.push_back(op);
+}
+
+// ---------------------------------------------------------------------
+// StridedSweepKernel
+
+StridedSweepKernel::StridedSweepKernel(const KernelParams &params,
+                                       Addr footprint, Addr stride)
+    : Kernel("strided_sweep", params), footprint_(footprint),
+      stride_(stride)
+{
+    tcp_assert(stride_ > 0, "stride must be positive");
+    tcp_assert(footprint_ >= stride_, "footprint smaller than stride");
+}
+
+void
+StridedSweepKernel::step(std::vector<MicroOp> &out, std::uint64_t)
+{
+    beginStep();
+    emitCompute(out, params_.compute_per_access);
+    emitMem(out, params_.base + pos_);
+    pos_ += stride_;
+    if (pos_ >= footprint_)
+        pos_ = 0;
+    emitBranch(out);
+}
+
+void
+StridedSweepKernel::reset()
+{
+    Kernel::reset();
+    pos_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// MultiStreamKernel
+
+MultiStreamKernel::MultiStreamKernel(const KernelParams &params,
+                                     unsigned streams,
+                                     Addr stream_footprint, Addr stride,
+                                     Addr stream_spacing)
+    : Kernel("multi_stream", params), streams_(streams),
+      footprint_(stream_footprint), stride_(stride),
+      spacing_(stream_spacing)
+{
+    tcp_assert(streams_ > 0, "need at least one stream");
+    tcp_assert(spacing_ >= footprint_,
+               "streams must not overlap: spacing < footprint");
+}
+
+void
+MultiStreamKernel::step(std::vector<MicroOp> &out, std::uint64_t)
+{
+    beginStep();
+    for (unsigned s = 0; s < streams_; ++s) {
+        // Skew the streams across the L1 index space so their visits
+        // to any one cache set interleave with a long lead instead of
+        // landing back to back — matching how distinct arrays in real
+        // code are not page-aligned with each other.
+        const Addr skew = (Addr{s} * 32768 / streams_) & ~Addr{63};
+        emitCompute(out, params_.compute_per_access);
+        emitMem(out, params_.base + s * spacing_ + skew + pos_);
+    }
+    pos_ += stride_;
+    if (pos_ >= footprint_)
+        pos_ = 0;
+    emitBranch(out);
+}
+
+void
+MultiStreamKernel::reset()
+{
+    Kernel::reset();
+    pos_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// PointerChaseKernel
+
+PointerChaseKernel::PointerChaseKernel(const KernelParams &params,
+                                       std::uint64_t nodes,
+                                       unsigned node_bytes, bool serial,
+                                       Addr region_bytes)
+    : Kernel("pointer_chase", params), node_bytes_(node_bytes),
+      serial_(serial), region_bytes_(region_bytes)
+{
+    tcp_assert(nodes >= 2, "pointer chase needs at least two nodes");
+    tcp_assert(nodes <= (std::uint64_t{1} << 32),
+               "node index must fit 32 bits");
+    if (region_bytes_ > 0) {
+        tcp_assert(region_bytes_ % node_bytes_ == 0,
+                   "region size must be a multiple of the node size");
+        tcp_assert(nodes * node_bytes_ % region_bytes_ == 0,
+                   "footprint must be a whole number of regions");
+    }
+    next_.resize(nodes);
+    buildPermutation();
+}
+
+namespace {
+
+/** Arrange 0..n-1 as a uniformly random single cycle (Sattolo). */
+std::vector<std::uint32_t>
+randomCycle(std::uint64_t n, Rng &rng)
+{
+    std::vector<std::uint32_t> items(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        items[i] = static_cast<std::uint32_t>(i);
+    for (std::uint64_t i = n - 1; i > 0; --i) {
+        const std::uint64_t j = rng.below(i);
+        std::swap(items[i], items[j]);
+    }
+    return items;
+}
+
+} // namespace
+
+void
+PointerChaseKernel::buildPermutation()
+{
+    Rng perm_rng(params_.seed ^ 0xabcdef12345ULL);
+    const std::uint64_t n = next_.size();
+
+    std::vector<std::uint32_t> order;
+    if (region_bytes_ == 0) {
+        order = randomCycle(n, perm_rng);
+    } else {
+        // Visit the regions in a fixed random cycle; within each
+        // region visit its nodes in a fixed random order.
+        const std::uint64_t per_region = region_bytes_ / node_bytes_;
+        const std::uint64_t regions = n / per_region;
+        const auto region_order = randomCycle(regions, perm_rng);
+        order.reserve(n);
+        for (std::uint64_t r = 0; r < regions; ++r) {
+            auto inner = randomCycle(per_region, perm_rng);
+            for (std::uint64_t k = 0; k < per_region; ++k) {
+                order.push_back(static_cast<std::uint32_t>(
+                    region_order[r] * per_region + inner[k]));
+            }
+        }
+    }
+
+    // order describes the lap: order[i] -> order[i+1] -> ... -> order[0]
+    for (std::uint64_t i = 0; i + 1 < n; ++i)
+        next_[order[i]] = order[i + 1];
+    next_[order[n - 1]] = order[0];
+    cur_ = order[0];
+}
+
+void
+PointerChaseKernel::step(std::vector<MicroOp> &out,
+                         std::uint64_t global_idx)
+{
+    beginStep();
+    emitCompute(out, params_.compute_per_access);
+    const Addr addr = params_.base + Addr{cur_} * node_bytes_;
+    if (serial_) {
+        emitSerialMem(out, addr, global_idx);
+    } else {
+        emitMem(out, addr);
+    }
+    cur_ = next_[cur_];
+    emitBranch(out);
+}
+
+void
+PointerChaseKernel::reset()
+{
+    Kernel::reset();
+    buildPermutation();
+}
+
+// ---------------------------------------------------------------------
+// HashProbeKernel
+
+HashProbeKernel::HashProbeKernel(const KernelParams &params,
+                                 Addr table_bytes, std::uint64_t period,
+                                 unsigned probes_per_step)
+    : Kernel("hash_probe", params), table_bytes_(table_bytes),
+      period_(period), probes_(probes_per_step)
+{
+    tcp_assert(period_ > 0, "period must be positive");
+    tcp_assert(table_bytes_ >= 64, "hash table too small");
+}
+
+Addr
+HashProbeKernel::probeAddr(std::uint64_t position) const
+{
+    // A fixed hash of the position within the period: position p maps
+    // to the same slot on every repetition of the key stream.
+    std::uint64_t h = (position % period_) ^ params_.seed;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    const Addr slot = (h % (table_bytes_ / 64)) * 64;
+    return params_.base + slot;
+}
+
+void
+HashProbeKernel::step(std::vector<MicroOp> &out, std::uint64_t)
+{
+    beginStep();
+    for (unsigned p = 0; p < probes_; ++p) {
+        emitCompute(out, params_.compute_per_access);
+        emitMem(out, probeAddr(pos_++));
+    }
+    emitBranch(out);
+}
+
+void
+HashProbeKernel::reset()
+{
+    Kernel::reset();
+    pos_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// RandomWalkKernel
+
+RandomWalkKernel::RandomWalkKernel(const KernelParams &params,
+                                   Addr footprint)
+    : Kernel("random_walk", params), footprint_(footprint)
+{
+    tcp_assert(footprint_ >= 64, "random walk footprint too small");
+}
+
+void
+RandomWalkKernel::step(std::vector<MicroOp> &out, std::uint64_t)
+{
+    beginStep();
+    emitCompute(out, params_.compute_per_access);
+    const Addr offset = rng_.below(footprint_ / 8) * 8;
+    emitMem(out, params_.base + offset);
+    emitBranch(out);
+}
+
+void
+RandomWalkKernel::reset()
+{
+    Kernel::reset();
+}
+
+// ---------------------------------------------------------------------
+// ComputeKernel
+
+ComputeKernel::ComputeKernel(const KernelParams &params,
+                             unsigned ops_per_step, Addr scratch_bytes)
+    : Kernel("compute", params), ops_per_step_(ops_per_step),
+      scratch_bytes_(scratch_bytes)
+{
+    tcp_assert(ops_per_step_ > 0, "compute kernel needs work");
+}
+
+void
+ComputeKernel::step(std::vector<MicroOp> &out, std::uint64_t)
+{
+    beginStep();
+    emitCompute(out, ops_per_step_);
+    // A small resident scratch access keeps the data path warm
+    // without generating misses after warmup.
+    emitMem(out, params_.base + pos_);
+    pos_ = (pos_ + 8) % scratch_bytes_;
+    emitBranch(out);
+}
+
+void
+ComputeKernel::reset()
+{
+    Kernel::reset();
+    pos_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// GatherKernel
+
+GatherKernel::GatherKernel(const KernelParams &params,
+                           std::uint64_t index_entries, Addr data_bytes)
+    : Kernel("gather", params), entries_(index_entries),
+      data_bytes_(data_bytes)
+{
+    tcp_assert(entries_ > 0, "gather needs a nonempty index array");
+    tcp_assert(data_bytes_ >= 64, "gather data region too small");
+}
+
+Addr
+GatherKernel::targetOf(std::uint64_t i) const
+{
+    // Fixed hash of the index position: the same scatter order every
+    // lap (the index array's contents do not change).
+    std::uint64_t h = i ^ (params_.seed * 0x9e3779b97f4a7c15ULL);
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return (h % (data_bytes_ / 64)) * 64;
+}
+
+void
+GatherKernel::step(std::vector<MicroOp> &out, std::uint64_t global_idx)
+{
+    beginStep();
+    emitCompute(out, params_.compute_per_access);
+    // The index load: sequential, 4-byte entries.
+    const Addr index_base = params_.base;
+    emitMem(out, index_base + (pos_ % entries_) * 4);
+    // The gathered data load depends on the index value.
+    const Addr data_base =
+        params_.base + ((entries_ * 4 + 0xffff) & ~Addr{0xffff}) +
+        0x1000000;
+    emitSerialMem(out, data_base + targetOf(pos_ % entries_),
+                  global_idx);
+    ++pos_;
+    emitBranch(out);
+}
+
+void
+GatherKernel::reset()
+{
+    Kernel::reset();
+    pos_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// ZipfProbeKernel
+
+ZipfProbeKernel::ZipfProbeKernel(const KernelParams &params,
+                                 Addr table_bytes, std::uint64_t period)
+    : Kernel("zipf_probe", params), table_bytes_(table_bytes),
+      period_(period)
+{
+    tcp_assert(table_bytes_ >= 4096, "zipf table too small");
+    tcp_assert(period_ > 0, "period must be positive");
+}
+
+Addr
+ZipfProbeKernel::probeAddr(std::uint64_t position) const
+{
+    // Deterministic per-position draw: rank ~ 1/u (truncated), then
+    // a fixed hash maps rank -> slot so ranks are scattered.
+    std::uint64_t h = (position % period_) ^
+                      (params_.seed * 0xc4ceb9fe1a85ec53ULL);
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    const std::uint64_t slots = table_bytes_ / 64;
+    // u in (0, 1]; rank = min(slots-1, 1/u - 1) gives ~1/rank mass.
+    const double u =
+        (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+    auto rank = static_cast<std::uint64_t>(1.0 / u) - 1;
+    if (rank >= slots)
+        rank = rank % slots;
+    // Scatter ranks over the table.
+    std::uint64_t g = rank * 0x9e3779b97f4a7c15ULL;
+    g ^= g >> 29;
+    return (g % slots) * 64;
+}
+
+void
+ZipfProbeKernel::step(std::vector<MicroOp> &out, std::uint64_t)
+{
+    beginStep();
+    emitCompute(out, params_.compute_per_access);
+    emitMem(out, params_.base + probeAddr(pos_++));
+    emitBranch(out);
+}
+
+void
+ZipfProbeKernel::reset()
+{
+    Kernel::reset();
+    pos_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// TreeTraversalKernel
+
+TreeTraversalKernel::TreeTraversalKernel(const KernelParams &params,
+                                         unsigned levels,
+                                         unsigned node_bytes,
+                                         std::uint64_t period)
+    : Kernel("tree_traversal", params), levels_(levels),
+      node_bytes_(node_bytes), period_(period)
+{
+    tcp_assert(levels_ >= 2 && levels_ <= 30,
+               "tree depth must be 2..30");
+    tcp_assert(period_ > 0, "period must be positive");
+}
+
+bool
+TreeTraversalKernel::goRight(std::uint64_t descent,
+                             unsigned depth) const
+{
+    std::uint64_t h = (descent % period_) * 0x9e3779b97f4a7c15ULL;
+    h ^= (depth + 1) * 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 31;
+    return h & 1;
+}
+
+void
+TreeTraversalKernel::step(std::vector<MicroOp> &out,
+                          std::uint64_t global_idx)
+{
+    beginStep();
+    // Level-order layout: node i's children are 2i+1 and 2i+2.
+    std::uint64_t node = 0;
+    for (unsigned depth = 0; depth < levels_; ++depth) {
+        emitCompute(out, params_.compute_per_access);
+        // Each hop's address depends on the node just loaded.
+        emitSerialMem(out, params_.base + node * node_bytes_,
+                      global_idx);
+        node = 2 * node + (goRight(descent_, depth) ? 2 : 1);
+    }
+    ++descent_;
+    emitBranch(out);
+}
+
+void
+TreeTraversalKernel::reset()
+{
+    Kernel::reset();
+    descent_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// StencilKernel
+
+StencilKernel::StencilKernel(const KernelParams &params,
+                             std::uint64_t rows, std::uint64_t cols,
+                             unsigned elem_bytes)
+    : Kernel("stencil", params), rows_(rows), cols_(cols),
+      elem_bytes_(elem_bytes)
+{
+    tcp_assert(rows_ >= 3, "stencil needs at least 3 rows");
+    tcp_assert(cols_ > 0, "stencil needs columns");
+}
+
+void
+StencilKernel::step(std::vector<MicroOp> &out, std::uint64_t)
+{
+    beginStep();
+    const Addr row_bytes = cols_ * elem_bytes_;
+    const Addr center = params_.base + row_ * row_bytes +
+                        col_ * elem_bytes_;
+    emitCompute(out, params_.compute_per_access);
+    emitMem(out, center - row_bytes); // north
+    emitMem(out, center);             // centre
+    emitMem(out, center + row_bytes); // south
+    if (++col_ >= cols_) {
+        col_ = 0;
+        if (++row_ >= rows_ - 1)
+            row_ = 1;
+    }
+    emitBranch(out);
+}
+
+void
+StencilKernel::reset()
+{
+    Kernel::reset();
+    row_ = 1;
+    col_ = 0;
+}
+
+} // namespace tcp

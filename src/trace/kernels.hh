@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Composable access-pattern kernels used to synthesise SPEC2000-like
+ * workloads. Each kernel emits the micro-ops of one loop iteration at
+ * a time: a few compute ops, its memory accesses, and a loop branch.
+ *
+ * Kernels are the behavioural vocabulary the workload suite is built
+ * from (see trace/workloads.cc): strided sweeps give the regular,
+ * high-spatial-locality miss streams of the Fortran codes; pointer
+ * chases give repetitive-but-irregular streams that only correlation
+ * prefetchers can cover; random walks give uncorrelated noise.
+ */
+
+#ifndef TCP_TRACE_KERNELS_HH
+#define TCP_TRACE_KERNELS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/microop.hh"
+#include "util/random.hh"
+
+namespace tcp {
+
+/** Parameters shared by every kernel. */
+struct KernelParams
+{
+    /** Base virtual address of the kernel's data region. */
+    Addr base = 0;
+    /** First PC of the kernel's loop body (instruction side). */
+    Pc code_base = 0x400000;
+    /** Compute (non-memory) ops emitted per memory access. */
+    unsigned compute_per_access = 2;
+    /** Fraction of compute that goes to FP units. */
+    double fp_fraction = 0.0;
+    /** Fraction of memory accesses that are stores. */
+    double store_fraction = 0.1;
+    /** Probability the loop branch resolves mispredicted. */
+    double mispredict_rate = 0.01;
+    /**
+     * Number of distinct code sites the kernel's memory accesses can
+     * issue from (1 = a single stable PC per slot). Real loop bodies
+     * touch the same data from several inlined/specialised sites, so
+     * PC-trace-based predictors (DBCP) see signature variation.
+     */
+    unsigned pc_variants = 1;
+    /** RNG seed; every kernel instance is deterministic. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Base class for access-pattern kernels. step() appends the ops of
+ * one iteration to @p out; @p global_idx is the stream position the
+ * first emitted op will occupy (used to compute producer distances
+ * that span iterations).
+ */
+class Kernel
+{
+  public:
+    Kernel(std::string name, const KernelParams &params);
+    virtual ~Kernel() = default;
+
+    /** Emit one iteration of the kernel. */
+    virtual void step(std::vector<MicroOp> &out,
+                      std::uint64_t global_idx) = 0;
+
+    /** Restore the construction-time state (bit-exact replay). */
+    virtual void reset();
+
+    const std::string &name() const { return name_; }
+
+  protected:
+    /// @name Emission helpers (maintain per-iteration PC layout)
+    /// @{
+    void beginStep();
+    void emitCompute(std::vector<MicroOp> &out, unsigned count);
+    void emitMem(std::vector<MicroOp> &out, Addr addr,
+                 std::uint8_t dep1 = 0);
+    /**
+     * Emit a memory op whose address operand is produced by the
+     * previous memory op this kernel emitted (serial pointer chase).
+     */
+    void emitSerialMem(std::vector<MicroOp> &out, Addr addr,
+                       std::uint64_t global_idx);
+    void emitBranch(std::vector<MicroOp> &out);
+    /// @}
+
+    KernelParams params_;
+    Rng rng_;
+
+  private:
+    MicroOp makeOp(OpClass cls);
+
+    std::string name_;
+    unsigned pc_slot_ = 0;
+    /** Global index of the last memory op emitted (for serial deps). */
+    std::uint64_t last_mem_idx_ = 0;
+    bool has_last_mem_ = false;
+};
+
+/**
+ * Repeatedly sweeps a region with a constant stride, restarting at
+ * the base when the end is reached. Footprints larger than a cache
+ * level produce a perfectly periodic miss stream at that level.
+ */
+class StridedSweepKernel : public Kernel
+{
+  public:
+    /**
+     * @param footprint region size in bytes
+     * @param stride access stride in bytes
+     */
+    StridedSweepKernel(const KernelParams &params, Addr footprint,
+                       Addr stride);
+
+    void step(std::vector<MicroOp> &out, std::uint64_t global_idx)
+        override;
+    void reset() override;
+
+    Addr footprint() const { return footprint_; }
+
+  private:
+    Addr footprint_;
+    Addr stride_;
+    Addr pos_ = 0;
+};
+
+/**
+ * Interleaves several strided streams at widely separated bases, as
+ * in the multi-array inner loops of swim/mgrid/applu. Each step
+ * touches every stream once.
+ */
+class MultiStreamKernel : public Kernel
+{
+  public:
+    MultiStreamKernel(const KernelParams &params, unsigned streams,
+                      Addr stream_footprint, Addr stride,
+                      Addr stream_spacing);
+
+    void step(std::vector<MicroOp> &out, std::uint64_t global_idx)
+        override;
+    void reset() override;
+
+  private:
+    unsigned streams_;
+    Addr footprint_;
+    Addr stride_;
+    Addr spacing_;
+    Addr pos_ = 0;
+};
+
+/**
+ * Traverses a fixed cyclic permutation of nodes: the address sequence
+ * is irregular but identical on every lap, so correlation-based
+ * prefetchers can learn it while stride-based ones cannot. With
+ * serial=true each load's address depends on the previous load (a
+ * true pointer chase).
+ *
+ * Two traversal structures are available:
+ *  - region_bytes == 0: a uniformly random single cycle (Sattolo).
+ *    Every cache set sees an unrelated tag order, so only private
+ *    (per-set) correlation tables can learn it — the structure that
+ *    makes mcf hostile to pattern sharing.
+ *  - region_bytes > 0: nodes are visited region by region (regions
+ *    in a fixed random cycle, nodes within a region in a fixed
+ *    random order), modelling pool/arena allocation where a
+ *    traversal drains one allocation region before the next. With
+ *    32 KB regions every L1 set then sees the *same* region-tag
+ *    sequence, which is precisely the cross-set sequence sharing the
+ *    paper measures in Figure 7.
+ */
+class PointerChaseKernel : public Kernel
+{
+  public:
+    PointerChaseKernel(const KernelParams &params, std::uint64_t nodes,
+                       unsigned node_bytes, bool serial = true,
+                       Addr region_bytes = 0);
+
+    void step(std::vector<MicroOp> &out, std::uint64_t global_idx)
+        override;
+    void reset() override;
+
+    std::uint64_t nodes() const { return next_.size(); }
+
+  private:
+    void buildPermutation();
+
+    unsigned node_bytes_;
+    bool serial_;
+    Addr region_bytes_;
+    std::vector<std::uint32_t> next_;
+    std::uint64_t cur_ = 0;
+};
+
+/**
+ * Accesses pseudo-random locations in a table following a sequence
+ * that repeats with a fixed period: position p in the period always
+ * maps to the same address. Models hash/dictionary lookups whose key
+ * stream recurs (parser, perlbmk) — learnable by correlation given
+ * enough table capacity, with the period controlling how much.
+ */
+class HashProbeKernel : public Kernel
+{
+  public:
+    HashProbeKernel(const KernelParams &params, Addr table_bytes,
+                    std::uint64_t period, unsigned probes_per_step = 1);
+
+    void step(std::vector<MicroOp> &out, std::uint64_t global_idx)
+        override;
+    void reset() override;
+
+  private:
+    Addr probeAddr(std::uint64_t position) const;
+
+    Addr table_bytes_;
+    std::uint64_t period_;
+    unsigned probes_;
+    std::uint64_t pos_ = 0;
+};
+
+/**
+ * Uniform random accesses over a region: no temporal structure at
+ * all. Defeats every prefetcher; used as the noise component of the
+ * irregular integer codes (crafty, twolf, vpr).
+ */
+class RandomWalkKernel : public Kernel
+{
+  public:
+    RandomWalkKernel(const KernelParams &params, Addr footprint);
+
+    void step(std::vector<MicroOp> &out, std::uint64_t global_idx)
+        override;
+    void reset() override;
+
+  private:
+    Addr footprint_;
+};
+
+/**
+ * Pure register compute with branches and no memory accesses beyond
+ * a small resident scratch area; models the non-memory-bound codes
+ * (eon, sixtrack, mesa cores).
+ */
+class ComputeKernel : public Kernel
+{
+  public:
+    ComputeKernel(const KernelParams &params, unsigned ops_per_step,
+                  Addr scratch_bytes = 8 * 1024);
+
+    void step(std::vector<MicroOp> &out, std::uint64_t global_idx)
+        override;
+    void reset() override;
+
+  private:
+    unsigned ops_per_step_;
+    Addr scratch_bytes_;
+    Addr pos_ = 0;
+};
+
+/**
+ * Indexed gather: a[b[i]] — a sequential sweep over an index array
+ * whose (fixed, pseudo-random) contents scatter into a data array.
+ * The index stream is stride-friendly; the data stream repeats the
+ * same scattered order every lap, so it is correlation-friendly but
+ * stride-hostile. Models sparse-matrix and table-driven codes.
+ */
+class GatherKernel : public Kernel
+{
+  public:
+    /**
+     * @param index_entries length of the index array (one lap)
+     * @param data_bytes size of the gathered-into region
+     */
+    GatherKernel(const KernelParams &params,
+                 std::uint64_t index_entries, Addr data_bytes);
+
+    void step(std::vector<MicroOp> &out, std::uint64_t global_idx)
+        override;
+    void reset() override;
+
+  private:
+    std::uint64_t entries_;
+    Addr data_bytes_;
+    std::uint64_t pos_ = 0;
+
+    Addr targetOf(std::uint64_t i) const;
+};
+
+/**
+ * Zipf-skewed probes: accesses concentrate on a hot subset (roughly
+ * rank^-1 popularity) of a table, with the cold tail visited rarely.
+ * The hot head fits in small correlation tables even when the full
+ * footprint does not — the skew that lets an 8 KB PHT profit from a
+ * multi-megabyte working set.
+ */
+class ZipfProbeKernel : public Kernel
+{
+  public:
+    /**
+     * @param table_bytes table footprint
+     * @param period positions in the repeating reference stream
+     */
+    ZipfProbeKernel(const KernelParams &params, Addr table_bytes,
+                    std::uint64_t period);
+
+    void step(std::vector<MicroOp> &out, std::uint64_t global_idx)
+        override;
+    void reset() override;
+
+  private:
+    Addr probeAddr(std::uint64_t position) const;
+
+    Addr table_bytes_;
+    std::uint64_t period_;
+    std::uint64_t pos_ = 0;
+};
+
+/**
+ * Repeated root-to-leaf descents of a fixed binary tree laid out in
+ * level order. The *path* taken at each internal node is a fixed
+ * pseudo-random function of (descent number % period, depth), so the
+ * descent sequence repeats with the period: upper levels are hot and
+ * cache-resident, leaf levels are a correlation-learnable stream.
+ * Models index lookups (vortex/gap-style search trees).
+ */
+class TreeTraversalKernel : public Kernel
+{
+  public:
+    /**
+     * @param levels tree depth (nodes = 2^levels - 1)
+     * @param node_bytes spacing of nodes in memory
+     * @param period distinct descent paths before repeating
+     */
+    TreeTraversalKernel(const KernelParams &params, unsigned levels,
+                        unsigned node_bytes, std::uint64_t period);
+
+    void step(std::vector<MicroOp> &out, std::uint64_t global_idx)
+        override;
+    void reset() override;
+
+    std::uint64_t nodes() const
+    {
+        return (std::uint64_t{1} << levels_) - 1;
+    }
+
+  private:
+    bool goRight(std::uint64_t descent, unsigned depth) const;
+
+    unsigned levels_;
+    unsigned node_bytes_;
+    std::uint64_t period_;
+    std::uint64_t descent_ = 0;
+};
+
+/**
+ * A blocked 2D stencil: sweeps a matrix row-major touching the
+ * element plus its north and south neighbours, giving three
+ * interleaved strided streams with row-distance reuse.
+ */
+class StencilKernel : public Kernel
+{
+  public:
+    StencilKernel(const KernelParams &params, std::uint64_t rows,
+                  std::uint64_t cols, unsigned elem_bytes = 8);
+
+    void step(std::vector<MicroOp> &out, std::uint64_t global_idx)
+        override;
+    void reset() override;
+
+  private:
+    std::uint64_t rows_;
+    std::uint64_t cols_;
+    unsigned elem_bytes_;
+    std::uint64_t row_ = 1;
+    std::uint64_t col_ = 0;
+};
+
+} // namespace tcp
+
+#endif // TCP_TRACE_KERNELS_HH

@@ -1,0 +1,37 @@
+#include "microop.hh"
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMult: return "IntMult";
+      case OpClass::FpAlu: return "FpAlu";
+      case OpClass::FpMult: return "FpMult";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::Branch: return "Branch";
+    }
+    tcp_panic("unknown OpClass ", static_cast<int>(cls));
+}
+
+unsigned
+opClassLatency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMult: return 3;
+      case OpClass::FpAlu: return 2;
+      case OpClass::FpMult: return 4;
+      case OpClass::Load: return 1;   // address generation; memory
+      case OpClass::Store: return 1;  // time comes from the hierarchy
+      case OpClass::Branch: return 1;
+    }
+    tcp_panic("unknown OpClass ", static_cast<int>(cls));
+}
+
+} // namespace tcp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The micro-operation record the CPU model consumes. A workload is a
+ * stream of these; they carry everything the timing model needs:
+ * operation class, address for memory ops, producer distances for
+ * dependence modelling, and a branch-mispredict marker.
+ */
+
+#ifndef TCP_TRACE_MICROOP_HH
+#define TCP_TRACE_MICROOP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace tcp {
+
+/** Functional-unit class of an instruction (Table 1 resources). */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,
+    IntMult,
+    FpAlu,
+    FpMult,
+    Load,
+    Store,
+    Branch,
+};
+
+/** @return a short printable name for @p cls. */
+const char *opClassName(OpClass cls);
+
+/** @return execution latency of @p cls, excluding memory time. */
+unsigned opClassLatency(OpClass cls);
+
+/** One dynamic instruction. */
+struct MicroOp
+{
+    Pc pc = 0;
+    OpClass cls = OpClass::IntAlu;
+    /** Effective address; meaningful for Load/Store only. */
+    Addr addr = 0;
+    /**
+     * Producer distances: this op's operand n is produced by the
+     * instruction dep{n} places earlier in program order (0 = no
+     * register dependence). Serial pointer chases set dep1 = distance
+     * to the previous load.
+     */
+    std::uint8_t dep1 = 0;
+    std::uint8_t dep2 = 0;
+    /** Branch resolved as mispredicted (squashes younger fetch). */
+    bool mispredicted = false;
+
+    bool isMem() const
+    {
+        return cls == OpClass::Load || cls == OpClass::Store;
+    }
+};
+
+/**
+ * A (re-playable) stream of micro-ops. Generators implement this;
+ * the CPU model and the analysis profilers consume it.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next micro-op.
+     * @return false when the stream is exhausted
+     */
+    virtual bool next(MicroOp &op) = 0;
+
+    /** Rewind to the beginning; the replay is bit-identical. */
+    virtual void reset() = 0;
+
+    /** Workload name for reports. */
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace tcp
+
+#endif // TCP_TRACE_MICROOP_HH

@@ -1,0 +1,144 @@
+#include "trace_file.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'C', 'P', 'T', 'R', 'C', '0', '1'};
+constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint64_t);
+
+void
+encodeU64(char *buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint64_t
+decodeU64(const char *buf)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    return v;
+}
+
+void
+encodeOp(char *buf, const MicroOp &op)
+{
+    encodeU64(buf, op.pc);
+    encodeU64(buf + 8, op.addr);
+    buf[16] = static_cast<char>(op.cls);
+    buf[17] = static_cast<char>(op.dep1);
+    buf[18] = static_cast<char>(op.dep2);
+    buf[19] = static_cast<char>(op.mispredicted ? 1 : 0);
+}
+
+MicroOp
+decodeOp(const char *buf)
+{
+    MicroOp op;
+    op.pc = decodeU64(buf);
+    op.addr = decodeU64(buf + 8);
+    op.cls = static_cast<OpClass>(static_cast<unsigned char>(buf[16]));
+    op.dep1 = static_cast<std::uint8_t>(buf[17]);
+    op.dep2 = static_cast<std::uint8_t>(buf[18]);
+    op.mispredicted = (buf[19] & 1) != 0;
+    return op;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path)
+{
+    if (!out_)
+        tcp_fatal("cannot open trace file '", path, "' for writing");
+    char header[kHeaderBytes] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    encodeU64(header + sizeof(kMagic), 0); // patched by finish()
+    out_.write(header, sizeof(header));
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!finished_)
+        finish();
+}
+
+void
+TraceWriter::write(const MicroOp &op)
+{
+    tcp_assert(!finished_, "write after finish()");
+    char buf[kTraceRecordBytes];
+    encodeOp(buf, op);
+    out_.write(buf, sizeof(buf));
+    ++written_;
+}
+
+std::uint64_t
+TraceWriter::record(TraceSource &source, std::uint64_t count)
+{
+    MicroOp op;
+    std::uint64_t n = 0;
+    for (; n < count && source.next(op); ++n)
+        write(op);
+    return n;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    char buf[8];
+    encodeU64(buf, written_);
+    out_.seekp(sizeof(kMagic));
+    out_.write(buf, sizeof(buf));
+    out_.flush();
+    if (!out_)
+        tcp_fatal("I/O error finishing trace file '", path_, "'");
+}
+
+FileTraceSource::FileTraceSource(const std::string &path)
+    : in_(path, std::ios::binary), name_(path)
+{
+    if (!in_)
+        tcp_fatal("cannot open trace file '", path, "'");
+    char header[kHeaderBytes];
+    in_.read(header, sizeof(header));
+    if (!in_ || std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
+        tcp_fatal("'", path, "' is not a TCP trace file");
+    count_ = decodeU64(header + sizeof(kMagic));
+}
+
+bool
+FileTraceSource::next(MicroOp &op)
+{
+    if (pos_ >= count_)
+        return false;
+    char buf[kTraceRecordBytes];
+    in_.read(buf, sizeof(buf));
+    if (!in_)
+        tcp_fatal("truncated trace file '", name_, "' at op ", pos_);
+    op = decodeOp(buf);
+    ++pos_;
+    return true;
+}
+
+void
+FileTraceSource::reset()
+{
+    in_.clear();
+    in_.seekg(kHeaderBytes);
+    pos_ = 0;
+}
+
+} // namespace tcp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Binary trace files: record a workload's micro-op stream to disk and
+ * replay it later, bit-exactly. This is the standard workflow for
+ * trace-driven simulators (record once, sweep configurations many
+ * times) and the interchange point for users who want to drive the
+ * timing model with their own traces.
+ *
+ * Format (little-endian):
+ *   header: magic "TCPTRC01" (8 bytes), op count (u64)
+ *   record: pc (u64), addr (u64), cls (u8), dep1 (u8), dep2 (u8),
+ *           flags (u8; bit 0 = mispredicted)    -> 20 bytes each
+ */
+
+#ifndef TCP_TRACE_TRACE_FILE_HH
+#define TCP_TRACE_TRACE_FILE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/microop.hh"
+
+namespace tcp {
+
+/** Streaming writer for the binary trace format. */
+class TraceWriter
+{
+  public:
+    /**
+     * Open @p path for writing; truncates an existing file.
+     * tcp_fatal on I/O failure.
+     */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one micro-op. */
+    void write(const MicroOp &op);
+
+    /**
+     * Record @p count ops pulled from @p source (or fewer if it
+     * ends).
+     * @return ops actually written
+     */
+    std::uint64_t record(TraceSource &source, std::uint64_t count);
+
+    /** Flush buffers and patch the header's op count. */
+    void finish();
+
+    std::uint64_t written() const { return written_; }
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+    std::uint64_t written_ = 0;
+    bool finished_ = false;
+};
+
+/** A TraceSource replaying a binary trace file. */
+class FileTraceSource : public TraceSource
+{
+  public:
+    /** Open and validate @p path; tcp_fatal on a bad file. */
+    explicit FileTraceSource(const std::string &path);
+
+    bool next(MicroOp &op) override;
+    void reset() override;
+    const std::string &name() const override { return name_; }
+
+    /** Ops recorded in the file header. */
+    std::uint64_t size() const { return count_; }
+
+  private:
+    std::ifstream in_;
+    std::string name_;
+    std::uint64_t count_ = 0;
+    std::uint64_t pos_ = 0;
+};
+
+/** Size of one encoded record in bytes. */
+inline constexpr std::size_t kTraceRecordBytes = 20;
+
+} // namespace tcp
+
+#endif // TCP_TRACE_TRACE_FILE_HH

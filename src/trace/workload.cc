@@ -1,0 +1,66 @@
+#include "workload.hh"
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+SyntheticWorkload::SyntheticWorkload(std::string name,
+                                     std::uint64_t seed)
+    : name_(std::move(name)), seed_(seed), rng_(seed)
+{
+}
+
+void
+SyntheticWorkload::addKernel(std::unique_ptr<Kernel> kernel,
+                             double weight)
+{
+    tcp_assert(weight > 0.0, "kernel weight must be positive");
+    total_weight_ += weight;
+    slots_.push_back(Slot{std::move(kernel), weight});
+}
+
+void
+SyntheticWorkload::refill()
+{
+    tcp_assert(!slots_.empty(),
+               "workload '", name_, "' has no kernels");
+    buffer_.clear();
+    buffer_pos_ = 0;
+
+    // Weighted deterministic pick.
+    double point = rng_.uniform() * total_weight_;
+    Kernel *chosen = slots_.back().kernel.get();
+    for (Slot &slot : slots_) {
+        if (point < slot.weight) {
+            chosen = slot.kernel.get();
+            break;
+        }
+        point -= slot.weight;
+    }
+    chosen->step(buffer_, emitted_);
+    tcp_assert(!buffer_.empty(),
+               "kernel '", chosen->name(), "' emitted no ops");
+}
+
+bool
+SyntheticWorkload::next(MicroOp &op)
+{
+    if (buffer_pos_ >= buffer_.size())
+        refill();
+    op = buffer_[buffer_pos_++];
+    ++emitted_;
+    return true;
+}
+
+void
+SyntheticWorkload::reset()
+{
+    rng_.reseed(seed_);
+    for (Slot &slot : slots_)
+        slot.kernel->reset();
+    buffer_.clear();
+    buffer_pos_ = 0;
+    emitted_ = 0;
+}
+
+} // namespace tcp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SyntheticWorkload: a TraceSource that interleaves a weighted set of
+ * kernels into one deterministic, infinitely replayable micro-op
+ * stream.
+ */
+
+#ifndef TCP_TRACE_WORKLOAD_HH
+#define TCP_TRACE_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/kernels.hh"
+#include "trace/microop.hh"
+#include "util/random.hh"
+
+namespace tcp {
+
+/**
+ * A weighted interleaving of kernels. Each refill picks one kernel
+ * (deterministically pseudo-randomly, proportional to weight) and
+ * appends one full iteration of it, so intra-iteration dependence
+ * distances stay correct.
+ */
+class SyntheticWorkload : public TraceSource
+{
+  public:
+    SyntheticWorkload(std::string name, std::uint64_t seed);
+
+    /** Add @p kernel with selection weight @p weight (> 0). */
+    void addKernel(std::unique_ptr<Kernel> kernel, double weight);
+
+    bool next(MicroOp &op) override;
+    void reset() override;
+    const std::string &name() const override { return name_; }
+
+    /** Number of micro-ops handed out since the last reset. */
+    std::uint64_t emitted() const { return emitted_; }
+
+  private:
+    void refill();
+
+    std::string name_;
+    std::uint64_t seed_;
+    Rng rng_;
+    struct Slot
+    {
+        std::unique_ptr<Kernel> kernel;
+        double weight;
+    };
+    std::vector<Slot> slots_;
+    double total_weight_ = 0.0;
+    std::vector<MicroOp> buffer_;
+    std::size_t buffer_pos_ = 0;
+    std::uint64_t emitted_ = 0;
+};
+
+} // namespace tcp
+
+#endif // TCP_TRACE_WORKLOAD_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The synthetic SPEC2000-like workload suite.
+ *
+ * The paper evaluates on all 26 SPEC CPU2000 benchmarks (Alpha
+ * binaries, reference inputs). We do not have those traces, so each
+ * benchmark is replaced by a synthetic workload — a weighted kernel
+ * composition tuned to reproduce the paper's *measured* miss-stream
+ * characteristics for that benchmark (Figures 1–7 and 15): working-set
+ * size (unique-tag count), tag spread across sets, sequence
+ * repetitiveness and strided fraction, and memory-boundedness.
+ *
+ * Workload names and their order follow Figure 1 (sorted left to
+ * right by IPC improvement with an ideal L2).
+ */
+
+#ifndef TCP_TRACE_WORKLOADS_HH
+#define TCP_TRACE_WORKLOADS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace tcp {
+
+/** All workload names, in the paper's Figure 1 order. */
+const std::vector<std::string> &workloadNames();
+
+/** @return true if @p name is a member of the suite. */
+bool isWorkloadName(const std::string &name);
+
+/**
+ * Build the named workload.
+ * @param name one of workloadNames()
+ * @param seed stream seed; the same (name, seed) pair always yields a
+ *        bit-identical stream
+ */
+std::unique_ptr<SyntheticWorkload>
+makeWorkload(const std::string &name, std::uint64_t seed = 1);
+
+/**
+ * A short memory-behaviour description of the named workload (what
+ * SPEC2000 behaviour it stands in for), for reports.
+ */
+std::string workloadDescription(const std::string &name);
+
+} // namespace tcp
+
+#endif // TCP_TRACE_WORKLOADS_HH

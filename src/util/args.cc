@@ -1,0 +1,162 @@
+#include "args.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace tcp {
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &default_value,
+                   const std::string &help)
+{
+    tcp_assert(!flags_.count(name), "duplicate flag --", name);
+    flags_[name] = Flag{default_value, help, false};
+    order_.push_back(name);
+}
+
+void
+ArgParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << helpText(argv[0]);
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0)
+            tcp_fatal("unexpected positional argument '", arg, "'");
+        arg = arg.substr(2);
+
+        std::string name, value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            auto it = flags_.find(name);
+            if (it == flags_.end())
+                tcp_fatal("unknown flag --", name);
+            // Bare flag: boolean true unless a value follows.
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end())
+            tcp_fatal("unknown flag --", name);
+        it->second.value = value;
+        it->second.set = true;
+    }
+}
+
+const ArgParser::Flag &
+ArgParser::find(const std::string &name) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        tcp_panic("flag --", name, " was never declared");
+    return it->second;
+}
+
+std::string
+ArgParser::getString(const std::string &name) const
+{
+    return find(name).value;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    const std::string &v = find(name).value;
+    try {
+        size_t pos = 0;
+        std::int64_t out = std::stoll(v, &pos);
+        if (pos != v.size())
+            throw std::invalid_argument(v);
+        return out;
+    } catch (const std::exception &) {
+        tcp_fatal("flag --", name, " expects an integer, got '", v, "'");
+    }
+}
+
+std::uint64_t
+ArgParser::getUint(const std::string &name) const
+{
+    std::int64_t v = getInt(name);
+    if (v < 0)
+        tcp_fatal("flag --", name, " expects a non-negative integer");
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    const std::string &v = find(name).value;
+    try {
+        size_t pos = 0;
+        double out = std::stod(v, &pos);
+        if (pos != v.size())
+            throw std::invalid_argument(v);
+        return out;
+    } catch (const std::exception &) {
+        tcp_fatal("flag --", name, " expects a number, got '", v, "'");
+    }
+}
+
+bool
+ArgParser::getBool(const std::string &name) const
+{
+    const std::string &v = find(name).value;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    tcp_fatal("flag --", name, " expects a boolean, got '", v, "'");
+}
+
+std::vector<std::string>
+ArgParser::getList(const std::string &name) const
+{
+    return splitString(find(name).value, ',');
+}
+
+bool
+ArgParser::wasSet(const std::string &name) const
+{
+    return find(name).set;
+}
+
+std::string
+ArgParser::helpText(const std::string &program) const
+{
+    std::ostringstream oss;
+    oss << "usage: " << program << " [flags]\n";
+    for (const auto &name : order_) {
+        const Flag &f = flags_.at(name);
+        oss << "  --" << name << "  (default: "
+            << (f.value.empty() ? "<empty>" : f.value) << ")\n      "
+            << f.help << "\n";
+    }
+    return oss.str();
+}
+
+std::vector<std::string>
+splitString(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream iss(text);
+    while (std::getline(iss, item, sep)) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+} // namespace tcp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal command-line flag parser shared by the bench and example
+ * binaries. Supports --name=value, --name value, and bare --flag
+ * booleans; unknown flags are fatal so typos never silently change an
+ * experiment.
+ */
+
+#ifndef TCP_UTIL_ARGS_HH
+#define TCP_UTIL_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tcp {
+
+/** Parsed command line with typed accessors and defaults. */
+class ArgParser
+{
+  public:
+    /**
+     * Declare a flag before parsing.
+     * @param name flag name without leading dashes
+     * @param default_value textual default
+     * @param help one-line description for --help output
+     */
+    void addFlag(const std::string &name, const std::string &default_value,
+                 const std::string &help);
+
+    /**
+     * Parse argv. Prints help and exits on --help; calls tcp_fatal on
+     * unknown or malformed flags.
+     */
+    void parse(int argc, const char *const *argv);
+
+    /** @return the flag's value as a string. */
+    std::string getString(const std::string &name) const;
+    /** @return the flag's value parsed as a signed integer. */
+    std::int64_t getInt(const std::string &name) const;
+    /** @return the flag's value parsed as an unsigned integer. */
+    std::uint64_t getUint(const std::string &name) const;
+    /** @return the flag's value parsed as a double. */
+    double getDouble(const std::string &name) const;
+    /** @return the flag's value parsed as a boolean. */
+    bool getBool(const std::string &name) const;
+    /** @return comma-separated flag split into nonempty items. */
+    std::vector<std::string> getList(const std::string &name) const;
+
+    /** @return true if the flag was set on the command line. */
+    bool wasSet(const std::string &name) const;
+
+    /** Render the --help text. */
+    std::string helpText(const std::string &program) const;
+
+  private:
+    struct Flag
+    {
+        std::string value;
+        std::string help;
+        bool set = false;
+    };
+
+    const Flag &find(const std::string &name) const;
+
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> order_;
+};
+
+/** Split @p text on @p sep, dropping empty fields. */
+std::vector<std::string> splitString(const std::string &text, char sep);
+
+} // namespace tcp
+
+#endif // TCP_UTIL_ARGS_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the cache and predictor
+ * models: power-of-two checks, log2, field extraction, and masks.
+ */
+
+#ifndef TCP_UTIL_BITS_HH
+#define TCP_UTIL_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace tcp {
+
+/** @return true if @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Integer base-2 logarithm of a power of two.
+ * @pre isPowerOfTwo(v)
+ */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** @return a mask with the low @p nbits bits set. */
+constexpr std::uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << nbits) - 1);
+}
+
+/**
+ * Extract the inclusive bit range [first, last] of @p v, where bit 0 is
+ * the least significant. Mirrors gem5's bits() helper.
+ */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned last, unsigned first)
+{
+    return (v >> first) & mask(last - first + 1);
+}
+
+/** Fold a 64-bit value down to @p nbits by repeated XOR of chunks. */
+constexpr std::uint64_t
+xorFold(std::uint64_t v, unsigned nbits)
+{
+    if (nbits == 0)
+        return 0;
+    if (nbits >= 64)
+        return v;
+    std::uint64_t out = 0;
+    while (v != 0) {
+        out ^= v & mask(nbits);
+        v >>= nbits;
+    }
+    return out;
+}
+
+/**
+ * Truncated addition, as used by the paper's PHT indexing scheme
+ * (after [12]): sum the operands and keep only the low @p nbits bits,
+ * discarding carries out of the field.
+ */
+constexpr std::uint64_t
+truncatedAdd(std::uint64_t a, std::uint64_t b, unsigned nbits)
+{
+    return (a + b) & mask(nbits);
+}
+
+} // namespace tcp
+
+#endif // TCP_UTIL_BITS_HH

@@ -1,0 +1,53 @@
+#include "logging.hh"
+
+namespace tcp {
+
+namespace detail {
+
+bool quiet = false;
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+void
+setQuietLogging(bool quiet)
+{
+    detail::quiet = quiet;
+}
+
+bool
+quietLogging()
+{
+    return detail::quiet;
+}
+
+} // namespace tcp

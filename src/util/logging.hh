@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Status and error reporting helpers, modelled on the gem5 logging
+ * discipline: panic() for internal bugs, fatal() for user errors,
+ * warn()/inform() for non-terminating status messages.
+ */
+
+#ifndef TCP_UTIL_LOGGING_HH
+#define TCP_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace tcp {
+
+namespace detail {
+
+/** Format the variadic tail of a log call into a single string. */
+template <typename... Args>
+std::string
+concatMessage(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Test hook: when set, warn/inform are suppressed. */
+extern bool quiet;
+
+} // namespace detail
+
+/** Suppress warn()/inform() output (used by tests and sweeps). */
+void setQuietLogging(bool quiet);
+bool quietLogging();
+
+} // namespace tcp
+
+/**
+ * Report an internal invariant violation (a simulator bug) and abort.
+ * Never use for conditions a user's configuration can trigger.
+ */
+#define tcp_panic(...) \
+    ::tcp::detail::panicImpl(__FILE__, __LINE__, \
+                             ::tcp::detail::concatMessage(__VA_ARGS__))
+
+/**
+ * Report an unrecoverable user-level error (bad configuration, invalid
+ * arguments) and exit with status 1.
+ */
+#define tcp_fatal(...) \
+    ::tcp::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::tcp::detail::concatMessage(__VA_ARGS__))
+
+/** Report a suspicious but non-fatal condition. */
+#define tcp_warn(...) \
+    ::tcp::detail::warnImpl(::tcp::detail::concatMessage(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define tcp_inform(...) \
+    ::tcp::detail::informImpl(::tcp::detail::concatMessage(__VA_ARGS__))
+
+/** Panic when a required invariant does not hold. */
+#define tcp_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            tcp_panic("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // TCP_UTIL_LOGGING_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Workload generators must be reproducible across runs and platforms,
+ * so we use a fixed xoshiro256** implementation instead of std::mt19937
+ * (whose distributions are not specified bit-exactly across libraries).
+ */
+
+#ifndef TCP_UTIL_RANDOM_HH
+#define TCP_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace tcp {
+
+/**
+ * Deterministic xoshiro256** PRNG with convenience distributions.
+ * All derived draws are bit-exact functions of the seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-initialise state from @p seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : state_)
+            word = splitmix64(seed);
+    }
+
+    /** @return the next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform draw in [0, bound). @pre bound > 0 */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        tcp_assert(bound > 0, "Rng::below needs a positive bound");
+        // Bounded rejection-free draw: multiply-shift (Lemire).
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform draw in the inclusive range [lo, hi]. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        tcp_assert(lo <= hi, "Rng::between needs lo <= hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability @p p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return toUnit(next()) < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return toUnit(next()); }
+
+    /**
+     * Geometric-ish draw of a small count: number of successes of
+     * probability @p p before the first failure, capped at @p cap.
+     */
+    unsigned
+    geometric(double p, unsigned cap)
+    {
+        unsigned n = 0;
+        while (n < cap && chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static double
+    toUnit(std::uint64_t v)
+    {
+        return (v >> 11) * 0x1.0p-53;
+    }
+
+    /** splitmix64 stepper used for seeding. */
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace tcp
+
+#endif // TCP_UTIL_RANDOM_HH

@@ -1,0 +1,114 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace tcp {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    tcp_assert(rows_.empty(), "header must be set before rows");
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    tcp_assert(row.size() == header_.size(),
+               "row has ", row.size(), " cells, header has ",
+               header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream oss;
+    oss << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << (c == 0 ? "" : "  ") << std::left
+                << std::setw(static_cast<int>(width[c])) << row[c];
+        }
+        oss << "\n";
+    };
+    emit(header_);
+    std::size_t total = header_.size() - 1;
+    for (std::size_t w : width)
+        total += w + 1;
+    oss << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return oss.str();
+}
+
+namespace {
+
+std::string
+csvField(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            oss << (c == 0 ? "" : ",") << csvField(row[c]);
+        oss << "\n";
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return oss.str();
+}
+
+std::string
+formatDouble(double v, int digits)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(digits) << v;
+    return oss.str();
+}
+
+std::string
+formatPercent(double v, int digits)
+{
+    return formatDouble(v * 100.0, digits) + "%";
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    if (bytes >= (1ULL << 20) && bytes % (1ULL << 20) == 0)
+        return std::to_string(bytes >> 20) + "MB";
+    if (bytes >= (1ULL << 10) && bytes % (1ULL << 10) == 0)
+        return std::to_string(bytes >> 10) + "KB";
+    return std::to_string(bytes) + "B";
+}
+
+} // namespace tcp

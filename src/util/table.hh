@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text table formatting for the figure-reproduction harnesses.
+ * Every bench binary prints its figure as one of these tables so the
+ * rows/series can be compared directly against the paper.
+ */
+
+#ifndef TCP_UTIL_TABLE_HH
+#define TCP_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcp {
+
+/** A column-aligned text table with a title and column headers. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers; must be called before addRow. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+    /**
+     * Render as CSV (header row first, fields quoted only when they
+     * contain commas or quotes) — for piping figure data to plotting
+     * tools.
+     */
+    std::string renderCsv() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p v with @p digits fractional digits. */
+std::string formatDouble(double v, int digits);
+
+/** Format @p v as a percentage with @p digits fractional digits. */
+std::string formatPercent(double v, int digits);
+
+/** Format a byte count using B/KB/MB suffixes (powers of two). */
+std::string formatBytes(std::uint64_t bytes);
+
+} // namespace tcp
+
+#endif // TCP_UTIL_TABLE_HH

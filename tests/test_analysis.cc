@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the miss-stream profiler behind Figures 2-7 and 15,
+ * using hand-crafted access streams with known statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/miss_stream.hh"
+
+namespace tcp {
+namespace {
+
+/** Address with the given (tag, set) in the 32KB DM filter. */
+Addr
+addrOf(Tag tag, SetIndex set)
+{
+    return (tag << 15) | (set << 5);
+}
+
+TEST(AnalysisTest, HitsAreNotProfiled)
+{
+    MissStreamAnalyzer an;
+    an.observe(addrOf(1, 0));
+    an.observe(addrOf(1, 0)); // hit
+    an.observe(addrOf(1, 0)); // hit
+    EXPECT_EQ(an.accesses(), 3u);
+    EXPECT_EQ(an.misses(), 1u);
+    EXPECT_EQ(an.tagStats().unique_tags, 1u);
+}
+
+TEST(AnalysisTest, ConflictMissesRecur)
+{
+    MissStreamAnalyzer an;
+    // Two tags fighting over one set of a direct-mapped cache: every
+    // access misses.
+    for (int i = 0; i < 10; ++i) {
+        an.observe(addrOf(1, 3));
+        an.observe(addrOf(2, 3));
+    }
+    EXPECT_EQ(an.misses(), 20u);
+    const TagStatsResult t = an.tagStats();
+    EXPECT_EQ(t.unique_tags, 2u);
+    EXPECT_DOUBLE_EQ(t.mean_appearances_per_tag, 10.0);
+    EXPECT_DOUBLE_EQ(t.mean_sets_per_tag, 1.0);
+    EXPECT_DOUBLE_EQ(t.mean_appearances_per_tag_set, 10.0);
+}
+
+TEST(AnalysisTest, TagSpreadAcrossSets)
+{
+    MissStreamAnalyzer an;
+    // Tag 1 and tag 2 alternate in four different sets.
+    for (SetIndex s : {0u, 100u, 200u, 300u}) {
+        for (int i = 0; i < 5; ++i) {
+            an.observe(addrOf(1, s));
+            an.observe(addrOf(2, s));
+        }
+    }
+    const TagStatsResult t = an.tagStats();
+    EXPECT_EQ(t.unique_tags, 2u);
+    EXPECT_DOUBLE_EQ(t.mean_sets_per_tag, 4.0);
+    EXPECT_DOUBLE_EQ(t.mean_appearances_per_tag_set, 5.0);
+}
+
+TEST(AnalysisTest, AddrStatsCountBlocks)
+{
+    MissStreamAnalyzer an;
+    for (int i = 0; i < 4; ++i) {
+        an.observe(addrOf(1, 7));
+        an.observe(addrOf(2, 7));
+    }
+    // Different offsets in the same block count as one address.
+    const AddrStatsResult a = an.addrStats();
+    EXPECT_EQ(a.unique_addrs, 2u);
+    EXPECT_DOUBLE_EQ(a.mean_appearances_per_addr, 4.0);
+}
+
+TEST(AnalysisTest, SequenceCountingAfterWarmup)
+{
+    MissStreamAnalyzer an;
+    // Periodic conflict pattern 1,2,3 in one set: sequences form
+    // after the first 3 misses.
+    for (int i = 0; i < 7; ++i) {
+        an.observe(addrOf(1, 9));
+        an.observe(addrOf(2, 9));
+        an.observe(addrOf(3, 9));
+    }
+    const SeqStatsResult s = an.seqStats();
+    // 21 misses, first 2 warm the history: 19 sequences.
+    EXPECT_EQ(s.sequences_observed, 19u);
+    // The periodic pattern has exactly 3 unique 3-sequences.
+    EXPECT_EQ(s.unique_seqs, 3u);
+    EXPECT_DOUBLE_EQ(s.mean_sets_per_seq, 1.0);
+}
+
+TEST(AnalysisTest, FractionOfUpperLimit)
+{
+    MissStreamAnalyzer an;
+    for (int i = 0; i < 10; ++i) {
+        an.observe(addrOf(1, 9));
+        an.observe(addrOf(2, 9));
+        an.observe(addrOf(3, 9));
+    }
+    const SeqStatsResult s = an.seqStats();
+    // 3 unique sequences / 3^3 possible.
+    EXPECT_NEAR(s.fraction_of_upper_limit, 3.0 / 27.0, 1e-9);
+}
+
+TEST(AnalysisTest, StridedSequencesDetected)
+{
+    MissStreamAnalyzer an;
+    // Tags 1,2,3,4,5,... in one set: every post-warmup sequence is
+    // strided with stride 1.
+    for (Tag t = 1; t <= 20; ++t)
+        an.observe(addrOf(t, 5));
+    const SeqStatsResult s = an.seqStats();
+    EXPECT_EQ(s.sequences_observed, 18u);
+    EXPECT_EQ(s.strided_sequences, 18u);
+    EXPECT_DOUBLE_EQ(s.strided_fraction, 1.0);
+    EXPECT_EQ(s.constant_sequences, 0u);
+}
+
+TEST(AnalysisTest, NegativeStrideCounts)
+{
+    MissStreamAnalyzer an;
+    for (Tag t = 40; t >= 20; t -= 2)
+        an.observe(addrOf(t, 5));
+    const SeqStatsResult s = an.seqStats();
+    EXPECT_EQ(s.strided_sequences, s.sequences_observed);
+}
+
+TEST(AnalysisTest, ConstantSequencesSeparate)
+{
+    MissStreamAnalyzer an;
+    // Alternating 1,2 conflicts, then constant would need stride 0 —
+    // build 1,1,1 via different sets? A tag can't miss twice in a row
+    // in the same set (it hits). Use a 2-conflict to verify non-
+    // strided: 1,2,1,2 -> strides (+1,-1): not constant.
+    for (int i = 0; i < 10; ++i) {
+        an.observe(addrOf(1, 5));
+        an.observe(addrOf(2, 5));
+    }
+    const SeqStatsResult s = an.seqStats();
+    EXPECT_EQ(s.strided_sequences, 0u);
+    EXPECT_EQ(s.constant_sequences, 0u);
+}
+
+TEST(AnalysisTest, SequenceSharedAcrossSets)
+{
+    MissStreamAnalyzer an;
+    // The same 3-tag conflict pattern in 8 sets.
+    for (SetIndex s = 0; s < 8; ++s)
+        for (int i = 0; i < 5; ++i)
+            for (Tag t : {1u, 2u, 3u})
+                an.observe(addrOf(t, s));
+    const SeqStatsResult s = an.seqStats();
+    EXPECT_EQ(s.unique_seqs, 3u);
+    EXPECT_DOUBLE_EQ(s.mean_sets_per_seq, 8.0);
+}
+
+TEST(AnalysisTest, ProfileTraceCountsMemOps)
+{
+    class TwoOpSource : public TraceSource
+    {
+      public:
+        bool
+        next(MicroOp &op) override
+        {
+            op = MicroOp{};
+            if (++n_ % 2 == 0) {
+                op.cls = OpClass::Load;
+                op.addr = 0x100000000ULL + n_ * 32;
+            } else {
+                op.cls = OpClass::IntAlu;
+            }
+            return true;
+        }
+        void reset() override { n_ = 0; }
+        const std::string &name() const override { return name_; }
+
+      private:
+        std::uint64_t n_ = 0;
+        std::string name_ = "twoop";
+    } src;
+
+    MissStreamAnalyzer an;
+    const std::uint64_t mem_ops = an.profileTrace(src, 1000);
+    EXPECT_EQ(mem_ops, 500u);
+    EXPECT_EQ(an.accesses(), 500u);
+}
+
+TEST(AnalysisTest, CustomSequenceLength)
+{
+    MissStreamAnalyzer an(MissStreamAnalyzer::defaultFilter(), 2);
+    for (int i = 0; i < 5; ++i) {
+        an.observe(addrOf(1, 3));
+        an.observe(addrOf(2, 3));
+    }
+    const SeqStatsResult s = an.seqStats();
+    // 2-sequences: (1,2) and (2,1).
+    EXPECT_EQ(s.unique_seqs, 2u);
+    EXPECT_EQ(s.sequences_observed, 9u);
+}
+
+TEST(AnalysisTest, EmptyProfilerIsZero)
+{
+    MissStreamAnalyzer an;
+    EXPECT_EQ(an.tagStats().unique_tags, 0u);
+    EXPECT_EQ(an.addrStats().unique_addrs, 0u);
+    EXPECT_EQ(an.seqStats().unique_seqs, 0u);
+    EXPECT_DOUBLE_EQ(an.seqStats().strided_fraction, 0.0);
+}
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the command-line flag parser used by benches/examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/args.hh"
+
+namespace tcp {
+namespace {
+
+ArgParser
+makeParser()
+{
+    ArgParser p;
+    p.addFlag("count", "10", "a number");
+    p.addFlag("name", "foo", "a string");
+    p.addFlag("ratio", "0.5", "a double");
+    p.addFlag("verbose", "false", "a bool");
+    p.addFlag("items", "a,b,c", "a list");
+    return p;
+}
+
+void
+parse(ArgParser &p, std::initializer_list<const char *> argv_tail)
+{
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), argv_tail);
+    p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgsTest, DefaultsApply)
+{
+    ArgParser p = makeParser();
+    parse(p, {});
+    EXPECT_EQ(p.getInt("count"), 10);
+    EXPECT_EQ(p.getString("name"), "foo");
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 0.5);
+    EXPECT_FALSE(p.getBool("verbose"));
+    EXPECT_FALSE(p.wasSet("count"));
+}
+
+TEST(ArgsTest, EqualsSyntax)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--count=42", "--name=bar"});
+    EXPECT_EQ(p.getInt("count"), 42);
+    EXPECT_EQ(p.getString("name"), "bar");
+    EXPECT_TRUE(p.wasSet("count"));
+    EXPECT_FALSE(p.wasSet("ratio"));
+}
+
+TEST(ArgsTest, SpaceSyntax)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--count", "17"});
+    EXPECT_EQ(p.getInt("count"), 17);
+}
+
+TEST(ArgsTest, BareBooleanFlag)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--verbose"});
+    EXPECT_TRUE(p.getBool("verbose"));
+}
+
+TEST(ArgsTest, UnsignedRejectsNegative)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--count=-5"});
+    EXPECT_EQ(p.getInt("count"), -5);
+    EXPECT_EXIT(p.getUint("count"), testing::ExitedWithCode(1),
+                "non-negative");
+}
+
+TEST(ArgsTest, ListSplitting)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--items=x,y"});
+    const auto items = p.getList("items");
+    ASSERT_EQ(items.size(), 2u);
+    EXPECT_EQ(items[0], "x");
+    EXPECT_EQ(items[1], "y");
+}
+
+TEST(ArgsTest, UnknownFlagIsFatal)
+{
+    ArgParser p = makeParser();
+    std::vector<const char *> argv = {"prog", "--nope=1"};
+    EXPECT_EXIT(p.parse(2, argv.data()), testing::ExitedWithCode(1),
+                "unknown flag");
+}
+
+TEST(ArgsTest, MalformedIntIsFatal)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--count=abc"});
+    EXPECT_EXIT(p.getInt("count"), testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(ArgsTest, MalformedBoolIsFatal)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--verbose=maybe"});
+    EXPECT_EXIT(p.getBool("verbose"), testing::ExitedWithCode(1),
+                "expects a boolean");
+}
+
+TEST(ArgsTest, BoolSpellings)
+{
+    for (const char *t : {"true", "1", "yes", "on"}) {
+        ArgParser p = makeParser();
+        parse(p, {(std::string("--verbose=") + t).c_str()});
+        EXPECT_TRUE(p.getBool("verbose")) << t;
+    }
+    for (const char *f : {"false", "0", "no", "off"}) {
+        ArgParser p = makeParser();
+        parse(p, {(std::string("--verbose=") + f).c_str()});
+        EXPECT_FALSE(p.getBool("verbose")) << f;
+    }
+}
+
+TEST(ArgsTest, HelpTextMentionsFlags)
+{
+    ArgParser p = makeParser();
+    const std::string help = p.helpText("prog");
+    EXPECT_NE(help.find("--count"), std::string::npos);
+    EXPECT_NE(help.find("a number"), std::string::npos);
+}
+
+TEST(SplitStringTest, DropsEmptyFields)
+{
+    const auto out = splitString(",a,,b,", ',');
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], "a");
+    EXPECT_EQ(out[1], "b");
+}
+
+TEST(SplitStringTest, EmptyInput)
+{
+    EXPECT_TRUE(splitString("", ',').empty());
+}
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit and property tests for the bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hh"
+#include "util/random.hh"
+
+namespace tcp {
+namespace {
+
+TEST(BitsTest, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 63) + 1));
+}
+
+TEST(BitsTest, FloorLog2OfPowers)
+{
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(floorLog2(std::uint64_t{1} << i), i) << "i=" << i;
+}
+
+TEST(BitsTest, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(32), 0xffffffffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+    EXPECT_EQ(mask(99), ~std::uint64_t{0});
+}
+
+TEST(BitsTest, BitsExtraction)
+{
+    const std::uint64_t v = 0xdeadbeefcafef00dULL;
+    EXPECT_EQ(bits(v, 3, 0), 0xdu);
+    EXPECT_EQ(bits(v, 7, 4), 0x0u);
+    EXPECT_EQ(bits(v, 15, 8), 0xf0u);
+    EXPECT_EQ(bits(v, 63, 0), v);
+    EXPECT_EQ(bits(v, 63, 60), 0xdu);
+}
+
+TEST(BitsTest, TruncatedAddDiscardsCarry)
+{
+    // 0xff + 1 in an 8-bit field wraps to 0.
+    EXPECT_EQ(truncatedAdd(0xff, 1, 8), 0u);
+    EXPECT_EQ(truncatedAdd(0x80, 0x80, 8), 0u);
+    EXPECT_EQ(truncatedAdd(3, 4, 8), 7u);
+    // Operands above the field width are truncated by the mask.
+    EXPECT_EQ(truncatedAdd(0x100, 0x100, 8), 0u);
+}
+
+TEST(BitsTest, TruncatedAddCommutes)
+{
+    Rng rng(42);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t a = rng.next();
+        const std::uint64_t b = rng.next();
+        const unsigned w = 1 + static_cast<unsigned>(rng.below(63));
+        EXPECT_EQ(truncatedAdd(a, b, w), truncatedAdd(b, a, w));
+        EXPECT_LE(truncatedAdd(a, b, w), mask(w));
+    }
+}
+
+TEST(BitsTest, XorFoldStaysInField)
+{
+    Rng rng(43);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.next();
+        const unsigned w = 1 + static_cast<unsigned>(rng.below(32));
+        EXPECT_LE(xorFold(v, w), mask(w));
+    }
+    EXPECT_EQ(xorFold(0, 8), 0u);
+    EXPECT_EQ(xorFold(0xff00ff00, 8), 0u); // pairs cancel
+    EXPECT_EQ(xorFold(0x12, 8), 0x12u);
+}
+
+TEST(BitsTest, XorFoldSelfInverseProperty)
+{
+    // Folding x ^ y equals fold(x) ^ fold(y): linearity over XOR.
+    Rng rng(44);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t a = rng.next();
+        const std::uint64_t b = rng.next();
+        const unsigned w = 1 + static_cast<unsigned>(rng.below(32));
+        EXPECT_EQ(xorFold(a ^ b, w), xorFold(a, w) ^ xorFold(b, w));
+    }
+}
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the set-associative cache model: address decomposition,
+ * hit/miss behaviour, LRU replacement checked against a reference
+ * model, and metadata handling. Geometry coverage uses parameterized
+ * suites over (size, assoc, block) combinations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+
+#include "mem/cache.hh"
+#include "util/random.hh"
+
+namespace tcp {
+namespace {
+
+CacheConfig
+cfg(std::uint64_t size, unsigned assoc, unsigned block)
+{
+    return CacheConfig{"test", size, assoc, block, 1, 8};
+}
+
+TEST(CacheTest, AddressDecompositionRoundTrip)
+{
+    CacheModel c(cfg(32 * 1024, 1, 32));
+    EXPECT_EQ(c.numSets(), 1024u);
+    EXPECT_EQ(c.blockBytes(), 32u);
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr addr = rng.next() & ((1ULL << 44) - 1);
+        const Addr block = c.blockAlign(addr);
+        EXPECT_EQ(c.addrOf(c.tagOf(addr), c.setOf(addr)), block);
+        EXPECT_EQ(block % c.blockBytes(), 0u);
+        EXPECT_LT(c.setOf(addr), c.numSets());
+    }
+}
+
+TEST(CacheTest, MissThenHit)
+{
+    CacheModel c(cfg(1024, 2, 32));
+    EXPECT_EQ(c.access(0x100, 1), nullptr);
+    c.fill(0x100, 1);
+    EXPECT_NE(c.access(0x100, 2), nullptr);
+    // Same block, different offset.
+    EXPECT_NE(c.access(0x11f, 3), nullptr);
+    // Next block misses.
+    EXPECT_EQ(c.access(0x120, 4), nullptr);
+}
+
+TEST(CacheTest, ProbeDoesNotTouchLru)
+{
+    CacheModel c(cfg(64, 2, 32)); // 1 set, 2 ways
+    c.fill(0x000, 1);
+    c.fill(0x100, 2);
+    // Probing 0x000 must not refresh it; 0x000 stays LRU.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_NE(c.probe(0x000), nullptr);
+    auto ev = c.fill(0x200, 3);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->block_addr, 0x000u);
+}
+
+TEST(CacheTest, AccessRefreshesLru)
+{
+    CacheModel c(cfg(64, 2, 32));
+    c.fill(0x000, 1);
+    c.fill(0x100, 2);
+    EXPECT_NE(c.access(0x000, 3), nullptr); // refresh 0x000
+    auto ev = c.fill(0x200, 4);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->block_addr, 0x100u); // 0x100 is now LRU
+}
+
+TEST(CacheTest, FillPrefersInvalidWay)
+{
+    CacheModel c(cfg(128, 4, 32)); // 1 set, 4 ways
+    EXPECT_FALSE(c.fill(0x000, 1).has_value());
+    EXPECT_FALSE(c.fill(0x100, 2).has_value());
+    EXPECT_FALSE(c.fill(0x200, 3).has_value());
+    EXPECT_FALSE(c.fill(0x300, 4).has_value());
+    EXPECT_TRUE(c.fill(0x400, 5).has_value());
+}
+
+TEST(CacheTest, VictimOfNullWhenFreeWay)
+{
+    CacheModel c(cfg(128, 4, 32));
+    c.fill(0x000, 1);
+    EXPECT_EQ(c.victimOf(0x400), nullptr);
+    c.fill(0x100, 2);
+    c.fill(0x200, 3);
+    c.fill(0x300, 4);
+    const CacheLine *victim = c.victimOf(0x400);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->tag, c.tagOf(0x000));
+}
+
+TEST(CacheTest, InvalidateRemovesBlock)
+{
+    CacheModel c(cfg(1024, 2, 32));
+    c.fill(0x40, 1);
+    EXPECT_NE(c.probe(0x40), nullptr);
+    c.invalidate(0x40);
+    EXPECT_EQ(c.probe(0x40), nullptr);
+    c.invalidate(0x40); // idempotent
+}
+
+TEST(CacheTest, FlushEmptiesEverything)
+{
+    CacheModel c(cfg(1024, 2, 32));
+    for (Addr a = 0; a < 1024; a += 32)
+        c.fill(a, 1);
+    c.flush();
+    for (Addr a = 0; a < 1024; a += 32)
+        EXPECT_EQ(c.probe(a), nullptr);
+}
+
+TEST(CacheTest, DirtyBitSurvivesUntilEviction)
+{
+    CacheModel c(cfg(64, 1, 32)); // 2 sets, direct-mapped
+    c.fill(0x00, 1);
+    c.access(0x00, 2)->dirty = true;
+    auto ev = c.fill(0x40, 3); // same set (set 0), evicts 0x00
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_TRUE(ev->dirty);
+    EXPECT_EQ(ev->block_addr, 0x00u);
+}
+
+TEST(CacheTest, SetOccupancyCounts)
+{
+    CacheModel c(cfg(256, 4, 32)); // 2 sets
+    EXPECT_EQ(c.setOccupancy(0x00), 0u);
+    c.fill(0x000, 1);  // set 0
+    c.fill(0x100, 2);  // set 0
+    c.fill(0x020, 3);  // set 1
+    EXPECT_EQ(c.setOccupancy(0x00), 2u);
+    EXPECT_EQ(c.setOccupancy(0x20), 1u);
+}
+
+TEST(CacheDeathTest, DoubleFillPanics)
+{
+    CacheModel c(cfg(1024, 2, 32));
+    c.fill(0x40, 1);
+    EXPECT_DEATH(c.fill(0x40, 2), "already-resident");
+}
+
+TEST(CacheTest, MetadataDefaultsOnFill)
+{
+    CacheModel c(cfg(1024, 2, 32));
+    c.fill(0x40, 77);
+    const CacheLine *line = c.probe(0x40);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->fill_cycle, 77u);
+    EXPECT_EQ(line->last_access, 77u);
+    EXPECT_FALSE(line->dirty);
+    EXPECT_FALSE(line->prefetched);
+    EXPECT_FALSE(line->demand_touched);
+}
+
+// ---------------------------------------------------------------------
+// Parameterized geometry sweep with an LRU reference model.
+
+struct Geometry
+{
+    std::uint64_t size;
+    unsigned assoc;
+    unsigned block;
+};
+
+class CacheGeometryTest : public testing::TestWithParam<Geometry>
+{
+};
+
+/** Simple reference: per-set list of blocks in LRU order. */
+class RefLru
+{
+  public:
+    RefLru(const CacheModel &c) : cache_(c) {}
+
+    /** @return true on hit; updates reference state like the model. */
+    bool
+    accessAndFill(Addr addr)
+    {
+        const Addr block = cache_.blockAlign(addr);
+        const SetIndex set = cache_.setOf(addr);
+        auto &list = sets_[set]; // front = MRU
+        for (auto it = list.begin(); it != list.end(); ++it) {
+            if (*it == block) {
+                list.erase(it);
+                list.push_front(block);
+                return true;
+            }
+        }
+        list.push_front(block);
+        if (list.size() > cache_.assoc())
+            list.pop_back();
+        return false;
+    }
+
+  private:
+    const CacheModel &cache_;
+    std::map<SetIndex, std::list<Addr>> sets_;
+};
+
+TEST_P(CacheGeometryTest, MatchesReferenceLru)
+{
+    const Geometry g = GetParam();
+    CacheModel c(cfg(g.size, g.assoc, g.block));
+    RefLru ref(c);
+    Rng rng(99);
+    Cycle now = 0;
+    // Confined address range creates plenty of conflicts.
+    const Addr range = g.size * 4;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = rng.below(range);
+        const bool model_hit = c.access(addr, ++now) != nullptr;
+        const bool ref_hit = ref.accessAndFill(addr);
+        ASSERT_EQ(model_hit, ref_hit) << "i=" << i << " addr=" << addr;
+        if (!model_hit)
+            c.fill(addr, now);
+    }
+}
+
+TEST_P(CacheGeometryTest, OccupancyNeverExceedsWays)
+{
+    const Geometry g = GetParam();
+    CacheModel c(cfg(g.size, g.assoc, g.block));
+    Rng rng(7);
+    Cycle now = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const Addr addr = rng.below(g.size * 8);
+        if (!c.access(addr, ++now))
+            c.fill(addr, now);
+        ASSERT_LE(c.setOccupancy(addr), g.assoc);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    testing::Values(Geometry{1024, 1, 32}, Geometry{1024, 2, 32},
+                    Geometry{4096, 4, 64}, Geometry{32 * 1024, 1, 32},
+                    Geometry{32 * 1024, 4, 32},
+                    Geometry{64 * 1024, 8, 64},
+                    Geometry{1024 * 1024, 4, 64}),
+    [](const testing::TestParamInfo<Geometry> &info) {
+        return std::to_string(info.param.size) + "B_" +
+               std::to_string(info.param.assoc) + "w_" +
+               std::to_string(info.param.block) + "b";
+    });
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Regression net over the Section 3 characterisation: each synthetic
+ * workload was tuned to reproduce the paper's measured miss-stream
+ * statistics for its SPEC2000 namesake, and EXPERIMENTS.md reports
+ * those numbers. These tests pin the load-bearing properties so
+ * future workload edits cannot silently break the reproduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/miss_stream.hh"
+#include "trace/workloads.hh"
+
+namespace tcp {
+namespace {
+
+/** Profile @p name for @p instructions micro-ops. */
+MissStreamAnalyzer
+profiled(const std::string &name, std::uint64_t instructions = 2000000)
+{
+    MissStreamAnalyzer an;
+    auto wl = makeWorkload(name, 1);
+    an.profileTrace(*wl, instructions);
+    return an;
+}
+
+TEST(CharacterizationTest, ArtHasAboutAHundredTags)
+{
+    // The paper's most striking Figure 2 number: art misses on just
+    // 98 unique tags.
+    const auto an = profiled("art");
+    const auto t = an.tagStats();
+    EXPECT_GE(t.unique_tags, 80u);
+    EXPECT_LE(t.unique_tags, 120u);
+    EXPECT_GT(t.mean_appearances_per_tag, 1000.0);
+}
+
+TEST(CharacterizationTest, CraftyAndTwolfSequencesAreRandom)
+{
+    // Figure 5's two outliers: their unique-sequence count
+    // approaches the random upper limit.
+    for (const char *name : {"crafty", "twolf"}) {
+        const auto an = profiled(name);
+        EXPECT_GT(an.seqStats().fraction_of_upper_limit, 0.3) << name;
+    }
+}
+
+TEST(CharacterizationTest, RegularCodesFarFromRandomLimit)
+{
+    // ...while the regular codes sit orders of magnitude below it.
+    for (const char *name : {"swim", "art", "applu", "ammp"}) {
+        const auto an = profiled(name);
+        EXPECT_LT(an.seqStats().fraction_of_upper_limit, 0.01) << name;
+    }
+}
+
+TEST(CharacterizationTest, StridedCodesShareSequencesAcrossSets)
+{
+    // Figure 7: swim-class sequences appear in hundreds of sets —
+    // the case for the shared PHT.
+    for (const char *name : {"swim", "applu", "mgrid", "art"}) {
+        const auto an = profiled(name);
+        EXPECT_GT(an.seqStats().mean_sets_per_seq, 100.0) << name;
+    }
+}
+
+TEST(CharacterizationTest, IrregularCodesKeepSequencesPrivate)
+{
+    // Figure 7's other half: mcf-class sequences are set-private —
+    // the case for TCP-8M on those codes.
+    for (const char *name : {"mcf", "gcc", "facerec", "vpr"}) {
+        const auto an = profiled(name);
+        EXPECT_LT(an.seqStats().mean_sets_per_seq, 5.0) << name;
+    }
+}
+
+TEST(CharacterizationTest, McfHasTheMostUniqueSequences)
+{
+    // Figure 6: mcf's sequence working set dwarfs everyone else's.
+    const auto mcf = profiled("mcf");
+    for (const char *other : {"swim", "art", "ammp", "gzip"}) {
+        const auto an = profiled(other);
+        EXPECT_GT(mcf.seqStats().unique_seqs,
+                  5 * an.seqStats().unique_seqs)
+            << other;
+    }
+}
+
+TEST(CharacterizationTest, StridedFractionOrdering)
+{
+    // Figure 15: strided FP codes far above the irregular codes.
+    const auto mgrid = profiled("mgrid");
+    const auto swim = profiled("swim");
+    for (const char *irregular : {"mcf", "gcc", "parser", "twolf"}) {
+        const auto an = profiled(irregular);
+        EXPECT_LT(an.seqStats().strided_fraction, 0.05) << irregular;
+        EXPECT_GT(swim.seqStats().strided_fraction,
+                  an.seqStats().strided_fraction * 5)
+            << irregular;
+    }
+    EXPECT_GT(mgrid.seqStats().strided_fraction, 0.5);
+}
+
+TEST(CharacterizationTest, AddressesOutnumberTags)
+{
+    // Figure 3: unique block addresses are orders of magnitude more
+    // numerous than unique tags, and recur far less.
+    for (const char *name : {"swim", "mcf", "applu", "gap"}) {
+        const auto an = profiled(name);
+        const auto t = an.tagStats();
+        const auto a = an.addrStats();
+        EXPECT_GT(a.unique_addrs, 50 * t.unique_tags) << name;
+        EXPECT_GT(t.mean_appearances_per_tag,
+                  10 * a.mean_appearances_per_addr)
+            << name;
+    }
+}
+
+TEST(CharacterizationTest, ComputeBoundCodesBarelyMiss)
+{
+    // The Figure 1 left tail: tiny miss working sets.
+    for (const char *name : {"eon", "sixtrack", "equake"}) {
+        const auto an = profiled(name, 500000);
+        EXPECT_LT(an.tagStats().unique_tags, 40u) << name;
+    }
+}
+
+TEST(CharacterizationTest, Fma3dConfinedToFewSets)
+{
+    // fma3d's signature (Figures 2/4): few tags, confined to a small
+    // number of sets, with strong per-set recurrence.
+    const auto an = profiled("fma3d");
+    const auto t = an.tagStats();
+    EXPECT_LT(t.unique_tags, 100u);
+    EXPECT_LT(t.mean_sets_per_tag, 32.0);
+}
+
+TEST(CharacterizationTest, LargestWorkingSets)
+{
+    // Figure 2: the benchmarks the paper names as the biggest tag
+    // working sets stay in the suite's top half.
+    const auto swim = profiled("swim");
+    const auto apsi = profiled("apsi");
+    const auto eon = profiled("eon");
+    EXPECT_GT(swim.tagStats().unique_tags, 100u);
+    EXPECT_GT(apsi.tagStats().unique_tags, 60u);
+    EXPECT_GT(swim.tagStats().unique_tags,
+              10 * eon.tagStats().unique_tags);
+}
+
+} // namespace
+} // namespace tcp

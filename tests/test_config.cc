@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the machine configuration (Table 1 defaults).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "trace/microop.hh"
+
+namespace tcp {
+namespace {
+
+TEST(ConfigTest, Table1Defaults)
+{
+    const MachineConfig cfg;
+    EXPECT_EQ(cfg.core.rob_entries, 128u);
+    EXPECT_EQ(cfg.core.lsq_entries, 128u);
+    EXPECT_EQ(cfg.core.issue_width, 8u);
+    EXPECT_EQ(cfg.core.int_alu, 8u);
+    EXPECT_EQ(cfg.core.int_mult, 3u);
+    EXPECT_EQ(cfg.core.fp_alu, 6u);
+    EXPECT_EQ(cfg.core.fp_mult, 2u);
+    EXPECT_EQ(cfg.core.mem_ports, 4u);
+
+    EXPECT_EQ(cfg.l1d.size_bytes, 32u * 1024);
+    EXPECT_EQ(cfg.l1d.assoc, 1u);
+    EXPECT_EQ(cfg.l1d.block_bytes, 32u);
+    EXPECT_EQ(cfg.l1d.mshrs, 64u);
+    EXPECT_EQ(cfg.l1d.numSets(), 1024u);
+
+    EXPECT_EQ(cfg.l1i.size_bytes, 32u * 1024);
+    EXPECT_EQ(cfg.l1i.assoc, 4u);
+
+    EXPECT_EQ(cfg.l2.size_bytes, 1024u * 1024);
+    EXPECT_EQ(cfg.l2.assoc, 4u);
+    EXPECT_EQ(cfg.l2.block_bytes, 64u);
+    EXPECT_EQ(cfg.l2.latency, 12u);
+
+    EXPECT_EQ(cfg.l1l2_bus.bytes_per_cycle, 32u);
+    EXPECT_EQ(cfg.memory_latency, 70u);
+    EXPECT_FALSE(cfg.ideal_l2);
+    EXPECT_FALSE(cfg.prefetch_bus);
+}
+
+TEST(ConfigTest, NumSetsArithmetic)
+{
+    CacheConfig c{"x", 64 * 1024, 8, 64, 1, 4};
+    EXPECT_EQ(c.numSets(), 128u);
+}
+
+TEST(ConfigTest, DescribeMentionsKeyParameters)
+{
+    const std::string desc = MachineConfig{}.describe();
+    EXPECT_NE(desc.find("128-RUU"), std::string::npos);
+    EXPECT_NE(desc.find("8 instructions per cycle"), std::string::npos);
+    EXPECT_NE(desc.find("32KB"), std::string::npos);
+    EXPECT_NE(desc.find("70 cycles"), std::string::npos);
+    EXPECT_EQ(desc.find("ideal"), std::string::npos);
+
+    MachineConfig ideal;
+    ideal.ideal_l2 = true;
+    EXPECT_NE(ideal.describe().find("ideal"), std::string::npos);
+}
+
+TEST(MicroOpTest, ClassNamesAndLatencies)
+{
+    EXPECT_STREQ(opClassName(OpClass::IntAlu), "IntAlu");
+    EXPECT_STREQ(opClassName(OpClass::Load), "Load");
+    EXPECT_EQ(opClassLatency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(opClassLatency(OpClass::IntMult), 3u);
+    EXPECT_EQ(opClassLatency(OpClass::FpAlu), 2u);
+    EXPECT_EQ(opClassLatency(OpClass::FpMult), 4u);
+}
+
+TEST(MicroOpTest, IsMem)
+{
+    MicroOp op;
+    op.cls = OpClass::Load;
+    EXPECT_TRUE(op.isMem());
+    op.cls = OpClass::Store;
+    EXPECT_TRUE(op.isMem());
+    op.cls = OpClass::Branch;
+    EXPECT_FALSE(op.isMem());
+}
+
+} // namespace
+} // namespace tcp

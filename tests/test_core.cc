@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the out-of-order core timing model: IPC bounds, width
+ * and window limits, dependence serialisation, branch squashes, and
+ * the memory-latency monotonicity property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/ooo_core.hh"
+#include "trace/workloads.hh"
+
+namespace tcp {
+namespace {
+
+/** A scripted op stream for precise timing checks. */
+class ScriptedSource : public TraceSource
+{
+  public:
+    explicit ScriptedSource(std::vector<MicroOp> ops)
+        : ops_(std::move(ops))
+    {
+    }
+
+    bool
+    next(MicroOp &op) override
+    {
+        if (pos_ >= ops_.size())
+            return false;
+        op = ops_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+    const std::string &name() const override { return name_; }
+
+  private:
+    std::vector<MicroOp> ops_;
+    std::size_t pos_ = 0;
+    std::string name_ = "scripted";
+};
+
+MicroOp
+alu(std::uint8_t dep1 = 0)
+{
+    MicroOp op;
+    op.cls = OpClass::IntAlu;
+    op.pc = 0x400000;
+    op.dep1 = dep1;
+    return op;
+}
+
+MicroOp
+load(Addr addr, std::uint8_t dep1 = 0)
+{
+    MicroOp op;
+    op.cls = OpClass::Load;
+    op.pc = 0x400010;
+    op.addr = addr;
+    op.dep1 = dep1;
+    return op;
+}
+
+CoreResult
+runOps(std::vector<MicroOp> ops, MachineConfig cfg = MachineConfig{})
+{
+    ScriptedSource src(std::move(ops));
+    MemoryHierarchy mem(cfg);
+    OooCore core(cfg.core, mem);
+    return core.run(src, 1 << 30);
+}
+
+TEST(CoreTest, IpcNeverExceedsWidth)
+{
+    std::vector<MicroOp> ops(10000, alu());
+    const CoreResult r = runOps(ops);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LE(r.ipc, 8.0);
+    // Independent single-cycle ALU ops should get close to width.
+    EXPECT_GT(r.ipc, 6.0);
+}
+
+TEST(CoreTest, SerialChainRunsAtOneIpc)
+{
+    // Every op depends on its predecessor: IPC ~ 1.
+    std::vector<MicroOp> ops(10000, alu(1));
+    const CoreResult r = runOps(ops);
+    EXPECT_LT(r.ipc, 1.2);
+    EXPECT_GT(r.ipc, 0.8);
+}
+
+TEST(CoreTest, SerialLoadsExposeFullMemoryLatency)
+{
+    // Pointer-chase shape: each load depends on the previous one and
+    // misses everywhere. IPC ~ 1/missLatency.
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 3000; ++i)
+        ops.push_back(load(0x100000000ULL + i * 4096, 1));
+    const CoreResult r = runOps(ops);
+    EXPECT_LT(r.ipc, 0.02);
+}
+
+TEST(CoreTest, IndependentLoadsOverlapMisses)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 3000; ++i)
+        ops.push_back(load(0x100000000ULL + i * 4096, 0));
+    const CoreResult serial_free = runOps(ops);
+    // Same misses, overlapped: at least 10x the serial version.
+    EXPECT_GT(serial_free.ipc, 0.15);
+}
+
+TEST(CoreTest, MispredictsCostCycles)
+{
+    std::vector<MicroOp> clean(20000, alu());
+    for (std::size_t i = 0; i < clean.size(); i += 10) {
+        clean[i].cls = OpClass::Branch;
+    }
+    std::vector<MicroOp> noisy = clean;
+    for (std::size_t i = 0; i < noisy.size(); i += 10)
+        noisy[i].mispredicted = true;
+
+    const CoreResult fast = runOps(clean);
+    const CoreResult slow = runOps(noisy);
+    EXPECT_GT(fast.ipc, slow.ipc * 1.5);
+    EXPECT_EQ(slow.mispredicts, 2000u);
+}
+
+TEST(CoreTest, CountsOpClasses)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 100; ++i) {
+        ops.push_back(load(0x100000000ULL + i * 32));
+        MicroOp st;
+        st.cls = OpClass::Store;
+        st.addr = 0x200000000ULL + i * 32;
+        ops.push_back(st);
+        MicroOp br;
+        br.cls = OpClass::Branch;
+        ops.push_back(br);
+    }
+    const CoreResult r = runOps(ops);
+    EXPECT_EQ(r.loads, 100u);
+    EXPECT_EQ(r.stores, 100u);
+    EXPECT_EQ(r.branches, 100u);
+    EXPECT_EQ(r.instructions, 300u);
+}
+
+TEST(CoreTest, StoresDoNotBlockRetirement)
+{
+    // Store misses drain through the write buffer: a stream of
+    // missing stores retires far faster than missing loads.
+    std::vector<MicroOp> stores, loads_v;
+    for (int i = 0; i < 2000; ++i) {
+        MicroOp st;
+        st.cls = OpClass::Store;
+        st.addr = 0x100000000ULL + i * 4096;
+        stores.push_back(st);
+        loads_v.push_back(load(0x200000000ULL + i * 4096, 1));
+    }
+    EXPECT_GT(runOps(stores).ipc, runOps(loads_v).ipc * 5);
+}
+
+TEST(CoreTest, RunStopsAtSourceEnd)
+{
+    std::vector<MicroOp> ops(50, alu());
+    ScriptedSource src(ops);
+    MachineConfig cfg;
+    MemoryHierarchy mem(cfg);
+    OooCore core(cfg.core, mem);
+    const CoreResult r = core.run(src, 1000000);
+    EXPECT_EQ(r.instructions, 50u);
+}
+
+TEST(CoreTest, ResetRestartsCleanly)
+{
+    MachineConfig cfg;
+    MemoryHierarchy mem(cfg);
+    OooCore core(cfg.core, mem);
+    std::vector<MicroOp> ops(1000, alu());
+    ScriptedSource src(ops);
+    const CoreResult first = core.run(src, 1000);
+    core.reset();
+    mem.reset();
+    src.reset();
+    const CoreResult second = core.run(src, 1000);
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_EQ(first.instructions, second.instructions);
+}
+
+TEST(CoreTest, NarrowWidthScalesDown)
+{
+    MachineConfig cfg;
+    cfg.core.issue_width = 2;
+    std::vector<MicroOp> ops(10000, alu());
+    const CoreResult r = runOps(ops, cfg);
+    EXPECT_LE(r.ipc, 2.0);
+    EXPECT_GT(r.ipc, 1.5);
+}
+
+TEST(CoreTest, FuPortsConstrainThroughput)
+{
+    MachineConfig cfg;
+    cfg.core.int_alu = 1; // single ALU
+    std::vector<MicroOp> ops(10000, alu());
+    const CoreResult r = runOps(ops, cfg);
+    EXPECT_LE(r.ipc, 1.1);
+}
+
+// Memory-latency monotonicity: raising memory latency never raises
+// IPC. Property-checked across several workloads.
+class LatencyMonotonicityTest
+    : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(LatencyMonotonicityTest, IpcNonIncreasingInMemoryLatency)
+{
+    double last_ipc = 1e9;
+    for (Cycle lat : {10u, 70u, 300u}) {
+        MachineConfig cfg;
+        cfg.memory_latency = lat;
+        auto wl = makeWorkload(GetParam(), 1);
+        MemoryHierarchy mem(cfg);
+        OooCore core(cfg.core, mem);
+        const CoreResult r = core.run(*wl, 300000);
+        EXPECT_LE(r.ipc, last_ipc * 1.01) << "lat=" << lat;
+        last_ipc = r.ipc;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, LatencyMonotonicityTest,
+                         testing::Values("swim", "mcf", "gzip",
+                                         "gcc"));
+
+} // namespace
+} // namespace tcp

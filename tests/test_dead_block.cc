@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the timekeeping dead-block predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/dead_block.hh"
+
+namespace tcp {
+namespace {
+
+TEST(DeadBlockTest, FreshBlockNotDead)
+{
+    DeadBlockPredictor dbp;
+    // Just accessed: idle time zero.
+    EXPECT_FALSE(dbp.isPredictedDead(0x1000, 100, 200, 200));
+    EXPECT_FALSE(dbp.isPredictedDead(0x1000, 100, 200, 150));
+}
+
+TEST(DeadBlockTest, LearnsLiveTimeFromEviction)
+{
+    DeadBlockPredictor dbp(1024, 2.0, 64);
+    // Previous generation lived 100 cycles (fill 0, last access 100).
+    dbp.recordEviction(0x2000, 0, 100);
+    // New generation: idle 150 < 2x100 -> live.
+    EXPECT_FALSE(dbp.isPredictedDead(0x2000, 1000, 1100, 1250));
+    // Idle 250 > 200 -> dead.
+    EXPECT_TRUE(dbp.isPredictedDead(0x2000, 1000, 1100, 1351));
+}
+
+TEST(DeadBlockTest, FloorGuardsTinyLiveTimes)
+{
+    DeadBlockPredictor dbp(1024, 2.0, 64);
+    dbp.recordEviction(0x3000, 0, 1); // live time ~1 cycle
+    // Idle 50 < floor 64 -> still live.
+    EXPECT_FALSE(dbp.isPredictedDead(0x3000, 100, 100, 150));
+    // Idle 100 > 64 -> dead.
+    EXPECT_TRUE(dbp.isPredictedDead(0x3000, 100, 100, 201));
+}
+
+TEST(DeadBlockTest, UnknownBlockNeverPredictedDead)
+{
+    DeadBlockPredictor dbp(1024, 2.0, 64);
+    // Never trained: stay conservative no matter how long the idle
+    // time, so early promotions cannot truncate generations and
+    // poison the live-time table.
+    EXPECT_FALSE(dbp.isPredictedDead(0x9000, 0, 200, 500));
+    EXPECT_FALSE(dbp.isPredictedDead(0x9000, 0, 200, 1000000));
+}
+
+TEST(DeadBlockTest, StatsCount)
+{
+    DeadBlockPredictor dbp;
+    dbp.recordEviction(0x1000, 0, 10);
+    dbp.isPredictedDead(0x1000, 100, 100, 100);
+    dbp.isPredictedDead(0x1000, 100, 100, 100000);
+    EXPECT_EQ(dbp.trainings.value(), 1u);
+    EXPECT_EQ(dbp.predictions.value(), 2u);
+    EXPECT_EQ(dbp.dead_votes.value(), 1u);
+}
+
+TEST(DeadBlockTest, ResetForgets)
+{
+    DeadBlockPredictor dbp(1024, 2.0, 64);
+    dbp.recordEviction(0x2000, 0, 10000);
+    dbp.reset();
+    // After reset the learned live time is gone; the predictor is
+    // conservative again (untrained -> never dead).
+    EXPECT_FALSE(dbp.isPredictedDead(0x2000, 0, 0, 1000000));
+    EXPECT_EQ(dbp.trainings.value(), 0u);
+}
+
+TEST(DeadBlockTest, StorageBits)
+{
+    EXPECT_EQ(DeadBlockPredictor(16384).storageBits(), 16384u * 38);
+    EXPECT_EQ(DeadBlockPredictor(1024).storageBits(), 1024u * 38);
+}
+
+TEST(DeadBlockDeathTest, NonPowerOfTwoPanics)
+{
+    EXPECT_DEATH(DeadBlockPredictor(1000), "power of two");
+}
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Tests for the workload kernels: determinism, reset-replay, address
+ * bounds, traversal coverage, and the cross-set sequence-sharing
+ * property of region-structured chases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "trace/kernels.hh"
+
+namespace tcp {
+namespace {
+
+KernelParams
+baseParams()
+{
+    KernelParams p;
+    p.base = 0x100000000ULL;
+    p.code_base = 0x400000;
+    p.compute_per_access = 2;
+    p.seed = 42;
+    return p;
+}
+
+std::vector<MicroOp>
+collect(Kernel &k, int steps)
+{
+    std::vector<MicroOp> out;
+    for (int i = 0; i < steps; ++i)
+        k.step(out, out.size());
+    return out;
+}
+
+std::vector<Addr>
+memAddrs(const std::vector<MicroOp> &ops)
+{
+    std::vector<Addr> out;
+    for (const MicroOp &op : ops)
+        if (op.isMem())
+            out.push_back(op.addr);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Generic kernel properties, parameterized over kernel factories.
+
+using KernelFactory = std::unique_ptr<Kernel> (*)();
+
+std::unique_ptr<Kernel>
+makeStrided()
+{
+    return std::make_unique<StridedSweepKernel>(baseParams(), 1 << 16,
+                                                64);
+}
+std::unique_ptr<Kernel>
+makeMulti()
+{
+    return std::make_unique<MultiStreamKernel>(baseParams(), 3, 1 << 16,
+                                               64, 1 << 24);
+}
+std::unique_ptr<Kernel>
+makeChase()
+{
+    return std::make_unique<PointerChaseKernel>(baseParams(), 1024, 64);
+}
+std::unique_ptr<Kernel>
+makeRegionChase()
+{
+    return std::make_unique<PointerChaseKernel>(baseParams(), 4096, 64,
+                                                true, 32 * 1024);
+}
+std::unique_ptr<Kernel>
+makeHash()
+{
+    return std::make_unique<HashProbeKernel>(baseParams(), 1 << 18,
+                                             500);
+}
+std::unique_ptr<Kernel>
+makeRandom()
+{
+    return std::make_unique<RandomWalkKernel>(baseParams(), 1 << 18);
+}
+std::unique_ptr<Kernel>
+makeCompute()
+{
+    return std::make_unique<ComputeKernel>(baseParams(), 8);
+}
+std::unique_ptr<Kernel>
+makeStencil()
+{
+    return std::make_unique<StencilKernel>(baseParams(), 32, 64, 8);
+}
+std::unique_ptr<Kernel>
+makeGather()
+{
+    return std::make_unique<GatherKernel>(baseParams(), 4096, 1 << 20);
+}
+std::unique_ptr<Kernel>
+makeTree()
+{
+    return std::make_unique<TreeTraversalKernel>(baseParams(), 10, 64,
+                                                 300);
+}
+std::unique_ptr<Kernel>
+makeZipf()
+{
+    return std::make_unique<ZipfProbeKernel>(baseParams(), 1 << 20,
+                                             5000);
+}
+
+class KernelPropertyTest : public testing::TestWithParam<KernelFactory>
+{
+};
+
+TEST_P(KernelPropertyTest, DeterministicAcrossInstances)
+{
+    auto a = GetParam()();
+    auto b = GetParam()();
+    const auto ops_a = collect(*a, 200);
+    const auto ops_b = collect(*b, 200);
+    ASSERT_EQ(ops_a.size(), ops_b.size());
+    for (std::size_t i = 0; i < ops_a.size(); ++i) {
+        EXPECT_EQ(ops_a[i].addr, ops_b[i].addr) << i;
+        EXPECT_EQ(ops_a[i].pc, ops_b[i].pc) << i;
+        EXPECT_EQ(static_cast<int>(ops_a[i].cls),
+                  static_cast<int>(ops_b[i].cls))
+            << i;
+    }
+}
+
+TEST_P(KernelPropertyTest, ResetReplaysExactly)
+{
+    auto k = GetParam()();
+    const auto first = collect(*k, 200);
+    k->reset();
+    const auto second = collect(*k, 200);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].addr, second[i].addr) << i;
+        EXPECT_EQ(first[i].mispredicted, second[i].mispredicted) << i;
+    }
+}
+
+TEST_P(KernelPropertyTest, EveryStepEmitsOps)
+{
+    auto k = GetParam()();
+    std::vector<MicroOp> out;
+    for (int i = 0; i < 50; ++i) {
+        const std::size_t before = out.size();
+        k->step(out, before);
+        EXPECT_GT(out.size(), before);
+    }
+}
+
+TEST_P(KernelPropertyTest, EndsWithBranch)
+{
+    auto k = GetParam()();
+    std::vector<MicroOp> out;
+    k->step(out, 0);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(static_cast<int>(out.back().cls),
+              static_cast<int>(OpClass::Branch));
+}
+
+std::string
+kernelCaseName(const testing::TestParamInfo<KernelFactory> &info)
+{
+    static const char *const names[] = {
+        "Strided", "Multi",  "Chase",   "RegionChase", "Hash",
+        "Random",  "Compute", "Stencil", "Gather",     "Zipf",
+        "Tree"};
+    return names[info.index];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelPropertyTest,
+    testing::Values(&makeStrided, &makeMulti, &makeChase,
+                    &makeRegionChase, &makeHash, &makeRandom,
+                    &makeCompute, &makeStencil, &makeGather,
+                    &makeZipf, &makeTree),
+    kernelCaseName);
+
+// ---------------------------------------------------------------------
+// Kernel-specific behaviour.
+
+TEST(StridedSweepTest, AddressesWithinFootprintAndWrap)
+{
+    StridedSweepKernel k(baseParams(), 1024, 64);
+    std::vector<MicroOp> out;
+    for (int i = 0; i < 40; ++i)
+        k.step(out, out.size());
+    const auto addrs = memAddrs(out);
+    ASSERT_EQ(addrs.size(), 40u);
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        EXPECT_GE(addrs[i], baseParams().base);
+        EXPECT_LT(addrs[i], baseParams().base + 1024);
+        EXPECT_EQ(addrs[i],
+                  baseParams().base + (i * 64) % 1024);
+    }
+}
+
+TEST(MultiStreamTest, TouchesEveryStreamPerStep)
+{
+    MultiStreamKernel k(baseParams(), 4, 1 << 16, 64, 1 << 24);
+    std::vector<MicroOp> out;
+    k.step(out, 0);
+    const auto addrs = memAddrs(out);
+    ASSERT_EQ(addrs.size(), 4u);
+    std::set<Addr> regions;
+    for (Addr a : addrs)
+        regions.insert(a >> 24);
+    EXPECT_EQ(regions.size(), 4u);
+}
+
+TEST(PointerChaseTest, VisitsEveryNodeEachLap)
+{
+    const std::uint64_t nodes = 512;
+    PointerChaseKernel k(baseParams(), nodes, 64);
+    std::vector<MicroOp> out;
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        k.step(out, out.size());
+    const auto addrs = memAddrs(out);
+    std::set<Addr> unique(addrs.begin(), addrs.end());
+    EXPECT_EQ(unique.size(), nodes);
+}
+
+TEST(PointerChaseTest, LapsAreIdentical)
+{
+    const std::uint64_t nodes = 256;
+    PointerChaseKernel k(baseParams(), nodes, 64);
+    std::vector<MicroOp> out;
+    for (std::uint64_t i = 0; i < 2 * nodes; ++i)
+        k.step(out, out.size());
+    const auto addrs = memAddrs(out);
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        EXPECT_EQ(addrs[i], addrs[i + nodes]) << i;
+}
+
+TEST(PointerChaseTest, SerialDependenceOnPreviousLoad)
+{
+    KernelParams p = baseParams();
+    p.compute_per_access = 0;
+    p.store_fraction = 0.0;
+    PointerChaseKernel k(p, 64, 64, /*serial=*/true);
+    std::vector<MicroOp> out;
+    for (int i = 0; i < 10; ++i)
+        k.step(out, out.size());
+    // Each step is [load, branch]: loads sit 2 apart.
+    int mem_seen = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (!out[i].isMem())
+            continue;
+        if (mem_seen++ == 0)
+            continue; // first load has no producer
+        EXPECT_EQ(out[i].dep1, 2u) << i;
+    }
+}
+
+TEST(PointerChaseTest, RegionOrderSharesSequenceAcrossSets)
+{
+    // The Figure 7 property: with 32 KB regions, each L1 set sees the
+    // same region-tag order.
+    const Addr region = 32 * 1024;
+    KernelParams p = baseParams();
+    p.store_fraction = 0.0;
+    PointerChaseKernel k(p, /*nodes=*/8192, 64, true, region);
+    std::vector<MicroOp> out;
+    for (int i = 0; i < 8192; ++i)
+        k.step(out, out.size());
+    const auto addrs = memAddrs(out);
+
+    // Reconstruct the per-set tag sequences of a 32KB DM L1.
+    std::map<Addr, std::vector<Tag>> per_set;
+    for (Addr a : addrs) {
+        const Addr set = (a >> 5) & 1023;
+        const Tag tag = a >> 15;
+        auto &seq = per_set[set];
+        if (seq.empty() || seq.back() != tag)
+            per_set[set].push_back(tag);
+    }
+    ASSERT_GT(per_set.size(), 100u);
+    const auto &reference = per_set.begin()->second;
+    for (const auto &[set, seq] : per_set)
+        EXPECT_EQ(seq, reference) << "set " << set;
+}
+
+TEST(HashProbeTest, PeriodicSequenceRepeats)
+{
+    HashProbeKernel k(baseParams(), 1 << 18, /*period=*/128);
+    std::vector<MicroOp> out;
+    for (int i = 0; i < 256; ++i)
+        k.step(out, out.size());
+    const auto addrs = memAddrs(out);
+    ASSERT_GE(addrs.size(), 256u);
+    for (int i = 0; i < 128; ++i)
+        EXPECT_EQ(addrs[i], addrs[i + 128]) << i;
+}
+
+TEST(RandomWalkTest, StaysInFootprint)
+{
+    RandomWalkKernel k(baseParams(), 4096);
+    std::vector<MicroOp> out;
+    for (int i = 0; i < 500; ++i)
+        k.step(out, out.size());
+    for (Addr a : memAddrs(out)) {
+        EXPECT_GE(a, baseParams().base);
+        EXPECT_LT(a, baseParams().base + 4096);
+    }
+}
+
+TEST(StencilTest, ThreeAccessesPerStepOneRowApart)
+{
+    StencilKernel k(baseParams(), 16, 32, 8);
+    std::vector<MicroOp> out;
+    k.step(out, 0);
+    const auto addrs = memAddrs(out);
+    ASSERT_EQ(addrs.size(), 3u);
+    const Addr row_bytes = 32 * 8;
+    EXPECT_EQ(addrs[1] - addrs[0], row_bytes);
+    EXPECT_EQ(addrs[2] - addrs[1], row_bytes);
+}
+
+TEST(GatherKernelTest, IndexStreamSequentialDataStreamScattered)
+{
+    KernelParams p = baseParams();
+    p.store_fraction = 0.0;
+    GatherKernel k(p, 1024, 1 << 20);
+    std::vector<MicroOp> out;
+    for (int i = 0; i < 200; ++i)
+        k.step(out, out.size());
+    std::vector<Addr> idx, data;
+    int which = 0;
+    for (const MicroOp &op : out) {
+        if (!op.isMem())
+            continue;
+        (which++ % 2 == 0 ? idx : data).push_back(op.addr);
+    }
+    ASSERT_EQ(idx.size(), 200u);
+    // Index loads advance by 4 bytes each step.
+    for (std::size_t i = 1; i < idx.size(); ++i)
+        EXPECT_EQ(idx[i] - idx[i - 1], 4u);
+    // Data loads repeat the same order every lap of the index array.
+    GatherKernel k2(p, 64, 1 << 20);
+    std::vector<MicroOp> out2;
+    for (int i = 0; i < 128; ++i)
+        k2.step(out2, out2.size());
+    std::vector<Addr> d2;
+    which = 0;
+    for (const MicroOp &op : out2)
+        if (op.isMem() && (which++ % 2 == 1))
+            d2.push_back(op.addr);
+    ASSERT_EQ(d2.size(), 128u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(d2[i], d2[i + 64]) << i;
+    // The gather load depends on the index load.
+    bool found_dep = false;
+    which = 0;
+    for (const MicroOp &op : out)
+        if (op.isMem() && (which++ % 2 == 1) && op.dep1 > 0)
+            found_dep = true;
+    EXPECT_TRUE(found_dep);
+}
+
+TEST(TreeTraversalTest, DescentsStartAtRootAndFollowChildren)
+{
+    KernelParams p = baseParams();
+    p.store_fraction = 0.0;
+    TreeTraversalKernel k(p, 5, 64, 100);
+    std::vector<MicroOp> out;
+    k.step(out, 0);
+    const auto addrs = memAddrs(out);
+    ASSERT_EQ(addrs.size(), 5u);
+    EXPECT_EQ(addrs[0], p.base); // root
+    // Each hop lands on one of the previous node's children.
+    for (std::size_t d = 1; d < addrs.size(); ++d) {
+        const std::uint64_t prev = (addrs[d - 1] - p.base) / 64;
+        const std::uint64_t cur = (addrs[d] - p.base) / 64;
+        EXPECT_TRUE(cur == 2 * prev + 1 || cur == 2 * prev + 2)
+            << d;
+    }
+}
+
+TEST(TreeTraversalTest, PathsRepeatWithPeriod)
+{
+    KernelParams p = baseParams();
+    p.store_fraction = 0.0;
+    const std::uint64_t period = 37;
+    TreeTraversalKernel k(p, 8, 64, period);
+    std::vector<MicroOp> out;
+    for (std::uint64_t i = 0; i < 2 * period; ++i)
+        k.step(out, out.size());
+    const auto addrs = memAddrs(out);
+    const std::size_t per_descent = 8;
+    for (std::uint64_t d = 0; d < period; ++d) {
+        for (std::size_t i = 0; i < per_descent; ++i) {
+            EXPECT_EQ(addrs[d * per_descent + i],
+                      addrs[(d + period) * per_descent + i])
+                << d << ":" << i;
+        }
+    }
+}
+
+TEST(TreeTraversalTest, HopsAreSeriallyDependent)
+{
+    KernelParams p = baseParams();
+    p.compute_per_access = 0;
+    p.store_fraction = 0.0;
+    TreeTraversalKernel k(p, 6, 64, 10);
+    std::vector<MicroOp> out;
+    k.step(out, 0);
+    int mem_seen = 0;
+    for (const MicroOp &op : out) {
+        if (!op.isMem())
+            continue;
+        if (mem_seen++ == 0)
+            continue;
+        EXPECT_EQ(op.dep1, 1u); // consecutive loads chain
+    }
+}
+
+TEST(ZipfKernelTest, AccessesAreSkewed)
+{
+    KernelParams p = baseParams();
+    p.store_fraction = 0.0;
+    ZipfProbeKernel k(p, 1 << 20, 1 << 20);
+    std::vector<MicroOp> out;
+    for (int i = 0; i < 20000; ++i)
+        k.step(out, out.size());
+    std::map<Addr, int> counts;
+    std::uint64_t total = 0;
+    for (const MicroOp &op : out) {
+        if (!op.isMem())
+            continue;
+        ++counts[op.addr];
+        ++total;
+    }
+    // The hottest 16 blocks should hold a disproportionate share.
+    std::vector<int> sorted;
+    for (auto &[a, c] : counts)
+        sorted.push_back(c);
+    std::sort(sorted.rbegin(), sorted.rend());
+    std::uint64_t hot = 0;
+    for (int i = 0; i < 16 && i < static_cast<int>(sorted.size()); ++i)
+        hot += sorted[i];
+    EXPECT_GT(static_cast<double>(hot) / total, 0.25);
+    // And the tail is long: many distinct blocks (heavy head means
+    // far fewer distinct blocks than draws).
+    EXPECT_GT(counts.size(), 150u);
+    EXPECT_LT(counts.size(), total / 10);
+}
+
+TEST(PcVariantsTest, VariantsBoundedToConfiguredSites)
+{
+    KernelParams p = baseParams();
+    p.pc_variants = 3;
+    StridedSweepKernel k(p, 1 << 16, 64);
+    std::vector<MicroOp> out;
+    for (int i = 0; i < 300; ++i)
+        k.step(out, out.size());
+    std::set<Pc> mem_pcs;
+    for (const MicroOp &op : out)
+        if (op.isMem())
+            mem_pcs.insert(op.pc);
+    EXPECT_LE(mem_pcs.size(), 3u);
+    EXPECT_GE(mem_pcs.size(), 2u);
+}
+
+TEST(PcVariantsTest, SingleVariantIsStable)
+{
+    KernelParams p = baseParams();
+    p.pc_variants = 1;
+    StridedSweepKernel k(p, 1 << 16, 64);
+    std::vector<MicroOp> out;
+    for (int i = 0; i < 100; ++i)
+        k.step(out, out.size());
+    std::set<Pc> mem_pcs;
+    for (const MicroOp &op : out)
+        if (op.isMem())
+            mem_pcs.insert(op.pc);
+    EXPECT_EQ(mem_pcs.size(), 1u);
+}
+
+TEST(KernelDeathTest, BadConfigsPanic)
+{
+    EXPECT_DEATH(StridedSweepKernel(baseParams(), 16, 0), "stride");
+    EXPECT_DEATH(PointerChaseKernel(baseParams(), 1, 64), "two nodes");
+    EXPECT_DEATH(MultiStreamKernel(baseParams(), 2, 1 << 20, 64, 16),
+                 "overlap");
+    EXPECT_DEATH(StencilKernel(baseParams(), 2, 16, 8), "3 rows");
+}
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the MSHR capacity model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hh"
+
+namespace tcp {
+namespace {
+
+TEST(MshrTest, FreeWhenEmpty)
+{
+    MshrFile m(4);
+    EXPECT_EQ(m.earliestFree(100), 100u);
+    EXPECT_EQ(m.outstanding(100), 0u);
+}
+
+TEST(MshrTest, FillsUpThenStalls)
+{
+    MshrFile m(2);
+    m.allocate(50);
+    m.allocate(60);
+    // Both busy at cycle 10: the earliest retirement is 50.
+    EXPECT_EQ(m.earliestFree(10), 50u);
+    // At cycle 50 the first entry drains.
+    EXPECT_EQ(m.earliestFree(50), 50u);
+    EXPECT_EQ(m.outstanding(50), 1u);
+}
+
+TEST(MshrTest, DrainsInReadyOrder)
+{
+    MshrFile m(3);
+    m.allocate(30);
+    m.allocate(10);
+    m.allocate(20);
+    EXPECT_EQ(m.earliestFree(5), 10u);
+    EXPECT_EQ(m.outstanding(15), 2u);
+    EXPECT_EQ(m.outstanding(25), 1u);
+    EXPECT_EQ(m.outstanding(35), 0u);
+}
+
+TEST(MshrTest, UnlimitedNeverStalls)
+{
+    MshrFile m(0);
+    for (Cycle c = 0; c < 1000; ++c)
+        m.allocate(c + 500);
+    EXPECT_EQ(m.earliestFree(3), 3u);
+    EXPECT_EQ(m.outstanding(3), 0u); // unlimited tracks nothing
+}
+
+TEST(MshrTest, ResetClears)
+{
+    MshrFile m(1);
+    m.allocate(1000);
+    EXPECT_EQ(m.earliestFree(0), 1000u);
+    m.reset();
+    EXPECT_EQ(m.earliestFree(0), 0u);
+}
+
+TEST(MshrTest, CapacityAccessor)
+{
+    EXPECT_EQ(MshrFile(64).capacity(), 64u);
+    EXPECT_EQ(MshrFile(0).capacity(), 0u);
+}
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the Pattern History Table: the Figure 9 indexing scheme
+ * (truncated-add high bits, miss-index low bits), lookup/update
+ * semantics, LRU within sets, partial-tag aliasing, and the storage
+ * cost formula.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pht.hh"
+#include "util/bits.hh"
+
+namespace tcp {
+namespace {
+
+TEST(PhtConfigTest, Tcp8kGeometry)
+{
+    const PhtConfig c = PhtConfig::tcp8k();
+    EXPECT_EQ(c.sets, 256u);
+    EXPECT_EQ(c.assoc, 8u);
+    EXPECT_EQ(c.miss_index_bits, 0u);
+    EXPECT_EQ(c.entries(), 2048u);
+    // 2048 entries x 2 x 16-bit tag fields = 8 KB.
+    EXPECT_EQ(c.storageBits() / 8, 8u * 1024);
+}
+
+TEST(PhtConfigTest, Tcp8mGeometry)
+{
+    const PhtConfig c = PhtConfig::tcp8m();
+    EXPECT_EQ(c.sets, 262144u);
+    EXPECT_EQ(c.assoc, 8u);
+    EXPECT_EQ(c.miss_index_bits, 10u);
+    EXPECT_EQ(c.storageBits() / 8, 8u * 1024 * 1024);
+}
+
+TEST(PhtConfigTest, OfSizeMatchesPaperCostModel)
+{
+    for (std::uint64_t bytes :
+         {2048ull, 8192ull, 32768ull, 131072ull, 2097152ull}) {
+        const PhtConfig c = PhtConfig::ofSize(bytes, 0);
+        EXPECT_EQ(c.storageBits() / 8, bytes) << bytes;
+        EXPECT_EQ(c.assoc, 8u);
+    }
+}
+
+TEST(PhtIndexTest, MissIndexBitsOccupyLowBits)
+{
+    PhtConfig cfg;
+    cfg.sets = 256; // 8 index bits
+    cfg.miss_index_bits = 3;
+    PatternHistoryTable pht(cfg);
+    const Tag seq[] = {0, 0};
+    // With a zero tag sum, the index is exactly the low 3 bits of
+    // the miss index.
+    for (SetIndex idx : {0u, 1u, 5u, 7u, 8u, 15u}) {
+        EXPECT_EQ(pht.indexOf(seq, idx), idx & 0x7) << idx;
+    }
+}
+
+TEST(PhtIndexTest, TruncatedAddHighBits)
+{
+    PhtConfig cfg;
+    cfg.sets = 256;
+    cfg.miss_index_bits = 2; // m = 6 high bits
+    PatternHistoryTable pht(cfg);
+    const Tag seq[] = {0x15, 0x27};
+    // (0x15 + 0x27) & 0x3f = 0x3c, shifted above the 2 index bits.
+    const std::uint64_t expect = ((0x15ull + 0x27ull) & 0x3f) << 2;
+    EXPECT_EQ(pht.indexOf(seq, 0), expect);
+    EXPECT_EQ(pht.indexOf(seq, 3), expect | 3);
+}
+
+TEST(PhtIndexTest, TruncationDiscardsCarries)
+{
+    PhtConfig cfg;
+    cfg.sets = 16; // 4 bits
+    cfg.miss_index_bits = 0;
+    PatternHistoryTable pht(cfg);
+    const Tag a[] = {0xf, 0x1};
+    const Tag b[] = {0xff, 0x1}; // same low bits after truncation
+    EXPECT_EQ(pht.indexOf(a, 0), pht.indexOf(b, 0));
+}
+
+TEST(PhtIndexTest, SequenceOrderInsensitiveForAdd)
+{
+    // Addition commutes, so permuted histories alias — a documented
+    // property of the paper's scheme (the entry tag disambiguates).
+    PatternHistoryTable pht(PhtConfig::tcp8k());
+    const Tag ab[] = {10, 20};
+    const Tag ba[] = {20, 10};
+    EXPECT_EQ(pht.indexOf(ab, 0), pht.indexOf(ba, 0));
+}
+
+TEST(PhtIndexTest, IndexAlwaysInRange)
+{
+    for (unsigned n : {0u, 2u, 8u}) {
+        PhtConfig cfg;
+        cfg.sets = 256;
+        cfg.miss_index_bits = n;
+        PatternHistoryTable pht(cfg);
+        for (Tag t = 0; t < 1000; t += 7) {
+            const Tag seq[] = {t, t * 3 + 1};
+            EXPECT_LT(pht.indexOf(seq, t & 1023), cfg.sets);
+        }
+    }
+}
+
+TEST(PhtTest, LookupMissThenUpdateThenHit)
+{
+    PatternHistoryTable pht(PhtConfig::tcp8k());
+    const Tag seq[] = {1, 2};
+    EXPECT_FALSE(pht.lookup(seq, 0).has_value());
+    pht.update(seq, 0, 3);
+    auto pred = pht.lookup(seq, 0);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(*pred, 3u);
+    EXPECT_EQ(pht.lookups(), 2u);
+    EXPECT_EQ(pht.hits(), 1u);
+    EXPECT_EQ(pht.updates(), 1u);
+}
+
+TEST(PhtTest, UpdateOverwritesNextTag)
+{
+    PatternHistoryTable pht(PhtConfig::tcp8k());
+    const Tag seq[] = {1, 2};
+    pht.update(seq, 0, 3);
+    pht.update(seq, 0, 9);
+    EXPECT_EQ(*pht.lookup(seq, 0), 9u);
+    EXPECT_EQ(pht.occupancy(), 1u); // refreshed, not duplicated
+}
+
+TEST(PhtTest, EntriesMatchOnLastTag)
+{
+    PatternHistoryTable pht(PhtConfig::tcp8k());
+    // Two sequences with the same sum (same set) but different final
+    // tags coexist in the set.
+    const Tag s1[] = {10, 20}; // sum 30, match tag 20
+    const Tag s2[] = {20, 10}; // sum 30, match tag 10
+    pht.update(s1, 0, 111);
+    pht.update(s2, 0, 222);
+    EXPECT_EQ(*pht.lookup(s1, 0), 111u);
+    EXPECT_EQ(*pht.lookup(s2, 0), 222u);
+}
+
+TEST(PhtTest, LruReplacementWithinSet)
+{
+    PhtConfig cfg;
+    cfg.sets = 1;
+    cfg.assoc = 2;
+    cfg.miss_index_bits = 0;
+    PatternHistoryTable pht(cfg);
+    const Tag s1[] = {0, 1};
+    const Tag s2[] = {0, 2};
+    const Tag s3[] = {0, 3};
+    pht.update(s1, 0, 10);
+    pht.update(s2, 0, 20);
+    // Refresh s1 so s2 is LRU.
+    EXPECT_TRUE(pht.lookup(s1, 0).has_value());
+    pht.update(s3, 0, 30); // evicts s2
+    EXPECT_TRUE(pht.lookup(s1, 0).has_value());
+    EXPECT_TRUE(pht.lookup(s3, 0).has_value());
+    EXPECT_FALSE(pht.lookup(s2, 0).has_value());
+    EXPECT_EQ(pht.replacements(), 1u);
+}
+
+TEST(PhtTest, PartialTagAliasing)
+{
+    PhtConfig cfg = PhtConfig::tcp8k();
+    cfg.entry_tag_bits = 4;
+    PatternHistoryTable pht(cfg);
+    // Tags 0x12 and 0x02 share the low 4 bits -> they alias in the
+    // match field (but may still index different sets; use sequences
+    // with equal sums).
+    const Tag s1[] = {0x10, 0x12};
+    const Tag s2[] = {0x20, 0x02}; // sum 0x22 == 0x22
+    pht.update(s1, 0, 5);
+    auto pred = pht.lookup(s2, 0);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(*pred, 5u);
+}
+
+TEST(PhtTest, MissIndexSeparatesSets)
+{
+    PhtConfig cfg = PhtConfig::tcp8m();
+    PatternHistoryTable pht(cfg);
+    const Tag seq[] = {1, 2};
+    pht.update(seq, /*miss_index=*/0, 100);
+    // Same sequence, different cache set: private history.
+    EXPECT_FALSE(pht.lookup(seq, 1).has_value());
+    EXPECT_TRUE(pht.lookup(seq, 0).has_value());
+}
+
+TEST(PhtTest, SharedSchemeIgnoresMissIndex)
+{
+    PatternHistoryTable pht(PhtConfig::tcp8k());
+    const Tag seq[] = {1, 2};
+    pht.update(seq, 0, 100);
+    // n = 0: every cache set shares the entry.
+    EXPECT_EQ(*pht.lookup(seq, 512), 100u);
+}
+
+TEST(PhtTest, IndexFnVariantsProduceValidIndices)
+{
+    for (PhtIndexFn fn : {PhtIndexFn::TruncatedAdd, PhtIndexFn::XorFold,
+                          PhtIndexFn::LastTagOnly}) {
+        PhtConfig cfg = PhtConfig::tcp8k();
+        cfg.index_fn = fn;
+        PatternHistoryTable pht(cfg);
+        const Tag seq[] = {123, 456};
+        pht.update(seq, 7, 789);
+        EXPECT_EQ(*pht.lookup(seq, 7), 789u);
+    }
+}
+
+TEST(PhtTest, ResetClearsEntriesAndStats)
+{
+    PatternHistoryTable pht(PhtConfig::tcp8k());
+    const Tag seq[] = {1, 2};
+    pht.update(seq, 0, 3);
+    pht.reset();
+    EXPECT_EQ(pht.occupancy(), 0u);
+    EXPECT_EQ(pht.updates(), 0u);
+    EXPECT_FALSE(pht.lookup(seq, 0).has_value());
+}
+
+TEST(PhtDeathTest, TooManyMissIndexBitsPanics)
+{
+    PhtConfig cfg;
+    cfg.sets = 16; // 4 bits total
+    cfg.miss_index_bits = 5;
+    EXPECT_DEATH(PatternHistoryTable{cfg}, "miss-index bits");
+}
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the tree-PLRU replacement policy and the log2 histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "sim/stats.hh"
+#include "util/random.hh"
+
+namespace tcp {
+namespace {
+
+CacheConfig
+cfg(std::uint64_t size, unsigned assoc, unsigned block)
+{
+    return CacheConfig{"plru", size, assoc, block, 1, 8};
+}
+
+TEST(TreePlruTest, NeverEvictsMostRecentlyUsed)
+{
+    CacheModel c(cfg(8 * 32, 8, 32), ReplPolicy::TreePLRU); // 1 set
+    for (unsigned w = 0; w < 8; ++w)
+        c.fill(w * 0x100, w);
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        // Touch a random resident block: it becomes MRU and must not
+        // be the next victim.
+        const CacheLine *some = c.victimOf(0x999900);
+        ASSERT_NE(some, nullptr);
+        const Addr mru = c.addrOf(some->tag, 0);
+        ASSERT_NE(c.access(mru, i), nullptr);
+        const CacheLine *victim = c.victimOf(0x999900);
+        ASSERT_NE(victim, nullptr);
+        ASSERT_NE(c.addrOf(victim->tag, 0), mru) << i;
+    }
+}
+
+TEST(TreePlruTest, CyclicFillRotatesThroughWays)
+{
+    CacheModel c(cfg(4 * 32, 4, 32), ReplPolicy::TreePLRU); // 1 set
+    // Fill 4 ways, then keep filling: each fill must evict a valid
+    // line and occupancy stays at 4.
+    Addr a = 0;
+    for (int i = 0; i < 4; ++i, a += 0x100)
+        EXPECT_FALSE(c.fill(a, i).has_value());
+    for (int i = 0; i < 64; ++i, a += 0x100) {
+        EXPECT_TRUE(c.fill(a, i).has_value());
+        EXPECT_EQ(c.setOccupancy(0), 4u);
+    }
+}
+
+TEST(TreePlruTest, ApproximatesLruOnSweep)
+{
+    // A cyclic sweep over assoc+1 blocks misses every time under
+    // true LRU; tree-PLRU should also miss most of the time.
+    CacheModel c(cfg(4 * 32, 4, 32), ReplPolicy::TreePLRU);
+    int misses = 0;
+    for (int lap = 0; lap < 50; ++lap) {
+        for (Addr b = 0; b < 5; ++b) {
+            const Addr addr = b * 0x100;
+            if (!c.access(addr, lap * 5 + b)) {
+                ++misses;
+                c.fill(addr, lap * 5 + b);
+            }
+        }
+    }
+    EXPECT_GT(misses, 150); // ≥60% miss
+}
+
+TEST(TreePlruTest, DirectMappedDegenerates)
+{
+    CacheModel c(cfg(1024, 1, 32), ReplPolicy::TreePLRU);
+    c.fill(0x0000, 1);
+    auto ev = c.fill(0x8000, 2); // same set
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->block_addr, 0x0000u);
+}
+
+TEST(TreePlruDeathTest, OddAssociativityPanics)
+{
+    EXPECT_DEATH(CacheModel(cfg(3 * 32, 3, 32), ReplPolicy::TreePLRU),
+                 "power-of-two");
+}
+
+TEST(RandomPolicyTest, StillBoundsOccupancy)
+{
+    CacheModel c(cfg(4 * 1024, 4, 32), ReplPolicy::Random);
+    Rng rng(9);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr addr = rng.below(1 << 16);
+        if (!c.access(addr, i))
+            c.fill(addr, i);
+        ASSERT_LE(c.setOccupancy(addr), 4u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, BucketsByPowerOfTwo)
+{
+    StatGroup g("g");
+    Histogram h(g, "lat", "latency");
+    h.sample(0);   // bucket 0
+    h.sample(1);   // bucket 1 [1,2)
+    h.sample(3);   // bucket 2 [2,4)
+    h.sample(4);   // bucket 3 [4,8)
+    h.sample(100); // bucket 7 [64,128)
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(7), 1u);
+}
+
+TEST(HistogramTest, QuantileBounds)
+{
+    StatGroup g("g");
+    Histogram h(g, "lat", "latency");
+    for (int i = 0; i < 90; ++i)
+        h.sample(10); // bucket [8,16)
+    for (int i = 0; i < 10; ++i)
+        h.sample(1000); // bucket [512,1024)
+    EXPECT_EQ(h.quantileBound(0.5), 16u);
+    EXPECT_EQ(h.quantileBound(0.99), 1024u);
+}
+
+TEST(HistogramTest, EmptyAndReset)
+{
+    StatGroup g("g");
+    Histogram h(g, "lat", "latency");
+    EXPECT_EQ(h.quantileBound(0.5), 0u);
+    h.sample(5);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(HistogramTest, AppearsInGroupReport)
+{
+    StatGroup g("mem");
+    Histogram h(g, "miss_latency", "latency");
+    h.sample(70);
+    const std::string report = g.report();
+    EXPECT_NE(report.find("mem.miss_latency"), std::string::npos);
+    EXPECT_NE(report.find("p99"), std::string::npos);
+}
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for the baseline prefetch engines: stride (Baer/Chen),
+ * stream buffers (Jouppi), Markov (Joseph/Grunwald) and DBCP
+ * (Lai et al.).
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/dbcp.hh"
+#include "prefetch/markov.hh"
+#include "prefetch/prefetcher.hh"
+#include "prefetch/stream.hh"
+#include "prefetch/stride.hh"
+
+namespace tcp {
+namespace {
+
+std::vector<Addr>
+missTargets(Prefetcher &pf, Addr addr, Pc pc = 0x400000)
+{
+    std::vector<PrefetchRequest> out;
+    pf.observeMiss(AccessContext{addr, pc, 0, false, AccessType::Read},
+                   out);
+    std::vector<Addr> targets;
+    for (const auto &r : out)
+        targets.push_back(r.addr);
+    return targets;
+}
+
+std::vector<Addr>
+hitTargets(Prefetcher &pf, Addr addr, Pc pc = 0x400000)
+{
+    std::vector<PrefetchRequest> out;
+    pf.observeAccess(AccessContext{addr, pc, 0, true, AccessType::Read},
+                     out);
+    std::vector<Addr> targets;
+    for (const auto &r : out)
+        targets.push_back(r.addr);
+    return targets;
+}
+
+// ---------------------------------------------------------------------
+// NullPrefetcher
+
+TEST(NullPrefetcherTest, NeverPrefetches)
+{
+    NullPrefetcher pf;
+    EXPECT_TRUE(missTargets(pf, 0x1000).empty());
+    EXPECT_EQ(pf.storageBits(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// StridePrefetcher
+
+TEST(StrideTest, DetectsConstantStride)
+{
+    StridePrefetcher pf(StrideConfig{512, 1});
+    const Pc pc = 0x400100;
+    // Needs two confirmations before steady.
+    EXPECT_TRUE(missTargets(pf, 1000, pc).empty());
+    EXPECT_TRUE(missTargets(pf, 1100, pc).empty()); // stride learned
+    const auto t = missTargets(pf, 1200, pc);       // confirmed
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], 1300u);
+}
+
+TEST(StrideTest, DegreeIssuesMultiple)
+{
+    StridePrefetcher pf(StrideConfig{512, 3});
+    const Pc pc = 0x400100;
+    missTargets(pf, 1000, pc);
+    missTargets(pf, 1064, pc);
+    const auto t = missTargets(pf, 1128, pc);
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0], 1192u);
+    EXPECT_EQ(t[1], 1256u);
+    EXPECT_EQ(t[2], 1320u);
+}
+
+TEST(StrideTest, StrideChangeResets)
+{
+    StridePrefetcher pf(StrideConfig{512, 1});
+    const Pc pc = 0x400100;
+    missTargets(pf, 1000, pc);
+    missTargets(pf, 1100, pc);
+    ASSERT_FALSE(missTargets(pf, 1200, pc).empty());
+    // Break the stride.
+    EXPECT_TRUE(missTargets(pf, 5000, pc).empty());
+    EXPECT_TRUE(missTargets(pf, 5050, pc).empty());
+    const auto t = missTargets(pf, 5100, pc);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], 5150u);
+}
+
+TEST(StrideTest, ZeroStrideNeverSteady)
+{
+    StridePrefetcher pf(StrideConfig{512, 1});
+    const Pc pc = 0x400100;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(missTargets(pf, 1000, pc).empty());
+}
+
+TEST(StrideTest, NegativeStrideWorks)
+{
+    StridePrefetcher pf(StrideConfig{512, 1});
+    const Pc pc = 0x400200;
+    missTargets(pf, 10000, pc);
+    missTargets(pf, 9900, pc);
+    const auto t = missTargets(pf, 9800, pc);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], 9700u);
+}
+
+TEST(StrideTest, HitsTrainWithoutIssuing)
+{
+    StridePrefetcher pf(StrideConfig{512, 1});
+    const Pc pc = 0x400300;
+    EXPECT_TRUE(hitTargets(pf, 2000, pc).empty());
+    EXPECT_TRUE(hitTargets(pf, 2100, pc).empty());
+    EXPECT_TRUE(hitTargets(pf, 2200, pc).empty()); // steady, no issue
+    // The very next miss prefetches immediately.
+    const auto t = missTargets(pf, 2300, pc);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], 2400u);
+}
+
+TEST(StrideTest, PerPcTables)
+{
+    StridePrefetcher pf(StrideConfig{512, 1});
+    missTargets(pf, 1000, 0x400100);
+    missTargets(pf, 9000, 0x400104); // different PC, no interference
+    missTargets(pf, 1100, 0x400100);
+    const auto t = missTargets(pf, 1200, 0x400100);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], 1300u);
+}
+
+// ---------------------------------------------------------------------
+// StreamPrefetcher
+
+TEST(StreamTest, AllocatesOnMissAndPrefetchesAhead)
+{
+    StreamPrefetcher pf(StreamConfig{4, 4, 64});
+    const auto t = missTargets(pf, 0x10000);
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0], 0x10040u);
+    EXPECT_EQ(t[3], 0x10100u);
+    EXPECT_EQ(pf.allocations.value(), 1u);
+}
+
+TEST(StreamTest, AdvanceOnStreamHit)
+{
+    StreamPrefetcher pf(StreamConfig{4, 4, 64});
+    missTargets(pf, 0x10000); // window now [0x10040, 0x10140)
+    const auto t = missTargets(pf, 0x10040);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], 0x10140u);
+    EXPECT_EQ(pf.advances.value(), 1u);
+}
+
+TEST(StreamTest, LruReplacementAmongBuffers)
+{
+    StreamPrefetcher pf(StreamConfig{2, 2, 64});
+    missTargets(pf, 0x10000);
+    missTargets(pf, 0x20000);
+    missTargets(pf, 0x30000); // evicts the 0x10000 stream
+    EXPECT_EQ(pf.allocations.value(), 3u);
+    // A miss in the first stream's window now re-allocates.
+    missTargets(pf, 0x10040);
+    EXPECT_EQ(pf.allocations.value(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// MarkovPrefetcher
+
+TEST(MarkovTest, LearnsSuccessor)
+{
+    MarkovPrefetcher pf(MarkovConfig{1024, 2, 32});
+    missTargets(pf, 0x1000);
+    missTargets(pf, 0x2000); // records 0x1000 -> 0x2000
+    missTargets(pf, 0x3000);
+    const auto t = missTargets(pf, 0x1000);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], 0x2000u);
+}
+
+TEST(MarkovTest, MultipleTargetsMruFirst)
+{
+    MarkovPrefetcher pf(MarkovConfig{1024, 2, 32});
+    // 0x1000 is followed by 0x2000 then later by 0x5000.
+    missTargets(pf, 0x1000);
+    missTargets(pf, 0x2000);
+    missTargets(pf, 0x1000);
+    missTargets(pf, 0x5000);
+    const auto t = missTargets(pf, 0x1000);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0], 0x5000u); // most recent first
+    EXPECT_EQ(t[1], 0x2000u);
+}
+
+TEST(MarkovTest, TargetListCapped)
+{
+    MarkovPrefetcher pf(MarkovConfig{1024, 2, 32});
+    for (Addr succ : {0x2000u, 0x3000u, 0x4000u, 0x5000u}) {
+        missTargets(pf, 0x1000);
+        missTargets(pf, succ);
+    }
+    const auto t = missTargets(pf, 0x1000);
+    EXPECT_EQ(t.size(), 2u); // capped at config targets
+}
+
+TEST(MarkovTest, BlockGranularity)
+{
+    MarkovPrefetcher pf(MarkovConfig{1024, 2, 32});
+    missTargets(pf, 0x1008); // same block as 0x1000
+    missTargets(pf, 0x2010);
+    missTargets(pf, 0x3000);
+    const auto t = missTargets(pf, 0x1010);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], 0x2000u);
+}
+
+// ---------------------------------------------------------------------
+// DbcpPrefetcher
+
+TEST(DbcpTest, LearnsDeathSuccession)
+{
+    DbcpPrefetcher pf(DbcpConfig{1 << 16, 16, 32});
+    const Pc pc = 0x400400;
+    const Addr block_a = 0x10000;
+    const Addr block_b = 0x20000;
+
+    // Generation 1 of A: fill (miss), then its eviction is followed
+    // by the miss of B.
+    missTargets(pf, block_a, pc);
+    pf.observeEvict(EvictContext{block_a, 100, 0, 50});
+    missTargets(pf, block_b, pc);
+    EXPECT_EQ(pf.deaths_recorded.value(), 1u);
+
+    // Generation 2 of A: the same single-touch signature (fill PC)
+    // matches the recorded death -> B is prefetched at fill time.
+    const auto t = missTargets(pf, block_a, pc);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], block_b);
+}
+
+TEST(DbcpTest, DifferentPcTraceDoesNotMatch)
+{
+    DbcpPrefetcher pf(DbcpConfig{1 << 16, 16, 32});
+    const Addr block_a = 0x10000;
+    const Addr block_b = 0x20000;
+    missTargets(pf, block_a, 0x400400);
+    pf.observeEvict(EvictContext{block_a, 100, 0, 50});
+    missTargets(pf, block_b, 0x400400);
+
+    // Refill A via a different PC: signature differs, no prediction.
+    EXPECT_TRUE(missTargets(pf, block_a, 0x400800).empty());
+}
+
+TEST(DbcpTest, SignatureAccumulatesOverHits)
+{
+    DbcpPrefetcher pf(DbcpConfig{1 << 16, 16, 32});
+    const Addr block_a = 0x10000;
+    const Addr block_b = 0x20000;
+    // Generation 1: fill + 2 hits, then death -> B.
+    missTargets(pf, block_a, 0x400400);
+    hitTargets(pf, block_a, 0x400404);
+    hitTargets(pf, block_a, 0x400408);
+    pf.observeEvict(EvictContext{block_a, 100, 0, 50});
+    missTargets(pf, block_b, 0x400400);
+
+    // Generation 2 with the same access pattern: the prediction
+    // fires at the *second hit* (signature reaches death value).
+    missTargets(pf, block_a, 0x400400);
+    EXPECT_TRUE(hitTargets(pf, block_a, 0x400404).empty());
+    const auto t = hitTargets(pf, block_a, 0x400408);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], block_b);
+    EXPECT_GE(pf.death_predictions.value(), 1u);
+}
+
+TEST(DbcpTest, StorageMatchesBudget)
+{
+    DbcpPrefetcher pf(DbcpConfig{2 * 1024 * 1024, 16, 32});
+    EXPECT_GE(pf.storageBits() / 8, 2u * 1024 * 1024);
+}
+
+TEST(DbcpTest, ResetForgets)
+{
+    DbcpPrefetcher pf(DbcpConfig{1 << 16, 16, 32});
+    const Pc pc = 0x400400;
+    missTargets(pf, 0x10000, pc);
+    pf.observeEvict(EvictContext{0x10000, 100, 0, 50});
+    missTargets(pf, 0x20000, pc);
+    pf.reset();
+    EXPECT_TRUE(missTargets(pf, 0x10000, pc).empty());
+    EXPECT_EQ(pf.deaths_recorded.value(), 0u);
+}
+
+} // namespace
+} // namespace tcp

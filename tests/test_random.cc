@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests of the deterministic PRNG used for workload synthesis. The
+ * key contract is bit-exact reproducibility: the same seed always
+ * yields the same stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+
+namespace tcp {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, ReseedRestartsStream)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 100; ++i)
+        first.push_back(a.next());
+    a.reseed(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BelowRespectsBound)
+{
+    Rng rng(9);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(RngTest, BelowOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BetweenInclusiveRange)
+{
+    Rng rng(10);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.between(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+    EXPECT_EQ(rng.between(42, 42), 42u);
+}
+
+TEST(RngTest, ChanceEdgeCases)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-1.0));
+        EXPECT_TRUE(rng.chance(2.0));
+    }
+}
+
+TEST(RngTest, ChanceApproximatesProbability)
+{
+    Rng rng(12);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform)
+{
+    Rng rng(14);
+    constexpr std::uint64_t kBuckets = 8;
+    int counts[kBuckets] = {};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.below(kBuckets)];
+    for (std::uint64_t b = 0; b < kBuckets; ++b)
+        EXPECT_NEAR(counts[b], n / kBuckets, n / kBuckets * 0.1);
+}
+
+TEST(RngTest, GeometricCapped)
+{
+    Rng rng(15);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LE(rng.geometric(0.9, 5), 5u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(rng.geometric(0.0, 5), 0u);
+}
+
+} // namespace
+} // namespace tcp

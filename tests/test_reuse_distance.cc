@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the reuse-distance profiler, checked against hand-worked
+ * stack distances and a brute-force reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+
+#include "analysis/reuse_distance.hh"
+#include "trace/workloads.hh"
+#include "util/random.hh"
+
+namespace tcp {
+namespace {
+
+constexpr std::uint64_t kCold = ReuseDistanceProfiler::kCold;
+
+TEST(ReuseDistanceTest, ColdThenZeroDistance)
+{
+    ReuseDistanceProfiler p(32);
+    EXPECT_EQ(p.observe(0x1000), kCold);
+    // Immediate re-touch: zero distinct blocks in between.
+    EXPECT_EQ(p.observe(0x1000), 0u);
+    // Same block, different offset.
+    EXPECT_EQ(p.observe(0x101f), 0u);
+    EXPECT_EQ(p.coldAccesses(), 1u);
+    EXPECT_EQ(p.uniqueBlocks(), 1u);
+}
+
+TEST(ReuseDistanceTest, HandWorkedSequence)
+{
+    // Blocks: A B C A  -> A's reuse distance is 2 (B and C between).
+    ReuseDistanceProfiler p(32);
+    EXPECT_EQ(p.observe(0x000), kCold); // A
+    EXPECT_EQ(p.observe(0x020), kCold); // B
+    EXPECT_EQ(p.observe(0x040), kCold); // C
+    EXPECT_EQ(p.observe(0x000), 2u);    // A again
+    // B: only C and A after its last touch -> distance 2.
+    EXPECT_EQ(p.observe(0x020), 2u);
+    // C: A and B touched after it -> 2.
+    EXPECT_EQ(p.observe(0x040), 2u);
+}
+
+TEST(ReuseDistanceTest, RepeatedTouchesDoNotInflate)
+{
+    // A B B B A: only one distinct block (B) between the As.
+    ReuseDistanceProfiler p(32);
+    p.observe(0x000);
+    p.observe(0x020);
+    p.observe(0x020);
+    p.observe(0x020);
+    EXPECT_EQ(p.observe(0x000), 1u);
+}
+
+TEST(ReuseDistanceTest, CyclicSweepDistanceEqualsFootprint)
+{
+    // Sweeping N blocks cyclically: steady-state distance = N-1.
+    ReuseDistanceProfiler p(32);
+    const int n = 100;
+    for (int lap = 0; lap < 3; ++lap) {
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t d = p.observe(i * 32);
+            if (lap > 0)
+                EXPECT_EQ(d, static_cast<std::uint64_t>(n - 1));
+        }
+    }
+    EXPECT_EQ(p.uniqueBlocks(), static_cast<std::uint64_t>(n));
+    EXPECT_EQ(p.coldAccesses(), static_cast<std::uint64_t>(n));
+}
+
+TEST(ReuseDistanceTest, MatchesBruteForceLruStack)
+{
+    // Reference: explicit LRU stack; distance = position in stack.
+    ReuseDistanceProfiler p(32);
+    std::list<Addr> stack;
+    Rng rng(11);
+    for (int i = 0; i < 3000; ++i) {
+        const Addr block = rng.below(64);
+        const Addr addr = block * 32;
+
+        std::uint64_t ref = kCold;
+        std::uint64_t pos = 0;
+        for (auto it = stack.begin(); it != stack.end(); ++it, ++pos) {
+            if (*it == block) {
+                ref = pos;
+                stack.erase(it);
+                break;
+            }
+        }
+        stack.push_front(block);
+
+        ASSERT_EQ(p.observe(addr), ref) << "i=" << i;
+    }
+}
+
+TEST(ReuseDistanceTest, MissRatioCurveMonotone)
+{
+    ReuseDistanceProfiler p(32);
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i)
+        p.observe(rng.below(1 << 16));
+    const auto curve = p.missRatioCurve();
+    ASSERT_GE(curve.size(), 4u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_LE(curve[i].second, curve[i - 1].second + 1e-12)
+            << "capacity " << curve[i].first;
+    }
+    // Capacity 1: everything but consecutive re-touches misses.
+    EXPECT_GT(curve.front().second, 0.9);
+}
+
+TEST(ReuseDistanceTest, MissRatioBoundsForSweep)
+{
+    ReuseDistanceProfiler p(32);
+    const std::uint64_t n = 256;
+    for (int lap = 0; lap < 4; ++lap)
+        for (std::uint64_t i = 0; i < n; ++i)
+            p.observe(i * 32);
+    // Cache of >= n blocks: only cold misses. Smaller: everything
+    // misses (cyclic sweep is LRU's worst case).
+    EXPECT_NEAR(p.missRatioAtCapacity(2 * n), 0.25, 0.01);
+    EXPECT_NEAR(p.missRatioAtCapacity(n / 4), 1.0, 0.01);
+}
+
+TEST(ReuseDistanceTest, MeanDistanceSane)
+{
+    ReuseDistanceProfiler p(32);
+    for (int lap = 0; lap < 3; ++lap)
+        for (int i = 0; i < 50; ++i)
+            p.observe(i * 32);
+    EXPECT_NEAR(p.meanDistance(), 49.0, 0.5);
+}
+
+TEST(ReuseDistanceTest, WorkloadSmoke)
+{
+    // L2-exceeding workloads must show mass beyond 16k blocks (1 MB
+    // of 64B lines).
+    ReuseDistanceProfiler p(64);
+    auto wl = makeWorkload("swim", 1);
+    MicroOp op;
+    for (int i = 0; i < 400000; ++i) {
+        wl->next(op);
+        if (op.isMem())
+            p.observe(op.addr);
+    }
+    EXPECT_GT(p.missRatioAtCapacity(16384), 0.05);
+    // At effectively infinite capacity only cold misses remain.
+    const double cold_ratio = static_cast<double>(p.coldAccesses()) /
+                              static_cast<double>(p.accesses());
+    EXPECT_NEAR(p.missRatioAtCapacity(1 << 22), cold_ratio, 0.01);
+    EXPECT_GT(p.missRatioAtCapacity(16384),
+              p.missRatioAtCapacity(1 << 22) + 0.02);
+}
+
+} // namespace
+} // namespace tcp

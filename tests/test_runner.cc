@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the experiment harness: engine factory, geomean,
+ * warmup accounting, and run determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "trace/workloads.hh"
+
+namespace tcp {
+namespace {
+
+TEST(EngineFactoryTest, AllStandardNamesConstruct)
+{
+    for (const std::string &name : standardEngineNames()) {
+        EngineSetup e = makeEngine(name);
+        ASSERT_NE(e.prefetcher, nullptr) << name;
+        EXPECT_FALSE(e.prefetcher->name().empty()) << name;
+    }
+}
+
+TEST(EngineFactoryTest, HybridGetsDbpAndBus)
+{
+    EngineSetup e = makeEngine("hybrid8k");
+    EXPECT_NE(e.dbp, nullptr);
+    EXPECT_TRUE(e.wants_prefetch_bus);
+    EngineSetup plain = makeEngine("tcp8k");
+    EXPECT_EQ(plain.dbp, nullptr);
+    EXPECT_FALSE(plain.wants_prefetch_bus);
+}
+
+TEST(EngineFactoryTest, ParameterisedTcpSpec)
+{
+    EngineSetup e = makeEngine("tcp:32768:2");
+    ASSERT_NE(e.prefetcher, nullptr);
+    // 32 KB PHT + 4 KB THT.
+    EXPECT_EQ(e.prefetcher->storageBits() / 8, 32u * 1024 + 4 * 1024);
+}
+
+TEST(EngineFactoryTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeEngine("warpdrive"), testing::ExitedWithCode(1),
+                "unknown prefetch engine");
+}
+
+TEST(GeomeanTest, Basics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(GeomeanDeathTest, RejectsEmptyAndNonPositive)
+{
+    EXPECT_DEATH(geomean({}), "empty");
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+}
+
+TEST(RunnerTest, SmokeRunProducesSaneNumbers)
+{
+    const RunResult r = runNamed("gzip", "none", 50000);
+    EXPECT_EQ(r.workload, "gzip");
+    EXPECT_GT(r.ipc(), 0.0);
+    EXPECT_LE(r.ipc(), 8.0);
+    EXPECT_EQ(r.core.instructions, 50000u);
+}
+
+TEST(RunnerTest, DeterministicAcrossRuns)
+{
+    const RunResult a = runNamed("swim", "tcp8k", 50000);
+    const RunResult b = runNamed("swim", "tcp8k", 50000);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.l1d_misses, b.l1d_misses);
+    EXPECT_EQ(a.pf_issued, b.pf_issued);
+}
+
+TEST(RunnerTest, WarmupExcludedFromCounts)
+{
+    // With explicit zero warmup the measured window sees the cold
+    // misses; with warmup most of them move out of the window.
+    const RunResult cold =
+        runNamed("gzip", "none", 100000, MachineConfig{}, 1, 0);
+    const RunResult warm =
+        runNamed("gzip", "none", 100000, MachineConfig{}, 1, 200000);
+    EXPECT_GT(cold.l2_demand_misses, warm.l2_demand_misses);
+    EXPECT_EQ(cold.core.instructions, warm.core.instructions);
+}
+
+TEST(RunnerTest, IpcImprovementArithmetic)
+{
+    RunResult base, better;
+    base.core.ipc = 2.0;
+    better.core.ipc = 3.0;
+    EXPECT_NEAR(ipcImprovement(better, base), 0.5, 1e-12);
+    EXPECT_NEAR(ipcImprovement(base, base), 0.0, 1e-12);
+}
+
+TEST(RunnerTest, PrefetchedExtraClampsAtZero)
+{
+    RunResult r;
+    r.pf_fills = 5;
+    r.pf_useful = 9;
+    EXPECT_EQ(r.prefetchedExtra(), 0u);
+    r.pf_fills = 9;
+    r.pf_useful = 5;
+    EXPECT_EQ(r.prefetchedExtra(), 4u);
+}
+
+TEST(RunnerTest, ClassificationInvariantHolds)
+{
+    for (const char *engine : {"tcp8k", "dbcp2m", "stream"}) {
+        const RunResult r = runNamed("applu", engine, 100000);
+        EXPECT_EQ(r.prefetched_original + r.nonprefetched_original,
+                  r.original_l2)
+            << engine;
+    }
+}
+
+} // namespace
+} // namespace tcp

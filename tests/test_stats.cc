@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the statistics package (counters, distributions, groups).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace tcp {
+namespace {
+
+TEST(StatsTest, CounterIncrements)
+{
+    StatGroup g("g");
+    Counter c(g, "events", "test events");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatsTest, DistributionMoments)
+{
+    StatGroup g("g");
+    Distribution d(g, "lat", "latency");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    d.sample(10.0);
+    d.sample(20.0);
+    d.sample(30.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 10.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 30.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(StatsTest, GroupReportContainsAll)
+{
+    StatGroup g("mem");
+    Counter hits(g, "hits", "cache hits");
+    Counter misses(g, "misses", "cache misses");
+    hits += 3;
+    misses += 1;
+    const std::string report = g.report();
+    EXPECT_NE(report.find("mem.hits"), std::string::npos);
+    EXPECT_NE(report.find("mem.misses"), std::string::npos);
+    EXPECT_NE(report.find("cache hits"), std::string::npos);
+}
+
+TEST(StatsTest, NestedGroupsPrefixNames)
+{
+    StatGroup parent("sys");
+    StatGroup child(parent, "l1");
+    Counter c(child, "hits", "hits");
+    ++c;
+    const std::string report = parent.report();
+    EXPECT_NE(report.find("sys.l1.hits"), std::string::npos);
+}
+
+TEST(StatsTest, ResetAllRecurses)
+{
+    StatGroup parent("sys");
+    StatGroup child(parent, "l1");
+    Counter a(parent, "a", "a");
+    Counter b(child, "b", "b");
+    a += 2;
+    b += 3;
+    parent.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatsTest, CounterLookupByName)
+{
+    StatGroup g("g");
+    Counter c(g, "events", "e");
+    c += 9;
+    EXPECT_EQ(g.counter("events").value(), 9u);
+}
+
+TEST(StatsDeathTest, UnknownCounterPanics)
+{
+    StatGroup g("g");
+    EXPECT_DEATH(g.counter("nope"), "no counter named");
+}
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for the text-table formatter and number formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace tcp {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns)
+{
+    TextTable t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableDeathTest, RowWidthMismatchPanics)
+{
+    TextTable t("demo");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(TableTest, RendersCsv)
+{
+    TextTable t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"plain", "1"});
+    t.addRow({"with,comma", "a\"b"});
+    const std::string csv = t.renderCsv();
+    EXPECT_EQ(csv,
+              "name,value\n"
+              "plain,1\n"
+              "\"with,comma\",\"a\"\"b\"\n");
+}
+
+TEST(FormatTest, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatDouble(1.0, 0), "1");
+    EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.5, 1), "50.0%");
+    EXPECT_EQ(formatPercent(-0.034, 1), "-3.4%");
+    EXPECT_EQ(formatPercent(2.765, 0), "276%");
+}
+
+TEST(FormatTest, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(1024), "1KB");
+    EXPECT_EQ(formatBytes(8 * 1024), "8KB");
+    EXPECT_EQ(formatBytes(2 * 1024 * 1024), "2MB");
+    EXPECT_EQ(formatBytes(1536), "1536B"); // not a whole KB
+}
+
+} // namespace
+} // namespace tcp

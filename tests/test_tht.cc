@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the Tag History Table (first level of TCP).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tht.hh"
+
+namespace tcp {
+namespace {
+
+TEST(ThtTest, StartsEmpty)
+{
+    TagHistoryTable tht(1024, 2);
+    for (SetIndex s : {0u, 1u, 1023u})
+        EXPECT_FALSE(tht.full(s));
+}
+
+TEST(ThtTest, FillsAfterDepthPushes)
+{
+    TagHistoryTable tht(1024, 2);
+    tht.push(5, 100);
+    EXPECT_FALSE(tht.full(5));
+    tht.push(5, 101);
+    EXPECT_TRUE(tht.full(5));
+    // Other rows unaffected.
+    EXPECT_FALSE(tht.full(6));
+}
+
+TEST(ThtTest, ShiftSemanticsOldestFirst)
+{
+    TagHistoryTable tht(16, 3);
+    tht.push(2, 10);
+    tht.push(2, 20);
+    tht.push(2, 30);
+    auto h = tht.history(2);
+    ASSERT_EQ(h.size(), 3u);
+    EXPECT_EQ(h[0], 10u);
+    EXPECT_EQ(h[1], 20u);
+    EXPECT_EQ(h[2], 30u);
+    tht.push(2, 40);
+    h = tht.history(2);
+    EXPECT_EQ(h[0], 20u);
+    EXPECT_EQ(h[1], 30u);
+    EXPECT_EQ(h[2], 40u);
+}
+
+TEST(ThtTest, DepthOne)
+{
+    TagHistoryTable tht(16, 1);
+    EXPECT_FALSE(tht.full(0));
+    tht.push(0, 7);
+    EXPECT_TRUE(tht.full(0));
+    EXPECT_EQ(tht.history(0)[0], 7u);
+    tht.push(0, 8);
+    EXPECT_EQ(tht.history(0)[0], 8u);
+}
+
+TEST(ThtTest, RowFolding)
+{
+    TagHistoryTable tht(16, 2);
+    EXPECT_EQ(tht.rowOf(3), 3u);
+    EXPECT_EQ(tht.rowOf(19), 3u);  // 19 % 16
+    tht.push(3, 1);
+    tht.push(19, 2); // same row
+    EXPECT_TRUE(tht.full(3));
+}
+
+TEST(ThtTest, ResetInvalidatesAll)
+{
+    TagHistoryTable tht(8, 2);
+    for (SetIndex s = 0; s < 8; ++s) {
+        tht.push(s, 1);
+        tht.push(s, 2);
+    }
+    tht.reset();
+    for (SetIndex s = 0; s < 8; ++s) {
+        EXPECT_FALSE(tht.full(s));
+        EXPECT_EQ(tht.history(s)[0], kInvalidTag);
+    }
+}
+
+TEST(ThtTest, StorageFormula)
+{
+    // THTSize = #sets x k x |tag| (Section 4).
+    TagHistoryTable tht(1024, 2);
+    EXPECT_EQ(tht.storageBits(16), 1024u * 2 * 16);
+    EXPECT_EQ(tht.storageBits(20), 1024u * 2 * 20);
+    TagHistoryTable deep(512, 4);
+    EXPECT_EQ(deep.storageBits(16), 512u * 4 * 16);
+}
+
+TEST(ThtTest, IndependentRows)
+{
+    TagHistoryTable tht(4, 2);
+    tht.push(0, 1);
+    tht.push(0, 2);
+    tht.push(1, 3);
+    tht.push(1, 4);
+    EXPECT_EQ(tht.history(0)[1], 2u);
+    EXPECT_EQ(tht.history(1)[1], 4u);
+}
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Additional timing-path coverage for the memory hierarchy and core:
+ * writeback interactions, promotion-queue bounds, L2-trained
+ * placement plumbing, the miss-latency histogram, and front-end
+ * fetch behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/ooo_core.hh"
+#include "harness/runner.hh"
+#include "mem/hierarchy.hh"
+#include "trace/workloads.hh"
+
+namespace tcp {
+namespace {
+
+/** Engine scripting one fixed target per miss (copy of the one in
+ *  test_hierarchy, local to keep binaries independent). */
+class OneShotPrefetcher : public Prefetcher
+{
+  public:
+    OneShotPrefetcher() : Prefetcher("oneshot") {}
+
+    void
+    observeMiss(const AccessContext &,
+                std::vector<PrefetchRequest> &out) override
+    {
+        if (target != kInvalidAddr) {
+            out.push_back(PrefetchRequest{target, to_l1});
+            if (!repeat)
+                target = kInvalidAddr;
+        }
+    }
+
+    std::uint64_t storageBits() const override { return 0; }
+    void reset() override { stats_.resetAll(); }
+
+    Addr target = kInvalidAddr;
+    bool to_l1 = false;
+    bool repeat = false;
+};
+
+TEST(TimingPathTest, WritebackVictimDirtiesL2Copy)
+{
+    MachineConfig cfg;
+    MemoryHierarchy mem(cfg);
+    // Write a block (dirty in L1), then evict it via an L1 conflict.
+    mem.dataAccess(0x3000, AccessType::Write, 0, 0);
+    mem.dataAccess(0x3000 + 32 * 1024, AccessType::Read, 0, 1000);
+    // The L2 copy of the written block must now be dirty.
+    const CacheLine *l2line = mem.l2().probe(0x3000);
+    ASSERT_NE(l2line, nullptr);
+    EXPECT_TRUE(l2line->dirty);
+    EXPECT_GE(mem.writebacks.value(), 1u);
+}
+
+TEST(TimingPathTest, DirtyL2EvictionChargesMemoryBus)
+{
+    MachineConfig cfg;
+    MemoryHierarchy mem(cfg);
+    // Dirty one L2 set's worth of blocks, then overflow the set so a
+    // dirty line is evicted from L2.
+    const Addr l2_span = 1024 * 1024 / 4; // one way's span
+    Cycle now = 0;
+    for (unsigned i = 0; i <= 4; ++i) {
+        mem.dataAccess(0x10000 + i * l2_span, AccessType::Write, 0,
+                       now);
+        // Also evict from L1 each round so the dirty data reaches L2
+        // through writebacks before the L2 eviction happens.
+        mem.dataAccess(0x10000 + i * l2_span + 32 * 1024,
+                       AccessType::Read, 0, now + 500);
+        now += 100000;
+    }
+    EXPECT_GE(mem.writebacks.value(), 2u);
+}
+
+TEST(TimingPathTest, PromotionQueueBounded)
+{
+    MachineConfig cfg;
+    OneShotPrefetcher pf;
+    pf.to_l1 = true;
+    pf.repeat = true;
+    MemoryHierarchy mem(cfg, &pf, nullptr);
+    // Flood: every miss requests a promotion to the same far target,
+    // with no time passing so nothing drains.
+    pf.target = 0x900000;
+    for (int i = 0; i < 200; ++i) {
+        pf.target = 0x900000 + i * 64;
+        mem.dataAccess(0x10000 + i * 4096, AccessType::Read, 0, 0);
+    }
+    // The queue refuses beyond its bound instead of growing.
+    EXPECT_GT(mem.promotions_blocked.value(), 100u);
+}
+
+TEST(TimingPathTest, MissLatencyHistogramPopulated)
+{
+    MachineConfig cfg;
+    MemoryHierarchy mem(cfg);
+    for (int i = 0; i < 100; ++i)
+        mem.dataAccess(0x100000000ULL + i * 4096, AccessType::Read, 0,
+                       i * 1000);
+    EXPECT_EQ(mem.miss_latency.total(), 100u);
+    // Unloaded cold misses cost ~85 cycles: p50 bound in [64, 256].
+    EXPECT_GE(mem.miss_latency.quantileBound(0.5), 64u);
+    EXPECT_LE(mem.miss_latency.quantileBound(0.5), 256u);
+}
+
+TEST(TimingPathTest, L2TrainingSeesOnlyL2Misses)
+{
+    MachineConfig cfg;
+    cfg.train_on_l2_misses = true;
+    OneShotPrefetcher pf;
+    MemoryHierarchy mem(cfg, &pf, nullptr);
+
+    // First access: L2 miss -> trains (request issued).
+    pf.target = 0x700000;
+    mem.dataAccess(0x20000, AccessType::Read, 0, 0);
+    EXPECT_EQ(pf.issued.value(), 1u);
+
+    // Evict from L1 only; re-access hits L2 -> must NOT train.
+    mem.dataAccess(0x20000 + 32 * 1024, AccessType::Read, 0, 50000);
+    pf.target = 0x710000;
+    mem.dataAccess(0x20000, AccessType::Read, 0, 100000);
+    EXPECT_EQ(pf.issued.value(), 1u); // unchanged
+}
+
+TEST(TimingPathTest, L2VirtualMissTrainsOnPrefetchedHit)
+{
+    MachineConfig cfg;
+    cfg.train_on_l2_misses = true;
+    OneShotPrefetcher pf;
+    MemoryHierarchy mem(cfg, &pf, nullptr);
+
+    // Miss trains and prefetches 0x700000 into L2.
+    pf.target = 0x700000;
+    mem.dataAccess(0x20000, AccessType::Read, 0, 0);
+    ASSERT_EQ(mem.prefetch_fills.value(), 1u);
+
+    // Demand on the prefetched block: L2 *hit*, but it would have
+    // missed without the prefetcher -> trains (virtual miss).
+    pf.target = 0x720000;
+    mem.dataAccess(0x700000, AccessType::Read, 0, 100000);
+    EXPECT_EQ(pf.issued.value(), 2u);
+}
+
+TEST(TimingPathTest, InstructionFetchSharesL2)
+{
+    MachineConfig cfg;
+    MemoryHierarchy mem(cfg);
+    // An instruction fetch pulls its block into L2 as well.
+    mem.instFetch(0x400000, 0);
+    EXPECT_NE(mem.l2().probe(0x400000), nullptr);
+    // A later fetch of a nearby PC in the same L1I block hits.
+    const Cycle t = mem.instFetch(0x400010, 10000);
+    EXPECT_EQ(t, 10000 + cfg.l1i.latency);
+}
+
+TEST(TimingPathTest, FetchStallPropagatesToIpc)
+{
+    // A workload whose code footprint thrashes the L1I would stall;
+    // our workloads' bodies are small, so fetch is essentially free.
+    const RunResult r = runNamed("eon", "none", 100000);
+    EXPECT_GT(r.ipc(), 3.0);
+}
+
+TEST(TimingPathTest, StoreBufferHidesStoreMissLatency)
+{
+    MachineConfig cfg;
+    MemoryHierarchy mem(cfg);
+    OooCore core(cfg.core, mem);
+
+    // Interleave missing stores with independent ALU work: IPC stays
+    // high because stores retire without waiting for fills.
+    class S : public TraceSource
+    {
+      public:
+        bool
+        next(MicroOp &op) override
+        {
+            op = MicroOp{};
+            op.pc = 0x400000 + (n_ % 8) * 4;
+            if (n_ % 8 == 0) {
+                op.cls = OpClass::Store;
+                op.addr = 0x100000000ULL + n_ * 512;
+            } else {
+                op.cls = OpClass::IntAlu;
+            }
+            ++n_;
+            return true;
+        }
+        void reset() override { n_ = 0; }
+        const std::string &name() const override { return name_; }
+
+      private:
+        std::uint64_t n_ = 0;
+        std::string name_ = "stores";
+    } src;
+
+    const CoreResult r = core.run(src, 50000);
+    EXPECT_GT(r.ipc, 3.0);
+}
+
+TEST(TimingPathTest, MergedMissesShareOneFill)
+{
+    MachineConfig cfg;
+    MemoryHierarchy mem(cfg);
+    // Eight accesses to the same block in quick succession: one
+    // primary miss, seven merges, one memory-bus transfer.
+    for (int i = 0; i < 8; ++i)
+        mem.dataAccess(0x50000 + i * 4, AccessType::Read, 0, 10 + i);
+    EXPECT_EQ(mem.l1d_misses.value(), 1u);
+    EXPECT_EQ(mem.l1d_merged.value(), 7u);
+    EXPECT_EQ(mem.memBus().transfers(), 1u);
+}
+
+TEST(TimingPathTest, IdealL2StillChargesBusAndL2Latency)
+{
+    MachineConfig cfg;
+    cfg.ideal_l2 = true;
+    MemoryHierarchy mem(cfg);
+    const AccessResult r =
+        mem.dataAccess(0x100000000ULL, AccessType::Read, 0, 100);
+    EXPECT_FALSE(r.l1_hit);
+    // Ideal L2 hit: L1 lookup + L2 latency + response transfer.
+    EXPECT_EQ(r.complete,
+              100 + cfg.l1d.latency + cfg.l2.latency + 1);
+}
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for binary trace recording and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "trace/trace_file.hh"
+#include "trace/workloads.hh"
+
+namespace tcp {
+namespace {
+
+/** RAII temp file path. */
+class TempTrace
+{
+  public:
+    TempTrace()
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("tcp_trace_test_" +
+                  std::to_string(::getpid()) + "_" +
+                  std::to_string(counter_++) + ".trc"))
+                    .string();
+    }
+    ~TempTrace() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    static inline int counter_ = 0;
+    std::string path_;
+};
+
+TEST(TraceFileTest, RoundTripPreservesEveryField)
+{
+    TempTrace tmp;
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 100; ++i) {
+        MicroOp op;
+        op.pc = 0x400000 + i * 4;
+        op.addr = 0x100000000ULL + i * 32;
+        op.cls = i % 3 == 0 ? OpClass::Load
+                            : (i % 3 == 1 ? OpClass::FpMult
+                                          : OpClass::Branch);
+        op.dep1 = static_cast<std::uint8_t>(i % 7);
+        op.dep2 = static_cast<std::uint8_t>(i % 5);
+        op.mispredicted = i % 11 == 0;
+        ops.push_back(op);
+    }
+
+    {
+        TraceWriter writer(tmp.path());
+        for (const MicroOp &op : ops)
+            writer.write(op);
+        writer.finish();
+        EXPECT_EQ(writer.written(), 100u);
+    }
+
+    FileTraceSource src(tmp.path());
+    EXPECT_EQ(src.size(), 100u);
+    MicroOp op;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(src.next(op)) << i;
+        EXPECT_EQ(op.pc, ops[i].pc);
+        EXPECT_EQ(op.addr, ops[i].addr);
+        EXPECT_EQ(static_cast<int>(op.cls),
+                  static_cast<int>(ops[i].cls));
+        EXPECT_EQ(op.dep1, ops[i].dep1);
+        EXPECT_EQ(op.dep2, ops[i].dep2);
+        EXPECT_EQ(op.mispredicted, ops[i].mispredicted);
+    }
+    EXPECT_FALSE(src.next(op));
+}
+
+TEST(TraceFileTest, ResetReplaysFromStart)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        auto wl = makeWorkload("gzip", 1);
+        EXPECT_EQ(writer.record(*wl, 5000), 5000u);
+    }
+    FileTraceSource src(tmp.path());
+    std::vector<Addr> first;
+    MicroOp op;
+    while (src.next(op))
+        first.push_back(op.addr);
+    EXPECT_EQ(first.size(), 5000u);
+
+    src.reset();
+    std::size_t i = 0;
+    while (src.next(op))
+        ASSERT_EQ(op.addr, first[i++]);
+    EXPECT_EQ(i, 5000u);
+}
+
+TEST(TraceFileTest, RecordedWorkloadMatchesLiveStream)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        auto wl = makeWorkload("ammp", 3);
+        writer.record(*wl, 2000);
+    }
+    FileTraceSource replay(tmp.path());
+    auto live = makeWorkload("ammp", 3);
+    MicroOp a, b;
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(replay.next(a));
+        ASSERT_TRUE(live->next(b));
+        ASSERT_EQ(a.addr, b.addr) << i;
+        ASSERT_EQ(a.pc, b.pc) << i;
+        ASSERT_EQ(static_cast<int>(a.cls), static_cast<int>(b.cls));
+    }
+}
+
+TEST(TraceFileTest, DestructorFinishes)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        MicroOp op;
+        op.cls = OpClass::IntAlu;
+        writer.write(op);
+        // No explicit finish(): the destructor must patch the count.
+    }
+    FileTraceSource src(tmp.path());
+    EXPECT_EQ(src.size(), 1u);
+}
+
+TEST(TraceFileDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(FileTraceSource("/nonexistent/path/x.trc"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFileDeathTest, GarbageFileIsFatal)
+{
+    TempTrace tmp;
+    {
+        std::ofstream out(tmp.path(), std::ios::binary);
+        out << "this is not a trace file at all.....";
+    }
+    EXPECT_EXIT(FileTraceSource(tmp.path()),
+                testing::ExitedWithCode(1), "not a TCP trace");
+}
+
+} // namespace
+} // namespace tcp

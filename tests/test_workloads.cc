@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the SPEC2000-like workload suite and the composing
+ * SyntheticWorkload: registry consistency, determinism, replay, and
+ * structural properties of the generated streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/workloads.hh"
+
+namespace tcp {
+namespace {
+
+TEST(WorkloadRegistryTest, TwentySixBenchmarks)
+{
+    EXPECT_EQ(workloadNames().size(), 26u);
+}
+
+TEST(WorkloadRegistryTest, PaperOrderEndpoints)
+{
+    // Figure 1 order: fma3d has the least ideal-L2 potential, mcf
+    // the most.
+    EXPECT_EQ(workloadNames().front(), "fma3d");
+    EXPECT_EQ(workloadNames().back(), "mcf");
+}
+
+TEST(WorkloadRegistryTest, NamesAreUniqueAndRecognised)
+{
+    std::set<std::string> seen;
+    for (const std::string &name : workloadNames()) {
+        EXPECT_TRUE(seen.insert(name).second) << name;
+        EXPECT_TRUE(isWorkloadName(name));
+        EXPECT_FALSE(workloadDescription(name).empty());
+    }
+    EXPECT_FALSE(isWorkloadName("quake3"));
+}
+
+TEST(WorkloadRegistryTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("quake3"), testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+class WorkloadSuiteTest : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSuiteTest, BuildsAndEmits)
+{
+    auto wl = makeWorkload(GetParam(), 1);
+    ASSERT_NE(wl, nullptr);
+    EXPECT_EQ(wl->name(), GetParam());
+    MicroOp op;
+    std::uint64_t mem_ops = 0;
+    std::uint64_t branches = 0;
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(wl->next(op));
+        mem_ops += op.isMem() ? 1 : 0;
+        branches += op.cls == OpClass::Branch ? 1 : 0;
+    }
+    // Every workload touches memory and loops.
+    EXPECT_GT(mem_ops, 100u);
+    EXPECT_GT(branches, 100u);
+    EXPECT_EQ(wl->emitted(), 20000u);
+}
+
+TEST_P(WorkloadSuiteTest, SameSeedSameStream)
+{
+    auto a = makeWorkload(GetParam(), 7);
+    auto b = makeWorkload(GetParam(), 7);
+    MicroOp oa, ob;
+    for (int i = 0; i < 5000; ++i) {
+        a->next(oa);
+        b->next(ob);
+        ASSERT_EQ(oa.addr, ob.addr) << i;
+        ASSERT_EQ(oa.pc, ob.pc) << i;
+        ASSERT_EQ(static_cast<int>(oa.cls), static_cast<int>(ob.cls))
+            << i;
+        ASSERT_EQ(oa.dep1, ob.dep1) << i;
+    }
+}
+
+TEST_P(WorkloadSuiteTest, ResetReplays)
+{
+    auto wl = makeWorkload(GetParam(), 3);
+    std::vector<Addr> first;
+    MicroOp op;
+    for (int i = 0; i < 5000; ++i) {
+        wl->next(op);
+        if (op.isMem())
+            first.push_back(op.addr);
+    }
+    wl->reset();
+    std::size_t idx = 0;
+    for (int i = 0; i < 5000; ++i) {
+        wl->next(op);
+        if (op.isMem()) {
+            ASSERT_LT(idx, first.size());
+            ASSERT_EQ(op.addr, first[idx++]) << i;
+        }
+    }
+}
+
+TEST_P(WorkloadSuiteTest, DifferentSeedsDiffer)
+{
+    auto a = makeWorkload(GetParam(), 1);
+    auto b = makeWorkload(GetParam(), 2);
+    MicroOp oa, ob;
+    int diff = 0;
+    for (int i = 0; i < 5000; ++i) {
+        a->next(oa);
+        b->next(ob);
+        diff += (oa.addr != ob.addr || oa.pc != ob.pc) ? 1 : 0;
+    }
+    EXPECT_GT(diff, 0);
+}
+
+TEST_P(WorkloadSuiteTest, DataAndCodeSpacesDisjoint)
+{
+    auto wl = makeWorkload(GetParam(), 1);
+    MicroOp op;
+    for (int i = 0; i < 20000; ++i) {
+        wl->next(op);
+        EXPECT_LT(op.pc, 0x1000000u) << "pc in data space";
+        if (op.isMem())
+            EXPECT_GE(op.addr, 0x100000000ULL) << "data in code space";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadSuiteTest, testing::ValuesIn(workloadNames()),
+    [](const testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(SyntheticWorkloadTest, WeightsRespectedApproximately)
+{
+    // Compose two kernels with very different bases and a 3:1 weight;
+    // the pick ratio should approximate it.
+    SyntheticWorkload wl("wtest", 5);
+    KernelParams p1;
+    p1.base = 0x100000000ULL;
+    p1.seed = 1;
+    p1.compute_per_access = 0;
+    KernelParams p2 = p1;
+    p2.base = 0x200000000ULL;
+    p2.seed = 2;
+    wl.addKernel(std::make_unique<StridedSweepKernel>(p1, 1 << 20, 64),
+                 3.0);
+    wl.addKernel(std::make_unique<StridedSweepKernel>(p2, 1 << 20, 64),
+                 1.0);
+    MicroOp op;
+    int first = 0, second = 0;
+    for (int i = 0; i < 30000; ++i) {
+        wl.next(op);
+        if (!op.isMem())
+            continue;
+        if (op.addr < 0x200000000ULL)
+            ++first;
+        else
+            ++second;
+    }
+    const double ratio = static_cast<double>(first) / second;
+    EXPECT_NEAR(ratio, 3.0, 0.5);
+}
+
+TEST(SyntheticWorkloadDeathTest, NoKernelsPanics)
+{
+    SyntheticWorkload wl("empty", 1);
+    MicroOp op;
+    EXPECT_DEATH(wl.next(op), "no kernels");
+}
+
+TEST(SyntheticWorkloadDeathTest, NonPositiveWeightPanics)
+{
+    SyntheticWorkload wl("bad", 1);
+    KernelParams p;
+    EXPECT_DEATH(wl.addKernel(
+                     std::make_unique<ComputeKernel>(p, 4), 0.0),
+                 "weight");
+}
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * tcpsim — the library's command-line driver. One binary for the
+ * common workflows:
+ *
+ *   tcpsim run         one workload x one engine, full statistics
+ *   tcpsim compare     one workload x all engines
+ *   tcpsim suite       engine geomean over the whole workload suite
+ *   tcpsim characterize  Section 3-style miss-stream statistics
+ *   tcpsim record      write a workload to a binary trace file
+ *   tcpsim replay      run a recorded trace through the simulator
+ *   tcpsim list        available workloads and engines
+ *
+ * Every subcommand accepts --help.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/miss_stream.hh"
+#include "analysis/reuse_distance.hh"
+#include "harness/runner.hh"
+#include "trace/trace_file.hh"
+#include "trace/workloads.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace tcp;
+
+void
+addCommonFlags(ArgParser &args)
+{
+    args.addFlag("workload", "ammp", "workload name (see 'list')");
+    args.addFlag("instructions", "2000000", "micro-ops to simulate");
+    args.addFlag("seed", "1", "workload stream seed");
+}
+
+int
+cmdList()
+{
+    std::cout << "workloads (Figure 1 order):\n";
+    for (const auto &name : workloadNames())
+        std::cout << "  " << name << ": " << workloadDescription(name)
+                  << "\n";
+    std::cout << "\nengines:\n";
+    for (const auto &name : standardEngineNames())
+        std::cout << "  " << name << "\n";
+    std::cout << "  tcps8k tcpmt8k tcpcrit8k tcpgshare8k tcpl2_8k "
+                 "(extensions)\n"
+                 "  tcp:<pht_bytes>:<index_bits> (parameterised)\n";
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    ArgParser args;
+    addCommonFlags(args);
+    args.addFlag("engine", "tcp8k", "prefetch engine");
+    args.addFlag("stats", "false", "dump the full statistics tree");
+    args.parse(argc, argv);
+
+    const std::string workload = args.getString("workload");
+    const std::string engine_name = args.getString("engine");
+    const std::uint64_t instructions = args.getUint("instructions");
+
+    auto wl = makeWorkload(workload, args.getUint("seed"));
+    EngineSetup engine = makeEngine(engine_name);
+    const bool dump = args.getBool("stats");
+
+    MachineConfig cfg;
+    if (engine.wants_prefetch_bus)
+        cfg.prefetch_bus = true;
+    if (engine.wants_l2_training)
+        cfg.train_on_l2_misses = true;
+
+    const RunResult r =
+        runTrace(*wl, cfg, engine, instructions);
+
+    TextTable table("tcpsim run: " + workload + " x " + engine_name);
+    table.setHeader({"metric", "value"});
+    auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+    table.addRow({"instructions", u64(r.core.instructions)});
+    table.addRow({"cycles", u64(r.core.cycles)});
+    table.addRow({"IPC", formatDouble(r.ipc(), 4)});
+    table.addRow({"L1-D misses", u64(r.l1d_misses)});
+    table.addRow({"L2 demand hits", u64(r.l2_demand_hits)});
+    table.addRow({"L2 demand misses", u64(r.l2_demand_misses)});
+    table.addRow({"prefetches issued", u64(r.pf_issued)});
+    table.addRow({"prefetch fills", u64(r.pf_fills)});
+    table.addRow({"prefetches useful", u64(r.pf_useful)});
+    table.addRow({"prefetches late", u64(r.pf_late)});
+    table.addRow({"L1 promotions", u64(r.promotions_l1)});
+    table.addRow({"engine storage",
+                  formatBytes(r.pf_storage_bits / 8)});
+    std::cout << table.render();
+
+    if (dump && engine.prefetcher)
+        std::cout << "\n" << engine.prefetcher->stats().report();
+    return 0;
+}
+
+int
+cmdCompare(int argc, char **argv)
+{
+    ArgParser args;
+    addCommonFlags(args);
+    args.addFlag("csv", "false", "emit CSV instead of a text table");
+    args.parse(argc, argv);
+    const std::string workload = args.getString("workload");
+    const std::uint64_t instructions = args.getUint("instructions");
+    const std::uint64_t seed = args.getUint("seed");
+
+    const RunResult base =
+        runNamed(workload, "none", instructions, MachineConfig{}, seed);
+
+    TextTable table("tcpsim compare: " + workload);
+    table.setHeader({"engine", "IPC", "speedup", "coverage",
+                     "storage"});
+    for (const std::string &engine : standardEngineNames()) {
+        const RunResult r =
+            engine == "none"
+                ? base
+                : runNamed(workload, engine, instructions,
+                           MachineConfig{}, seed);
+        const double coverage =
+            r.original_l2
+                ? static_cast<double>(r.prefetched_original) /
+                      static_cast<double>(r.original_l2)
+                : 0.0;
+        table.addRow({engine, formatDouble(r.ipc(), 3),
+                      formatPercent(ipcImprovement(r, base), 1),
+                      formatPercent(coverage, 1),
+                      formatBytes(r.pf_storage_bits / 8)});
+    }
+    std::cout << (args.getBool("csv") ? table.renderCsv()
+                                      : table.render());
+    return 0;
+}
+
+int
+cmdSuite(int argc, char **argv)
+{
+    ArgParser args;
+    args.addFlag("engine", "tcp8k", "prefetch engine");
+    args.addFlag("instructions", "1000000", "micro-ops per workload");
+    args.addFlag("seed", "1", "workload stream seed");
+    args.addFlag("csv", "false", "emit CSV instead of a text table");
+    args.parse(argc, argv);
+    const std::string engine = args.getString("engine");
+    const std::uint64_t instructions = args.getUint("instructions");
+    const std::uint64_t seed = args.getUint("seed");
+
+    TextTable table("tcpsim suite: " + engine);
+    table.setHeader({"workload", "base IPC", "engine IPC", "speedup"});
+    std::vector<double> ratios;
+    for (const std::string &name : workloadNames()) {
+        const RunResult base = runNamed(name, "none", instructions,
+                                        MachineConfig{}, seed);
+        const RunResult r = runNamed(name, engine, instructions,
+                                     MachineConfig{}, seed);
+        ratios.push_back(r.ipc() / base.ipc());
+        table.addRow({name, formatDouble(base.ipc(), 3),
+                      formatDouble(r.ipc(), 3),
+                      formatPercent(ipcImprovement(r, base), 1)});
+    }
+    table.addRow({"geomean", "-", "-",
+                  formatPercent(geomean(ratios) - 1.0, 1)});
+    std::cout << (args.getBool("csv") ? table.renderCsv()
+                                      : table.render());
+    return 0;
+}
+
+int
+cmdSweep(int argc, char **argv)
+{
+    ArgParser args;
+    addCommonFlags(args);
+    args.addFlag("index-bits", "0", "PHT miss-index bits (n)");
+    args.addFlag("csv", "false", "emit CSV instead of a text table");
+    args.parse(argc, argv);
+    const std::string workload = args.getString("workload");
+    const std::uint64_t instructions = args.getUint("instructions");
+    const std::uint64_t seed = args.getUint("seed");
+    const unsigned n =
+        static_cast<unsigned>(args.getUint("index-bits"));
+
+    const RunResult base =
+        runNamed(workload, "none", instructions, MachineConfig{},
+                 seed);
+    TextTable table("tcpsim sweep: PHT size on " + workload);
+    table.setHeader({"PHT", "IPC", "speedup", "coverage"});
+    for (std::uint64_t bytes = 2 * 1024; bytes <= 8 * 1024 * 1024;
+         bytes *= 4) {
+        const std::string engine = "tcp:" + std::to_string(bytes) +
+                                   ":" + std::to_string(n);
+        const RunResult r = runNamed(workload, engine, instructions,
+                                     MachineConfig{}, seed);
+        const double coverage =
+            r.original_l2
+                ? static_cast<double>(r.prefetched_original) /
+                      static_cast<double>(r.original_l2)
+                : 0.0;
+        table.addRow({formatBytes(bytes), formatDouble(r.ipc(), 3),
+                      formatPercent(ipcImprovement(r, base), 1),
+                      formatPercent(coverage, 1)});
+    }
+    std::cout << (args.getBool("csv") ? table.renderCsv()
+                                      : table.render());
+    return 0;
+}
+
+int
+cmdCharacterize(int argc, char **argv)
+{
+    ArgParser args;
+    addCommonFlags(args);
+    args.parse(argc, argv);
+    const std::string workload = args.getString("workload");
+    const std::uint64_t instructions = args.getUint("instructions");
+
+    auto wl = makeWorkload(workload, args.getUint("seed"));
+    MissStreamAnalyzer an;
+    an.profileTrace(*wl, instructions);
+    const TagStatsResult t = an.tagStats();
+    const SeqStatsResult s = an.seqStats();
+
+    TextTable table("tcpsim characterize: " + workload);
+    table.setHeader({"metric", "value"});
+    table.addRow({"L1-D misses", std::to_string(an.misses())});
+    table.addRow({"unique tags", std::to_string(t.unique_tags)});
+    table.addRow({"appearances/tag",
+                  formatDouble(t.mean_appearances_per_tag, 1)});
+    table.addRow({"sets/tag", formatDouble(t.mean_sets_per_tag, 1)});
+    table.addRow({"unique 3-tag seqs",
+                  std::to_string(s.unique_seqs)});
+    table.addRow({"sets/sequence",
+                  formatDouble(s.mean_sets_per_seq, 1)});
+    table.addRow({"strided fraction",
+                  formatPercent(s.strided_fraction, 2)});
+    std::cout << table.render();
+    return 0;
+}
+
+int
+cmdRecord(int argc, char **argv)
+{
+    ArgParser args;
+    addCommonFlags(args);
+    args.addFlag("out", "workload.trc", "output trace path");
+    args.parse(argc, argv);
+    TraceWriter writer(args.getString("out"));
+    auto wl = makeWorkload(args.getString("workload"),
+                           args.getUint("seed"));
+    const std::uint64_t n =
+        writer.record(*wl, args.getUint("instructions"));
+    writer.finish();
+    std::cout << "wrote " << n << " micro-ops to "
+              << args.getString("out") << "\n";
+    return 0;
+}
+
+int
+cmdReplay(int argc, char **argv)
+{
+    ArgParser args;
+    args.addFlag("trace", "workload.trc", "trace file to replay");
+    args.addFlag("engine", "tcp8k", "prefetch engine");
+    args.parse(argc, argv);
+
+    FileTraceSource src(args.getString("trace"));
+    EngineSetup engine = makeEngine(args.getString("engine"));
+    const RunResult r = runTrace(src, MachineConfig{}, engine,
+                                 src.size(), /*warmup=*/0);
+    std::cout << "replayed " << r.core.instructions << " ops: IPC "
+              << formatDouble(r.ipc(), 4) << ", L1-D misses "
+              << r.l1d_misses << ", prefetches useful "
+              << r.pf_useful << "\n";
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "usage: tcpsim <command> [flags]\n"
+        "commands:\n"
+        "  run           one workload x one engine\n"
+        "  compare       one workload x all engines\n"
+        "  suite         one engine over all 26 workloads\n"
+        "  characterize  miss-stream statistics (Section 3)\n"
+        "  sweep         PHT size sweep on one workload\n"
+        "  record        write a workload trace file\n"
+        "  replay        simulate a recorded trace\n"
+        "  list          available workloads and engines\n"
+        "run 'tcpsim <command> --help' for the command's flags.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    // Shift argv so each subcommand parses its own flags.
+    argc -= 1;
+    argv += 1;
+    if (cmd == "run")
+        return cmdRun(argc, argv);
+    if (cmd == "compare")
+        return cmdCompare(argc, argv);
+    if (cmd == "suite")
+        return cmdSuite(argc, argv);
+    if (cmd == "characterize")
+        return cmdCharacterize(argc, argv);
+    if (cmd == "sweep")
+        return cmdSweep(argc, argv);
+    if (cmd == "record")
+        return cmdRecord(argc, argv);
+    if (cmd == "replay")
+        return cmdReplay(argc, argv);
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        usage();
+        return 0;
+    }
+    std::cerr << "unknown command '" << cmd << "'\n";
+    usage();
+    return 1;
+}
