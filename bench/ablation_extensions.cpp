@@ -66,5 +66,6 @@ main(int argc, char **argv)
                       formatBytes(storage / 8)});
     }
     std::cout << table.render();
+    bench::writeJsonReport(opt, "ablation_extensions", {&table});
     return 0;
 }

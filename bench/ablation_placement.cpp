@@ -114,5 +114,7 @@ main(int argc, char **argv)
                   formatPercent(geomean(i_t) - 1, 1),
                   formatPercent(geomean(i_h) - 1, 1)});
     std::cout << cores.render();
+    bench::writeJsonReport(opt, "ablation_placement",
+                           {&placement, &cores});
     return 0;
 }

@@ -68,5 +68,6 @@ main(int argc, char **argv)
                       formatPercent(geomean(ratios) - 1.0, 1)});
     }
     std::cout << table.render();
+    bench::writeJsonReport(opt, "ablation_replacement", {&table});
     return 0;
 }

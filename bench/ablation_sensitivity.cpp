@@ -77,5 +77,7 @@ main(int argc, char **argv)
                     formatPercent(improvementAt(opt, cfg), 1)});
     }
     std::cout << bus.render();
+    bench::writeJsonReport(opt, "ablation_sensitivity",
+                           {&lat, &l2, &bus});
     return 0;
 }

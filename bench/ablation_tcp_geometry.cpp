@@ -92,5 +92,7 @@ main(int argc, char **argv)
                        formatDouble(meanIpcFor(opt, cfg), 3)});
     }
     std::cout << degree.render();
+    bench::writeJsonReport(opt, "ablation_tcp_geometry",
+                           {&depth, &assoc, &index, &degree});
     return 0;
 }

@@ -9,11 +9,13 @@
 #ifndef TCP_BENCH_BENCH_COMMON_HH
 #define TCP_BENCH_BENCH_COMMON_HH
 
+#include <initializer_list>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/runner.hh"
+#include "sim/json.hh"
 #include "trace/workloads.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
@@ -27,6 +29,8 @@ struct SuiteOptions
     std::vector<std::string> workloads;
     std::uint64_t instructions = 0;
     std::uint64_t seed = 1;
+    /** Machine-readable report destination ("" = text only). */
+    std::string json_path;
 };
 
 /** Register the common flags on @p args. */
@@ -38,6 +42,8 @@ addSuiteFlags(ArgParser &args, const std::string &default_instructions)
     args.addFlag("instructions", default_instructions,
                  "micro-ops to simulate per run");
     args.addFlag("seed", "1", "workload stream seed");
+    args.addFlag("json", "",
+                 "also write the figure's tables as JSON to this path");
 }
 
 /** Resolve the common flags after parsing. */
@@ -57,7 +63,56 @@ suiteOptions(const ArgParser &args)
     }
     opt.instructions = args.getUint("instructions");
     opt.seed = args.getUint("seed");
+    opt.json_path = args.getString("json");
     return opt;
+}
+
+/** One table serialized as {title, header, rows}. */
+inline Json
+tableToJson(const TextTable &table)
+{
+    Json t = Json::object();
+    t["title"] = table.title();
+    Json header = Json::array();
+    for (const std::string &h : table.header())
+        header.push(h);
+    t["header"] = std::move(header);
+    Json rows = Json::array();
+    for (const auto &row : table.rows()) {
+        Json r = Json::array();
+        for (const std::string &cell : row)
+            r.push(cell);
+        rows.push(std::move(r));
+    }
+    t["rows"] = std::move(rows);
+    return t;
+}
+
+/**
+ * Write the bench's tables as one JSON record (no-op when the user
+ * did not pass --json). Every figure and ablation binary calls this
+ * after printing its text tables, so a results directory can carry a
+ * BENCH_<name>.json next to each text report.
+ */
+inline void
+writeJsonReport(const SuiteOptions &opt, const std::string &bench,
+                std::initializer_list<const TextTable *> tables)
+{
+    if (opt.json_path.empty())
+        return;
+    Json doc = Json::object();
+    doc["bench"] = bench;
+    doc["instructions"] = opt.instructions;
+    doc["seed"] = opt.seed;
+    Json workloads = Json::array();
+    for (const std::string &w : opt.workloads)
+        workloads.push(w);
+    doc["workloads"] = std::move(workloads);
+    Json arr = Json::array();
+    for (const TextTable *t : tables)
+        arr.push(tableToJson(*t));
+    doc["tables"] = std::move(arr);
+    writeJsonFile(opt.json_path, doc);
 }
 
 /** Print a one-line provenance header for reproducibility. */

@@ -35,5 +35,6 @@ main(int argc, char **argv)
                       formatPercent(ipcImprovement(best, base), 1)});
     }
     std::cout << table.render();
+    bench::writeJsonReport(opt, "fig01_ideal_l2", {&table});
     return 0;
 }

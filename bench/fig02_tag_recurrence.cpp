@@ -33,5 +33,6 @@ main(int argc, char **argv)
                       formatDouble(t.mean_appearances_per_tag, 1)});
     }
     std::cout << table.render();
+    bench::writeJsonReport(opt, "fig02_tag_recurrence", {&table});
     return 0;
 }

@@ -39,5 +39,6 @@ main(int argc, char **argv)
                       formatDouble(ratio, 1)});
     }
     std::cout << table.render();
+    bench::writeJsonReport(opt, "fig03_addr_recurrence", {&table});
     return 0;
 }

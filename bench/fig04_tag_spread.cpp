@@ -31,5 +31,6 @@ main(int argc, char **argv)
                       formatDouble(t.mean_appearances_per_tag_set, 1)});
     }
     std::cout << table.render();
+    bench::writeJsonReport(opt, "fig04_tag_spread", {&table});
     return 0;
 }

@@ -37,5 +37,6 @@ main(int argc, char **argv)
                       formatPercent(s.fraction_of_upper_limit, 3)});
     }
     std::cout << table.render();
+    bench::writeJsonReport(opt, "fig05_seq_uniqueness", {&table});
     return 0;
 }

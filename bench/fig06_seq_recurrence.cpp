@@ -32,5 +32,6 @@ main(int argc, char **argv)
                       formatDouble(s.mean_appearances_per_seq, 1)});
     }
     std::cout << table.render();
+    bench::writeJsonReport(opt, "fig06_seq_recurrence", {&table});
     return 0;
 }

@@ -32,5 +32,6 @@ main(int argc, char **argv)
                       formatDouble(s.mean_appearances_per_seq_set, 1)});
     }
     std::cout << table.render();
+    bench::writeJsonReport(opt, "fig07_seq_spread", {&table});
     return 0;
 }

@@ -47,5 +47,6 @@ main(int argc, char **argv)
         mean_row.push_back(formatPercent(geomean(r) - 1.0, 1));
     table.addRow(std::move(mean_row));
     std::cout << table.render();
+    bench::writeJsonReport(opt, "fig11_tcp_vs_dbcp", {&table});
     return 0;
 }

@@ -14,7 +14,7 @@
 
 namespace {
 
-void
+tcp::TextTable
 breakdownTable(const tcp::bench::SuiteOptions &opt,
                const std::string &engine)
 {
@@ -36,6 +36,7 @@ breakdownTable(const tcp::bench::SuiteOptions &opt,
         });
     }
     std::cout << table.render() << "\n";
+    return table;
 }
 
 } // namespace
@@ -50,7 +51,8 @@ main(int argc, char **argv)
     const auto opt = bench::suiteOptions(args);
     bench::printHeader("Figure 12: L2 access classification", opt);
 
-    breakdownTable(opt, "tcp8k");
-    breakdownTable(opt, "tcp8m");
+    const TextTable k8 = breakdownTable(opt, "tcp8k");
+    const TextTable m8 = breakdownTable(opt, "tcp8m");
+    bench::writeJsonReport(opt, "fig12_l2_breakdown", {&k8, &m8});
     return 0;
 }

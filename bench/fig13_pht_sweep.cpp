@@ -84,5 +84,6 @@ main(int argc, char **argv)
                        formatDouble(meanIpc(opt, 8 * 1024, n), 3)});
     }
     std::cout << bottom.render();
+    bench::writeJsonReport(opt, "fig13_pht_sweep", {&top, &bottom});
     return 0;
 }

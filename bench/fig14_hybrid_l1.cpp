@@ -50,5 +50,6 @@ main(int argc, char **argv)
                   formatPercent(geomean(r_hybrid) - 1.0, 1),
                   formatPercent(geomean(r_naive) - 1.0, 1), "-"});
     std::cout << table.render();
+    bench::writeJsonReport(opt, "fig14_hybrid_l1", {&table});
     return 0;
 }

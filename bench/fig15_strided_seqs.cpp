@@ -34,5 +34,6 @@ main(int argc, char **argv)
                       std::to_string(s.constant_sequences)});
     }
     std::cout << table.render();
+    bench::writeJsonReport(opt, "fig15_strided_seqs", {&table});
     return 0;
 }

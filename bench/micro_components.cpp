@@ -13,6 +13,7 @@
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "prefetch/dbcp.hh"
+#include "sim/trace_sink.hh"
 #include "util/random.hh"
 
 namespace {
@@ -98,6 +99,60 @@ BM_CacheAccessHit(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_TraceHookDisabled(benchmark::State &state)
+{
+    // The observability contract: with no sink installed, a trace
+    // hook is a pointer load and a not-taken branch. This guards the
+    // instrumented hot paths (observeMiss, dataAccess) against the
+    // hooks ever growing a hidden cost.
+    Cycle c = 0;
+    for (auto _ : state) {
+        traceEvent("bench_event", "bench", ++c, 0x1000);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_TraceHookDisabled);
+
+void
+BM_TraceHookEnabled(benchmark::State &state)
+{
+    TraceSink sink;
+    ScopedTraceSink installed(&sink);
+    Cycle c = 0;
+    for (auto _ : state) {
+        traceEvent("bench_event", "bench", ++c, 0x1000);
+        benchmark::DoNotOptimize(c);
+        if (sink.eventCount() >= (1u << 16))
+            sink.clear(); // bound the buffer across iterations
+    }
+}
+BENCHMARK(BM_TraceHookEnabled);
+
+void
+BM_TcpObserveMissTraced(benchmark::State &state)
+{
+    // The full instrumented miss path with a live sink, for
+    // comparison against BM_TcpObserveMiss (sink disabled).
+    TraceSink sink;
+    ScopedTraceSink installed(&sink);
+    TagCorrelatingPrefetcher tcp_pf(TcpConfig::tcp8k());
+    std::vector<PrefetchRequest> out;
+    Rng rng(7);
+    Addr addr = 0x100000000ULL;
+    for (auto _ : state) {
+        addr += 32 * (1 + (rng.next() & 3));
+        out.clear();
+        tcp_pf.observeMiss(
+            AccessContext{addr, 0x400000, 0, false, AccessType::Read},
+            out);
+        benchmark::DoNotOptimize(out.size());
+        if (sink.eventCount() >= (1u << 16))
+            sink.clear();
+    }
+}
+BENCHMARK(BM_TcpObserveMissTraced);
 
 void
 BM_BusRequest(benchmark::State &state)

@@ -7,15 +7,18 @@
 
 #include <iostream>
 
+#include "bench_common.hh"
 #include "core/tcp.hh"
-#include "harness/runner.hh"
 #include "sim/config.hh"
-#include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tcp;
+    ArgParser args;
+    args.addFlag("json", "",
+                 "also write the table as JSON to this path");
+    args.parse(argc, argv);
 
     std::cout << "# Table 1: Configuration of Simulated Processor\n\n"
               << MachineConfig{}.describe() << "\n";
@@ -38,5 +41,9 @@ main()
                       formatBytes(e.prefetcher->storageBits() / 8)});
     }
     std::cout << table.render();
+
+    bench::SuiteOptions opt;
+    opt.json_path = args.getString("json");
+    bench::writeJsonReport(opt, "table1_config", {&table});
     return 0;
 }

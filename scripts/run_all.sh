@@ -1,17 +1,22 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Reproduce everything: build, run the full test suite, regenerate
-# every paper figure and ablation, and archive the outputs.
+# every paper figure and ablation (text + per-figure JSON), and
+# archive the outputs. Fails loudly if any step exits nonzero.
 #
 # Usage: scripts/run_all.sh [build-dir]
-set -e
+set -euo pipefail
 
 BUILD=${1:-build}
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 cd "$ROOT"
 
 echo "== configure + build =="
-cmake -B "$BUILD" -G Ninja
-cmake --build "$BUILD"
+if [ -f "$BUILD/CMakeCache.txt" ]; then
+    cmake -B "$BUILD" # keep the existing generator
+else
+    cmake -B "$BUILD" -G Ninja
+fi
+cmake --build "$BUILD" -j "$(nproc)"
 
 echo "== tests =="
 ctest --test-dir "$BUILD" --output-on-failure 2>&1 \
@@ -22,8 +27,19 @@ mkdir -p "$ROOT/results"
 {
     for b in "$BUILD"/bench/*; do
         [ -f "$b" ] && [ -x "$b" ] || continue
-        echo "=== $(basename "$b") ==="
-        "$b"
+        name=$(basename "$b")
+        echo "=== $name ==="
+        case "$name" in
+          micro_components)
+            # google-benchmark binary: its own flags, its own JSON.
+            "$b" --benchmark_out="$ROOT/results/$name.json" \
+                 --benchmark_out_format=json
+            ;;
+          *)
+            # Figure/ablation binary: text to stdout, JSON alongside.
+            "$b" --json "$ROOT/results/$name.json"
+            ;;
+        esac
     done
 } 2>&1 | tee "$ROOT/results/bench_all.txt" \
        | tee "$ROOT/bench_output.txt" >/dev/null
@@ -31,3 +47,4 @@ mkdir -p "$ROOT/results"
 echo "== done =="
 echo "tests:   $ROOT/test_output.txt"
 echo "figures: $ROOT/results/bench_all.txt"
+echo "json:    $ROOT/results/*.json (one per bench binary)"

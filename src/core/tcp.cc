@@ -1,5 +1,6 @@
 #include "tcp.hh"
 
+#include "sim/trace_sink.hh"
 #include "util/logging.hh"
 
 namespace tcp {
@@ -172,6 +173,7 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
         ++tht_warmups;
     }
     tht_.push(index, tag);
+    traceEvent("tht_update", "tcp", ctx.cycle, ctx.addr);
 
     // --- Lookup: predict the successor(s) of the updated sequence
     // and reconstruct prefetch addresses with the same miss index.
@@ -210,13 +212,16 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
 
     for (unsigned d = 0; d < degree; ++d) {
         ++pht_lookups;
+        traceEvent("pht_lookup", "tcp", ctx.cycle, ctx.addr);
         targets_scratch_.clear();
         const unsigned n =
             pht_.lookupAll(seq_scratch_, index, targets_scratch_);
         if (n == 0) {
             ++pht_misses;
+            traceEvent("pht_miss", "tcp", ctx.cycle, ctx.addr);
             break;
         }
+        traceEvent("pht_hit", "tcp", ctx.cycle, ctx.addr);
         for (unsigned i = 0; i < n; ++i) {
             const Tag next = targets_scratch_[i];
             ++predictions;

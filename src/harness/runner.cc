@@ -1,16 +1,116 @@
 #include "runner.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "prefetch/dbcp.hh"
 #include "prefetch/markov.hh"
 #include "prefetch/stream.hh"
 #include "prefetch/stride.hh"
+#include "sim/trace_sink.hh"
 #include "trace/workloads.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
 
 namespace tcp {
+
+namespace {
+
+inline double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den ? static_cast<double>(num) / static_cast<double>(den)
+               : 0.0;
+}
+
+} // namespace
+
+Json
+IntervalSample::toJson() const
+{
+    Json j = Json::object();
+    j["instructions"] = instructions;
+    j["cycles"] = cycles;
+    j["ipc"] = ipc;
+    j["l1d_miss_rate"] = l1d_miss_rate;
+    j["l2_miss_rate"] = l2_miss_rate;
+    j["pf_accuracy"] = pf_accuracy;
+    j["pf_coverage"] = pf_coverage;
+    j["pf_lateness"] = pf_lateness;
+    return j;
+}
+
+double
+RunResult::pfAccuracy() const
+{
+    return ratio(pf_useful, pf_issued);
+}
+
+double
+RunResult::pfCoverage() const
+{
+    return ratio(prefetched_original, original_l2);
+}
+
+double
+RunResult::pfLateness() const
+{
+    return ratio(pf_late, pf_useful);
+}
+
+Json
+RunResult::toJson() const
+{
+    Json j = Json::object();
+    j["workload"] = workload;
+    j["prefetcher"] = prefetcher;
+
+    Json &c = j["core"];
+    c["instructions"] = core.instructions;
+    c["cycles"] = core.cycles;
+    c["ipc"] = core.ipc;
+    c["loads"] = core.loads;
+    c["stores"] = core.stores;
+    c["branches"] = core.branches;
+    c["mispredicts"] = core.mispredicts;
+
+    Json &m = j["hierarchy"];
+    m["l1d_hits"] = l1d_hits;
+    m["l1d_misses"] = l1d_misses;
+    m["l2_demand_hits"] = l2_demand_hits;
+    m["l2_demand_misses"] = l2_demand_misses;
+    m["original_l2"] = original_l2;
+    m["prefetched_original"] = prefetched_original;
+    m["nonprefetched_original"] = nonprefetched_original;
+    m["promotions_l1"] = promotions_l1;
+
+    Json &p = j["prefetch"];
+    p["issued"] = pf_issued;
+    p["fills"] = pf_fills;
+    p["useful"] = pf_useful;
+    p["late"] = pf_late;
+    p["dropped"] = pf_dropped;
+    p["storage_bits"] = pf_storage_bits;
+    p["prefetched_extra"] = prefetchedExtra();
+
+    Json &d = j["derived"];
+    d["accuracy"] = pfAccuracy();
+    d["coverage"] = pfCoverage();
+    d["lateness"] = pfLateness();
+    d["l1d_miss_rate"] = ratio(l1d_misses, l1d_hits + l1d_misses);
+    d["l2_miss_rate"] =
+        ratio(l2_demand_misses, l2_demand_hits + l2_demand_misses);
+
+    if (!intervals.empty()) {
+        Json arr = Json::array();
+        for (const IntervalSample &s : intervals)
+            arr.push(s.toJson());
+        j["intervals"] = std::move(arr);
+    }
+    if (!stats.isNull())
+        j["stats"] = stats;
+    return j;
+}
 
 EngineSetup
 makeEngine(const std::string &name)
@@ -104,10 +204,47 @@ standardEngineNames()
     return names;
 }
 
+/** Counter snapshot used to difference interval samples. */
+struct IntervalSnapshot
+{
+    std::uint64_t insns = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t l1d_hits = 0;
+    std::uint64_t l1d_misses = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l2_misses = 0;
+    std::uint64_t original = 0;
+    std::uint64_t prefetched_original = 0;
+    std::uint64_t pf_issued = 0;
+    std::uint64_t pf_useful = 0;
+    std::uint64_t pf_late = 0;
+
+    static IntervalSnapshot
+    take(const CoreResult &cr, const MemoryHierarchy &mem,
+         const Prefetcher *pf)
+    {
+        IntervalSnapshot s;
+        s.insns = cr.instructions;
+        s.cycles = cr.cycles;
+        s.l1d_hits = mem.l1d_hits.value();
+        s.l1d_misses = mem.l1d_misses.value();
+        s.l2_hits = mem.l2_demand_hits.value();
+        s.l2_misses = mem.l2_demand_misses.value();
+        s.original = mem.original_l2.value();
+        s.prefetched_original = mem.prefetched_original.value();
+        if (pf) {
+            s.pf_issued = pf->issued.value();
+            s.pf_useful = pf->useful.value();
+            s.pf_late = pf->late.value();
+        }
+        return s;
+    }
+};
+
 RunResult
 runTrace(TraceSource &source, const MachineConfig &machine,
          EngineSetup &engine, std::uint64_t instructions,
-         std::uint64_t warmup)
+         std::uint64_t warmup, std::uint64_t interval)
 {
     MachineConfig cfg = machine;
     if (engine.wants_prefetch_bus)
@@ -126,9 +263,12 @@ runTrace(TraceSource &source, const MachineConfig &machine,
         core.setCriticalityTable(engine.crit.get());
 
     // Warmup: populate caches and predictor tables, then reset the
-    // statistics (but not the learned state) before measuring.
+    // statistics (but not the learned state) before measuring. Trace
+    // hooks are muted so an installed sink, like the statistics,
+    // only sees the measured window.
     CoreResult warm{};
     if (warmup > 0) {
+        ScopedTraceSink mute(nullptr);
         warm = core.run(source, warmup);
         mem.stats().resetAll();
         if (engine.prefetcher)
@@ -139,7 +279,62 @@ runTrace(TraceSource &source, const MachineConfig &machine,
             engine.crit->stats().resetAll();
     }
 
-    CoreResult cr = core.run(source, instructions);
+    // Measured window: one run() call, or interval-sized chunks with
+    // a counter-delta sample after each. Chunking does not perturb
+    // timing — the same micro-op stream meets the same machine state.
+    std::vector<IntervalSample> intervals;
+    CoreResult cr{};
+    if (interval == 0 || instructions == 0) {
+        cr = core.run(source, instructions);
+    } else {
+        IntervalSnapshot prev = IntervalSnapshot::take(
+            CoreResult{warm.instructions, warm.cycles, 0.0, 0, 0, 0, 0},
+            mem, engine.prefetcher.get());
+        std::uint64_t remaining = instructions;
+        while (remaining > 0) {
+            const std::uint64_t chunk = std::min(interval, remaining);
+            cr = core.run(source, chunk);
+            const IntervalSnapshot cur = IntervalSnapshot::take(
+                cr, mem, engine.prefetcher.get());
+            const std::uint64_t ran = cur.insns - prev.insns;
+            if (ran == 0)
+                break; // source exhausted at the chunk boundary
+            const auto rate = [](std::uint64_t num, std::uint64_t den) {
+                return den ? static_cast<double>(num) /
+                                 static_cast<double>(den)
+                           : 0.0;
+            };
+            IntervalSample s;
+            s.instructions = cur.insns - warm.instructions;
+            s.cycles = cur.cycles - warm.cycles;
+            s.ipc = rate(ran, cur.cycles - prev.cycles);
+            s.l1d_miss_rate =
+                rate(cur.l1d_misses - prev.l1d_misses,
+                     (cur.l1d_hits - prev.l1d_hits) +
+                         (cur.l1d_misses - prev.l1d_misses));
+            s.l2_miss_rate =
+                rate(cur.l2_misses - prev.l2_misses,
+                     (cur.l2_hits - prev.l2_hits) +
+                         (cur.l2_misses - prev.l2_misses));
+            s.pf_accuracy = rate(cur.pf_useful - prev.pf_useful,
+                                 cur.pf_issued - prev.pf_issued);
+            s.pf_coverage =
+                rate(cur.prefetched_original - prev.prefetched_original,
+                     cur.original - prev.original);
+            s.pf_lateness = rate(cur.pf_late - prev.pf_late,
+                                 cur.pf_useful - prev.pf_useful);
+            intervals.push_back(s);
+            traceCounter("ipc", cur.cycles, s.ipc);
+            traceCounter("l1d_miss_rate", cur.cycles, s.l1d_miss_rate);
+            traceCounter("l2_miss_rate", cur.cycles, s.l2_miss_rate);
+            traceCounter("pf_accuracy", cur.cycles, s.pf_accuracy);
+            traceCounter("pf_coverage", cur.cycles, s.pf_coverage);
+            prev = cur;
+            remaining -= chunk;
+            if (ran < chunk)
+                break; // source exhausted mid-chunk
+        }
+    }
     // The core accumulates across run() calls; report the measured
     // window only.
     cr.instructions -= warm.instructions;
@@ -173,6 +368,19 @@ runTrace(TraceSource &source, const MachineConfig &machine,
         out.pf_dropped = engine.prefetcher->dropped.value();
         out.pf_storage_bits = engine.prefetcher->storageBits();
     }
+    out.intervals = std::move(intervals);
+    // Capture the full stats tree before the components die with
+    // this frame. Only groups reset at the start of the measured
+    // window belong here: everything in "stats" then describes the
+    // same window as the snapshot counters above.
+    out.stats = Json::object();
+    out.stats["mem"] = mem.stats().toJson();
+    if (engine.prefetcher)
+        out.stats["prefetcher"] = engine.prefetcher->stats().toJson();
+    if (engine.dbp)
+        out.stats["dead_block"] = engine.dbp->stats().toJson();
+    if (engine.crit)
+        out.stats["criticality"] = engine.crit->stats().toJson();
     return out;
 }
 
@@ -180,11 +388,12 @@ RunResult
 runNamed(const std::string &workload_name,
          const std::string &engine_name, std::uint64_t instructions,
          const MachineConfig &base, std::uint64_t seed,
-         std::uint64_t warmup)
+         std::uint64_t warmup, std::uint64_t interval)
 {
     auto workload = makeWorkload(workload_name, seed);
     EngineSetup engine = makeEngine(engine_name);
-    return runTrace(*workload, base, engine, instructions, warmup);
+    return runTrace(*workload, base, engine, instructions, warmup,
+                    interval);
 }
 
 double

@@ -19,9 +19,38 @@
 #include "mem/hierarchy.hh"
 #include "prefetch/prefetcher.hh"
 #include "sim/config.hh"
+#include "sim/json.hh"
 #include "trace/microop.hh"
 
 namespace tcp {
+
+/**
+ * One interval of a time-sampled run: the rates over a window of
+ * roughly @c interval instructions (the last window may be short).
+ * Rates with an empty denominator report 0.
+ */
+struct IntervalSample
+{
+    /// @name Cumulative position at the end of the interval
+    /// (relative to the start of the measured window)
+    /// @{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    /// @}
+
+    /// @name Rates over this interval only
+    /// @{
+    double ipc = 0.0;
+    double l1d_miss_rate = 0.0;  ///< misses / (hits + misses)
+    double l2_miss_rate = 0.0;   ///< demand misses / demand accesses
+    double pf_accuracy = 0.0;    ///< useful / issued
+    double pf_coverage = 0.0;    ///< prefetched originals / originals
+    double pf_lateness = 0.0;    ///< late / useful
+    /// @}
+
+    /** Serialize one sample as a flat JSON object. */
+    Json toJson() const;
+};
 
 /** Everything one timing run produces. */
 struct RunResult
@@ -52,6 +81,20 @@ struct RunResult
     std::uint64_t pf_storage_bits = 0;
     /// @}
 
+    /**
+     * Interval time series (empty unless the run sampled; see the
+     * @c interval parameter of runTrace).
+     */
+    std::vector<IntervalSample> intervals;
+
+    /**
+     * Full statistics tree (mem, core, and prefetcher StatGroups
+     * serialized at the end of the measured window), so consumers of
+     * the JSON record can reach every counter, not just the snapshot
+     * fields above.
+     */
+    Json stats;
+
     double ipc() const { return core.ipc; }
 
     /**
@@ -63,6 +106,21 @@ struct RunResult
     {
         return pf_fills >= pf_useful ? pf_fills - pf_useful : 0;
     }
+
+    /// @name Derived rates (0 when the denominator is empty)
+    /// @{
+    double pfAccuracy() const;
+    double pfCoverage() const;
+    double pfLateness() const;
+    /// @}
+
+    /**
+     * Serialize the whole result — identification, core, hierarchy
+     * and prefetcher counters, derived rates, the interval series,
+     * and the full stats tree — as one JSON object. Every aggregate
+     * counter carries exactly the value the text reports print.
+     */
+    Json toJson() const;
 };
 
 /**
@@ -105,10 +163,20 @@ inline constexpr std::uint64_t kAutoWarmup = ~std::uint64_t{0};
  * @p warmup instructions are executed first to populate caches and
  * predictor tables; statistics and the cycle baseline are then reset
  * and @p instructions are measured. kAutoWarmup uses instructions/2.
+ *
+ * When @p interval is nonzero, the measured window is additionally
+ * sampled every @p interval instructions into RunResult::intervals
+ * (and, when a TraceSink is installed, into Perfetto counter
+ * tracks). Sampling does not perturb timing: the same instruction
+ * stream runs through the same machine state either way.
+ *
+ * Trace hooks are muted during warmup so an installed TraceSink only
+ * sees the measured window, matching the statistics.
  */
 RunResult runTrace(TraceSource &source, const MachineConfig &machine,
                    EngineSetup &engine, std::uint64_t instructions,
-                   std::uint64_t warmup = kAutoWarmup);
+                   std::uint64_t warmup = kAutoWarmup,
+                   std::uint64_t interval = 0);
 
 /**
  * Convenience: build the named workload and engine and run them on a
@@ -119,7 +187,8 @@ RunResult runNamed(const std::string &workload_name,
                    std::uint64_t instructions,
                    const MachineConfig &base = MachineConfig{},
                    std::uint64_t seed = 1,
-                   std::uint64_t warmup = kAutoWarmup);
+                   std::uint64_t warmup = kAutoWarmup,
+                   std::uint64_t interval = 0);
 
 /** Geometric mean of @p values (which must all be positive). */
 double geomean(const std::vector<double> &values);

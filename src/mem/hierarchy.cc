@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/trace_sink.hh"
 #include "util/logging.hh"
 
 namespace tcp {
@@ -103,6 +104,7 @@ MemoryHierarchy::dataAccess(Addr addr, AccessType type, Pc pc, Cycle now)
 
     // Primary miss: wait for an MSHR, then look up L2.
     ++l1d_misses;
+    traceEvent("l1d_miss", "mem", now, addr);
     const Cycle start = std::max(now, l1d_mshrs_.earliestFree(now));
     const Cycle t = start + config_.l1d.latency;
 
@@ -266,6 +268,7 @@ MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
     tcp_assert(prefetcher_ != nullptr, "prefetch without an engine");
     const Addr block = l2_.blockAlign(req.addr);
     ++prefetcher_->issued;
+    traceEvent("pf_issue", "prefetch", t, block);
 
     Cycle ready;
     if (l2_.probe(block)) {
@@ -278,6 +281,7 @@ MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
             // No prefetch MSHR free: drop rather than queue, as a
             // real engine deprioritises prefetches behind demands.
             ++prefetcher_->dropped;
+            traceEvent("pf_drop", "prefetch", t, block);
             return;
         }
         ready = mem_bus_.request(t + config_.l2.latency,
@@ -285,6 +289,7 @@ MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
                 config_.memory_latency;
         prefetch_mshrs_.allocate(ready);
         ++prefetch_fills;
+        traceEvent("pf_fill", "prefetch", ready, block);
         if (auto ev = l2_.fill(block, t); ev && ev->dirty) {
             ++writebacks;
             mem_bus_.request(t, l2_.blockBytes());
@@ -345,6 +350,7 @@ MemoryHierarchy::drainPromotions(Cycle now)
         const Cycle arrive = bus.request(p.ready, l1d_.blockBytes());
         fillL1D(p.l1_block, p.ready, arrive, true);
         ++promotions_l1;
+        traceEvent("pf_promote", "prefetch", arrive, p.l1_block);
     }
     promo_queue_.resize(kept);
 }

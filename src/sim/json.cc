@@ -1,0 +1,536 @@
+#include "json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    tcp_assert(type_ == Type::Object,
+               "operator[] on a non-object JSON value");
+    for (auto &[k, v] : object_)
+        if (k == key)
+            return v;
+    object_.emplace_back(key, Json{});
+    return object_.back().second;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *v = find(key);
+    if (!v)
+        tcp_panic("JSON object has no member '", key, "'");
+    return *v;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : object_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    tcp_assert(type_ == Type::Object,
+               "members() on a non-object JSON value");
+    return object_;
+}
+
+void
+Json::push(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    tcp_assert(type_ == Type::Array, "push() on a non-array JSON value");
+    array_.push_back(std::move(v));
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    tcp_assert(type_ == Type::Array, "at(index) on a non-array value");
+    tcp_assert(i < array_.size(), "JSON array index ", i,
+               " out of range (size ", array_.size(), ")");
+    return array_[i];
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return array_.size();
+    if (type_ == Type::Object)
+        return object_.size();
+    return 0;
+}
+
+bool
+Json::asBool() const
+{
+    tcp_assert(type_ == Type::Bool, "asBool() on a non-bool value");
+    return bool_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    if (type_ == Type::Int)
+        return int_;
+    if (type_ == Type::Uint) {
+        tcp_assert(uint_ <= static_cast<std::uint64_t>(
+                                std::numeric_limits<std::int64_t>::max()),
+                   "JSON value ", uint_, " does not fit in int64");
+        return static_cast<std::int64_t>(uint_);
+    }
+    tcp_panic("asInt() on a non-integer JSON value");
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    if (type_ == Type::Uint)
+        return uint_;
+    if (type_ == Type::Int) {
+        tcp_assert(int_ >= 0, "asUint() on negative value ", int_);
+        return static_cast<std::uint64_t>(int_);
+    }
+    tcp_panic("asUint() on a non-integer JSON value");
+}
+
+double
+Json::asDouble() const
+{
+    switch (type_) {
+      case Type::Double:
+        return double_;
+      case Type::Int:
+        return static_cast<double>(int_);
+      case Type::Uint:
+        return static_cast<double>(uint_);
+      default:
+        tcp_panic("asDouble() on a non-numeric JSON value");
+    }
+}
+
+const std::string &
+Json::asString() const
+{
+    tcp_assert(type_ == Type::String, "asString() on a non-string value");
+    return string_;
+}
+
+std::string
+Json::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace {
+
+std::string
+formatDoubleJson(double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; emit null (consumers treat as missing).
+        return "null";
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    std::string s(buf, res.ptr);
+    // Ensure the token re-parses as a double, not an integer.
+    if (s.find_first_of(".eE") == std::string::npos)
+        s += ".0";
+    return s;
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    const auto newline = [&](int d) {
+        if (pretty) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent) *
+                           static_cast<std::size_t>(d),
+                       ' ');
+        }
+    };
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Int:
+        out += std::to_string(int_);
+        break;
+      case Type::Uint:
+        out += std::to_string(uint_);
+        break;
+      case Type::Double:
+        out += formatDoubleJson(double_);
+        break;
+      case Type::String:
+        out += escape(string_);
+        break;
+      case Type::Array:
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out += pretty ? "," : ", ";
+            newline(depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      case Type::Object:
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i)
+                out += pretty ? "," : ", ";
+            newline(depth + 1);
+            out += escape(object_[i].first);
+            out += ": ";
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over the input text. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json
+    parse()
+    {
+        Json v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        tcp_fatal("JSON parse error at offset ", pos_, ": ", what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t n = 0;
+        while (lit[n])
+            ++n;
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Json(parseString());
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            return Json(true);
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            return Json(false);
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return Json();
+          default:
+            return parseNumber();
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj[key] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // Encode the BMP code point as UTF-8 (surrogate
+                // pairs are not needed for simulator output).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape character");
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const char *first = text_.data() + start;
+        const char *last = text_.data() + pos_;
+        if (first == last)
+            fail("expected a number");
+        const std::string token(first, last);
+        const bool integral =
+            token.find_first_of(".eE") == std::string::npos;
+        if (integral && token[0] != '-') {
+            std::uint64_t u = 0;
+            const auto res = std::from_chars(first, last, u);
+            if (res.ec == std::errc{} && res.ptr == last)
+                return Json(u);
+        } else if (integral) {
+            std::int64_t i = 0;
+            const auto res = std::from_chars(first, last, i);
+            if (res.ec == std::errc{} && res.ptr == last)
+                return Json(i);
+        }
+        double d = 0.0;
+        const auto res = std::from_chars(first, last, d);
+        if (res.ec != std::errc{} || res.ptr != last)
+            fail("malformed number");
+        return Json(d);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+void
+writeJsonFile(const std::string &path, const Json &doc)
+{
+    std::ofstream out(path);
+    if (!out)
+        tcp_fatal("cannot open '", path, "' for writing");
+    out << doc.dump(2) << "\n";
+    if (!out)
+        tcp_fatal("write to '", path, "' failed");
+}
+
+} // namespace tcp

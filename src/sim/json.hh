@@ -1,0 +1,135 @@
+/**
+ * @file
+ * A small ordered JSON document model used by the observability
+ * layer: structured stats export (StatGroup::toJson), RunResult
+ * serialization, Chrome trace-event output, and the bench binaries'
+ * machine-readable reports. Includes a strict parser so tests can
+ * round-trip every document the simulator emits.
+ *
+ * Deliberately minimal: no external dependency, insertion-ordered
+ * object keys (reports stay diffable), and exact 64-bit integers
+ * (counters never round-trip through a double).
+ */
+
+#ifndef TCP_SIM_JSON_HH
+#define TCP_SIM_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tcp {
+
+/** One JSON value: null, bool, integer, double, string, array, object. */
+class Json
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Int,
+        Uint,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() = default;
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(int v) : type_(Type::Int), int_(v) {}
+    Json(long v) : type_(Type::Int), int_(v) {}
+    Json(long long v) : type_(Type::Int), int_(v) {}
+    Json(unsigned v) : type_(Type::Uint), uint_(v) {}
+    Json(unsigned long v) : type_(Type::Uint), uint_(v) {}
+    Json(unsigned long long v) : type_(Type::Uint), uint_(v) {}
+    Json(double v) : type_(Type::Double), double_(v) {}
+    Json(const char *s) : type_(Type::String), string_(s) {}
+    Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+
+    /** @return an empty object / array. */
+    static Json object();
+    static Json array();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Uint ||
+               type_ == Type::Double;
+    }
+    bool isString() const { return type_ == Type::String; }
+
+    /// @name Object access
+    /// @{
+    /**
+     * Insert-or-get a member. A Null value silently becomes an
+     * object; any other non-object panics.
+     */
+    Json &operator[](const std::string &key);
+    /** @return the member, panicking if absent (test helper). */
+    const Json &at(const std::string &key) const;
+    /** @return the member or nullptr. */
+    const Json *find(const std::string &key) const;
+    bool contains(const std::string &key) const
+    {
+        return find(key) != nullptr;
+    }
+    /** Ordered (key, value) members of an object. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+    /// @}
+
+    /// @name Array access
+    /// @{
+    void push(Json v);
+    const Json &at(std::size_t i) const;
+    /// @}
+
+    /** Elements of an array / members of an object / 0 for scalars. */
+    std::size_t size() const;
+
+    /// @name Scalar accessors (panic on type mismatch)
+    /// @{
+    bool asBool() const;
+    std::int64_t asInt() const;
+    std::uint64_t asUint() const;
+    /** Any numeric type widened to double. */
+    double asDouble() const;
+    const std::string &asString() const;
+    /// @}
+
+    /**
+     * Serialize. @p indent < 0 renders compact (single line);
+     * otherwise pretty-printed with @p indent spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /** Strict parse; calls tcp_fatal on malformed input. */
+    static Json parse(const std::string &text);
+
+    /** Quote and escape @p s as a JSON string literal. */
+    static std::string escape(const std::string &s);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::vector<std::pair<std::string, Json>> object_;
+};
+
+/** Write @p doc to @p path (pretty-printed); tcp_fatal on I/O error. */
+void writeJsonFile(const std::string &path, const Json &doc);
+
+} // namespace tcp
+
+#endif // TCP_SIM_JSON_HH

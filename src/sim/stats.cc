@@ -1,5 +1,6 @@
 #include "stats.hh"
 
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -32,15 +33,52 @@ Histogram::quantileBound(double q) const
 {
     if (total_ == 0)
         return 0;
-    const auto want = static_cast<std::uint64_t>(
-        q * static_cast<double>(total_));
+    // Clamp out-of-range quantiles instead of under/overflowing the
+    // target rank; q=0 degenerates to "the first non-empty bucket"
+    // and q=1 to "the last non-empty bucket".
+    q = std::clamp(q, 0.0, 1.0);
+    auto want = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    want = std::clamp<std::uint64_t>(want, 1, total_);
     std::uint64_t seen = 0;
     for (unsigned b = 0; b < kBuckets; ++b) {
         seen += buckets_[b];
-        if (seen > want)
+        if (seen >= want)
             return b == 0 ? 0 : (std::uint64_t{1} << b);
     }
     return std::uint64_t{1} << (kBuckets - 1);
+}
+
+Json
+Distribution::toJson() const
+{
+    Json j = Json::object();
+    j["count"] = count_;
+    j["sum"] = sum_;
+    j["mean"] = mean();
+    j["min"] = minValue();
+    j["max"] = maxValue();
+    return j;
+}
+
+Json
+Histogram::toJson() const
+{
+    Json j = Json::object();
+    j["total"] = total_;
+    j["p50"] = quantileBound(0.5);
+    j["p99"] = quantileBound(0.99);
+    // Trim trailing empty buckets; bucket b counts samples in
+    // [2^(b-1), 2^b), bucket 0 counts zeros.
+    unsigned last = 0;
+    for (unsigned b = 0; b < kBuckets; ++b)
+        if (buckets_[b])
+            last = b + 1;
+    Json buckets = Json::array();
+    for (unsigned b = 0; b < last; ++b)
+        buckets.push(buckets_[b]);
+    j["buckets"] = std::move(buckets);
+    return j;
 }
 
 void
@@ -52,7 +90,7 @@ Histogram::reset()
 }
 
 StatGroup::StatGroup(StatGroup &parent, const std::string &name)
-    : name_(parent.name() + "." + name)
+    : name_(parent.name() + "." + name), local_name_(name)
 {
     parent.adopt(this);
 }
@@ -84,6 +122,21 @@ StatGroup::report() const
     for (const StatGroup *g : children_)
         oss << g->report();
     return oss.str();
+}
+
+Json
+StatGroup::toJson() const
+{
+    Json j = Json::object();
+    for (const Counter *c : counters_)
+        j[c->name()] = c->value();
+    for (const Distribution *d : dists_)
+        j[d->name()] = d->toJson();
+    for (const Histogram *h : hists_)
+        j[h->name()] = h->toJson();
+    for (const StatGroup *g : children_)
+        j[g->localName()] = g->toJson();
+    return j;
 }
 
 void

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/json.hh"
+
 namespace tcp {
 
 class StatGroup;
@@ -63,6 +65,9 @@ class Distribution
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
 
+    /** Serialize as {count, sum, mean, min, max}. */
+    Json toJson() const;
+
     void
     reset()
     {
@@ -104,8 +109,15 @@ class Histogram
     std::uint64_t bucket(unsigned b) const { return buckets_[b]; }
     std::uint64_t total() const { return total_; }
 
-    /** Smallest power-of-two upper bound covering quantile @p q. */
+    /**
+     * Smallest power-of-two upper bound covering quantile @p q.
+     * @p q is clamped to [0, 1]: q=0 bounds the smallest observed
+     * sample, q=1 the largest. An empty histogram returns 0.
+     */
     std::uint64_t quantileBound(double q) const;
+
+    /** Serialize as {total, p50, p99, buckets: [...]} (trimmed). */
+    Json toJson() const;
 
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
@@ -123,21 +135,35 @@ class Histogram
 
 /**
  * A registry of statistics belonging to one component. Groups may nest
- * (a child registers under a parent with a dotted prefix).
+ * to any depth: a child renders in report() with its parents' names as
+ * a dotted prefix, and serializes in toJson() as a nested object keyed
+ * by its local name.
  */
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+    explicit StatGroup(std::string name)
+        : name_(name), local_name_(std::move(name))
+    {}
     StatGroup(StatGroup &parent, const std::string &name);
 
     StatGroup(const StatGroup &) = delete;
     StatGroup &operator=(const StatGroup &) = delete;
 
+    /** Fully qualified dotted name (all ancestors prefixed). */
     const std::string &name() const { return name_; }
+    /** The group's own segment of the dotted name. */
+    const std::string &localName() const { return local_name_; }
 
     /** Render all registered statistics, one per line. */
     std::string report() const;
+
+    /**
+     * Serialize the full group tree as one JSON object: counters as
+     * integer members, distributions and histograms as objects, and
+     * child groups as nested objects keyed by their local name.
+     */
+    Json toJson() const;
 
     /** Reset every registered statistic to zero. */
     void resetAll();
@@ -156,6 +182,7 @@ class StatGroup
     void adopt(StatGroup *g) { children_.push_back(g); }
 
     std::string name_;
+    std::string local_name_;
     std::vector<Counter *> counters_;
     std::vector<Distribution *> dists_;
     std::vector<Histogram *> hists_;

@@ -1,0 +1,46 @@
+#include "trace_sink.hh"
+
+#include <cstdio>
+
+namespace tcp {
+
+Json
+TraceSink::toJson() const
+{
+    Json events = Json::array();
+    for (const Event &e : events_) {
+        Json ev = Json::object();
+        ev["name"] = e.name;
+        ev["cat"] = e.category;
+        ev["ph"] = e.kind == Event::Kind::Counter ? "C" : "i";
+        ev["ts"] = e.cycle;
+        ev["pid"] = 1;
+        ev["tid"] = 1;
+        if (e.kind == Event::Kind::Instant) {
+            ev["s"] = "g"; // global instant: full-height mark
+            if (e.addr != kInvalidAddr) {
+                char buf[24];
+                std::snprintf(buf, sizeof(buf), "0x%llx",
+                              static_cast<unsigned long long>(e.addr));
+                ev["args"]["addr"] = buf;
+            }
+        } else {
+            ev["args"]["value"] = e.value;
+        }
+        events.push(std::move(ev));
+    }
+    Json doc = Json::object();
+    doc["traceEvents"] = std::move(events);
+    doc["displayTimeUnit"] = "ns";
+    doc["otherData"]["producer"] = "tcpsim";
+    doc["otherData"]["time_unit"] = "1 trace us = 1 simulated cycle";
+    return doc;
+}
+
+void
+TraceSink::writeTo(const std::string &path) const
+{
+    writeJsonFile(path, toJson());
+}
+
+} // namespace tcp

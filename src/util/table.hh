@@ -39,6 +39,16 @@ class TextTable
     /** Number of data rows added so far. */
     std::size_t rowCount() const { return rows_.size(); }
 
+    /// @name Structured access (JSON report emission)
+    /// @{
+    const std::string &title() const { return title_; }
+    const std::vector<std::string> &header() const { return header_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+    /// @}
+
   private:
     std::string title_;
     std::vector<std::string> header_;

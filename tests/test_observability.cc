@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Tests for the observability layer: the JSON serializer/parser,
+ * structured RunResult export (round-tripped through the parser),
+ * interval time-series sampling, and the TraceSink event path.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "sim/json.hh"
+#include "sim/trace_sink.hh"
+
+namespace tcp {
+namespace {
+
+TEST(JsonTest, ScalarsRoundTrip)
+{
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(-7).dump(), "-7");
+    EXPECT_EQ(Json("hi\n\"there\"").dump(), "\"hi\\n\\\"there\\\"\"");
+    // Doubles always render with a fractional or exponent part so
+    // they parse back as doubles, not integers.
+    EXPECT_EQ(Json(1.0).dump(), "1.0");
+}
+
+TEST(JsonTest, Uint64PreservedExactly)
+{
+    // Counters must never round through double: the largest uint64
+    // survives dump + parse bit-exactly.
+    const std::uint64_t big = ~std::uint64_t{0};
+    Json doc = Json::object();
+    doc["big"] = Json(big);
+    const Json back = Json::parse(doc.dump());
+    EXPECT_EQ(back.at("big").asUint(), big);
+}
+
+TEST(JsonTest, NestedDocumentRoundTrips)
+{
+    Json doc = Json::object();
+    doc["name"] = Json("tcp");
+    doc["nested"]["depth"] = Json(2);
+    Json arr = Json::array();
+    arr.push(Json(1));
+    arr.push(Json(2.5));
+    arr.push(Json("three"));
+    doc["list"] = std::move(arr);
+
+    for (int indent : {-1, 0, 2}) {
+        const Json back = Json::parse(doc.dump(indent));
+        EXPECT_EQ(back.at("name").asString(), "tcp");
+        EXPECT_EQ(back.at("nested").at("depth").asInt(), 2);
+        ASSERT_EQ(back.at("list").size(), 3u);
+        EXPECT_EQ(back.at("list").at(0).asUint(), 1u);
+        EXPECT_DOUBLE_EQ(back.at("list").at(1).asDouble(), 2.5);
+        EXPECT_EQ(back.at("list").at(2).asString(), "three");
+    }
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder)
+{
+    Json doc = Json::object();
+    doc["z"] = Json(1);
+    doc["a"] = Json(2);
+    doc["m"] = Json(3);
+    const auto &members = doc.members();
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_EQ(members[0].first, "z");
+    EXPECT_EQ(members[1].first, "a");
+    EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonDeathTest, ParserRejectsGarbage)
+{
+    EXPECT_DEATH(Json::parse("{"), "JSON parse error");
+    EXPECT_DEATH(Json::parse("[1,]"), "JSON parse error");
+    EXPECT_DEATH(Json::parse("{\"a\":1} extra"), "JSON parse error");
+    EXPECT_DEATH(Json::parse("nul"), "JSON parse error");
+}
+
+/**
+ * The tentpole guarantee: every aggregate counter in the text report
+ * appears in the JSON export with exactly the same value, surviving a
+ * serialize + parse round trip.
+ */
+TEST(RunResultJsonTest, CountersRoundTripExactly)
+{
+    const RunResult r = runNamed("swim", "tcp8k", 50000);
+    const Json back = Json::parse(r.toJson().dump(2));
+
+    EXPECT_EQ(back.at("workload").asString(), r.workload);
+    EXPECT_EQ(back.at("prefetcher").asString(), r.prefetcher);
+
+    const Json &core = back.at("core");
+    EXPECT_EQ(core.at("instructions").asUint(), r.core.instructions);
+    EXPECT_EQ(core.at("cycles").asUint(), r.core.cycles);
+    EXPECT_DOUBLE_EQ(core.at("ipc").asDouble(), r.core.ipc);
+    EXPECT_EQ(core.at("loads").asUint(), r.core.loads);
+    EXPECT_EQ(core.at("stores").asUint(), r.core.stores);
+    EXPECT_EQ(core.at("branches").asUint(), r.core.branches);
+    EXPECT_EQ(core.at("mispredicts").asUint(), r.core.mispredicts);
+
+    const Json &mem = back.at("hierarchy");
+    EXPECT_EQ(mem.at("l1d_hits").asUint(), r.l1d_hits);
+    EXPECT_EQ(mem.at("l1d_misses").asUint(), r.l1d_misses);
+    EXPECT_EQ(mem.at("l2_demand_hits").asUint(), r.l2_demand_hits);
+    EXPECT_EQ(mem.at("l2_demand_misses").asUint(),
+              r.l2_demand_misses);
+    EXPECT_EQ(mem.at("original_l2").asUint(), r.original_l2);
+    EXPECT_EQ(mem.at("prefetched_original").asUint(),
+              r.prefetched_original);
+    EXPECT_EQ(mem.at("nonprefetched_original").asUint(),
+              r.nonprefetched_original);
+    EXPECT_EQ(mem.at("promotions_l1").asUint(), r.promotions_l1);
+
+    const Json &pf = back.at("prefetch");
+    EXPECT_EQ(pf.at("issued").asUint(), r.pf_issued);
+    EXPECT_EQ(pf.at("fills").asUint(), r.pf_fills);
+    EXPECT_EQ(pf.at("useful").asUint(), r.pf_useful);
+    EXPECT_EQ(pf.at("late").asUint(), r.pf_late);
+    EXPECT_EQ(pf.at("dropped").asUint(), r.pf_dropped);
+    EXPECT_EQ(pf.at("storage_bits").asUint(), r.pf_storage_bits);
+    EXPECT_EQ(pf.at("prefetched_extra").asUint(), r.prefetchedExtra());
+
+    const Json &derived = back.at("derived");
+    EXPECT_DOUBLE_EQ(derived.at("accuracy").asDouble(),
+                     r.pfAccuracy());
+    EXPECT_DOUBLE_EQ(derived.at("coverage").asDouble(),
+                     r.pfCoverage());
+    EXPECT_DOUBLE_EQ(derived.at("lateness").asDouble(),
+                     r.pfLateness());
+}
+
+TEST(RunResultJsonTest, StatsTreeMatchesSnapshotCounters)
+{
+    // The full stats tree in the export must agree with the snapshot
+    // fields: both are read at the end of the measured window.
+    const RunResult r = runNamed("gzip", "tcp8k", 50000);
+    ASSERT_TRUE(r.stats.contains("mem"));
+    const Json &mem = r.stats.at("mem");
+    EXPECT_EQ(mem.at("l1d_hits").asUint(), r.l1d_hits);
+    EXPECT_EQ(mem.at("l1d_misses").asUint(), r.l1d_misses);
+}
+
+TEST(IntervalSamplingTest, ProducesSamplesAndConsistentTotals)
+{
+    // A 40k-instruction measured window sampled every 10k must yield
+    // at least two samples (the acceptance bar is >= 2 at 20k+).
+    const RunResult r =
+        runNamed("swim", "tcp8k", 40000, MachineConfig{}, 1,
+                 kAutoWarmup, 10000);
+    ASSERT_GE(r.intervals.size(), 2u);
+
+    // Cumulative positions increase monotonically and the final
+    // sample lands exactly on the run's aggregate totals.
+    for (std::size_t i = 1; i < r.intervals.size(); ++i) {
+        EXPECT_GT(r.intervals[i].instructions,
+                  r.intervals[i - 1].instructions);
+        EXPECT_GE(r.intervals[i].cycles, r.intervals[i - 1].cycles);
+    }
+    EXPECT_EQ(r.intervals.back().instructions, r.core.instructions);
+    EXPECT_EQ(r.intervals.back().cycles, r.core.cycles);
+
+    // Per-interval rates are rates.
+    for (const IntervalSample &s : r.intervals) {
+        EXPECT_GT(s.ipc, 0.0);
+        EXPECT_GE(s.l1d_miss_rate, 0.0);
+        EXPECT_LE(s.l1d_miss_rate, 1.0);
+        EXPECT_GE(s.pf_accuracy, 0.0);
+        EXPECT_LE(s.pf_accuracy, 1.0);
+    }
+
+    // And the series is in the JSON export.
+    const Json j = r.toJson();
+    ASSERT_TRUE(j.contains("intervals"));
+    EXPECT_EQ(j.at("intervals").size(), r.intervals.size());
+    EXPECT_EQ(j.at("intervals").at(0).at("instructions").asUint(),
+              r.intervals[0].instructions);
+}
+
+TEST(IntervalSamplingTest, SamplingDoesNotPerturbTiming)
+{
+    // The same machine must produce identical aggregate results
+    // whether or not the run is chopped into sampling chunks.
+    const RunResult whole =
+        runNamed("gcc", "tcp8k", 30000, MachineConfig{}, 1);
+    const RunResult sampled =
+        runNamed("gcc", "tcp8k", 30000, MachineConfig{}, 1,
+                 kAutoWarmup, 5000);
+    EXPECT_EQ(whole.core.instructions, sampled.core.instructions);
+    EXPECT_EQ(whole.core.cycles, sampled.core.cycles);
+    EXPECT_EQ(whole.l1d_misses, sampled.l1d_misses);
+    EXPECT_EQ(whole.pf_issued, sampled.pf_issued);
+    EXPECT_EQ(whole.pf_useful, sampled.pf_useful);
+}
+
+TEST(TraceSinkTest, HooksAreNoOpsWithoutSink)
+{
+    ASSERT_EQ(TraceSink::current(), nullptr);
+    traceEvent("nothing", "test", 1, 0x40);
+    traceCounter("nothing", 1, 0.5);
+    EXPECT_EQ(TraceSink::current(), nullptr);
+}
+
+TEST(TraceSinkTest, ScopedInstallRestoresPrevious)
+{
+    TraceSink outer;
+    TraceSink inner;
+    {
+        ScopedTraceSink a(&outer);
+        EXPECT_EQ(TraceSink::current(), &outer);
+        {
+            ScopedTraceSink b(&inner);
+            EXPECT_EQ(TraceSink::current(), &inner);
+            traceEvent("e", "test", 5, 0x80);
+        }
+        EXPECT_EQ(TraceSink::current(), &outer);
+    }
+    EXPECT_EQ(TraceSink::current(), nullptr);
+    EXPECT_EQ(inner.eventCount(), 1u);
+    EXPECT_EQ(outer.eventCount(), 0u);
+}
+
+TEST(TraceSinkTest, EmitsValidTraceEventJson)
+{
+    TraceSink sink;
+    sink.instant("l1d_miss", "mem", 100, 0x1040);
+    sink.instant("pf_issue", "prefetch", 120);
+    sink.counter("ipc", 200, 1.25);
+
+    const Json doc = Json::parse(sink.toJson().dump(2));
+    const Json &events = doc.at("traceEvents");
+    ASSERT_EQ(events.size(), 3u);
+
+    const Json &miss = events.at(0);
+    EXPECT_EQ(miss.at("name").asString(), "l1d_miss");
+    EXPECT_EQ(miss.at("cat").asString(), "mem");
+    EXPECT_EQ(miss.at("ph").asString(), "i");
+    EXPECT_EQ(miss.at("s").asString(), "g");
+    EXPECT_EQ(miss.at("ts").asUint(), 100u);
+    EXPECT_EQ(miss.at("args").at("addr").asString(), "0x1040");
+
+    // No address annotation when the hook didn't pass one.
+    EXPECT_FALSE(events.at(1).contains("args"));
+
+    const Json &ctr = events.at(2);
+    EXPECT_EQ(ctr.at("ph").asString(), "C");
+    EXPECT_DOUBLE_EQ(ctr.at("args").at("value").asDouble(), 1.25);
+}
+
+TEST(TraceSinkTest, SimulationRunCapturesEvents)
+{
+    TraceSink sink;
+    {
+        ScopedTraceSink installed(&sink);
+        (void)runNamed("swim", "tcp8k", 30000);
+    }
+    // A prefetching run must at minimum see L1 misses and THT
+    // training; warmup is muted, so all events are in-window.
+    ASSERT_GT(sink.eventCount(), 0u);
+    const Json doc = sink.toJson();
+    bool saw_miss = false, saw_tht = false;
+    for (std::size_t i = 0; i < doc.at("traceEvents").size(); ++i) {
+        const std::string name =
+            doc.at("traceEvents").at(i).at("name").asString();
+        saw_miss |= name == "l1d_miss";
+        saw_tht |= name == "tht_update";
+    }
+    EXPECT_TRUE(saw_miss);
+    EXPECT_TRUE(saw_tht);
+}
+
+TEST(TraceSinkTest, WriteToProducesParsableFile)
+{
+    TraceSink sink;
+    sink.instant("e1", "test", 1, 0x40);
+    sink.counter("c1", 2, 3.0);
+
+    const std::string path =
+        testing::TempDir() + "tcp_trace_test.json";
+    sink.writeTo(path);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const Json doc = Json::parse(buf.str());
+    EXPECT_EQ(doc.at("traceEvents").size(), 2u);
+    EXPECT_TRUE(doc.contains("displayTimeUnit"));
+    std::remove(path.c_str());
+}
+
+TEST(JsonFileTest, WriteJsonFileRoundTrips)
+{
+    Json doc = Json::object();
+    doc["answer"] = Json(42);
+    const std::string path =
+        testing::TempDir() + "tcp_json_test.json";
+    writeJsonFile(path, doc);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const Json back = Json::parse(buf.str());
+    EXPECT_EQ(back.at("answer").asUint(), 42u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tcp

@@ -89,5 +89,87 @@ TEST(StatsDeathTest, UnknownCounterPanics)
     EXPECT_DEATH(g.counter("nope"), "no counter named");
 }
 
+TEST(StatsTest, TwoLevelNestingPrefixesAndSerializes)
+{
+    // Regression: a grandchild must carry the full dotted prefix in
+    // the text report AND appear as a doubly nested object in the
+    // JSON tree keyed by local names.
+    StatGroup sys("sys");
+    StatGroup l2(sys, "l2");
+    StatGroup mshr(l2, "mshr");
+    Counter hits(l2, "hits", "L2 hits");
+    Counter stalls(mshr, "stalls", "MSHR full stalls");
+    hits += 7;
+    stalls += 2;
+
+    EXPECT_EQ(l2.name(), "sys.l2");
+    EXPECT_EQ(mshr.name(), "sys.l2.mshr");
+    EXPECT_EQ(mshr.localName(), "mshr");
+
+    const std::string report = sys.report();
+    EXPECT_NE(report.find("sys.l2.hits"), std::string::npos);
+    EXPECT_NE(report.find("sys.l2.mshr.stalls"), std::string::npos);
+
+    const Json j = sys.toJson();
+    EXPECT_EQ(j.at("l2").at("hits").asUint(), 7u);
+    EXPECT_EQ(j.at("l2").at("mshr").at("stalls").asUint(), 2u);
+}
+
+TEST(StatsTest, GroupToJsonCoversAllStatKinds)
+{
+    StatGroup g("g");
+    Counter c(g, "events", "events");
+    Distribution d(g, "lat", "latency");
+    Histogram h(g, "size", "sizes");
+    c += 4;
+    d.sample(2.0);
+    d.sample(6.0);
+    h.sample(3);
+
+    const Json j = g.toJson();
+    EXPECT_EQ(j.at("events").asUint(), 4u);
+    EXPECT_EQ(j.at("lat").at("count").asUint(), 2u);
+    EXPECT_DOUBLE_EQ(j.at("lat").at("mean").asDouble(), 4.0);
+    EXPECT_EQ(j.at("size").at("total").asUint(), 1u);
+}
+
+TEST(StatsTest, QuantileBoundEmptyHistogram)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "h");
+    EXPECT_EQ(h.quantileBound(0.0), 0u);
+    EXPECT_EQ(h.quantileBound(0.5), 0u);
+    EXPECT_EQ(h.quantileBound(1.0), 0u);
+}
+
+TEST(StatsTest, QuantileBoundEdgeQuantiles)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "h");
+    for (int i = 0; i < 9; ++i)
+        h.sample(10); // bucket bound 16
+    h.sample(1000);   // bucket bound 1024
+
+    // q=0 bounds the smallest observed sample, q=1 the largest.
+    EXPECT_EQ(h.quantileBound(0.0), 16u);
+    EXPECT_EQ(h.quantileBound(1.0), 1024u);
+    // Out-of-range quantiles clamp instead of misbehaving.
+    EXPECT_EQ(h.quantileBound(-0.5), 16u);
+    EXPECT_EQ(h.quantileBound(2.0), 1024u);
+    // Interior quantile: 9 of 10 samples sit in the 16-bucket.
+    EXPECT_EQ(h.quantileBound(0.9), 16u);
+    EXPECT_EQ(h.quantileBound(0.95), 1024u);
+}
+
+TEST(StatsTest, QuantileBoundSingleSampleAtZero)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "h");
+    h.sample(0); // bucket 0 bounds value 0
+    EXPECT_EQ(h.quantileBound(0.0), 0u);
+    EXPECT_EQ(h.quantileBound(0.5), 0u);
+    EXPECT_EQ(h.quantileBound(1.0), 0u);
+}
+
 } // namespace
 } // namespace tcp

@@ -21,6 +21,8 @@
 #include "analysis/miss_stream.hh"
 #include "analysis/reuse_distance.hh"
 #include "harness/runner.hh"
+#include "sim/json.hh"
+#include "sim/trace_sink.hh"
 #include "trace/trace_file.hh"
 #include "trace/workloads.hh"
 #include "util/args.hh"
@@ -37,6 +39,18 @@ addCommonFlags(ArgParser &args)
     args.addFlag("workload", "ammp", "workload name (see 'list')");
     args.addFlag("instructions", "2000000", "micro-ops to simulate");
     args.addFlag("seed", "1", "workload stream seed");
+}
+
+/** Register the observability flags shared by run and replay. */
+void
+addObservabilityFlags(ArgParser &args)
+{
+    args.addFlag("stats-json", "",
+                 "write the full run record as JSON to this path");
+    args.addFlag("trace-out", "",
+                 "write a Chrome trace_event JSON (Perfetto) here");
+    args.addFlag("interval", "0",
+                 "sample rates every N instructions (0 disables)");
 }
 
 int
@@ -56,17 +70,23 @@ cmdList()
 }
 
 int
-cmdRun(int argc, char **argv)
+cmdRun(int argc, char **argv, const std::string &workload_override = "")
 {
     ArgParser args;
     addCommonFlags(args);
     args.addFlag("engine", "tcp8k", "prefetch engine");
     args.addFlag("stats", "false", "dump the full statistics tree");
+    addObservabilityFlags(args);
     args.parse(argc, argv);
 
-    const std::string workload = args.getString("workload");
+    const std::string workload = workload_override.empty()
+                                     ? args.getString("workload")
+                                     : workload_override;
     const std::string engine_name = args.getString("engine");
     const std::uint64_t instructions = args.getUint("instructions");
+    const std::uint64_t interval = args.getUint("interval");
+    const std::string stats_json = args.getString("stats-json");
+    const std::string trace_out = args.getString("trace-out");
 
     auto wl = makeWorkload(workload, args.getUint("seed"));
     EngineSetup engine = makeEngine(engine_name);
@@ -78,8 +98,11 @@ cmdRun(int argc, char **argv)
     if (engine.wants_l2_training)
         cfg.train_on_l2_misses = true;
 
+    TraceSink sink;
+    ScopedTraceSink installed(trace_out.empty() ? nullptr : &sink);
     const RunResult r =
-        runTrace(*wl, cfg, engine, instructions);
+        runTrace(*wl, cfg, engine, instructions, kAutoWarmup,
+                 interval);
 
     TextTable table("tcpsim run: " + workload + " x " + engine_name);
     table.setHeader({"metric", "value"});
@@ -101,6 +124,16 @@ cmdRun(int argc, char **argv)
 
     if (dump && engine.prefetcher)
         std::cout << "\n" << engine.prefetcher->stats().report();
+
+    if (!stats_json.empty()) {
+        writeJsonFile(stats_json, r.toJson());
+        std::cout << "wrote stats JSON to " << stats_json << "\n";
+    }
+    if (!trace_out.empty()) {
+        sink.writeTo(trace_out);
+        std::cout << "wrote " << sink.eventCount()
+                  << " trace events to " << trace_out << "\n";
+    }
     return 0;
 }
 
@@ -270,16 +303,26 @@ cmdReplay(int argc, char **argv)
     ArgParser args;
     args.addFlag("trace", "workload.trc", "trace file to replay");
     args.addFlag("engine", "tcp8k", "prefetch engine");
+    addObservabilityFlags(args);
     args.parse(argc, argv);
+    const std::string stats_json = args.getString("stats-json");
+    const std::string trace_out = args.getString("trace-out");
 
     FileTraceSource src(args.getString("trace"));
     EngineSetup engine = makeEngine(args.getString("engine"));
+    TraceSink sink;
+    ScopedTraceSink installed(trace_out.empty() ? nullptr : &sink);
     const RunResult r = runTrace(src, MachineConfig{}, engine,
-                                 src.size(), /*warmup=*/0);
+                                 src.size(), /*warmup=*/0,
+                                 args.getUint("interval"));
     std::cout << "replayed " << r.core.instructions << " ops: IPC "
               << formatDouble(r.ipc(), 4) << ", L1-D misses "
               << r.l1d_misses << ", prefetches useful "
               << r.pf_useful << "\n";
+    if (!stats_json.empty())
+        writeJsonFile(stats_json, r.toJson());
+    if (!trace_out.empty())
+        sink.writeTo(trace_out);
     return 0;
 }
 
@@ -297,7 +340,9 @@ usage()
         "  record        write a workload trace file\n"
         "  replay        simulate a recorded trace\n"
         "  list          available workloads and engines\n"
-        "run 'tcpsim <command> --help' for the command's flags.\n";
+        "run 'tcpsim <command> --help' for the command's flags.\n"
+        "Shortcut: 'tcpsim <workload> [flags]' = "
+        "'tcpsim run --workload <workload> [flags]'.\n";
 }
 
 } // namespace
@@ -332,6 +377,10 @@ main(int argc, char **argv)
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
         usage();
         return 0;
+    }
+    if (tcp::isWorkloadName(cmd)) {
+        // Shortcut: "tcpsim <workload> [flags]" runs the workload.
+        return cmdRun(argc, argv, cmd);
     }
     std::cerr << "unknown command '" << cmd << "'\n";
     usage();
