@@ -38,17 +38,33 @@ main(int argc, char **argv)
     TextTable table("Section 6 extensions (geomean over suite)");
     table.setHeader({"engine", "what", "speedup", "coverage",
                      "extra", "storage"});
+    // One batch for the whole figure: the shared no-prefetch
+    // baselines first, then one slice per engine.
+    const std::size_t n_workloads = opt.workloads.size();
+    std::vector<RunSpec> specs;
+    for (const std::string &name : opt.workloads)
+        specs.push_back({.workload = name,
+                         .instructions = opt.instructions,
+                         .seed = opt.seed});
     for (const auto &[engine, what] : engines) {
+        (void)what;
+        for (const std::string &name : opt.workloads)
+            specs.push_back({.workload = name,
+                             .engine = engine,
+                             .instructions = opt.instructions,
+                             .seed = opt.seed});
+    }
+    const std::vector<RunResult> results = bench::runBatch(opt, specs);
+
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+        const auto &[engine, what] = engines[e];
         std::vector<double> ratios;
         double cov_sum = 0.0, extra_sum = 0.0;
         std::uint64_t storage = 0;
-        for (const std::string &name : opt.workloads) {
-            const RunResult base = runNamed(name, "none",
-                                            opt.instructions,
-                                            MachineConfig{}, opt.seed);
-            const RunResult r = runNamed(name, engine,
-                                         opt.instructions,
-                                         MachineConfig{}, opt.seed);
+        for (std::size_t w = 0; w < n_workloads; ++w) {
+            const RunResult &base = results[w];
+            const RunResult &r =
+                results[(e + 1) * n_workloads + w];
             ratios.push_back(r.ipc() / base.ipc());
             if (r.original_l2) {
                 cov_sum += static_cast<double>(r.prefetched_original) /
@@ -58,7 +74,7 @@ main(int argc, char **argv)
             }
             storage = r.pf_storage_bits;
         }
-        const double n = static_cast<double>(opt.workloads.size());
+        const double n = static_cast<double>(n_workloads);
         table.addRow({engine, what,
                       formatPercent(geomean(ratios) - 1.0, 1),
                       formatPercent(cov_sum / n, 1),

@@ -55,23 +55,44 @@ main(int argc, char **argv)
     }
     bench::printHeader("Placement and core-model ablations", opt);
 
+    // One OoO batch feeds both tables: per workload [none, tcp8k,
+    // tcpl2_8k, hybrid8k] — the base and tcp8k runs are shared.
+    const char *ooo_engines[] = {"none", "tcp8k", "tcpl2_8k",
+                                 "hybrid8k"};
+    constexpr std::size_t kOooStride = 4;
+    std::vector<RunSpec> specs;
+    for (const std::string &name : opt.workloads)
+        for (const char *engine : ooo_engines)
+            specs.push_back({.workload = name,
+                             .engine = engine,
+                             .instructions = opt.instructions,
+                             .seed = opt.seed});
+    const std::vector<RunResult> ooo = bench::runBatch(opt, specs);
+
+    // The in-order matrix: per workload [none, tcp8k, hybrid8k].
+    const char *io_engines[] = {"none", "tcp8k", "hybrid8k"};
+    constexpr std::size_t kIoStride = 3;
+    BatchRunner runner(opt.jobs);
+    const std::vector<CoreResult> inorder = runner.map<CoreResult>(
+        opt.workloads.size() * kIoStride, [&](std::size_t i) {
+            return runInorder(opt.workloads[i / kIoStride],
+                              io_engines[i % kIoStride],
+                              opt.instructions, opt.seed);
+        });
+
     // --- 1. Training-stream placement.
     TextTable placement("Ablation: prefetcher attachment point "
                         "(IPC improvement, OoO core)");
     placement.setHeader({"workload", "L1 miss stream (paper)",
                          "L2 miss stream"});
     std::vector<double> r_l1, r_l2;
-    for (const std::string &name : opt.workloads) {
-        const RunResult base = runNamed(name, "none", opt.instructions,
-                                        MachineConfig{}, opt.seed);
-        const RunResult l1 = runNamed(name, "tcp8k", opt.instructions,
-                                      MachineConfig{}, opt.seed);
-        const RunResult l2 = runNamed(name, "tcpl2_8k",
-                                      opt.instructions,
-                                      MachineConfig{}, opt.seed);
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const RunResult &base = ooo[w * kOooStride + 0];
+        const RunResult &l1 = ooo[w * kOooStride + 1];
+        const RunResult &l2 = ooo[w * kOooStride + 2];
         r_l1.push_back(l1.ipc() / base.ipc());
         r_l2.push_back(l2.ipc() / base.ipc());
-        placement.addRow({name,
+        placement.addRow({opt.workloads[w],
                           formatPercent(ipcImprovement(l1, base), 1),
                           formatPercent(ipcImprovement(l2, base), 1)});
     }
@@ -85,25 +106,18 @@ main(int argc, char **argv)
     cores.setHeader({"workload", "OoO tcp8k", "OoO hybrid8k",
                      "inorder tcp8k", "inorder hybrid8k"});
     std::vector<double> o_t, o_h, i_t, i_h;
-    for (const std::string &name : opt.workloads) {
-        const RunResult ob = runNamed(name, "none", opt.instructions,
-                                      MachineConfig{}, opt.seed);
-        const RunResult ot = runNamed(name, "tcp8k", opt.instructions,
-                                      MachineConfig{}, opt.seed);
-        const RunResult oh = runNamed(name, "hybrid8k",
-                                      opt.instructions,
-                                      MachineConfig{}, opt.seed);
-        const CoreResult ib =
-            runInorder(name, "none", opt.instructions, opt.seed);
-        const CoreResult it =
-            runInorder(name, "tcp8k", opt.instructions, opt.seed);
-        const CoreResult ih =
-            runInorder(name, "hybrid8k", opt.instructions, opt.seed);
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const RunResult &ob = ooo[w * kOooStride + 0];
+        const RunResult &ot = ooo[w * kOooStride + 1];
+        const RunResult &oh = ooo[w * kOooStride + 3];
+        const CoreResult &ib = inorder[w * kIoStride + 0];
+        const CoreResult &it = inorder[w * kIoStride + 1];
+        const CoreResult &ih = inorder[w * kIoStride + 2];
         o_t.push_back(ot.ipc() / ob.ipc());
         o_h.push_back(oh.ipc() / ob.ipc());
         i_t.push_back(it.ipc / ib.ipc);
         i_h.push_back(ih.ipc / ib.ipc);
-        cores.addRow({name,
+        cores.addRow({opt.workloads[w],
                       formatPercent(ot.ipc() / ob.ipc() - 1, 1),
                       formatPercent(oh.ipc() / ob.ipc() - 1, 1),
                       formatPercent(it.ipc / ib.ipc - 1, 1),

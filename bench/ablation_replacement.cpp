@@ -46,18 +46,35 @@ main(int argc, char **argv)
                     "improvement");
     table.setHeader({"policy", "base IPC", "TCP-8K IPC",
                      "improvement"});
-    for (ReplPolicy policy : {ReplPolicy::LRU, ReplPolicy::TreePLRU,
-                              ReplPolicy::Random}) {
+    const ReplPolicy policies[] = {ReplPolicy::LRU,
+                                   ReplPolicy::TreePLRU,
+                                   ReplPolicy::Random};
+    // Whole figure as one batch: per policy, (base, tcp8k) pairs in
+    // workload order.
+    std::vector<RunSpec> specs;
+    for (ReplPolicy policy : policies) {
         MachineConfig cfg;
         cfg.l2.repl = policy;
-        std::vector<double> base_ipcs, tcp_ipcs, ratios;
         for (const std::string &name : opt.workloads) {
-            const RunResult base = runNamed(name, "none",
-                                            opt.instructions, cfg,
-                                            opt.seed);
-            const RunResult r = runNamed(name, "tcp8k",
-                                         opt.instructions, cfg,
-                                         opt.seed);
+            specs.push_back({.workload = name,
+                             .instructions = opt.instructions,
+                             .machine = cfg,
+                             .seed = opt.seed});
+            specs.push_back({.workload = name,
+                             .engine = "tcp8k",
+                             .instructions = opt.instructions,
+                             .machine = cfg,
+                             .seed = opt.seed});
+        }
+    }
+    const std::vector<RunResult> results = bench::runBatch(opt, specs);
+
+    std::size_t i = 0;
+    for (ReplPolicy policy : policies) {
+        std::vector<double> base_ipcs, tcp_ipcs, ratios;
+        for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+            const RunResult &base = results[i++];
+            const RunResult &r = results[i++];
             base_ipcs.push_back(base.ipc());
             tcp_ipcs.push_back(r.ipc());
             ratios.push_back(r.ipc() / base.ipc());

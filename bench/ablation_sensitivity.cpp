@@ -17,18 +17,41 @@ namespace {
 
 using namespace tcp;
 
-double
-improvementAt(const bench::SuiteOptions &opt, const MachineConfig &cfg)
+/**
+ * TCP-8K improvement for each machine variant, the whole sweep run
+ * as one batch: per variant, (base, tcp8k) pairs in workload order.
+ */
+std::vector<double>
+improvementsAt(const bench::SuiteOptions &opt,
+               const std::vector<MachineConfig> &cfgs)
 {
-    std::vector<double> ratios;
-    for (const std::string &name : opt.workloads) {
-        const RunResult base =
-            runNamed(name, "none", opt.instructions, cfg, opt.seed);
-        const RunResult r =
-            runNamed(name, "tcp8k", opt.instructions, cfg, opt.seed);
-        ratios.push_back(r.ipc() / base.ipc());
+    std::vector<RunSpec> specs;
+    for (const MachineConfig &cfg : cfgs) {
+        for (const std::string &name : opt.workloads) {
+            specs.push_back({.workload = name,
+                             .instructions = opt.instructions,
+                             .machine = cfg,
+                             .seed = opt.seed});
+            specs.push_back({.workload = name,
+                             .engine = "tcp8k",
+                             .instructions = opt.instructions,
+                             .machine = cfg,
+                             .seed = opt.seed});
+        }
     }
-    return geomean(ratios) - 1.0;
+    const std::vector<RunResult> results = bench::runBatch(opt, specs);
+    std::vector<double> improvements;
+    std::size_t i = 0;
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        std::vector<double> ratios;
+        for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+            const RunResult &base = results[i++];
+            const RunResult &r = results[i++];
+            ratios.push_back(r.ipc() / base.ipc());
+        }
+        improvements.push_back(geomean(ratios) - 1.0);
+    }
+    return improvements;
 }
 
 } // namespace
@@ -48,33 +71,55 @@ main(int argc, char **argv)
 
     TextTable lat("Sensitivity 1: main-memory latency");
     lat.setHeader({"memory latency", "TCP-8K improvement"});
-    for (Cycle l : {35u, 70u, 140u, 280u}) {
-        MachineConfig cfg;
-        cfg.memory_latency = l;
-        lat.addRow({std::to_string(l) + " cycles" +
-                        (l == 70 ? " (paper)" : ""),
-                    formatPercent(improvementAt(opt, cfg), 1)});
+    {
+        std::vector<MachineConfig> cfgs;
+        for (Cycle l : {35u, 70u, 140u, 280u}) {
+            MachineConfig cfg;
+            cfg.memory_latency = l;
+            cfgs.push_back(cfg);
+        }
+        const std::vector<double> imp = improvementsAt(opt, cfgs);
+        std::size_t i = 0;
+        for (Cycle l : {35u, 70u, 140u, 280u})
+            lat.addRow({std::to_string(l) + " cycles" +
+                            (l == 70 ? " (paper)" : ""),
+                        formatPercent(imp[i++], 1)});
     }
     std::cout << lat.render() << "\n";
 
     TextTable l2("Sensitivity 2: L2 capacity");
     l2.setHeader({"L2 size", "TCP-8K improvement"});
-    for (std::uint64_t mb : {1u, 2u, 4u}) {
-        MachineConfig cfg;
-        cfg.l2.size_bytes = mb * 1024 * 1024;
-        l2.addRow({std::to_string(mb) + "MB" +
-                       (mb == 1 ? " (paper)" : ""),
-                   formatPercent(improvementAt(opt, cfg), 1)});
+    {
+        std::vector<MachineConfig> cfgs;
+        for (std::uint64_t mb : {1u, 2u, 4u}) {
+            MachineConfig cfg;
+            cfg.l2.size_bytes = mb * 1024 * 1024;
+            cfgs.push_back(cfg);
+        }
+        const std::vector<double> imp = improvementsAt(opt, cfgs);
+        std::size_t i = 0;
+        for (std::uint64_t mb : {1u, 2u, 4u})
+            l2.addRow({std::to_string(mb) + "MB" +
+                           (mb == 1 ? " (paper)" : ""),
+                       formatPercent(imp[i++], 1)});
     }
     std::cout << l2.render() << "\n";
 
     TextTable bus("Sensitivity 3: memory-bus width");
     bus.setHeader({"bytes/cycle", "TCP-8K improvement"});
-    for (unsigned w : {16u, 32u, 64u}) {
-        MachineConfig cfg;
-        cfg.mem_bus.bytes_per_cycle = w;
-        bus.addRow({std::to_string(w) + (w == 64 ? " (default)" : ""),
-                    formatPercent(improvementAt(opt, cfg), 1)});
+    {
+        std::vector<MachineConfig> cfgs;
+        for (unsigned w : {16u, 32u, 64u}) {
+            MachineConfig cfg;
+            cfg.mem_bus.bytes_per_cycle = w;
+            cfgs.push_back(cfg);
+        }
+        const std::vector<double> imp = improvementsAt(opt, cfgs);
+        std::size_t i = 0;
+        for (unsigned w : {16u, 32u, 64u})
+            bus.addRow({std::to_string(w) +
+                            (w == 64 ? " (default)" : ""),
+                        formatPercent(imp[i++], 1)});
     }
     std::cout << bus.render();
     bench::writeJsonReport(opt, "ablation_sensitivity",

@@ -17,20 +17,41 @@ namespace {
 
 using namespace tcp;
 
-double
-meanIpcFor(const bench::SuiteOptions &opt, const TcpConfig &cfg)
+/**
+ * Geometric-mean IPC for each TCP geometry, the whole table run as
+ * one batch. There is no makeEngine() name for an arbitrary
+ * TcpConfig, so each spec carries an engine factory.
+ */
+std::vector<double>
+meanIpcsFor(const bench::SuiteOptions &opt,
+            const std::vector<TcpConfig> &cfgs)
 {
-    std::vector<double> ipcs;
-    for (const std::string &name : opt.workloads) {
-        auto wl = makeWorkload(name, opt.seed);
-        EngineSetup engine;
-        engine.prefetcher =
-            std::make_unique<TagCorrelatingPrefetcher>(cfg, "tcp");
-        const RunResult r = runTrace(*wl, MachineConfig{}, engine,
-                                     opt.instructions);
-        ipcs.push_back(r.ipc());
+    std::vector<RunSpec> specs;
+    for (const TcpConfig &cfg : cfgs) {
+        for (const std::string &name : opt.workloads) {
+            specs.push_back(
+                {.workload = name,
+                 .instructions = opt.instructions,
+                 .seed = opt.seed,
+                 .engine_factory = [cfg] {
+                     EngineSetup engine;
+                     engine.prefetcher =
+                         std::make_unique<TagCorrelatingPrefetcher>(
+                             cfg, "tcp");
+                     return engine;
+                 }});
+        }
     }
-    return geomean(ipcs);
+    const std::vector<RunResult> results = bench::runBatch(opt, specs);
+    std::vector<double> means;
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        std::vector<double> ipcs;
+        for (std::size_t w = 0; w < opt.workloads.size(); ++w)
+            ipcs.push_back(
+                results[c * opt.workloads.size() + w].ipc());
+        means.push_back(geomean(ipcs));
+    }
+    return means;
 }
 
 } // namespace
@@ -50,22 +71,35 @@ main(int argc, char **argv)
 
     TextTable depth("Ablation 1: THT history depth k (8KB PHT)");
     depth.setHeader({"k", "mean IPC"});
-    for (unsigned k = 1; k <= 4; ++k) {
-        TcpConfig cfg = TcpConfig::tcp8k();
-        cfg.history_depth = k;
-        depth.addRow({std::to_string(k),
-                      formatDouble(meanIpcFor(opt, cfg), 3)});
+    {
+        std::vector<TcpConfig> cfgs;
+        for (unsigned k = 1; k <= 4; ++k) {
+            TcpConfig cfg = TcpConfig::tcp8k();
+            cfg.history_depth = k;
+            cfgs.push_back(cfg);
+        }
+        const std::vector<double> means = meanIpcsFor(opt, cfgs);
+        for (unsigned k = 1; k <= 4; ++k)
+            depth.addRow({std::to_string(k),
+                          formatDouble(means[k - 1], 3)});
     }
     std::cout << depth.render() << "\n";
 
     TextTable assoc("Ablation 2: PHT associativity (8KB PHT)");
     assoc.setHeader({"ways", "mean IPC"});
-    for (unsigned ways : {1u, 2u, 4u, 8u, 16u}) {
-        TcpConfig cfg = TcpConfig::tcp8k();
-        cfg.pht.assoc = ways;
-        cfg.pht.sets = 2048 / ways; // keep 2048 entries = 8KB
-        assoc.addRow({std::to_string(ways),
-                      formatDouble(meanIpcFor(opt, cfg), 3)});
+    {
+        std::vector<TcpConfig> cfgs;
+        for (unsigned ways : {1u, 2u, 4u, 8u, 16u}) {
+            TcpConfig cfg = TcpConfig::tcp8k();
+            cfg.pht.assoc = ways;
+            cfg.pht.sets = 2048 / ways; // keep 2048 entries = 8KB
+            cfgs.push_back(cfg);
+        }
+        const std::vector<double> means = meanIpcsFor(opt, cfgs);
+        std::size_t i = 0;
+        for (unsigned ways : {1u, 2u, 4u, 8u, 16u})
+            assoc.addRow({std::to_string(ways),
+                          formatDouble(means[i++], 3)});
     }
     std::cout << assoc.render() << "\n";
 
@@ -76,20 +110,36 @@ main(int argc, char **argv)
         {PhtIndexFn::XorFold, "xor fold"},
         {PhtIndexFn::LastTagOnly, "last tag only"},
     };
-    for (const auto &[fn, label] : fns) {
-        TcpConfig cfg = TcpConfig::tcp8k();
-        cfg.pht.index_fn = fn;
-        index.addRow({label, formatDouble(meanIpcFor(opt, cfg), 3)});
+    {
+        std::vector<TcpConfig> cfgs;
+        for (const auto &[fn, label] : fns) {
+            (void)label;
+            TcpConfig cfg = TcpConfig::tcp8k();
+            cfg.pht.index_fn = fn;
+            cfgs.push_back(cfg);
+        }
+        const std::vector<double> means = meanIpcsFor(opt, cfgs);
+        std::size_t i = 0;
+        for (const auto &[fn, label] : fns) {
+            (void)fn;
+            index.addRow({label, formatDouble(means[i++], 3)});
+        }
     }
     std::cout << index.render() << "\n";
 
     TextTable degree("Ablation 4: prefetch degree (8KB PHT)");
     degree.setHeader({"degree", "mean IPC"});
-    for (unsigned d = 1; d <= 4; ++d) {
-        TcpConfig cfg = TcpConfig::tcp8k();
-        cfg.degree = d;
-        degree.addRow({std::to_string(d),
-                       formatDouble(meanIpcFor(opt, cfg), 3)});
+    {
+        std::vector<TcpConfig> cfgs;
+        for (unsigned d = 1; d <= 4; ++d) {
+            TcpConfig cfg = TcpConfig::tcp8k();
+            cfg.degree = d;
+            cfgs.push_back(cfg);
+        }
+        const std::vector<double> means = meanIpcsFor(opt, cfgs);
+        for (unsigned d = 1; d <= 4; ++d)
+            degree.addRow({std::to_string(d),
+                           formatDouble(means[d - 1], 3)});
     }
     std::cout << degree.render();
     bench::writeJsonReport(opt, "ablation_tcp_geometry",

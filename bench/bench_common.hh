@@ -9,11 +9,14 @@
 #ifndef TCP_BENCH_BENCH_COMMON_HH
 #define TCP_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
+#include <filesystem>
 #include <initializer_list>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "harness/batch.hh"
 #include "harness/runner.hh"
 #include "sim/json.hh"
 #include "trace/workloads.hh"
@@ -29,8 +32,13 @@ struct SuiteOptions
     std::vector<std::string> workloads;
     std::uint64_t instructions = 0;
     std::uint64_t seed = 1;
+    /** Parallel runs (resolved: never 0). */
+    unsigned jobs = 1;
     /** Machine-readable report destination ("" = text only). */
     std::string json_path;
+    /** Start of the bench, for the report's wall-clock field. */
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
 };
 
 /** Register the common flags on @p args. */
@@ -42,6 +50,8 @@ addSuiteFlags(ArgParser &args, const std::string &default_instructions)
     args.addFlag("instructions", default_instructions,
                  "micro-ops to simulate per run");
     args.addFlag("seed", "1", "workload stream seed");
+    args.addFlag("jobs", "0",
+                 "parallel runs (0 = one per hardware thread)");
     args.addFlag("json", "",
                  "also write the figure's tables as JSON to this path");
 }
@@ -63,8 +73,41 @@ suiteOptions(const ArgParser &args)
     }
     opt.instructions = args.getUint("instructions");
     opt.seed = args.getUint("seed");
+    const std::uint64_t jobs = args.getUint("jobs");
+    opt.jobs = jobs ? static_cast<unsigned>(jobs)
+                    : ThreadPool::defaultWorkers();
     opt.json_path = args.getString("json");
+    opt.start = std::chrono::steady_clock::now();
     return opt;
+}
+
+/**
+ * Run one figure matrix on opt.jobs workers. Results come back in
+ * submission order and are bit-identical to a sequential runNamed()
+ * loop over the same specs (the BatchRunner determinism contract),
+ * so callers index them by the order they pushed specs.
+ */
+inline std::vector<RunResult>
+runBatch(const SuiteOptions &opt, const std::vector<RunSpec> &specs)
+{
+    BatchRunner runner(opt.jobs);
+    return runner.run(specs);
+}
+
+/**
+ * Parallel map over the suite's workloads for analyses that are not
+ * RunSpec-shaped (miss-stream characterization): evaluates
+ * @p fn(workload_name) on opt.jobs workers, returning the values in
+ * suite order. @p fn must build all of its state per call.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+mapWorkloads(const SuiteOptions &opt, Fn fn)
+{
+    BatchRunner runner(opt.jobs);
+    return runner.map<T>(opt.workloads.size(), [&](std::size_t i) {
+        return fn(opt.workloads[i]);
+    });
 }
 
 /** One table serialized as {title, header, rows}. */
@@ -100,10 +143,17 @@ writeJsonReport(const SuiteOptions &opt, const std::string &bench,
 {
     if (opt.json_path.empty())
         return;
+    std::error_code ec;
+    if (std::filesystem::exists(opt.json_path, ec))
+        tcp_warn("--json: overwriting existing report ",
+                 opt.json_path);
     Json doc = Json::object();
     doc["bench"] = bench;
     doc["instructions"] = opt.instructions;
     doc["seed"] = opt.seed;
+    doc["jobs"] = opt.jobs;
+    doc["wall_clock_seconds"] = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - opt.start).count();
     Json workloads = Json::array();
     for (const std::string &w : opt.workloads)
         workloads.push(w);
@@ -121,7 +171,8 @@ printHeader(const std::string &what, const SuiteOptions &opt)
 {
     std::cout << "# " << what << "\n# instructions/run="
               << opt.instructions << " seed=" << opt.seed
-              << " workloads=" << opt.workloads.size() << "\n\n";
+              << " workloads=" << opt.workloads.size()
+              << " jobs=" << opt.jobs << "\n\n";
 }
 
 } // namespace tcp::bench

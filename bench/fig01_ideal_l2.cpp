@@ -23,14 +23,23 @@ main(int argc, char **argv)
     TextTable table("Fig 1: potential IPC improvement with ideal L2");
     table.setHeader({"workload", "base IPC", "ideal-L2 IPC",
                      "improvement"});
+    MachineConfig ideal;
+    ideal.ideal_l2 = true;
+    std::vector<RunSpec> specs;
     for (const std::string &name : opt.workloads) {
-        const RunResult base = runNamed(name, "none", opt.instructions,
-                                        MachineConfig{}, opt.seed);
-        MachineConfig ideal;
-        ideal.ideal_l2 = true;
-        const RunResult best = runNamed(name, "none", opt.instructions,
-                                        ideal, opt.seed);
-        table.addRow({name, formatDouble(base.ipc(), 3),
+        specs.push_back({.workload = name,
+                         .instructions = opt.instructions,
+                         .seed = opt.seed});
+        specs.push_back({.workload = name,
+                         .instructions = opt.instructions,
+                         .machine = ideal,
+                         .seed = opt.seed});
+    }
+    const std::vector<RunResult> results = bench::runBatch(opt, specs);
+    for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+        const RunResult &base = results[2 * i];
+        const RunResult &best = results[2 * i + 1];
+        table.addRow({opt.workloads[i], formatDouble(base.ipc(), 3),
                       formatDouble(best.ipc(), 3),
                       formatPercent(ipcImprovement(best, base), 1)});
     }

@@ -23,12 +23,16 @@ main(int argc, char **argv)
     TextTable table("Fig 2: tag recurrence in the L1-D miss stream");
     table.setHeader({"workload", "misses", "unique tags",
                      "appearances/tag"});
-    for (const std::string &name : opt.workloads) {
-        auto wl = makeWorkload(name, opt.seed);
-        MissStreamAnalyzer an;
-        an.profileTrace(*wl, opt.instructions);
-        const TagStatsResult t = an.tagStats();
-        table.addRow({name, std::to_string(t.misses),
+    const auto stats = bench::mapWorkloads<TagStatsResult>(
+        opt, [&](const std::string &name) {
+            auto wl = makeWorkload(name, opt.seed);
+            MissStreamAnalyzer an;
+            an.profileTrace(*wl, opt.instructions);
+            return an.tagStats();
+        });
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const TagStatsResult &t = stats[w];
+        table.addRow({opt.workloads[w], std::to_string(t.misses),
                       std::to_string(t.unique_tags),
                       formatDouble(t.mean_appearances_per_tag, 1)});
     }

@@ -24,17 +24,22 @@ main(int argc, char **argv)
     TextTable table("Fig 3: address recurrence in the L1-D miss stream");
     table.setHeader({"workload", "unique addrs", "appearances/addr",
                      "addrs/tag"});
-    for (const std::string &name : opt.workloads) {
-        auto wl = makeWorkload(name, opt.seed);
-        MissStreamAnalyzer an;
-        an.profileTrace(*wl, opt.instructions);
-        const AddrStatsResult a = an.addrStats();
-        const TagStatsResult t = an.tagStats();
+    using Row = std::pair<AddrStatsResult, TagStatsResult>;
+    const auto stats = bench::mapWorkloads<Row>(
+        opt, [&](const std::string &name) {
+            auto wl = makeWorkload(name, opt.seed);
+            MissStreamAnalyzer an;
+            an.profileTrace(*wl, opt.instructions);
+            return Row{an.addrStats(), an.tagStats()};
+        });
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const auto &[a, t] = stats[w];
         const double ratio =
             t.unique_tags ? static_cast<double>(a.unique_addrs) /
                                 static_cast<double>(t.unique_tags)
                           : 0.0;
-        table.addRow({name, std::to_string(a.unique_addrs),
+        table.addRow({opt.workloads[w],
+                      std::to_string(a.unique_addrs),
                       formatDouble(a.mean_appearances_per_addr, 1),
                       formatDouble(ratio, 1)});
     }

@@ -22,12 +22,17 @@ main(int argc, char **argv)
 
     TextTable table("Fig 4: per-tag set spread (max 1024 sets)");
     table.setHeader({"workload", "sets/tag", "appearances/(tag,set)"});
-    for (const std::string &name : opt.workloads) {
-        auto wl = makeWorkload(name, opt.seed);
-        MissStreamAnalyzer an;
-        an.profileTrace(*wl, opt.instructions);
-        const TagStatsResult t = an.tagStats();
-        table.addRow({name, formatDouble(t.mean_sets_per_tag, 1),
+    const auto stats = bench::mapWorkloads<TagStatsResult>(
+        opt, [&](const std::string &name) {
+            auto wl = makeWorkload(name, opt.seed);
+            MissStreamAnalyzer an;
+            an.profileTrace(*wl, opt.instructions);
+            return an.tagStats();
+        });
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const TagStatsResult &t = stats[w];
+        table.addRow({opt.workloads[w],
+                      formatDouble(t.mean_sets_per_tag, 1),
                       formatDouble(t.mean_appearances_per_tag_set, 1)});
     }
     std::cout << table.render();

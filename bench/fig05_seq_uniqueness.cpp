@@ -24,15 +24,19 @@ main(int argc, char **argv)
     TextTable table("Fig 5: observed / possible three-tag sequences");
     table.setHeader({"workload", "unique seqs", "upper limit",
                      "observed %"});
-    for (const std::string &name : opt.workloads) {
-        auto wl = makeWorkload(name, opt.seed);
-        MissStreamAnalyzer an;
-        an.profileTrace(*wl, opt.instructions);
-        const SeqStatsResult s = an.seqStats();
-        const TagStatsResult t = an.tagStats();
+    using Row = std::pair<SeqStatsResult, TagStatsResult>;
+    const auto stats = bench::mapWorkloads<Row>(
+        opt, [&](const std::string &name) {
+            auto wl = makeWorkload(name, opt.seed);
+            MissStreamAnalyzer an;
+            an.profileTrace(*wl, opt.instructions);
+            return Row{an.seqStats(), an.tagStats()};
+        });
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const auto &[s, t] = stats[w];
         const double upper = static_cast<double>(t.unique_tags) *
                              t.unique_tags * t.unique_tags;
-        table.addRow({name, std::to_string(s.unique_seqs),
+        table.addRow({opt.workloads[w], std::to_string(s.unique_seqs),
                       formatDouble(upper, 0),
                       formatPercent(s.fraction_of_upper_limit, 3)});
     }

@@ -23,12 +23,16 @@ main(int argc, char **argv)
 
     TextTable table("Fig 6: three-tag sequence recurrence");
     table.setHeader({"workload", "unique seqs", "appearances/seq"});
-    for (const std::string &name : opt.workloads) {
-        auto wl = makeWorkload(name, opt.seed);
-        MissStreamAnalyzer an;
-        an.profileTrace(*wl, opt.instructions);
-        const SeqStatsResult s = an.seqStats();
-        table.addRow({name, std::to_string(s.unique_seqs),
+    const auto stats = bench::mapWorkloads<SeqStatsResult>(
+        opt, [&](const std::string &name) {
+            auto wl = makeWorkload(name, opt.seed);
+            MissStreamAnalyzer an;
+            an.profileTrace(*wl, opt.instructions);
+            return an.seqStats();
+        });
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const SeqStatsResult &s = stats[w];
+        table.addRow({opt.workloads[w], std::to_string(s.unique_seqs),
                       formatDouble(s.mean_appearances_per_seq, 1)});
     }
     std::cout << table.render();

@@ -23,12 +23,17 @@ main(int argc, char **argv)
 
     TextTable table("Fig 7: per-sequence set spread (max 1024 sets)");
     table.setHeader({"workload", "sets/seq", "appearances/(seq,set)"});
-    for (const std::string &name : opt.workloads) {
-        auto wl = makeWorkload(name, opt.seed);
-        MissStreamAnalyzer an;
-        an.profileTrace(*wl, opt.instructions);
-        const SeqStatsResult s = an.seqStats();
-        table.addRow({name, formatDouble(s.mean_sets_per_seq, 1),
+    const auto stats = bench::mapWorkloads<SeqStatsResult>(
+        opt, [&](const std::string &name) {
+            auto wl = makeWorkload(name, opt.seed);
+            MissStreamAnalyzer an;
+            an.profileTrace(*wl, opt.instructions);
+            return an.seqStats();
+        });
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const SeqStatsResult &s = stats[w];
+        table.addRow({opt.workloads[w],
+                      formatDouble(s.mean_sets_per_seq, 1),
                       formatDouble(s.mean_appearances_per_seq_set, 1)});
     }
     std::cout << table.render();

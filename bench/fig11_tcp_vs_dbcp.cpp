@@ -26,16 +26,28 @@ main(int argc, char **argv)
     TextTable table("Fig 11: IPC improvement over no prefetching");
     table.setHeader({"workload", "base IPC", "DBCP-2M", "TCP-8K",
                      "TCP-8M"});
-    std::vector<std::vector<double>> ratios(engines.size());
+    // One job per (workload, engine) cell, base run included; the
+    // batch returns them in submission order.
+    const std::size_t stride = engines.size() + 1;
+    std::vector<RunSpec> specs;
     for (const std::string &name : opt.workloads) {
-        const RunResult base = runNamed(name, "none", opt.instructions,
-                                        MachineConfig{}, opt.seed);
-        std::vector<std::string> row = {name,
+        specs.push_back({.workload = name,
+                         .instructions = opt.instructions,
+                         .seed = opt.seed});
+        for (const std::string &engine : engines)
+            specs.push_back({.workload = name,
+                             .engine = engine,
+                             .instructions = opt.instructions,
+                             .seed = opt.seed});
+    }
+    const std::vector<RunResult> results = bench::runBatch(opt, specs);
+    std::vector<std::vector<double>> ratios(engines.size());
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const RunResult &base = results[w * stride];
+        std::vector<std::string> row = {opt.workloads[w],
                                         formatDouble(base.ipc(), 3)};
         for (std::size_t e = 0; e < engines.size(); ++e) {
-            const RunResult r = runNamed(name, engines[e],
-                                         opt.instructions,
-                                         MachineConfig{}, opt.seed);
+            const RunResult &r = results[w * stride + 1 + e];
             ratios[e].push_back(r.ipc() / base.ipc());
             row.push_back(
                 formatPercent(ipcImprovement(r, base), 1));

@@ -14,22 +14,24 @@
 
 namespace {
 
+/** Render one engine's rows from its slice of the batch results. */
 tcp::TextTable
 breakdownTable(const tcp::bench::SuiteOptions &opt,
-               const std::string &engine)
+               const std::string &engine,
+               const std::vector<tcp::RunResult> &results,
+               std::size_t first)
 {
     using namespace tcp;
     TextTable table("Fig 12: L2 access breakdown, " + engine +
                     " (% of original L2 accesses)");
     table.setHeader({"workload", "prefetched orig",
                      "non-prefetched orig", "prefetched extra"});
-    for (const std::string &name : opt.workloads) {
-        const RunResult r = runNamed(name, engine, opt.instructions,
-                                     MachineConfig{}, opt.seed);
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const RunResult &r = results[first + w];
         const double denom =
             r.original_l2 ? static_cast<double>(r.original_l2) : 1.0;
         table.addRow({
-            name,
+            opt.workloads[w],
             formatPercent(r.prefetched_original / denom, 1),
             formatPercent(r.nonprefetched_original / denom, 1),
             formatPercent(r.prefetchedExtra() / denom, 1),
@@ -51,8 +53,20 @@ main(int argc, char **argv)
     const auto opt = bench::suiteOptions(args);
     bench::printHeader("Figure 12: L2 access classification", opt);
 
-    const TextTable k8 = breakdownTable(opt, "tcp8k");
-    const TextTable m8 = breakdownTable(opt, "tcp8m");
+    // Both engines' matrices in one batch: tcp8k rows first, then
+    // tcp8m.
+    std::vector<RunSpec> specs;
+    for (const char *engine : {"tcp8k", "tcp8m"})
+        for (const std::string &name : opt.workloads)
+            specs.push_back({.workload = name,
+                             .engine = engine,
+                             .instructions = opt.instructions,
+                             .seed = opt.seed});
+    const std::vector<RunResult> results = bench::runBatch(opt, specs);
+
+    const TextTable k8 = breakdownTable(opt, "tcp8k", results, 0);
+    const TextTable m8 =
+        breakdownTable(opt, "tcp8m", results, opt.workloads.size());
     bench::writeJsonReport(opt, "fig12_l2_breakdown", {&k8, &m8});
     return 0;
 }

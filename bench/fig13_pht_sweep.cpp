@@ -21,21 +21,41 @@
 
 namespace {
 
-/** Geometric-mean IPC of one TCP geometry across the workloads. */
-double
-meanIpc(const tcp::bench::SuiteOptions &opt, std::uint64_t pht_bytes,
-        unsigned index_bits)
+/** Engine spec string for one TCP geometry. */
+std::string
+engineOf(std::uint64_t pht_bytes, unsigned index_bits)
+{
+    return "tcp:" + std::to_string(pht_bytes) + ":" +
+           std::to_string(index_bits);
+}
+
+/**
+ * Geometric-mean IPC of each engine across the workloads: the whole
+ * (engine x workload) matrix runs as one batch, then the means are
+ * reduced per engine slice.
+ */
+std::vector<double>
+meanIpcs(const tcp::bench::SuiteOptions &opt,
+         const std::vector<std::string> &engines)
 {
     using namespace tcp;
-    std::vector<double> ipcs;
-    const std::string engine = "tcp:" + std::to_string(pht_bytes) +
-                               ":" + std::to_string(index_bits);
-    for (const std::string &name : opt.workloads) {
-        const RunResult r = runNamed(name, engine, opt.instructions,
-                                     MachineConfig{}, opt.seed);
-        ipcs.push_back(r.ipc());
+    std::vector<RunSpec> specs;
+    for (const std::string &engine : engines)
+        for (const std::string &name : opt.workloads)
+            specs.push_back({.workload = name,
+                             .engine = engine,
+                             .instructions = opt.instructions,
+                             .seed = opt.seed});
+    const std::vector<RunResult> results = bench::runBatch(opt, specs);
+    std::vector<double> means;
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+        std::vector<double> ipcs;
+        for (std::size_t w = 0; w < opt.workloads.size(); ++w)
+            ipcs.push_back(
+                results[e * opt.workloads.size() + w].ipc());
+        means.push_back(geomean(ipcs));
     }
-    return geomean(ipcs);
+    return means;
 }
 
 } // namespace
@@ -59,6 +79,9 @@ main(int argc, char **argv)
     TextTable top("Fig 13 top: mean IPC vs PHT size");
     top.setHeader({"PHT size", "shared (n=0)", "private (full index)",
                    "n used"});
+    std::vector<std::uint64_t> sizes;
+    std::vector<unsigned> full_ns;
+    std::vector<std::string> top_engines;
     for (std::uint64_t bytes = 2 * 1024; bytes <= 8 * 1024 * 1024;
          bytes *= 4) {
         // A PHT of `bytes` has bytes/4 entries in 8-way sets; the
@@ -68,10 +91,17 @@ main(int argc, char **argv)
         const unsigned set_bits =
             static_cast<unsigned>(floorLog2(probe.sets));
         const unsigned full_n = std::min(10u, set_bits);
-        top.addRow({formatBytes(bytes),
-                    formatDouble(meanIpc(opt, bytes, 0), 3),
-                    formatDouble(meanIpc(opt, bytes, full_n), 3),
-                    std::to_string(full_n)});
+        sizes.push_back(bytes);
+        full_ns.push_back(full_n);
+        top_engines.push_back(engineOf(bytes, 0));
+        top_engines.push_back(engineOf(bytes, full_n));
+    }
+    const std::vector<double> top_means = meanIpcs(opt, top_engines);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        top.addRow({formatBytes(sizes[i]),
+                    formatDouble(top_means[2 * i], 3),
+                    formatDouble(top_means[2 * i + 1], 3),
+                    std::to_string(full_ns[i])});
     }
     std::cout << top.render() << "\n";
 
@@ -79,9 +109,14 @@ main(int argc, char **argv)
     TextTable bottom("Fig 13 bottom: mean IPC vs miss-index bits "
                      "(8KB PHT)");
     bottom.setHeader({"miss-index bits", "mean IPC"});
+    std::vector<std::string> bottom_engines;
+    for (unsigned n = 0; n <= 3; ++n)
+        bottom_engines.push_back(engineOf(8 * 1024, n));
+    const std::vector<double> bottom_means =
+        meanIpcs(opt, bottom_engines);
     for (unsigned n = 0; n <= 3; ++n) {
         bottom.addRow({std::to_string(n),
-                       formatDouble(meanIpc(opt, 8 * 1024, n), 3)});
+                       formatDouble(bottom_means[n], 3)});
     }
     std::cout << bottom.render();
     bench::writeJsonReport(opt, "fig13_pht_sweep", {&top, &bottom});

@@ -24,23 +24,26 @@ main(int argc, char **argv)
     TextTable table("Fig 14: IPC improvement over no prefetching");
     table.setHeader({"workload", "TCP-8K", "Hybrid-8K",
                      "naive L1 (no gate)", "L1 promotions"});
+    std::vector<RunSpec> specs;
+    for (const std::string &name : opt.workloads)
+        for (const char *engine :
+             {"none", "tcp8k", "hybrid8k", "naive_l1_8k"})
+            specs.push_back({.workload = name,
+                             .engine = engine,
+                             .instructions = opt.instructions,
+                             .seed = opt.seed});
+    const std::vector<RunResult> results = bench::runBatch(opt, specs);
+
     std::vector<double> r_tcp, r_hybrid, r_naive;
-    for (const std::string &name : opt.workloads) {
-        const RunResult base = runNamed(name, "none", opt.instructions,
-                                        MachineConfig{}, opt.seed);
-        const RunResult tcp8k = runNamed(name, "tcp8k",
-                                         opt.instructions,
-                                         MachineConfig{}, opt.seed);
-        const RunResult hybrid = runNamed(name, "hybrid8k",
-                                          opt.instructions,
-                                          MachineConfig{}, opt.seed);
-        const RunResult naive = runNamed(name, "naive_l1_8k",
-                                         opt.instructions,
-                                         MachineConfig{}, opt.seed);
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const RunResult &base = results[4 * w];
+        const RunResult &tcp8k = results[4 * w + 1];
+        const RunResult &hybrid = results[4 * w + 2];
+        const RunResult &naive = results[4 * w + 3];
         r_tcp.push_back(tcp8k.ipc() / base.ipc());
         r_hybrid.push_back(hybrid.ipc() / base.ipc());
         r_naive.push_back(naive.ipc() / base.ipc());
-        table.addRow({name,
+        table.addRow({opt.workloads[w],
                       formatPercent(ipcImprovement(tcp8k, base), 1),
                       formatPercent(ipcImprovement(hybrid, base), 1),
                       formatPercent(ipcImprovement(naive, base), 1),

@@ -23,12 +23,17 @@ main(int argc, char **argv)
     TextTable table("Fig 15: strided sequence fraction");
     table.setHeader({"workload", "sequences", "strided",
                      "strided %", "constant (stride 0)"});
-    for (const std::string &name : opt.workloads) {
-        auto wl = makeWorkload(name, opt.seed);
-        MissStreamAnalyzer an;
-        an.profileTrace(*wl, opt.instructions);
-        const SeqStatsResult s = an.seqStats();
-        table.addRow({name, std::to_string(s.sequences_observed),
+    const auto stats = bench::mapWorkloads<SeqStatsResult>(
+        opt, [&](const std::string &name) {
+            auto wl = makeWorkload(name, opt.seed);
+            MissStreamAnalyzer an;
+            an.profileTrace(*wl, opt.instructions);
+            return an.seqStats();
+        });
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const SeqStatsResult &s = stats[w];
+        table.addRow({opt.workloads[w],
+                      std::to_string(s.sequences_observed),
                       std::to_string(s.strided_sequences),
                       formatPercent(s.strided_fraction, 2),
                       std::to_string(s.constant_sequences)});

@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/tcp.hh"
+#include "harness/batch.hh"
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "prefetch/dbcp.hh"
@@ -153,6 +154,29 @@ BM_TcpObserveMissTraced(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TcpObserveMissTraced);
+
+void
+BM_BatchDispatchOverhead(benchmark::State &state)
+{
+    // Per-job overhead of BatchRunner dispatch (queueing, future
+    // round-trip, result-slot write) with trivial job bodies. The
+    // pool lives outside the timing loop, matching how the figure
+    // drivers reuse one runner per batch. Budget: well under 50 us
+    // per job, so dispatch cost is negligible against even the
+    // smallest real simulation.
+    BatchRunner runner(2);
+    constexpr std::size_t kJobs = 64;
+    for (auto _ : state) {
+        const std::vector<std::uint64_t> out =
+            runner.map<std::uint64_t>(kJobs, [](std::size_t i) {
+                return static_cast<std::uint64_t>(i) * 2654435761u;
+            });
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kJobs));
+}
+BENCHMARK(BM_BatchDispatchOverhead)->UseRealTime();
 
 void
 BM_BusRequest(benchmark::State &state)

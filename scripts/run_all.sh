@@ -4,9 +4,16 @@
 # archive the outputs. Fails loudly if any step exits nonzero.
 #
 # Usage: scripts/run_all.sh [build-dir]
+#
+# Environment knobs:
+#   JOBS=N          parallel simulations per figure binary
+#                   (default: one per hardware thread)
+#   INSTRUCTIONS=N  override per-run instruction count (smoke runs)
+#   WORKLOADS=a,b   override the workload list (smoke runs)
 set -euo pipefail
 
 BUILD=${1:-build}
+JOBS=${JOBS:-$(nproc)}
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 cd "$ROOT"
 
@@ -35,9 +42,16 @@ mkdir -p "$ROOT/results"
             "$b" --benchmark_out="$ROOT/results/$name.json" \
                  --benchmark_out_format=json
             ;;
+          table1_config)
+            # Prints the machine config; runs no simulations.
+            "$b" --json "$ROOT/results/$name.json"
+            ;;
           *)
             # Figure/ablation binary: text to stdout, JSON alongside.
-            "$b" --json "$ROOT/results/$name.json"
+            "$b" --json "$ROOT/results/$name.json" \
+                 --jobs "$JOBS" \
+                 ${INSTRUCTIONS:+--instructions "$INSTRUCTIONS"} \
+                 ${WORKLOADS:+--workloads "$WORKLOADS"}
             ;;
         esac
     done

@@ -1,0 +1,29 @@
+#include "batch.hh"
+
+#include "trace/workloads.hh"
+
+namespace tcp {
+
+RunResult
+runSpec(const RunSpec &spec)
+{
+    // Construction order matches runNamed() exactly so a batch job is
+    // bit-identical to the sequential convenience path.
+    auto workload = makeWorkload(spec.workload, spec.seed);
+    EngineSetup engine = spec.engine_factory ? spec.engine_factory()
+                                             : makeEngine(spec.engine);
+    return runTrace(*workload, spec.machine, engine, spec.instructions,
+                    spec.warmup, spec.interval);
+}
+
+BatchRunner::BatchRunner(unsigned jobs) : pool_(jobs) {}
+
+std::vector<RunResult>
+BatchRunner::run(const std::vector<RunSpec> &specs)
+{
+    return map<RunResult>(specs.size(), [&](std::size_t i) {
+        return runSpec(specs[i]);
+    });
+}
+
+} // namespace tcp

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The parallel experiment engine. Every figure in the paper is a
+ * workload x engine matrix of independent simulations; BatchRunner
+ * executes such a matrix on a ThreadPool and hands the results back
+ * in submission order, bit-identical to running the same specs in a
+ * sequential loop.
+ *
+ * Determinism contract: a job is fully described by its RunSpec.
+ * Each job constructs its own workload (seeded RNG), engine, and
+ * machine on the worker thread — there is no shared mutable state
+ * between jobs, and the globally installed TraceSink is thread-local
+ * so batch jobs never write into the submitting thread's sink.
+ * Consequently results[i] is bit-identical for every counter whether
+ * the batch ran on 1 worker or 64.
+ */
+
+#ifndef TCP_HARNESS_BATCH_HH
+#define TCP_HARNESS_BATCH_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/thread_pool.hh"
+
+namespace tcp {
+
+/**
+ * One experiment: everything needed to build and run a full system
+ * (workload stream, prefetch engine, machine) from scratch.
+ */
+struct RunSpec
+{
+    std::string workload;
+    /** Engine name for makeEngine() (ignored if engine_factory set). */
+    std::string engine = "none";
+    std::uint64_t instructions = 0;
+    MachineConfig machine{};
+    std::uint64_t seed = 1;
+    std::uint64_t warmup = kAutoWarmup;
+    std::uint64_t interval = 0;
+    /**
+     * Optional engine override for configurations makeEngine() has no
+     * name for (ablation sweeps over TcpConfig). Must be a pure
+     * factory: it is invoked once per job, possibly on a worker
+     * thread, and must not touch shared mutable state.
+     */
+    std::function<EngineSetup()> engine_factory{};
+};
+
+/**
+ * Execute one spec start to finish (workload + engine construction
+ * and the runTrace call). The unit of work BatchRunner schedules;
+ * also the sequential reference the determinism tests compare with.
+ */
+RunResult runSpec(const RunSpec &spec);
+
+/**
+ * Runs batches of RunSpecs on a fixed-size worker pool.
+ *
+ * The pool lives as long as the runner, so one runner can execute
+ * several batches (e.g. one per figure table) without respawning
+ * threads.
+ */
+class BatchRunner
+{
+  public:
+    /** @param jobs worker count; 0 means one per hardware thread */
+    explicit BatchRunner(unsigned jobs = 0);
+
+    /** Actual worker count after resolving 0. */
+    unsigned jobs() const { return pool_.workers(); }
+
+    /**
+     * Run every spec and return the results in submission order,
+     * regardless of completion order. Exceptions follow
+     * ThreadPool::parallelFor: lowest failing index wins.
+     */
+    std::vector<RunResult> run(const std::vector<RunSpec> &specs);
+
+    /**
+     * Ordered parallel map for jobs that are not RunSpec-shaped
+     * (miss-stream analyses, in-order core runs): evaluates
+     * @p fn(i) for i in [0, n) on the pool and returns the values
+     * in index order. @p fn must only touch state local to the job.
+     */
+    template <typename T>
+    std::vector<T>
+    map(std::size_t n, const std::function<T(std::size_t)> &fn)
+    {
+        // Each iteration writes its own pre-allocated slot, so the
+        // only cross-thread handoff is the parallelFor join.
+        std::vector<std::optional<T>> slots(n);
+        pool_.parallelFor(n,
+                          [&](std::size_t i) { slots[i].emplace(fn(i)); });
+        std::vector<T> out;
+        out.reserve(n);
+        for (std::optional<T> &slot : slots)
+            out.push_back(std::move(*slot));
+        return out;
+    }
+
+  private:
+    ThreadPool pool_;
+};
+
+} // namespace tcp
+
+#endif // TCP_HARNESS_BATCH_HH

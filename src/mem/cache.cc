@@ -56,17 +56,28 @@ CacheModel::touchWay(SetIndex set, unsigned way)
     }
 }
 
+unsigned
+CacheModel::findWay(SetIndex set, Tag tag) const
+{
+    const CacheLine *base = &lines_[set * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!base[w].valid) {
+            if (!may_have_holes_)
+                return kNoWay; // valid ways are a prefix: done
+            continue;
+        }
+        if (base[w].tag == tag)
+            return w;
+    }
+    return kNoWay;
+}
+
 CacheLine *
 CacheModel::findLine(Addr addr)
 {
     const SetIndex set = setOf(addr);
-    const Tag tag = tagOf(addr);
-    CacheLine *base = &lines_[set * assoc_];
-    for (unsigned w = 0; w < assoc_; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
-    }
-    return nullptr;
+    const unsigned way = findWay(set, tagOf(addr));
+    return way == kNoWay ? nullptr : &lines_[set * assoc_ + way];
 }
 
 const CacheLine *
@@ -84,15 +95,17 @@ CacheModel::probe(Addr addr) const
 CacheLine *
 CacheModel::access(Addr addr, Cycle now)
 {
-    CacheLine *line = findLine(addr);
-    if (line) {
-        line->lru_stamp = ++stamp_;
-        line->last_access = now;
-        const SetIndex set = setOf(addr);
-        touchWay(set, static_cast<unsigned>(
-                          line - &lines_[set * assoc_]));
-    }
-    return line;
+    // Decompose the address once; the way index from the scan feeds
+    // the replacement update directly.
+    const SetIndex set = setOf(addr);
+    const unsigned way = findWay(set, tagOf(addr));
+    if (way == kNoWay)
+        return nullptr;
+    CacheLine &line = lines_[set * assoc_ + way];
+    line.lru_stamp = ++stamp_;
+    line.last_access = now;
+    touchWay(set, way);
+    return &line;
 }
 
 unsigned
@@ -167,8 +180,10 @@ CacheModel::victimOf(Addr addr) const
 void
 CacheModel::invalidate(Addr addr)
 {
-    if (CacheLine *line = findLine(addr))
+    if (CacheLine *line = findLine(addr)) {
         line->valid = false;
+        may_have_holes_ = true;
+    }
 }
 
 void
@@ -177,6 +192,7 @@ CacheModel::flush()
     for (CacheLine &line : lines_)
         line = CacheLine{};
     std::fill(plru_.begin(), plru_.end(), 0);
+    may_have_holes_ = false;
 }
 
 unsigned

@@ -137,6 +137,17 @@ class CacheModel
     unsigned setOccupancy(Addr addr) const;
 
   private:
+    /** Sentinel way index: the tag is not resident in the set. */
+    static constexpr unsigned kNoWay = ~0u;
+
+    /**
+     * Scan the set for @p tag and return its way index (kNoWay on a
+     * miss). The one tag-match loop every lookup path shares; callers
+     * that already decomposed the address reuse the set/tag here
+     * instead of recomputing them per operation.
+     */
+    unsigned findWay(SetIndex set, Tag tag) const;
+
     CacheLine *findLine(Addr addr);
     const CacheLine *findLine(Addr addr) const;
     /** Index of the way to replace in @p set. */
@@ -152,6 +163,13 @@ class CacheModel
     Addr block_mask_;
     std::uint64_t set_mask_;
     ReplPolicy policy_;
+    /**
+     * Whether an invalidate() may have left an invalid way in front
+     * of a valid one. Fills always take the lowest invalid way, so
+     * until the first invalidation the valid lines of every set form
+     * a prefix and findWay can stop at the first invalid way.
+     */
+    bool may_have_holes_ = false;
     std::uint64_t stamp_ = 0;
     /** lines_[set * assoc_ + way] */
     std::vector<CacheLine> lines_;

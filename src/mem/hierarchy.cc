@@ -22,6 +22,9 @@ MemoryHierarchy::MemoryHierarchy(const MachineConfig &config,
       l1i_mshrs_(config.l1i.mshrs),
       prefetch_mshrs_(64),
       prefetcher_(prefetcher),
+      access_observer_(prefetcher && prefetcher->observesAccesses()
+                           ? prefetcher
+                           : nullptr),
       dbp_(dbp),
       stats_("mem"),
       l1d_hits(stats_, "l1d_hits", "L1-D demand hits"),
@@ -61,9 +64,9 @@ MemoryHierarchy::dataAccess(Addr addr, AccessType type, Pc pc, Cycle now)
 
     CacheLine *line = l1d_.access(addr, now);
 
-    if (prefetcher_) {
+    if (access_observer_) {
         pending_.clear();
-        prefetcher_->observeAccess(
+        access_observer_->observeAccess(
             AccessContext{addr, pc, now, line != nullptr, type},
             pending_);
         for (const PrefetchRequest &req : pending_)

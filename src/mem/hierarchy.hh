@@ -126,6 +126,13 @@ class MemoryHierarchy
     MshrFile l1i_mshrs_;
     MshrFile prefetch_mshrs_;
     Prefetcher *prefetcher_;
+    /**
+     * prefetcher_ if it wants the per-access stream
+     * (Prefetcher::observesAccesses()), else nullptr. Cached at
+     * construction so the L1-hit fast path skips the virtual
+     * observeAccess dispatch for miss-trained engines entirely.
+     */
+    Prefetcher *access_observer_;
     DeadBlockPredictor *dbp_;
     std::vector<PrefetchRequest> pending_;
     /**

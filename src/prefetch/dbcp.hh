@@ -57,6 +57,7 @@ class DbcpPrefetcher : public Prefetcher
     void observeMiss(const AccessContext &ctx,
                      std::vector<PrefetchRequest> &out) override;
     void observeEvict(const EvictContext &ctx) override;
+    bool observesAccesses() const override { return true; }
 
     std::uint64_t storageBits() const override;
     void reset() override;

@@ -96,6 +96,16 @@ class Prefetcher
     /** An L1-D line was evicted. Default: ignore. */
     virtual void observeEvict(const EvictContext &ctx) { (void)ctx; }
 
+    /**
+     * Whether observeAccess() does anything. MemoryHierarchy queries
+     * this once at construction and caches the answer, so engines
+     * that only train on the miss stream (the common case) pay no
+     * virtual dispatch on the per-access hot path. Engines that
+     * override observeAccess() must also override this to return
+     * true, or they will never see the access stream.
+     */
+    virtual bool observesAccesses() const { return false; }
+
     /** Engine name for reports. */
     const std::string &name() const { return name_; }
 

@@ -34,6 +34,7 @@ class StridePrefetcher : public Prefetcher
                        std::vector<PrefetchRequest> &out) override;
     void observeMiss(const AccessContext &ctx,
                      std::vector<PrefetchRequest> &out) override;
+    bool observesAccesses() const override { return true; }
 
     std::uint64_t storageBits() const override;
     void reset() override;

@@ -1,0 +1,90 @@
+#include "thread_pool.hh"
+
+#include <exception>
+
+namespace tcp {
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = defaultWorkers();
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::enqueue(std::unique_ptr<Task> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    work_ready_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::unique_ptr<Task> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock,
+                             [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop requested and nothing left to run
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // A throwing job stores its exception in the paired future
+        // (packaged_task semantics); nothing escapes into the worker.
+        task->run();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    std::vector<std::future<void>> pending;
+    pending.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pending.push_back(submit([&body, i] { body(i); }));
+
+    // Wait for everything before rethrowing, so no iteration is still
+    // running (and touching captures) when the caller unwinds. Taking
+    // the lowest failing index keeps propagation deterministic under
+    // any completion order.
+    std::exception_ptr first;
+    for (std::future<void> &f : pending) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace tcp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A fixed-size worker thread pool for the parallel experiment
+ * engine. Workers sleep on a condition variable (no busy-waiting)
+ * and drain a FIFO work queue; submitted jobs return futures, so
+ * exceptions thrown inside a job propagate to whoever waits on the
+ * result instead of killing a worker.
+ *
+ * The pool is deliberately minimal: no work stealing, no priorities,
+ * no resizing. Experiment batches are coarse-grained (one full
+ * simulation per job, milliseconds to seconds each), so a mutex-
+ * protected queue is nowhere near contention.
+ *
+ * Jobs must not submit to the pool they run on: a job that blocks on
+ * a future served by its own pool can deadlock once every worker is
+ * blocked the same way.
+ */
+
+#ifndef TCP_SIM_THREAD_POOL_HH
+#define TCP_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace tcp {
+
+/** A fixed-size pool of worker threads draining a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn the workers.
+     * @param workers worker count; 0 means defaultWorkers()
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Drains nothing: pending jobs still run, then workers join. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned
+    workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** Hardware concurrency, clamped to at least 1. */
+    static unsigned defaultWorkers();
+
+    /**
+     * Enqueue @p fn for execution on a worker.
+     * @return a future carrying fn's result — or its exception, which
+     *         rethrows from future::get()
+     */
+    template <typename Fn>
+    auto
+    submit(Fn fn) -> std::future<std::invoke_result_t<Fn &>>
+    {
+        using Result = std::invoke_result_t<Fn &>;
+        std::packaged_task<Result()> task(std::move(fn));
+        std::future<Result> result = task.get_future();
+        enqueue(std::make_unique<TaskImpl<std::packaged_task<Result()>>>(
+            std::move(task)));
+        return result;
+    }
+
+    /**
+     * Run @p body(i) for every i in [0, n) on the pool and wait for
+     * all of them. If any iterations throw, the exception of the
+     * lowest-indexed failing iteration is rethrown (after every
+     * iteration has finished, so no job outlives its captures).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    /** Type-erased queued job (std::function cannot hold the
+     *  move-only packaged_task). */
+    struct Task
+    {
+        virtual ~Task() = default;
+        virtual void run() = 0;
+    };
+
+    template <typename Fn>
+    struct TaskImpl : Task
+    {
+        explicit TaskImpl(Fn f) : fn(std::move(f)) {}
+        void run() override { fn(); }
+        Fn fn;
+    };
+
+    void enqueue(std::unique_ptr<Task> task);
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::deque<std::unique_ptr<Task>> queue_;
+    bool stop_ = false;
+};
+
+} // namespace tcp
+
+#endif // TCP_SIM_THREAD_POOL_HH

@@ -61,7 +61,15 @@ class TraceSink
     /** Write toJson() to @p path; tcp_fatal on I/O failure. */
     void writeTo(const std::string &path) const;
 
-    /// @name Global installation point
+    /// @name Installation point (per thread)
+    ///
+    /// The install slot is thread-local: a sink installed on the main
+    /// thread is seen by simulations running on that thread only.
+    /// This is what makes the install point batch-safe — BatchRunner
+    /// jobs execute on worker threads, where no sink is installed, so
+    /// concurrent runs can never interleave events into one buffer.
+    /// Tracing a run therefore means running it on the thread that
+    /// installed the sink (what tcpsim and the examples do).
     /// @{
     static TraceSink *current() { return current_; }
     /** Install @p sink (nullptr uninstalls). @return the old sink. */
@@ -87,7 +95,7 @@ class TraceSink
 
     std::vector<Event> events_;
 
-    inline static TraceSink *current_ = nullptr;
+    inline static thread_local TraceSink *current_ = nullptr;
 };
 
 /**

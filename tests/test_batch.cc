@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: ThreadPool mechanics
+ * (completion, exception propagation, reuse) and the BatchRunner
+ * determinism contract — batched results must be bit-identical to
+ * sequential runNamed() calls for every counter, at any job count.
+ */
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/batch.hh"
+#include "sim/thread_pool.hh"
+
+namespace tcp {
+namespace {
+
+TEST(ThreadPoolTest, RunsMoreJobsThanWorkers)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.workers(), 2u);
+    std::atomic<int> done{0};
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i) {
+        futures.push_back(pool.submit([i, &done] {
+            ++done;
+            return i * i;
+        }));
+    }
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+    EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("job failed"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives a throwing job and keeps serving new work.
+    auto good = pool.submit([] { return 7; });
+    EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallelFor(100, [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(pool.parallelFor(16,
+                                  [&](std::size_t i) {
+                                      if (i == 5)
+                                          throw std::runtime_error(
+                                              "index 5 failed");
+                                      ++completed;
+                                  }),
+                 std::runtime_error);
+    // All non-throwing bodies still ran to completion first.
+    EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(ThreadPoolTest, DefaultWorkersIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
+    ThreadPool pool; // default-sized pool must construct and drain
+    EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+/// The full determinism contract: every counter of every RunResult
+/// from a batched matrix equals the sequential runNamed() result.
+TEST(BatchRunnerTest, BitIdenticalToSequential)
+{
+    const std::vector<std::string> workloads = {"gzip", "swim",
+                                                "applu"};
+    const std::vector<std::string> engines = {"none", "tcp8k"};
+    const std::uint64_t seeds[] = {1, 42};
+    constexpr std::uint64_t kInstructions = 40000;
+
+    std::vector<RunSpec> specs;
+    std::vector<RunResult> sequential;
+    for (const std::string &w : workloads) {
+        for (const std::string &e : engines) {
+            for (std::uint64_t seed : seeds) {
+                specs.push_back({.workload = w,
+                                 .engine = e,
+                                 .instructions = kInstructions,
+                                 .seed = seed});
+                sequential.push_back(runNamed(
+                    w, e, kInstructions, MachineConfig{}, seed));
+            }
+        }
+    }
+
+    BatchRunner runner(4);
+    const std::vector<RunResult> batched = runner.run(specs);
+    ASSERT_EQ(batched.size(), sequential.size());
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+        // toJson() serialises every counter, stat map, and interval
+        // sample — equal dumps mean bit-identical results.
+        EXPECT_EQ(batched[i].toJson().dump(2),
+                  sequential[i].toJson().dump(2))
+            << specs[i].workload << "/" << specs[i].engine
+            << " seed=" << specs[i].seed;
+    }
+}
+
+/// Results come back in submission order at any worker count.
+TEST(BatchRunnerTest, OrderingStableAcrossJobCounts)
+{
+    std::vector<RunSpec> specs;
+    for (const char *w : {"gzip", "art", "swim", "gcc"})
+        specs.push_back(
+            {.workload = w, .instructions = 30000, .seed = 3});
+
+    BatchRunner serial(1);
+    BatchRunner wide(8);
+    EXPECT_EQ(serial.jobs(), 1u);
+    EXPECT_EQ(wide.jobs(), 8u);
+    const std::vector<RunResult> a = serial.run(specs);
+    const std::vector<RunResult> b = wide.run(specs);
+    ASSERT_EQ(a.size(), specs.size());
+    ASSERT_EQ(b.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(a[i].workload, specs[i].workload);
+        EXPECT_EQ(b[i].workload, specs[i].workload);
+        EXPECT_EQ(a[i].toJson().dump(), b[i].toJson().dump())
+            << specs[i].workload;
+    }
+}
+
+/// map() runs arbitrary job bodies and keeps slot order.
+TEST(BatchRunnerTest, MapPreservesIndexOrder)
+{
+    BatchRunner runner(4);
+    const std::vector<std::size_t> out = runner.map<std::size_t>(
+        64, [](std::size_t i) { return i * 3 + 1; });
+    ASSERT_EQ(out.size(), 64u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * 3 + 1);
+}
+
+/// An engine_factory spec constructs its engine on the worker and
+/// matches the named-engine path for an equivalent configuration.
+TEST(BatchRunnerTest, EngineFactoryMatchesNamedEngine)
+{
+    RunSpec named{.workload = "swim",
+                  .engine = "tcp8k",
+                  .instructions = 30000,
+                  .seed = 1};
+    RunSpec factory{.workload = "swim",
+                    .instructions = 30000,
+                    .seed = 1,
+                    .engine_factory = [] { return makeEngine("tcp8k"); }};
+    BatchRunner runner(2);
+    const std::vector<RunResult> r = runner.run({named, factory});
+    EXPECT_EQ(r[0].toJson().dump(), r[1].toJson().dump());
+}
+
+} // namespace
+} // namespace tcp
