@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate the committed golden run records that CI's metrics
+# regression gate diffs against (tcpreport diff --tolerance 0). Run
+# this after any change that intentionally shifts simulation results,
+# inspect the diff, and commit the updated files.
+#
+# Usage: scripts/update_golden.sh [build-dir]
+#
+# Environment knobs:
+#   GOLDEN_DIR=path  output directory (default: results/golden)
+set -euo pipefail
+
+BUILD=${1:-build}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+OUT=${GOLDEN_DIR:-results/golden}
+mkdir -p "$OUT"
+
+# Must match the specs CI replays in its gate step exactly: same
+# workloads, engine, instruction count, and the ledger attached.
+for wl in gzip swim; do
+    "$BUILD/tools/tcpsim" run --workload "$wl" --engine tcp8k \
+        --instructions 50000 --ledger \
+        --stats-json "$OUT/$wl.json" >/dev/null
+    echo "wrote $OUT/$wl.json"
+done

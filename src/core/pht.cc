@@ -129,7 +129,8 @@ PatternHistoryTable::lookup(std::span<const Tag> seq,
 unsigned
 PatternHistoryTable::lookupAll(std::span<const Tag> seq,
                                SetIndex miss_index,
-                               std::vector<Tag> &out)
+                               std::vector<Tag> &out,
+                               HitLocation *hit)
 {
     tcp_assert(!seq.empty(), "PHT lookup with empty sequence");
     ++lookups_;
@@ -139,6 +140,11 @@ PatternHistoryTable::lookupAll(std::span<const Tag> seq,
         return 0;
     ++hits_;
     e->lru = ++stamp_;
+    if (hit) {
+        hit->set = set;
+        hit->way = static_cast<unsigned>(
+            e - &entries_[set * config_.assoc]);
+    }
     const unsigned n =
         std::min<unsigned>(e->next_count, config_.targets);
     for (unsigned i = 0; i < n; ++i)

@@ -106,13 +106,23 @@ class PatternHistoryTable
     std::optional<Tag> lookup(std::span<const Tag> seq,
                               SetIndex miss_index);
 
+    /** Location of the entry a lookup hit (prefetch attribution). */
+    struct HitLocation
+    {
+        std::uint64_t set = 0;
+        unsigned way = 0;
+    };
+
     /**
      * Multi-target prediction: append up to config().targets stored
      * successors of @p seq to @p out, most recent first.
+     * @param hit if non-null and the lookup hits, receives the
+     *        set/way of the matched entry
      * @return number of targets appended
      */
     unsigned lookupAll(std::span<const Tag> seq, SetIndex miss_index,
-                       std::vector<Tag> &out);
+                       std::vector<Tag> &out,
+                       HitLocation *hit = nullptr);
 
     /** Install/refresh the correlation seq -> @p next_tag. */
     void update(std::span<const Tag> seq, SetIndex miss_index,

@@ -1,6 +1,7 @@
 #include "tcp.hh"
 
 #include "sim/trace_sink.hh"
+#include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace tcp {
@@ -189,7 +190,9 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
             ++stride_predictions;
             out.push_back(PrefetchRequest{
                 rebuildAddr(static_cast<Tag>(next), index),
-                config_.promote_to_l1});
+                config_.promote_to_l1,
+                PfOrigin{PfSource::StrideAssist, tht_.rowOf(index), 0,
+                         ctx.pc, index}});
         }
         return;
     }
@@ -214,14 +217,23 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
         ++pht_lookups;
         traceEvent("pht_lookup", "tcp", ctx.cycle, ctx.addr);
         targets_scratch_.clear();
+        PatternHistoryTable::HitLocation hit;
         const unsigned n =
-            pht_.lookupAll(seq_scratch_, index, targets_scratch_);
+            pht_.lookupAll(seq_scratch_, index, targets_scratch_, &hit);
         if (n == 0) {
             ++pht_misses;
             traceEvent("pht_miss", "tcp", ctx.cycle, ctx.addr);
             break;
         }
         traceEvent("pht_hit", "tcp", ctx.cycle, ctx.addr);
+        // Attribution: the PHT entry behind these predictions and a
+        // compact hash of the history sequence that selected it.
+        std::uint64_t seq_hash = 0;
+        for (Tag t : seq_scratch_)
+            seq_hash = truncatedAdd(seq_hash, t, 16);
+        const PfOrigin origin{
+            d == 0 ? PfSource::PhtCorrelation : PfSource::PhtChain,
+            (hit.set << 8) | hit.way, seq_hash, ctx.pc, index};
         for (unsigned i = 0; i < n; ++i) {
             const Tag next = targets_scratch_[i];
             ++predictions;
@@ -232,7 +244,8 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
                 continue;
             }
             out.push_back(PrefetchRequest{rebuildAddr(next, index),
-                                          config_.promote_to_l1});
+                                          config_.promote_to_l1,
+                                          origin});
         }
         // Follow the most recent target for multi-degree chaining.
         const Tag follow = targets_scratch_[0];

@@ -13,7 +13,8 @@ runSpec(const RunSpec &spec)
     EngineSetup engine = spec.engine_factory ? spec.engine_factory()
                                              : makeEngine(spec.engine);
     return runTrace(*workload, spec.machine, engine, spec.instructions,
-                    spec.warmup, spec.interval);
+                    spec.warmup, spec.interval,
+                    spec.ledger ? &spec.ledger_config : nullptr);
 }
 
 BatchRunner::BatchRunner(unsigned jobs) : pool_(jobs) {}

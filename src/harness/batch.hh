@@ -43,6 +43,10 @@ struct RunSpec
     std::uint64_t seed = 1;
     std::uint64_t warmup = kAutoWarmup;
     std::uint64_t interval = 0;
+    /** Attach a PrefetchLedger (lifecycle attribution) to the run. */
+    bool ledger = false;
+    /** Ledger tuning used when @c ledger is set. */
+    LedgerConfig ledger_config{};
     /**
      * Optional engine override for configurations makeEngine() has no
      * name for (ablation sweeps over TcpConfig). Must be a pure

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "prefetch/dbcp.hh"
 #include "prefetch/markov.hh"
@@ -107,6 +108,8 @@ RunResult::toJson() const
             arr.push(s.toJson());
         j["intervals"] = std::move(arr);
     }
+    if (!ledger.isNull())
+        j["ledger"] = ledger;
     if (!stats.isNull())
         j["stats"] = stats;
     return j;
@@ -244,7 +247,8 @@ struct IntervalSnapshot
 RunResult
 runTrace(TraceSource &source, const MachineConfig &machine,
          EngineSetup &engine, std::uint64_t instructions,
-         std::uint64_t warmup, std::uint64_t interval)
+         std::uint64_t warmup, std::uint64_t interval,
+         const LedgerConfig *ledger)
 {
     MachineConfig cfg = machine;
     if (engine.wants_prefetch_bus)
@@ -258,6 +262,11 @@ runTrace(TraceSource &source, const MachineConfig &machine,
 
     MemoryHierarchy mem(cfg, engine.prefetcher.get(),
                         engine.dbp.get());
+    std::optional<PrefetchLedger> ledger_obj;
+    if (ledger) {
+        ledger_obj.emplace(*ledger);
+        mem.attachLedger(&*ledger_obj);
+    }
     OooCore core(cfg.core, mem);
     if (engine.crit)
         core.setCriticalityTable(engine.crit.get());
@@ -271,6 +280,8 @@ runTrace(TraceSource &source, const MachineConfig &machine,
         ScopedTraceSink mute(nullptr);
         warm = core.run(source, warmup);
         mem.stats().resetAll();
+        if (ledger_obj)
+            ledger_obj->reset();
         if (engine.prefetcher)
             engine.prefetcher->stats().resetAll();
         if (engine.dbp)
@@ -329,6 +340,23 @@ runTrace(TraceSource &source, const MachineConfig &machine,
             traceCounter("l2_miss_rate", cur.cycles, s.l2_miss_rate);
             traceCounter("pf_accuracy", cur.cycles, s.pf_accuracy);
             traceCounter("pf_coverage", cur.cycles, s.pf_coverage);
+            if (ledger_obj) {
+                // Cumulative lifecycle outcomes as counter tracks;
+                // retirement lags issue, so rates over one interval
+                // would misattribute and cumulative counts are the
+                // honest series.
+                const auto track = [&](const char *name,
+                                       const Counter &c) {
+                    traceCounter(name, cur.cycles,
+                                 static_cast<double>(c.value()));
+                };
+                track("ledger_useful", ledger_obj->useful);
+                track("ledger_late", ledger_obj->late);
+                track("ledger_early", ledger_obj->early);
+                track("ledger_pollution", ledger_obj->pollution);
+                track("ledger_redundant", ledger_obj->redundant);
+                track("ledger_dropped", ledger_obj->dropped);
+            }
             prev = cur;
             remaining -= chunk;
             if (ran < chunk)
@@ -369,6 +397,18 @@ runTrace(TraceSource &source, const MachineConfig &machine,
         out.pf_storage_bits = engine.prefetcher->storageBits();
     }
     out.intervals = std::move(intervals);
+    if (ledger_obj) {
+        ledger_obj->finalize();
+        out.ledger_issued = ledger_obj->issued.value();
+        out.ledger_useful = ledger_obj->useful.value();
+        out.ledger_late = ledger_obj->late.value();
+        out.ledger_early = ledger_obj->early.value();
+        out.ledger_pollution = ledger_obj->pollution.value();
+        out.ledger_redundant = ledger_obj->redundant.value();
+        out.ledger_dropped = ledger_obj->dropped.value();
+        out.ledger_unresolved = ledger_obj->unresolved.value();
+        out.ledger = ledger_obj->toJson();
+    }
     // Capture the full stats tree before the components die with
     // this frame. Only groups reset at the start of the measured
     // window belong here: everything in "stats" then describes the
@@ -388,12 +428,13 @@ RunResult
 runNamed(const std::string &workload_name,
          const std::string &engine_name, std::uint64_t instructions,
          const MachineConfig &base, std::uint64_t seed,
-         std::uint64_t warmup, std::uint64_t interval)
+         std::uint64_t warmup, std::uint64_t interval,
+         const LedgerConfig *ledger)
 {
     auto workload = makeWorkload(workload_name, seed);
     EngineSetup engine = makeEngine(engine_name);
     return runTrace(*workload, base, engine, instructions, warmup,
-                    interval);
+                    interval, ledger);
 }
 
 double

@@ -17,6 +17,7 @@
 #include "prefetch/criticality.hh"
 #include "cpu/ooo_core.hh"
 #include "mem/hierarchy.hh"
+#include "obs/ledger.hh"
 #include "prefetch/prefetcher.hh"
 #include "sim/config.hh"
 #include "sim/json.hh"
@@ -81,11 +82,31 @@ struct RunResult
     std::uint64_t pf_storage_bits = 0;
     /// @}
 
+    /// @name Ledger outcome snapshot (all zero unless the run was
+    /// given a PrefetchLedger; classes partition ledger_issued)
+    /// @{
+    std::uint64_t ledger_issued = 0;
+    std::uint64_t ledger_useful = 0;
+    std::uint64_t ledger_late = 0;
+    std::uint64_t ledger_early = 0;
+    std::uint64_t ledger_pollution = 0;
+    std::uint64_t ledger_redundant = 0;
+    std::uint64_t ledger_dropped = 0;
+    std::uint64_t ledger_unresolved = 0;
+    /// @}
+
     /**
      * Interval time series (empty unless the run sampled; see the
      * @c interval parameter of runTrace).
      */
     std::vector<IntervalSample> intervals;
+
+    /**
+     * Full prefetch lifecycle attribution (PrefetchLedger::toJson):
+     * outcome counters, distance histograms, and per-origin heat
+     * tables. Null unless the run was given a ledger.
+     */
+    Json ledger;
 
     /**
      * Full statistics tree (mem, core, and prefetcher StatGroups
@@ -172,11 +193,18 @@ inline constexpr std::uint64_t kAutoWarmup = ~std::uint64_t{0};
  *
  * Trace hooks are muted during warmup so an installed TraceSink only
  * sees the measured window, matching the statistics.
+ *
+ * When @p ledger is non-null, a PrefetchLedger built from it is
+ * attached to the hierarchy for the run; the result then carries the
+ * outcome snapshot fields and RunResult::ledger. Attribution is reset
+ * at the warmup boundary together with the statistics and finalized
+ * before the snapshot, so sum(outcome classes) == pf_issued.
  */
 RunResult runTrace(TraceSource &source, const MachineConfig &machine,
                    EngineSetup &engine, std::uint64_t instructions,
                    std::uint64_t warmup = kAutoWarmup,
-                   std::uint64_t interval = 0);
+                   std::uint64_t interval = 0,
+                   const LedgerConfig *ledger = nullptr);
 
 /**
  * Convenience: build the named workload and engine and run them on a
@@ -188,7 +216,8 @@ RunResult runNamed(const std::string &workload_name,
                    const MachineConfig &base = MachineConfig{},
                    std::uint64_t seed = 1,
                    std::uint64_t warmup = kAutoWarmup,
-                   std::uint64_t interval = 0);
+                   std::uint64_t interval = 0,
+                   const LedgerConfig *ledger = nullptr);
 
 /** Geometric mean of @p values (which must all be positive). */
 double geomean(const std::vector<double> &values);

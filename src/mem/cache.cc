@@ -154,6 +154,10 @@ CacheModel::fill(Addr addr, Cycle now)
     std::optional<Eviction> evicted;
     if (line.valid) {
         evicted = Eviction{addrOf(line.tag, set), line.dirty, line};
+        if (listener_) [[unlikely]]
+            listener_->onCacheEvict(listener_id_, evicted->block_addr,
+                                    evicted->line, blockAlign(addr),
+                                    now);
     }
 
     line = CacheLine{};

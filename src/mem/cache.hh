@@ -50,6 +50,28 @@ struct Eviction
 };
 
 /**
+ * Observer of cache directory events, the attachment point of the
+ * prefetch lifecycle ledger (src/obs). CacheModel fires one callback
+ * per eviction from inside fill(); with no listener attached the
+ * cost is a single pointer load and a not-taken branch (bounded by
+ * bench/micro_components BM_CacheFillNoListener).
+ */
+class CacheEventListener
+{
+  public:
+    virtual ~CacheEventListener() = default;
+
+    /**
+     * The fill of @p filled_addr displaced @p victim_addr at cycle
+     * @p now. @p cache_id is the tag passed to setListener, so one
+     * listener can watch several levels.
+     */
+    virtual void onCacheEvict(std::uint32_t cache_id, Addr victim_addr,
+                              const CacheLine &victim, Addr filled_addr,
+                              Cycle now) = 0;
+};
+
+/**
  * A set-associative cache directory.
  *
  * Addresses are decomposed as [ tag | set index | block offset ].
@@ -136,6 +158,18 @@ class CacheModel
     /** @return number of valid lines in the set holding @p addr. */
     unsigned setOccupancy(Addr addr) const;
 
+    /**
+     * Attach @p listener (nullptr detaches); it is notified of every
+     * eviction this cache performs, tagged with @p id. The listener
+     * stays owned by the caller.
+     */
+    void
+    setListener(CacheEventListener *listener, std::uint32_t id = 0)
+    {
+        listener_ = listener;
+        listener_id_ = id;
+    }
+
   private:
     /** Sentinel way index: the tag is not resident in the set. */
     static constexpr unsigned kNoWay = ~0u;
@@ -170,6 +204,8 @@ class CacheModel
      * a prefix and findWay can stop at the first invalid way.
      */
     bool may_have_holes_ = false;
+    CacheEventListener *listener_ = nullptr;
+    std::uint32_t listener_id_ = 0;
     std::uint64_t stamp_ = 0;
     /** lines_[set * assoc_ + way] */
     std::vector<CacheLine> lines_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/ledger.hh"
 #include "sim/trace_sink.hh"
 #include "util/logging.hh"
 
@@ -86,6 +87,7 @@ MemoryHierarchy::dataAccess(Addr addr, AccessType type, Pc pc, Cycle now)
             // First demand touch of a line promoted into L1 by the
             // hybrid scheme.
             line->demand_touched = true;
+            ledgerDemandHit(ledger_, l2_.blockAlign(addr), now);
             if (prefetcher_) {
                 ++prefetcher_->useful;
                 if (line->available_at > now)
@@ -108,6 +110,7 @@ MemoryHierarchy::dataAccess(Addr addr, AccessType type, Pc pc, Cycle now)
     // Primary miss: wait for an MSHR, then look up L2.
     ++l1d_misses;
     traceEvent("l1d_miss", "mem", now, addr);
+    ledgerL1Miss(ledger_, l1d_.blockAlign(addr), now);
     const Cycle start = std::max(now, l1d_mshrs_.earliestFree(now));
     const Cycle t = start + config_.l1d.latency;
 
@@ -205,6 +208,7 @@ MemoryHierarchy::l2DemandAccess(Addr block_addr, Cycle t, bool classify)
                 if (!line->demand_touched) {
                     line->demand_touched = true;
                     l2_virtual_miss_ = true;
+                    ledgerDemandHit(ledger_, block_addr, t);
                     if (prefetcher_) {
                         ++prefetcher_->useful;
                         if (line->available_at > t)
@@ -220,8 +224,10 @@ MemoryHierarchy::l2DemandAccess(Addr block_addr, Cycle t, bool classify)
 
     // L2 miss: fetch the block from main memory.
     ++l2_demand_misses;
-    if (classify)
+    if (classify) {
         ++nonprefetched_original;
+        ledgerL2DemandMiss(ledger_, block_addr, t);
+    }
     const Cycle ready =
         mem_bus_.request(t + config_.l2.latency, l2_.blockBytes()) +
         config_.memory_latency;
@@ -277,6 +283,8 @@ MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
     if (l2_.probe(block)) {
         // Data already present: the prefetch completes at the L2.
         ++prefetch_l2_present;
+        if (ledger_) [[unlikely]]
+            ledger_->onRedundant(block, req.origin, t);
         const CacheLine *line = l2_.probe(block);
         ready = std::max(t + config_.l2.latency, line->available_at);
     } else {
@@ -285,6 +293,8 @@ MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
             // real engine deprioritises prefetches behind demands.
             ++prefetcher_->dropped;
             traceEvent("pf_drop", "prefetch", t, block);
+            if (ledger_) [[unlikely]]
+                ledger_->onDrop(block, req.origin, t);
             return;
         }
         ready = mem_bus_.request(t + config_.l2.latency,
@@ -293,6 +303,10 @@ MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
         prefetch_mshrs_.allocate(ready);
         ++prefetch_fills;
         traceEvent("pf_fill", "prefetch", ready, block);
+        // Before the fill, so the ledger can attribute the fill's
+        // eviction to this prefetch.
+        if (ledger_) [[unlikely]]
+            ledger_->onIssue(block, req.origin, t, ready);
         if (auto ev = l2_.fill(block, t); ev && ev->dirty) {
             ++writebacks;
             mem_bus_.request(t, l2_.blockBytes());
@@ -351,6 +365,9 @@ MemoryHierarchy::drainPromotions(Cycle now)
         }
         Bus &bus = config_.prefetch_bus ? prefetch_bus_ : l1l2_bus_;
         const Cycle arrive = bus.request(p.ready, l1d_.blockBytes());
+        // Before the fill, so the promotion's eviction is attributed.
+        if (ledger_) [[unlikely]]
+            ledger_->onPromote(p.l1_block, p.ready);
         fillL1D(p.l1_block, p.ready, arrive, true);
         ++promotions_l1;
         traceEvent("pf_promote", "prefetch", arrive, p.l1_block);
@@ -372,6 +389,18 @@ MemoryHierarchy::reset()
     prefetch_mshrs_.reset();
     promo_queue_.clear();
     stats_.resetAll();
+    if (ledger_)
+        ledger_->reset();
+}
+
+void
+MemoryHierarchy::attachLedger(PrefetchLedger *ledger)
+{
+    ledger_ = ledger;
+    l1d_.setListener(ledger, kLedgerCacheL1D);
+    l2_.setListener(ledger, kLedgerCacheL2);
+    if (ledger)
+        ledger->setGeometry(l1d_.blockBits(), l2_.blockBits());
 }
 
 } // namespace tcp

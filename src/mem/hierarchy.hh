@@ -29,6 +29,8 @@
 
 namespace tcp {
 
+class PrefetchLedger;
+
 /** Timing outcome of one data access. */
 struct AccessResult
 {
@@ -79,6 +81,16 @@ class MemoryHierarchy
 
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
+
+    /**
+     * Attach the prefetch lifecycle ledger (src/obs), or nullptr to
+     * detach. The hierarchy installs it as the eviction listener of
+     * the L1-D and L2 models and feeds it issue/demand events; the
+     * ledger stays owned by the caller. With no ledger attached every
+     * hook is a null-pointer check.
+     */
+    void attachLedger(PrefetchLedger *ledger);
+    PrefetchLedger *ledger() { return ledger_; }
 
     /** Reset all cache/bus/stat state (tables keep their config). */
     void reset();
@@ -134,6 +146,7 @@ class MemoryHierarchy
      */
     Prefetcher *access_observer_;
     DeadBlockPredictor *dbp_;
+    PrefetchLedger *ledger_ = nullptr;
     std::vector<PrefetchRequest> pending_;
     /**
      * Set by l2DemandAccess when a demand hit consumed prefetched

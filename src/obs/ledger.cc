@@ -1,0 +1,536 @@
+#include "ledger.hh"
+
+#include <algorithm>
+
+#include "sim/trace_sink.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+const char *
+pfOutcomeName(PfOutcome outcome)
+{
+    switch (outcome) {
+      case PfOutcome::Useful:     return "useful";
+      case PfOutcome::Late:       return "late";
+      case PfOutcome::Early:      return "early";
+      case PfOutcome::Pollution:  return "pollution";
+      case PfOutcome::Redundant:  return "redundant";
+      case PfOutcome::Dropped:    return "dropped";
+      case PfOutcome::Unresolved: return "unresolved";
+    }
+    return "invalid";
+}
+
+std::uint64_t
+PrefetchLedger::OriginStats::issuedTotal() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t c : counts)
+        n += c;
+    return n;
+}
+
+double
+PrefetchLedger::OriginStats::accuracy() const
+{
+    // Late prefetches still delivered the right block, so they count
+    // toward accuracy just as the hierarchy's pf_accuracy does.
+    const std::uint64_t n = issuedTotal();
+    if (n == 0)
+        return 0.0;
+    const std::uint64_t good =
+        counts[static_cast<int>(PfOutcome::Useful)] +
+        counts[static_cast<int>(PfOutcome::Late)];
+    return static_cast<double>(good) / static_cast<double>(n);
+}
+
+PrefetchLedger::PrefetchLedger(const LedgerConfig &config)
+    : config_(config),
+      stats_("ledger"),
+      issued(stats_, "issued", "prefetches entering the ledger"),
+      useful(stats_, "useful", "retired useful (arrived before demand)"),
+      late(stats_, "late", "retired late (demanded before arrival)"),
+      early(stats_, "early", "retired evicted before any demand"),
+      pollution(stats_, "pollution",
+                "retired unused with a re-demanded victim"),
+      redundant(stats_, "redundant",
+                "target already resident or in flight at issue"),
+      dropped(stats_, "dropped", "rejected at issue (no prefetch MSHR)"),
+      unresolved(stats_, "unresolved",
+                 "still resident and untouched at finalize"),
+      pollution_events(stats_, "pollution_events",
+                       "re-demands of prefetch-evicted victims"),
+      shadow_overwrites(stats_, "shadow_overwrites",
+                        "shadow victim table collisions"),
+      promotions(stats_, "promotions",
+                 "tracked prefetches promoted into the L1"),
+      use_distance_cycles(stats_, "use_distance_cycles",
+                          "issue to first demand, in cycles"),
+      use_distance_misses(stats_, "use_distance_misses",
+                          "issue to first demand, in L1-D misses"),
+      early_life_cycles(stats_, "early_life_cycles",
+                        "issue to eviction for early prefetches"),
+      pollution_redemand_misses(stats_, "pollution_redemand_misses",
+                                "eviction to victim re-demand, in misses")
+{
+    tcp_assert(config_.shadow_entries > 0 &&
+                   isPowerOfTwo(config_.shadow_entries),
+               "ledger: shadow_entries must be a nonzero power of two, "
+               "got ", config_.shadow_entries);
+    tcp_assert(config_.max_origins > 0,
+               "ledger: max_origins must be nonzero");
+    shadow_.resize(config_.shadow_entries);
+}
+
+void
+PrefetchLedger::setGeometry(unsigned l1_block_bits, unsigned l2_block_bits)
+{
+    l1_block_mask_ = mask(l1_block_bits);
+    l2_block_mask_ = mask(l2_block_bits);
+}
+
+// ---------------------------------------------------------------------
+// Heat table attribution
+
+PrefetchLedger::OriginStats *
+PrefetchLedger::statsFor(OriginMap &map, OriginStats &overflow,
+                         std::uint64_t key)
+{
+    auto it = map.find(key);
+    if (it != map.end())
+        return &it->second;
+    if (map.size() >= config_.max_origins)
+        return &overflow;
+    return &map[key];
+}
+
+namespace {
+
+/**
+ * Key of the per-origin table: the engine-specific entry qualified by
+ * the source kind, so e.g. a PHT way and a stream buffer index with
+ * the same numeric value stay distinct rows.
+ */
+std::uint64_t
+originKey(const PfOrigin &origin)
+{
+    return (static_cast<std::uint64_t>(origin.source) << 56) ^
+           (origin.entry & mask(56));
+}
+
+} // namespace
+
+void
+PrefetchLedger::attribute(const PfOrigin &origin, PfOutcome outcome)
+{
+    const int slot = static_cast<int>(outcome);
+    OriginStats *by_entry =
+        statsFor(origins_, origins_overflow_, originKey(origin));
+    ++by_entry->counts[slot];
+    by_entry->source = origin.source;
+    by_entry->last_hash = origin.history_hash;
+
+    OriginStats *by_pc = statsFor(pcs_, pcs_overflow_, origin.pc);
+    ++by_pc->counts[slot];
+    by_pc->source = origin.source;
+
+    OriginStats *by_index =
+        statsFor(miss_indices_, miss_indices_overflow_, origin.miss_index);
+    ++by_index->counts[slot];
+    by_index->source = origin.source;
+}
+
+void
+PrefetchLedger::attributePollution(const PfOrigin &origin)
+{
+    ++statsFor(origins_, origins_overflow_, originKey(origin))
+          ->pollution_events;
+    ++statsFor(pcs_, pcs_overflow_, origin.pc)->pollution_events;
+    ++statsFor(miss_indices_, miss_indices_overflow_, origin.miss_index)
+          ->pollution_events;
+}
+
+// ---------------------------------------------------------------------
+// Shadow victim table
+
+std::size_t
+PrefetchLedger::shadowIndex(std::uint32_t domain, Addr victim) const
+{
+    // Mix the domain in so an L1 and an L2 victim of the same block
+    // land in different slots; golden-ratio multiply spreads the
+    // block-aligned low-entropy addresses.
+    const std::uint64_t h =
+        (victim ^ (std::uint64_t{domain} << 61)) * 0x9e3779b97f4a7c15ull;
+    return (h >> 16) & (config_.shadow_entries - 1);
+}
+
+void
+PrefetchLedger::shadowInsert(std::uint32_t domain, Addr victim,
+                             Addr evictor_block, const Record &evictor)
+{
+    ShadowEntry &e = shadow_[shadowIndex(domain, victim)];
+    if (e.valid)
+        ++shadow_overwrites;
+    e.valid = true;
+    e.domain = static_cast<std::uint8_t>(domain);
+    e.victim = victim;
+    e.evictor_block = evictor_block;
+    e.evictor_id = evictor.id;
+    e.origin = evictor.origin;
+    e.evict_seq = miss_seq_;
+}
+
+void
+PrefetchLedger::shadowCheck(std::uint32_t domain, Addr block, Cycle now)
+{
+    ShadowEntry &e = shadow_[shadowIndex(domain, block)];
+    if (!e.valid || e.domain != domain || e.victim != block)
+        return;
+    // A line a prefetch displaced is being demanded again: a pollution
+    // event, charged to the prefetch's origin. If the evicting
+    // prefetch is still unretired, mark it so it retires as pollution
+    // rather than early/unresolved.
+    ++pollution_events;
+    pollution_redemand_misses.sample(miss_seq_ - e.evict_seq);
+    attributePollution(e.origin);
+    traceEvent("pf_pollution", "ledger", now, block);
+    auto it = live_.find(e.evictor_block);
+    if (it != live_.end() && it->second.id == e.evictor_id)
+        it->second.polluted = true;
+    e.valid = false;
+}
+
+// ---------------------------------------------------------------------
+// Issue-side hooks
+
+void
+PrefetchLedger::onIssue(Addr l2_block, const PfOrigin &origin, Cycle now,
+                        Cycle ready)
+{
+    ++issued;
+    // A resident or in-flight target is reported as redundant, so a
+    // live record here can only be a promoted prefetch whose L2 copy
+    // was evicted and is now being prefetched again. Retire the stale
+    // record (its remaining L1 copy goes untracked) so exactly one
+    // record per block stays live.
+    auto stale = live_.find(l2_block);
+    if (stale != live_.end()) {
+        Record &old = stale->second;
+        retire(l2_block, old,
+               old.polluted ? PfOutcome::Pollution : PfOutcome::Early,
+               now);
+    }
+    Record &rec = live_[l2_block];
+    rec.id = next_id_++;
+    rec.origin = origin;
+    rec.issue_cycle = now;
+    rec.ready_cycle = ready;
+    rec.issue_seq = miss_seq_;
+    rec.in_l2 = true;
+}
+
+void
+PrefetchLedger::recordImmediate(const PfOrigin &origin, PfOutcome outcome)
+{
+    ++issued;
+    if (outcome == PfOutcome::Redundant)
+        ++redundant;
+    else
+        ++dropped;
+    attribute(origin, outcome);
+}
+
+void
+PrefetchLedger::onRedundant(Addr l2_block, const PfOrigin &origin,
+                            Cycle now)
+{
+    (void)l2_block;
+    (void)now;
+    recordImmediate(origin, PfOutcome::Redundant);
+}
+
+void
+PrefetchLedger::onDrop(Addr l2_block, const PfOrigin &origin, Cycle now)
+{
+    (void)l2_block;
+    (void)now;
+    recordImmediate(origin, PfOutcome::Dropped);
+}
+
+// ---------------------------------------------------------------------
+// Retirement
+
+void
+PrefetchLedger::retire(Addr l2_block, Record &rec, PfOutcome outcome,
+                       Cycle now)
+{
+    switch (outcome) {
+      case PfOutcome::Useful:
+        ++useful;
+        use_distance_cycles.sample(now - rec.issue_cycle);
+        use_distance_misses.sample(miss_seq_ - rec.issue_seq);
+        break;
+      case PfOutcome::Late:
+        ++late;
+        use_distance_cycles.sample(now - rec.issue_cycle);
+        use_distance_misses.sample(miss_seq_ - rec.issue_seq);
+        break;
+      case PfOutcome::Early:
+        ++early;
+        early_life_cycles.sample(now - rec.issue_cycle);
+        break;
+      case PfOutcome::Pollution:
+        ++pollution;
+        break;
+      case PfOutcome::Unresolved:
+        ++unresolved;
+        break;
+      case PfOutcome::Redundant:
+      case PfOutcome::Dropped:
+        tcp_panic("ledger: immediate outcome in retire()");
+    }
+    attribute(rec.origin, outcome);
+    live_.erase(l2_block);
+}
+
+// ---------------------------------------------------------------------
+// Demand-side hooks
+
+void
+PrefetchLedger::onL1Miss(Addr l1_block, Cycle now)
+{
+    ++miss_seq_;
+    shadowCheck(kLedgerCacheL1D, l1_block, now);
+}
+
+void
+PrefetchLedger::onDemandHit(Addr l2_block, Cycle now)
+{
+    auto it = live_.find(l2_block);
+    if (it == live_.end())
+        return;
+    Record &rec = it->second;
+    const PfOutcome outcome =
+        now < rec.ready_cycle ? PfOutcome::Late : PfOutcome::Useful;
+    retire(l2_block, rec, outcome, now);
+}
+
+void
+PrefetchLedger::onL2DemandMiss(Addr l2_block, Cycle now)
+{
+    shadowCheck(kLedgerCacheL2, l2_block, now);
+}
+
+void
+PrefetchLedger::onPromote(Addr l1_block, Cycle now)
+{
+    (void)now;
+    auto it = live_.find(l2Align(l1_block));
+    if (it == live_.end())
+        return;
+    Record &rec = it->second;
+    rec.promoted = true;
+    rec.in_l1 = true;
+    rec.promoted_l1_block = l1_block;
+    ++promotions;
+}
+
+// ---------------------------------------------------------------------
+// Eviction listener
+
+void
+PrefetchLedger::onCacheEvict(std::uint32_t cache_id, Addr victim_addr,
+                             const CacheLine &victim, Addr filled_addr,
+                             Cycle now)
+{
+    if (cache_id == kLedgerCacheL2) {
+        // Retire a tracked prefetch whose L2 copy just left. Promoted
+        // lines stay live while their L1 copy survives.
+        auto vit = live_.find(victim_addr);
+        if (vit != live_.end() && vit->second.in_l2) {
+            Record &rec = vit->second;
+            rec.in_l2 = false;
+            if (!rec.in_l1) {
+                const PfOutcome outcome = rec.polluted
+                                              ? PfOutcome::Pollution
+                                              : PfOutcome::Early;
+                retire(victim_addr, rec, outcome, now);
+            }
+        }
+        // If the fill itself is a tracked prefetch arriving in the L2
+        // (in_l2 was just set by onIssue, before the fill), its victim
+        // enters the shadow table: a later re-demand is pollution.
+        auto fit = live_.find(filled_addr);
+        if (fit != live_.end() && fit->second.in_l2)
+            shadowInsert(kLedgerCacheL2, victim_addr, filled_addr,
+                         fit->second);
+        return;
+    }
+
+    if (cache_id != kLedgerCacheL1D)
+        return;
+
+    // L1-D eviction. Victims only matter when prefetched state is
+    // involved; the prefetched flag is a cheap pre-filter before the
+    // map lookup.
+    if (victim.prefetched) {
+        auto vit = live_.find(l2Align(victim_addr));
+        if (vit != live_.end() && vit->second.in_l1 &&
+            vit->second.promoted_l1_block == victim_addr) {
+            Record &rec = vit->second;
+            rec.in_l1 = false;
+            if (!rec.in_l2) {
+                const PfOutcome outcome = rec.polluted
+                                              ? PfOutcome::Pollution
+                                              : PfOutcome::Early;
+                retire(l2Align(victim_addr), rec, outcome, now);
+            }
+        }
+    }
+    // If the fill is a tracked promotion, remember its victim: the
+    // hybrid scheme displacing live L1 lines is exactly the pollution
+    // the dead-block gate exists to prevent.
+    auto fit = live_.find(l2Align(filled_addr));
+    if (fit != live_.end() && fit->second.in_l1 &&
+        fit->second.promoted_l1_block == filled_addr)
+        shadowInsert(kLedgerCacheL1D, victim_addr, l2Align(filled_addr),
+                     fit->second);
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle
+
+void
+PrefetchLedger::finalize()
+{
+    // Retire leftovers in address order so the outcome of a run never
+    // depends on hash-map iteration order.
+    std::vector<Addr> blocks;
+    blocks.reserve(live_.size());
+    for (const auto &[block, rec] : live_)
+        blocks.push_back(block);
+    std::sort(blocks.begin(), blocks.end());
+    for (Addr block : blocks) {
+        Record &rec = live_.at(block);
+        const PfOutcome outcome = rec.polluted ? PfOutcome::Pollution
+                                               : PfOutcome::Unresolved;
+        retire(block, rec, outcome, rec.issue_cycle);
+    }
+}
+
+void
+PrefetchLedger::reset()
+{
+    stats_.resetAll();
+    live_.clear();
+    std::fill(shadow_.begin(), shadow_.end(), ShadowEntry{});
+    origins_.clear();
+    pcs_.clear();
+    miss_indices_.clear();
+    origins_overflow_ = OriginStats{};
+    pcs_overflow_ = OriginStats{};
+    miss_indices_overflow_ = OriginStats{};
+    next_id_ = 1;
+    miss_seq_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// Introspection / export
+
+std::uint64_t
+PrefetchLedger::outcomeCount(PfOutcome outcome) const
+{
+    switch (outcome) {
+      case PfOutcome::Useful:     return useful.value();
+      case PfOutcome::Late:       return late.value();
+      case PfOutcome::Early:      return early.value();
+      case PfOutcome::Pollution:  return pollution.value();
+      case PfOutcome::Redundant:  return redundant.value();
+      case PfOutcome::Dropped:    return dropped.value();
+      case PfOutcome::Unresolved: return unresolved.value();
+    }
+    tcp_panic("ledger: invalid outcome");
+}
+
+std::uint64_t
+PrefetchLedger::outcomeSum() const
+{
+    return useful.value() + late.value() + early.value() +
+           pollution.value() + redundant.value() + dropped.value() +
+           unresolved.value();
+}
+
+Json
+PrefetchLedger::heatTableJson(const OriginMap &map,
+                              const OriginStats &overflow,
+                              bool origins_table) const
+{
+    // Sort every row by issue count (key ascending on ties) before
+    // trimming to top_n; unordered_map iteration order must never
+    // reach the output.
+    std::vector<std::pair<std::uint64_t, const OriginStats *>> rows;
+    rows.reserve(map.size());
+    for (const auto &[key, os] : map)
+        rows.emplace_back(key, &os);
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  const std::uint64_t ia = a.second->issuedTotal();
+                  const std::uint64_t ib = b.second->issuedTotal();
+                  if (ia != ib)
+                      return ia > ib;
+                  return a.first < b.first;
+              });
+
+    Json table = Json::object();
+    table["entries"] = static_cast<std::uint64_t>(map.size());
+    Json list = Json::array();
+    const std::size_t n =
+        std::min<std::size_t>(rows.size(), config_.top_n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &[key, os] = rows[i];
+        Json row = Json::object();
+        row["key"] = key;
+        row["source"] = pfSourceName(os->source);
+        if (origins_table) {
+            // Unpack the qualified key back into the raw entry id.
+            const std::uint64_t entry = key & mask(56);
+            row["entry"] = entry;
+            row["history_hash"] = os->last_hash;
+        }
+        row["issued"] = os->issuedTotal();
+        for (int o = 0; o < 7; ++o)
+            row[pfOutcomeName(static_cast<PfOutcome>(o))] =
+                os->counts[o];
+        row["pollution_events"] = os->pollution_events;
+        row["accuracy"] = os->accuracy();
+        list.push(std::move(row));
+    }
+    table["top"] = std::move(list);
+    if (overflow.issuedTotal() > 0 || overflow.pollution_events > 0) {
+        Json other = Json::object();
+        other["issued"] = overflow.issuedTotal();
+        for (int o = 0; o < 7; ++o)
+            other[pfOutcomeName(static_cast<PfOutcome>(o))] =
+                overflow.counts[o];
+        other["pollution_events"] = overflow.pollution_events;
+        other["accuracy"] = overflow.accuracy();
+        table["other"] = std::move(other);
+    }
+    return table;
+}
+
+Json
+PrefetchLedger::toJson() const
+{
+    Json j = stats_.toJson();
+    j["live"] = liveCount();
+    j["origins"] = heatTableJson(origins_, origins_overflow_, true);
+    j["trigger_pcs"] = heatTableJson(pcs_, pcs_overflow_, false);
+    j["miss_indices"] =
+        heatTableJson(miss_indices_, miss_indices_overflow_, false);
+    return j;
+}
+
+} // namespace tcp

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * The prefetch lifecycle ledger: per-prefetch attribution from issue
+ * to retirement.
+ *
+ * The aggregate counters of Figures 11-13 (accuracy, coverage,
+ * lateness) say *whether* a configuration wins but not *why*. The
+ * ledger tracks every issued prefetch individually and classifies it
+ * at retirement as exactly one of
+ *
+ *   useful     demanded after its data arrived
+ *   late       demanded before its data arrived
+ *   early      evicted (from every level) before any demand
+ *   pollution  never demanded, and its fill evicted a line that was
+ *              then re-demanded (detected via a shadow victim table)
+ *   redundant  target already resident or in flight at issue
+ *   dropped    rejected at issue (prefetch MSHRs full)
+ *   unresolved still resident and untouched at the end of the run
+ *
+ * so that the outcome classes always partition the issued count:
+ * sum(classes) == issued, checked by tests/test_obs.cc. Each outcome
+ * is attributed back to its origin (PfOrigin: PHT set/way and
+ * history hash for TCP, correlation entry for DBCP, trigger PC and
+ * miss index for every engine) and accumulated into per-origin heat
+ * tables, alongside histograms of issue-to-use distance in cycles
+ * and in intervening L1-D misses.
+ *
+ * Wiring: MemoryHierarchy calls the on*() hooks from its demand and
+ * prefetch paths, and the ledger doubles as the CacheEventListener
+ * of the L1-D and L2 models for eviction notifications. All hooks
+ * follow the TraceSink discipline — with no ledger attached the cost
+ * on the simulation's hot paths is a null-pointer check (bounded by
+ * bench/micro_components BM_LedgerHookDisabled).
+ */
+
+#ifndef TCP_OBS_LEDGER_HH
+#define TCP_OBS_LEDGER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "prefetch/prefetcher.hh"
+#include "sim/json.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tcp {
+
+/** Cache ids the hierarchy tags its listener installations with. */
+inline constexpr std::uint32_t kLedgerCacheL1D = 1;
+inline constexpr std::uint32_t kLedgerCacheL2 = 2;
+
+/** Final classification of one issued prefetch (see file comment). */
+enum class PfOutcome : std::uint8_t
+{
+    Useful,
+    Late,
+    Early,
+    Pollution,
+    Redundant,
+    Dropped,
+    Unresolved,
+};
+
+/** Human-readable name of an outcome class. */
+const char *pfOutcomeName(PfOutcome outcome);
+
+/** Tuning knobs of a PrefetchLedger. */
+struct LedgerConfig
+{
+    /**
+     * Shadow victim table entries (direct-mapped, power of two).
+     * Victims of prefetch-caused evictions wait here for a
+     * re-demand; a colliding insertion overwrites (and counts in
+     * shadow_overwrites), so pollution detection is approximate from
+     * below on workloads with more in-flight victims than entries.
+     */
+    std::size_t shadow_entries = 4096;
+    /**
+     * Cap on each per-origin heat table. Keys past the cap fold into
+     * one overflow row so a DBCP-sized table cannot balloon the
+     * ledger.
+     */
+    std::size_t max_origins = 1 << 16;
+    /** Rows exported per heat table by toJson(). */
+    unsigned top_n = 16;
+};
+
+/** Tracks every issued prefetch from issue to retirement. */
+class PrefetchLedger : public CacheEventListener
+{
+  public:
+    explicit PrefetchLedger(const LedgerConfig &config = {});
+
+    /**
+     * Block geometry used to map L1 victim addresses onto the
+     * L2-block keys the ledger tracks. MemoryHierarchy::attachLedger
+     * calls this; standalone (unit-test) use may skip it when every
+     * address is already L2-aligned.
+     */
+    void setGeometry(unsigned l1_block_bits, unsigned l2_block_bits);
+
+    /// @name Issue-side hooks (MemoryHierarchy::issuePrefetch)
+    /// @{
+    /**
+     * A prefetch for @p l2_block left the engine and will fill the
+     * L2 with data arriving at @p ready. Must be called before the
+     * corresponding CacheModel::fill so the eviction notification
+     * can attribute the fill's victim.
+     */
+    void onIssue(Addr l2_block, const PfOrigin &origin, Cycle now,
+                 Cycle ready);
+    /** The target was already resident or in flight. */
+    void onRedundant(Addr l2_block, const PfOrigin &origin, Cycle now);
+    /** The prefetch was rejected at issue (no MSHR). */
+    void onDrop(Addr l2_block, const PfOrigin &origin, Cycle now);
+    /// @}
+
+    /// @name Demand-side hooks (MemoryHierarchy)
+    /// @{
+    /**
+     * An L1-D primary (data) miss on @p l1_block: advances the miss
+     * sequence used for distance histograms and checks the shadow
+     * table for an L1 pollution victim.
+     */
+    void onL1Miss(Addr l1_block, Cycle now);
+    /**
+     * A demand access consumed prefetched data for the first time
+     * (L2 classify hit, or first touch of a promoted line in L1).
+     * Retires the record as useful or late.
+     */
+    void onDemandHit(Addr l2_block, Cycle now);
+    /** A classified L2 demand miss: shadow pollution check. */
+    void onL2DemandMiss(Addr l2_block, Cycle now);
+    /**
+     * The hybrid scheme promoted @p l1_block into the L1. Must be
+     * called before the promotion's fill so the L1 eviction it
+     * causes is attributed to this prefetch.
+     */
+    void onPromote(Addr l1_block, Cycle now);
+    /// @}
+
+    /** CacheEventListener: an L1-D or L2 eviction. */
+    void onCacheEvict(std::uint32_t cache_id, Addr victim_addr,
+                      const CacheLine &victim, Addr filled_addr,
+                      Cycle now) override;
+
+    /**
+     * Retire every still-live record (polluted ones as pollution,
+     * the rest as unresolved). Call once at the end of the measured
+     * window; afterwards sum(outcome classes) == issued.
+     */
+    void finalize();
+
+    /** Drop all records and statistics (fresh measured window). */
+    void reset();
+
+    /// @name Introspection (tests, export)
+    /// @{
+    std::uint64_t outcomeCount(PfOutcome outcome) const;
+    /** Sum over all outcome classes (== issued after finalize()). */
+    std::uint64_t outcomeSum() const;
+    std::uint64_t liveCount() const { return live_.size(); }
+    const LedgerConfig &config() const { return config_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+    /// @}
+
+    /**
+     * Serialize: every counter and histogram of stats(), plus the
+     * top-N per-origin, per-trigger-PC, and per-miss-index heat
+     * tables sorted by issue count (deterministic tie-break on key).
+     */
+    Json toJson() const;
+
+  private:
+    /** Outcome tallies of one attribution key. */
+    struct OriginStats
+    {
+        std::uint64_t counts[7] = {};
+        /** Victim re-demands attributed to this origin's evictions. */
+        std::uint64_t pollution_events = 0;
+        /** Most recent history hash seen (origins table only). */
+        std::uint64_t last_hash = 0;
+        PfSource source = PfSource::Unknown;
+
+        std::uint64_t issuedTotal() const;
+        double accuracy() const;
+    };
+
+    using OriginMap = std::unordered_map<std::uint64_t, OriginStats>;
+
+    /** One live (issued, unretired) prefetch. */
+    struct Record
+    {
+        std::uint64_t id = 0;
+        PfOrigin origin{};
+        Cycle issue_cycle = 0;
+        Cycle ready_cycle = 0;
+        std::uint64_t issue_seq = 0;
+        bool polluted = false;
+        bool promoted = false;
+        bool in_l1 = false;
+        bool in_l2 = false;
+        Addr promoted_l1_block = kInvalidAddr;
+    };
+
+    /** A prefetch-evicted block awaiting a possible re-demand. */
+    struct ShadowEntry
+    {
+        bool valid = false;
+        std::uint8_t domain = 0; ///< cache id of the eviction
+        Addr victim = 0;
+        Addr evictor_block = 0; ///< L2 block of the evicting prefetch
+        std::uint64_t evictor_id = 0;
+        PfOrigin origin{};      ///< copy: survives the evictor's retire
+        std::uint64_t evict_seq = 0;
+    };
+
+    Addr l2Align(Addr addr) const { return addr & ~l2_block_mask_; }
+    std::size_t shadowIndex(std::uint32_t domain, Addr victim) const;
+    void shadowInsert(std::uint32_t domain, Addr victim,
+                      Addr evictor_block, const Record &evictor);
+    void shadowCheck(std::uint32_t domain, Addr block, Cycle now);
+
+    /** Add @p outcome (or a pollution event) to every heat table. */
+    void attribute(const PfOrigin &origin, PfOutcome outcome);
+    void attributePollution(const PfOrigin &origin);
+    OriginStats *statsFor(OriginMap &map, OriginStats &overflow,
+                          std::uint64_t key);
+
+    /** Classify and remove a live record. */
+    void retire(Addr l2_block, Record &rec, PfOutcome outcome,
+                Cycle now);
+    /** Record an immediately-final outcome (redundant/dropped). */
+    void recordImmediate(const PfOrigin &origin, PfOutcome outcome);
+
+    Json heatTableJson(const OriginMap &map, const OriginStats &overflow,
+                       bool origins_table) const;
+
+    LedgerConfig config_;
+    Addr l1_block_mask_ = 31; ///< default Table 1 geometry (32 B)
+    Addr l2_block_mask_ = 63; ///< default Table 1 geometry (64 B)
+
+    std::uint64_t next_id_ = 1;
+    std::uint64_t miss_seq_ = 0;
+    std::unordered_map<Addr, Record> live_;
+    std::vector<ShadowEntry> shadow_;
+
+    OriginMap origins_;
+    OriginMap pcs_;
+    OriginMap miss_indices_;
+    OriginStats origins_overflow_;
+    OriginStats pcs_overflow_;
+    OriginStats miss_indices_overflow_;
+
+    StatGroup stats_;
+
+  public:
+    /// @name Aggregate statistics
+    /// @{
+    Counter issued;     ///< prefetches entering the ledger
+    Counter useful;     ///< retired useful (data arrived in time)
+    Counter late;       ///< retired late (demanded before arrival)
+    Counter early;      ///< retired evicted-unused
+    Counter pollution;  ///< retired unused with a re-demanded victim
+    Counter redundant;  ///< target already resident / in flight
+    Counter dropped;    ///< rejected at issue
+    Counter unresolved; ///< still resident at finalize()
+    Counter pollution_events;  ///< victim re-demands observed
+    Counter shadow_overwrites; ///< shadow collisions (lost victims)
+    Counter promotions; ///< records promoted into L1 (hybrid)
+    Histogram use_distance_cycles; ///< issue -> first demand, cycles
+    Histogram use_distance_misses; ///< issue -> first demand, misses
+    Histogram early_life_cycles;   ///< issue -> eviction for early
+    Histogram pollution_redemand_misses; ///< evict -> re-demand
+    /// @}
+};
+
+/// @name Ledger hooks
+/// Free-function wrappers mirroring traceEvent(): the disabled path
+/// (null ledger) is a branch, nothing else, so MemoryHierarchy can
+/// keep them on its demand paths unconditionally.
+/// @{
+inline void
+ledgerL1Miss(PrefetchLedger *ledger, Addr l1_block, Cycle now)
+{
+    if (ledger) [[unlikely]]
+        ledger->onL1Miss(l1_block, now);
+}
+
+inline void
+ledgerDemandHit(PrefetchLedger *ledger, Addr l2_block, Cycle now)
+{
+    if (ledger) [[unlikely]]
+        ledger->onDemandHit(l2_block, now);
+}
+
+inline void
+ledgerL2DemandMiss(PrefetchLedger *ledger, Addr l2_block, Cycle now)
+{
+    if (ledger) [[unlikely]]
+        ledger->onL2DemandMiss(l2_block, now);
+}
+/// @}
+
+} // namespace tcp
+
+#endif // TCP_OBS_LEDGER_HH

@@ -34,11 +34,17 @@ DbcpPrefetcher::keyOf(Addr block, std::uint32_t sig) const
     return (block << config_.signature_bits) | sig;
 }
 
+std::uint64_t
+DbcpPrefetcher::entryIndexOf(std::uint64_t key) const
+{
+    std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    return (h >> 20) & (config_.entries() - 1);
+}
+
 DbcpPrefetcher::CorrEntry &
 DbcpPrefetcher::entryFor(std::uint64_t key)
 {
-    std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
-    return table_[(h >> 20) & (config_.entries() - 1)];
+    return table_[entryIndexOf(key)];
 }
 
 void
@@ -57,7 +63,10 @@ DbcpPrefetcher::observeAccess(const AccessContext &ctx,
     CorrEntry &e = entryFor(key);
     if (e.valid && e.key == key) {
         ++death_predictions;
-        out.push_back(PrefetchRequest{e.next, false});
+        out.push_back(PrefetchRequest{
+            e.next, false,
+            PfOrigin{PfSource::DbcpLiveMatch, entryIndexOf(key), sig,
+                     ctx.pc, (block / config_.block_bytes) & 1023}});
     }
 }
 
@@ -94,7 +103,11 @@ DbcpPrefetcher::observeMiss(const AccessContext &ctx,
     CorrEntry &e = entryFor(key);
     if (e.valid && e.key == key) {
         ++death_predictions;
-        out.push_back(PrefetchRequest{e.next, false});
+        out.push_back(PrefetchRequest{
+            e.next, false,
+            PfOrigin{PfSource::DbcpFillMatch, entryIndexOf(key),
+                     live_sig_[block], ctx.pc,
+                     (block / config_.block_bytes) & 1023}});
     }
 }
 

@@ -71,6 +71,8 @@ class DbcpPrefetcher : public Prefetcher
     };
 
     std::uint64_t keyOf(Addr block, std::uint32_t sig) const;
+    /** Correlation table slot of @p key (prefetch attribution). */
+    std::uint64_t entryIndexOf(std::uint64_t key) const;
     CorrEntry &entryFor(std::uint64_t key);
     std::uint32_t truncAddPc(std::uint32_t sig, Pc pc) const;
 

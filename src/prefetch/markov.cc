@@ -17,11 +17,17 @@ MarkovPrefetcher::MarkovPrefetcher(const MarkovConfig &config)
     tcp_assert(config_.targets >= 1, "need at least one target slot");
 }
 
+std::uint64_t
+MarkovPrefetcher::rowIndexOf(Addr block) const
+{
+    Addr h = block * 0x9e3779b97f4a7c15ULL;
+    return (h >> 24) & (config_.entries - 1);
+}
+
 MarkovPrefetcher::Row &
 MarkovPrefetcher::rowFor(Addr block)
 {
-    Addr h = block * 0x9e3779b97f4a7c15ULL;
-    return table_[(h >> 24) & (config_.entries - 1)];
+    return table_[rowIndexOf(block)];
 }
 
 void
@@ -52,8 +58,11 @@ MarkovPrefetcher::observeMiss(const AccessContext &ctx,
     // Predict: prefetch every stored successor of this block.
     Row &row = rowFor(block);
     if (row.valid && row.block == block) {
+        const PfOrigin origin{
+            PfSource::MarkovTarget, rowIndexOf(block), 0, ctx.pc,
+            (block / config_.block_bytes) & 1023};
         for (Addr t : row.targets)
-            out.push_back(PrefetchRequest{t, false});
+            out.push_back(PrefetchRequest{t, false, origin});
     }
 }
 

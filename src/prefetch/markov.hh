@@ -47,6 +47,8 @@ class MarkovPrefetcher : public Prefetcher
         std::vector<Addr> targets; ///< MRU first
     };
 
+    /** Table slot of @p block (prefetch attribution). */
+    std::uint64_t rowIndexOf(Addr block) const;
     Row &rowFor(Addr block);
 
     MarkovConfig config_;

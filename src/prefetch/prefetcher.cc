@@ -1,0 +1,23 @@
+#include "prefetcher.hh"
+
+namespace tcp {
+
+const char *
+pfSourceName(PfSource source)
+{
+    switch (source) {
+      case PfSource::Unknown:        return "unknown";
+      case PfSource::PhtCorrelation: return "pht";
+      case PfSource::PhtChain:       return "pht_chain";
+      case PfSource::StrideAssist:   return "stride_assist";
+      case PfSource::DbcpLiveMatch:  return "dbcp_live";
+      case PfSource::DbcpFillMatch:  return "dbcp_fill";
+      case PfSource::StrideSteady:   return "stride";
+      case PfSource::StreamAdvance:  return "stream_advance";
+      case PfSource::StreamAllocate: return "stream_alloc";
+      case PfSource::MarkovTarget:   return "markov";
+    }
+    return "invalid";
+}
+
+} // namespace tcp

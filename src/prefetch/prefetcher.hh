@@ -40,6 +40,63 @@ struct EvictContext
     Cycle last_access;  ///< last demand touch of the evicted line
 };
 
+/**
+ * The mechanism inside an engine that produced a prediction. Carried
+ * in PfOrigin so the prefetch ledger can break effectiveness down by
+ * source, not just by engine.
+ */
+enum class PfSource : std::uint8_t
+{
+    Unknown = 0,
+    PhtCorrelation, ///< TCP: PHT entry matched the live history
+    PhtChain,       ///< TCP: degree > 1 chained prediction
+    StrideAssist,   ///< TCP: per-THT-row stride extension
+    DbcpLiveMatch,  ///< DBCP: live signature matched a death trace
+    DbcpFillMatch,  ///< DBCP: first-touch signature matched at fill
+    StrideSteady,   ///< stride RPT entry in steady state
+    StreamAdvance,  ///< stream buffer advanced by an in-window miss
+    StreamAllocate, ///< stream buffer freshly allocated
+    MarkovTarget,   ///< Markov row successor
+};
+
+/** Human-readable name of a PfSource (for reports). */
+const char *pfSourceName(PfSource source);
+
+/** Sentinel: the origin has no meaningful table entry. */
+inline constexpr std::uint64_t kNoOriginEntry = ~std::uint64_t{0};
+
+/**
+ * Where a prefetch decision came from. Engines stamp one of these on
+ * every PrefetchRequest; the observability layer (PrefetchLedger)
+ * attributes the prefetch's eventual outcome — useful, early,
+ * pollution, ... — back to these coordinates. All fields are
+ * optional: a default-constructed origin is valid and simply
+ * unattributable beyond its engine.
+ */
+struct PfOrigin
+{
+    /** Which mechanism produced the prediction. */
+    PfSource source = PfSource::Unknown;
+    /**
+     * Engine table entry that held the correlation: for TCP the PHT
+     * location packed as (set << 8 | way), for DBCP the correlation
+     * table index, for stride the RPT index, for stream the buffer
+     * index, for Markov the row index. kNoOriginEntry when the
+     * prediction used no table entry (e.g. TCP's stride assist).
+     */
+    std::uint64_t entry = kNoOriginEntry;
+    /**
+     * Hash of the history sequence behind the prediction (TCP: the
+     * truncated-add of the THT row's tags, i.e. the quantity Figure 9
+     * indexes the PHT with). 0 when not applicable.
+     */
+    std::uint64_t history_hash = 0;
+    /** PC of the access that triggered the prediction. */
+    Pc pc = 0;
+    /** Miss index (L1 set) of the triggering miss. */
+    std::uint64_t miss_index = 0;
+};
+
 /** One prefetch the engine wants issued. */
 struct PrefetchRequest
 {
@@ -50,6 +107,8 @@ struct PrefetchRequest
      * baselines leave this false and prefetch into L2 only.
      */
     bool to_l1 = false;
+    /** Attribution token consumed by the prefetch ledger. */
+    PfOrigin origin{};
 };
 
 /**

@@ -30,7 +30,12 @@ StreamPrefetcher::observeMiss(const AccessContext &ctx,
             ++advances;
             b.lru = ++stamp_;
             // Top the stream back up to full depth.
-            out.push_back(PrefetchRequest{b.next_block, false});
+            out.push_back(PrefetchRequest{
+                b.next_block, false,
+                PfOrigin{PfSource::StreamAdvance,
+                         static_cast<std::uint64_t>(&b - &buffers_[0]),
+                         0, ctx.pc,
+                         (block / config_.block_bytes) & 1023}});
             b.next_block += config_.block_bytes;
             return;
         }
@@ -50,8 +55,13 @@ StreamPrefetcher::observeMiss(const AccessContext &ctx,
     victim->valid = true;
     victim->lru = ++stamp_;
     victim->next_block = block + config_.block_bytes;
+    const PfOrigin origin{
+        PfSource::StreamAllocate,
+        static_cast<std::uint64_t>(victim - &buffers_[0]), 0, ctx.pc,
+        (block / config_.block_bytes) & 1023};
     for (unsigned d = 0; d < config_.depth; ++d) {
-        out.push_back(PrefetchRequest{victim->next_block, false});
+        out.push_back(
+            PrefetchRequest{victim->next_block, false, origin});
         victim->next_block += config_.block_bytes;
     }
 }

@@ -50,13 +50,17 @@ StridePrefetcher::train(const AccessContext &ctx,
     if (e.state == State::Steady) {
         ++steady_hits;
         if (out) {
+            const PfOrigin origin{
+                PfSource::StrideSteady,
+                (ctx.pc >> 2) & (config_.entries - 1), 0, ctx.pc,
+                (ctx.addr >> 6) & 1023};
             for (unsigned d = 1; d <= config_.degree; ++d) {
                 const std::int64_t target =
                     static_cast<std::int64_t>(ctx.addr) +
                     e.stride * static_cast<std::int64_t>(d);
                 if (target > 0)
                     out->push_back(PrefetchRequest{
-                        static_cast<Addr>(target), false});
+                        static_cast<Addr>(target), false, origin});
             }
         }
     }

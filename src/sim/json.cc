@@ -186,10 +186,12 @@ namespace {
 std::string
 formatDoubleJson(double v)
 {
-    if (!std::isfinite(v)) {
-        // JSON has no inf/nan; emit null (consumers treat as missing).
-        return "null";
-    }
+    // JSON has no inf/nan. A non-finite value here means a rate was
+    // computed with a zero denominator somewhere upstream — silently
+    // emitting null would hide that bug from every consumer, so fail
+    // loudly at the source instead.
+    tcp_assert(std::isfinite(v),
+               "non-finite double ", v, " in JSON output");
     char buf[32];
     const auto res = std::to_chars(buf, buf + sizeof(buf), v);
     std::string s(buf, res.ptr);

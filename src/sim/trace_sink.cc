@@ -34,6 +34,9 @@ TraceSink::toJson() const
     doc["displayTimeUnit"] = "ns";
     doc["otherData"]["producer"] = "tcpsim";
     doc["otherData"]["time_unit"] = "1 trace us = 1 simulated cycle";
+    doc["otherData"]["event_limit"] =
+        static_cast<std::uint64_t>(max_events_);
+    doc["otherData"]["dropped_events"] = dropped_;
     return doc;
 }
 

@@ -30,11 +30,28 @@ namespace tcp {
 class TraceSink
 {
   public:
+    /**
+     * Default event-buffer capacity. An Event is 48 bytes, so the
+     * default bounds a runaway trace at ~192 MB of buffer instead of
+     * eating the machine; events past the cap are counted, not stored.
+     */
+    static constexpr std::size_t kDefaultMaxEvents = std::size_t{4}
+                                                     << 20;
+
+    /** @param max_events buffer capacity; 0 means unbounded. */
+    explicit TraceSink(std::size_t max_events = kDefaultMaxEvents)
+        : max_events_(max_events)
+    {}
+
     /** An instant event, optionally annotated with a block address. */
     void
     instant(const char *name, const char *category, Cycle cycle,
             Addr addr = kInvalidAddr)
     {
+        if (full()) {
+            ++dropped_;
+            return;
+        }
         events_.push_back(Event{name, category, cycle, addr, 0.0,
                                 Event::Kind::Instant});
     }
@@ -46,14 +63,29 @@ class TraceSink
     void
     counter(const char *name, Cycle cycle, double value)
     {
+        if (full()) {
+            ++dropped_;
+            return;
+        }
         events_.push_back(Event{name, "interval", cycle, kInvalidAddr,
                                 value, Event::Kind::Counter});
     }
 
     std::size_t eventCount() const { return events_.size(); }
 
+    /** Events rejected because the buffer was at capacity. */
+    std::uint64_t droppedCount() const { return dropped_; }
+
+    /** Buffer capacity (0 = unbounded). */
+    std::size_t maxEvents() const { return max_events_; }
+
     /** Discard buffered events (benchmarks, long-lived sinks). */
-    void clear() { events_.clear(); }
+    void
+    clear()
+    {
+        events_.clear();
+        dropped_ = 0;
+    }
 
     /** The full document: {"traceEvents": [...], ...metadata}. */
     Json toJson() const;
@@ -83,6 +115,12 @@ class TraceSink
     /// @}
 
   private:
+    bool
+    full() const
+    {
+        return max_events_ != 0 && events_.size() >= max_events_;
+    }
+
     struct Event
     {
         const char *name;     ///< static string: event name
@@ -94,6 +132,8 @@ class TraceSink
     };
 
     std::vector<Event> events_;
+    std::size_t max_events_;
+    std::uint64_t dropped_ = 0;
 
     inline static thread_local TraceSink *current_ = nullptr;
 };

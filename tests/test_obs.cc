@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the prefetch lifecycle attribution subsystem
+ * (PrefetchLedger): direct-drive edge cases for each outcome class,
+ * the shadow victim table (including wraparound), the partition
+ * invariant sum(outcome classes) == issued across engines on real
+ * runs, agreement with the hierarchy's own pf_* counters at zero
+ * warmup, and bit-identical ledger JSON under BatchRunner regardless
+ * of worker count. Also covers the satellites: the TraceSink event
+ * cap and the JSON writer's non-finite rejection.
+ */
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/batch.hh"
+#include "harness/runner.hh"
+#include "obs/ledger.hh"
+#include "sim/json.hh"
+#include "sim/trace_sink.hh"
+
+namespace tcp {
+namespace {
+
+/** An L2-block-aligned address under the default 64 B geometry. */
+constexpr Addr
+block(std::uint64_t n)
+{
+    return n << 6;
+}
+
+PfOrigin
+origin(std::uint64_t entry, Addr pc = 0x400000)
+{
+    PfOrigin o;
+    o.source = PfSource::PhtCorrelation;
+    o.entry = entry;
+    o.history_hash = 0x1234;
+    o.pc = pc;
+    o.miss_index = entry & 1023;
+    return o;
+}
+
+/** A valid prefetched line, as CacheModel hands victims to listeners. */
+CacheLine
+prefetchedLine()
+{
+    CacheLine line;
+    line.valid = true;
+    line.prefetched = true;
+    return line;
+}
+
+TEST(LedgerTest, DemandBeforeReadyIsLateAfterIsUseful)
+{
+    PrefetchLedger ledger;
+    ledger.onIssue(block(1), origin(1), /*now=*/100, /*ready=*/200);
+    ledger.onIssue(block(2), origin(2), /*now=*/100, /*ready=*/200);
+
+    // block(1) is demanded while in flight: late. block(2) is
+    // demanded after its data arrived: useful.
+    ledger.onDemandHit(block(1), 150);
+    ledger.onDemandHit(block(2), 250);
+
+    EXPECT_EQ(ledger.outcomeCount(PfOutcome::Late), 1u);
+    EXPECT_EQ(ledger.outcomeCount(PfOutcome::Useful), 1u);
+    EXPECT_EQ(ledger.liveCount(), 0u);
+
+    // A second touch of a retired block is a no-op; the first touch
+    // decided the outcome.
+    ledger.onDemandHit(block(1), 300);
+    EXPECT_EQ(ledger.outcomeCount(PfOutcome::Late), 1u);
+
+    ledger.finalize();
+    EXPECT_EQ(ledger.outcomeSum(), 2u);
+    EXPECT_EQ(ledger.issued.value(), 2u);
+}
+
+TEST(LedgerTest, PrefetchEvictedByPrefetchThenVictimRedemanded)
+{
+    PrefetchLedger ledger;
+    // A arrives, then B's fill evicts A's block from the L2.
+    ledger.onIssue(block(1), origin(1), 100, 110);
+    ledger.onIssue(block(2), origin(2), 120, 130);
+    ledger.onCacheEvict(kLedgerCacheL2, block(1), prefetchedLine(),
+                        block(2), 125);
+
+    // A retires early (never used); its block enters the shadow
+    // victim table charged to B.
+    EXPECT_EQ(ledger.outcomeCount(PfOutcome::Early), 1u);
+    EXPECT_EQ(ledger.pollution_events.value(), 0u);
+
+    // The evicted block is demanded again: a pollution event, and B
+    // is marked so it retires as pollution rather than early.
+    ledger.onL2DemandMiss(block(1), 140);
+    EXPECT_EQ(ledger.pollution_events.value(), 1u);
+
+    ledger.onCacheEvict(kLedgerCacheL2, block(2), prefetchedLine(),
+                        block(99), 150);
+    EXPECT_EQ(ledger.outcomeCount(PfOutcome::Pollution), 1u);
+
+    ledger.finalize();
+    EXPECT_EQ(ledger.outcomeSum(), ledger.issued.value());
+}
+
+TEST(LedgerTest, RedundantWhileInFlight)
+{
+    PrefetchLedger ledger;
+    ledger.onIssue(block(1), origin(1), 100, 200);
+    // The engine re-predicts the in-flight block: redundant, and the
+    // live record is untouched.
+    ledger.onRedundant(block(1), origin(1), 120);
+    EXPECT_EQ(ledger.outcomeCount(PfOutcome::Redundant), 1u);
+    EXPECT_EQ(ledger.liveCount(), 1u);
+
+    ledger.onDrop(block(3), origin(3), 130);
+    EXPECT_EQ(ledger.outcomeCount(PfOutcome::Dropped), 1u);
+
+    ledger.finalize();
+    EXPECT_EQ(ledger.outcomeCount(PfOutcome::Unresolved), 1u);
+    EXPECT_EQ(ledger.outcomeSum(), 3u);
+    EXPECT_EQ(ledger.issued.value(), 3u);
+}
+
+TEST(LedgerTest, ShadowWraparoundLosesOldestVictim)
+{
+    // A single-entry shadow table: the second insertion overwrites
+    // the first, so only the newest victim can still be detected.
+    LedgerConfig config;
+    config.shadow_entries = 1;
+    PrefetchLedger ledger(config);
+
+    ledger.onIssue(block(1), origin(1), 100, 110);
+    ledger.onCacheEvict(kLedgerCacheL2, block(10), prefetchedLine(),
+                        block(1), 105);
+    ledger.onIssue(block(2), origin(2), 120, 130);
+    ledger.onCacheEvict(kLedgerCacheL2, block(20), prefetchedLine(),
+                        block(2), 125);
+    EXPECT_EQ(ledger.shadow_overwrites.value(), 1u);
+
+    // The overwritten victim's re-demand goes undetected (pollution
+    // is approximate from below)...
+    ledger.onL2DemandMiss(block(10), 140);
+    EXPECT_EQ(ledger.pollution_events.value(), 0u);
+    // ...while the surviving entry still fires.
+    ledger.onL2DemandMiss(block(20), 150);
+    EXPECT_EQ(ledger.pollution_events.value(), 1u);
+
+    ledger.finalize();
+    // block(1) was never marked: unresolved. block(2) polluted.
+    EXPECT_EQ(ledger.outcomeCount(PfOutcome::Unresolved), 1u);
+    EXPECT_EQ(ledger.outcomeCount(PfOutcome::Pollution), 1u);
+    EXPECT_EQ(ledger.outcomeSum(), ledger.issued.value());
+}
+
+TEST(LedgerTest, PromotedLineTrackedThroughL1)
+{
+    PrefetchLedger ledger;
+    ledger.setGeometry(/*l1_block_bits=*/5, /*l2_block_bits=*/6);
+
+    ledger.onIssue(block(1), origin(1), 100, 110);
+    ledger.onPromote(block(1), 120); // L1-aligned == L2-aligned here
+    EXPECT_EQ(ledger.promotions.value(), 1u);
+
+    // The promotion's L1 fill displaces a live line; its re-demand
+    // (an L1 miss) is pollution charged to the promoted prefetch.
+    ledger.onCacheEvict(kLedgerCacheL1D, 0x8020, prefetchedLine(),
+                        block(1), 121);
+    ledger.onL1Miss(0x8020, 130);
+    EXPECT_EQ(ledger.pollution_events.value(), 1u);
+
+    // Losing the L2 copy does not retire a promoted record...
+    ledger.onCacheEvict(kLedgerCacheL2, block(1), prefetchedLine(),
+                        block(50), 140);
+    EXPECT_EQ(ledger.liveCount(), 1u);
+    // ...losing the L1 copy does, as pollution.
+    ledger.onCacheEvict(kLedgerCacheL1D, block(1), prefetchedLine(),
+                        0x9000, 150);
+    EXPECT_EQ(ledger.outcomeCount(PfOutcome::Pollution), 1u);
+
+    ledger.finalize();
+    EXPECT_EQ(ledger.outcomeSum(), ledger.issued.value());
+}
+
+TEST(LedgerTest, ResetClearsEverything)
+{
+    PrefetchLedger ledger;
+    ledger.onIssue(block(1), origin(1), 100, 110);
+    ledger.onRedundant(block(2), origin(2), 120);
+    ledger.reset();
+    EXPECT_EQ(ledger.issued.value(), 0u);
+    EXPECT_EQ(ledger.liveCount(), 0u);
+    ledger.finalize();
+    EXPECT_EQ(ledger.outcomeSum(), 0u);
+}
+
+TEST(LedgerTest, HeatTablesSortedAndCapped)
+{
+    LedgerConfig config;
+    config.top_n = 2;
+    PrefetchLedger ledger(config);
+    // Three origins with distinct issue counts: 3x entry 7,
+    // 2x entry 8, 1x entry 9.
+    for (int i = 0; i < 3; ++i)
+        ledger.onRedundant(block(1), origin(7), 100);
+    for (int i = 0; i < 2; ++i)
+        ledger.onRedundant(block(2), origin(8), 100);
+    ledger.onRedundant(block(3), origin(9), 100);
+    ledger.finalize();
+
+    const Json j = ledger.toJson();
+    const Json &top = j.at("origins").at("top");
+    ASSERT_EQ(top.size(), 2u); // capped at top_n
+    EXPECT_EQ(top.at(std::size_t{0}).at("entry").asUint(), 7u);
+    EXPECT_EQ(top.at(std::size_t{0}).at("issued").asUint(), 3u);
+    EXPECT_EQ(top.at(std::size_t{1}).at("entry").asUint(), 8u);
+    EXPECT_EQ(j.at("origins").at("entries").asUint(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Whole-system properties (real runs)
+
+TEST(LedgerRunTest, OutcomeClassesPartitionIssuedAcrossEngines)
+{
+    for (const char *engine :
+         {"tcp8k", "stream", "dbcp2m", "markov", "hybrid8k"}) {
+        RunSpec spec;
+        spec.workload = "gzip";
+        spec.engine = engine;
+        spec.instructions = 60000;
+        spec.ledger = true;
+        const RunResult r = runSpec(spec);
+
+        const std::uint64_t sum =
+            r.ledger_useful + r.ledger_late + r.ledger_early +
+            r.ledger_pollution + r.ledger_redundant +
+            r.ledger_dropped + r.ledger_unresolved;
+        EXPECT_EQ(sum, r.ledger_issued) << engine;
+        EXPECT_EQ(r.ledger_issued, r.pf_issued) << engine;
+    }
+}
+
+TEST(LedgerRunTest, AgreesWithHierarchyCountersAtZeroWarmup)
+{
+    // With no warmup, every prefetched line the run ever touches was
+    // issued inside the measured (= tracked) window, so the ledger's
+    // useful/late split must reproduce the hierarchy's counters
+    // exactly: pf_useful ticks on every first touch, pf_late on the
+    // not-yet-arrived subset.
+    RunSpec spec;
+    spec.workload = "gzip";
+    spec.engine = "tcp8k";
+    spec.instructions = 60000;
+    spec.warmup = 0;
+    spec.ledger = true;
+    const RunResult r = runSpec(spec);
+
+    ASSERT_GT(r.pf_issued, 0u);
+    EXPECT_EQ(r.ledger_useful + r.ledger_late, r.pf_useful);
+    EXPECT_EQ(r.ledger_late, r.pf_late);
+}
+
+TEST(LedgerRunTest, LedgerJsonBitIdenticalAcrossWorkerCounts)
+{
+    std::vector<RunSpec> specs;
+    for (const char *engine : {"tcp8k", "stream", "hybrid8k"}) {
+        RunSpec spec;
+        spec.workload = "art";
+        spec.engine = engine;
+        spec.instructions = 40000;
+        spec.ledger = true;
+        specs.push_back(spec);
+    }
+
+    BatchRunner one(1);
+    BatchRunner eight(8);
+    const auto a = one.run(specs);
+    const auto b = eight.run(specs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // The full ledger document — counters, histograms, and heat
+        // tables — must not depend on scheduling.
+        EXPECT_EQ(a[i].ledger.dump(), b[i].ledger.dump())
+            << specs[i].engine;
+        EXPECT_EQ(a[i].toJson().dump(), b[i].toJson().dump())
+            << specs[i].engine;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellites: trace buffer cap, non-finite JSON rejection
+
+TEST(TraceSinkCapTest, EventsPastCapAreCountedNotStored)
+{
+    TraceSink sink(/*max_events=*/4);
+    for (int i = 0; i < 6; ++i)
+        sink.instant("ev", "test", i);
+    sink.counter("c", 7, 1.0); // also rejected once full
+    EXPECT_EQ(sink.eventCount(), 4u);
+    EXPECT_EQ(sink.droppedCount(), 3u);
+
+    const Json doc = sink.toJson();
+    EXPECT_EQ(doc.at("traceEvents").size(), 4u);
+    EXPECT_EQ(doc.at("otherData").at("dropped_events").asUint(), 3u);
+    EXPECT_EQ(doc.at("otherData").at("event_limit").asUint(), 4u);
+
+    sink.clear();
+    EXPECT_EQ(sink.droppedCount(), 0u);
+    sink.instant("ev", "test", 8);
+    EXPECT_EQ(sink.eventCount(), 1u);
+}
+
+TEST(TraceSinkCapTest, ZeroMeansUnbounded)
+{
+    TraceSink sink(0);
+    for (int i = 0; i < 100; ++i)
+        sink.instant("ev", "test", i);
+    EXPECT_EQ(sink.eventCount(), 100u);
+    EXPECT_EQ(sink.droppedCount(), 0u);
+}
+
+TEST(JsonNonFiniteDeathTest, NaNAndInfinityRefuseToSerialize)
+{
+    EXPECT_DEATH(
+        Json(std::numeric_limits<double>::quiet_NaN()).dump(),
+        "non-finite");
+    EXPECT_DEATH(Json(std::numeric_limits<double>::infinity()).dump(),
+                 "non-finite");
+}
+
+} // namespace
+} // namespace tcp

@@ -1,0 +1,478 @@
+/**
+ * @file
+ * tcpreport — reads the JSON run records tcpsim writes with
+ * --stats-json and turns them into reports:
+ *
+ *   tcpreport report   render one run record as text tables
+ *                      (effectiveness, ledger outcome breakdown,
+ *                      per-origin heat tables)
+ *   tcpreport diff     compare two run records numerically; exits
+ *                      nonzero when any value differs beyond the
+ *                      tolerance — the CI metrics regression gate
+ *
+ * Every subcommand accepts --help.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace tcp;
+
+Json
+loadRecord(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        tcp_fatal("tcpreport: cannot open '", path, "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return Json::parse(text.str());
+}
+
+/** @return doc[key] as a uint, or 0 when the member is absent. */
+std::uint64_t
+uintOr0(const Json &doc, const std::string &key)
+{
+    const Json *v = doc.find(key);
+    return v && v->isNumber() ? v->asUint() : 0;
+}
+
+/** @return doc[key] as a double, or 0 when the member is absent. */
+double
+doubleOr0(const Json &doc, const std::string &key)
+{
+    const Json *v = doc.find(key);
+    return v && v->isNumber() ? v->asDouble() : 0.0;
+}
+
+std::string
+hex(std::uint64_t v)
+{
+    std::ostringstream oss;
+    oss << "0x" << std::hex << v;
+    return oss.str();
+}
+
+// ---------------------------------------------------------------- report
+
+void
+printIdentification(const Json &doc)
+{
+    TextTable table("run");
+    table.setHeader({"field", "value"});
+    table.addRow({"workload", doc.at("workload").asString()});
+    table.addRow({"prefetcher", doc.at("prefetcher").asString()});
+    const Json &core = doc.at("core");
+    table.addRow(
+        {"instructions", std::to_string(uintOr0(core, "instructions"))});
+    table.addRow({"cycles", std::to_string(uintOr0(core, "cycles"))});
+    table.addRow({"ipc", formatDouble(doubleOr0(core, "ipc"), 3)});
+    std::cout << table.render();
+}
+
+void
+printEffectiveness(const Json &doc)
+{
+    const Json &p = doc.at("prefetch");
+    const Json &d = doc.at("derived");
+    TextTable table("prefetch effectiveness");
+    table.setHeader({"metric", "value"});
+    table.addRow({"issued", std::to_string(uintOr0(p, "issued"))});
+    table.addRow({"fills", std::to_string(uintOr0(p, "fills"))});
+    table.addRow({"useful", std::to_string(uintOr0(p, "useful"))});
+    table.addRow({"late", std::to_string(uintOr0(p, "late"))});
+    table.addRow(
+        {"accuracy", formatPercent(doubleOr0(d, "accuracy"), 1)});
+    table.addRow(
+        {"coverage", formatPercent(doubleOr0(d, "coverage"), 1)});
+    table.addRow(
+        {"lateness", formatPercent(doubleOr0(d, "lateness"), 1)});
+    table.addRow({"l1d miss rate",
+                  formatPercent(doubleOr0(d, "l1d_miss_rate"), 2)});
+    table.addRow({"l2 miss rate",
+                  formatPercent(doubleOr0(d, "l2_miss_rate"), 2)});
+    std::cout << "\n" << table.render();
+}
+
+void
+printOutcomes(const Json &ledger)
+{
+    static const char *const kOutcomes[] = {
+        "useful", "late",    "early",      "pollution",
+        "redundant", "dropped", "unresolved"};
+    const std::uint64_t issued = uintOr0(ledger, "issued");
+    TextTable table("prefetch lifecycle (ledger)");
+    table.setHeader({"outcome", "count", "share"});
+    for (const char *name : kOutcomes) {
+        const std::uint64_t v = uintOr0(ledger, name);
+        const double share = issued ? static_cast<double>(v) /
+                                          static_cast<double>(issued)
+                                    : 0.0;
+        table.addRow(
+            {name, std::to_string(v), formatPercent(share, 1)});
+    }
+    table.addRow({"issued", std::to_string(issued), "100%"});
+    table.addRow({"pollution events",
+                  std::to_string(uintOr0(ledger, "pollution_events")),
+                  ""});
+    std::cout << "\n" << table.render();
+}
+
+void
+printHistogram(const Json &ledger, const std::string &key,
+               const std::string &title)
+{
+    const Json *h = ledger.find(key);
+    if (!h || uintOr0(*h, "total") == 0)
+        return;
+    TextTable table(title);
+    table.setHeader({"total", "p50", "p99"});
+    table.addRow({std::to_string(uintOr0(*h, "total")),
+                  std::to_string(uintOr0(*h, "p50")),
+                  std::to_string(uintOr0(*h, "p99"))});
+    std::cout << "\n" << table.render();
+}
+
+void
+printHeatTable(const Json &ledger, const std::string &key,
+               const std::string &title, bool origins, bool pc_keys,
+               std::size_t top)
+{
+    const Json *t = ledger.find(key);
+    if (!t)
+        return;
+    const Json &rows = t->at("top");
+    TextTable table(title + " (" +
+                    std::to_string(uintOr0(*t, "entries")) +
+                    " distinct)");
+    if (origins)
+        table.setHeader({"source", "entry", "hist", "issued", "useful",
+                         "late", "pollution", "accuracy"});
+    else
+        table.setHeader({"key", "source", "issued", "useful", "late",
+                         "pollution", "accuracy"});
+    for (std::size_t i = 0; i < rows.size() && i < top; ++i) {
+        const Json &r = rows.at(i);
+        const std::string acc =
+            formatPercent(doubleOr0(r, "accuracy"), 1);
+        if (origins)
+            table.addRow({r.at("source").asString(),
+                          std::to_string(uintOr0(r, "entry")),
+                          hex(uintOr0(r, "history_hash")),
+                          std::to_string(uintOr0(r, "issued")),
+                          std::to_string(uintOr0(r, "useful")),
+                          std::to_string(uintOr0(r, "late")),
+                          std::to_string(uintOr0(r, "pollution")),
+                          acc});
+        else
+            table.addRow({pc_keys ? hex(uintOr0(r, "key"))
+                                  : std::to_string(uintOr0(r, "key")),
+                          r.at("source").asString(),
+                          std::to_string(uintOr0(r, "issued")),
+                          std::to_string(uintOr0(r, "useful")),
+                          std::to_string(uintOr0(r, "late")),
+                          std::to_string(uintOr0(r, "pollution")),
+                          acc});
+    }
+    if (const Json *other = t->find("other")) {
+        if (origins)
+            table.addRow({"(other)", "", "",
+                          std::to_string(uintOr0(*other, "issued")),
+                          std::to_string(uintOr0(*other, "useful")),
+                          std::to_string(uintOr0(*other, "late")),
+                          std::to_string(uintOr0(*other, "pollution")),
+                          formatPercent(doubleOr0(*other, "accuracy"),
+                                        1)});
+        else
+            table.addRow({"(other)", "",
+                          std::to_string(uintOr0(*other, "issued")),
+                          std::to_string(uintOr0(*other, "useful")),
+                          std::to_string(uintOr0(*other, "late")),
+                          std::to_string(uintOr0(*other, "pollution")),
+                          formatPercent(doubleOr0(*other, "accuracy"),
+                                        1)});
+    }
+    std::cout << "\n" << table.render();
+}
+
+int
+cmdReport(int argc, char **argv)
+{
+    ArgParser args;
+    args.addFlag("stats-json", "",
+                 "run record written by tcpsim --stats-json");
+    args.addFlag("top", "10", "rows per heat table");
+    args.parse(argc, argv);
+
+    const std::string path = args.getString("stats-json");
+    if (path.empty())
+        tcp_fatal("tcpreport report: --stats-json is required");
+    const std::size_t top = args.getUint("top");
+
+    const Json doc = loadRecord(path);
+    printIdentification(doc);
+    printEffectiveness(doc);
+    if (const Json *ledger = doc.find("ledger")) {
+        printOutcomes(*ledger);
+        printHistogram(*ledger, "use_distance_cycles",
+                       "issue-to-use distance (cycles)");
+        printHistogram(*ledger, "use_distance_misses",
+                       "issue-to-use distance (intervening misses)");
+        printHistogram(*ledger, "pollution_redemand_misses",
+                       "pollution victim re-demand distance (misses)");
+        printHeatTable(*ledger, "origins", "top origins", true, false,
+                       top);
+        printHeatTable(*ledger, "trigger_pcs", "top trigger PCs",
+                       false, true, top);
+        printHeatTable(*ledger, "miss_indices", "top miss indices",
+                       false, false, top);
+    }
+    return 0;
+}
+
+// ------------------------------------------------------------------ diff
+
+/** One numeric/structural difference between the two records. */
+struct Difference
+{
+    std::string path;
+    std::string a;
+    std::string b;
+};
+
+std::string
+scalarRepr(const Json &v)
+{
+    switch (v.type()) {
+    case Json::Type::Null:
+        return "null";
+    case Json::Type::Bool:
+        return v.asBool() ? "true" : "false";
+    case Json::Type::String:
+        return v.asString();
+    default:
+        return v.dump();
+    }
+}
+
+/**
+ * Compare two numeric leaves. Integers match exactly at tolerance 0;
+ * otherwise every number is compared as a relative difference
+ * |a - b| <= tolerance * max(|a|, |b|).
+ */
+bool
+numbersMatch(const Json &a, const Json &b, double tolerance)
+{
+    const bool exact = a.type() != Json::Type::Double &&
+                       b.type() != Json::Type::Double &&
+                       tolerance == 0.0;
+    if (exact) {
+        // Compare in the signed domain when either side is negative
+        // (asUint would assert), unsigned otherwise (asInt would
+        // assert past INT64_MAX).
+        const bool neg_a = a.type() == Json::Type::Int && a.asInt() < 0;
+        const bool neg_b = b.type() == Json::Type::Int && b.asInt() < 0;
+        if (neg_a != neg_b)
+            return false;
+        return neg_a ? a.asInt() == b.asInt()
+                     : a.asUint() == b.asUint();
+    }
+    const double da = a.asDouble();
+    const double db = b.asDouble();
+    if (da == db)
+        return true;
+    const double scale = std::max(std::fabs(da), std::fabs(db));
+    return std::fabs(da - db) <= tolerance * scale;
+}
+
+void
+diffValues(const Json &a, const Json &b, const std::string &path,
+           double tolerance, std::vector<Difference> &out)
+{
+    if (a.isNumber() && b.isNumber()) {
+        if (!numbersMatch(a, b, tolerance))
+            out.push_back({path, scalarRepr(a), scalarRepr(b)});
+        return;
+    }
+    if (a.type() != b.type()) {
+        out.push_back({path, scalarRepr(a), scalarRepr(b)});
+        return;
+    }
+    switch (a.type()) {
+    case Json::Type::Object: {
+        // Walk the union of keys so additions/removals surface too.
+        for (const auto &[key, value] : a.members()) {
+            const std::string sub =
+                path.empty() ? key : path + "." + key;
+            if (const Json *bv = b.find(key))
+                diffValues(value, *bv, sub, tolerance, out);
+            else
+                out.push_back({sub, scalarRepr(value), "(absent)"});
+        }
+        for (const auto &[key, value] : b.members())
+            if (!a.contains(key))
+                out.push_back({path.empty() ? key : path + "." + key,
+                               "(absent)", scalarRepr(value)});
+        return;
+    }
+    case Json::Type::Array: {
+        const std::size_t n = std::min(a.size(), b.size());
+        for (std::size_t i = 0; i < n; ++i)
+            diffValues(a.at(i), b.at(i),
+                       path + "[" + std::to_string(i) + "]", tolerance,
+                       out);
+        for (std::size_t i = n; i < a.size(); ++i)
+            out.push_back({path + "[" + std::to_string(i) + "]",
+                           scalarRepr(a.at(i)), "(absent)"});
+        for (std::size_t i = n; i < b.size(); ++i)
+            out.push_back({path + "[" + std::to_string(i) + "]",
+                           "(absent)", scalarRepr(b.at(i))});
+        return;
+    }
+    case Json::Type::Bool:
+        if (a.asBool() != b.asBool())
+            out.push_back({path, scalarRepr(a), scalarRepr(b)});
+        return;
+    case Json::Type::String:
+        if (a.asString() != b.asString())
+            out.push_back({path, scalarRepr(a), scalarRepr(b)});
+        return;
+    default:
+        return; // both null
+    }
+}
+
+void
+printHeadline(const Json &a, const Json &b)
+{
+    TextTable table("headline metrics");
+    table.setHeader({"metric", "a", "b"});
+    const auto str = [](const Json &doc, const char *key) {
+        const Json *v = doc.find(key);
+        return v ? v->asString() : std::string("-");
+    };
+    table.addRow(
+        {"workload", str(a, "workload"), str(b, "workload")});
+    table.addRow(
+        {"prefetcher", str(a, "prefetcher"), str(b, "prefetcher")});
+    const auto metric = [&](const char *name, double va, double vb,
+                            int digits) {
+        table.addRow({name, formatDouble(va, digits),
+                      formatDouble(vb, digits)});
+    };
+    metric("ipc", doubleOr0(a.at("core"), "ipc"),
+           doubleOr0(b.at("core"), "ipc"), 3);
+    metric("accuracy", doubleOr0(a.at("derived"), "accuracy"),
+           doubleOr0(b.at("derived"), "accuracy"), 4);
+    metric("coverage", doubleOr0(a.at("derived"), "coverage"),
+           doubleOr0(b.at("derived"), "coverage"), 4);
+    metric("pf issued",
+           static_cast<double>(uintOr0(a.at("prefetch"), "issued")),
+           static_cast<double>(uintOr0(b.at("prefetch"), "issued")),
+           0);
+    std::cout << table.render();
+}
+
+int
+cmdDiff(int argc, char **argv)
+{
+    ArgParser args;
+    args.addFlag("a", "", "baseline run record");
+    args.addFlag("b", "", "candidate run record");
+    args.addFlag("tolerance", "0",
+                 "relative tolerance for numeric values "
+                 "(0 = exact; integers always exact at 0)");
+    args.addFlag("max-report", "20",
+                 "differences to print before truncating");
+    args.parse(argc, argv);
+
+    const std::string path_a = args.getString("a");
+    const std::string path_b = args.getString("b");
+    if (path_a.empty() || path_b.empty())
+        tcp_fatal("tcpreport diff: --a and --b are required");
+    const double tolerance = args.getDouble("tolerance");
+    if (tolerance < 0.0)
+        tcp_fatal("tcpreport diff: --tolerance must be >= 0");
+    const std::size_t max_report = args.getUint("max-report");
+
+    const Json a = loadRecord(path_a);
+    const Json b = loadRecord(path_b);
+
+    printHeadline(a, b);
+
+    std::vector<Difference> diffs;
+    diffValues(a, b, "", tolerance, diffs);
+    if (diffs.empty()) {
+        std::cout << "\nrecords match (tolerance "
+                  << formatDouble(tolerance, 6) << ")\n";
+        return 0;
+    }
+
+    TextTable table(std::to_string(diffs.size()) +
+                    " difference(s) beyond tolerance " +
+                    formatDouble(tolerance, 6));
+    table.setHeader({"path", "a", "b"});
+    for (std::size_t i = 0; i < diffs.size() && i < max_report; ++i)
+        table.addRow({diffs[i].path, diffs[i].a, diffs[i].b});
+    if (diffs.size() > max_report)
+        table.addRow({"... " +
+                          std::to_string(diffs.size() - max_report) +
+                          " more",
+                      "", ""});
+    std::cout << "\n" << table.render();
+    return 1;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "usage: tcpreport <command> [flags]\n"
+        "\n"
+        "commands:\n"
+        "  report --stats-json <file> [--top N]\n"
+        "      render one tcpsim --stats-json record as text tables\n"
+        "  diff --a <file> --b <file> [--tolerance T] "
+        "[--max-report N]\n"
+        "      compare two records; exit 1 when any value differs\n"
+        "      beyond the tolerance (the CI metrics gate)\n"
+        "\n"
+        "Every subcommand accepts --help.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    argc -= 1;
+    argv += 1;
+    if (cmd == "report")
+        return cmdReport(argc, argv);
+    if (cmd == "diff")
+        return cmdDiff(argc, argv);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        usage();
+        return 0;
+    }
+    std::cerr << "unknown command '" << cmd << "'\n";
+    usage();
+    return 2;
+}

@@ -51,6 +51,35 @@ addObservabilityFlags(ArgParser &args)
                  "write a Chrome trace_event JSON (Perfetto) here");
     args.addFlag("interval", "0",
                  "sample rates every N instructions (0 disables)");
+    args.addFlag("ledger", "false",
+                 "attach the prefetch lifecycle ledger (attribution)");
+}
+
+/** Render the ledger outcome breakdown of a run, if it has one. */
+void
+printLedgerSummary(const RunResult &r)
+{
+    if (r.ledger.isNull())
+        return;
+    TextTable table("prefetch lifecycle (ledger)");
+    table.setHeader({"outcome", "count", "share"});
+    const auto row = [&](const char *name, std::uint64_t v) {
+        const double share =
+            r.ledger_issued ? static_cast<double>(v) /
+                                  static_cast<double>(r.ledger_issued)
+                            : 0.0;
+        table.addRow({name, std::to_string(v),
+                      formatPercent(share, 1)});
+    };
+    row("useful", r.ledger_useful);
+    row("late", r.ledger_late);
+    row("early", r.ledger_early);
+    row("pollution", r.ledger_pollution);
+    row("redundant", r.ledger_redundant);
+    row("dropped", r.ledger_dropped);
+    row("unresolved", r.ledger_unresolved);
+    table.addRow({"issued", std::to_string(r.ledger_issued), "100%"});
+    std::cout << "\n" << table.render();
 }
 
 int
@@ -100,9 +129,11 @@ cmdRun(int argc, char **argv, const std::string &workload_override = "")
 
     TraceSink sink;
     ScopedTraceSink installed(trace_out.empty() ? nullptr : &sink);
+    const LedgerConfig ledger_cfg;
     const RunResult r =
         runTrace(*wl, cfg, engine, instructions, kAutoWarmup,
-                 interval);
+                 interval,
+                 args.getBool("ledger") ? &ledger_cfg : nullptr);
 
     TextTable table("tcpsim run: " + workload + " x " + engine_name);
     table.setHeader({"metric", "value"});
@@ -121,6 +152,7 @@ cmdRun(int argc, char **argv, const std::string &workload_override = "")
     table.addRow({"engine storage",
                   formatBytes(r.pf_storage_bits / 8)});
     std::cout << table.render();
+    printLedgerSummary(r);
 
     if (dump && engine.prefetcher)
         std::cout << "\n" << engine.prefetcher->stats().report();
@@ -312,13 +344,17 @@ cmdReplay(int argc, char **argv)
     EngineSetup engine = makeEngine(args.getString("engine"));
     TraceSink sink;
     ScopedTraceSink installed(trace_out.empty() ? nullptr : &sink);
+    const LedgerConfig ledger_cfg;
     const RunResult r = runTrace(src, MachineConfig{}, engine,
                                  src.size(), /*warmup=*/0,
-                                 args.getUint("interval"));
+                                 args.getUint("interval"),
+                                 args.getBool("ledger") ? &ledger_cfg
+                                                        : nullptr);
     std::cout << "replayed " << r.core.instructions << " ops: IPC "
               << formatDouble(r.ipc(), 4) << ", L1-D misses "
               << r.l1d_misses << ", prefetches useful "
               << r.pf_useful << "\n";
+    printLedgerSummary(r);
     if (!stats_json.empty())
         writeJsonFile(stats_json, r.toJson());
     if (!trace_out.empty())
