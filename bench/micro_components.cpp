@@ -9,10 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "check/diff.hh"
 #include "core/tcp.hh"
 #include "harness/batch.hh"
 #include "mem/bus.hh"
 #include "mem/cache.hh"
+#include "mem/hierarchy.hh"
 #include "obs/ledger.hh"
 #include "prefetch/dbcp.hh"
 #include "sim/trace_sink.hh"
@@ -188,6 +190,39 @@ BM_CacheFillListenerAttached(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheFillListenerAttached);
+
+void
+BM_HierarchyAccessNoCheck(benchmark::State &state)
+{
+    // The differential-checker contract: with no hook attached, each
+    // instrumented point on the demand path is one pointer test and a
+    // not-taken branch. Compare with BM_HierarchyAccessDiffCheck for
+    // the price of full lockstep verification.
+    MemoryHierarchy mem(MachineConfig{});
+    Rng rng(7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr a = (rng.next() & 2047) * 32;
+        benchmark::DoNotOptimize(
+            mem.dataAccess(a, AccessType::Read, 0x1000, ++now));
+    }
+}
+BENCHMARK(BM_HierarchyAccessNoCheck);
+
+void
+BM_HierarchyAccessDiffCheck(benchmark::State &state)
+{
+    MemoryHierarchy mem(MachineConfig{});
+    DiffChecker checker(mem);
+    Rng rng(7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr a = (rng.next() & 2047) * 32;
+        benchmark::DoNotOptimize(
+            mem.dataAccess(a, AccessType::Read, 0x1000, ++now));
+    }
+}
+BENCHMARK(BM_HierarchyAccessDiffCheck);
 
 void
 BM_TcpObserveMissTraced(benchmark::State &state)

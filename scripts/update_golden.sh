@@ -16,6 +16,14 @@ cd "$ROOT"
 OUT=${GOLDEN_DIR:-results/golden}
 mkdir -p "$OUT"
 
+# Refuse to bless goldens from a simulator that diverges from the
+# reference models: run each golden configuration under the
+# differential checker first (it panics on the first divergence).
+for wl in gzip swim; do
+    "$BUILD/tools/tcpsim" run --workload "$wl" --engine tcp8k \
+        --instructions 50000 --check >/dev/null
+done
+
 # Must match the specs CI replays in its gate step exactly: same
 # workloads, engine, instruction count, and the ledger attached.
 for wl in gzip swim; do

@@ -1,0 +1,390 @@
+#include "diff.hh"
+
+#include <sstream>
+
+#include "core/tcp.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+namespace {
+
+std::string
+hex(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+std::string
+hitMiss(bool hit)
+{
+    return hit ? "hit" : "miss";
+}
+
+/** One line per way: "way0: tag=0x12 dirty | way1: invalid". */
+std::string
+describeRefSet(const RefCache &ref, std::uint64_t set)
+{
+    std::ostringstream os;
+    for (unsigned w = 0; w < ref.assoc(); ++w) {
+        const RefLine &l = ref.lineAt(set, w);
+        if (w)
+            os << " | ";
+        os << "way" << w << ": ";
+        if (!l.valid)
+            os << "invalid";
+        else
+            os << "tag=" << hex(l.tag) << (l.dirty ? " dirty" : "");
+    }
+    return os.str();
+}
+
+std::string
+describeRealSet(const CacheModel &real, std::uint64_t set)
+{
+    std::ostringstream os;
+    for (unsigned w = 0; w < real.assoc(); ++w) {
+        const CacheLine &l = real.lineAt(set, w);
+        if (w)
+            os << " | ";
+        os << "way" << w << ": ";
+        if (!l.valid)
+            os << "invalid";
+        else
+            os << "tag=" << hex(l.tag) << (l.dirty ? " dirty" : "");
+    }
+    return os.str();
+}
+
+/**
+ * Plain-protocol TCP only: every extension changes the prediction
+ * stream away from the Section 4 pseudocode the reference transcribes.
+ */
+bool
+plainProtocol(const TcpConfig &cfg)
+{
+    return cfg.degree == 1 && !cfg.stride_assist && !cfg.adaptive &&
+           !cfg.critical_filter && cfg.pht.targets == 1 &&
+           cfg.pht.entry_tag_bits == 0 &&
+           cfg.pht.index_fn == PhtIndexFn::TruncatedAdd;
+}
+
+} // namespace
+
+std::string
+DivergenceReport::format() const
+{
+    std::ostringstream os;
+    os << "differential checker divergence at event " << event << "\n"
+       << "  component: " << component << "\n"
+       << "  cycle: " << cycle << "  addr: " << hex(addr)
+       << "  set: " << set << "\n"
+       << "  expected: " << expected << "\n"
+       << "  actual:   " << actual;
+    return os.str();
+}
+
+DiffChecker::DiffChecker(MemoryHierarchy &mem, const Prefetcher *engine)
+    : mem_(mem),
+      ref_l1d_(mem.config().l1d),
+      ref_l1i_(mem.config().l1i),
+      ref_l2_(mem.config().l2)
+{
+    if (const auto *tcp =
+            dynamic_cast<const TagCorrelatingPrefetcher *>(engine);
+        tcp && plainProtocol(tcp->config())) {
+        ref_tcp_ = std::make_unique<RefTcp>(tcp->config());
+    }
+    mem_.setCheckHook(this);
+}
+
+DiffChecker::~DiffChecker()
+{
+    if (mem_.checkHook() == this)
+        mem_.setCheckHook(nullptr);
+}
+
+bool
+DiffChecker::begin()
+{
+    if (failure_)
+        return false;
+    ++events_;
+    if (inject_at_ != 0 && events_ == inject_at_) {
+        DivergenceReport r;
+        r.event = events_;
+        r.component = "injected";
+        r.expected = "lockstep (fault-injection test hook armed)";
+        r.actual = "synthetic divergence injected at event " +
+                   std::to_string(inject_at_);
+        fail(std::move(r));
+        return false;
+    }
+    return true;
+}
+
+void
+DiffChecker::fail(DivergenceReport report)
+{
+    report.event = events_;
+    failure_ = std::move(report);
+    if (panic_)
+        tcp_panic(failure_->format());
+}
+
+void
+DiffChecker::compareSet(const char *component, const CacheModel &real,
+                        const RefCache &ref, Addr addr, Cycle now)
+{
+    const std::uint64_t set = ref.setOf(addr);
+    for (unsigned w = 0; w < ref.assoc(); ++w) {
+        const CacheLine &rl = real.lineAt(set, w);
+        const RefLine &fl = ref.lineAt(set, w);
+        const bool same = rl.valid == fl.valid &&
+                          (!fl.valid || (rl.tag == fl.tag &&
+                                         rl.dirty == fl.dirty));
+        if (same)
+            continue;
+        DivergenceReport r;
+        r.component = component;
+        r.addr = addr;
+        r.set = set;
+        r.cycle = now;
+        r.expected = describeRefSet(ref, set);
+        r.actual = describeRealSet(real, set);
+        fail(std::move(r));
+        return;
+    }
+}
+
+void
+DiffChecker::mirrorFill(const char *component, RefCache &ref, Addr addr,
+                        Cycle now, bool writeback_to_l2)
+{
+    if (ref.resident(addr)) {
+        DivergenceReport r;
+        r.component = component;
+        r.addr = addr;
+        r.set = ref.setOf(addr);
+        r.cycle = now;
+        r.expected = "fill of a non-resident block";
+        r.actual = "real model filled a block the reference already "
+                   "holds (earlier lookup diverged)";
+        fail(std::move(r));
+        return;
+    }
+    const std::optional<RefEviction> ev = ref.fill(addr);
+    if (writeback_to_l2 && ev && ev->dirty) {
+        // Mirror of MemoryHierarchy::fillL1D: the dirty victim is
+        // written back through the L2, touching (and dirtying) its
+        // line there if resident.
+        if (ref_l2_.access(ev->block_addr))
+            ref_l2_.setDirty(ev->block_addr);
+    }
+    // Mirror of the availability re-touch following every real fill.
+    ref.access(addr);
+}
+
+void
+DiffChecker::onL1DAccess(Addr addr, AccessType type, Pc pc, Cycle now,
+                         bool hit)
+{
+    (void)pc;
+    if (!begin())
+        return;
+    const bool ref_hit = ref_l1d_.access(addr);
+    if (ref_hit != hit) {
+        DivergenceReport r;
+        r.component = "l1d";
+        r.addr = addr;
+        r.set = ref_l1d_.setOf(addr);
+        r.cycle = now;
+        r.expected = hitMiss(ref_hit);
+        r.actual = hitMiss(hit);
+        fail(std::move(r));
+        return;
+    }
+    if (hit && type == AccessType::Write)
+        ref_l1d_.setDirty(addr);
+}
+
+void
+DiffChecker::onL1DTouch(Addr addr, Cycle now)
+{
+    if (!begin())
+        return;
+    if (!ref_l1d_.access(addr)) {
+        DivergenceReport r;
+        r.component = "l1d";
+        r.addr = addr;
+        r.set = ref_l1d_.setOf(addr);
+        r.cycle = now;
+        r.expected = "freshly filled block resident for store touch";
+        r.actual = "block missing from the reference directory";
+        fail(std::move(r));
+        return;
+    }
+    ref_l1d_.setDirty(addr);
+}
+
+void
+DiffChecker::onL1DFill(Addr addr, Cycle now, bool prefetched)
+{
+    (void)prefetched;
+    if (!begin())
+        return;
+    mirrorFill("l1d", ref_l1d_, addr, now, /*writeback_to_l2=*/true);
+    if (failure_)
+        return;
+    compareSet("l1d", mem_.l1d(), ref_l1d_, addr, now);
+}
+
+void
+DiffChecker::onL1IAccess(Pc pc, Cycle now, bool hit)
+{
+    if (!begin())
+        return;
+    const bool ref_hit = ref_l1i_.access(pc);
+    if (ref_hit != hit) {
+        DivergenceReport r;
+        r.component = "l1i";
+        r.addr = pc;
+        r.set = ref_l1i_.setOf(pc);
+        r.cycle = now;
+        r.expected = hitMiss(ref_hit);
+        r.actual = hitMiss(hit);
+        fail(std::move(r));
+    }
+}
+
+void
+DiffChecker::onL1IFill(Pc pc, Cycle now)
+{
+    if (!begin())
+        return;
+    mirrorFill("l1i", ref_l1i_, pc, now, /*writeback_to_l2=*/false);
+    if (failure_)
+        return;
+    compareSet("l1i", mem_.l1i(), ref_l1i_, pc, now);
+}
+
+void
+DiffChecker::onL2DemandAccess(Addr block_addr, Cycle now, bool hit,
+                              bool classify)
+{
+    (void)classify;
+    if (!begin())
+        return;
+    const bool ref_hit = ref_l2_.access(block_addr);
+    if (ref_hit != hit) {
+        DivergenceReport r;
+        r.component = "l2";
+        r.addr = block_addr;
+        r.set = ref_l2_.setOf(block_addr);
+        r.cycle = now;
+        r.expected = hitMiss(ref_hit);
+        r.actual = hitMiss(hit);
+        fail(std::move(r));
+        return;
+    }
+    if (!hit) {
+        mirrorFill("l2", ref_l2_, block_addr, now,
+                   /*writeback_to_l2=*/false);
+        if (failure_)
+            return;
+    }
+    compareSet("l2", mem_.l2(), ref_l2_, block_addr, now);
+}
+
+void
+DiffChecker::onPrefetchL2Fill(Addr block_addr, Cycle now)
+{
+    if (!begin())
+        return;
+    mirrorFill("l2", ref_l2_, block_addr, now,
+               /*writeback_to_l2=*/false);
+    if (failure_)
+        return;
+    compareSet("l2", mem_.l2(), ref_l2_, block_addr, now);
+}
+
+void
+DiffChecker::onEngineMiss(Addr addr, Pc pc, Cycle now)
+{
+    (void)pc;
+    if (!begin())
+        return;
+    if (!ref_tcp_)
+        return;
+    if (!expected_pf_.empty()) {
+        DivergenceReport r;
+        r.component = "tcp";
+        r.addr = expected_pf_.front();
+        r.cycle = now;
+        r.expected = "prefetch of " + hex(expected_pf_.front()) +
+                     " before the next trained miss";
+        r.actual = "no prefetch issued";
+        fail(std::move(r));
+        return;
+    }
+    expected_pf_ = ref_tcp_->observeMiss(addr);
+}
+
+void
+DiffChecker::onPrefetchRequest(const PrefetchRequest &req, Cycle now)
+{
+    if (!begin())
+        return;
+    if (!ref_tcp_)
+        return;
+    if (expected_pf_.empty()) {
+        DivergenceReport r;
+        r.component = "tcp";
+        r.addr = req.addr;
+        r.cycle = now;
+        r.expected = "no prefetch for this miss";
+        r.actual = "prefetch of " + hex(req.addr);
+        fail(std::move(r));
+        return;
+    }
+    const Addr want = expected_pf_.front();
+    expected_pf_.erase(expected_pf_.begin());
+    if (req.addr != want) {
+        DivergenceReport r;
+        r.component = "tcp";
+        r.addr = req.addr;
+        r.cycle = now;
+        r.expected = "prefetch of " + hex(want);
+        r.actual = "prefetch of " + hex(req.addr);
+        fail(std::move(r));
+    }
+}
+
+void
+DiffChecker::onReset()
+{
+    // Mirrors MemoryHierarchy::reset: caches flush, but predictor
+    // tables (and therefore the reference TCP) keep their state.
+    ref_l1d_.flush();
+    ref_l1i_.flush();
+    ref_l2_.flush();
+    expected_pf_.clear();
+}
+
+void
+DiffChecker::finalize()
+{
+    if (failure_ || !ref_tcp_ || expected_pf_.empty())
+        return;
+    DivergenceReport r;
+    r.component = "tcp";
+    r.addr = expected_pf_.front();
+    r.expected = "prefetch of " + hex(expected_pf_.front()) +
+                 " before the end of the run";
+    r.actual = "no prefetch issued";
+    fail(std::move(r));
+}
+
+} // namespace tcp

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The differential checker: runs the reference models (reference.hh)
+ * in lockstep with a real MemoryHierarchy via the MemCheckHook
+ * attachment point and reports the first divergence — mismatched
+ * hit/miss outcomes, mismatched directory state after a fill
+ * (victim-selection bugs show up here), or a prefetch stream that
+ * departs from the paper's protocol.
+ *
+ * Attach with `--check` (runTrace / tcpsim) or construct one directly
+ * around a MemoryHierarchy. By default a divergence panics with the
+ * full report; the fuzzer (fuzz.hh) switches to record-only mode and
+ * shrinks the failing trace instead.
+ */
+
+#ifndef TCP_CHECK_DIFF_HH
+#define TCP_CHECK_DIFF_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "check/reference.hh"
+#include "mem/hierarchy.hh"
+
+namespace tcp {
+
+class TagCorrelatingPrefetcher;
+
+/** Everything needed to understand (and replay) one divergence. */
+struct DivergenceReport
+{
+    /** 1-based index of the hook event where the divergence fired. */
+    std::uint64_t event = 0;
+    /** Component that diverged: "l1d", "l1i", "l2", "tcp", "injected". */
+    std::string component;
+    Addr addr = 0;
+    std::uint64_t set = 0;
+    Cycle cycle = 0;
+    /** What the reference model computed. */
+    std::string expected;
+    /** What the real model computed. */
+    std::string actual;
+
+    /** Render the report as a multi-line human-readable block. */
+    std::string format() const;
+};
+
+/**
+ * Lockstep differential checker. Construction attaches it to the
+ * hierarchy (detached again on destruction); every directory mutation
+ * is then mirrored into the reference models and compared.
+ *
+ * When the attached engine is a plain-protocol TCP (degree 1,
+ * single-target truncated-add PHT, full match tags, no stride assist /
+ * adaptive throttle / critical filter), the checker additionally arms
+ * a RefTcp and verifies every issued prefetch address against the
+ * paper's protocol. Other engines still get full cache-state checking.
+ */
+class DiffChecker : public MemCheckHook
+{
+  public:
+    /**
+     * @param mem hierarchy to check; the checker attaches itself via
+     *        setCheckHook and must outlive every access made while
+     *        attached
+     * @param engine the prefetch engine driving @p mem, or nullptr;
+     *        used only to decide whether prediction checking can arm
+     */
+    explicit DiffChecker(MemoryHierarchy &mem,
+                         const Prefetcher *engine = nullptr);
+    ~DiffChecker() override;
+
+    DiffChecker(const DiffChecker &) = delete;
+    DiffChecker &operator=(const DiffChecker &) = delete;
+
+    /**
+     * Whether a divergence panics (default, the `--check` behaviour)
+     * or is only recorded in failure() (fuzzer / unit tests).
+     */
+    void setPanicOnDivergence(bool panic) { panic_ = panic; }
+
+    /**
+     * Test hook: raise a synthetic divergence when the running hook-
+     * event count reaches @p event (1-based; 0 disables). Proves the
+     * catch -> shrink -> report pipeline end to end.
+     */
+    void injectFaultAt(std::uint64_t event) { inject_at_ = event; }
+
+    /**
+     * Flush any end-of-run checks (predicted prefetches the engine
+     * never issued). Call once after the last access.
+     */
+    void finalize();
+
+    /** The first divergence, if any. Empty means lockstep held. */
+    const std::optional<DivergenceReport> &failure() const
+    {
+        return failure_;
+    }
+
+    /** Hook events observed so far. */
+    std::uint64_t events() const { return events_; }
+
+    /** Whether prediction checking armed for the attached engine. */
+    bool predictionChecked() const { return ref_tcp_ != nullptr; }
+
+    /// @name MemCheckHook
+    /// @{
+    void onL1DAccess(Addr addr, AccessType type, Pc pc, Cycle now,
+                     bool hit) override;
+    void onL1DTouch(Addr addr, Cycle now) override;
+    void onL1DFill(Addr addr, Cycle now, bool prefetched) override;
+    void onL1IAccess(Pc pc, Cycle now, bool hit) override;
+    void onL1IFill(Pc pc, Cycle now) override;
+    void onL2DemandAccess(Addr block_addr, Cycle now, bool hit,
+                          bool classify) override;
+    void onPrefetchL2Fill(Addr block_addr, Cycle now) override;
+    void onEngineMiss(Addr addr, Pc pc, Cycle now) override;
+    void onPrefetchRequest(const PrefetchRequest &req,
+                           Cycle now) override;
+    void onReset() override;
+    /// @}
+
+  private:
+    /**
+     * Count the event and fire the injected fault if due.
+     * @return false when the hook should stop (already failed)
+     */
+    bool begin();
+    /** Record (and possibly panic with) a divergence. */
+    void fail(DivergenceReport report);
+    /** Compare every way of the set holding @p addr. */
+    void compareSet(const char *component, const CacheModel &real,
+                    const RefCache &ref, Addr addr, Cycle now);
+    /** Mirror a fill (and its eviction side effects) into @p ref. */
+    void mirrorFill(const char *component, RefCache &ref, Addr addr,
+                    Cycle now, bool writeback_to_l2);
+
+    MemoryHierarchy &mem_;
+    RefCache ref_l1d_;
+    RefCache ref_l1i_;
+    RefCache ref_l2_;
+    /** Armed only for plain-protocol TCP engines. */
+    std::unique_ptr<RefTcp> ref_tcp_;
+    /** Prefetch addresses the reference protocol expects next. */
+    std::vector<Addr> expected_pf_;
+    std::optional<DivergenceReport> failure_;
+    bool panic_ = true;
+    std::uint64_t events_ = 0;
+    std::uint64_t inject_at_ = 0;
+};
+
+} // namespace tcp
+
+#endif // TCP_CHECK_DIFF_HH

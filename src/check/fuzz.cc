@@ -1,0 +1,548 @@
+#include "fuzz.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "core/tcp.hh"
+#include "mem/cache.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace tcp {
+
+namespace {
+
+const char *
+policyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::LRU:
+        return "lru";
+      case ReplPolicy::Random:
+        return "random";
+      case ReplPolicy::TreePLRU:
+        return "plru";
+    }
+    return "lru";
+}
+
+std::optional<ReplPolicy>
+policyFromName(const std::string &name)
+{
+    if (name == "lru")
+        return ReplPolicy::LRU;
+    if (name == "random")
+        return ReplPolicy::Random;
+    if (name == "plru")
+        return ReplPolicy::TreePLRU;
+    return std::nullopt;
+}
+
+ReplPolicy
+pickPolicy(Rng &rng)
+{
+    switch (rng.below(3)) {
+      case 0:
+        return ReplPolicy::LRU;
+      case 1:
+        return ReplPolicy::Random;
+      default:
+        return ReplPolicy::TreePLRU;
+    }
+}
+
+MachineConfig
+machineFor(const FuzzTrace &t)
+{
+    MachineConfig m;
+    m.l1d.size_bytes = t.l1d_bytes;
+    m.l1d.assoc = t.l1d_assoc;
+    m.l1d.block_bytes = t.l1d_block;
+    m.l1d.mshrs = t.l1d_mshrs;
+    m.l1d.repl = t.l1d_policy;
+    m.l1i.size_bytes = 1024;
+    m.l1i.assoc = 2;
+    m.l1i.block_bytes = t.l1d_block;
+    m.l1i.mshrs = 2;
+    m.l2.size_bytes = t.l2_bytes;
+    m.l2.assoc = t.l2_assoc;
+    m.l2.block_bytes = 64;
+    m.l2.latency = 4;
+    m.l2.mshrs = 8;
+    m.l2.repl = t.l2_policy;
+    return m;
+}
+
+/**
+ * The fuzzer builds its engines locally (instead of going through
+ * harness makeEngine) so tcp_check stays free of a harness dependency.
+ * The TCP geometry follows the trace's shrunken L1 so the predictor's
+ * miss-index/tag decomposition matches the cache it trains on.
+ */
+std::unique_ptr<Prefetcher>
+buildFuzzEngine(const FuzzTrace &t)
+{
+    if (t.engine == "none")
+        return nullptr;
+    const std::uint64_t sets =
+        t.l1d_bytes / (std::uint64_t{t.l1d_assoc} * t.l1d_block);
+    TcpConfig cfg = TcpConfig::tcp8k();
+    cfg.l1_block_bits = floorLog2(t.l1d_block);
+    cfg.l1_set_bits = floorLog2(sets);
+    cfg.tht_rows = sets;
+    if (t.engine == "tcp_mi")
+        cfg.pht.miss_index_bits =
+            std::min(cfg.l1_set_bits, 4u);
+    else
+        tcp_assert(t.engine == "tcp", "unknown fuzz engine '",
+                   t.engine, "'");
+    return std::make_unique<TagCorrelatingPrefetcher>(cfg, t.engine);
+}
+
+DivergenceReport
+cacheReport(std::uint64_t op_index, Addr addr, std::uint64_t set,
+            Cycle now, std::string expected, std::string actual)
+{
+    DivergenceReport r;
+    r.event = op_index;
+    r.component = "cache";
+    r.addr = addr;
+    r.set = set;
+    r.cycle = now;
+    r.expected = std::move(expected);
+    r.actual = std::move(actual);
+    return r;
+}
+
+std::string
+hex(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+std::optional<DivergenceReport>
+compareCacheSet(const CacheModel &real, const RefCache &ref, Addr addr,
+                std::uint64_t op_index, Cycle now)
+{
+    const std::uint64_t set = ref.setOf(addr);
+    for (unsigned w = 0; w < ref.assoc(); ++w) {
+        const CacheLine &rl = real.lineAt(set, w);
+        const RefLine &fl = ref.lineAt(set, w);
+        const bool same = rl.valid == fl.valid &&
+                          (!fl.valid || (rl.tag == fl.tag &&
+                                         rl.dirty == fl.dirty));
+        if (same)
+            continue;
+        std::ostringstream exp, act;
+        exp << "way" << w << ": "
+            << (fl.valid ? "tag=" + hex(fl.tag) +
+                               (fl.dirty ? " dirty" : "")
+                         : std::string("invalid"));
+        act << "way" << w << ": "
+            << (rl.valid ? "tag=" + hex(rl.tag) +
+                               (rl.dirty ? " dirty" : "")
+                         : std::string("invalid"));
+        return cacheReport(op_index, addr, set, now, exp.str(),
+                           act.str());
+    }
+    return std::nullopt;
+}
+
+std::optional<DivergenceReport>
+runCacheTrace(const FuzzTrace &t, std::uint64_t inject_at)
+{
+    CacheConfig cfg;
+    cfg.name = "fuzz";
+    cfg.size_bytes = t.l1d_bytes;
+    cfg.assoc = t.l1d_assoc;
+    cfg.block_bytes = t.l1d_block;
+    cfg.repl = t.l1d_policy;
+    CacheModel real(cfg);
+    RefCache ref(cfg);
+
+    Cycle now = 0;
+    std::uint64_t idx = 0;
+    for (const FuzzOp &op : t.ops) {
+        ++idx;
+        now += op.delta;
+        if (inject_at != 0 && idx == inject_at) {
+            return cacheReport(
+                idx, op.addr, ref.setOf(op.addr), now,
+                "lockstep (fault-injection test hook armed)",
+                "synthetic divergence injected at op " +
+                    std::to_string(inject_at));
+        }
+        switch (op.kind) {
+          case FuzzOp::Kind::Data:
+          case FuzzOp::Kind::Fetch: {
+            CacheLine *rl = real.access(op.addr, now);
+            const bool ref_hit = ref.access(op.addr);
+            if ((rl != nullptr) != ref_hit) {
+                return cacheReport(idx, op.addr, ref.setOf(op.addr),
+                                   now, ref_hit ? "hit" : "miss",
+                                   rl ? "hit" : "miss");
+            }
+            if (!rl) {
+                const auto real_ev = real.fill(op.addr, now);
+                const auto ref_ev = ref.fill(op.addr);
+                const bool ev_same =
+                    real_ev.has_value() == ref_ev.has_value() &&
+                    (!ref_ev ||
+                     (real_ev->block_addr == ref_ev->block_addr &&
+                      real_ev->dirty == ref_ev->dirty));
+                if (!ev_same) {
+                    const auto describe = [](const auto &ev) {
+                        return ev ? "evict " + hex(ev->block_addr) +
+                                        (ev->dirty ? " dirty" : "")
+                                  : std::string("no eviction");
+                    };
+                    return cacheReport(idx, op.addr,
+                                       ref.setOf(op.addr), now,
+                                       describe(ref_ev),
+                                       describe(real_ev));
+                }
+                rl = real.access(op.addr, now);
+                ref.access(op.addr);
+            }
+            if (op.write) {
+                rl->dirty = true;
+                ref.setDirty(op.addr);
+            }
+            break;
+          }
+          case FuzzOp::Kind::Invalidate:
+            real.invalidate(op.addr);
+            ref.invalidate(op.addr);
+            break;
+          case FuzzOp::Kind::Flush:
+            real.flush();
+            ref.flush();
+            break;
+        }
+        if (auto r = compareCacheSet(real, ref, op.addr, idx, now))
+            return r;
+    }
+    return std::nullopt;
+}
+
+std::optional<DivergenceReport>
+runHierarchyTrace(const FuzzTrace &t, std::uint64_t inject_at)
+{
+    std::unique_ptr<Prefetcher> engine = buildFuzzEngine(t);
+    const MachineConfig machine = machineFor(t);
+    MemoryHierarchy mem(machine, engine.get());
+    DiffChecker checker(mem, engine.get());
+    checker.setPanicOnDivergence(false);
+    if (inject_at != 0)
+        checker.injectFaultAt(inject_at);
+
+    Cycle now = 1;
+    for (const FuzzOp &op : t.ops) {
+        now += op.delta;
+        switch (op.kind) {
+          case FuzzOp::Kind::Data:
+            mem.dataAccess(op.addr,
+                           op.write ? AccessType::Write
+                                    : AccessType::Read,
+                           op.pc, now);
+            break;
+          case FuzzOp::Kind::Fetch:
+            mem.instFetch(op.pc, now);
+            break;
+          case FuzzOp::Kind::Flush:
+            mem.reset();
+            break;
+          case FuzzOp::Kind::Invalidate:
+            break; // cache-mode only
+        }
+        if (checker.failure())
+            break;
+    }
+    checker.finalize();
+    return checker.failure();
+}
+
+} // namespace
+
+FuzzTrace
+genTrace(std::uint64_t seed, FuzzMode mode, std::size_t num_ops,
+         const std::string &engine)
+{
+    Rng rng(seed * 2 + (mode == FuzzMode::Cache ? 1 : 0) + 0x7c3);
+    FuzzTrace t;
+    t.mode = mode;
+    t.seed = seed;
+    t.engine = engine;
+
+    // Small geometries so replacement, conflicts, and holes are
+    // exercised within a few thousand ops.
+    const std::uint64_t sets = std::uint64_t{1} << rng.between(3, 5);
+    t.l1d_assoc = 1u << rng.below(3); // 1, 2, or 4
+    t.l1d_block = rng.chance(0.5) ? 32 : 16;
+    t.l1d_bytes = sets * t.l1d_assoc * t.l1d_block;
+    t.l1d_policy = pickPolicy(rng);
+    t.l1d_mshrs = rng.chance(0.5)
+                      ? static_cast<unsigned>(rng.between(1, 4))
+                      : 64;
+    t.l2_assoc = 4;
+    t.l2_bytes = 8192;
+    t.l2_policy = pickPolicy(rng);
+
+    // The seed also picks the adversarial emphasis of the trace.
+    const unsigned pattern = static_cast<unsigned>(seed % 4);
+    const std::uint64_t block = t.l1d_block;
+    const std::uint64_t span_blocks = sets * t.l1d_assoc * 8;
+    const std::uint64_t hot_set = rng.below(sets);
+
+    const auto conflictAddr = [&] {
+        // Set-conflict storm: many tags competing for one set.
+        return (rng.below(3 * t.l1d_assoc) * sets + hot_set) * block;
+    };
+    const auto wrapAddr = [&] {
+        // Wrap-around tags: addresses at the top of the 64-bit space,
+        // where tag arithmetic overflows if done carelessly.
+        return ~Addr{0} - rng.below(span_blocks) * block;
+    };
+    const auto uniformAddr = [&] {
+        return 0x10000 + rng.below(span_blocks) * block;
+    };
+
+    t.ops.reserve(num_ops);
+    while (t.ops.size() < num_ops) {
+        FuzzOp op;
+        op.delta = static_cast<std::uint32_t>(
+            rng.chance(0.01) ? rng.between(100, 2000) : rng.below(4));
+        op.pc = 0x1000 + rng.below(64) * 4;
+
+        if (mode == FuzzMode::Cache && rng.chance(0.10)) {
+            // Invalidate interleavings: punch holes into sets so the
+            // valid-prefix fast path must cope with them.
+            op.kind = FuzzOp::Kind::Invalidate;
+            op.addr = rng.chance(0.7) ? conflictAddr() : uniformAddr();
+            t.ops.push_back(op);
+            continue;
+        }
+        if (rng.chance(0.002)) {
+            op.kind = FuzzOp::Kind::Flush;
+            t.ops.push_back(op);
+            continue;
+        }
+        if (mode == FuzzMode::Hierarchy && rng.chance(0.08)) {
+            op.kind = FuzzOp::Kind::Fetch;
+            op.pc = 0x40000 + rng.below(128) * 16;
+            t.ops.push_back(op);
+            continue;
+        }
+
+        op.kind = FuzzOp::Kind::Data;
+        op.write = rng.chance(0.3);
+        const bool emphasize = rng.chance(0.6);
+        switch (emphasize ? pattern : rng.below(4)) {
+          case 1:
+            op.addr = conflictAddr();
+            break;
+          case 2:
+            op.addr = wrapAddr();
+            break;
+          case 3:
+            // MSHR saturation: a burst of back-to-back misses in the
+            // same cycle, then the generator moves on.
+            op.delta = 0;
+            op.addr = uniformAddr();
+            break;
+          default:
+            op.addr = uniformAddr();
+            break;
+        }
+        t.ops.push_back(op);
+    }
+    return t;
+}
+
+std::optional<DivergenceReport>
+runFuzzTrace(const FuzzTrace &trace, std::uint64_t inject_at)
+{
+    if (trace.mode == FuzzMode::Cache)
+        return runCacheTrace(trace, inject_at);
+    return runHierarchyTrace(trace, inject_at);
+}
+
+FuzzTrace
+shrinkTrace(FuzzTrace trace, std::uint64_t inject_at)
+{
+    const auto fails = [&](const FuzzTrace &t) {
+        return runFuzzTrace(t, inject_at).has_value();
+    };
+    if (!fails(trace))
+        return trace;
+    for (std::size_t chunk = trace.ops.size() / 2; chunk >= 1;
+         chunk /= 2) {
+        bool shrunk = true;
+        while (shrunk) {
+            shrunk = false;
+            for (std::size_t i = 0; i + chunk <= trace.ops.size();) {
+                FuzzTrace candidate = trace;
+                candidate.ops.erase(
+                    candidate.ops.begin() +
+                        static_cast<std::ptrdiff_t>(i),
+                    candidate.ops.begin() +
+                        static_cast<std::ptrdiff_t>(i + chunk));
+                if (fails(candidate)) {
+                    trace = std::move(candidate);
+                    shrunk = true;
+                } else {
+                    i += chunk;
+                }
+            }
+        }
+    }
+    return trace;
+}
+
+void
+writeTraceFile(const std::string &path, const FuzzTrace &trace)
+{
+    std::ofstream out(path);
+    if (!out)
+        tcp_fatal("cannot write fuzz trace to '", path, "'");
+    out << "tcpfuzz-trace v1\n";
+    out << "mode "
+        << (trace.mode == FuzzMode::Cache ? "cache" : "hier") << "\n";
+    out << "seed " << trace.seed << "\n";
+    out << "engine " << trace.engine << "\n";
+    out << "l1d_bytes " << trace.l1d_bytes << "\n";
+    out << "l1d_assoc " << trace.l1d_assoc << "\n";
+    out << "l1d_block " << trace.l1d_block << "\n";
+    out << "l1d_mshrs " << trace.l1d_mshrs << "\n";
+    out << "l1d_policy " << policyName(trace.l1d_policy) << "\n";
+    out << "l2_bytes " << trace.l2_bytes << "\n";
+    out << "l2_assoc " << trace.l2_assoc << "\n";
+    out << "l2_policy " << policyName(trace.l2_policy) << "\n";
+    out << "ops " << trace.ops.size() << "\n";
+    for (const FuzzOp &op : trace.ops) {
+        char k = 'd';
+        switch (op.kind) {
+          case FuzzOp::Kind::Data:
+            k = 'd';
+            break;
+          case FuzzOp::Kind::Fetch:
+            k = 'f';
+            break;
+          case FuzzOp::Kind::Invalidate:
+            k = 'i';
+            break;
+          case FuzzOp::Kind::Flush:
+            k = 'x';
+            break;
+        }
+        out << k << ' ' << std::hex << op.addr << ' ' << op.pc
+            << std::dec << ' ' << (op.write ? 1 : 0) << ' '
+            << op.delta << "\n";
+    }
+}
+
+std::optional<FuzzTrace>
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::string line;
+    if (!std::getline(in, line) || line != "tcpfuzz-trace v1")
+        return std::nullopt;
+
+    FuzzTrace t;
+    std::size_t num_ops = 0;
+    bool saw_ops = false;
+    while (!saw_ops && std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string key, value;
+        if (!(ls >> key >> value))
+            return std::nullopt;
+        if (key == "mode") {
+            if (value == "cache")
+                t.mode = FuzzMode::Cache;
+            else if (value == "hier")
+                t.mode = FuzzMode::Hierarchy;
+            else
+                return std::nullopt;
+        } else if (key == "seed") {
+            t.seed = std::stoull(value);
+        } else if (key == "engine") {
+            t.engine = value;
+        } else if (key == "l1d_bytes") {
+            t.l1d_bytes = std::stoull(value);
+        } else if (key == "l1d_assoc") {
+            t.l1d_assoc = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "l1d_block") {
+            t.l1d_block = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "l1d_mshrs") {
+            t.l1d_mshrs = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "l1d_policy") {
+            const auto p = policyFromName(value);
+            if (!p)
+                return std::nullopt;
+            t.l1d_policy = *p;
+        } else if (key == "l2_bytes") {
+            t.l2_bytes = std::stoull(value);
+        } else if (key == "l2_assoc") {
+            t.l2_assoc = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "l2_policy") {
+            const auto p = policyFromName(value);
+            if (!p)
+                return std::nullopt;
+            t.l2_policy = *p;
+        } else if (key == "ops") {
+            num_ops = std::stoull(value);
+            saw_ops = true;
+        } else {
+            return std::nullopt;
+        }
+    }
+    if (!saw_ops)
+        return std::nullopt;
+
+    t.ops.reserve(num_ops);
+    for (std::size_t i = 0; i < num_ops; ++i) {
+        if (!std::getline(in, line))
+            return std::nullopt;
+        std::istringstream ls(line);
+        char k = 0;
+        std::uint64_t addr = 0, pc = 0;
+        int write = 0;
+        std::uint32_t delta = 0;
+        if (!(ls >> k >> std::hex >> addr >> pc >> std::dec >> write >>
+              delta))
+            return std::nullopt;
+        FuzzOp op;
+        switch (k) {
+          case 'd':
+            op.kind = FuzzOp::Kind::Data;
+            break;
+          case 'f':
+            op.kind = FuzzOp::Kind::Fetch;
+            break;
+          case 'i':
+            op.kind = FuzzOp::Kind::Invalidate;
+            break;
+          case 'x':
+            op.kind = FuzzOp::Kind::Flush;
+            break;
+          default:
+            return std::nullopt;
+        }
+        op.addr = addr;
+        op.pc = pc;
+        op.write = write != 0;
+        op.delta = delta;
+        t.ops.push_back(op);
+    }
+    return t;
+}
+
+} // namespace tcp

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The trace fuzzer behind tools/tcpfuzz: generates seeded random and
+ * adversarial access traces (set-conflict storms, wrap-around tags,
+ * MSHR-saturating bursts, invalidate interleavings), runs them
+ * differentially — a full MemoryHierarchy under the DiffChecker, or a
+ * bare CacheModel against RefCache — and shrinks any failing trace to
+ * a minimal reproducer that can be written to and replayed from disk.
+ */
+
+#ifndef TCP_CHECK_FUZZ_HH
+#define TCP_CHECK_FUZZ_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/diff.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace tcp {
+
+/** What a fuzz trace drives. */
+enum class FuzzMode : std::uint8_t
+{
+    Hierarchy, ///< MemoryHierarchy + engine under the DiffChecker
+    Cache,     ///< bare CacheModel against RefCache
+};
+
+/** One operation of a fuzz trace. */
+struct FuzzOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Data,       ///< data access (hierarchy) / cache access (cache)
+        Fetch,      ///< instruction fetch (hierarchy mode only)
+        Invalidate, ///< invalidate a block (cache mode only)
+        Flush,      ///< flush / reset
+    };
+
+    Kind kind = Kind::Data;
+    Addr addr = 0;
+    Pc pc = 0;
+    bool write = false;
+    /** Cycles to advance before performing the op. */
+    std::uint32_t delta = 1;
+};
+
+/**
+ * A self-contained fuzz case: mode, the (deliberately small) geometry
+ * it runs on, and the operation list. Everything needed to replay a
+ * failure is in here — writeTraceFile/readTraceFile round-trip it.
+ */
+struct FuzzTrace
+{
+    FuzzMode mode = FuzzMode::Hierarchy;
+    std::uint64_t seed = 0;
+    /** Hierarchy-mode engine: "none", "tcp", or "tcp_mi". */
+    std::string engine = "tcp";
+
+    /// @name Geometry (cache mode uses the l1d fields only)
+    /// @{
+    std::uint64_t l1d_bytes = 2048;
+    unsigned l1d_assoc = 2;
+    unsigned l1d_block = 32;
+    unsigned l1d_mshrs = 4;
+    ReplPolicy l1d_policy = ReplPolicy::LRU;
+    std::uint64_t l2_bytes = 8192;
+    unsigned l2_assoc = 4;
+    ReplPolicy l2_policy = ReplPolicy::LRU;
+    /// @}
+
+    std::vector<FuzzOp> ops;
+};
+
+/**
+ * Generate the trace for one (seed, mode) pair. The seed selects the
+ * adversarial pattern mix and the geometry; the same seed always
+ * yields the same trace.
+ */
+FuzzTrace genTrace(std::uint64_t seed, FuzzMode mode,
+                   std::size_t num_ops, const std::string &engine);
+
+/**
+ * Run @p trace differentially.
+ * @param inject_at raise a synthetic divergence at the given 1-based
+ *        checker event (hierarchy mode) or op index (cache mode);
+ *        0 disables. The fault-injection path of the acceptance
+ *        criteria.
+ * @return the first divergence, or nullopt if lockstep held
+ */
+std::optional<DivergenceReport>
+runFuzzTrace(const FuzzTrace &trace, std::uint64_t inject_at = 0);
+
+/**
+ * Greedy chunk-removal shrink (ddmin-style): repeatedly delete op
+ * windows as long as the trace still diverges, halving the window
+ * until single ops. @pre runFuzzTrace(trace, inject_at) fails.
+ */
+FuzzTrace shrinkTrace(FuzzTrace trace, std::uint64_t inject_at = 0);
+
+/** Serialize @p trace to a replayable text file. */
+void writeTraceFile(const std::string &path, const FuzzTrace &trace);
+
+/**
+ * Parse a trace file written by writeTraceFile.
+ * @return nullopt if the file is missing or malformed
+ */
+std::optional<FuzzTrace> readTraceFile(const std::string &path);
+
+} // namespace tcp
+
+#endif // TCP_CHECK_FUZZ_HH

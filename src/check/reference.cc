@@ -1,0 +1,264 @@
+#include "reference.hh"
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+RefCache::RefCache(const CacheConfig &config)
+    : num_sets_(config.numSets()),
+      assoc_(config.assoc),
+      block_bytes_(config.block_bytes),
+      policy_(config.repl)
+{
+    tcp_assert(num_sets_ > 0, "reference cache needs at least one set");
+    sets_.assign(num_sets_, std::vector<RefLine>(assoc_));
+    if (policy_ == ReplPolicy::TreePLRU)
+        plru_.assign(num_sets_, std::vector<bool>(assoc_, false));
+}
+
+std::optional<unsigned>
+RefCache::findWay(Addr addr) const
+{
+    // Scan every way, holes included — the reference never assumes
+    // the valid lines form a prefix.
+    const std::vector<RefLine> &set = sets_[setOf(addr)];
+    const Tag tag = tagOf(addr);
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (set[w].valid && set[w].tag == tag)
+            return w;
+    return std::nullopt;
+}
+
+void
+RefCache::touchWay(std::uint64_t set, unsigned way)
+{
+    if (policy_ != ReplPolicy::TreePLRU)
+        return;
+    // Walk root -> leaf over the subtree [lo, hi) containing the
+    // way; at every node point the victim direction away from it.
+    std::vector<bool> &bits = plru_[set];
+    unsigned node = 1;
+    unsigned lo = 0;
+    unsigned hi = assoc_;
+    while (hi - lo > 1) {
+        const unsigned mid = lo + (hi - lo) / 2;
+        const bool right = way >= mid;
+        bits[node] = !right;
+        node = node * 2 + (right ? 1 : 0);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+}
+
+unsigned
+RefCache::victimWay(std::uint64_t set) const
+{
+    // Prefer the lowest invalid way.
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (!sets_[set][w].valid)
+            return w;
+    switch (policy_) {
+      case ReplPolicy::Random:
+        // The real model's deterministic pseudo-random pick; lockstep
+        // checking requires consuming the same recency counter.
+        return static_cast<unsigned>((stamp_ * 2654435761u) % assoc_);
+      case ReplPolicy::TreePLRU: {
+        const std::vector<bool> &bits = plru_[set];
+        unsigned node = 1;
+        unsigned lo = 0;
+        unsigned hi = assoc_;
+        while (hi - lo > 1) {
+            const unsigned mid = lo + (hi - lo) / 2;
+            if (bits[node]) {
+                node = node * 2 + 1;
+                lo = mid;
+            } else {
+                node = node * 2;
+                hi = mid;
+            }
+        }
+        return lo;
+      }
+      case ReplPolicy::LRU:
+        break;
+    }
+    unsigned victim = 0;
+    for (unsigned w = 1; w < assoc_; ++w)
+        if (sets_[set][w].stamp < sets_[set][victim].stamp)
+            victim = w;
+    return victim;
+}
+
+bool
+RefCache::access(Addr addr)
+{
+    const std::optional<unsigned> way = findWay(addr);
+    if (!way)
+        return false;
+    const std::uint64_t set = setOf(addr);
+    sets_[set][*way].stamp = ++stamp_;
+    touchWay(set, *way);
+    return true;
+}
+
+std::optional<RefEviction>
+RefCache::fill(Addr addr)
+{
+    tcp_assert(!findWay(addr),
+               "reference fill of an already-resident block");
+    const std::uint64_t set = setOf(addr);
+    const unsigned way = victimWay(set);
+    RefLine &line = sets_[set][way];
+
+    std::optional<RefEviction> evicted;
+    if (line.valid)
+        evicted = RefEviction{addrOf(line.tag, set), line.dirty};
+
+    line = RefLine{};
+    line.valid = true;
+    line.tag = tagOf(addr);
+    line.stamp = ++stamp_;
+    touchWay(set, way);
+    return evicted;
+}
+
+bool
+RefCache::resident(Addr addr) const
+{
+    return findWay(addr).has_value();
+}
+
+void
+RefCache::invalidate(Addr addr)
+{
+    if (const std::optional<unsigned> way = findWay(addr))
+        sets_[setOf(addr)][*way].valid = false;
+}
+
+void
+RefCache::flush()
+{
+    for (std::vector<RefLine> &set : sets_)
+        for (RefLine &line : set)
+            line = RefLine{};
+    for (std::vector<bool> &bits : plru_)
+        bits.assign(assoc_, false);
+}
+
+void
+RefCache::setDirty(Addr addr)
+{
+    if (const std::optional<unsigned> way = findWay(addr))
+        sets_[setOf(addr)][*way].dirty = true;
+}
+
+RefTcp::RefTcp(const TcpConfig &config) : cfg_(config)
+{
+    pht_set_bits_ = 0;
+    while ((std::uint64_t{1} << pht_set_bits_) < cfg_.pht.sets)
+        ++pht_set_bits_;
+    tcp_assert((std::uint64_t{1} << pht_set_bits_) == cfg_.pht.sets,
+               "reference PHT needs a power-of-two set count");
+    rows_.assign(cfg_.tht_rows, {});
+    pht_.assign(cfg_.pht.sets,
+                std::vector<RefPhtEntry>(cfg_.pht.assoc));
+}
+
+std::uint64_t
+RefTcp::indexOf(const std::vector<Tag> &seq,
+                std::uint64_t miss_index) const
+{
+    // Figure 9: the high m bits are the carry-discarding sum of the
+    // history's tags, the low n bits come from the miss index.
+    const unsigned n = cfg_.pht.miss_index_bits;
+    const unsigned m = pht_set_bits_ - n;
+    const std::uint64_t high_mod = std::uint64_t{1} << m;
+    const std::uint64_t low_mod = std::uint64_t{1} << n;
+    std::uint64_t high = 0;
+    for (Tag t : seq)
+        high = (high + t) % high_mod;
+    return high * low_mod + miss_index % low_mod;
+}
+
+RefTcp::RefPhtEntry *
+RefTcp::findEntry(std::uint64_t set, Tag match)
+{
+    for (RefPhtEntry &e : pht_[set])
+        if (e.valid && e.match == match)
+            return &e;
+    return nullptr;
+}
+
+void
+RefTcp::update(const std::vector<Tag> &seq, std::uint64_t miss_index,
+               Tag next_tag)
+{
+    const std::uint64_t set = indexOf(seq, miss_index);
+    const Tag match = seq.back();
+    if (RefPhtEntry *e = findEntry(set, match)) {
+        e->next = next_tag;
+        e->lru = ++pht_stamp_;
+        return;
+    }
+    // Allocate: the lowest invalid way, else the LRU entry.
+    RefPhtEntry *victim = nullptr;
+    for (RefPhtEntry &e : pht_[set]) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+    }
+    if (!victim) {
+        victim = &pht_[set][0];
+        for (RefPhtEntry &e : pht_[set])
+            if (e.lru < victim->lru)
+                victim = &e;
+    }
+    victim->valid = true;
+    victim->match = match;
+    victim->next = next_tag;
+    victim->lru = ++pht_stamp_;
+}
+
+std::optional<Tag>
+RefTcp::lookup(const std::vector<Tag> &seq, std::uint64_t miss_index)
+{
+    const std::uint64_t set = indexOf(seq, miss_index);
+    RefPhtEntry *e = findEntry(set, seq.back());
+    if (!e)
+        return std::nullopt;
+    e->lru = ++pht_stamp_;
+    return e->next;
+}
+
+std::vector<Addr>
+RefTcp::observeMiss(Addr addr)
+{
+    // Section 4, one miss: correlate the row's previous history with
+    // the tag that just missed, shift it in, then predict the
+    // successor of the new history.
+    const std::uint64_t block = std::uint64_t{1} << cfg_.l1_block_bits;
+    const std::uint64_t sets = std::uint64_t{1} << cfg_.l1_set_bits;
+    const std::uint64_t index = (addr / block) % sets;
+    const Tag tag = (addr / block) / sets;
+    std::vector<Tag> &row = rows_[index % cfg_.tht_rows];
+
+    if (row.size() >= cfg_.history_depth)
+        update(row, index, tag);
+
+    row.push_back(tag);
+    if (row.size() > cfg_.history_depth)
+        row.erase(row.begin());
+
+    if (row.size() < cfg_.history_depth)
+        return {}; // row still warming up: no prediction
+
+    const std::optional<Tag> next = lookup(row, index);
+    if (!next || *next == tag)
+        return {}; // PHT miss, or a self-target the engine suppresses
+    return {(*next * sets + index) * block};
+}
+
+} // namespace tcp

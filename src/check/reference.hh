@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The differential-testing reference models: deliberately simple,
+ * allocation-per-access reimplementations of the semantics the
+ * optimized simulator components are supposed to compute.
+ *
+ * RefCache re-derives set/tag decomposition (with div/mod arithmetic
+ * instead of shifts and masks), LRU stamps, tree-PLRU direction bits
+ * and the deterministic pseudo-random victim from their definitions —
+ * no valid-prefix early exit, no cached way indices, a fresh scan of
+ * the whole set on every operation. RefTcp is a line-by-line
+ * transcription of the paper's Section 4 protocol: shift the THT row,
+ * index the PHT with the Figure 9 truncated addition, match on the
+ * newest tag, predict the stored successor.
+ *
+ * The point is independence: these models share no code with
+ * CacheModel / TagCorrelatingPrefetcher beyond the configuration
+ * structs, so a fast-path bug in the real models cannot hide here.
+ * DiffChecker (diff.hh) runs them in lockstep with the real
+ * MemoryHierarchy and reports the first divergence.
+ */
+
+#ifndef TCP_CHECK_REFERENCE_HH
+#define TCP_CHECK_REFERENCE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/tcp.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace tcp {
+
+/** One line of the reference cache directory. */
+struct RefLine
+{
+    bool valid = false;
+    Tag tag = 0;
+    bool dirty = false;
+    /** Replacement recency stamp (higher = more recent). */
+    std::uint64_t stamp = 0;
+};
+
+/** A block displaced by RefCache::fill. */
+struct RefEviction
+{
+    Addr block_addr;
+    bool dirty;
+};
+
+/**
+ * Reference set-associative cache directory. Mirrors the replacement
+ * semantics of CacheModel exactly — including the global recency
+ * counter the Random policy derives its victim from — but computes
+ * everything the slow, obvious way.
+ */
+class RefCache
+{
+  public:
+    explicit RefCache(const CacheConfig &config);
+
+    /// @name Address decomposition, by division (no shifts/masks)
+    /// @{
+    Addr blockAlign(Addr addr) const
+    {
+        return (addr / block_bytes_) * block_bytes_;
+    }
+    std::uint64_t setOf(Addr addr) const
+    {
+        return (addr / block_bytes_) % num_sets_;
+    }
+    Tag tagOf(Addr addr) const
+    {
+        return (addr / block_bytes_) / num_sets_;
+    }
+    Addr addrOf(Tag tag, std::uint64_t set) const
+    {
+        return (tag * num_sets_ + set) * block_bytes_;
+    }
+    /// @}
+
+    std::uint64_t numSets() const { return num_sets_; }
+    unsigned assoc() const { return assoc_; }
+
+    /**
+     * Demand access: on a hit, refresh the recency stamp and the
+     * PLRU direction bits. @return whether the block was resident.
+     */
+    bool access(Addr addr);
+
+    /**
+     * Install the block containing @p addr.
+     * @return the displaced block, if the victim way was valid
+     * @pre the block is not resident
+     */
+    std::optional<RefEviction> fill(Addr addr);
+
+    /** Residency probe; no replacement-state side effects. */
+    bool resident(Addr addr) const;
+
+    /** Drop the block containing @p addr if resident. */
+    void invalidate(Addr addr);
+
+    /** Invalidate every line. */
+    void flush();
+
+    /** Mark the (resident) block containing @p addr dirty. */
+    void setDirty(Addr addr);
+
+    /** The line in @p way of @p set (for full-state comparison). */
+    const RefLine &
+    lineAt(std::uint64_t set, unsigned way) const
+    {
+        return sets_[set][way];
+    }
+
+  private:
+    /** Way holding @p addr's tag, or nullopt. Scans every way. */
+    std::optional<unsigned> findWay(Addr addr) const;
+    /** Way a fill of @p set would replace. */
+    unsigned victimWay(std::uint64_t set) const;
+    /** Update PLRU direction bits after touching @p way of @p set. */
+    void touchWay(std::uint64_t set, unsigned way);
+
+    std::uint64_t num_sets_;
+    unsigned assoc_;
+    std::uint64_t block_bytes_;
+    ReplPolicy policy_;
+    /** Global recency counter, advanced on hits and fills like the
+     *  real model's (the Random policy consumes it). */
+    std::uint64_t stamp_ = 0;
+    /** sets_[set][way] */
+    std::vector<std::vector<RefLine>> sets_;
+    /**
+     * Tree-PLRU direction bits, one bool per internal node, node i's
+     * children at 2i and 2i+1 (index 0 unused, root at 1). True means
+     * "the victim is in the right subtree".
+     */
+    std::vector<std::vector<bool>> plru_;
+};
+
+/**
+ * Reference TCP: THT shift register plus truncated-add-indexed PHT,
+ * straight from Section 4 / Figure 9. Supports the paper's plain
+ * configuration (degree 1, single-target entries, TruncatedAdd
+ * indexing, full match tags); DiffChecker only arms it for engines in
+ * that subset.
+ */
+class RefTcp
+{
+  public:
+    explicit RefTcp(const TcpConfig &config);
+
+    /**
+     * One miss of the training stream: update the correlation for the
+     * row's previous history, shift the new tag in, and predict the
+     * successor of the new history.
+     * @return the prefetch addresses the real engine must issue for
+     *         this miss (empty or one address in the plain config)
+     */
+    std::vector<Addr> observeMiss(Addr addr);
+
+  private:
+    struct RefPhtEntry
+    {
+        bool valid = false;
+        Tag match = 0;
+        Tag next = 0;
+        std::uint64_t lru = 0;
+    };
+
+    /** Figure 9: high bits = truncated tag sum, low n bits = index. */
+    std::uint64_t indexOf(const std::vector<Tag> &seq,
+                          std::uint64_t miss_index) const;
+    /** Entry of @p set matching @p seq's newest tag, or nullptr. */
+    RefPhtEntry *findEntry(std::uint64_t set, Tag match);
+    void update(const std::vector<Tag> &seq, std::uint64_t miss_index,
+                Tag next_tag);
+    std::optional<Tag> lookup(const std::vector<Tag> &seq,
+                              std::uint64_t miss_index);
+
+    TcpConfig cfg_;
+    unsigned pht_set_bits_;
+    std::uint64_t pht_stamp_ = 0;
+    /** Per-row history, oldest first, at most history_depth tags. */
+    std::vector<std::vector<Tag>> rows_;
+    /** pht_[set][way] */
+    std::vector<std::vector<RefPhtEntry>> pht_;
+};
+
+} // namespace tcp
+
+#endif // TCP_CHECK_REFERENCE_HH

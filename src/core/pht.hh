@@ -130,6 +130,9 @@ class PatternHistoryTable
 
     const PhtConfig &config() const { return config_; }
 
+    /** Index width: log2(config().sets). */
+    unsigned setBits() const { return set_bits_; }
+
     /** Valid entries currently stored (occupancy, for reports). */
     std::uint64_t occupancy() const;
 

@@ -1,5 +1,7 @@
 #include "tcp.hh"
 
+#include <algorithm>
+
 #include "sim/trace_sink.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
@@ -227,10 +229,13 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
         }
         traceEvent("pht_hit", "tcp", ctx.cycle, ctx.addr);
         // Attribution: the PHT entry behind these predictions and a
-        // compact hash of the history sequence that selected it.
+        // compact hash of the history sequence that selected it. The
+        // hash must be at least as wide as the PHT index, or ledger
+        // attribution aliases histories on large-PHT geometries.
+        const unsigned hash_bits = std::max(16u, pht_.setBits());
         std::uint64_t seq_hash = 0;
         for (Tag t : seq_scratch_)
-            seq_hash = truncatedAdd(seq_hash, t, 16);
+            seq_hash = truncatedAdd(seq_hash, t, hash_bits);
         const PfOrigin origin{
             d == 0 ? PfSource::PhtCorrelation : PfSource::PhtChain,
             (hit.set << 8) | hit.way, seq_hash, ctx.pc, index};

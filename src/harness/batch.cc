@@ -14,7 +14,8 @@ runSpec(const RunSpec &spec)
                                              : makeEngine(spec.engine);
     return runTrace(*workload, spec.machine, engine, spec.instructions,
                     spec.warmup, spec.interval,
-                    spec.ledger ? &spec.ledger_config : nullptr);
+                    spec.ledger ? &spec.ledger_config : nullptr,
+                    spec.check);
 }
 
 BatchRunner::BatchRunner(unsigned jobs) : pool_(jobs) {}

@@ -47,6 +47,8 @@ struct RunSpec
     bool ledger = false;
     /** Ledger tuning used when @c ledger is set. */
     LedgerConfig ledger_config{};
+    /** Run under the differential checker (panic on divergence). */
+    bool check = false;
     /**
      * Optional engine override for configurations makeEngine() has no
      * name for (ablation sweeps over TcpConfig). Must be a pure

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "check/diff.hh"
 #include "prefetch/dbcp.hh"
 #include "prefetch/markov.hh"
 #include "prefetch/stream.hh"
@@ -197,6 +198,23 @@ makeEngine(const std::string &name)
     return setup;
 }
 
+std::uint64_t
+resolveAutoWarmup(std::uint64_t instructions, std::uint64_t warmup,
+                  std::uint64_t interval)
+{
+    if (warmup != kAutoWarmup)
+        return warmup;
+    std::uint64_t w = instructions / 2;
+    // Align the derived warmup to the sampling grid: an unaligned
+    // warmup from an odd/small instruction budget would otherwise
+    // shift where the measured window starts relative to the
+    // intervals the caller asked for (and could leave a zero-length
+    // first sample).
+    if (interval > 0)
+        w -= w % interval;
+    return w;
+}
+
 const std::vector<std::string> &
 standardEngineNames()
 {
@@ -248,7 +266,7 @@ RunResult
 runTrace(TraceSource &source, const MachineConfig &machine,
          EngineSetup &engine, std::uint64_t instructions,
          std::uint64_t warmup, std::uint64_t interval,
-         const LedgerConfig *ledger)
+         const LedgerConfig *ledger, bool check)
 {
     MachineConfig cfg = machine;
     if (engine.wants_prefetch_bus)
@@ -257,8 +275,7 @@ runTrace(TraceSource &source, const MachineConfig &machine,
         cfg.train_on_l2_misses = true;
     if (engine.wants_naive_promote)
         cfg.naive_l1_promote = true;
-    if (warmup == kAutoWarmup)
-        warmup = instructions / 2;
+    warmup = resolveAutoWarmup(instructions, warmup, interval);
 
     MemoryHierarchy mem(cfg, engine.prefetcher.get(),
                         engine.dbp.get());
@@ -267,6 +284,11 @@ runTrace(TraceSource &source, const MachineConfig &machine,
         ledger_obj.emplace(*ledger);
         mem.attachLedger(&*ledger_obj);
     }
+    // The checker attaches before warmup: the reference models must
+    // see every access that shaped the cache state they mirror.
+    std::optional<DiffChecker> checker;
+    if (check)
+        checker.emplace(mem, engine.prefetcher.get());
     OooCore core(cfg.core, mem);
     if (engine.crit)
         core.setCriticalityTable(engine.crit.get());
@@ -375,6 +397,9 @@ runTrace(TraceSource &source, const MachineConfig &machine,
     cr.branches -= warm.branches;
     cr.mispredicts -= warm.mispredicts;
 
+    if (checker)
+        checker->finalize();
+
     RunResult out;
     out.workload = source.name();
     out.prefetcher =
@@ -429,12 +454,12 @@ runNamed(const std::string &workload_name,
          const std::string &engine_name, std::uint64_t instructions,
          const MachineConfig &base, std::uint64_t seed,
          std::uint64_t warmup, std::uint64_t interval,
-         const LedgerConfig *ledger)
+         const LedgerConfig *ledger, bool check)
 {
     auto workload = makeWorkload(workload_name, seed);
     EngineSetup engine = makeEngine(engine_name);
     return runTrace(*workload, base, engine, instructions, warmup,
-                    interval, ledger);
+                    interval, ledger, check);
 }
 
 double

@@ -177,6 +177,17 @@ const std::vector<std::string> &standardEngineNames();
 inline constexpr std::uint64_t kAutoWarmup = ~std::uint64_t{0};
 
 /**
+ * The warmup length a run will actually use. Explicit warmups pass
+ * through unchanged; kAutoWarmup resolves to instructions / 2, rounded
+ * down to a multiple of @p interval when sampling is on — otherwise
+ * the derived warmup shifts every sample window against the interval
+ * grid the caller asked for.
+ */
+std::uint64_t resolveAutoWarmup(std::uint64_t instructions,
+                                std::uint64_t warmup,
+                                std::uint64_t interval);
+
+/**
  * Run @p instructions micro-ops of @p source on a machine built from
  * @p machine with @p engine attached.
  *
@@ -199,12 +210,18 @@ inline constexpr std::uint64_t kAutoWarmup = ~std::uint64_t{0};
  * outcome snapshot fields and RunResult::ledger. Attribution is reset
  * at the warmup boundary together with the statistics and finalized
  * before the snapshot, so sum(outcome classes) == pf_issued.
+ *
+ * When @p check is true, a DiffChecker (src/check) is attached for the
+ * whole run (warmup included — the reference must see every access
+ * that shaped the cache state) and any divergence from the reference
+ * models panics with a replayable report.
  */
 RunResult runTrace(TraceSource &source, const MachineConfig &machine,
                    EngineSetup &engine, std::uint64_t instructions,
                    std::uint64_t warmup = kAutoWarmup,
                    std::uint64_t interval = 0,
-                   const LedgerConfig *ledger = nullptr);
+                   const LedgerConfig *ledger = nullptr,
+                   bool check = false);
 
 /**
  * Convenience: build the named workload and engine and run them on a
@@ -217,7 +234,8 @@ RunResult runNamed(const std::string &workload_name,
                    std::uint64_t seed = 1,
                    std::uint64_t warmup = kAutoWarmup,
                    std::uint64_t interval = 0,
-                   const LedgerConfig *ledger = nullptr);
+                   const LedgerConfig *ledger = nullptr,
+                   bool check = false);
 
 /** Geometric mean of @p values (which must all be positive). */
 double geomean(const std::vector<double> &values);

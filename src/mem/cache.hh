@@ -159,6 +159,16 @@ class CacheModel
     unsigned setOccupancy(Addr addr) const;
 
     /**
+     * The directory line in @p way of @p set, valid or not — the
+     * differential checker's full-set state comparison.
+     */
+    const CacheLine &
+    lineAt(SetIndex set, unsigned way) const
+    {
+        return lines_[set * assoc_ + way];
+    }
+
+    /**
      * Attach @p listener (nullptr detaches); it is notified of every
      * eviction this cache performs, tagged with @p id. The listener
      * stays owned by the caller.

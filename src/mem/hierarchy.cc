@@ -64,6 +64,8 @@ MemoryHierarchy::dataAccess(Addr addr, AccessType type, Pc pc, Cycle now)
         drainPromotions(now);
 
     CacheLine *line = l1d_.access(addr, now);
+    if (check_) [[unlikely]]
+        check_->onL1DAccess(addr, type, pc, now, line != nullptr);
 
     if (access_observer_) {
         pending_.clear();
@@ -96,6 +98,8 @@ MemoryHierarchy::dataAccess(Addr addr, AccessType type, Pc pc, Cycle now)
                 // promotion: feed it to the predictor as a *virtual
                 // miss* so the per-set tag history stays faithful to
                 // the demand stream and the prefetch chain continues.
+                if (check_) [[unlikely]]
+                    check_->onEngineMiss(addr, pc, now);
                 pending_.clear();
                 prefetcher_->observeMiss(
                     AccessContext{addr, pc, now, false, type},
@@ -120,7 +124,7 @@ MemoryHierarchy::dataAccess(Addr addr, AccessType type, Pc pc, Cycle now)
     // Response transfer of the L1 block over the L1/L2 bus.
     const Cycle done = l1l2_bus_.request(data_ready,
                                          l1d_.blockBytes());
-    l1d_mshrs_.allocate(done);
+    l1d_mshrs_.allocate(start, done);
     miss_latency.sample(done - now);
     fillL1D(addr, t, done, false);
 
@@ -137,6 +141,8 @@ MemoryHierarchy::dataAccess(Addr addr, AccessType type, Pc pc, Cycle now)
             train = !l2_hit || l2_virtual_miss_;
         }
         if (train) {
+            if (check_) [[unlikely]]
+                check_->onEngineMiss(addr, pc, t);
             pending_.clear();
             prefetcher_->observeMiss(
                 AccessContext{addr, pc, t, false, type}, pending_);
@@ -149,6 +155,8 @@ MemoryHierarchy::dataAccess(Addr addr, AccessType type, Pc pc, Cycle now)
     if (type == AccessType::Write) {
         if (CacheLine *nl = l1d_.access(addr, t))
             nl->dirty = true;
+        if (check_) [[unlikely]]
+            check_->onL1DTouch(addr, t);
     }
     return AccessResult{done, false, l2_hit};
 }
@@ -157,6 +165,8 @@ Cycle
 MemoryHierarchy::instFetch(Pc pc, Cycle now)
 {
     CacheLine *line = l1i_.access(pc, now);
+    if (check_) [[unlikely]]
+        check_->onL1IAccess(pc, now, line != nullptr);
     if (line) {
         ++l1i_hits;
         return std::max(now + config_.l1i.latency, line->available_at);
@@ -168,7 +178,7 @@ MemoryHierarchy::instFetch(Pc pc, Cycle now)
         l2DemandAccess(l2_.blockAlign(pc), t, false);
     (void)l2_hit;
     const Cycle done = l1l2_bus_.request(data_ready, l1i_.blockBytes());
-    l1i_mshrs_.allocate(done);
+    l1i_mshrs_.allocate(start, done);
     if (auto ev = l1i_.fill(pc, t); ev && ev->dirty) {
         // Instruction lines are never dirty; keep the branch for
         // structural symmetry and catch modelling errors.
@@ -176,6 +186,8 @@ MemoryHierarchy::instFetch(Pc pc, Cycle now)
     }
     if (CacheLine *nl = l1i_.access(pc, t))
         nl->available_at = done;
+    if (check_) [[unlikely]]
+        check_->onL1IFill(pc, t);
     return done;
 }
 
@@ -219,6 +231,8 @@ MemoryHierarchy::l2DemandAccess(Addr block_addr, Cycle t, bool classify)
                 ++nonprefetched_original;
             }
         }
+        if (check_) [[unlikely]]
+            check_->onL2DemandAccess(block_addr, t, true, classify);
         return {ready, true};
     }
 
@@ -237,6 +251,8 @@ MemoryHierarchy::l2DemandAccess(Addr block_addr, Cycle t, bool classify)
     }
     if (CacheLine *nl = l2_.access(block_addr, t))
         nl->available_at = ready;
+    if (check_) [[unlikely]]
+        check_->onL2DemandAccess(block_addr, t, false, classify);
     return {ready, false};
 }
 
@@ -269,6 +285,8 @@ MemoryHierarchy::fillL1D(Addr addr, Cycle t, Cycle available,
         nl->available_at = available;
         nl->prefetched = prefetched;
     }
+    if (check_) [[unlikely]]
+        check_->onL1DFill(addr, t, prefetched);
 }
 
 void
@@ -278,6 +296,8 @@ MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
     const Addr block = l2_.blockAlign(req.addr);
     ++prefetcher_->issued;
     traceEvent("pf_issue", "prefetch", t, block);
+    if (check_) [[unlikely]]
+        check_->onPrefetchRequest(req, t);
 
     Cycle ready;
     if (l2_.probe(block)) {
@@ -300,7 +320,7 @@ MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
         ready = mem_bus_.request(t + config_.l2.latency,
                                  l2_.blockBytes()) +
                 config_.memory_latency;
-        prefetch_mshrs_.allocate(ready);
+        prefetch_mshrs_.allocate(t, ready);
         ++prefetch_fills;
         traceEvent("pf_fill", "prefetch", ready, block);
         // Before the fill, so the ledger can attribute the fill's
@@ -315,6 +335,8 @@ MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
             nl->available_at = ready;
             nl->prefetched = true;
         }
+        if (check_) [[unlikely]]
+            check_->onPrefetchL2Fill(block, t);
     }
 
     // Hybrid scheme: queue a promotion into L1 for when the data
@@ -391,6 +413,8 @@ MemoryHierarchy::reset()
     stats_.resetAll();
     if (ledger_)
         ledger_->reset();
+    if (check_)
+        check_->onReset();
 }
 
 void

@@ -40,6 +40,47 @@ struct AccessResult
 };
 
 /**
+ * Observer of the hierarchy's directory-mutating operations, the
+ * attachment point of the differential checker (src/check). A callback
+ * fires inline at every cache-state mutation, in exactly the order the
+ * real models perform them, so a lockstep reference model can mirror
+ * the replacement state (including the recency counters the Random
+ * policy consumes). With no hook attached each site costs a pointer
+ * load and a not-taken branch; only onL1DAccess sits on the L1-hit
+ * fast path (bounded by bench/micro_components
+ * BM_HierarchyAccessNoCheck).
+ */
+class MemCheckHook
+{
+  public:
+    virtual ~MemCheckHook() = default;
+
+    /** L1-D lookup performed (replacement state updated on hits). */
+    virtual void onL1DAccess(Addr addr, AccessType type, Pc pc,
+                             Cycle now, bool hit) = 0;
+    /** Post-fill re-touch of an L1-D line by a store. */
+    virtual void onL1DTouch(Addr addr, Cycle now) = 0;
+    /** L1-D fill (and its eviction side effects) completed. */
+    virtual void onL1DFill(Addr addr, Cycle now, bool prefetched) = 0;
+    /** L1-I lookup performed. */
+    virtual void onL1IAccess(Pc pc, Cycle now, bool hit) = 0;
+    /** L1-I fill (plus the touch installing availability) completed. */
+    virtual void onL1IFill(Pc pc, Cycle now) = 0;
+    /** L2 demand lookup (and fill, on a miss) completed. */
+    virtual void onL2DemandAccess(Addr block_addr, Cycle now, bool hit,
+                                  bool classify) = 0;
+    /** Prefetch fill into L2 (plus availability touch) completed. */
+    virtual void onPrefetchL2Fill(Addr block_addr, Cycle now) = 0;
+    /** The engine is about to observe a (real or virtual) miss. */
+    virtual void onEngineMiss(Addr addr, Pc pc, Cycle now) = 0;
+    /** The engine issued a prefetch request (before drop filtering). */
+    virtual void onPrefetchRequest(const PrefetchRequest &req,
+                                   Cycle now) = 0;
+    /** The hierarchy was reset (caches flushed). */
+    virtual void onReset() = 0;
+};
+
+/**
  * The memory system. The CPU model calls dataAccess() for loads and
  * stores and instFetch() for instruction-block fetches; both return
  * data-ready cycles that already include bus contention and MSHR
@@ -91,6 +132,14 @@ class MemoryHierarchy
      */
     void attachLedger(PrefetchLedger *ledger);
     PrefetchLedger *ledger() { return ledger_; }
+
+    /**
+     * Attach the differential-checker hook (nullptr detaches). The
+     * hook stays owned by the caller and composes with the ledger:
+     * both observe the same run. See src/check.
+     */
+    void setCheckHook(MemCheckHook *hook) { check_ = hook; }
+    MemCheckHook *checkHook() { return check_; }
 
     /** Reset all cache/bus/stat state (tables keep their config). */
     void reset();
@@ -147,6 +196,7 @@ class MemoryHierarchy
     Prefetcher *access_observer_;
     DeadBlockPredictor *dbp_;
     PrefetchLedger *ledger_ = nullptr;
+    MemCheckHook *check_ = nullptr;
     std::vector<PrefetchRequest> pending_;
     /**
      * Set by l2DemandAccess when a demand hit consumed prefetched

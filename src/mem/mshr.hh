@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "util/logging.hh"
 
 namespace tcp {
 
@@ -45,16 +46,30 @@ class MshrFile
     }
 
     /**
-     * Record a newly allocated miss that completes at @p ready.
-     * The caller must have honoured earliestFree().
+     * Record a miss allocated at cycle @p now that completes at
+     * @p ready. The caller must have honoured earliestFree(): by
+     * @p now a register must be free. Allocating at capacity is a
+     * contract violation — silently recycling a register would
+     * rewrite the history of an in-flight miss — so it panics in
+     * debug builds and is counted in overflowAllocs() (with the
+     * earliest in-flight miss dropped) in release builds.
      */
     void
-    allocate(Cycle ready)
+    allocate(Cycle now, Cycle ready)
     {
         if (count_ == 0)
             return;
-        if (ready_.size() >= count_)
+        drain(now);
+        if (ready_.size() >= count_) {
+#ifndef NDEBUG
+            tcp_panic("MSHR allocate at capacity (", ready_.size(),
+                      "/", count_, " busy at cycle ", now,
+                      "): caller ignored earliestFree()");
+#else
+            ++overflow_allocs_;
             ready_.pop();
+#endif
+        }
         ready_.push(ready);
     }
 
@@ -68,11 +83,19 @@ class MshrFile
 
     unsigned capacity() const { return count_; }
 
+    /**
+     * Contract-violating allocations observed (release builds only;
+     * debug builds panic instead). Nonzero means a caller allocated
+     * without honouring earliestFree().
+     */
+    std::uint64_t overflowAllocs() const { return overflow_allocs_; }
+
     void
     reset()
     {
         while (!ready_.empty())
             ready_.pop();
+        overflow_allocs_ = 0;
     }
 
   private:
@@ -85,6 +108,7 @@ class MshrFile
     }
 
     unsigned count_;
+    std::uint64_t overflow_allocs_ = 0;
     std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>> ready_;
 };
 

@@ -1,7 +1,13 @@
 /**
  * @file
- * Tests for the MSHR capacity model.
+ * Tests for the MSHR capacity model, including the allocate()
+ * contract: callers must honour earliestFree(), and allocating at
+ * capacity is a violation (panic in debug builds, counted in
+ * overflowAllocs() in release builds) instead of the silent
+ * earliest-miss drop it used to be.
  */
+
+#include <algorithm>
 
 #include <gtest/gtest.h>
 
@@ -20,8 +26,8 @@ TEST(MshrTest, FreeWhenEmpty)
 TEST(MshrTest, FillsUpThenStalls)
 {
     MshrFile m(2);
-    m.allocate(50);
-    m.allocate(60);
+    m.allocate(0, 50);
+    m.allocate(0, 60);
     // Both busy at cycle 10: the earliest retirement is 50.
     EXPECT_EQ(m.earliestFree(10), 50u);
     // At cycle 50 the first entry drains.
@@ -32,9 +38,9 @@ TEST(MshrTest, FillsUpThenStalls)
 TEST(MshrTest, DrainsInReadyOrder)
 {
     MshrFile m(3);
-    m.allocate(30);
-    m.allocate(10);
-    m.allocate(20);
+    m.allocate(0, 30);
+    m.allocate(0, 10);
+    m.allocate(0, 20);
     EXPECT_EQ(m.earliestFree(5), 10u);
     EXPECT_EQ(m.outstanding(15), 2u);
     EXPECT_EQ(m.outstanding(25), 1u);
@@ -45,7 +51,7 @@ TEST(MshrTest, UnlimitedNeverStalls)
 {
     MshrFile m(0);
     for (Cycle c = 0; c < 1000; ++c)
-        m.allocate(c + 500);
+        m.allocate(c, c + 500);
     EXPECT_EQ(m.earliestFree(3), 3u);
     EXPECT_EQ(m.outstanding(3), 0u); // unlimited tracks nothing
 }
@@ -53,16 +59,61 @@ TEST(MshrTest, UnlimitedNeverStalls)
 TEST(MshrTest, ResetClears)
 {
     MshrFile m(1);
-    m.allocate(1000);
+    m.allocate(0, 1000);
     EXPECT_EQ(m.earliestFree(0), 1000u);
     m.reset();
     EXPECT_EQ(m.earliestFree(0), 0u);
+    EXPECT_EQ(m.overflowAllocs(), 0u);
 }
 
 TEST(MshrTest, CapacityAccessor)
 {
     EXPECT_EQ(MshrFile(64).capacity(), 64u);
     EXPECT_EQ(MshrFile(0).capacity(), 0u);
+}
+
+// The saturation pattern the fuzzer seeds: a burst of back-to-back
+// misses against a small file. A caller that waits for earliestFree()
+// before each allocation never violates the contract, no matter how
+// deep the burst.
+TEST(MshrTest, SaturationBurstHonouringContract)
+{
+    MshrFile m(2);
+    Cycle now = 0;
+    for (int i = 0; i < 64; ++i) {
+        const Cycle start = std::max(now, m.earliestFree(now));
+        m.allocate(start, start + 100);
+    }
+    EXPECT_EQ(m.overflowAllocs(), 0u);
+    // 64 misses serialized two-at-a-time over a 100-cycle latency:
+    // the file must still drain completely.
+    EXPECT_EQ(m.outstanding(64 * 100), 0u);
+}
+
+TEST(MshrTest, AllocateAtCapacityIsAContractViolation)
+{
+    MshrFile m(1);
+    m.allocate(0, 1000);
+#ifndef NDEBUG
+    EXPECT_DEATH(m.allocate(0, 2000), "ignored earliestFree");
+#else
+    // Release builds count the violation instead of aborting.
+    m.allocate(0, 2000);
+    EXPECT_EQ(m.overflowAllocs(), 1u);
+    m.reset();
+    EXPECT_EQ(m.overflowAllocs(), 0u);
+#endif
+}
+
+TEST(MshrTest, AllocateAfterDrainIsNotAViolation)
+{
+    MshrFile m(1);
+    m.allocate(0, 10);
+    // By cycle 10 the in-flight miss has completed: the register is
+    // free again and this allocation is within contract.
+    m.allocate(10, 20);
+    EXPECT_EQ(m.overflowAllocs(), 0u);
+    EXPECT_EQ(m.outstanding(15), 1u);
 }
 
 } // namespace

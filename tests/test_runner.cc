@@ -118,5 +118,41 @@ TEST(RunnerTest, ClassificationInvariantHolds)
     }
 }
 
+TEST(RunnerTest, ResolveAutoWarmupClampsToIntervalGrid)
+{
+    // Explicit warmups pass through untouched, interval or not.
+    EXPECT_EQ(resolveAutoWarmup(100000, 12345, 0), 12345u);
+    EXPECT_EQ(resolveAutoWarmup(100000, 12345, 10000), 12345u);
+    EXPECT_EQ(resolveAutoWarmup(100000, 0, 10000), 0u);
+
+    // Auto warmup without sampling: plain instructions / 2.
+    EXPECT_EQ(resolveAutoWarmup(100000, kAutoWarmup, 0), 50000u);
+    EXPECT_EQ(resolveAutoWarmup(100001, kAutoWarmup, 0), 50000u);
+
+    // Auto warmup with sampling aligns down to the interval grid.
+    EXPECT_EQ(resolveAutoWarmup(100000, kAutoWarmup, 10000), 50000u);
+    EXPECT_EQ(resolveAutoWarmup(90001, kAutoWarmup, 10000), 40000u);
+    EXPECT_EQ(resolveAutoWarmup(99999, kAutoWarmup, 7000), 49000u);
+
+    // Small/odd budgets must not produce a sliver of a warmup that
+    // desyncs the first sample window.
+    EXPECT_EQ(resolveAutoWarmup(15000, kAutoWarmup, 10000), 0u);
+    EXPECT_EQ(resolveAutoWarmup(3, kAutoWarmup, 2), 0u);
+}
+
+TEST(RunnerTest, CheckedRunMatchesUncheckedRun)
+{
+    // The differential checker must observe, never perturb: counters
+    // of a checked run are bit-identical to the plain run.
+    const RunResult plain = runNamed("swim", "tcp8k", 30000);
+    const RunResult checked =
+        runNamed("swim", "tcp8k", 30000, MachineConfig{}, 1,
+                 kAutoWarmup, 0, nullptr, /*check=*/true);
+    EXPECT_EQ(plain.core.cycles, checked.core.cycles);
+    EXPECT_EQ(plain.l1d_misses, checked.l1d_misses);
+    EXPECT_EQ(plain.pf_issued, checked.pf_issued);
+    EXPECT_EQ(plain.l2_demand_misses, checked.l2_demand_misses);
+}
+
 } // namespace
 } // namespace tcp

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * tcpfuzz — the differential trace fuzzer (src/check). Generates
+ * seeded random + adversarial access traces, runs each one twice per
+ * seed (a full MemoryHierarchy under the DiffChecker and a bare
+ * CacheModel against RefCache), and on any divergence shrinks the
+ * trace to a minimal reproducer and writes it to disk.
+ *
+ *   tcpfuzz --seed-range 0..64 --shrink        # the CI smoke job
+ *   tcpfuzz --replay failures/seed7-cache.trc  # re-run a reproducer
+ *   tcpfuzz --self-test                        # prove the pipeline
+ *
+ * Exit status: 0 when every trace held lockstep, 1 on divergence (or
+ * a failed self-test).
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace tcp;
+
+const char *
+modeName(FuzzMode mode)
+{
+    return mode == FuzzMode::Cache ? "cache" : "hier";
+}
+
+std::string
+reproducerPath(const std::string &dir, const FuzzTrace &trace)
+{
+    return dir + "/seed" + std::to_string(trace.seed) + "-" +
+           modeName(trace.mode) + ".trc";
+}
+
+/** Run one trace; on divergence shrink (optionally) and report. */
+bool
+runOne(const FuzzTrace &trace, bool shrink, const std::string &out_dir,
+       std::uint64_t inject_at)
+{
+    const auto failure = runFuzzTrace(trace, inject_at);
+    if (!failure)
+        return true;
+
+    FuzzTrace repro = trace;
+    if (shrink) {
+        repro = shrinkTrace(repro, inject_at);
+        std::cerr << "tcpfuzz: shrunk seed " << trace.seed << " ("
+                  << modeName(trace.mode) << ") from "
+                  << trace.ops.size() << " to " << repro.ops.size()
+                  << " ops\n";
+    }
+    const std::string path = reproducerPath(out_dir, repro);
+    writeTraceFile(path, repro);
+    const auto final_failure = runFuzzTrace(repro, inject_at);
+    std::cerr << "tcpfuzz: divergence on seed " << trace.seed << " ("
+              << modeName(trace.mode) << "), reproducer written to "
+              << path << "\n"
+              << (final_failure ? final_failure : failure)->format()
+              << "\n";
+    return false;
+}
+
+/**
+ * Prove the catch -> shrink -> report -> replay pipeline end to end by
+ * injecting a synthetic fault into an otherwise healthy trace.
+ */
+int
+selfTest(const std::string &out_dir)
+{
+    const std::uint64_t inject_at = 120;
+    for (const FuzzMode mode : {FuzzMode::Hierarchy, FuzzMode::Cache}) {
+        FuzzTrace trace = genTrace(1, mode, 400, "tcp");
+        trace.seed = 9999; // keep the reproducer apart from real runs
+
+        const auto failure = runFuzzTrace(trace, inject_at);
+        if (!failure) {
+            std::cerr << "self-test: injected fault not caught ("
+                      << modeName(mode) << ")\n";
+            return 1;
+        }
+        if (failure->event != inject_at) {
+            std::cerr << "self-test: fault injected at event "
+                      << inject_at << " reported at event "
+                      << failure->event << " (" << modeName(mode)
+                      << ")\n";
+            return 1;
+        }
+
+        const FuzzTrace shrunk = shrinkTrace(trace, inject_at);
+        if (shrunk.ops.size() >= trace.ops.size()) {
+            std::cerr << "self-test: shrink did not reduce the trace ("
+                      << modeName(mode) << ")\n";
+            return 1;
+        }
+        if (!runFuzzTrace(shrunk, inject_at)) {
+            std::cerr << "self-test: shrunk trace no longer fails ("
+                      << modeName(mode) << ")\n";
+            return 1;
+        }
+
+        const std::string path = reproducerPath(out_dir, shrunk);
+        writeTraceFile(path, shrunk);
+        const auto replayed = readTraceFile(path);
+        if (!replayed) {
+            std::cerr << "self-test: reproducer did not round-trip ("
+                      << path << ")\n";
+            return 1;
+        }
+        const auto replay_failure = runFuzzTrace(*replayed, inject_at);
+        if (!replay_failure) {
+            std::cerr << "self-test: replayed reproducer passed ("
+                      << path << ")\n";
+            return 1;
+        }
+        std::cout << "self-test (" << modeName(mode)
+                  << "): fault caught at event " << failure->event
+                  << ", shrunk " << trace.ops.size() << " -> "
+                  << shrunk.ops.size() << " ops, replayed from " << path
+                  << "\n";
+    }
+    std::cout << "self-test passed\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addFlag("seed-range", "0..16",
+                 "half-open seed range A..B to fuzz");
+    args.addFlag("ops", "4000", "operations per generated trace");
+    args.addFlag("mode", "both",
+                 "what to drive: both, hier, or cache");
+    args.addFlag("engine", "tcp",
+                 "hierarchy-mode engine: none, tcp, or tcp_mi");
+    args.addFlag("shrink", "false",
+                 "shrink failing traces to minimal reproducers");
+    args.addFlag("out", ".", "directory for reproducer files");
+    args.addFlag("inject-fault", "0",
+                 "inject a synthetic divergence at this hook event "
+                 "(0 disables; used to exercise the pipeline)");
+    args.addFlag("replay", "", "replay a reproducer file and exit");
+    args.addFlag("self-test", "false",
+                 "verify the inject/catch/shrink/replay pipeline");
+    args.parse(argc, argv);
+
+    const std::string out_dir = args.getString("out");
+    if (args.getBool("self-test"))
+        return selfTest(out_dir);
+
+    const bool shrink = args.getBool("shrink");
+    const std::uint64_t inject_at = args.getUint("inject-fault");
+
+    if (const std::string replay = args.getString("replay");
+        !replay.empty()) {
+        const auto trace = readTraceFile(replay);
+        if (!trace)
+            tcp_fatal("cannot parse trace file '", replay, "'");
+        if (!runOne(*trace, shrink, out_dir, inject_at))
+            return 1;
+        std::cout << "replay of " << replay << ": no divergence over "
+                  << trace->ops.size() << " ops\n";
+        return 0;
+    }
+
+    const auto range = splitString(args.getString("seed-range"), '.');
+    if (range.size() != 2)
+        tcp_fatal("expected --seed-range A..B, got '",
+                  args.getString("seed-range"), "'");
+    const std::uint64_t first = std::stoull(range[0]);
+    const std::uint64_t last = std::stoull(range[1]);
+    if (first >= last)
+        tcp_fatal("empty seed range ", first, "..", last);
+
+    const std::string mode = args.getString("mode");
+    if (mode != "both" && mode != "hier" && mode != "cache")
+        tcp_fatal("unknown --mode '", mode, "'");
+    const std::size_t num_ops = args.getUint("ops");
+    const std::string engine = args.getString("engine");
+
+    std::uint64_t traces = 0;
+    std::uint64_t failures = 0;
+    for (std::uint64_t seed = first; seed < last; ++seed) {
+        if (mode != "cache") {
+            ++traces;
+            if (!runOne(genTrace(seed, FuzzMode::Hierarchy, num_ops,
+                                 engine),
+                        shrink, out_dir, inject_at))
+                ++failures;
+        }
+        if (mode != "hier") {
+            ++traces;
+            if (!runOne(genTrace(seed, FuzzMode::Cache, num_ops,
+                                 engine),
+                        shrink, out_dir, inject_at))
+                ++failures;
+        }
+    }
+    std::cout << "tcpfuzz: " << traces << " traces, " << failures
+              << " divergence" << (failures == 1 ? "" : "s") << "\n";
+    return failures ? 1 : 0;
+}

@@ -53,6 +53,9 @@ addObservabilityFlags(ArgParser &args)
                  "sample rates every N instructions (0 disables)");
     args.addFlag("ledger", "false",
                  "attach the prefetch lifecycle ledger (attribution)");
+    args.addFlag("check", "false",
+                 "run under the differential checker (panic with a "
+                 "replayable report on the first divergence)");
 }
 
 /** Render the ledger outcome breakdown of a run, if it has one. */
@@ -133,7 +136,8 @@ cmdRun(int argc, char **argv, const std::string &workload_override = "")
     const RunResult r =
         runTrace(*wl, cfg, engine, instructions, kAutoWarmup,
                  interval,
-                 args.getBool("ledger") ? &ledger_cfg : nullptr);
+                 args.getBool("ledger") ? &ledger_cfg : nullptr,
+                 args.getBool("check"));
 
     TextTable table("tcpsim run: " + workload + " x " + engine_name);
     table.setHeader({"metric", "value"});
@@ -349,7 +353,8 @@ cmdReplay(int argc, char **argv)
                                  src.size(), /*warmup=*/0,
                                  args.getUint("interval"),
                                  args.getBool("ledger") ? &ledger_cfg
-                                                        : nullptr);
+                                                        : nullptr,
+                                 args.getBool("check"));
     std::cout << "replayed " << r.core.instructions << " ops: IPC "
               << formatDouble(r.ipc(), 4) << ", L1-D misses "
               << r.l1d_misses << ", prefetches useful "
