@@ -18,6 +18,7 @@
 
 #include "harness/batch.hh"
 #include "harness/runner.hh"
+#include "sim/build_info.hh"
 #include "sim/json.hh"
 #include "trace/workloads.hh"
 #include "util/args.hh"
@@ -36,6 +37,10 @@ struct SuiteOptions
     unsigned jobs = 1;
     /** Machine-readable report destination ("" = text only). */
     std::string json_path;
+    /** Share one materialized arena per workload across the batch. */
+    bool arena = true;
+    /** Record-once trace cache directory ("" = arenas in memory). */
+    std::string trace_cache;
     /** Start of the bench, for the report's wall-clock field. */
     std::chrono::steady_clock::time_point start =
         std::chrono::steady_clock::now();
@@ -54,6 +59,12 @@ addSuiteFlags(ArgParser &args, const std::string &default_instructions)
                  "parallel runs (0 = one per hardware thread)");
     args.addFlag("json", "",
                  "also write the figure's tables as JSON to this path");
+    args.addFlag("arena", "1",
+                 "materialize each workload stream once and share it "
+                 "across runs (0 = synthesize per run)");
+    args.addFlag("trace-cache", "",
+                 "directory of .tcptrc recordings to reuse across "
+                 "bench invocations (record once, sweep many)");
 }
 
 /** Resolve the common flags after parsing. */
@@ -77,6 +88,8 @@ suiteOptions(const ArgParser &args)
     opt.jobs = jobs ? static_cast<unsigned>(jobs)
                     : ThreadPool::defaultWorkers();
     opt.json_path = args.getString("json");
+    opt.arena = args.getUint("arena") != 0;
+    opt.trace_cache = args.getString("trace-cache");
     opt.start = std::chrono::steady_clock::now();
     return opt;
 }
@@ -88,8 +101,13 @@ suiteOptions(const ArgParser &args)
  * so callers index them by the order they pushed specs.
  */
 inline std::vector<RunResult>
-runBatch(const SuiteOptions &opt, const std::vector<RunSpec> &specs)
+runBatch(const SuiteOptions &opt, std::vector<RunSpec> specs)
 {
+    // Materialize each workload stream once and share it across the
+    // matrix (replay is bit-identical to per-run synthesis, so the
+    // determinism contract above is unchanged).
+    if (opt.arena)
+        attachArenas(specs, opt.trace_cache);
     BatchRunner runner(opt.jobs);
     return runner.run(specs);
 }
@@ -162,6 +180,7 @@ writeJsonReport(const SuiteOptions &opt, const std::string &bench,
     for (const TextTable *t : tables)
         arr.push(tableToJson(*t));
     doc["tables"] = std::move(arr);
+    doc["build"] = buildInfoJson();
     writeJsonFile(opt.json_path, doc);
 }
 

@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "check/diff.hh"
 #include "core/tcp.hh"
 #include "harness/batch.hh"
@@ -18,6 +21,9 @@
 #include "obs/ledger.hh"
 #include "prefetch/dbcp.hh"
 #include "sim/trace_sink.hh"
+#include "trace/arena.hh"
+#include "trace/trace_file.hh"
+#include "trace/workloads.hh"
 #include "util/random.hh"
 
 namespace {
@@ -271,6 +277,152 @@ BM_BatchDispatchOverhead(benchmark::State &state)
 }
 BENCHMARK(BM_BatchDispatchOverhead)->UseRealTime();
 
+// ---------------------------------------------------- trace ingestion
+
+/** Ops in the shared ingestion-benchmark stream. */
+constexpr std::uint64_t kIngestOps = 1 << 18;
+
+const std::shared_ptr<const TraceArena> &
+ingestArena()
+{
+    static const std::shared_ptr<const TraceArena> arena =
+        TraceArena::fromWorkload("gzip", 1, kIngestOps);
+    return arena;
+}
+
+/** A recorded copy of ingestArena(), deleted at process exit. */
+const std::string &
+ingestTracePath()
+{
+    static const std::string path = [] {
+        std::string p = "bench_ingest.tcptrc";
+        ingestArena()->writeTrace(p);
+        return p;
+    }();
+    return path;
+}
+
+void
+BM_TraceArenaFill(benchmark::State &state)
+{
+    // Arena replay throughput: the block decode every simulation job
+    // pays when it pulls from a shared arena.
+    const auto &arena = ingestArena();
+    MicroOp block[256];
+    std::uint64_t pos = 0;
+    for (auto _ : state) {
+        const std::size_t got = arena->fill(block, 256, pos);
+        pos = got < 256 ? 0 : pos + got;
+        benchmark::DoNotOptimize(block[0].addr);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * 256));
+}
+BENCHMARK(BM_TraceArenaFill);
+
+void
+BM_MmapReplay(benchmark::State &state)
+{
+    // Whole-file ingestion through the zero-copy mapping, including
+    // open/validate — the record-once -> sweep-many replay cost.
+    const std::string &path = ingestTracePath();
+    MicroOp block[4096];
+    for (auto _ : state) {
+        FileTraceSource src(path, TraceIo::Auto);
+        std::uint64_t total = 0;
+        while (const std::size_t got = src.fill(block, 4096))
+            total += got;
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kIngestOps));
+}
+BENCHMARK(BM_MmapReplay);
+
+void
+BM_BufferedReplay(benchmark::State &state)
+{
+    // The same ingestion through the stream fallback, for platforms
+    // (or --io buffered runs) without mmap.
+    const std::string &path = ingestTracePath();
+    MicroOp block[4096];
+    for (auto _ : state) {
+        FileTraceSource src(path, TraceIo::Buffered);
+        std::uint64_t total = 0;
+        while (const std::size_t got = src.fill(block, 4096))
+            total += got;
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kIngestOps));
+}
+BENCHMARK(BM_BufferedReplay);
+
+void
+BM_SeedStyleReplay(benchmark::State &state)
+{
+    // The pre-arena ingestion loop: one 20-byte stream read per op
+    // through the per-op virtual front end. Retained as the baseline
+    // the mmap/block replay ratio in BENCH_pr5.json is quoted against.
+    const std::string &path = ingestTracePath();
+    for (auto _ : state) {
+        std::ifstream in(path, std::ios::binary);
+        in.seekg(16); // skip magic + count
+        char rec[20];
+        std::uint64_t total = 0;
+        for (std::uint64_t i = 0; i < kIngestOps; ++i) {
+            in.read(rec, sizeof(rec));
+            MicroOp op;
+            op.pc = 0;
+            for (int b = 7; b >= 0; --b)
+                op.pc = op.pc << 8 |
+                        static_cast<unsigned char>(rec[b]);
+            benchmark::DoNotOptimize(op.pc);
+            ++total;
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kIngestOps));
+}
+BENCHMARK(BM_SeedStyleReplay);
+
+void
+BM_PerOpFetch(benchmark::State &state)
+{
+    // The pre-block front end: one virtual next() per op, retained as
+    // the baseline for BM_BlockPullFetch.
+    ArenaTraceSource src(ingestArena());
+    MicroOp op;
+    for (auto _ : state) {
+        if (!src.next(op))
+            src.reset();
+        benchmark::DoNotOptimize(op.addr);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PerOpFetch);
+
+void
+BM_BlockPullFetch(benchmark::State &state)
+{
+    // The core's block-pull front end: one virtual fill() per 256
+    // ops, then straight array reads — no per-op virtual call.
+    ArenaTraceSource src(ingestArena());
+    MicroOp block[256];
+    for (auto _ : state) {
+        std::size_t got = src.fill(block, 256);
+        if (got < 256)
+            src.reset();
+        benchmark::DoNotOptimize(block[0].addr);
+        benchmark::DoNotOptimize(got);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * 256));
+}
+BENCHMARK(BM_BlockPullFetch);
+
 void
 BM_BusRequest(benchmark::State &state)
 {
@@ -288,4 +440,14 @@ BENCHMARK(BM_BusRequest);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    std::remove(ingestTracePath().c_str());
+    return 0;
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and print a delta table.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Prints one row per benchmark present in CURRENT: its cpu_time, the
+baseline cpu_time (if the benchmark existed there), and the relative
+change. Exits 0 always — the table is informational; CI perf smoke on
+shared runners is far too noisy for a hard time gate, so regressions
+are surfaced for a human eye instead of failing the build. Rows whose
+slowdown exceeds --threshold (default 10%) are flagged with '!!'.
+
+Only the standard library is used so the script runs on a bare CI
+image.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_compare: cannot read {path}: {err}",
+              file=sys.stderr)
+        return None
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def fmt_time(ns):
+    if ns is None:
+        return "-"
+    if ns < 1e3:
+        return f"{ns:.2f}ns"
+    if ns < 1e6:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns / 1e6:.2f}ms"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two google-benchmark JSON files")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="flag slowdowns above this percentage")
+    opts = parser.parse_args()
+
+    cur = load(opts.current)
+    if cur is None:
+        return 1
+    base = load(opts.baseline)
+    if base is None:
+        # First run of the pipeline (or expired artifact): nothing to
+        # diff against, but still show the current numbers.
+        print(f"no baseline at {opts.baseline}; current results only")
+        base = {}
+
+    name_w = max([len(n) for n in cur] + [9])
+    print(f"{'benchmark':<{name_w}}  {'baseline':>10}  "
+          f"{'current':>10}  {'delta':>8}")
+    print("-" * (name_w + 34))
+    flagged = 0
+    for name, bench in cur.items():
+        cur_ns = bench.get("cpu_time")
+        base_ns = base.get(name, {}).get("cpu_time")
+        if base_ns:
+            pct = 100.0 * (cur_ns - base_ns) / base_ns
+            mark = "  !!" if pct > opts.threshold else ""
+            delta = f"{pct:+7.1f}%{mark}"
+            flagged += bool(mark)
+        else:
+            delta = "     new"
+        print(f"{name:<{name_w}}  {fmt_time(base_ns):>10}  "
+              f"{fmt_time(cur_ns):>10}  {delta}")
+    if flagged:
+        print(f"\n{flagged} benchmark(s) slowed more than "
+              f"{opts.threshold:.0f}% (informational; shared-runner "
+              "noise makes this a prompt to re-measure locally, not "
+              "proof of a regression)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

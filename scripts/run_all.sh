@@ -10,12 +10,24 @@
 #                   (default: one per hardware thread)
 #   INSTRUCTIONS=N  override per-run instruction count (smoke runs)
 #   WORKLOADS=a,b   override the workload list (smoke runs)
+#   REUSE_TRACES=0  disable the shared trace cache: every figure
+#                   binary re-materializes its workloads in memory
+#                   instead of recording each (workload, instructions)
+#                   pair once under results/traces/ and replaying the
+#                   .tcptrc by mmap in every later binary
 set -euo pipefail
 
 BUILD=${1:-build}
 JOBS=${JOBS:-$(nproc)}
+REUSE_TRACES=${REUSE_TRACES:-1}
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 cd "$ROOT"
+
+TRACE_CACHE=""
+if [ "$REUSE_TRACES" != 0 ]; then
+    TRACE_CACHE="$ROOT/results/traces"
+    mkdir -p "$TRACE_CACHE"
+fi
 
 echo "== configure + build =="
 if [ -f "$BUILD/CMakeCache.txt" ]; then
@@ -50,6 +62,7 @@ mkdir -p "$ROOT/results"
             # Figure/ablation binary: text to stdout, JSON alongside.
             "$b" --json "$ROOT/results/$name.json" \
                  --jobs "$JOBS" \
+                 ${TRACE_CACHE:+--trace-cache "$TRACE_CACHE"} \
                  ${INSTRUCTIONS:+--instructions "$INSTRUCTIONS"} \
                  ${WORKLOADS:+--workloads "$WORKLOADS"}
             ;;

@@ -55,7 +55,11 @@ PatternHistoryTable::PatternHistoryTable(const PhtConfig &config)
                ") than PHT index bits (", set_bits_, ")");
     tcp_assert(config_.targets >= 1 && config_.targets <= kMaxTargets,
                "PHT targets must be 1..", kMaxTargets);
-    entries_.resize(config_.sets * config_.assoc);
+    valid_ = makeColumn<std::uint8_t>();
+    match_ = makeColumn<Tag>();
+    next_ = makeColumn<Tag[kMaxTargets]>();
+    next_count_ = makeColumn<std::uint8_t>();
+    lru_ = makeColumn<std::uint64_t>();
 }
 
 std::uint64_t
@@ -100,15 +104,15 @@ PatternHistoryTable::matchField(Tag tag) const
     return tag & mask(config_.entry_tag_bits);
 }
 
-PatternHistoryTable::Entry *
-PatternHistoryTable::findEntry(std::uint64_t set, Tag match)
+unsigned
+PatternHistoryTable::findWay(std::uint64_t set, Tag match) const
 {
-    Entry *base = &entries_[set * config_.assoc];
+    const std::uint64_t base = set * config_.assoc;
     for (unsigned w = 0; w < config_.assoc; ++w) {
-        if (base[w].valid && base[w].match == match)
-            return &base[w];
+        if (valid_[base + w] && match_[base + w] == match)
+            return w;
     }
-    return nullptr;
+    return config_.assoc;
 }
 
 std::optional<Tag>
@@ -118,12 +122,13 @@ PatternHistoryTable::lookup(std::span<const Tag> seq,
     tcp_assert(!seq.empty(), "PHT lookup with empty sequence");
     ++lookups_;
     const std::uint64_t set = indexOf(seq, miss_index);
-    Entry *e = findEntry(set, matchField(seq.back()));
-    if (!e)
+    const unsigned w = findWay(set, matchField(seq.back()));
+    if (w == config_.assoc)
         return std::nullopt;
     ++hits_;
-    e->lru = ++stamp_;
-    return e->next[0];
+    const std::uint64_t e = set * config_.assoc + w;
+    lru_[e] = ++stamp_;
+    return next_[e][0];
 }
 
 unsigned
@@ -135,20 +140,20 @@ PatternHistoryTable::lookupAll(std::span<const Tag> seq,
     tcp_assert(!seq.empty(), "PHT lookup with empty sequence");
     ++lookups_;
     const std::uint64_t set = indexOf(seq, miss_index);
-    Entry *e = findEntry(set, matchField(seq.back()));
-    if (!e)
+    const unsigned w = findWay(set, matchField(seq.back()));
+    if (w == config_.assoc)
         return 0;
     ++hits_;
-    e->lru = ++stamp_;
+    const std::uint64_t e = set * config_.assoc + w;
+    lru_[e] = ++stamp_;
     if (hit) {
         hit->set = set;
-        hit->way = static_cast<unsigned>(
-            e - &entries_[set * config_.assoc]);
+        hit->way = w;
     }
     const unsigned n =
-        std::min<unsigned>(e->next_count, config_.targets);
+        std::min<unsigned>(next_count_[e], config_.targets);
     for (unsigned i = 0; i < n; ++i)
-        out.push_back(e->next[i]);
+        out.push_back(next_[e][i]);
     return n;
 }
 
@@ -160,14 +165,17 @@ PatternHistoryTable::update(std::span<const Tag> seq,
     ++updates_;
     const std::uint64_t set = indexOf(seq, miss_index);
     const Tag match = matchField(seq.back());
+    const std::uint64_t base = set * config_.assoc;
 
-    if (Entry *e = findEntry(set, match)) {
+    if (const unsigned w = findWay(set, match); w != config_.assoc) {
         // Promote next_tag to the MRU target slot (Markov-style
         // multi-target maintenance collapses to simple overwrite
         // when targets == 1).
-        unsigned found = e->next_count;
-        for (unsigned i = 0; i < e->next_count; ++i) {
-            if (e->next[i] == next_tag) {
+        const std::uint64_t e = base + w;
+        Tag *next = next_[e];
+        unsigned found = next_count_[e];
+        for (unsigned i = 0; i < next_count_[e]; ++i) {
+            if (next[i] == next_tag) {
                 found = i;
                 break;
             }
@@ -175,55 +183,61 @@ PatternHistoryTable::update(std::span<const Tag> seq,
         const unsigned limit =
             std::min<unsigned>(config_.targets, kMaxTargets);
         unsigned upto = found;
-        if (found == e->next_count) {
+        if (found == next_count_[e]) {
             // New target: shift everything down, maybe growing.
-            if (e->next_count < limit)
-                ++e->next_count;
-            upto = e->next_count - 1;
+            if (next_count_[e] < limit)
+                ++next_count_[e];
+            upto = next_count_[e] - 1u;
         }
         for (unsigned i = upto; i > 0; --i)
-            e->next[i] = e->next[i - 1];
-        e->next[0] = next_tag;
-        e->lru = ++stamp_;
+            next[i] = next[i - 1];
+        next[0] = next_tag;
+        lru_[e] = ++stamp_;
         return;
     }
 
     // Allocate: prefer an invalid way, else evict LRU.
-    Entry *base = &entries_[set * config_.assoc];
-    Entry *victim = nullptr;
+    unsigned victim = config_.assoc;
     for (unsigned w = 0; w < config_.assoc; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
+        if (!valid_[base + w]) {
+            victim = w;
             break;
         }
     }
-    if (!victim) {
-        victim = base;
+    if (victim == config_.assoc) {
+        victim = 0;
         for (unsigned w = 1; w < config_.assoc; ++w)
-            if (base[w].lru < victim->lru)
-                victim = &base[w];
+            if (lru_[base + w] < lru_[base + victim])
+                victim = w;
         ++replacements_;
     }
-    victim->valid = true;
-    victim->match = match;
-    victim->next[0] = next_tag;
-    victim->next_count = 1;
-    victim->lru = ++stamp_;
+    const std::uint64_t e = base + victim;
+    valid_[e] = 1;
+    match_[e] = match;
+    next_[e][0] = next_tag;
+    next_count_[e] = 1;
+    lru_[e] = ++stamp_;
 }
 
 std::uint64_t
 PatternHistoryTable::occupancy() const
 {
     std::uint64_t n = 0;
-    for (const Entry &e : entries_)
-        n += e.valid ? 1 : 0;
+    for (std::uint64_t i = 0; i < config_.entries(); ++i)
+        n += valid_[i] ? 1 : 0;
     return n;
 }
 
 void
 PatternHistoryTable::reset()
 {
-    std::fill(entries_.begin(), entries_.end(), Entry{});
+    // Re-calloc rather than memset: untouched sets go back to
+    // shared zero pages.
+    valid_ = makeColumn<std::uint8_t>();
+    match_ = makeColumn<Tag>();
+    next_ = makeColumn<Tag[kMaxTargets]>();
+    next_count_ = makeColumn<std::uint8_t>();
+    lru_ = makeColumn<std::uint64_t>();
     stamp_ = 0;
     lookups_ = hits_ = updates_ = replacements_ = 0;
 }

@@ -13,11 +13,14 @@
 #define TCP_CORE_PHT_HH
 
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "sim/types.hh"
+#include "util/logging.hh"
 
 namespace tcp {
 
@@ -149,25 +152,55 @@ class PatternHistoryTable
   private:
     static constexpr unsigned kMaxTargets = 4;
 
-    struct Entry
-    {
-        bool valid = false;
-        Tag match = kInvalidTag; ///< (possibly truncated) entry tag
-        /** Predicted successors, most recent first. */
-        Tag next[kMaxTargets] = {kInvalidTag, kInvalidTag,
-                                 kInvalidTag, kInvalidTag};
-        std::uint8_t next_count = 0;
-        std::uint64_t lru = 0;
-    };
-
     /** Truncate @p tag to the configured entry-tag width. */
     Tag matchField(Tag tag) const;
-    Entry *findEntry(std::uint64_t set, Tag match);
+
+    /**
+     * Way of the valid entry in @p set whose match field equals
+     * @p match, or config().assoc on a miss.
+     */
+    unsigned findWay(std::uint64_t set, Tag match) const;
+
+    struct FreeDeleter
+    {
+        void operator()(void *p) const { std::free(p); }
+    };
+
+    template <typename T>
+    using Column = std::unique_ptr<T[], FreeDeleter>;
+
+    /** Allocate a zeroed per-entry column. */
+    template <typename T>
+    Column<T>
+    makeColumn() const
+    {
+        auto *p = static_cast<T *>(
+            std::calloc(config_.entries(), sizeof(T)));
+        tcp_assert(p, "PHT allocation of ", config_.entries(),
+                   " entries failed");
+        return Column<T>(p);
+    }
 
     PhtConfig config_;
     unsigned set_bits_;
     std::uint64_t stamp_ = 0;
-    std::vector<Entry> entries_;
+    /**
+     * Entry storage, one array ("column") per field, indexed by
+     * set * assoc + way. Splitting the fields keeps a whole set's
+     * match tags (the associative-scan key) in one cache line
+     * instead of spreading them across one 64-byte struct per way,
+     * and all columns are calloc-backed: an all-zero entry is an
+     * empty way (every field is gated on valid_), so large tables
+     * live on untouched zero pages until a set is first written.
+     */
+    /// @{
+    Column<std::uint8_t> valid_;
+    Column<Tag> match_; ///< (possibly truncated) entry tag
+    /** Predicted successors, most recent first. */
+    Column<Tag[kMaxTargets]> next_;
+    Column<std::uint8_t> next_count_;
+    Column<std::uint64_t> lru_;
+    /// @}
     std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t updates_ = 0;

@@ -11,6 +11,8 @@ TagHistoryTable::TagHistoryTable(std::uint64_t rows, unsigned depth)
 {
     tcp_assert(rows_ > 0, "THT needs at least one row");
     tcp_assert(depth_ > 0, "THT history depth must be positive");
+    if (isPowerOfTwo(rows_))
+        row_mask_ = rows_ - 1;
     tags_.assign(rows_ * depth_, kInvalidTag);
     valid_.assign(rows_, 0);
 }

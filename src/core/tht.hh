@@ -32,7 +32,13 @@ class TagHistoryTable
      * has as many rows as the cache has sets; otherwise the index is
      * folded.
      */
-    std::uint64_t rowOf(SetIndex index) const { return index % rows_; }
+    std::uint64_t
+    rowOf(SetIndex index) const
+    {
+        // Row counts are powers of two in every paper configuration;
+        // masking dodges a 64-bit division on the per-miss path.
+        return row_mask_ ? (index & row_mask_) : index % rows_;
+    }
 
     /** @return true once the row has seen at least k misses. */
     bool
@@ -82,6 +88,8 @@ class TagHistoryTable
 
   private:
     std::uint64_t rows_;
+    /** rows_ - 1 when rows_ is a power of two, else 0 (use modulo). */
+    std::uint64_t row_mask_ = 0;
     unsigned depth_;
     std::vector<Tag> tags_;
     std::vector<std::uint8_t> valid_;

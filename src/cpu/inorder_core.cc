@@ -27,10 +27,23 @@ InorderCore::InorderCore(const InorderConfig &config,
 CoreResult
 InorderCore::run(TraceSource &source, std::uint64_t max_instructions)
 {
-    MicroOp op;
+    // Block-pull front end: one TraceSource::fill call per 256 ops
+    // instead of a virtual next() per op. Never over-fetches, so
+    // chunked runs (warmup, intervals) consume exactly their share.
+    constexpr std::size_t kBlock = 256;
+    MicroOp block[kBlock];
+    std::size_t have = 0, bpos = 0;
+
     for (std::uint64_t n = 0; n < max_instructions; ++n) {
-        if (!source.next(op))
-            break;
+        if (bpos == have) {
+            have = source.fill(
+                block, static_cast<std::size_t>(std::min<std::uint64_t>(
+                           kBlock, max_instructions - n)));
+            bpos = 0;
+            if (have == 0)
+                break;
+        }
+        const MicroOp &op = block[bpos++];
 
         // --- Fetch (per instruction block).
         const Addr fetch_block = op.pc >> 6;

@@ -52,31 +52,6 @@ OooCore::portClassOf(OpClass cls)
 }
 
 Cycle
-OooCore::reservePort(PortClass pc, Cycle want)
-{
-    auto &ring = ports_[pc];
-    const unsigned limit = port_limit_[pc];
-    Cycle c = want;
-    // Port conflicts are short-lived; bound the scan defensively.
-    for (unsigned tries = 0; tries < 4096; ++tries, ++c) {
-        PortSlot &slot = ring[c & (kPortWindow - 1)];
-        if (slot.cycle != c) {
-            slot.cycle = c;
-            slot.used = 0;
-        }
-        if (slot.used < limit) {
-            ++slot.used;
-            if (c != want)
-                ++port_delays;
-            return c;
-        }
-    }
-    // Pathological saturation: accept oversubscription rather than
-    // spinning (the timing error is negligible at this point).
-    return c;
-}
-
-Cycle
 OooCore::throttle(Cycle want, Cycle &cur, unsigned &count,
                   unsigned width)
 {
@@ -95,13 +70,33 @@ OooCore::throttle(Cycle want, Cycle &cur, unsigned &count,
 CoreResult
 OooCore::run(TraceSource &source, std::uint64_t max_instructions)
 {
-    MicroOp op;
     const unsigned rob = config_.rob_entries;
     const unsigned lsq = config_.lsq_entries;
 
+    // Pull ops in blocks so the per-op cost is one array read, not a
+    // virtual call; never over-fetch past max_instructions, so
+    // chunked runs (warmup, intervals) consume exactly their share.
+    constexpr std::size_t kBlock = 256;
+    MicroOp block[kBlock];
+    std::size_t have = 0, bpos = 0;
+
+    // Ring cursors carried incrementally across the loop: rob/lsq
+    // are runtime values, so the straightforward `count % size` is a
+    // 64-bit division on every instruction.
+    std::size_t rob_slot = static_cast<std::size_t>(insn_count_ % rob);
+    std::size_t lsq_cursor =
+        static_cast<std::size_t>(mem_count_ % lsq);
+
     for (std::uint64_t n = 0; n < max_instructions; ++n) {
-        if (!source.next(op))
-            break;
+        if (bpos == have) {
+            have = source.fill(
+                block, static_cast<std::size_t>(std::min<std::uint64_t>(
+                           kBlock, max_instructions - n)));
+            bpos = 0;
+            if (have == 0)
+                break;
+        }
+        const MicroOp &op = block[bpos++];
 
         // --- Front end: fetch the instruction block.
         const Addr fetch_block = op.pc >> 6;
@@ -113,14 +108,13 @@ OooCore::run(TraceSource &source, std::uint64_t max_instructions)
 
         // --- Dispatch: limited by fetch, ROB/LSQ space, and width.
         Cycle d = std::max(fetch_ready_, last_fetch_done_);
-        const std::size_t rob_slot = insn_count_ % rob;
         if (insn_count_ >= rob) {
             // The slot still holds the retire cycle of insn - ROB.
             d = std::max(d, retire_ring_[rob_slot]);
         }
         std::size_t lsq_slot = 0;
         if (op.isMem()) {
-            lsq_slot = mem_count_ % lsq;
+            lsq_slot = lsq_cursor;
             if (mem_count_ >= lsq)
                 d = std::max(d, lsq_ring_[lsq_slot]);
         }
@@ -134,7 +128,10 @@ OooCore::run(TraceSource &source, std::uint64_t max_instructions)
                 return;
             // Ring slot (insn - dep) still holds its completion time:
             // dep < ROB so the producer has not been overwritten.
-            s = std::max(s, complete_ring_[(insn_count_ - dep) % rob]);
+            const std::size_t slot = rob_slot >= dep
+                                         ? rob_slot - dep
+                                         : rob_slot + rob - dep;
+            s = std::max(s, complete_ring_[slot]);
         };
         apply_dep(op.dep1);
         apply_dep(op.dep2);
@@ -193,8 +190,13 @@ OooCore::run(TraceSource &source, std::uint64_t max_instructions)
             lsq_ring_[lsq_slot] = r;
 
         ++insn_count_;
-        if (op.isMem())
+        if (++rob_slot == rob)
+            rob_slot = 0;
+        if (op.isMem()) {
             ++mem_count_;
+            if (++lsq_cursor == lsq)
+                lsq_cursor = 0;
+        }
         ++insns;
     }
 

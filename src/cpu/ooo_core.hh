@@ -94,9 +94,33 @@ class OooCore
 
     /**
      * Earliest cycle >= @p want with a free port of class @p pc,
-     * reserving it.
+     * reserving it. Defined here so the once-per-instruction call
+     * inlines into run().
      */
-    Cycle reservePort(PortClass pc, Cycle want);
+    Cycle
+    reservePort(PortClass pc, Cycle want)
+    {
+        auto &ring = ports_[pc];
+        const unsigned limit = port_limit_[pc];
+        Cycle c = want;
+        // Port conflicts are short-lived; bound the scan defensively.
+        for (unsigned tries = 0; tries < 4096; ++tries, ++c) {
+            PortSlot &slot = ring[c & (kPortWindow - 1)];
+            if (slot.cycle != c) {
+                slot.cycle = c;
+                slot.used = 0;
+            }
+            if (slot.used < limit) {
+                ++slot.used;
+                if (c != want)
+                    ++port_delays;
+                return c;
+            }
+        }
+        // Pathological saturation: accept oversubscription rather
+        // than spinning (the timing error is negligible here).
+        return c;
+    }
 
     /** Enforce @p width ops per cycle on a (cycle, count) cursor. */
     static Cycle throttle(Cycle want, Cycle &cur, unsigned &count,

@@ -1,12 +1,36 @@
 #include "batch.hh"
 
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "trace/trace_file.hh"
 #include "trace/workloads.hh"
+#include "util/logging.hh"
 
 namespace tcp {
 
 RunResult
 runSpec(const RunSpec &spec)
 {
+    if (spec.arena) {
+        EngineSetup engine = spec.engine_factory
+                                 ? spec.engine_factory()
+                                 : makeEngine(spec.engine);
+        // Replay the shared pre-materialized stream. The arena must
+        // cover the whole run — an early end would break fewer
+        // instructions than the live stream and change every counter.
+        tcp_assert(spec.arena->size() >= specOpsNeeded(spec),
+                   "arena '", spec.arena->name(), "' holds ",
+                   spec.arena->size(), " ops but spec '",
+                   spec.workload, "' needs ", specOpsNeeded(spec));
+        ArenaTraceSource source(spec.arena, spec.workload);
+        return runTrace(source, spec.machine, engine,
+                        spec.instructions, spec.warmup, spec.interval,
+                        spec.ledger ? &spec.ledger_config : nullptr,
+                        spec.check);
+    }
     // Construction order matches runNamed() exactly so a batch job is
     // bit-identical to the sequential convenience path.
     auto workload = makeWorkload(spec.workload, spec.seed);
@@ -16,6 +40,72 @@ runSpec(const RunSpec &spec)
                     spec.warmup, spec.interval,
                     spec.ledger ? &spec.ledger_config : nullptr,
                     spec.check);
+}
+
+std::uint64_t
+specOpsNeeded(const RunSpec &spec)
+{
+    return resolveAutoWarmup(spec.instructions, spec.warmup,
+                             spec.interval) +
+           spec.instructions;
+}
+
+void
+attachArenas(std::vector<RunSpec> &specs, const std::string &trace_dir)
+{
+    // Pass 1: the largest op demand per distinct (workload, seed).
+    std::map<std::pair<std::string, std::uint64_t>, std::uint64_t>
+        needed;
+    for (const RunSpec &spec : specs) {
+        if (spec.arena || !isWorkloadName(spec.workload))
+            continue;
+        std::uint64_t &n = needed[{spec.workload, spec.seed}];
+        n = std::max(n, specOpsNeeded(spec));
+    }
+    if (needed.empty())
+        return;
+
+    if (!trace_dir.empty())
+        std::filesystem::create_directories(trace_dir);
+
+    // Pass 2: materialize each stream once (from the trace cache when
+    // a large-enough recording exists, else from the workload).
+    std::map<std::pair<std::string, std::uint64_t>,
+             std::shared_ptr<const TraceArena>>
+        arenas;
+    for (const auto &[key, ops] : needed) {
+        const auto &[name, seed] = key;
+        std::shared_ptr<const TraceArena> arena;
+        std::string cache_path;
+        if (!trace_dir.empty()) {
+            cache_path = trace_dir + "/" + name + "-s" +
+                         std::to_string(seed) + ".tcptrc";
+            if (std::filesystem::exists(cache_path)) {
+                FileTraceSource file(cache_path);
+                if (file.size() >= ops)
+                    arena = TraceArena::materialize(file, name, ops);
+                // else: the recording is too short for this batch;
+                // re-record below.
+            }
+        }
+        if (!arena) {
+            arena = TraceArena::fromWorkload(name, seed, ops);
+            if (!cache_path.empty()) {
+                // Record via temp + rename so a crash mid-write never
+                // leaves a half trace at the cache path.
+                const std::string tmp = cache_path + ".tmp";
+                arena->writeTrace(tmp);
+                std::filesystem::rename(tmp, cache_path);
+            }
+        }
+        arenas[key] = std::move(arena);
+    }
+
+    for (RunSpec &spec : specs) {
+        if (spec.arena || !isWorkloadName(spec.workload))
+            continue;
+        spec.arena = arenas.at({spec.workload, spec.seed});
+    }
 }
 
 BatchRunner::BatchRunner(unsigned jobs) : pool_(jobs) {}

@@ -20,12 +20,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "harness/runner.hh"
 #include "sim/thread_pool.hh"
+#include "trace/arena.hh"
 
 namespace tcp {
 
@@ -56,6 +58,15 @@ struct RunSpec
      * thread, and must not touch shared mutable state.
      */
     std::function<EngineSetup()> engine_factory{};
+    /**
+     * Optional pre-materialized op stream. When set, the job replays
+     * this arena through an ArenaTraceSource cursor instead of
+     * synthesizing the workload; the arena must hold at least
+     * specOpsNeeded() ops so the replay is bit-identical to the live
+     * stream. Shared (immutable) across any number of jobs/threads —
+     * attachArenas() fills this in for a whole batch.
+     */
+    std::shared_ptr<const TraceArena> arena{};
 };
 
 /**
@@ -64,6 +75,29 @@ struct RunSpec
  * also the sequential reference the determinism tests compare with.
  */
 RunResult runSpec(const RunSpec &spec);
+
+/**
+ * Ops a spec consumes end to end: its resolved warmup plus the
+ * measured instructions. An arena holding this many ops replays
+ * bit-identically to the (infinite) live workload stream.
+ */
+std::uint64_t specOpsNeeded(const RunSpec &spec);
+
+/**
+ * Materialize each distinct (workload, seed) stream in @p specs
+ * exactly once and hand the shared arena to every spec that replays
+ * it, sized to the largest specOpsNeeded() among them. Specs that
+ * already carry an arena, or whose workload is not a named synthetic
+ * workload, are left alone.
+ *
+ * When @p trace_dir is non-empty it is used as a record-once trace
+ * cache: each stream is loaded from
+ * "<trace_dir>/<workload>-s<seed>.tcptrc" when a file with enough
+ * ops exists, and recorded there (write-to-temp + rename) after
+ * materializing otherwise. Pass "" to keep arenas purely in memory.
+ */
+void attachArenas(std::vector<RunSpec> &specs,
+                  const std::string &trace_dir = "");
 
 /**
  * Runs batches of RunSpecs on a fixed-size worker pool.

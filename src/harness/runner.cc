@@ -6,6 +6,7 @@
 
 #include "check/diff.hh"
 #include "prefetch/dbcp.hh"
+#include "sim/build_info.hh"
 #include "prefetch/markov.hh"
 #include "prefetch/stream.hh"
 #include "prefetch/stride.hh"
@@ -113,6 +114,7 @@ RunResult::toJson() const
         j["ledger"] = ledger;
     if (!stats.isNull())
         j["stats"] = stats;
+    j["build"] = buildInfoJson();
     return j;
 }
 

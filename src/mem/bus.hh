@@ -38,14 +38,23 @@ class Bus
     {
         tcp_assert(bytes_per_cycle_ > 0,
                    name_, ": bus width must be positive");
+        // Bus widths are powers of two in practice; shift instead of
+        // dividing on the per-transfer path.
+        if ((bytes_per_cycle_ & (bytes_per_cycle_ - 1)) == 0) {
+            width_shift_ = 0;
+            for (unsigned w = bytes_per_cycle_; w > 1; w >>= 1)
+                ++width_shift_;
+        }
     }
 
     /** Cycles one transfer of @p bytes occupies the bus. */
     Cycle
     transferCycles(unsigned bytes) const
     {
-        return std::max<Cycle>(
-            1, (bytes + bytes_per_cycle_ - 1) / bytes_per_cycle_);
+        const unsigned up = bytes + bytes_per_cycle_ - 1;
+        return std::max<Cycle>(1, width_shift_ >= 0
+                                      ? up >> width_shift_
+                                      : up / bytes_per_cycle_);
     }
 
     /**
@@ -128,6 +137,8 @@ class Bus
 
     std::string name_;
     unsigned bytes_per_cycle_;
+    /** log2(bytes_per_cycle_) when it is a power of two, else -1. */
+    int width_shift_ = -1;
     std::vector<Slot> slots_;
     Cycle overflow_cursor_ = 0;
     Cycle high_water_ = 0;

@@ -27,6 +27,7 @@ CacheModel::CacheModel(const CacheConfig &config, ReplPolicy policy)
     block_mask_ = mask(block_bits_);
     set_mask_ = num_sets_ - 1;
     lines_.resize(num_sets_ * assoc_);
+    keys_.assign(num_sets_ * assoc_, kInvalidTag);
     if (policy_ == ReplPolicy::TreePLRU) {
         tcp_assert(isPowerOfTwo(assoc_),
                    name_, ": tree-PLRU needs power-of-two ways");
@@ -59,6 +60,23 @@ CacheModel::touchWay(SetIndex set, unsigned way)
 unsigned
 CacheModel::findWay(SetIndex set, Tag tag) const
 {
+    if (tag == kInvalidTag) [[unlikely]]
+        return findWaySlow(set, tag);
+    // Invalid ways hold kInvalidTag and can never match, so the scan
+    // needs no validity checks and no hole/prefix reasoning.
+    const Tag *keys = &keys_[set * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (keys[w] == tag)
+            return w;
+    return kNoWay;
+}
+
+unsigned
+CacheModel::findWaySlow(SetIndex set, Tag tag) const
+{
+    // A search tag equal to the sentinel (possible only in degenerate
+    // geometries with no tag shift) is ambiguous in keys_: consult
+    // the directory itself.
     const CacheLine *base = &lines_[set * assoc_];
     for (unsigned w = 0; w < assoc_; ++w) {
         if (!base[w].valid) {
@@ -166,6 +184,7 @@ CacheModel::fill(Addr addr, Cycle now)
     line.fill_cycle = now;
     line.last_access = now;
     line.lru_stamp = ++stamp_;
+    keys_[set * assoc_ + way] = line.tag;
     touchWay(set, way);
     return evicted;
 }
@@ -184,8 +203,11 @@ CacheModel::victimOf(Addr addr) const
 void
 CacheModel::invalidate(Addr addr)
 {
-    if (CacheLine *line = findLine(addr)) {
-        line->valid = false;
+    const SetIndex set = setOf(addr);
+    const unsigned way = findWay(set, tagOf(addr));
+    if (way != kNoWay) {
+        lines_[set * assoc_ + way].valid = false;
+        keys_[set * assoc_ + way] = kInvalidTag;
         may_have_holes_ = true;
     }
 }
@@ -195,6 +217,7 @@ CacheModel::flush()
 {
     for (CacheLine &line : lines_)
         line = CacheLine{};
+    std::fill(keys_.begin(), keys_.end(), kInvalidTag);
     std::fill(plru_.begin(), plru_.end(), 0);
     may_have_holes_ = false;
 }

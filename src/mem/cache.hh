@@ -191,6 +191,8 @@ class CacheModel
      * instead of recomputing them per operation.
      */
     unsigned findWay(SetIndex set, Tag tag) const;
+    /** findWay for the degenerate sentinel-valued search tag. */
+    unsigned findWaySlow(SetIndex set, Tag tag) const;
 
     CacheLine *findLine(Addr addr);
     const CacheLine *findLine(Addr addr) const;
@@ -219,6 +221,13 @@ class CacheModel
     std::uint64_t stamp_ = 0;
     /** lines_[set * assoc_ + way] */
     std::vector<CacheLine> lines_;
+    /**
+     * Packed lookup keys mirroring lines_: the line's tag when valid,
+     * kInvalidTag otherwise. A whole set's keys share one cache line,
+     * so the per-access associative scan stays out of the (much
+     * wider) CacheLine structs.
+     */
+    std::vector<Tag> keys_;
     /** Tree-PLRU direction bits, one word per set (TreePLRU only). */
     std::vector<std::uint64_t> plru_;
 };

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Build provenance: which sources and toolchain produced a result
+ * file. Every JSON artifact the simulator emits (--stats-json,
+ * ledgers, figure reports, bench reports) carries this block so a
+ * number on disk can always be traced back to the build that made
+ * it. Values are baked in at configure time by CMake.
+ */
+
+#ifndef TCP_SIM_BUILD_INFO_HH
+#define TCP_SIM_BUILD_INFO_HH
+
+#include "sim/json.hh"
+
+namespace tcp {
+
+/** Build metadata, fixed at configure time. */
+struct BuildInfo
+{
+    const char *git;        ///< git describe --always --dirty
+    const char *compiler;   ///< compiler id and version
+    const char *flags;      ///< CXX flags incl. build-type flags
+    const char *build_type; ///< CMake build type
+};
+
+/** The metadata for this binary. */
+const BuildInfo &buildInfo();
+
+/** The metadata as a JSON object ({git, compiler, flags, build_type}). */
+Json buildInfoJson();
+
+} // namespace tcp
+
+#endif // TCP_SIM_BUILD_INFO_HH

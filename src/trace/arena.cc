@@ -1,0 +1,162 @@
+#include "arena.hh"
+
+#include <algorithm>
+
+#include "trace/trace_file.hh"
+#include "trace/workloads.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+namespace {
+
+/** Ops pulled per materialization block. */
+constexpr std::size_t kMaterializeBlock = 4096;
+
+} // namespace
+
+void
+TraceArena::append(const MicroOp *ops, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const MicroOp &op = ops[i];
+        pc_.push_back(op.pc);
+        addr_.push_back(op.addr);
+        cls_.push_back(static_cast<std::uint8_t>(op.cls));
+        dep_.push_back(static_cast<std::uint16_t>(
+            op.dep1 | (static_cast<std::uint16_t>(op.dep2) << 8)));
+        flags_.push_back(op.mispredicted ? 1 : 0);
+    }
+    count_ += n;
+}
+
+std::shared_ptr<const TraceArena>
+TraceArena::materialize(TraceSource &source, std::string name,
+                        std::uint64_t ops)
+{
+    auto arena = std::shared_ptr<TraceArena>(new TraceArena);
+    arena->name_ = std::move(name);
+    arena->pc_.reserve(ops);
+    arena->addr_.reserve(ops);
+    arena->cls_.reserve(ops);
+    arena->dep_.reserve(ops);
+    arena->flags_.reserve(ops);
+
+    MicroOp block[kMaterializeBlock];
+    std::uint64_t remaining = ops;
+    while (remaining > 0) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kMaterializeBlock, remaining));
+        const std::size_t got = source.fill(block, want);
+        arena->append(block, got);
+        remaining -= got;
+        if (got < want)
+            break; // source ended early
+    }
+    return arena;
+}
+
+std::shared_ptr<const TraceArena>
+TraceArena::fromWorkload(const std::string &name, std::uint64_t seed,
+                         std::uint64_t ops)
+{
+    auto workload = makeWorkload(name, seed);
+    return materialize(*workload, name, ops);
+}
+
+std::shared_ptr<const TraceArena>
+TraceArena::fromTraceFile(const std::string &path, std::string name,
+                          std::uint64_t max_ops)
+{
+    FileTraceSource file(path);
+    const std::uint64_t ops =
+        max_ops ? std::min(max_ops, file.size()) : file.size();
+    return materialize(file, name.empty() ? path : std::move(name),
+                       ops);
+}
+
+std::size_t
+TraceArena::fill(MicroOp *out, std::size_t n, std::uint64_t pos) const
+{
+    if (pos >= count_)
+        return 0;
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, count_ - pos));
+    const Pc *pc = pc_.data() + pos;
+    const Addr *addr = addr_.data() + pos;
+    const std::uint8_t *cls = cls_.data() + pos;
+    const std::uint16_t *dep = dep_.data() + pos;
+    const std::uint8_t *flags = flags_.data() + pos;
+    for (std::size_t i = 0; i < take; ++i) {
+        MicroOp &op = out[i];
+        op.pc = pc[i];
+        op.addr = addr[i];
+        op.cls = static_cast<OpClass>(cls[i]);
+        op.dep1 = static_cast<std::uint8_t>(dep[i] & 0xff);
+        op.dep2 = static_cast<std::uint8_t>(dep[i] >> 8);
+        op.mispredicted = (flags[i] & 1) != 0;
+    }
+    return take;
+}
+
+MicroOp
+TraceArena::at(std::uint64_t i) const
+{
+    tcp_assert(i < count_, "arena index ", i, " out of range (size ",
+               count_, ")");
+    MicroOp op;
+    fill(&op, 1, i);
+    return op;
+}
+
+std::uint64_t
+TraceArena::footprintBytes() const
+{
+    return pc_.capacity() * sizeof(Pc) +
+           addr_.capacity() * sizeof(Addr) +
+           cls_.capacity() * sizeof(std::uint8_t) +
+           dep_.capacity() * sizeof(std::uint16_t) +
+           flags_.capacity() * sizeof(std::uint8_t);
+}
+
+void
+TraceArena::writeTrace(const std::string &path) const
+{
+    TraceWriter writer(path);
+    MicroOp block[kMaterializeBlock];
+    std::uint64_t pos = 0;
+    while (pos < count_) {
+        const std::size_t got = fill(block, kMaterializeBlock, pos);
+        writer.write(block, got);
+        pos += got;
+    }
+    writer.finish();
+}
+
+ArenaTraceSource::ArenaTraceSource(
+    std::shared_ptr<const TraceArena> arena, std::string name)
+    : arena_(std::move(arena)), name_(std::move(name))
+{
+    tcp_assert(arena_, "ArenaTraceSource needs an arena");
+    if (name_.empty())
+        name_ = arena_->name();
+}
+
+bool
+ArenaTraceSource::next(MicroOp &op)
+{
+    if (arena_->fill(&op, 1, pos_) == 0)
+        return false;
+    ++pos_;
+    return true;
+}
+
+std::size_t
+ArenaTraceSource::fill(MicroOp *out, std::size_t n)
+{
+    const std::size_t got = arena_->fill(out, n, pos_);
+    pos_ += got;
+    return got;
+}
+
+} // namespace tcp

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * TraceArena: a materialize-once, immutable micro-op buffer shared
+ * across simulation jobs.
+ *
+ * Every figure in the paper is a sweep that replays the same
+ * workload stream against many configurations. Synthesizing the
+ * stream per run makes trace generation O(configs); an arena
+ * materializes each distinct (workload, seed) stream exactly once
+ * into a packed structure-of-arrays buffer (separate pc[], addr[],
+ * cls[], dep[], flags[] arrays — 19 bytes/op) and every job replays
+ * it through a cheap ArenaTraceSource cursor. Arenas are immutable
+ * after construction and handed around via shared_ptr<const>, so
+ * any number of worker threads can replay one concurrently.
+ *
+ * Lifetime: an arena lives as long as any RunSpec (or other holder)
+ * keeps its shared_ptr; a 40-point sweep holds one arena per
+ * distinct workload for the duration of the batch, then frees it.
+ */
+
+#ifndef TCP_TRACE_ARENA_HH
+#define TCP_TRACE_ARENA_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/microop.hh"
+
+namespace tcp {
+
+/** The packed, immutable structure-of-arrays op buffer. */
+class TraceArena
+{
+  public:
+    /**
+     * Materialize exactly @p ops micro-ops from @p source (or fewer
+     * if it ends first). Pulls through TraceSource::fill, so the
+     * synthesis cost is paid here, once.
+     */
+    static std::shared_ptr<const TraceArena>
+    materialize(TraceSource &source, std::string name,
+                std::uint64_t ops);
+
+    /**
+     * Materialize the named synthetic workload: the first @p ops
+     * ops of makeWorkload(name, seed), bit-identical to pulling the
+     * live stream.
+     */
+    static std::shared_ptr<const TraceArena>
+    fromWorkload(const std::string &name, std::uint64_t seed,
+                 std::uint64_t ops);
+
+    /**
+     * Decode a recorded .tcptrc file (mmap-backed read) into an
+     * arena. @p name labels the arena for reports (defaults to the
+     * path); @p max_ops caps the decode (0 = whole file).
+     * tcp_fatal on a malformed file.
+     */
+    static std::shared_ptr<const TraceArena>
+    fromTraceFile(const std::string &path, std::string name = "",
+                  std::uint64_t max_ops = 0);
+
+    /** Ops stored. */
+    std::uint64_t size() const { return count_; }
+
+    /** Workload (or file) name for reports. */
+    const std::string &name() const { return name_; }
+
+    /**
+     * Decode up to @p n ops starting at @p pos into @p out.
+     * @return ops decoded (fewer than @p n only at the arena's end)
+     */
+    std::size_t fill(MicroOp *out, std::size_t n,
+                     std::uint64_t pos) const;
+
+    /** Decode the single op at @p i (bounds-checked). */
+    MicroOp at(std::uint64_t i) const;
+
+    /** Approximate heap footprint, for memory budgeting/reports. */
+    std::uint64_t footprintBytes() const;
+
+    /**
+     * Encode the whole arena to a .tcptrc trace file (the
+     * record-once half of the record-once -> sweep-many workflow).
+     */
+    void writeTrace(const std::string &path) const;
+
+  private:
+    TraceArena() = default;
+
+    void append(const MicroOp *ops, std::size_t n);
+
+    std::string name_;
+    std::uint64_t count_ = 0;
+    /// @name Structure-of-arrays op storage
+    /// @{
+    std::vector<Pc> pc_;
+    std::vector<Addr> addr_;
+    std::vector<std::uint8_t> cls_;
+    /** dep1 in the low byte, dep2 in the high byte. */
+    std::vector<std::uint16_t> dep_;
+    /** bit 0 = mispredicted. */
+    std::vector<std::uint8_t> flags_;
+    /// @}
+};
+
+/**
+ * A TraceSource replaying a shared arena: a cursor plus a
+ * shared_ptr keeping the arena alive. fill() is a straight decode
+ * loop — no per-op virtual dispatch when the core pulls blocks.
+ */
+class ArenaTraceSource : public TraceSource
+{
+  public:
+    /**
+     * @param arena the shared buffer to replay
+     * @param name report name override ("" = the arena's own name)
+     */
+    explicit ArenaTraceSource(std::shared_ptr<const TraceArena> arena,
+                              std::string name = "");
+
+    bool next(MicroOp &op) override;
+    std::size_t fill(MicroOp *out, std::size_t n) override;
+    void reset() override { pos_ = 0; }
+    const std::string &name() const override { return name_; }
+
+    /** Ops available from the start of the stream. */
+    std::uint64_t size() const { return arena_->size(); }
+
+  private:
+    std::shared_ptr<const TraceArena> arena_;
+    std::string name_;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace tcp
+
+#endif // TCP_TRACE_ARENA_HH

@@ -19,19 +19,13 @@ opClassName(OpClass cls)
     tcp_panic("unknown OpClass ", static_cast<int>(cls));
 }
 
-unsigned
-opClassLatency(OpClass cls)
+std::size_t
+TraceSource::fill(MicroOp *out, std::size_t n)
 {
-    switch (cls) {
-      case OpClass::IntAlu: return 1;
-      case OpClass::IntMult: return 3;
-      case OpClass::FpAlu: return 2;
-      case OpClass::FpMult: return 4;
-      case OpClass::Load: return 1;   // address generation; memory
-      case OpClass::Store: return 1;  // time comes from the hierarchy
-      case OpClass::Branch: return 1;
-    }
-    tcp_panic("unknown OpClass ", static_cast<int>(cls));
+    std::size_t got = 0;
+    while (got < n && next(out[got]))
+        ++got;
+    return got;
 }
 
 } // namespace tcp

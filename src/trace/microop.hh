@@ -9,6 +9,7 @@
 #ifndef TCP_TRACE_MICROOP_HH
 #define TCP_TRACE_MICROOP_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -28,11 +29,25 @@ enum class OpClass : std::uint8_t
     Branch,
 };
 
+/** Number of distinct OpClass values (for validation tables). */
+inline constexpr unsigned kNumOpClasses = 7;
+
 /** @return a short printable name for @p cls. */
 const char *opClassName(OpClass cls);
 
-/** @return execution latency of @p cls, excluding memory time. */
-unsigned opClassLatency(OpClass cls);
+/**
+ * @return execution latency of @p cls, excluding memory time.
+ * Inline table lookup: this sits on the per-op execute path.
+ */
+inline unsigned
+opClassLatency(OpClass cls)
+{
+    // IntAlu, IntMult, FpAlu, FpMult, Load, Store, Branch. Load and
+    // store cover address generation only; memory time comes from
+    // the hierarchy.
+    constexpr unsigned kLatency[kNumOpClasses] = {1, 3, 2, 4, 1, 1, 1};
+    return kLatency[static_cast<unsigned>(cls)];
+}
 
 /** One dynamic instruction. */
 struct MicroOp
@@ -61,6 +76,12 @@ struct MicroOp
 /**
  * A (re-playable) stream of micro-ops. Generators implement this;
  * the CPU model and the analysis profilers consume it.
+ *
+ * Consumers that care about throughput pull whole blocks with
+ * fill(); the cores fetch through a small local block buffer so the
+ * virtual-dispatch cost amortises over hundreds of ops. next() and
+ * fill() drain the same underlying stream: mixing them is legal and
+ * yields the same op sequence either way.
  */
 class TraceSource
 {
@@ -72,6 +93,18 @@ class TraceSource
      * @return false when the stream is exhausted
      */
     virtual bool next(MicroOp &op) = 0;
+
+    /**
+     * Bulk pull: copy up to @p n ops into @p out and advance the
+     * stream past them.
+     *
+     * The base implementation loops next(); block-backed sources
+     * (arena, mmap replay) override it with a straight decode loop
+     * so no per-op virtual call remains on the fetch path.
+     *
+     * @return ops produced; fewer than @p n only at end of stream
+     */
+    virtual std::size_t fill(MicroOp *out, std::size_t n);
 
     /** Rewind to the beginning; the replay is bit-identical. */
     virtual void reset() = 0;

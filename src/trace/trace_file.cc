@@ -1,15 +1,34 @@
 #include "trace_file.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
 
 #include "util/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TCP_TRACE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define TCP_TRACE_HAS_MMAP 0
+#endif
 
 namespace tcp {
 
 namespace {
 
 constexpr char kMagic[8] = {'T', 'C', 'P', 'T', 'R', 'C', '0', '1'};
-constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint64_t);
+static_assert(kTraceHeaderBytes ==
+              sizeof(kMagic) + sizeof(std::uint64_t));
+
+/** Write-buffer capacity: ~52k records per stream write. */
+constexpr std::size_t kWriteBufBytes = std::size_t{1} << 20;
+
+/** Read-buffer capacity for the buffered (no-mmap) fallback. */
+constexpr std::size_t kReadBufBytes = std::size_t{1} << 20;
 
 void
 encodeU64(char *buf, std::uint64_t v)
@@ -40,30 +59,44 @@ encodeOp(char *buf, const MicroOp &op)
     buf[19] = static_cast<char>(op.mispredicted ? 1 : 0);
 }
 
-MicroOp
-decodeOp(const char *buf)
+/**
+ * Decode one record, validating the op-class byte so a corrupt file
+ * fails loudly instead of driving the core with garbage.
+ */
+void
+decodeOp(const unsigned char *buf, MicroOp &op,
+         const std::string &path, std::uint64_t index)
 {
-    MicroOp op;
-    op.pc = decodeU64(buf);
-    op.addr = decodeU64(buf + 8);
-    op.cls = static_cast<OpClass>(static_cast<unsigned char>(buf[16]));
-    op.dep1 = static_cast<std::uint8_t>(buf[17]);
-    op.dep2 = static_cast<std::uint8_t>(buf[18]);
+    op.pc = decodeU64(reinterpret_cast<const char *>(buf));
+    op.addr = decodeU64(reinterpret_cast<const char *>(buf + 8));
+    if (buf[16] >= kNumOpClasses)
+        tcp_fatal("corrupt trace '", path, "': invalid op class ",
+                  static_cast<int>(buf[16]), " at op ", index,
+                  " (byte offset ",
+                  kTraceHeaderBytes + index * kTraceRecordBytes, ")");
+    op.cls = static_cast<OpClass>(buf[16]);
+    op.dep1 = buf[17];
+    op.dep2 = buf[18];
     op.mispredicted = (buf[19] & 1) != 0;
-    return op;
 }
 
 } // namespace
+
+// ------------------------------------------------------------- TraceWriter
 
 TraceWriter::TraceWriter(const std::string &path)
     : out_(path, std::ios::binary | std::ios::trunc), path_(path)
 {
     if (!out_)
         tcp_fatal("cannot open trace file '", path, "' for writing");
-    char header[kHeaderBytes] = {};
+    buf_.reserve(kWriteBufBytes);
+    char header[kTraceHeaderBytes] = {};
     std::memcpy(header, kMagic, sizeof(kMagic));
     encodeU64(header + sizeof(kMagic), 0); // patched by finish()
     out_.write(header, sizeof(header));
+    if (!out_)
+        tcp_fatal("I/O error writing trace header to '", path_, "'");
+    flushed_bytes_ = kTraceHeaderBytes;
 }
 
 TraceWriter::~TraceWriter()
@@ -73,22 +106,54 @@ TraceWriter::~TraceWriter()
 }
 
 void
+TraceWriter::flushBuffer()
+{
+    if (buf_.empty())
+        return;
+    out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    if (!out_)
+        tcp_fatal("I/O error writing trace '", path_,
+                  "' at byte offset ", flushed_bytes_,
+                  " (disk full?)");
+    flushed_bytes_ += buf_.size();
+    buf_.clear();
+}
+
+void
 TraceWriter::write(const MicroOp &op)
 {
+    write(&op, 1);
+}
+
+void
+TraceWriter::write(const MicroOp *ops, std::size_t n)
+{
     tcp_assert(!finished_, "write after finish()");
-    char buf[kTraceRecordBytes];
-    encodeOp(buf, op);
-    out_.write(buf, sizeof(buf));
-    ++written_;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t at = buf_.size();
+        buf_.resize(at + kTraceRecordBytes);
+        encodeOp(buf_.data() + at, ops[i]);
+        if (buf_.size() >= kWriteBufBytes)
+            flushBuffer();
+    }
+    written_ += n;
 }
 
 std::uint64_t
 TraceWriter::record(TraceSource &source, std::uint64_t count)
 {
-    MicroOp op;
+    constexpr std::size_t kBlock = 4096;
+    MicroOp block[kBlock];
     std::uint64_t n = 0;
-    for (; n < count && source.next(op); ++n)
-        write(op);
+    while (n < count) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kBlock, count - n));
+        const std::size_t got = source.fill(block, want);
+        write(block, got);
+        n += got;
+        if (got < want)
+            break; // source exhausted
+    }
     return n;
 }
 
@@ -98,47 +163,149 @@ TraceWriter::finish()
     if (finished_)
         return;
     finished_ = true;
+    flushBuffer();
     char buf[8];
     encodeU64(buf, written_);
     out_.seekp(sizeof(kMagic));
     out_.write(buf, sizeof(buf));
     out_.flush();
     if (!out_)
-        tcp_fatal("I/O error finishing trace file '", path_, "'");
+        tcp_fatal("I/O error finishing trace file '", path_,
+                  "' after ", flushed_bytes_, " bytes");
 }
 
-FileTraceSource::FileTraceSource(const std::string &path)
-    : in_(path, std::ios::binary), name_(path)
+// -------------------------------------------------------- FileTraceSource
+
+FileTraceSource::FileTraceSource(const std::string &path, TraceIo io)
+    : name_(path)
 {
+    // Validate the header and the size invariant through the stream
+    // API first — it works identically on every platform and for
+    // every backing mode.
+    std::error_code ec;
+    const std::uint64_t file_bytes =
+        std::filesystem::file_size(path, ec);
+    if (ec)
+        tcp_fatal("cannot open trace file '", path, "': ",
+                  ec.message());
+    if (file_bytes < kTraceHeaderBytes)
+        tcp_fatal("'", path, "' is not a TCP trace file: ",
+                  file_bytes, " bytes is shorter than the ",
+                  kTraceHeaderBytes, "-byte header");
+
+    in_.open(path, std::ios::binary);
     if (!in_)
         tcp_fatal("cannot open trace file '", path, "'");
-    char header[kHeaderBytes];
+    char header[kTraceHeaderBytes];
     in_.read(header, sizeof(header));
     if (!in_ || std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
         tcp_fatal("'", path, "' is not a TCP trace file");
     count_ = decodeU64(header + sizeof(kMagic));
+
+    const std::uint64_t expect_bytes =
+        kTraceHeaderBytes + count_ * kTraceRecordBytes;
+    if (file_bytes != expect_bytes)
+        tcp_fatal("trace file '", path, "' is corrupt: header says ",
+                  count_, " ops (", expect_bytes, " bytes) but the ",
+                  "file is ", file_bytes, " bytes",
+                  file_bytes < expect_bytes ? " (truncated)"
+                                            : " (trailing data)");
+
+#if TCP_TRACE_HAS_MMAP
+    if (io != TraceIo::Buffered && count_ > 0) {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd >= 0) {
+            void *map = ::mmap(nullptr, file_bytes, PROT_READ,
+                               MAP_PRIVATE, fd, 0);
+            // The mapping keeps the file open; the descriptor is
+            // no longer needed either way.
+            ::close(fd);
+            if (map != MAP_FAILED) {
+                map_ = static_cast<const unsigned char *>(map);
+                map_len_ = file_bytes;
+                in_.close();
+            }
+        }
+    }
+#endif
+    if (io == TraceIo::Mmap && !map_)
+        tcp_fatal("mmap replay requested but '", path,
+                  "' could not be mapped on this platform");
+    if (!map_ && count_ > 0)
+        buf_.resize(kReadBufBytes - kReadBufBytes % kTraceRecordBytes);
+}
+
+FileTraceSource::~FileTraceSource()
+{
+#if TCP_TRACE_HAS_MMAP
+    if (map_)
+        ::munmap(const_cast<unsigned char *>(map_), map_len_);
+#endif
+}
+
+void
+FileTraceSource::refillBuffer()
+{
+    const std::uint64_t remaining_bytes =
+        (count_ - read_pos_) * kTraceRecordBytes;
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(buf_.size(), remaining_bytes));
+    in_.read(buf_.data(), static_cast<std::streamsize>(want));
+    if (!in_ || in_.gcount() != static_cast<std::streamsize>(want))
+        tcp_fatal("I/O error reading trace '", name_,
+                  "' at byte offset ",
+                  kTraceHeaderBytes + read_pos_ * kTraceRecordBytes);
+    read_pos_ += want / kTraceRecordBytes;
+    buf_pos_ = 0;
+    buf_len_ = want;
+}
+
+std::size_t
+FileTraceSource::fill(MicroOp *out, std::size_t n)
+{
+    if (pos_ >= count_)
+        return 0;
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, count_ - pos_));
+    if (map_) {
+        // Zero-copy path: decode straight out of the mapping.
+        const unsigned char *rec =
+            map_ + kTraceHeaderBytes + pos_ * kTraceRecordBytes;
+        for (std::size_t i = 0; i < take; ++i) {
+            decodeOp(rec, out[i], name_, pos_ + i);
+            rec += kTraceRecordBytes;
+        }
+    } else {
+        for (std::size_t i = 0; i < take; ++i) {
+            if (buf_pos_ >= buf_len_)
+                refillBuffer();
+            decodeOp(reinterpret_cast<const unsigned char *>(
+                         buf_.data() + buf_pos_),
+                     out[i], name_, pos_ + i);
+            buf_pos_ += kTraceRecordBytes;
+        }
+    }
+    pos_ += take;
+    return take;
 }
 
 bool
 FileTraceSource::next(MicroOp &op)
 {
-    if (pos_ >= count_)
-        return false;
-    char buf[kTraceRecordBytes];
-    in_.read(buf, sizeof(buf));
-    if (!in_)
-        tcp_fatal("truncated trace file '", name_, "' at op ", pos_);
-    op = decodeOp(buf);
-    ++pos_;
-    return true;
+    return fill(&op, 1) == 1;
 }
 
 void
 FileTraceSource::reset()
 {
-    in_.clear();
-    in_.seekg(kHeaderBytes);
     pos_ = 0;
+    if (!map_ && count_ > 0) {
+        in_.clear();
+        in_.seekg(kTraceHeaderBytes);
+        buf_pos_ = 0;
+        buf_len_ = 0;
+        read_pos_ = 0;
+    }
 }
 
 } // namespace tcp

@@ -10,6 +10,16 @@
  *   header: magic "TCPTRC01" (8 bytes), op count (u64)
  *   record: pc (u64), addr (u64), cls (u8), dep1 (u8), dep2 (u8),
  *           flags (u8; bit 0 = mispredicted)    -> 20 bytes each
+ *
+ * A file's size must be exactly header + count * record: truncated
+ * files, short headers, and headers whose count disagrees with the
+ * file size all fail loudly at open (never read as garbage).
+ *
+ * Replay mmaps the file and decodes records straight out of the
+ * mapping (zero-copy ingestion, no per-op syscalls), falling back
+ * to block-buffered stream reads on platforms without mmap.
+ * Recording buffers encoded records and writes them to the stream
+ * in large blocks, checking the stream state after every write.
  */
 
 #ifndef TCP_TRACE_TRACE_FILE_HH
@@ -38,44 +48,101 @@ class TraceWriter
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
 
-    /** Append one micro-op. */
+    /** Append one micro-op (buffered). */
     void write(const MicroOp &op);
+
+    /** Append @p n micro-ops (bulk encode into the write buffer). */
+    void write(const MicroOp *ops, std::size_t n);
 
     /**
      * Record @p count ops pulled from @p source (or fewer if it
-     * ends).
+     * ends). Pulls whole blocks through TraceSource::fill.
      * @return ops actually written
      */
     std::uint64_t record(TraceSource &source, std::uint64_t count);
 
-    /** Flush buffers and patch the header's op count. */
+    /**
+     * Flush buffers, patch the header's op count, and verify the
+     * stream; tcp_fatal with the path and byte offset on any I/O
+     * error — a short or truncated trace is never left silently.
+     */
     void finish();
 
     std::uint64_t written() const { return written_; }
 
   private:
+    /** Drain the encode buffer to the stream, checking its state. */
+    void flushBuffer();
+
     std::ofstream out_;
     std::string path_;
+    std::vector<char> buf_;
     std::uint64_t written_ = 0;
+    /** Bytes successfully handed to the stream (incl. header). */
+    std::uint64_t flushed_bytes_ = 0;
     bool finished_ = false;
+};
+
+/** How FileTraceSource reads the file. */
+enum class TraceIo : std::uint8_t
+{
+    Auto,     ///< mmap when the platform has it, else buffered
+    Mmap,     ///< require the zero-copy mapping (fatal if absent)
+    Buffered, ///< force block-buffered stream reads
 };
 
 /** A TraceSource replaying a binary trace file. */
 class FileTraceSource : public TraceSource
 {
   public:
-    /** Open and validate @p path; tcp_fatal on a bad file. */
-    explicit FileTraceSource(const std::string &path);
+    /**
+     * Open and validate @p path: magic, header, and that the file
+     * size matches the header's op count exactly. tcp_fatal on any
+     * mismatch.
+     */
+    explicit FileTraceSource(const std::string &path,
+                             TraceIo io = TraceIo::Auto);
+    ~FileTraceSource() override;
+
+    FileTraceSource(const FileTraceSource &) = delete;
+    FileTraceSource &operator=(const FileTraceSource &) = delete;
 
     bool next(MicroOp &op) override;
+    std::size_t fill(MicroOp *out, std::size_t n) override;
     void reset() override;
     const std::string &name() const override { return name_; }
 
     /** Ops recorded in the file header. */
     std::uint64_t size() const { return count_; }
 
+    /** True when the file is mmap'd (zero-copy replay). */
+    bool mapped() const { return map_ != nullptr; }
+
   private:
+    /** Refill the read buffer (buffered mode); fatal on I/O error. */
+    void refillBuffer();
+
+    /// @name mmap backing (zero-copy replay)
+    /// @{
+    const unsigned char *map_ = nullptr;
+    std::size_t map_len_ = 0;
+    /// @}
+
+    /// @name Buffered fallback backing
+    /// @{
     std::ifstream in_;
+    std::vector<char> buf_;
+    std::size_t buf_pos_ = 0; ///< decode cursor into buf_
+    std::size_t buf_len_ = 0; ///< valid bytes in buf_
+    /**
+     * Records fetched from the stream into buf_ so far. Distinct from
+     * pos_, which only advances after a whole fill() batch: a refill
+     * in the middle of a batch must size its read from the stream's
+     * actual position, not the batch start.
+     */
+    std::uint64_t read_pos_ = 0;
+    /// @}
+
     std::string name_;
     std::uint64_t count_ = 0;
     std::uint64_t pos_ = 0;
@@ -83,6 +150,9 @@ class FileTraceSource : public TraceSource
 
 /** Size of one encoded record in bytes. */
 inline constexpr std::size_t kTraceRecordBytes = 20;
+
+/** Size of the file header in bytes. */
+inline constexpr std::size_t kTraceHeaderBytes = 16;
 
 } // namespace tcp
 

@@ -1,5 +1,7 @@
 #include "workload.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace tcp {
@@ -50,6 +52,23 @@ SyntheticWorkload::next(MicroOp &op)
     op = buffer_[buffer_pos_++];
     ++emitted_;
     return true;
+}
+
+std::size_t
+SyntheticWorkload::fill(MicroOp *out, std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        if (buffer_pos_ >= buffer_.size())
+            refill();
+        const std::size_t take =
+            std::min(n - got, buffer_.size() - buffer_pos_);
+        std::copy_n(buffer_.data() + buffer_pos_, take, out + got);
+        buffer_pos_ += take;
+        emitted_ += take;
+        got += take;
+    }
+    return got;
 }
 
 void

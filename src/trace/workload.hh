@@ -33,6 +33,7 @@ class SyntheticWorkload : public TraceSource
     void addKernel(std::unique_ptr<Kernel> kernel, double weight);
 
     bool next(MicroOp &op) override;
+    std::size_t fill(MicroOp *out, std::size_t n) override;
     void reset() override;
     const std::string &name() const override { return name_; }
 

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the materialize-once trace arena: replay bit-identity
+ * against the live synthetic stream (the sequential seed path),
+ * arena sharing across batch jobs at any worker count, and the
+ * record-once trace cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "harness/batch.hh"
+#include "trace/arena.hh"
+#include "trace/trace_file.hh"
+#include "trace/workloads.hh"
+
+namespace tcp {
+namespace {
+
+/** RAII temp directory for trace-cache tests. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("tcp_arena_test_" + std::to_string(::getpid()) +
+                  "_" + std::to_string(counter_++)))
+                    .string();
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    static inline int counter_ = 0;
+    std::string path_;
+};
+
+TEST(TraceArenaTest, MaterializedOpsMatchLiveStream)
+{
+    constexpr std::uint64_t kOps = 10000;
+    auto arena = TraceArena::fromWorkload("gzip", 1, kOps);
+    ASSERT_EQ(arena->size(), kOps);
+
+    auto live = makeWorkload("gzip", 1);
+    MicroOp expect;
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+        ASSERT_TRUE(live->next(expect));
+        const MicroOp got = arena->at(i);
+        ASSERT_EQ(got.pc, expect.pc) << i;
+        ASSERT_EQ(got.addr, expect.addr) << i;
+        ASSERT_EQ(static_cast<int>(got.cls),
+                  static_cast<int>(expect.cls)) << i;
+        ASSERT_EQ(got.dep1, expect.dep1) << i;
+        ASSERT_EQ(got.dep2, expect.dep2) << i;
+        ASSERT_EQ(got.mispredicted, expect.mispredicted) << i;
+    }
+}
+
+TEST(TraceArenaTest, ArenaSourceResetReplaysIdentically)
+{
+    auto arena = TraceArena::fromWorkload("swim", 3, 4096);
+    ArenaTraceSource src(arena);
+    std::vector<Addr> first;
+    MicroOp op;
+    while (src.next(op))
+        first.push_back(op.addr);
+    EXPECT_EQ(first.size(), 4096u);
+
+    src.reset();
+    MicroOp block[101]; // odd size: exercise partial final fill
+    std::size_t i = 0;
+    while (const std::size_t got = src.fill(block, 101))
+        for (std::size_t k = 0; k < got; ++k)
+            ASSERT_EQ(block[k].addr, first[i++]);
+    EXPECT_EQ(i, 4096u);
+}
+
+TEST(TraceArenaTest, FromTraceFileMatchesFromWorkload)
+{
+    auto direct = TraceArena::fromWorkload("mcf", 2, 3000);
+    TempDir dir;
+    std::filesystem::create_directories(dir.path());
+    const std::string path = dir.path() + "/mcf.tcptrc";
+    direct->writeTrace(path);
+
+    auto reloaded = TraceArena::fromTraceFile(path, "mcf");
+    ASSERT_EQ(reloaded->size(), direct->size());
+    EXPECT_EQ(reloaded->name(), "mcf");
+    for (std::uint64_t i = 0; i < direct->size(); ++i) {
+        const MicroOp a = direct->at(i);
+        const MicroOp b = reloaded->at(i);
+        ASSERT_EQ(a.pc, b.pc) << i;
+        ASSERT_EQ(a.addr, b.addr) << i;
+        ASSERT_EQ(static_cast<int>(a.cls), static_cast<int>(b.cls));
+        ASSERT_EQ(a.dep1, b.dep1);
+        ASSERT_EQ(a.dep2, b.dep2);
+        ASSERT_EQ(a.mispredicted, b.mispredicted);
+    }
+}
+
+/**
+ * The tentpole's correctness contract: a run replaying a shared
+ * arena must produce the same full JSON record — every counter, the
+ * interval series, and the ledger attribution — as the sequential
+ * seed path that synthesizes the workload per run.
+ */
+TEST(TraceArenaTest, ArenaRunBitIdenticalToSyntheticRun)
+{
+    RunSpec spec;
+    spec.workload = "gzip";
+    spec.engine = "tcp8k";
+    spec.instructions = 20000;
+    spec.interval = 5000;
+    spec.ledger = true;
+
+    const RunResult synthetic = runSpec(spec);
+
+    RunSpec with_arena = spec;
+    with_arena.arena = TraceArena::fromWorkload(
+        spec.workload, spec.seed, specOpsNeeded(spec));
+    const RunResult replayed = runSpec(with_arena);
+
+    EXPECT_EQ(replayed.toJson().dump(), synthetic.toJson().dump());
+}
+
+TEST(TraceArenaTest, ArenaRunIsCleanUnderDiffChecker)
+{
+    RunSpec spec;
+    spec.workload = "swim";
+    spec.engine = "tcp8k";
+    spec.instructions = 10000;
+    spec.check = true; // DiffChecker panics on any divergence
+    spec.arena = TraceArena::fromWorkload(spec.workload, spec.seed,
+                                          specOpsNeeded(spec));
+    const RunResult r = runSpec(spec);
+    EXPECT_EQ(r.core.instructions, 10000u);
+}
+
+TEST(TraceArenaTest, BatchResultsIdenticalAcrossWorkerCounts)
+{
+    std::vector<RunSpec> specs;
+    for (const char *workload : {"gzip", "swim"})
+        for (const char *engine : {"none", "tcp8k"}) {
+            RunSpec spec;
+            spec.workload = workload;
+            spec.engine = engine;
+            spec.instructions = 15000;
+            spec.ledger = true;
+            specs.push_back(spec);
+        }
+
+    // Sequential seed path: no arenas, one synthesis per run.
+    std::vector<std::string> expected;
+    for (const RunSpec &spec : specs)
+        expected.push_back(runSpec(spec).toJson().dump());
+
+    attachArenas(specs);
+    for (unsigned jobs : {1u, 8u}) {
+        BatchRunner runner(jobs);
+        const std::vector<RunResult> results = runner.run(specs);
+        ASSERT_EQ(results.size(), expected.size());
+        for (std::size_t i = 0; i < results.size(); ++i)
+            EXPECT_EQ(results[i].toJson().dump(), expected[i])
+                << "jobs=" << jobs << " spec=" << i;
+    }
+}
+
+TEST(TraceArenaTest, AttachArenasSharesOneArenaPerStream)
+{
+    std::vector<RunSpec> specs(4);
+    specs[0].workload = "gzip";
+    specs[0].instructions = 10000;
+    specs[1].workload = "gzip";
+    specs[1].instructions = 30000; // largest demand wins
+    specs[2].workload = "gzip";
+    specs[2].instructions = 10000;
+    specs[2].seed = 7; // different stream
+    specs[3].workload = "swim";
+    specs[3].instructions = 10000;
+
+    attachArenas(specs);
+    ASSERT_TRUE(specs[0].arena);
+    EXPECT_EQ(specs[0].arena.get(), specs[1].arena.get());
+    EXPECT_NE(specs[0].arena.get(), specs[2].arena.get());
+    EXPECT_NE(specs[0].arena.get(), specs[3].arena.get());
+    EXPECT_EQ(specs[0].arena->size(), specOpsNeeded(specs[1]));
+    EXPECT_EQ(specs[2].arena->size(), specOpsNeeded(specs[2]));
+}
+
+TEST(TraceArenaTest, TraceCacheRecordsOnceAndReuses)
+{
+    TempDir dir;
+    std::vector<RunSpec> specs(1);
+    specs[0].workload = "gzip";
+    specs[0].instructions = 10000;
+
+    attachArenas(specs, dir.path());
+    const std::string cached = dir.path() + "/gzip-s1.tcptrc";
+    ASSERT_TRUE(std::filesystem::exists(cached));
+    {
+        FileTraceSource file(cached);
+        EXPECT_EQ(file.size(), specOpsNeeded(specs[0]));
+    }
+    const auto recorded_at =
+        std::filesystem::last_write_time(cached);
+
+    // Same demand: the recording must be reused, not rewritten.
+    std::vector<RunSpec> again(1);
+    again[0].workload = "gzip";
+    again[0].instructions = 10000;
+    attachArenas(again, dir.path());
+    EXPECT_EQ(std::filesystem::last_write_time(cached), recorded_at);
+    EXPECT_EQ(runSpec(again[0]).toJson().dump(),
+              runSpec(specs[0]).toJson().dump());
+
+    // A larger demand outgrows the recording: re-record.
+    std::vector<RunSpec> larger(1);
+    larger[0].workload = "gzip";
+    larger[0].instructions = 40000;
+    attachArenas(larger, dir.path());
+    FileTraceSource regrown(cached);
+    EXPECT_EQ(regrown.size(), specOpsNeeded(larger[0]));
+}
+
+} // namespace
+} // namespace tcp

@@ -7,6 +7,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
 #include "trace/trace_file.hh"
 #include "trace/workloads.hh"
@@ -129,6 +131,205 @@ TEST(TraceFileTest, DestructorFinishes)
     }
     FileTraceSource src(tmp.path());
     EXPECT_EQ(src.size(), 1u);
+}
+
+TEST(TraceFileTest, ZeroOpTraceRoundTrips)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        writer.finish();
+        EXPECT_EQ(writer.written(), 0u);
+    }
+    FileTraceSource src(tmp.path());
+    EXPECT_EQ(src.size(), 0u);
+    MicroOp op;
+    EXPECT_FALSE(src.next(op));
+    MicroOp block[16];
+    EXPECT_EQ(src.fill(block, 16), 0u);
+    src.reset();
+    EXPECT_FALSE(src.next(op));
+}
+
+TEST(TraceFileTest, BulkWriteMatchesPerOpWrite)
+{
+    auto wl = makeWorkload("gzip", 9);
+    std::vector<MicroOp> ops(3000);
+    wl->fill(ops.data(), ops.size());
+
+    TempTrace per_op, bulk;
+    {
+        TraceWriter writer(per_op.path());
+        for (const MicroOp &op : ops)
+            writer.write(op);
+    }
+    {
+        TraceWriter writer(bulk.path());
+        writer.write(ops.data(), ops.size());
+    }
+    std::ifstream a(per_op.path(), std::ios::binary);
+    std::ifstream b(bulk.path(), std::ios::binary);
+    const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                              std::istreambuf_iterator<char>());
+    const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                              std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST(TraceFileTest, BufferedRefillMidBatchNearEofReadsCleanly)
+{
+    // A trace larger than the 1 MiB read buffer whose final refill
+    // lands in the middle of a fill() batch. The refill must size its
+    // read from the stream position, not from the batch-start cursor
+    // (which lags by the records already decoded this batch) — the
+    // stale cursor overstates what is left in the file and turns the
+    // resulting short read into a phantom I/O error.
+    TempTrace tmp;
+    constexpr std::uint64_t kOps = 1 << 16;
+    {
+        std::vector<MicroOp> ops(kOps);
+        for (std::uint64_t i = 0; i < kOps; ++i) {
+            ops[i].pc = 0x1000 + i * 4;
+            ops[i].addr = i * 64;
+            ops[i].cls = OpClass::Load;
+        }
+        TraceWriter writer(tmp.path());
+        writer.write(ops.data(), ops.size());
+    }
+    FileTraceSource src(tmp.path(), TraceIo::Buffered);
+    MicroOp block[4096];
+    std::uint64_t total = 0;
+    while (const std::size_t got = src.fill(block, 4096)) {
+        for (std::size_t i = 0; i < got; ++i)
+            ASSERT_EQ(block[i].pc, 0x1000 + (total + i) * 4)
+                << "record " << total + i;
+        total += got;
+    }
+    EXPECT_EQ(total, kOps);
+
+    // And again after a reset, which rewinds the stream cursor too.
+    src.reset();
+    total = 0;
+    while (const std::size_t got = src.fill(block, 4096))
+        total += got;
+    EXPECT_EQ(total, kOps);
+}
+
+TEST(TraceFileTest, MmapAndBufferedReplaysAreIdentical)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        auto wl = makeWorkload("swim", 2);
+        writer.record(*wl, 5000);
+    }
+    FileTraceSource buffered(tmp.path(), TraceIo::Buffered);
+    EXPECT_FALSE(buffered.mapped());
+    FileTraceSource preferred(tmp.path(), TraceIo::Auto);
+#if defined(__unix__) || defined(__APPLE__)
+    EXPECT_TRUE(preferred.mapped());
+#endif
+    MicroOp a, b;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(preferred.next(a)) << i;
+        ASSERT_TRUE(buffered.next(b)) << i;
+        ASSERT_EQ(a.pc, b.pc) << i;
+        ASSERT_EQ(a.addr, b.addr) << i;
+        ASSERT_EQ(static_cast<int>(a.cls), static_cast<int>(b.cls));
+        ASSERT_EQ(a.dep1, b.dep1);
+        ASSERT_EQ(a.dep2, b.dep2);
+        ASSERT_EQ(a.mispredicted, b.mispredicted);
+    }
+    EXPECT_FALSE(preferred.next(a));
+    EXPECT_FALSE(buffered.next(b));
+}
+
+TEST(TraceFileDeathTest, TruncatedHeaderIsFatal)
+{
+    TempTrace tmp;
+    {
+        std::ofstream out(tmp.path(), std::ios::binary);
+        out << "TCPTRC01"; // magic only, no op count
+    }
+    EXPECT_EXIT(FileTraceSource(tmp.path()),
+                testing::ExitedWithCode(1), "shorter than");
+}
+
+TEST(TraceFileDeathTest, TruncatedRecordTailIsFatal)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        auto wl = makeWorkload("gzip", 1);
+        writer.record(*wl, 100);
+    }
+    // Chop a few bytes off the last record.
+    std::filesystem::resize_file(
+        tmp.path(), std::filesystem::file_size(tmp.path()) - 5);
+    EXPECT_EXIT(FileTraceSource(tmp.path()),
+                testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(TraceFileDeathTest, HeaderCountMismatchIsFatal)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        auto wl = makeWorkload("gzip", 1);
+        writer.record(*wl, 100);
+    }
+    // Rewrite the op count to disagree with the file's size.
+    {
+        std::fstream f(tmp.path(),
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(8);
+        const char count_120[8] = {120, 0, 0, 0, 0, 0, 0, 0};
+        f.write(count_120, sizeof(count_120));
+    }
+    EXPECT_EXIT(FileTraceSource(tmp.path()),
+                testing::ExitedWithCode(1), "corrupt");
+}
+
+TEST(TraceFileDeathTest, CorruptOpClassByteIsFatal)
+{
+    TempTrace tmp;
+    {
+        TraceWriter writer(tmp.path());
+        auto wl = makeWorkload("gzip", 1);
+        writer.record(*wl, 10);
+    }
+    {
+        // Poke the cls byte of op 1 (offset header + record + 16).
+        std::fstream f(tmp.path(),
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(16 + 20 + 16);
+        const char bad = 0x7f;
+        f.write(&bad, 1);
+    }
+    const auto drain = [&] {
+        FileTraceSource src(tmp.path());
+        MicroOp op;
+        while (src.next(op)) {
+        }
+    };
+    EXPECT_EXIT(drain(), testing::ExitedWithCode(1),
+                "invalid op class");
+}
+
+TEST(TraceFileDeathTest, WriteErrorIsFatalWithOffset)
+{
+    // /dev/full fails every flush with ENOSPC; a writer must report
+    // the failure instead of leaving a silently short trace.
+    if (!std::filesystem::exists("/dev/full"))
+        GTEST_SKIP() << "no /dev/full on this platform";
+    const auto write_many = [] {
+        TraceWriter writer("/dev/full");
+        auto wl = makeWorkload("gzip", 1);
+        writer.record(*wl, 100000);
+        writer.finish();
+    };
+    EXPECT_EXIT(write_many(), testing::ExitedWithCode(1),
+                "I/O error");
 }
 
 TEST(TraceFileDeathTest, MissingFileIsFatal)

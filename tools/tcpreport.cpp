@@ -313,7 +313,11 @@ diffValues(const Json &a, const Json &b, const std::string &path,
     switch (a.type()) {
     case Json::Type::Object: {
         // Walk the union of keys so additions/removals surface too.
+        // The top-level "build" block is provenance, not results —
+        // records from different builds must still compare equal.
         for (const auto &[key, value] : a.members()) {
+            if (path.empty() && key == "build")
+                continue;
             const std::string sub =
                 path.empty() ? key : path + "." + key;
             if (const Json *bv = b.find(key))
@@ -322,7 +326,7 @@ diffValues(const Json &a, const Json &b, const std::string &path,
                 out.push_back({sub, scalarRepr(value), "(absent)"});
         }
         for (const auto &[key, value] : b.members())
-            if (!a.contains(key))
+            if (!a.contains(key) && !(path.empty() && key == "build"))
                 out.push_back({path.empty() ? key : path + "." + key,
                                "(absent)", scalarRepr(value)});
         return;

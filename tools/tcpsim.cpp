@@ -20,6 +20,7 @@
 
 #include "analysis/miss_stream.hh"
 #include "analysis/reuse_distance.hh"
+#include "harness/batch.hh"
 #include "harness/runner.hh"
 #include "sim/json.hh"
 #include "sim/trace_sink.hh"
@@ -39,6 +40,32 @@ addCommonFlags(ArgParser &args)
     args.addFlag("workload", "ammp", "workload name (see 'list')");
     args.addFlag("instructions", "2000000", "micro-ops to simulate");
     args.addFlag("seed", "1", "workload stream seed");
+}
+
+/** Flags of the multi-run commands (compare / suite / sweep). */
+void
+addBatchFlags(ArgParser &args)
+{
+    args.addFlag("jobs", "0",
+                 "parallel runs (0 = one per hardware thread)");
+    args.addFlag("arena", "1",
+                 "materialize each workload stream once and share it "
+                 "across runs (0 = synthesize per run)");
+}
+
+/**
+ * Run a multi-run command's specs: one shared arena per workload
+ * (unless --arena 0), on a --jobs worker pool. Results come back in
+ * submission order, bit-identical to a sequential runNamed() loop.
+ */
+std::vector<RunResult>
+runCommandBatch(const ArgParser &args, std::vector<RunSpec> specs)
+{
+    if (args.getUint("arena") != 0)
+        attachArenas(specs);
+    BatchRunner runner(
+        static_cast<unsigned>(args.getUint("jobs")));
+    return runner.run(specs);
 }
 
 /** Register the observability flags shared by run and replay. */
@@ -178,24 +205,31 @@ cmdCompare(int argc, char **argv)
 {
     ArgParser args;
     addCommonFlags(args);
+    addBatchFlags(args);
     args.addFlag("csv", "false", "emit CSV instead of a text table");
     args.parse(argc, argv);
     const std::string workload = args.getString("workload");
     const std::uint64_t instructions = args.getUint("instructions");
     const std::uint64_t seed = args.getUint("seed");
 
-    const RunResult base =
-        runNamed(workload, "none", instructions, MachineConfig{}, seed);
+    // One spec per engine, all replaying one shared arena. "none"
+    // is first so the speedup baseline is results[0].
+    std::vector<RunSpec> specs;
+    for (const std::string &engine : standardEngineNames())
+        specs.push_back(RunSpec{.workload = workload,
+                                .engine = engine,
+                                .instructions = instructions,
+                                .seed = seed});
+    const std::vector<RunResult> results =
+        runCommandBatch(args, std::move(specs));
+    const RunResult &base = results[0];
 
     TextTable table("tcpsim compare: " + workload);
     table.setHeader({"engine", "IPC", "speedup", "coverage",
                      "storage"});
-    for (const std::string &engine : standardEngineNames()) {
-        const RunResult r =
-            engine == "none"
-                ? base
-                : runNamed(workload, engine, instructions,
-                           MachineConfig{}, seed);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const std::string &engine = standardEngineNames()[i];
+        const RunResult &r = results[i];
         const double coverage =
             r.original_l2
                 ? static_cast<double>(r.prefetched_original) /
@@ -218,20 +252,36 @@ cmdSuite(int argc, char **argv)
     args.addFlag("engine", "tcp8k", "prefetch engine");
     args.addFlag("instructions", "1000000", "micro-ops per workload");
     args.addFlag("seed", "1", "workload stream seed");
+    addBatchFlags(args);
     args.addFlag("csv", "false", "emit CSV instead of a text table");
     args.parse(argc, argv);
     const std::string engine = args.getString("engine");
     const std::uint64_t instructions = args.getUint("instructions");
     const std::uint64_t seed = args.getUint("seed");
 
+    // (base, engine) spec pairs per workload, sharing one arena per
+    // workload across both runs.
+    std::vector<RunSpec> specs;
+    for (const std::string &name : workloadNames()) {
+        specs.push_back(RunSpec{.workload = name,
+                                .engine = "none",
+                                .instructions = instructions,
+                                .seed = seed});
+        specs.push_back(RunSpec{.workload = name,
+                                .engine = engine,
+                                .instructions = instructions,
+                                .seed = seed});
+    }
+    const std::vector<RunResult> results =
+        runCommandBatch(args, std::move(specs));
+
     TextTable table("tcpsim suite: " + engine);
     table.setHeader({"workload", "base IPC", "engine IPC", "speedup"});
     std::vector<double> ratios;
-    for (const std::string &name : workloadNames()) {
-        const RunResult base = runNamed(name, "none", instructions,
-                                        MachineConfig{}, seed);
-        const RunResult r = runNamed(name, engine, instructions,
-                                     MachineConfig{}, seed);
+    for (std::size_t i = 0; i < workloadNames().size(); ++i) {
+        const std::string &name = workloadNames()[i];
+        const RunResult &base = results[2 * i];
+        const RunResult &r = results[2 * i + 1];
         ratios.push_back(r.ipc() / base.ipc());
         table.addRow({name, formatDouble(base.ipc(), 3),
                       formatDouble(r.ipc(), 3),
@@ -250,6 +300,7 @@ cmdSweep(int argc, char **argv)
     ArgParser args;
     addCommonFlags(args);
     args.addFlag("index-bits", "0", "PHT miss-index bits (n)");
+    addBatchFlags(args);
     args.addFlag("csv", "false", "emit CSV instead of a text table");
     args.parse(argc, argv);
     const std::string workload = args.getString("workload");
@@ -258,23 +309,40 @@ cmdSweep(int argc, char **argv)
     const unsigned n =
         static_cast<unsigned>(args.getUint("index-bits"));
 
-    const RunResult base =
-        runNamed(workload, "none", instructions, MachineConfig{},
-                 seed);
+    std::vector<std::uint64_t> sizes;
+    for (std::uint64_t bytes = 2 * 1024; bytes <= 8 * 1024 * 1024;
+         bytes *= 4)
+        sizes.push_back(bytes);
+
+    // results[0] is the no-prefetch baseline, then one run per size,
+    // all replaying one shared arena.
+    std::vector<RunSpec> specs;
+    specs.push_back(RunSpec{.workload = workload,
+                            .engine = "none",
+                            .instructions = instructions,
+                            .seed = seed});
+    for (std::uint64_t bytes : sizes)
+        specs.push_back(RunSpec{.workload = workload,
+                                .engine = "tcp:" +
+                                          std::to_string(bytes) + ":" +
+                                          std::to_string(n),
+                                .instructions = instructions,
+                                .seed = seed});
+    const std::vector<RunResult> results =
+        runCommandBatch(args, std::move(specs));
+    const RunResult &base = results[0];
+
     TextTable table("tcpsim sweep: PHT size on " + workload);
     table.setHeader({"PHT", "IPC", "speedup", "coverage"});
-    for (std::uint64_t bytes = 2 * 1024; bytes <= 8 * 1024 * 1024;
-         bytes *= 4) {
-        const std::string engine = "tcp:" + std::to_string(bytes) +
-                                   ":" + std::to_string(n);
-        const RunResult r = runNamed(workload, engine, instructions,
-                                     MachineConfig{}, seed);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const RunResult &r = results[i + 1];
         const double coverage =
             r.original_l2
                 ? static_cast<double>(r.prefetched_original) /
                       static_cast<double>(r.original_l2)
                 : 0.0;
-        table.addRow({formatBytes(bytes), formatDouble(r.ipc(), 3),
+        table.addRow({formatBytes(sizes[i]),
+                      formatDouble(r.ipc(), 3),
                       formatPercent(ipcImprovement(r, base), 1),
                       formatPercent(coverage, 1)});
     }
@@ -339,12 +407,24 @@ cmdReplay(int argc, char **argv)
     ArgParser args;
     args.addFlag("trace", "workload.trc", "trace file to replay");
     args.addFlag("engine", "tcp8k", "prefetch engine");
+    args.addFlag("io", "auto",
+                 "trace ingestion: mmap (zero-copy), buffered, or "
+                 "auto (mmap when the platform has it)");
     addObservabilityFlags(args);
     args.parse(argc, argv);
     const std::string stats_json = args.getString("stats-json");
     const std::string trace_out = args.getString("trace-out");
+    const std::string io_name = args.getString("io");
+    TraceIo io = TraceIo::Auto;
+    if (io_name == "mmap")
+        io = TraceIo::Mmap;
+    else if (io_name == "buffered")
+        io = TraceIo::Buffered;
+    else if (io_name != "auto")
+        tcp_fatal("--io must be auto, mmap, or buffered, not '",
+                  io_name, "'");
 
-    FileTraceSource src(args.getString("trace"));
+    FileTraceSource src(args.getString("trace"), io);
     EngineSetup engine = makeEngine(args.getString("engine"));
     TraceSink sink;
     ScopedTraceSink installed(trace_out.empty() ? nullptr : &sink);
