@@ -13,11 +13,15 @@
 #include <filesystem>
 #include <initializer_list>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/batch.hh"
 #include "harness/runner.hh"
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
+#include "obs/progress.hh"
 #include "sim/build_info.hh"
 #include "sim/json.hh"
 #include "trace/workloads.hh"
@@ -44,6 +48,26 @@ struct SuiteOptions
     /** Start of the bench, for the report's wall-clock field. */
     std::chrono::steady_clock::time_point start =
         std::chrono::steady_clock::now();
+
+    /**
+     * Phase profiler, created unconditionally and installed as the
+     * process profiler; its breakdown is stamped into the JSON
+     * report next to wall_clock_seconds. Declared before the
+     * streamer so the streamer's final summary (destroyed first) can
+     * still read it.
+     */
+    std::shared_ptr<PhaseProfiler> profiler;
+    /** Live NDJSON heartbeats (--progress; null when off). */
+    std::shared_ptr<ProgressStreamer> progress;
+    /** Sweep-shared telemetry registry (--metrics; null when off). */
+    std::shared_ptr<MetricsRegistry> metrics;
+    /**
+     * Simulated ops accounted by runBatch/mapWorkloads, the
+     * numerator of the report's ops_per_second. Mutable: accounting
+     * is bookkeeping, not configuration, and the options struct is
+     * passed by const reference everywhere.
+     */
+    mutable std::uint64_t ops_simulated = 0;
 };
 
 /** Register the common flags on @p args. */
@@ -65,6 +89,14 @@ addSuiteFlags(ArgParser &args, const std::string &default_instructions)
     args.addFlag("trace-cache", "",
                  "directory of .tcptrc recordings to reuse across "
                  "bench invocations (record once, sweep many)");
+    args.addFlag("progress", "",
+                 "stream live NDJSON progress records to this sink "
+                 "(a file path, '-' for stderr, or 'fd:N')");
+    args.addFlag("progress-period", "1",
+                 "progress heartbeat period in seconds");
+    args.addFlag("metrics", "0",
+                 "record sweep telemetry (latency/occupancy/hit-run "
+                 "histograms) into the JSON report");
 }
 
 /** Resolve the common flags after parsing. */
@@ -91,6 +123,17 @@ suiteOptions(const ArgParser &args)
     opt.arena = args.getUint("arena") != 0;
     opt.trace_cache = args.getString("trace-cache");
     opt.start = std::chrono::steady_clock::now();
+    opt.profiler = std::make_shared<PhaseProfiler>();
+    PhaseProfiler::install(opt.profiler.get());
+    const std::string progress_sink = args.getString("progress");
+    if (!progress_sink.empty()) {
+        ProgressConfig pc;
+        pc.sink = progress_sink;
+        pc.period_seconds = args.getDouble("progress-period");
+        opt.progress = std::make_shared<ProgressStreamer>(pc);
+    }
+    if (args.getUint("metrics") != 0)
+        opt.metrics = std::make_shared<MetricsRegistry>();
     return opt;
 }
 
@@ -108,8 +151,15 @@ runBatch(const SuiteOptions &opt, std::vector<RunSpec> specs)
     // determinism contract above is unchanged).
     if (opt.arena)
         attachArenas(specs, opt.trace_cache);
+    for (const RunSpec &spec : specs)
+        opt.ops_simulated += specOpsNeeded(spec);
+    if (opt.metrics) {
+        for (RunSpec &spec : specs)
+            if (!spec.metrics)
+                spec.shared_metrics = opt.metrics.get();
+    }
     BatchRunner runner(opt.jobs);
-    return runner.run(specs);
+    return runner.run(specs, opt.progress.get());
 }
 
 /**
@@ -122,9 +172,22 @@ template <typename T, typename Fn>
 std::vector<T>
 mapWorkloads(const SuiteOptions &opt, Fn fn)
 {
+    // Analysis jobs profile roughly opt.instructions ops each; close
+    // enough for the throughput line (the simulated-op accounting is
+    // exact only for RunSpec batches).
+    opt.ops_simulated += opt.workloads.size() * opt.instructions;
+    ProgressStreamer *progress = opt.progress.get();
+    if (progress)
+        progress->addTotal(opt.workloads.size(),
+                           opt.workloads.size() * opt.instructions);
     BatchRunner runner(opt.jobs);
     return runner.map<T>(opt.workloads.size(), [&](std::size_t i) {
-        return fn(opt.workloads[i]);
+        if (progress)
+            progress->jobStarted();
+        T value = fn(opt.workloads[i]);
+        if (progress)
+            progress->jobFinished(opt.instructions);
+        return value;
     });
 }
 
@@ -170,16 +233,31 @@ writeJsonReport(const SuiteOptions &opt, const std::string &bench,
     doc["instructions"] = opt.instructions;
     doc["seed"] = opt.seed;
     doc["jobs"] = opt.jobs;
-    doc["wall_clock_seconds"] = std::chrono::duration<double>(
+    const double wall = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - opt.start).count();
+    doc["wall_clock_seconds"] = wall;
+    doc["ops_simulated"] = opt.ops_simulated;
+    doc["ops_per_second"] =
+        wall > 0.0 ? static_cast<double>(opt.ops_simulated) / wall
+                   : 0.0;
     Json workloads = Json::array();
     for (const std::string &w : opt.workloads)
         workloads.push(w);
     doc["workloads"] = std::move(workloads);
-    Json arr = Json::array();
-    for (const TextTable *t : tables)
-        arr.push(tableToJson(*t));
-    doc["tables"] = std::move(arr);
+    {
+        // Table serialization is the bulk of the report phase; the
+        // scope closes before the profile is stamped so its own cost
+        // is included.
+        ScopedPhase phase(Phase::Report);
+        Json arr = Json::array();
+        for (const TextTable *t : tables)
+            arr.push(tableToJson(*t));
+        doc["tables"] = std::move(arr);
+    }
+    if (opt.profiler)
+        doc["profile"] = opt.profiler->toJson();
+    if (opt.metrics)
+        doc["metrics"] = opt.metrics->snapshotJson();
     doc["build"] = buildInfoJson();
     writeJsonFile(opt.json_path, doc);
 }
@@ -188,6 +266,8 @@ writeJsonReport(const SuiteOptions &opt, const std::string &bench,
 inline void
 printHeader(const std::string &what, const SuiteOptions &opt)
 {
+    if (opt.progress)
+        opt.progress->setLabel(what);
     std::cout << "# " << what << "\n# instructions/run="
               << opt.instructions << " seed=" << opt.seed
               << " workloads=" << opt.workloads.size()

@@ -19,6 +19,7 @@
 #include "mem/cache.hh"
 #include "mem/hierarchy.hh"
 #include "obs/ledger.hh"
+#include "obs/metrics.hh"
 #include "prefetch/dbcp.hh"
 #include "sim/trace_sink.hh"
 #include "trace/arena.hh"
@@ -229,6 +230,46 @@ BM_HierarchyAccessDiffCheck(benchmark::State &state)
     }
 }
 BENCHMARK(BM_HierarchyAccessDiffCheck);
+
+void
+BM_MetricsDisabled(benchmark::State &state)
+{
+    // The telemetry contract: with no SimMetrics attached, the
+    // metrics hooks on the demand path are one pointer test and a
+    // not-taken ([[unlikely]]) branch each — the same discipline as
+    // the trace/ledger/checker hooks. Guarded in CI next to the
+    // ledger rows.
+    MemoryHierarchy mem(MachineConfig{});
+    Rng rng(7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr a = (rng.next() & 2047) * 32;
+        benchmark::DoNotOptimize(
+            mem.dataAccess(a, AccessType::Read, 0x1000, ++now));
+    }
+}
+BENCHMARK(BM_MetricsDisabled);
+
+void
+BM_MetricsEnabled(benchmark::State &state)
+{
+    // Enabled path: every L1-D miss records a latency histogram
+    // observation and an MSHR occupancy sample into a per-thread
+    // shard (two array increments plus min/max updates).
+    MetricsRegistry registry;
+    SimMetrics metrics(registry);
+    MemoryHierarchy mem(MachineConfig{});
+    mem.attachMetrics(&metrics);
+    Rng rng(7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr a = (rng.next() & 2047) * 32;
+        benchmark::DoNotOptimize(
+            mem.dataAccess(a, AccessType::Read, 0x1000, ++now));
+    }
+    mem.attachMetrics(nullptr);
+}
+BENCHMARK(BM_MetricsEnabled);
 
 void
 BM_TcpObserveMissTraced(benchmark::State &state)

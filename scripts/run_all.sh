@@ -42,7 +42,7 @@ ctest --test-dir "$BUILD" --output-on-failure 2>&1 \
     | tee "$ROOT/test_output.txt"
 
 echo "== benches =="
-mkdir -p "$ROOT/results"
+mkdir -p "$ROOT/results" "$ROOT/results/progress"
 {
     for b in "$BUILD"/bench/*; do
         [ -f "$b" ] && [ -x "$b" ] || continue
@@ -59,9 +59,11 @@ mkdir -p "$ROOT/results"
             "$b" --json "$ROOT/results/$name.json"
             ;;
           *)
-            # Figure/ablation binary: text to stdout, JSON alongside.
+            # Figure/ablation binary: text to stdout, JSON alongside,
+            # live heartbeats to results/progress/<name>.ndjson.
             "$b" --json "$ROOT/results/$name.json" \
                  --jobs "$JOBS" \
+                 --progress "$ROOT/results/progress/$name.ndjson" \
                  ${TRACE_CACHE:+--trace-cache "$TRACE_CACHE"} \
                  ${INSTRUCTIONS:+--instructions "$INSTRUCTIONS"} \
                  ${WORKLOADS:+--workloads "$WORKLOADS"}
@@ -71,7 +73,14 @@ mkdir -p "$ROOT/results"
 } 2>&1 | tee "$ROOT/results/bench_all.txt" \
        | tee "$ROOT/bench_output.txt" >/dev/null
 
+echo "== figure summaries (phase breakdown + throughput) =="
+for p in "$ROOT"/results/progress/*.ndjson; do
+    [ -f "$p" ] || continue
+    "$BUILD/tools/tcpreport" progress "$p"
+done 2>&1 | tee "$ROOT/results/progress_summary.txt"
+
 echo "== done =="
-echo "tests:   $ROOT/test_output.txt"
-echo "figures: $ROOT/results/bench_all.txt"
-echo "json:    $ROOT/results/*.json (one per bench binary)"
+echo "tests:    $ROOT/test_output.txt"
+echo "figures:  $ROOT/results/bench_all.txt"
+echo "json:     $ROOT/results/*.json (one per bench binary)"
+echo "progress: $ROOT/results/progress/*.ndjson (live NDJSON streams)"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
 #include "sim/trace_sink.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
@@ -123,6 +124,29 @@ TagCorrelatingPrefetcher::adaptEpoch()
 }
 
 void
+TagCorrelatingPrefetcher::setMetrics(SimMetrics *metrics)
+{
+    metrics_ = metrics;
+    pht_run_ = 0;
+    tht_run_ = 0;
+}
+
+void
+TagCorrelatingPrefetcher::flushMetrics()
+{
+    if (!metrics_)
+        return;
+    if (pht_run_) {
+        metrics_->phtHitRun(pht_run_);
+        pht_run_ = 0;
+    }
+    if (tht_run_) {
+        metrics_->thtHitRun(tht_run_);
+        tht_run_ = 0;
+    }
+}
+
+void
 TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
                                       std::vector<PrefetchRequest> &out)
 {
@@ -134,6 +158,18 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
     const SetIndex index = missIndex(ctx.addr);
     const Tag tag = missTag(ctx.addr);
     const bool row_was_full = tht_.full(index);
+
+    // Telemetry: a "THT hit run" is a streak of misses that found
+    // their row already full (history warm); it closes — and its
+    // length is recorded — at the first miss that finds a cold row.
+    if (metrics_) [[unlikely]] {
+        if (row_was_full) {
+            ++tht_run_;
+        } else if (tht_run_) {
+            metrics_->thtHitRun(tht_run_);
+            tht_run_ = 0;
+        }
+    }
 
     // --- Critical-miss filter (Section 6): non-critical misses still
     // maintain the tag history (it must stay faithful to the miss
@@ -225,9 +261,15 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
         if (n == 0) {
             ++pht_misses;
             traceEvent("pht_miss", "tcp", ctx.cycle, ctx.addr);
+            if (metrics_ && pht_run_) [[unlikely]] {
+                metrics_->phtHitRun(pht_run_);
+                pht_run_ = 0;
+            }
             break;
         }
         traceEvent("pht_hit", "tcp", ctx.cycle, ctx.addr);
+        if (metrics_) [[unlikely]]
+            ++pht_run_;
         // Attribution: the PHT entry behind these predictions and a
         // compact hash of the history sequence that selected it. The
         // hash must be at least as wide as the PHT index, or ledger

@@ -108,6 +108,15 @@ class TagCorrelatingPrefetcher : public Prefetcher
     void reset() override;
 
     /**
+     * Sweep telemetry: with a sink attached, observeMiss tracks the
+     * PHT hit-run and THT full-row-run length distributions (how
+     * long correlation streaks last — the tail behavior the paper's
+     * geometry sweeps are really about).
+     */
+    void setMetrics(SimMetrics *metrics) override;
+    void flushMetrics() override;
+
+    /**
      * Attach the criticality estimator consulted when
      * config().critical_filter is set. The table stays owned by the
      * caller (the harness wires the same instance into the core).
@@ -167,6 +176,13 @@ class TagCorrelatingPrefetcher : public Prefetcher
     std::vector<Tag> targets_scratch_;
     std::vector<RowStride> row_stride_;
     const CriticalityTable *crit_table_ = nullptr;
+
+    /// @name Sweep-telemetry state (null sink = all hooks off)
+    /// @{
+    SimMetrics *metrics_ = nullptr;
+    std::uint64_t pht_run_ = 0; ///< open run of consecutive PHT hits
+    std::uint64_t tht_run_ = 0; ///< open run of full-THT-row misses
+    /// @}
 
     /// @name Adaptive-throttling state
     /// @{

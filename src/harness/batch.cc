@@ -5,6 +5,8 @@
 #include <map>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "trace/trace_file.hh"
 #include "trace/workloads.hh"
 #include "util/logging.hh"
@@ -14,6 +16,16 @@ namespace tcp {
 RunResult
 runSpec(const RunSpec &spec)
 {
+    // Telemetry destination: a registry private to this run (snapshot
+    // embedded in the result) or the caller's sweep-shared one.
+    std::optional<MetricsRegistry> local_metrics;
+    MetricsRegistry *metrics = spec.shared_metrics;
+    if (spec.metrics) {
+        local_metrics.emplace();
+        metrics = &*local_metrics;
+    }
+
+    RunResult result;
     if (spec.arena) {
         EngineSetup engine = spec.engine_factory
                                  ? spec.engine_factory()
@@ -26,20 +38,27 @@ runSpec(const RunSpec &spec)
                    spec.arena->size(), " ops but spec '",
                    spec.workload, "' needs ", specOpsNeeded(spec));
         ArenaTraceSource source(spec.arena, spec.workload);
-        return runTrace(source, spec.machine, engine,
-                        spec.instructions, spec.warmup, spec.interval,
-                        spec.ledger ? &spec.ledger_config : nullptr,
-                        spec.check);
+        result = runTrace(source, spec.machine, engine,
+                          spec.instructions, spec.warmup,
+                          spec.interval,
+                          spec.ledger ? &spec.ledger_config : nullptr,
+                          spec.check, metrics);
+    } else {
+        // Construction order matches runNamed() exactly so a batch
+        // job is bit-identical to the sequential convenience path.
+        auto workload = makeWorkload(spec.workload, spec.seed);
+        EngineSetup engine = spec.engine_factory
+                                 ? spec.engine_factory()
+                                 : makeEngine(spec.engine);
+        result = runTrace(*workload, spec.machine, engine,
+                          spec.instructions, spec.warmup,
+                          spec.interval,
+                          spec.ledger ? &spec.ledger_config : nullptr,
+                          spec.check, metrics);
     }
-    // Construction order matches runNamed() exactly so a batch job is
-    // bit-identical to the sequential convenience path.
-    auto workload = makeWorkload(spec.workload, spec.seed);
-    EngineSetup engine = spec.engine_factory ? spec.engine_factory()
-                                             : makeEngine(spec.engine);
-    return runTrace(*workload, spec.machine, engine, spec.instructions,
-                    spec.warmup, spec.interval,
-                    spec.ledger ? &spec.ledger_config : nullptr,
-                    spec.check);
+    if (local_metrics)
+        result.metrics = local_metrics->snapshotJson();
+    return result;
 }
 
 std::uint64_t
@@ -73,6 +92,7 @@ attachArenas(std::vector<RunSpec> &specs, const std::string &trace_dir)
     std::map<std::pair<std::string, std::uint64_t>,
              std::shared_ptr<const TraceArena>>
         arenas;
+    ScopedPhase phase(Phase::Materialize);
     for (const auto &[key, ops] : needed) {
         const auto &[name, seed] = key;
         std::shared_ptr<const TraceArena> arena;
@@ -111,10 +131,25 @@ attachArenas(std::vector<RunSpec> &specs, const std::string &trace_dir)
 BatchRunner::BatchRunner(unsigned jobs) : pool_(jobs) {}
 
 std::vector<RunResult>
-BatchRunner::run(const std::vector<RunSpec> &specs)
+BatchRunner::run(const std::vector<RunSpec> &specs,
+                 ProgressStreamer *progress)
 {
+    if (!progress) {
+        return map<RunResult>(specs.size(), [&](std::size_t i) {
+            return runSpec(specs[i]);
+        });
+    }
+    // Declare the whole batch up front (map() must not re-count), and
+    // credit each job's resolved warmup + measured ops on completion.
+    std::uint64_t total_ops = 0;
+    for (const RunSpec &spec : specs)
+        total_ops += specOpsNeeded(spec);
+    progress->addTotal(specs.size(), total_ops);
     return map<RunResult>(specs.size(), [&](std::size_t i) {
-        return runSpec(specs[i]);
+        progress->jobStarted();
+        RunResult result = runSpec(specs[i]);
+        progress->jobFinished(specOpsNeeded(specs[i]));
+        return result;
     });
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "harness/runner.hh"
+#include "obs/progress.hh"
 #include "sim/thread_pool.hh"
 #include "trace/arena.hh"
 
@@ -51,6 +52,20 @@ struct RunSpec
     LedgerConfig ledger_config{};
     /** Run under the differential checker (panic on divergence). */
     bool check = false;
+    /**
+     * Record sweep telemetry (src/obs/metrics) into a registry
+     * private to this run; the merged snapshot lands in
+     * RunResult::metrics.
+     */
+    bool metrics = false;
+    /**
+     * Record sweep telemetry into a registry shared across jobs
+     * instead (each job takes its own shard, so the sweep-level
+     * snapshot is deterministic at any --jobs count). Ignored when
+     * @c metrics is set. Owned by the caller, which snapshots it
+     * after the batch joins; RunResult::metrics stays null.
+     */
+    MetricsRegistry *shared_metrics = nullptr;
     /**
      * Optional engine override for configurations makeEngine() has no
      * name for (ablation sweeps over TcpConfig). Must be a pure
@@ -119,24 +134,40 @@ class BatchRunner
      * Run every spec and return the results in submission order,
      * regardless of completion order. Exceptions follow
      * ThreadPool::parallelFor: lowest failing index wins.
+     *
+     * With a ProgressStreamer attached, the batch declares its job
+     * and op totals up front (specOpsNeeded per spec) and ticks the
+     * streamer as jobs start and finish; heartbeats are pure
+     * observation and do not touch the determinism contract.
      */
-    std::vector<RunResult> run(const std::vector<RunSpec> &specs);
+    std::vector<RunResult> run(const std::vector<RunSpec> &specs,
+                               ProgressStreamer *progress = nullptr);
 
     /**
      * Ordered parallel map for jobs that are not RunSpec-shaped
      * (miss-stream analyses, in-order core runs): evaluates
      * @p fn(i) for i in [0, n) on the pool and returns the values
      * in index order. @p fn must only touch state local to the job.
+     * An attached ProgressStreamer sees job counts only (op totals
+     * are unknown here), so its ETA uses the job completion rate.
      */
     template <typename T>
     std::vector<T>
-    map(std::size_t n, const std::function<T(std::size_t)> &fn)
+    map(std::size_t n, const std::function<T(std::size_t)> &fn,
+        ProgressStreamer *progress = nullptr)
     {
+        if (progress)
+            progress->addTotal(n, 0);
         // Each iteration writes its own pre-allocated slot, so the
         // only cross-thread handoff is the parallelFor join.
         std::vector<std::optional<T>> slots(n);
-        pool_.parallelFor(n,
-                          [&](std::size_t i) { slots[i].emplace(fn(i)); });
+        pool_.parallelFor(n, [&](std::size_t i) {
+            if (progress)
+                progress->jobStarted();
+            slots[i].emplace(fn(i));
+            if (progress)
+                progress->jobFinished(0);
+        });
         std::vector<T> out;
         out.reserve(n);
         for (std::optional<T> &slot : slots)

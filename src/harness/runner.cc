@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "check/diff.hh"
+#include "obs/profiler.hh"
 #include "prefetch/dbcp.hh"
 #include "sim/build_info.hh"
 #include "prefetch/markov.hh"
@@ -112,6 +113,8 @@ RunResult::toJson() const
     }
     if (!ledger.isNull())
         j["ledger"] = ledger;
+    if (!metrics.isNull())
+        j["metrics"] = metrics;
     if (!stats.isNull())
         j["stats"] = stats;
     j["build"] = buildInfoJson();
@@ -268,7 +271,8 @@ RunResult
 runTrace(TraceSource &source, const MachineConfig &machine,
          EngineSetup &engine, std::uint64_t instructions,
          std::uint64_t warmup, std::uint64_t interval,
-         const LedgerConfig *ledger, bool check)
+         const LedgerConfig *ledger, bool check,
+         MetricsRegistry *metrics)
 {
     MachineConfig cfg = machine;
     if (engine.wants_prefetch_bus)
@@ -301,6 +305,7 @@ runTrace(TraceSource &source, const MachineConfig &machine,
     // only sees the measured window.
     CoreResult warm{};
     if (warmup > 0) {
+        ScopedPhase phase(Phase::Warmup);
         ScopedTraceSink mute(nullptr);
         warm = core.run(source, warmup);
         mem.stats().resetAll();
@@ -314,11 +319,24 @@ runTrace(TraceSource &source, const MachineConfig &machine,
             engine.crit->stats().resetAll();
     }
 
+    // Telemetry attaches at the warmup boundary so its distributions
+    // describe exactly the measured window the statistics cover.
+    std::optional<SimMetrics> sim_metrics;
+    if (metrics) {
+        sim_metrics.emplace(*metrics);
+        sim_metrics->setWindow(warmup, instructions);
+        mem.attachMetrics(&*sim_metrics);
+        if (engine.prefetcher)
+            engine.prefetcher->setMetrics(&*sim_metrics);
+    }
+
     // Measured window: one run() call, or interval-sized chunks with
     // a counter-delta sample after each. Chunking does not perturb
     // timing — the same micro-op stream meets the same machine state.
     std::vector<IntervalSample> intervals;
     CoreResult cr{};
+    std::optional<ScopedPhase> measure_phase(std::in_place,
+                                             Phase::Measure);
     if (interval == 0 || instructions == 0) {
         cr = core.run(source, instructions);
     } else {
@@ -398,9 +416,21 @@ runTrace(TraceSource &source, const MachineConfig &machine,
     cr.stores -= warm.stores;
     cr.branches -= warm.branches;
     cr.mispredicts -= warm.mispredicts;
+    measure_phase.reset();
+    ScopedPhase finalize_phase(Phase::Finalize);
 
     if (checker)
         checker->finalize();
+
+    // Close any open hit runs, then detach: the engine outlives this
+    // frame but the SimMetrics shard handle does not.
+    if (sim_metrics) {
+        if (engine.prefetcher) {
+            engine.prefetcher->flushMetrics();
+            engine.prefetcher->setMetrics(nullptr);
+        }
+        mem.attachMetrics(nullptr);
+    }
 
     RunResult out;
     out.workload = source.name();
@@ -456,12 +486,13 @@ runNamed(const std::string &workload_name,
          const std::string &engine_name, std::uint64_t instructions,
          const MachineConfig &base, std::uint64_t seed,
          std::uint64_t warmup, std::uint64_t interval,
-         const LedgerConfig *ledger, bool check)
+         const LedgerConfig *ledger, bool check,
+         MetricsRegistry *metrics)
 {
     auto workload = makeWorkload(workload_name, seed);
     EngineSetup engine = makeEngine(engine_name);
     return runTrace(*workload, base, engine, instructions, warmup,
-                    interval, ledger, check);
+                    interval, ledger, check, metrics);
 }
 
 double

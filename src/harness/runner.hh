@@ -18,6 +18,7 @@
 #include "cpu/ooo_core.hh"
 #include "mem/hierarchy.hh"
 #include "obs/ledger.hh"
+#include "obs/metrics.hh"
 #include "prefetch/prefetcher.hh"
 #include "sim/config.hh"
 #include "sim/json.hh"
@@ -107,6 +108,16 @@ struct RunResult
      * tables. Null unless the run was given a ledger.
      */
     Json ledger;
+
+    /**
+     * Merged sweep-telemetry snapshot (MetricsRegistry::snapshotJson:
+     * counters, gauges, and the miss-latency / issue-to-fill / MSHR-
+     * occupancy / hit-run histograms over the measured window). Null
+     * unless the run recorded into its own private registry (see
+     * RunSpec::metrics); runs feeding a shared registry leave this
+     * null and the sweep-level snapshot is reported once instead.
+     */
+    Json metrics;
 
     /**
      * Full statistics tree (mem, core, and prefetcher StatGroups
@@ -215,13 +226,26 @@ std::uint64_t resolveAutoWarmup(std::uint64_t instructions,
  * whole run (warmup included — the reference must see every access
  * that shaped the cache state) and any divergence from the reference
  * models panics with a replayable report.
+ *
+ * When @p metrics is non-null, a SimMetrics sink (taking its own
+ * registry shard, so concurrent runs may share the registry) is
+ * attached to the hierarchy and prefetcher for the measured window
+ * only — attachment happens at the warmup boundary, so the recorded
+ * distributions describe the same window as the statistics. The
+ * caller owns the registry and decides when to snapshot it; runTrace
+ * never does (a per-run snapshot of a shared registry would capture
+ * other jobs mid-flight).
+ *
+ * When a PhaseProfiler is installed (src/obs/profiler), the warmup,
+ * measured, and finalize sections are recorded as phases.
  */
 RunResult runTrace(TraceSource &source, const MachineConfig &machine,
                    EngineSetup &engine, std::uint64_t instructions,
                    std::uint64_t warmup = kAutoWarmup,
                    std::uint64_t interval = 0,
                    const LedgerConfig *ledger = nullptr,
-                   bool check = false);
+                   bool check = false,
+                   MetricsRegistry *metrics = nullptr);
 
 /**
  * Convenience: build the named workload and engine and run them on a
@@ -235,7 +259,8 @@ RunResult runNamed(const std::string &workload_name,
                    std::uint64_t warmup = kAutoWarmup,
                    std::uint64_t interval = 0,
                    const LedgerConfig *ledger = nullptr,
-                   bool check = false);
+                   bool check = false,
+                   MetricsRegistry *metrics = nullptr);
 
 /** Geometric mean of @p values (which must all be positive). */
 double geomean(const std::vector<double> &values);

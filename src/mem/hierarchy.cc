@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/ledger.hh"
+#include "obs/metrics.hh"
 #include "sim/trace_sink.hh"
 #include "util/logging.hh"
 
@@ -126,6 +127,8 @@ MemoryHierarchy::dataAccess(Addr addr, AccessType type, Pc pc, Cycle now)
                                          l1d_.blockBytes());
     l1d_mshrs_.allocate(start, done);
     miss_latency.sample(done - now);
+    if (metrics_) [[unlikely]]
+        metrics_->demandMiss(done - now, l1d_mshrs_.outstanding(now));
     fillL1D(addr, t, done, false);
 
     // The prefetcher observes its configured miss stream and may
@@ -322,6 +325,8 @@ MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
                 config_.memory_latency;
         prefetch_mshrs_.allocate(t, ready);
         ++prefetch_fills;
+        if (metrics_) [[unlikely]]
+            metrics_->prefetchFill(ready - t);
         traceEvent("pf_fill", "prefetch", ready, block);
         // Before the fill, so the ledger can attribute the fill's
         // eviction to this prefetch.

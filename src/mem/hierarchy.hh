@@ -30,6 +30,7 @@
 namespace tcp {
 
 class PrefetchLedger;
+struct SimMetrics;
 
 /** Timing outcome of one data access. */
 struct AccessResult
@@ -134,6 +135,18 @@ class MemoryHierarchy
     PrefetchLedger *ledger() { return ledger_; }
 
     /**
+     * Attach the sweep-telemetry sink (src/obs/metrics), or nullptr
+     * to detach. The hierarchy samples the demand-miss latency,
+     * prefetch issue-to-fill distance, and MSHR occupancy
+     * distributions into it; the sink stays owned by the caller.
+     * With no sink attached each site costs a pointer load and a
+     * not-taken branch off the miss path (bounded by
+     * bench/micro_components BM_MetricsDisabled).
+     */
+    void attachMetrics(SimMetrics *metrics) { metrics_ = metrics; }
+    SimMetrics *metrics() { return metrics_; }
+
+    /**
      * Attach the differential-checker hook (nullptr detaches). The
      * hook stays owned by the caller and composes with the ledger:
      * both observe the same run. See src/check.
@@ -196,6 +209,7 @@ class MemoryHierarchy
     Prefetcher *access_observer_;
     DeadBlockPredictor *dbp_;
     PrefetchLedger *ledger_ = nullptr;
+    SimMetrics *metrics_ = nullptr;
     MemCheckHook *check_ = nullptr;
     std::vector<PrefetchRequest> pending_;
     /**

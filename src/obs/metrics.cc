@@ -1,0 +1,211 @@
+#include "metrics.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+std::uint64_t
+MetricHistData::quantileBound(double q) const
+{
+    if (total == 0)
+        return 0;
+    // Smallest rank whose cumulative count covers the quantile
+    // (at least 1, so q=0 returns the first occupied bucket).
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total));
+    if (rank < 1)
+        rank = 1;
+    if (rank > total)
+        rank = total;
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        cum += buckets[b];
+        if (cum >= rank) {
+            if (b == 0)
+                return 0;
+            if (b >= 64)
+                return ~std::uint64_t{0};
+            return std::uint64_t{1} << b;
+        }
+    }
+    return ~std::uint64_t{0}; // unreachable: cum == total >= rank
+}
+
+void
+MetricHistData::merge(const MetricHistData &other)
+{
+    total += other.total;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+    for (unsigned b = 0; b < kBuckets; ++b)
+        buckets[b] += other.buckets[b];
+}
+
+Json
+MetricHistData::toJson() const
+{
+    Json j = Json::object();
+    j["total"] = total;
+    j["sum"] = sum;
+    j["min"] = total ? min : 0;
+    j["max"] = max;
+    j["p50"] = quantileBound(0.50);
+    j["p90"] = quantileBound(0.90);
+    j["p99"] = quantileBound(0.99);
+    unsigned last = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        if (buckets[b])
+            last = b + 1;
+    }
+    Json arr = Json::array();
+    for (unsigned b = 0; b < last; ++b)
+        arr.push(buckets[b]);
+    j["buckets"] = std::move(arr);
+    return j;
+}
+
+MetricId
+MetricsRegistry::define(MetricKind kind, const std::string &name,
+                        const std::string &desc)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Def &def : defs_) {
+        if (def.name == name) {
+            tcp_assert(def.id.kind == kind,
+                       "metric '", name, "' re-registered with a "
+                       "different kind");
+            return def.id;
+        }
+    }
+    MetricId id;
+    id.kind = kind;
+    id.slot = next_slot_[static_cast<unsigned>(kind)]++;
+    defs_.push_back(Def{name, desc, id});
+    return id;
+}
+
+MetricId
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &desc)
+{
+    return define(MetricKind::Counter, name, desc);
+}
+
+MetricId
+MetricsRegistry::gauge(const std::string &name, const std::string &desc)
+{
+    return define(MetricKind::Gauge, name, desc);
+}
+
+MetricId
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &desc)
+{
+    return define(MetricKind::Histogram, name, desc);
+}
+
+MetricsRegistry::Shard &
+MetricsRegistry::shard()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::make_unique<Shard>());
+    return *shards_.back();
+}
+
+std::size_t
+MetricsRegistry::shardCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return shards_.size();
+}
+
+Json
+MetricsRegistry::snapshotJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+
+    // Merge per kind. Sums (and max, for gauges) are commutative and
+    // associative, so the shard iteration order — which does depend
+    // on scheduling — cannot show in the result.
+    std::vector<std::uint64_t> counters(
+        next_slot_[static_cast<unsigned>(MetricKind::Counter)], 0);
+    std::vector<std::uint64_t> gauges(
+        next_slot_[static_cast<unsigned>(MetricKind::Gauge)], 0);
+    std::vector<MetricHistData> hists(
+        next_slot_[static_cast<unsigned>(MetricKind::Histogram)]);
+    for (const auto &shard : shards_) {
+        for (std::size_t i = 0; i < shard->counters_.size(); ++i)
+            counters[i] += shard->counters_[i];
+        for (std::size_t i = 0; i < shard->gauges_.size(); ++i)
+            gauges[i] = std::max(gauges[i], shard->gauges_[i]);
+        for (std::size_t i = 0; i < shard->hists_.size(); ++i)
+            hists[i].merge(shard->hists_[i]);
+    }
+
+    // Build each section locally: a reference returned by j[...] may
+    // dangle once later insertions grow the member storage.
+    Json c = Json::object();
+    Json g = Json::object();
+    Json h = Json::object();
+    for (const Def &def : defs_) {
+        switch (def.id.kind) {
+          case MetricKind::Counter:
+            c[def.name] = counters[def.id.slot];
+            break;
+          case MetricKind::Gauge:
+            g[def.name] = gauges[def.id.slot];
+            break;
+          case MetricKind::Histogram:
+            h[def.name] = hists[def.id.slot].toJson();
+            break;
+        }
+    }
+    Json j = Json::object();
+    j["counters"] = std::move(c);
+    j["gauges"] = std::move(g);
+    j["histograms"] = std::move(h);
+    return j;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &shard : shards_) {
+        std::fill(shard->counters_.begin(), shard->counters_.end(), 0);
+        std::fill(shard->gauges_.begin(), shard->gauges_.end(), 0);
+        std::fill(shard->hists_.begin(), shard->hists_.end(),
+                  MetricHistData{});
+    }
+}
+
+SimMetrics::SimMetrics(MetricsRegistry &registry)
+    : shard(&registry.shard()),
+      demand_misses(registry.counter(
+          "demand_misses", "L1-D primary misses in the measured window")),
+      warmup_instructions(registry.gauge(
+          "warmup_instructions", "warmup length of the largest run")),
+      measured_instructions(registry.gauge(
+          "measured_instructions",
+          "measured window of the largest run")),
+      demand_miss_latency(registry.histogram(
+          "demand_miss_latency",
+          "L1-D primary miss latency, request to data ready (cycles)")),
+      mshr_occupancy(registry.histogram(
+          "mshr_occupancy",
+          "L1-D MSHRs outstanding when a primary miss allocates")),
+      pf_issue_to_fill(registry.histogram(
+          "pf_issue_to_fill",
+          "prefetch issue-to-fill distance (cycles)")),
+      pht_hit_run(registry.histogram(
+          "pht_hit_run", "consecutive PHT lookups that hit")),
+      tht_hit_run(registry.histogram(
+          "tht_hit_run",
+          "consecutive misses finding their THT row full"))
+{
+}
+
+} // namespace tcp

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * The sweep-telemetry metrics registry: named counters, gauges, and
+ * log2-bucketed histograms whose merged snapshot is deterministic
+ * regardless of how many threads recorded into it.
+ *
+ * Unlike the per-component StatGroup tree (sim/stats), which belongs
+ * to exactly one simulated machine, a MetricsRegistry can span a whole
+ * BatchRunner sweep: each job takes its own Shard and records without
+ * any synchronization, and snapshotJson() merges the shards with
+ * commutative, associative u64 arithmetic only (sums for counters and
+ * histogram buckets, max for gauges), so the export is bit-identical
+ * at any --jobs count. The snapshot holds no floating point — every
+ * field is an exact integer.
+ *
+ * Writing is lock-free and unsynchronized by design: a Shard must
+ * only ever be written by one thread at a time, and snapshotJson() /
+ * reset() must not race with writers (BatchRunner joins the pool
+ * before the harness snapshots).
+ */
+
+#ifndef TCP_OBS_METRICS_HH
+#define TCP_OBS_METRICS_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+
+namespace tcp {
+
+/** What a registered metric accumulates. */
+enum class MetricKind : std::uint8_t
+{
+    Counter = 0, ///< monotonically added u64; merged by sum
+    Gauge,       ///< last value set per shard; merged by max
+    Histogram,   ///< log2-bucketed samples; buckets merged by sum
+};
+
+/**
+ * Handle to one registered metric. Cheap to copy; only meaningful
+ * with the registry that issued it.
+ */
+struct MetricId
+{
+    MetricKind kind = MetricKind::Counter;
+    std::uint32_t slot = ~std::uint32_t{0};
+
+    bool valid() const { return slot != ~std::uint32_t{0}; }
+};
+
+/**
+ * Raw accumulation state of one histogram. Bucket 0 counts the value
+ * 0 exactly; bucket b (1..64) counts values in [2^(b-1), 2^b), so the
+ * full u64 range — including ~0ull — lands in a real bucket and
+ * nothing is clamped (bucket 64 covers [2^63, 2^64)).
+ */
+struct MetricHistData
+{
+    static constexpr unsigned kBuckets = 65;
+
+    std::uint64_t total = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = ~std::uint64_t{0}; ///< meaningful when total>0
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    /** Bucket index a value falls into. */
+    static unsigned
+    bucketOf(std::uint64_t v)
+    {
+        return v == 0 ? 0u : static_cast<unsigned>(std::bit_width(v));
+    }
+
+    /**
+     * Upper bound of the bucket holding the q-quantile (0 for bucket
+     * 0, 2^b for bucket b, saturating to ~0ull for the top bucket).
+     * Returns 0 on an empty histogram.
+     */
+    std::uint64_t quantileBound(double q) const;
+
+    void
+    record(std::uint64_t v)
+    {
+        ++total;
+        sum += v;
+        if (v < min)
+            min = v;
+        if (v > max)
+            max = v;
+        ++buckets[bucketOf(v)];
+    }
+
+    void merge(const MetricHistData &other);
+
+    /**
+     * Serialize as {total, sum, min, max, p50, p90, p99, buckets}
+     * with the bucket array trimmed after its last nonzero count.
+     * All integers — the shape tcpreport's `hist` renders.
+     */
+    Json toJson() const;
+};
+
+/**
+ * Deterministic sweep telemetry: register metrics by name, hand each
+ * writer thread a Shard, merge on demand. See the file comment for
+ * the threading contract.
+ */
+class MetricsRegistry
+{
+  public:
+    /**
+     * One writer's unsynchronized slice of the registry. Created via
+     * MetricsRegistry::shard(); owned (and merged) by the registry.
+     */
+    class Shard
+    {
+      public:
+        /** Counter increment. */
+        void
+        add(MetricId id, std::uint64_t n = 1)
+        {
+            cell(counters_, id.slot) += n;
+        }
+
+        /** Gauge overwrite (last set wins within this shard). */
+        void
+        set(MetricId id, std::uint64_t v)
+        {
+            cell(gauges_, id.slot) = v;
+        }
+
+        /** Histogram sample. */
+        void
+        observe(MetricId id, std::uint64_t v)
+        {
+            if (id.slot >= hists_.size()) [[unlikely]]
+                hists_.resize(id.slot + 1);
+            hists_[id.slot].record(v);
+        }
+
+      private:
+        friend class MetricsRegistry;
+
+        static std::uint64_t &
+        cell(std::vector<std::uint64_t> &cells, std::uint32_t slot)
+        {
+            if (slot >= cells.size()) [[unlikely]]
+                cells.resize(slot + 1, 0);
+            return cells[slot];
+        }
+
+        std::vector<std::uint64_t> counters_;
+        std::vector<std::uint64_t> gauges_;
+        std::vector<MetricHistData> hists_;
+    };
+
+    /// @name Registration. Idempotent by name: re-registering an
+    /// existing metric returns its id (so any number of jobs can
+    /// resolve the same well-known set concurrently). The kind must
+    /// match on re-registration.
+    /// @{
+    MetricId counter(const std::string &name, const std::string &desc);
+    MetricId gauge(const std::string &name, const std::string &desc);
+    MetricId histogram(const std::string &name,
+                       const std::string &desc);
+    /// @}
+
+    /**
+     * Create a new shard for the calling writer. Thread-safe; the
+     * shard stays owned by the registry.
+     */
+    Shard &shard();
+
+    /** Shards handed out so far (tests). */
+    std::size_t shardCount() const;
+
+    /**
+     * Merge every shard into one JSON snapshot:
+     * {counters:{..}, gauges:{..}, histograms:{..}}, each section in
+     * registration order. Deterministic for a given multiset of
+     * recorded events — independent of shard count and creation
+     * order. Must not race with shard writers.
+     */
+    Json snapshotJson() const;
+
+    /** Zero every shard's state (writers must be quiesced). */
+    void reset();
+
+  private:
+    struct Def
+    {
+        std::string name;
+        std::string desc;
+        MetricId id;
+    };
+
+    MetricId define(MetricKind kind, const std::string &name,
+                    const std::string &desc);
+
+    mutable std::mutex mu_;
+    std::vector<Def> defs_;
+    std::uint32_t next_slot_[3] = {0, 0, 0};
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/**
+ * The well-known simulation metrics one run records, with the ids
+ * pre-resolved so the hierarchy/prefetcher hook sites are a pointer
+ * load, a not-taken branch, and direct array arithmetic. Constructed
+ * on the thread that runs the simulation; takes its own shard, so any
+ * number of concurrent runs can share one registry.
+ */
+struct SimMetrics
+{
+    explicit SimMetrics(MetricsRegistry &registry);
+
+    MetricsRegistry::Shard *shard;
+
+    MetricId demand_misses;        ///< counter: L1-D primary misses
+    MetricId warmup_instructions;  ///< gauge
+    MetricId measured_instructions; ///< gauge
+    MetricId demand_miss_latency;  ///< hist: request to data ready
+    MetricId mshr_occupancy;       ///< hist: L1-D MSHRs busy at a miss
+    MetricId pf_issue_to_fill;     ///< hist: prefetch issue to fill
+    MetricId pht_hit_run;          ///< hist: consecutive PHT hits
+    MetricId tht_hit_run;          ///< hist: consecutive full-row misses
+
+    /// @name Hook-site helpers
+    /// @{
+    void
+    demandMiss(std::uint64_t latency, std::uint64_t mshrs_busy)
+    {
+        shard->add(demand_misses);
+        shard->observe(demand_miss_latency, latency);
+        shard->observe(mshr_occupancy, mshrs_busy);
+    }
+
+    void
+    prefetchFill(std::uint64_t issue_to_fill)
+    {
+        shard->observe(pf_issue_to_fill, issue_to_fill);
+    }
+
+    void phtHitRun(std::uint64_t len) { shard->observe(pht_hit_run, len); }
+    void thtHitRun(std::uint64_t len) { shard->observe(tht_hit_run, len); }
+
+    void
+    setWindow(std::uint64_t warmup, std::uint64_t measured)
+    {
+        shard->set(warmup_instructions, warmup);
+        shard->set(measured_instructions, measured);
+    }
+    /// @}
+};
+
+} // namespace tcp
+
+#endif // TCP_OBS_METRICS_HH

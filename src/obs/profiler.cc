@@ -1,0 +1,108 @@
+#include "profiler.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
+namespace tcp {
+
+namespace {
+
+std::atomic<PhaseProfiler *> g_profiler{nullptr};
+
+} // namespace
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Materialize:
+        return "materialize";
+      case Phase::Warmup:
+        return "warmup";
+      case Phase::Measure:
+        return "measure";
+      case Phase::Finalize:
+        return "finalize";
+      case Phase::Report:
+        return "report";
+    }
+    return "unknown";
+}
+
+PhaseProfiler::~PhaseProfiler()
+{
+    PhaseProfiler *self = this;
+    g_profiler.compare_exchange_strong(self, nullptr);
+}
+
+void
+PhaseProfiler::record(Phase p, double wall_seconds, double cpu_seconds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Totals &t = totals_[static_cast<unsigned>(p)];
+    t.wall_seconds += wall_seconds;
+    t.cpu_seconds += cpu_seconds;
+    ++t.count;
+}
+
+PhaseProfiler::Totals
+PhaseProfiler::totals(Phase p) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return totals_[static_cast<unsigned>(p)];
+}
+
+Json
+PhaseProfiler::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Json j = Json::object();
+    Json &phases = j["phases"];
+    phases = Json::object();
+    for (unsigned p = 0; p < kPhaseCount; ++p) {
+        const Totals &t = totals_[p];
+        Json &e = phases[phaseName(static_cast<Phase>(p))];
+        e = Json::object();
+        e["wall_seconds"] = t.wall_seconds;
+        e["cpu_seconds"] = t.cpu_seconds;
+        e["count"] = t.count;
+    }
+    return j;
+}
+
+void
+PhaseProfiler::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Totals &t : totals_)
+        t = Totals{};
+}
+
+PhaseProfiler *
+PhaseProfiler::install(PhaseProfiler *p)
+{
+    return g_profiler.exchange(p);
+}
+
+PhaseProfiler *
+PhaseProfiler::current()
+{
+    return g_profiler.load(std::memory_order_relaxed);
+}
+
+double
+threadCpuSeconds()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0.0;
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+    return 0.0;
+#endif
+}
+
+} // namespace tcp

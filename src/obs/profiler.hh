@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Scoped phase profiler: where does a sweep's time actually go?
+ * Every run passes through the same coarse phases — materialize the
+ * trace arena, warm up, measure, finalize, report — and each phase is
+ * wrapped in a ScopedPhase guard that records its wall and thread-CPU
+ * seconds into the process-installed PhaseProfiler.
+ *
+ * Installation follows the TraceSink discipline (one global install
+ * point, null meaning "off"), except the pointer is process-global
+ * rather than thread-local: phases run on BatchRunner workers and
+ * must all land in the submitting harness's profiler. Accumulation
+ * takes a mutex, which is fine because phase transitions are rare
+ * (a handful per job); with no profiler installed a ScopedPhase costs
+ * one atomic load and skips the clock reads entirely.
+ *
+ * Timing is measurement, not simulation: profile output lives next to
+ * wall_clock_seconds in the bench JSON and is explicitly outside the
+ * bit-identity contract that covers every simulated counter.
+ */
+
+#ifndef TCP_OBS_PROFILER_HH
+#define TCP_OBS_PROFILER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "sim/json.hh"
+
+namespace tcp {
+
+/** The coarse lifecycle phases of one run / one sweep. */
+enum class Phase : std::uint8_t
+{
+    Materialize = 0, ///< trace arena synthesis / cache load
+    Warmup,          ///< pre-measurement cache/table population
+    Measure,         ///< the measured instruction window
+    Finalize,        ///< checker/ledger finalize + stats capture
+    Report,          ///< table rendering and JSON serialization
+};
+
+inline constexpr unsigned kPhaseCount = 5;
+
+/** Lower-case phase name ("materialize", ...). */
+const char *phaseName(Phase p);
+
+/** Accumulates per-phase wall/CPU seconds across jobs. */
+class PhaseProfiler
+{
+  public:
+    struct Totals
+    {
+        double wall_seconds = 0.0;
+        double cpu_seconds = 0.0;
+        std::uint64_t count = 0; ///< scopes recorded
+    };
+
+    PhaseProfiler() = default;
+
+    /** Uninstalls itself if it is still the current profiler. */
+    ~PhaseProfiler();
+
+    PhaseProfiler(const PhaseProfiler &) = delete;
+    PhaseProfiler &operator=(const PhaseProfiler &) = delete;
+
+    /** Add one finished scope's times to @p p (thread-safe). */
+    void record(Phase p, double wall_seconds, double cpu_seconds);
+
+    Totals totals(Phase p) const;
+
+    /**
+     * {"phases": {materialize: {wall_seconds, cpu_seconds, count},
+     * ...}} with every phase present (zeros included), in lifecycle
+     * order — the shape tcpreport's `profile` renders.
+     */
+    Json toJson() const;
+
+    void reset();
+
+    /// @name Live view (progress heartbeats)
+    /// @{
+    void enter(Phase p) { ++active_[static_cast<unsigned>(p)]; }
+    void exit(Phase p) { --active_[static_cast<unsigned>(p)]; }
+    unsigned
+    activeCount(Phase p) const
+    {
+        return active_[static_cast<unsigned>(p)].load(
+            std::memory_order_relaxed);
+    }
+    /// @}
+
+    /**
+     * Install @p p as the process profiler (nullptr switches
+     * profiling off). Returns the previous one.
+     */
+    static PhaseProfiler *install(PhaseProfiler *p);
+    static PhaseProfiler *current();
+
+  private:
+    mutable std::mutex mu_;
+    Totals totals_[kPhaseCount];
+    std::atomic<unsigned> active_[kPhaseCount]{};
+};
+
+/** CPU seconds consumed by the calling thread (0 if unsupported). */
+double threadCpuSeconds();
+
+/**
+ * RAII guard timing one phase. Captures the installed profiler at
+ * construction so a scope straddling an uninstall still records into
+ * the profiler that saw it start.
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(Phase p) : profiler_(PhaseProfiler::current()),
+                                    phase_(p)
+    {
+        if (!profiler_)
+            return;
+        profiler_->enter(phase_);
+        wall_start_ = std::chrono::steady_clock::now();
+        cpu_start_ = threadCpuSeconds();
+    }
+
+    ~ScopedPhase()
+    {
+        if (!profiler_)
+            return;
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start_)
+                .count();
+        profiler_->record(phase_, wall,
+                          threadCpuSeconds() - cpu_start_);
+        profiler_->exit(phase_);
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    PhaseProfiler *profiler_;
+    Phase phase_;
+    std::chrono::steady_clock::time_point wall_start_{};
+    double cpu_start_ = 0.0;
+};
+
+} // namespace tcp
+
+#endif // TCP_OBS_PROFILER_HH

@@ -1,0 +1,181 @@
+#include "progress.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+
+#include "obs/profiler.hh"
+#include "util/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace tcp {
+
+ProgressStreamer::ProgressStreamer(const ProgressConfig &config)
+    : config_(config), start_(std::chrono::steady_clock::now())
+{
+    config_.period_seconds = std::max(config_.period_seconds, 0.01);
+    openSink();
+    thread_ = std::thread([this] { loop(); });
+}
+
+ProgressStreamer::~ProgressStreamer()
+{
+    {
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    thread_.join();
+    emit("summary");
+    if (owns_file_ && file_)
+        std::fclose(file_);
+}
+
+void
+ProgressStreamer::openSink()
+{
+    if (config_.sink == "-") {
+        file_ = stderr;
+        return;
+    }
+    if (config_.sink.rfind("fd:", 0) == 0) {
+#if defined(__unix__) || defined(__APPLE__)
+        const int fd = std::atoi(config_.sink.c_str() + 3);
+        // dup so closing our stream never closes the caller's fd.
+        const int mine = ::dup(fd);
+        if (mine >= 0)
+            file_ = ::fdopen(mine, "a");
+        if (!file_)
+            tcp_fatal("--progress: cannot open descriptor '",
+                      config_.sink, "'");
+#else
+        tcp_fatal("--progress: fd: sinks are not supported here");
+#endif
+        owns_file_ = true;
+        return;
+    }
+    file_ = std::fopen(config_.sink.c_str(), "w");
+    if (!file_)
+        tcp_fatal("--progress: cannot open '", config_.sink, "'");
+    owns_file_ = true;
+}
+
+void
+ProgressStreamer::setLabel(const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(label_mu_);
+    config_.label = label;
+}
+
+void
+ProgressStreamer::addTotal(std::uint64_t jobs, std::uint64_t ops)
+{
+    jobs_total_.fetch_add(jobs, std::memory_order_relaxed);
+    ops_total_.fetch_add(ops, std::memory_order_relaxed);
+}
+
+Json
+ProgressStreamer::record(const char *type) const
+{
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    const std::uint64_t total =
+        jobs_total_.load(std::memory_order_relaxed);
+    const std::uint64_t started =
+        jobs_started_.load(std::memory_order_relaxed);
+    const std::uint64_t done =
+        jobs_done_.load(std::memory_order_relaxed);
+    const std::uint64_t ops_total =
+        ops_total_.load(std::memory_order_relaxed);
+    const std::uint64_t ops_done =
+        ops_done_.load(std::memory_order_relaxed);
+
+    Json j = Json::object();
+    j["type"] = type;
+    {
+        std::lock_guard<std::mutex> lock(label_mu_);
+        j["label"] = config_.label;
+    }
+    j["elapsed_seconds"] = elapsed;
+
+    // The deepest phase any worker is currently in, from the
+    // installed profiler; advisory (racy by nature — it's a live
+    // heartbeat, not part of any determinism contract).
+    const char *phase = "idle";
+    if (const PhaseProfiler *prof = PhaseProfiler::current()) {
+        for (unsigned p = 0; p < kPhaseCount; ++p) {
+            if (prof->activeCount(static_cast<Phase>(p)) > 0)
+                phase = phaseName(static_cast<Phase>(p));
+        }
+    }
+    j["phase"] = phase;
+
+    Json &jobs = j["jobs"];
+    jobs = Json::object();
+    jobs["total"] = total;
+    jobs["queued"] = total > started ? total - started : 0;
+    jobs["running"] = started > done ? started - done : 0;
+    jobs["done"] = done;
+
+    Json &ops = j["ops"];
+    ops = Json::object();
+    ops["total"] = ops_total;
+    ops["done"] = ops_done;
+
+    const double ops_rate =
+        elapsed > 0.0 ? static_cast<double>(ops_done) / elapsed : 0.0;
+    j["ops_per_second"] = ops_rate;
+
+    // ETA from op throughput when ops are declared, else from job
+    // completion rate; 0 when there is no signal yet.
+    double eta = 0.0;
+    if (ops_total > ops_done && ops_rate > 0.0) {
+        eta = static_cast<double>(ops_total - ops_done) / ops_rate;
+    } else if (total > done && done > 0 && elapsed > 0.0) {
+        const double job_rate = static_cast<double>(done) / elapsed;
+        eta = static_cast<double>(total - done) / job_rate;
+    }
+    j["eta_seconds"] = eta;
+    return j;
+}
+
+void
+ProgressStreamer::emit(const char *type)
+{
+    Json j = record(type);
+    if (std::string_view(type) == "summary") {
+        if (const PhaseProfiler *prof = PhaseProfiler::current())
+            j["profile"] = prof->toJson();
+    }
+    writeLine(j.dump() + "\n");
+}
+
+void
+ProgressStreamer::writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(io_mu_);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fflush(file_);
+}
+
+void
+ProgressStreamer::loop()
+{
+    const auto period =
+        std::chrono::duration<double>(config_.period_seconds);
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    while (!stop_) {
+        if (wake_.wait_for(lock, period, [this] { return stop_; }))
+            break;
+        lock.unlock();
+        emit("heartbeat");
+        lock.lock();
+    }
+}
+
+} // namespace tcp

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Live progress streaming for BatchRunner sweeps: one NDJSON record
+ * per heartbeat (and one final summary) to a file or file descriptor,
+ * so a long figure sweep is observable while it runs instead of being
+ * a black box until exit. This is the groundwork for the ROADMAP's
+ * tcpsimd daemon, whose live channel streams the same records over a
+ * socket.
+ *
+ * Record shape (one JSON object per line, compact):
+ *   {"type":"heartbeat"|"summary", "label":..., "elapsed_seconds":...,
+ *    "phase":..., "jobs":{"total","queued","running","done"},
+ *    "ops":{"total","done"}, "ops_per_second":..., "eta_seconds":...}
+ * The summary record additionally carries "profile" (the installed
+ * PhaseProfiler's breakdown) when profiling is on.
+ *
+ * Heartbeats come from a background thread so they keep flowing while
+ * every pool worker is deep inside a simulation; job bookkeeping is a
+ * few relaxed atomics, far off any simulation hot path. Each record
+ * is written with a single fwrite under a lock, so lines never
+ * interleave, even with heartbeat and summary emission racing.
+ */
+
+#ifndef TCP_OBS_PROGRESS_HH
+#define TCP_OBS_PROGRESS_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sim/json.hh"
+
+namespace tcp {
+
+/** Where and how often to stream progress records. */
+struct ProgressConfig
+{
+    /**
+     * Sink spec: a file path (truncated at open), "-" for stderr, or
+     * "fd:N" for an inherited file descriptor (the tcpsimd shape).
+     */
+    std::string sink;
+    /** Heartbeat period; clamped to at least 10 ms. */
+    double period_seconds = 1.0;
+    /** Sweep label stamped on every record (settable later). */
+    std::string label;
+};
+
+/** Streams heartbeat/summary NDJSON records for one sweep. */
+class ProgressStreamer
+{
+  public:
+    /** Opens the sink and starts the heartbeat thread. */
+    explicit ProgressStreamer(const ProgressConfig &config);
+
+    /** Emits the final summary record, then closes the sink. */
+    ~ProgressStreamer();
+
+    ProgressStreamer(const ProgressStreamer &) = delete;
+    ProgressStreamer &operator=(const ProgressStreamer &) = delete;
+
+    /** Stamp @p label on subsequent records. */
+    void setLabel(const std::string &label);
+
+    /**
+     * Declare work: @p jobs jobs totalling @p ops simulated ops.
+     * Additive, so a bench with several batches accumulates. Pass
+     * ops=0 when the op count is unknown — ETA then falls back to
+     * the job completion rate.
+     */
+    void addTotal(std::uint64_t jobs, std::uint64_t ops);
+
+    /// @name Worker-side bookkeeping (thread-safe, lock-free)
+    /// @{
+    void
+    jobStarted()
+    {
+        jobs_started_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    jobFinished(std::uint64_t ops)
+    {
+        ops_done_.fetch_add(ops, std::memory_order_relaxed);
+        jobs_done_.fetch_add(1, std::memory_order_relaxed);
+    }
+    /// @}
+
+    /** Build one record (also the unit the schema tests validate). */
+    Json record(const char *type) const;
+
+    /** Write one record immediately (on top of the periodic ones). */
+    void emit(const char *type);
+
+  private:
+    void openSink();
+    void writeLine(const std::string &line);
+    void loop();
+
+    ProgressConfig config_;
+    std::FILE *file_ = nullptr;
+    bool owns_file_ = false;
+    std::chrono::steady_clock::time_point start_;
+
+    std::atomic<std::uint64_t> jobs_total_{0};
+    std::atomic<std::uint64_t> jobs_started_{0};
+    std::atomic<std::uint64_t> jobs_done_{0};
+    std::atomic<std::uint64_t> ops_total_{0};
+    std::atomic<std::uint64_t> ops_done_{0};
+
+    mutable std::mutex label_mu_;
+    std::mutex io_mu_;
+
+    std::mutex wake_mu_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+} // namespace tcp
+
+#endif // TCP_OBS_PROGRESS_HH

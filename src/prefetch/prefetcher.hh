@@ -21,6 +21,8 @@
 
 namespace tcp {
 
+struct SimMetrics;
+
 /** Context handed to a prefetcher on every L1-D demand access. */
 struct AccessContext
 {
@@ -164,6 +166,21 @@ class Prefetcher
      * true, or they will never see the access stream.
      */
     virtual bool observesAccesses() const { return false; }
+
+    /**
+     * Attach the sweep-telemetry sink (src/obs/metrics), or nullptr
+     * to detach. Engines with distribution-worthy internal behavior
+     * (TCP's PHT/THT hit-run lengths) override this; the default
+     * ignores it, so telemetry is opt-in per engine and free
+     * elsewhere.
+     */
+    virtual void setMetrics(SimMetrics *metrics) { (void)metrics; }
+
+    /**
+     * Flush any partially accumulated telemetry (e.g. an open hit
+     * run) at the end of the measured window. Default: nothing.
+     */
+    virtual void flushMetrics() {}
 
     /** Engine name for reports. */
     const std::string &name() const { return name_; }

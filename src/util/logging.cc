@@ -1,24 +1,56 @@
 #include "logging.hh"
 
+#include <cstdio>
+#include <string>
+
 namespace tcp {
 
 namespace detail {
 
 bool quiet = false;
 
+namespace {
+
+/**
+ * Emit one complete message with a single fwrite. BatchRunner workers
+ * log concurrently; composing the whole line first (instead of
+ * streaming prefix/message/newline as separate inserts, the way
+ * std::cerr << a << b << std::endl does) means stdio's internal lock
+ * keeps messages from different threads from interleaving mid-line.
+ */
+void
+writeWhole(std::string_view prefix, const std::string &msg,
+           const std::string &suffix = "\n")
+{
+    std::string line;
+    line.reserve(prefix.size() + msg.size() + suffix.size());
+    line.append(prefix);
+    line.append(msg);
+    line.append(suffix);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
+std::string
+locationSuffix(const char *file, int line)
+{
+    return "\n  at " + std::string(file) + ":" + std::to_string(line) +
+           "\n";
+}
+
+} // namespace
+
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
-              << std::endl;
+    writeWhole("panic: ", msg, locationSuffix(file, line));
     std::abort();
 }
 
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
-              << std::endl;
+    writeWhole("fatal: ", msg, locationSuffix(file, line));
     std::exit(1);
 }
 
@@ -26,14 +58,14 @@ void
 warnImpl(const std::string &msg)
 {
     if (!quiet)
-        std::cerr << "warn: " << msg << std::endl;
+        writeWhole("warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
     if (!quiet)
-        std::cerr << "info: " << msg << std::endl;
+        writeWhole("info: ", msg);
 }
 
 } // namespace detail

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Tests for the sweep-telemetry stack (src/obs): histogram bucket
+ * edges over the full u64 range, shard-merge determinism, the
+ * phase profiler, progress NDJSON schema, and — the contract that
+ * matters — bit-identical metrics snapshots at any --jobs count,
+ * clean under the differential checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/batch.hh"
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
+#include "obs/progress.hh"
+#include "sim/json.hh"
+
+namespace tcp {
+namespace {
+
+/** RAII temp directory for the progress-stream tests. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("tcp_metrics_test_" + std::to_string(::getpid()) +
+                  "_" + std::to_string(counter_++)))
+                    .string();
+        std::filesystem::create_directories(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    static inline int counter_ = 0;
+    std::string path_;
+};
+
+// ------------------------------------------------------------ histogram
+
+TEST(MetricHistTest, BucketEdges)
+{
+    // Bucket 0 holds the value 0 exactly; bucket b holds
+    // [2^(b-1), 2^b). The extremes must land in real buckets.
+    EXPECT_EQ(MetricHistData::bucketOf(0), 0u);
+    EXPECT_EQ(MetricHistData::bucketOf(1), 1u);
+    EXPECT_EQ(MetricHistData::bucketOf(2), 2u);
+    EXPECT_EQ(MetricHistData::bucketOf(3), 2u);
+    EXPECT_EQ(MetricHistData::bucketOf(4), 3u);
+    EXPECT_EQ(MetricHistData::bucketOf((1ull << 63) - 1), 63u);
+    EXPECT_EQ(MetricHistData::bucketOf(1ull << 63), 64u);
+    EXPECT_EQ(MetricHistData::bucketOf(~std::uint64_t{0}), 64u);
+}
+
+TEST(MetricHistTest, RecordExtremes)
+{
+    MetricHistData h;
+    h.record(0);
+    h.record(1);
+    h.record(~std::uint64_t{0});
+    EXPECT_EQ(h.total, 3u);
+    EXPECT_EQ(h.min, 0u);
+    EXPECT_EQ(h.max, ~std::uint64_t{0});
+    EXPECT_EQ(h.buckets[0], 1u);
+    EXPECT_EQ(h.buckets[1], 1u);
+    EXPECT_EQ(h.buckets[64], 1u);
+}
+
+TEST(MetricHistTest, QuantileBounds)
+{
+    MetricHistData empty;
+    EXPECT_EQ(empty.quantileBound(0.5), 0u);
+
+    MetricHistData h;
+    for (int i = 0; i < 90; ++i)
+        h.record(3); // bucket 2: [2, 4)
+    for (int i = 0; i < 10; ++i)
+        h.record(1000); // bucket 10: [512, 1024)
+    EXPECT_EQ(h.quantileBound(0.50), 4u);
+    EXPECT_EQ(h.quantileBound(0.90), 4u);
+    EXPECT_EQ(h.quantileBound(0.99), 1024u);
+
+    MetricHistData top;
+    top.record(~std::uint64_t{0});
+    EXPECT_EQ(top.quantileBound(0.5), ~std::uint64_t{0});
+}
+
+TEST(MetricHistTest, JsonTrimsBuckets)
+{
+    MetricHistData h;
+    h.record(5); // bucket 3
+    const Json j = h.toJson();
+    EXPECT_EQ(j.at("total").asUint(), 1u);
+    EXPECT_EQ(j.at("sum").asUint(), 5u);
+    EXPECT_EQ(j.at("buckets").size(), 4u); // trimmed after bucket 3
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent)
+{
+    MetricsRegistry reg;
+    const MetricId a = reg.counter("c", "a counter");
+    const MetricId b = reg.counter("c", "a counter");
+    EXPECT_EQ(a.slot, b.slot);
+    const MetricId h = reg.histogram("h", "a histogram");
+    EXPECT_TRUE(h.valid());
+}
+
+TEST(MetricsRegistryTest, SnapshotMergeIsDeterministic)
+{
+    // The same multiset of events split across different shard counts
+    // (written from different threads) must serialize bit-identically
+    // to the sequential single-shard reference.
+    const auto run = [](unsigned shards) {
+        MetricsRegistry reg;
+        const MetricId c = reg.counter("events", "");
+        const MetricId g = reg.gauge("level", "");
+        const MetricId h = reg.histogram("lat", "");
+        std::vector<MetricsRegistry::Shard *> s;
+        for (unsigned i = 0; i < shards; ++i)
+            s.push_back(&reg.shard());
+        std::vector<std::thread> threads;
+        for (unsigned i = 0; i < shards; ++i) {
+            threads.emplace_back([&, i] {
+                for (std::uint64_t v = i; v < 1000; v += shards) {
+                    s[i]->add(c, v);
+                    s[i]->set(g, 42); // same level from every shard
+                    s[i]->observe(h, v * 7);
+                }
+            });
+        }
+        for (auto &t : threads)
+            t.join();
+        return reg.snapshotJson().dump();
+    };
+
+    const std::string one = run(1);
+    EXPECT_EQ(one, run(4));
+    EXPECT_EQ(one, run(8));
+}
+
+TEST(MetricsRegistryTest, GaugesMergeByMax)
+{
+    MetricsRegistry reg;
+    const MetricId g = reg.gauge("peak", "");
+    reg.shard().set(g, 7);
+    reg.shard().set(g, 3);
+    const Json snap = reg.snapshotJson();
+    EXPECT_EQ(snap.at("gauges").at("peak").asUint(), 7u);
+}
+
+// ------------------------------------------------------------- profiler
+
+TEST(PhaseProfilerTest, RecordsAndSerializes)
+{
+    PhaseProfiler prof;
+    prof.record(Phase::Measure, 1.5, 1.25);
+    prof.record(Phase::Measure, 0.5, 0.25);
+    const auto t = prof.totals(Phase::Measure);
+    EXPECT_DOUBLE_EQ(t.wall_seconds, 2.0);
+    EXPECT_DOUBLE_EQ(t.cpu_seconds, 1.5);
+    EXPECT_EQ(t.count, 2u);
+
+    const Json j = prof.toJson();
+    const Json &phases = j.at("phases");
+    // Every phase present, lifecycle order.
+    const char *expect[] = {"materialize", "warmup", "measure",
+                            "finalize", "report"};
+    std::size_t i = 0;
+    for (const auto &[name, p] : phases.members()) {
+        ASSERT_LT(i, 5u);
+        EXPECT_EQ(name, expect[i++]);
+        EXPECT_TRUE(p.find("wall_seconds"));
+        EXPECT_TRUE(p.find("cpu_seconds"));
+        EXPECT_TRUE(p.find("count"));
+    }
+    EXPECT_EQ(i, 5u);
+}
+
+TEST(PhaseProfilerTest, ScopedPhaseRecordsIntoInstalled)
+{
+    PhaseProfiler prof;
+    PhaseProfiler *prev = PhaseProfiler::install(&prof);
+    {
+        ScopedPhase scope(Phase::Finalize);
+        EXPECT_EQ(prof.activeCount(Phase::Finalize), 1u);
+    }
+    PhaseProfiler::install(prev);
+    EXPECT_EQ(prof.activeCount(Phase::Finalize), 0u);
+    EXPECT_EQ(prof.totals(Phase::Finalize).count, 1u);
+    // With nothing installed, a scope is a no-op.
+    ScopedPhase idle(Phase::Report);
+}
+
+// ------------------------------------------------------------- progress
+
+TEST(ProgressStreamerTest, NdjsonSchema)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/progress.ndjson";
+    {
+        ProgressConfig cfg;
+        cfg.sink = path;
+        cfg.period_seconds = 3600; // heartbeats only on demand
+        cfg.label = "schema-test";
+        ProgressStreamer stream(cfg);
+        stream.addTotal(4, 4000);
+        stream.jobStarted();
+        stream.jobFinished(1000);
+        stream.emit("heartbeat");
+    } // destructor emits the summary and closes the sink
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::vector<Json> records;
+    while (std::getline(in, line)) {
+        ASSERT_FALSE(line.empty());
+        records.push_back(Json::parse(line));
+    }
+    ASSERT_GE(records.size(), 2u); // the heartbeat + the summary
+
+    for (const Json &r : records) {
+        EXPECT_TRUE(r.find("type"));
+        EXPECT_EQ(r.at("label").asString(), "schema-test");
+        EXPECT_TRUE(r.find("elapsed_seconds"));
+        EXPECT_TRUE(r.find("phase"));
+        const Json &jobs = r.at("jobs");
+        EXPECT_EQ(jobs.at("total").asUint(), 4u);
+        EXPECT_TRUE(jobs.find("queued"));
+        EXPECT_TRUE(jobs.find("running"));
+        EXPECT_EQ(jobs.at("done").asUint(), 1u);
+        const Json &ops = r.at("ops");
+        EXPECT_EQ(ops.at("total").asUint(), 4000u);
+        EXPECT_EQ(ops.at("done").asUint(), 1000u);
+        EXPECT_TRUE(r.find("ops_per_second"));
+        EXPECT_TRUE(r.find("eta_seconds"));
+    }
+    EXPECT_EQ(records.front().at("type").asString(), "heartbeat");
+    EXPECT_EQ(records.back().at("type").asString(), "summary");
+}
+
+// -------------------------------------------------- end-to-end contract
+
+std::vector<RunSpec>
+contractSpecs(bool per_run_metrics, MetricsRegistry *shared)
+{
+    std::vector<RunSpec> specs;
+    for (const char *workload : {"gzip", "swim", "mcf"}) {
+        RunSpec spec;
+        spec.workload = workload;
+        spec.engine = "tcp8k";
+        spec.instructions = 20000;
+        spec.metrics = per_run_metrics;
+        spec.shared_metrics = shared;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+TEST(MetricsContractTest, SharedSnapshotBitIdenticalAcrossJobs)
+{
+    // The headline acceptance test: the sweep-level metrics snapshot
+    // must serialize bit-identically whether the batch ran on 1
+    // worker or 8.
+    const auto sweep = [](unsigned jobs) {
+        MetricsRegistry reg;
+        std::vector<RunSpec> specs = contractSpecs(false, &reg);
+        attachArenas(specs);
+        BatchRunner runner(jobs);
+        runner.run(specs);
+        return reg.snapshotJson().dump();
+    };
+    const std::string one = sweep(1);
+    EXPECT_EQ(one, sweep(8));
+}
+
+TEST(MetricsContractTest, PerRunSnapshotsBitIdenticalAcrossJobs)
+{
+    const auto sweep = [](unsigned jobs) {
+        std::vector<RunSpec> specs = contractSpecs(true, nullptr);
+        attachArenas(specs);
+        BatchRunner runner(jobs);
+        std::vector<std::string> dumps;
+        for (const RunResult &r : runner.run(specs)) {
+            EXPECT_FALSE(r.metrics.isNull());
+            dumps.push_back(r.metrics.dump());
+        }
+        return dumps;
+    };
+    EXPECT_EQ(sweep(1), sweep(8));
+}
+
+TEST(MetricsContractTest, MeasuredWindowMatchesRunCounters)
+{
+    // Telemetry attaches at the warmup boundary, so its demand-miss
+    // counter must equal the (post-warmup-reset) l1d_misses stat.
+    RunSpec spec;
+    spec.workload = "gzip";
+    spec.engine = "tcp8k";
+    spec.instructions = 20000;
+    spec.metrics = true;
+    const RunResult r = runSpec(spec);
+    ASSERT_FALSE(r.metrics.isNull());
+    EXPECT_EQ(
+        r.metrics.at("counters").at("demand_misses").asUint(),
+        r.l1d_misses);
+    const Json &hist =
+        r.metrics.at("histograms").at("demand_miss_latency");
+    EXPECT_EQ(hist.at("total").asUint(), r.l1d_misses);
+}
+
+TEST(MetricsContractTest, CleanUnderDifferentialCheck)
+{
+    // Attaching telemetry must not perturb the simulation: the
+    // differential checker panics on the first divergence.
+    RunSpec spec;
+    spec.workload = "gzip";
+    spec.engine = "tcp8k";
+    spec.instructions = 10000;
+    spec.metrics = true;
+    spec.check = true;
+    const RunResult r = runSpec(spec);
+    EXPECT_FALSE(r.metrics.isNull());
+    EXPECT_GT(r.core.instructions, 0u);
+}
+
+TEST(MetricsContractTest, MetricsDoNotChangeSimulation)
+{
+    // A run with telemetry attached must produce exactly the counters
+    // of a run without it.
+    RunSpec plain;
+    plain.workload = "swim";
+    plain.engine = "tcp8k";
+    plain.instructions = 20000;
+    RunSpec instrumented = plain;
+    instrumented.metrics = true;
+    const RunResult a = runSpec(plain);
+    const RunResult b = runSpec(instrumented);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.l1d_misses, b.l1d_misses);
+    EXPECT_EQ(a.pf_issued, b.pf_issued);
+    EXPECT_EQ(a.pf_useful, b.pf_useful);
+}
+
+} // namespace
+} // namespace tcp

@@ -9,10 +9,20 @@
  *   tcpreport diff     compare two run records numerically; exits
  *                      nonzero when any value differs beyond the
  *                      tolerance — the CI metrics regression gate
+ *                      (--hist quantiles gates histograms on their
+ *                      p50/p90/p99/max instead of raw buckets)
+ *   tcpreport profile  phase breakdown (wall/CPU seconds) of the
+ *                      "profile" block a bench report or tcpsim
+ *                      stats record carries
+ *   tcpreport hist     every histogram in a record, summarised as
+ *                      total/p50/p90/p99/max
+ *   tcpreport progress one-line summary of a --progress NDJSON
+ *                      stream (jobs, ops/s, phase breakdown)
  *
  * Every subcommand accepts --help.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
@@ -63,6 +73,111 @@ hex(std::uint64_t v)
     std::ostringstream oss;
     oss << "0x" << std::hex << v;
     return oss.str();
+}
+
+/**
+ * Consume a leading positional argument (the record path) so the
+ * newer subcommands read like "tcpreport profile run.json". Returns
+ * "" when the first argument is a flag; the caller then falls back
+ * to its --stats-json flag.
+ */
+std::string
+takePositional(int &argc, char **&argv)
+{
+    if (argc >= 2 && argv[1][0] != '-') {
+        const std::string path = argv[1];
+        argc -= 1;
+        argv += 1;
+        return path;
+    }
+    return "";
+}
+
+// ----------------------------------------------------------- histograms
+
+/**
+ * A histogram-shaped object: the log2-bucketed records
+ * MetricHistData::toJson and the ledger distance histograms emit.
+ */
+bool
+isHistogram(const Json &v)
+{
+    return v.type() == Json::Type::Object && v.find("total") &&
+           v.find("buckets");
+}
+
+/** Upper bound of log2 bucket @p b (0, then [2^(b-1), 2^b)). */
+std::uint64_t
+bucketBound(std::size_t b)
+{
+    if (b == 0)
+        return 0;
+    if (b >= 64)
+        return ~std::uint64_t{0};
+    return std::uint64_t{1} << b;
+}
+
+/**
+ * Quantile bound of a histogram record: the embedded value (pNN key)
+ * when the writer stamped one, else derived from the bucket counts
+ * assuming log2 edges — same walk as MetricHistData::quantileBound.
+ */
+std::uint64_t
+histQuantile(const Json &h, const std::string &key, double q)
+{
+    if (const Json *v = h.find(key); v && v->isNumber())
+        return v->asUint();
+    const Json *buckets = h.find("buckets");
+    const std::uint64_t total = uintOr0(h, "total");
+    if (!buckets || buckets->type() != Json::Type::Array || !total)
+        return 0;
+    const std::uint64_t rank = std::clamp<std::uint64_t>(
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(
+                                                     total))),
+        1, total);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < buckets->size(); ++b) {
+        cum += buckets->at(b).asUint();
+        if (cum >= rank)
+            return bucketBound(b);
+    }
+    return bucketBound(buckets->size() ? buckets->size() - 1 : 0);
+}
+
+/** Max observed value: embedded "max", else the top bucket's bound. */
+std::uint64_t
+histMax(const Json &h)
+{
+    if (const Json *v = h.find("max"); v && v->isNumber())
+        return v->asUint();
+    const Json *buckets = h.find("buckets");
+    if (!buckets || buckets->type() != Json::Type::Array)
+        return 0;
+    for (std::size_t b = buckets->size(); b-- > 0;)
+        if (buckets->at(b).asUint())
+            return bucketBound(b);
+    return 0;
+}
+
+/** Depth-first walk collecting every histogram under @p v. */
+void
+collectHistograms(
+    const Json &v, const std::string &path,
+    std::vector<std::pair<std::string, const Json *>> &out)
+{
+    if (v.type() == Json::Type::Object) {
+        if (isHistogram(v)) {
+            out.push_back({path, &v});
+            return;
+        }
+        for (const auto &[key, value] : v.members())
+            collectHistograms(
+                value, path.empty() ? key : path + "." + key, out);
+    } else if (v.type() == Json::Type::Array) {
+        for (std::size_t i = 0; i < v.size(); ++i)
+            collectHistograms(
+                v.at(i), path + "[" + std::to_string(i) + "]", out);
+    }
 }
 
 // ---------------------------------------------------------------- report
@@ -242,6 +357,175 @@ cmdReport(int argc, char **argv)
     return 0;
 }
 
+// --------------------------------------------------------------- profile
+
+int
+cmdProfile(int argc, char **argv)
+{
+    std::string path = takePositional(argc, argv);
+    ArgParser args;
+    args.addFlag("stats-json", "",
+                 "record to read (alternative to the positional path)");
+    args.parse(argc, argv);
+    if (path.empty())
+        path = args.getString("stats-json");
+    if (path.empty())
+        tcp_fatal("tcpreport profile: pass a record path (or "
+                  "--stats-json)");
+
+    const Json doc = loadRecord(path);
+    const Json *profile = doc.find("profile");
+    const Json *phases = profile ? profile->find("phases") : nullptr;
+    if (!phases)
+        tcp_fatal("tcpreport profile: '", path,
+                  "' has no profile block (bench --json reports and "
+                  "tcpsim --stats-json records carry one)");
+
+    double total_wall = 0.0;
+    double total_cpu = 0.0;
+    std::uint64_t total_count = 0;
+    for (const auto &[name, p] : phases->members()) {
+        total_wall += doubleOr0(p, "wall_seconds");
+        total_cpu += doubleOr0(p, "cpu_seconds");
+        total_count += uintOr0(p, "count");
+    }
+
+    TextTable table("phase profile: " + path);
+    table.setHeader({"phase", "wall s", "cpu s", "count", "share"});
+    for (const auto &[name, p] : phases->members()) {
+        const double wall = doubleOr0(p, "wall_seconds");
+        table.addRow({name, formatDouble(wall, 3),
+                      formatDouble(doubleOr0(p, "cpu_seconds"), 3),
+                      std::to_string(uintOr0(p, "count")),
+                      formatPercent(
+                          total_wall > 0.0 ? wall / total_wall : 0.0,
+                          1)});
+    }
+    table.addRow({"total", formatDouble(total_wall, 3),
+                  formatDouble(total_cpu, 3),
+                  std::to_string(total_count), "100%"});
+    std::cout << table.render();
+    if (const Json *wall = doc.find("wall_clock_seconds"))
+        std::cout << "\nwall clock: "
+                  << formatDouble(wall->asDouble(), 3) << "s\n";
+    return 0;
+}
+
+// ------------------------------------------------------------------ hist
+
+int
+cmdHist(int argc, char **argv)
+{
+    std::string path = takePositional(argc, argv);
+    ArgParser args;
+    args.addFlag("stats-json", "",
+                 "record to read (alternative to the positional path)");
+    args.parse(argc, argv);
+    if (path.empty())
+        path = args.getString("stats-json");
+    if (path.empty())
+        tcp_fatal("tcpreport hist: pass a record path (or "
+                  "--stats-json)");
+
+    const Json doc = loadRecord(path);
+    std::vector<std::pair<std::string, const Json *>> hists;
+    collectHistograms(doc, "", hists);
+    if (hists.empty()) {
+        std::cout << "no histograms in " << path
+                  << " (record with --metrics / --ledger)\n";
+        return 0;
+    }
+
+    TextTable table("histograms: " + path);
+    table.setHeader(
+        {"histogram", "total", "p50", "p90", "p99", "max"});
+    for (const auto &[name, h] : hists) {
+        table.addRow({name, std::to_string(uintOr0(*h, "total")),
+                      std::to_string(histQuantile(*h, "p50", 0.50)),
+                      std::to_string(histQuantile(*h, "p90", 0.90)),
+                      std::to_string(histQuantile(*h, "p99", 0.99)),
+                      std::to_string(histMax(*h))});
+    }
+    std::cout << table.render();
+    return 0;
+}
+
+// -------------------------------------------------------------- progress
+
+/** Human throughput/count: 12.3G, 4.2M, 7.1k, 512. */
+std::string
+formatCount(double v)
+{
+    if (v >= 1e9)
+        return formatDouble(v / 1e9, 1) + "G";
+    if (v >= 1e6)
+        return formatDouble(v / 1e6, 1) + "M";
+    if (v >= 1e3)
+        return formatDouble(v / 1e3, 1) + "k";
+    return formatDouble(v, 0);
+}
+
+int
+cmdProgress(int argc, char **argv)
+{
+    std::string path = takePositional(argc, argv);
+    ArgParser args;
+    args.addFlag("file", "",
+                 "NDJSON stream to read (alternative to the "
+                 "positional path)");
+    args.parse(argc, argv);
+    if (path.empty())
+        path = args.getString("file");
+    if (path.empty())
+        tcp_fatal("tcpreport progress: pass an NDJSON path (or "
+                  "--file)");
+
+    // The stream's last record wins; the summary (emitted when the
+    // streamer shuts down) carries the phase profile.
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        tcp_fatal("tcpreport progress: cannot open '", path, "'");
+    Json last;
+    std::string line;
+    std::size_t records = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        last = Json::parse(line);
+        ++records;
+    }
+    if (!records)
+        tcp_fatal("tcpreport progress: '", path, "' has no records");
+
+    const Json *jobs = last.find("jobs");
+    const Json *ops = last.find("ops");
+    const Json *label = last.find("label");
+    std::ostringstream out;
+    out << (label && !label->asString().empty() ? label->asString()
+                                                : path)
+        << ": " << (jobs ? uintOr0(*jobs, "done") : 0) << "/"
+        << (jobs ? uintOr0(*jobs, "total") : 0) << " jobs, "
+        << formatCount(
+               static_cast<double>(ops ? uintOr0(*ops, "done") : 0))
+        << " ops in "
+        << formatDouble(doubleOr0(last, "elapsed_seconds"), 2) << "s ("
+        << formatCount(doubleOr0(last, "ops_per_second"))
+        << " ops/s)";
+    if (const Json *profile = last.find("profile")) {
+        if (const Json *phases = profile->find("phases")) {
+            out << " |";
+            for (const auto &[name, p] : phases->members())
+                if (uintOr0(p, "count"))
+                    out << " " << name << " "
+                        << formatDouble(doubleOr0(p, "wall_seconds"),
+                                        2)
+                        << "s";
+        }
+    }
+    std::cout << out.str() << "\n";
+    return 0;
+}
+
 // ------------------------------------------------------------------ diff
 
 /** One numeric/structural difference between the two records. */
@@ -297,9 +581,51 @@ numbersMatch(const Json &a, const Json &b, double tolerance)
     return std::fabs(da - db) <= tolerance * scale;
 }
 
+void diffValues(const Json &a, const Json &b, const std::string &path,
+                double tolerance, bool hist_quantiles,
+                std::vector<Difference> &out);
+
+/**
+ * Histogram comparison for --hist quantiles: gate on the summary
+ * statistics (total and the p50/p90/p99/max bounds) at the numeric
+ * tolerance instead of demanding bit-identical buckets, so a
+ * latency-distribution regression fails CI while benign per-bucket
+ * jitter inside the same quantile bound does not.
+ */
+void
+diffHistQuantiles(const Json &a, const Json &b, const std::string &path,
+                  double tolerance, std::vector<Difference> &out)
+{
+    struct Stat
+    {
+        const char *name;
+        std::uint64_t va;
+        std::uint64_t vb;
+    };
+    const Stat stats[] = {
+        {"total", uintOr0(a, "total"), uintOr0(b, "total")},
+        {"p50", histQuantile(a, "p50", 0.50),
+         histQuantile(b, "p50", 0.50)},
+        {"p90", histQuantile(a, "p90", 0.90),
+         histQuantile(b, "p90", 0.90)},
+        {"p99", histQuantile(a, "p99", 0.99),
+         histQuantile(b, "p99", 0.99)},
+        {"max", histMax(a), histMax(b)},
+    };
+    for (const Stat &s : stats) {
+        const double da = static_cast<double>(s.va);
+        const double db = static_cast<double>(s.vb);
+        const double scale = std::max(std::fabs(da), std::fabs(db));
+        if (std::fabs(da - db) > tolerance * scale)
+            out.push_back({path + "." + s.name, std::to_string(s.va),
+                           std::to_string(s.vb)});
+    }
+}
+
 void
 diffValues(const Json &a, const Json &b, const std::string &path,
-           double tolerance, std::vector<Difference> &out)
+           double tolerance, bool hist_quantiles,
+           std::vector<Difference> &out)
 {
     if (a.isNumber() && b.isNumber()) {
         if (!numbersMatch(a, b, tolerance))
@@ -310,23 +636,33 @@ diffValues(const Json &a, const Json &b, const std::string &path,
         out.push_back({path, scalarRepr(a), scalarRepr(b)});
         return;
     }
+    if (hist_quantiles && isHistogram(a) && isHistogram(b)) {
+        diffHistQuantiles(a, b, path, tolerance, out);
+        return;
+    }
     switch (a.type()) {
     case Json::Type::Object: {
         // Walk the union of keys so additions/removals surface too.
-        // The top-level "build" block is provenance, not results —
-        // records from different builds must still compare equal.
+        // The top-level "build" block is provenance and "profile" is
+        // wall/CPU timing — neither is a simulation result, and both
+        // legitimately differ between otherwise identical records.
+        const auto skip = [&](const std::string &key) {
+            return path.empty() &&
+                   (key == "build" || key == "profile");
+        };
         for (const auto &[key, value] : a.members()) {
-            if (path.empty() && key == "build")
+            if (skip(key))
                 continue;
             const std::string sub =
                 path.empty() ? key : path + "." + key;
             if (const Json *bv = b.find(key))
-                diffValues(value, *bv, sub, tolerance, out);
+                diffValues(value, *bv, sub, tolerance, hist_quantiles,
+                           out);
             else
                 out.push_back({sub, scalarRepr(value), "(absent)"});
         }
         for (const auto &[key, value] : b.members())
-            if (!a.contains(key) && !(path.empty() && key == "build"))
+            if (!a.contains(key) && !skip(key))
                 out.push_back({path.empty() ? key : path + "." + key,
                                "(absent)", scalarRepr(value)});
         return;
@@ -336,7 +672,7 @@ diffValues(const Json &a, const Json &b, const std::string &path,
         for (std::size_t i = 0; i < n; ++i)
             diffValues(a.at(i), b.at(i),
                        path + "[" + std::to_string(i) + "]", tolerance,
-                       out);
+                       hist_quantiles, out);
         for (std::size_t i = n; i < a.size(); ++i)
             out.push_back({path + "[" + std::to_string(i) + "]",
                            scalarRepr(a.at(i)), "(absent)"});
@@ -400,6 +736,10 @@ cmdDiff(int argc, char **argv)
                  "(0 = exact; integers always exact at 0)");
     args.addFlag("max-report", "20",
                  "differences to print before truncating");
+    args.addFlag("hist", "exact",
+                 "histogram gating: 'exact' compares raw buckets, "
+                 "'quantiles' gates on total/p50/p90/p99/max at the "
+                 "numeric tolerance");
     args.parse(argc, argv);
 
     const std::string path_a = args.getString("a");
@@ -410,6 +750,10 @@ cmdDiff(int argc, char **argv)
     if (tolerance < 0.0)
         tcp_fatal("tcpreport diff: --tolerance must be >= 0");
     const std::size_t max_report = args.getUint("max-report");
+    const std::string hist_mode = args.getString("hist");
+    if (hist_mode != "exact" && hist_mode != "quantiles")
+        tcp_fatal("tcpreport diff: --hist must be exact or "
+                  "quantiles, not '", hist_mode, "'");
 
     const Json a = loadRecord(path_a);
     const Json b = loadRecord(path_b);
@@ -417,7 +761,7 @@ cmdDiff(int argc, char **argv)
     printHeadline(a, b);
 
     std::vector<Difference> diffs;
-    diffValues(a, b, "", tolerance, diffs);
+    diffValues(a, b, "", tolerance, hist_mode == "quantiles", diffs);
     if (diffs.empty()) {
         std::cout << "\nrecords match (tolerance "
                   << formatDouble(tolerance, 6) << ")\n";
@@ -449,9 +793,17 @@ usage()
         "  report --stats-json <file> [--top N]\n"
         "      render one tcpsim --stats-json record as text tables\n"
         "  diff --a <file> --b <file> [--tolerance T] "
-        "[--max-report N]\n"
+        "[--max-report N] [--hist exact|quantiles]\n"
         "      compare two records; exit 1 when any value differs\n"
-        "      beyond the tolerance (the CI metrics gate)\n"
+        "      beyond the tolerance (the CI metrics gate). --hist\n"
+        "      quantiles gates histograms on total/p50/p90/p99/max\n"
+        "  profile <file>\n"
+        "      phase breakdown (wall/CPU seconds, counts) from the\n"
+        "      record's profile block\n"
+        "  hist <file>\n"
+        "      every histogram in the record as total/p50/p90/p99/max\n"
+        "  progress <file.ndjson>\n"
+        "      one-line summary of a --progress stream\n"
         "\n"
         "Every subcommand accepts --help.\n";
 }
@@ -472,6 +824,12 @@ main(int argc, char **argv)
         return cmdReport(argc, argv);
     if (cmd == "diff")
         return cmdDiff(argc, argv);
+    if (cmd == "profile")
+        return cmdProfile(argc, argv);
+    if (cmd == "hist")
+        return cmdHist(argc, argv);
+    if (cmd == "progress")
+        return cmdProgress(argc, argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
         usage();
         return 0;

@@ -15,6 +15,8 @@
  */
 
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,9 @@
 #include "analysis/reuse_distance.hh"
 #include "harness/batch.hh"
 #include "harness/runner.hh"
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
+#include "obs/progress.hh"
 #include "sim/json.hh"
 #include "sim/trace_sink.hh"
 #include "trace/trace_file.hh"
@@ -42,6 +47,31 @@ addCommonFlags(ArgParser &args)
     args.addFlag("seed", "1", "workload stream seed");
 }
 
+/** Flags of any command that can stream live progress heartbeats. */
+void
+addProgressFlags(ArgParser &args)
+{
+    args.addFlag("progress", "",
+                 "stream live NDJSON progress records to this sink "
+                 "(a file path, '-' for stderr, or 'fd:N')");
+    args.addFlag("progress-period", "1",
+                 "progress heartbeat period in seconds");
+}
+
+/** Build the --progress streamer, or null when the flag is unset. */
+std::shared_ptr<ProgressStreamer>
+makeProgress(const ArgParser &args, const std::string &label)
+{
+    const std::string sink = args.getString("progress");
+    if (sink.empty())
+        return nullptr;
+    ProgressConfig cfg;
+    cfg.sink = sink;
+    cfg.period_seconds = args.getDouble("progress-period");
+    cfg.label = label;
+    return std::make_shared<ProgressStreamer>(cfg);
+}
+
 /** Flags of the multi-run commands (compare / suite / sweep). */
 void
 addBatchFlags(ArgParser &args)
@@ -51,21 +81,29 @@ addBatchFlags(ArgParser &args)
     args.addFlag("arena", "1",
                  "materialize each workload stream once and share it "
                  "across runs (0 = synthesize per run)");
+    addProgressFlags(args);
 }
 
 /**
  * Run a multi-run command's specs: one shared arena per workload
  * (unless --arena 0), on a --jobs worker pool. Results come back in
  * submission order, bit-identical to a sequential runNamed() loop.
+ * The profiler is installed by the caller so its lifetime spans the
+ * progress streamer's final summary.
  */
 std::vector<RunResult>
-runCommandBatch(const ArgParser &args, std::vector<RunSpec> specs)
+runCommandBatch(const ArgParser &args, std::vector<RunSpec> specs,
+                const std::string &label)
 {
+    PhaseProfiler profiler;
+    PhaseProfiler::install(&profiler);
+    std::shared_ptr<ProgressStreamer> progress =
+        makeProgress(args, label);
     if (args.getUint("arena") != 0)
         attachArenas(specs);
     BatchRunner runner(
         static_cast<unsigned>(args.getUint("jobs")));
-    return runner.run(specs);
+    return runner.run(specs, progress.get());
 }
 
 /** Register the observability flags shared by run and replay. */
@@ -83,6 +121,10 @@ addObservabilityFlags(ArgParser &args)
     args.addFlag("check", "false",
                  "run under the differential checker (panic with a "
                  "replayable report on the first divergence)");
+    args.addFlag("metrics", "false",
+                 "record run telemetry (latency/occupancy/hit-run "
+                 "histograms) into the stats JSON");
+    addProgressFlags(args);
 }
 
 /** Render the ledger outcome breakdown of a run, if it has one. */
@@ -159,12 +201,31 @@ cmdRun(int argc, char **argv, const std::string &workload_override = "")
 
     TraceSink sink;
     ScopedTraceSink installed(trace_out.empty() ? nullptr : &sink);
+    PhaseProfiler profiler;
+    PhaseProfiler::install(&profiler);
+    std::shared_ptr<ProgressStreamer> progress =
+        makeProgress(args, "tcpsim run " + workload);
+    std::optional<MetricsRegistry> registry;
+    if (args.getBool("metrics"))
+        registry.emplace();
+    const std::uint64_t total_ops =
+        resolveAutoWarmup(instructions, kAutoWarmup, interval) +
+        instructions;
+    if (progress) {
+        progress->addTotal(1, total_ops);
+        progress->jobStarted();
+    }
     const LedgerConfig ledger_cfg;
-    const RunResult r =
+    RunResult r =
         runTrace(*wl, cfg, engine, instructions, kAutoWarmup,
                  interval,
                  args.getBool("ledger") ? &ledger_cfg : nullptr,
-                 args.getBool("check"));
+                 args.getBool("check"),
+                 registry ? &*registry : nullptr);
+    if (progress)
+        progress->jobFinished(total_ops);
+    if (registry)
+        r.metrics = registry->snapshotJson();
 
     TextTable table("tcpsim run: " + workload + " x " + engine_name);
     table.setHeader({"metric", "value"});
@@ -189,7 +250,9 @@ cmdRun(int argc, char **argv, const std::string &workload_override = "")
         std::cout << "\n" << engine.prefetcher->stats().report();
 
     if (!stats_json.empty()) {
-        writeJsonFile(stats_json, r.toJson());
+        Json doc = r.toJson();
+        doc["profile"] = profiler.toJson();
+        writeJsonFile(stats_json, doc);
         std::cout << "wrote stats JSON to " << stats_json << "\n";
     }
     if (!trace_out.empty()) {
@@ -221,7 +284,8 @@ cmdCompare(int argc, char **argv)
                                 .instructions = instructions,
                                 .seed = seed});
     const std::vector<RunResult> results =
-        runCommandBatch(args, std::move(specs));
+        runCommandBatch(args, std::move(specs),
+                        "tcpsim compare " + workload);
     const RunResult &base = results[0];
 
     TextTable table("tcpsim compare: " + workload);
@@ -273,7 +337,8 @@ cmdSuite(int argc, char **argv)
                                 .seed = seed});
     }
     const std::vector<RunResult> results =
-        runCommandBatch(args, std::move(specs));
+        runCommandBatch(args, std::move(specs),
+                        "tcpsim suite " + engine);
 
     TextTable table("tcpsim suite: " + engine);
     table.setHeader({"workload", "base IPC", "engine IPC", "speedup"});
@@ -329,7 +394,8 @@ cmdSweep(int argc, char **argv)
                                 .instructions = instructions,
                                 .seed = seed});
     const std::vector<RunResult> results =
-        runCommandBatch(args, std::move(specs));
+        runCommandBatch(args, std::move(specs),
+                        "tcpsim sweep " + workload);
     const RunResult &base = results[0];
 
     TextTable table("tcpsim sweep: PHT size on " + workload);
@@ -428,20 +494,39 @@ cmdReplay(int argc, char **argv)
     EngineSetup engine = makeEngine(args.getString("engine"));
     TraceSink sink;
     ScopedTraceSink installed(trace_out.empty() ? nullptr : &sink);
+    PhaseProfiler profiler;
+    PhaseProfiler::install(&profiler);
+    std::shared_ptr<ProgressStreamer> progress =
+        makeProgress(args, "tcpsim replay " + args.getString("trace"));
+    std::optional<MetricsRegistry> registry;
+    if (args.getBool("metrics"))
+        registry.emplace();
+    if (progress) {
+        progress->addTotal(1, src.size());
+        progress->jobStarted();
+    }
     const LedgerConfig ledger_cfg;
-    const RunResult r = runTrace(src, MachineConfig{}, engine,
-                                 src.size(), /*warmup=*/0,
-                                 args.getUint("interval"),
-                                 args.getBool("ledger") ? &ledger_cfg
-                                                        : nullptr,
-                                 args.getBool("check"));
+    RunResult r = runTrace(src, MachineConfig{}, engine,
+                           src.size(), /*warmup=*/0,
+                           args.getUint("interval"),
+                           args.getBool("ledger") ? &ledger_cfg
+                                                  : nullptr,
+                           args.getBool("check"),
+                           registry ? &*registry : nullptr);
+    if (progress)
+        progress->jobFinished(src.size());
+    if (registry)
+        r.metrics = registry->snapshotJson();
     std::cout << "replayed " << r.core.instructions << " ops: IPC "
               << formatDouble(r.ipc(), 4) << ", L1-D misses "
               << r.l1d_misses << ", prefetches useful "
               << r.pf_useful << "\n";
     printLedgerSummary(r);
-    if (!stats_json.empty())
-        writeJsonFile(stats_json, r.toJson());
+    if (!stats_json.empty()) {
+        Json doc = r.toJson();
+        doc["profile"] = profiler.toJson();
+        writeJsonFile(stats_json, doc);
+    }
     if (!trace_out.empty())
         sink.writeTo(trace_out);
     return 0;
