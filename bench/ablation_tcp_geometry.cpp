@@ -26,12 +26,17 @@ std::vector<double>
 meanIpcsFor(const bench::SuiteOptions &opt,
             const std::vector<TcpConfig> &cfgs)
 {
+    // One hierarchy config for the whole table — only the TCP
+    // geometry varies, so each workload's rows coalesce into one
+    // lane-group trace pass.
+    const MachineConfig &machine = opt.machine;
     std::vector<RunSpec> specs;
     for (const TcpConfig &cfg : cfgs) {
         for (const std::string &name : opt.workloads) {
             specs.push_back(
                 {.workload = name,
                  .instructions = opt.instructions,
+                 .machine = machine,
                  .seed = opt.seed,
                  .engine_factory = [cfg] {
                      EngineSetup engine;

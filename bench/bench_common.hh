@@ -43,6 +43,16 @@ struct SuiteOptions
     std::string json_path;
     /** Share one materialized arena per workload across the batch. */
     bool arena = true;
+    /** Config-parallel lane coalescing (--lanes / --no-coalesce). */
+    LaneOptions lanes{};
+    /**
+     * The hierarchy/core config shared by every spec of the figure,
+     * built once here instead of re-derived per spec: predictor
+     * sweeps vary only the engine, so every spec carrying this exact
+     * config lands in the same coalescing bucket (the lane-group key
+     * hashes MachineConfig::canonicalKey()).
+     */
+    MachineConfig machine{};
     /** Record-once trace cache directory ("" = arenas in memory). */
     std::string trace_cache;
     /** Start of the bench, for the report's wall-clock field. */
@@ -89,6 +99,14 @@ addSuiteFlags(ArgParser &args, const std::string &default_instructions)
     args.addFlag("trace-cache", "",
                  "directory of .tcptrc recordings to reuse across "
                  "bench invocations (record once, sweep many)");
+    args.addFlag("lanes", "16",
+                 "max predictor lanes per coalesced trace pass "
+                 "(specs sharing a workload/machine run as resident "
+                 "lanes of one job; < 2 disables coalescing)");
+    args.addFlag("no-coalesce", "0",
+                 "schedule every spec as its own job even when specs "
+                 "could share a trace pass (results are bit-identical "
+                 "either way)");
     args.addFlag("progress", "",
                  "stream live NDJSON progress records to this sink "
                  "(a file path, '-' for stderr, or 'fd:N')");
@@ -122,6 +140,9 @@ suiteOptions(const ArgParser &args)
     opt.json_path = args.getString("json");
     opt.arena = args.getUint("arena") != 0;
     opt.trace_cache = args.getString("trace-cache");
+    opt.lanes.max_lanes =
+        static_cast<unsigned>(args.getUint("lanes"));
+    opt.lanes.coalesce = args.getUint("no-coalesce") == 0;
     opt.start = std::chrono::steady_clock::now();
     opt.profiler = std::make_shared<PhaseProfiler>();
     PhaseProfiler::install(opt.profiler.get());
@@ -159,7 +180,7 @@ runBatch(const SuiteOptions &opt, std::vector<RunSpec> specs)
                 spec.shared_metrics = opt.metrics.get();
     }
     BatchRunner runner(opt.jobs);
-    return runner.run(specs, opt.progress.get());
+    return runner.run(specs, opt.progress.get(), opt.lanes);
 }
 
 /**

@@ -39,12 +39,17 @@ meanIpcs(const tcp::bench::SuiteOptions &opt,
          const std::vector<std::string> &engines)
 {
     using namespace tcp;
+    // One hierarchy config for the whole matrix: the sweep varies
+    // only the predictor, so every (workload, seed) slice coalesces
+    // into a single lane-group trace pass.
+    const MachineConfig &machine = opt.machine;
     std::vector<RunSpec> specs;
     for (const std::string &engine : engines)
         for (const std::string &name : opt.workloads)
             specs.push_back({.workload = name,
                              .engine = engine,
                              .instructions = opt.instructions,
+                             .machine = machine,
                              .seed = opt.seed});
     const std::vector<RunResult> results = bench::runBatch(opt, specs);
     std::vector<double> means;

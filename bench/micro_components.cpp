@@ -15,6 +15,7 @@
 #include "check/diff.hh"
 #include "core/tcp.hh"
 #include "harness/batch.hh"
+#include "harness/multisim.hh"
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "mem/hierarchy.hh"
@@ -463,6 +464,84 @@ BM_BlockPullFetch(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations() * 256));
 }
 BENCHMARK(BM_BlockPullFetch);
+
+// ------------------------------------------- config-parallel lanes
+
+/** Ops per lane-benchmark run (plus auto warmup of half that). */
+constexpr std::uint64_t kLaneOps = 1 << 16;
+
+/** One shared arena for every lane-benchmark spec. */
+const std::shared_ptr<const TraceArena> &
+laneArena()
+{
+    static const std::shared_ptr<const TraceArena> arena =
+        TraceArena::fromWorkload("gzip", 1, kLaneOps + kLaneOps / 2);
+    return arena;
+}
+
+/**
+ * K share-eligible TCP geometries over one workload pass — the
+ * fig13-style sweep slice the lane engine coalesces.
+ */
+std::vector<RunSpec>
+laneBenchSpecs(unsigned k)
+{
+    std::vector<RunSpec> specs;
+    for (unsigned i = 0; i < k; ++i) {
+        specs.push_back(
+            {.workload = "gzip",
+             .engine = "tcp:" +
+                       std::to_string(2048ull << (i % 12)) + ":" +
+                       std::to_string(i % 3),
+             .instructions = kLaneOps,
+             .seed = 1,
+             .arena = laneArena()});
+    }
+    return specs;
+}
+
+void
+BM_MultiSimLanes(benchmark::State &state)
+{
+    // K resident lanes on one arena cursor: each block is decoded
+    // once and fed to every lane, share-eligible lanes reuse the
+    // leader's THT transitions. Compare against the same K specs in
+    // BM_MultiSimIndependent to see the coalescing benefit per lane.
+    const unsigned k = static_cast<unsigned>(state.range(0));
+    const std::vector<RunSpec> specs = laneBenchSpecs(k);
+    LaneGroup group;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        group.lanes.push_back(i);
+    for (auto _ : state) {
+        const std::vector<RunResult> results =
+            runLaneGroup(specs, group);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * k * specOpsNeeded(specs[0])));
+}
+BENCHMARK(BM_MultiSimLanes)->Arg(1)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_MultiSimIndependent(benchmark::State &state)
+{
+    // The uncoalesced baseline: the same K specs as sequential
+    // runSpec() calls, each re-decoding the shared arena and running
+    // its own THT.
+    const unsigned k = static_cast<unsigned>(state.range(0));
+    const std::vector<RunSpec> specs = laneBenchSpecs(k);
+    for (auto _ : state) {
+        for (const RunSpec &spec : specs) {
+            const RunResult r = runSpec(spec);
+            benchmark::DoNotOptimize(r.core.cycles);
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * k * specOpsNeeded(specs[0])));
+}
+BENCHMARK(BM_MultiSimIndependent)->Arg(1)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_BusRequest(benchmark::State &state)

@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Time the fig13 PHT sweep with lane coalescing on vs off at equal
+# --jobs and write a small comparison report. Results are
+# bit-identical either way (the lane determinism contract); this
+# captures only the wall-clock effect of coalescing, as measured on
+# whatever machine ran it — CI runners are noisy, so the report is
+# informational, not a gate.
+#
+# Usage: scripts/lane_timing.sh BUILD_DIR [OUT_DIR]
+# Env:   JOBS (default 2), INSTRUCTIONS (default 50000),
+#        WORKLOADS (default gzip,swim)
+set -eu
+
+build_dir=${1:?usage: lane_timing.sh BUILD_DIR [OUT_DIR]}
+out_dir=${2:-results}
+jobs=${JOBS:-2}
+instructions=${INSTRUCTIONS:-50000}
+workloads=${WORKLOADS:-gzip,swim}
+mkdir -p "$out_dir"
+
+bin="$build_dir/bench/fig13_pht_sweep"
+common="--jobs=$jobs --instructions=$instructions \
+    --workloads=$workloads"
+
+# shellcheck disable=SC2086  # $common is a flag list
+"$bin" $common --json="$out_dir/fig13_lanes.json" \
+    > /dev/null
+# shellcheck disable=SC2086
+"$bin" $common --no-coalesce=1 \
+    --json="$out_dir/fig13_independent.json" > /dev/null
+
+python3 - "$out_dir" <<'EOF'
+import json
+import sys
+
+out_dir = sys.argv[1]
+lanes = json.load(open(f"{out_dir}/fig13_lanes.json"))
+solo = json.load(open(f"{out_dir}/fig13_independent.json"))
+
+# The figure tables must be identical — coalescing is scheduling
+# only. This is a hard check even though the timing is not.
+if lanes["tables"] != solo["tables"]:
+    sys.exit("lane_timing: coalesced and independent runs "
+             "disagree on figure tables")
+
+tl, ts = lanes["wall_clock_seconds"], solo["wall_clock_seconds"]
+report = [
+    "fig13 lane-vs-independent timing "
+    f"(jobs={lanes['jobs']}, "
+    f"instructions={lanes['instructions']})",
+    f"  coalesced (lanes): {tl:8.2f} s  "
+    f"({lanes['ops_per_second'] / 1e6:6.2f} Mops/s)",
+    f"  independent:       {ts:8.2f} s  "
+    f"({solo['ops_per_second'] / 1e6:6.2f} Mops/s)",
+    f"  speedup:           {ts / tl:8.2f}x",
+    "  tables: identical (checked)",
+]
+text = "\n".join(report) + "\n"
+print(text, end="")
+open(f"{out_dir}/lane_timing.txt", "w").write(text)
+EOF

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The shared tag-history log behind config-parallel predictor lanes
+ * (harness/multisim). When K resident TCP lanes train on the same
+ * L1-D miss stream and share THT geometry, their tag-history tables
+ * evolve identically — so only the first lane (the leader) runs a
+ * live THT. It records, per miss event, the answers every other lane
+ * would have computed: the row state before and after the push and
+ * the history tags on both sides. Follower lanes replay those answers
+ * into their own (differently-sized) PHTs, skipping the redundant THT
+ * work, and assert the leader's miss stream matches their own — the
+ * sharing precondition is checked on every event, not assumed.
+ *
+ * Storage is SoA with the tag columns contiguous across events
+ * (`prepush_`/`postpush_` hold history_depth tags per event back to
+ * back), so a follower's update/lookup reads one cache line per
+ * event and a sweep over the block's events streams linearly.
+ */
+
+#ifndef TCP_CORE_LANE_LOG_HH
+#define TCP_CORE_LANE_LOG_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/types.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+/** Per-block log of one leader lane's THT transitions. */
+class TcpLaneLog
+{
+  public:
+    /** @param depth history tags per THT row (k of the paper). */
+    explicit TcpLaneLog(unsigned depth) : depth_(depth)
+    {
+        tcp_assert(depth_ > 0, "lane log needs a history depth");
+    }
+
+    /** Decoded view of one recorded miss event. */
+    struct View
+    {
+        Addr addr;
+        Pc pc;
+        SetIndex index;
+        Tag tag;
+        bool row_was_full;
+        bool full_after;
+        /** Row history before the push (valid iff row_was_full). */
+        std::span<const Tag> prepush;
+        /** Row history after the push (valid iff full_after). */
+        std::span<const Tag> postpush;
+    };
+
+    /**
+     * Leader side, step 1: reserve the next event's pre-push history
+     * column. The leader copies the row's tags in *before* pushing
+     * (the THT mutates the same storage) and then calls commit().
+     */
+    Tag *stagePrepush()
+    {
+        prepush_.resize(prepush_.size() + depth_);
+        return prepush_.data() + prepush_.size() - depth_;
+    }
+
+    /** Leader side, step 2: append the event after the THT push. */
+    void
+    commit(Addr addr, Pc pc, SetIndex index, Tag tag,
+           bool row_was_full, bool full_after,
+           std::span<const Tag> postpush)
+    {
+        addr_.push_back(addr);
+        pc_.push_back(pc);
+        index_.push_back(index);
+        tag_.push_back(tag);
+        flags_.push_back(static_cast<std::uint8_t>(
+            (row_was_full ? 1u : 0u) | (full_after ? 2u : 0u)));
+        postpush_.resize(postpush_.size() + depth_);
+        Tag *dst = postpush_.data() + postpush_.size() - depth_;
+        for (unsigned i = 0; i < depth_; ++i)
+            dst[i] = i < postpush.size() ? postpush[i] : 0;
+    }
+
+    /** Follower side: the @p i-th event of the current block. */
+    View at(std::size_t i) const
+    {
+        tcp_assert(i < addr_.size(),
+                   "lane follower ran ahead of the leader log");
+        return View{
+            addr_[i],
+            pc_[i],
+            index_[i],
+            tag_[i],
+            (flags_[i] & 1u) != 0,
+            (flags_[i] & 2u) != 0,
+            {prepush_.data() + i * depth_, depth_},
+            {postpush_.data() + i * depth_, depth_},
+        };
+    }
+
+    std::size_t size() const { return addr_.size(); }
+    unsigned depth() const { return depth_; }
+
+    /**
+     * Drop all events. The lane driver rotates the log after every
+     * block sweep (all lanes have consumed every event by then), so
+     * the log's footprint stays bounded by one block's misses.
+     */
+    void clear()
+    {
+        addr_.clear();
+        pc_.clear();
+        index_.clear();
+        tag_.clear();
+        flags_.clear();
+        prepush_.clear();
+        postpush_.clear();
+    }
+
+  private:
+    unsigned depth_;
+    /// @name SoA event columns
+    /// @{
+    std::vector<Addr> addr_;
+    std::vector<Pc> pc_;
+    std::vector<SetIndex> index_;
+    std::vector<Tag> tag_;
+    std::vector<std::uint8_t> flags_;
+    std::vector<Tag> prepush_;  ///< depth() tags per event, contiguous
+    std::vector<Tag> postpush_; ///< depth() tags per event, contiguous
+    /// @}
+};
+
+} // namespace tcp
+
+#endif // TCP_CORE_LANE_LOG_HH

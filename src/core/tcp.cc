@@ -147,9 +147,26 @@ TagCorrelatingPrefetcher::flushMetrics()
 }
 
 void
+TagCorrelatingPrefetcher::setLaneLog(TcpLaneLog *log, bool leader)
+{
+    if (log) {
+        tcp_assert(laneShareEligible(),
+                   "lane log requires a share-eligible TCP config");
+        tcp_assert(log->depth() == config_.history_depth,
+                   "lane log depth must match the THT history depth");
+    }
+    lane_log_ = log;
+    lane_leader_ = leader;
+    lane_cursor_ = 0;
+}
+
+void
 TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
                                       std::vector<PrefetchRequest> &out)
 {
+    if (lane_log_ && !lane_leader_) [[unlikely]]
+        return observeMissReplay(ctx, out);
+
     if (config_.adaptive && ++epoch_misses_ >= config_.adapt_epoch) {
         epoch_misses_ = 0;
         adaptEpoch();
@@ -158,6 +175,16 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
     const SetIndex index = missIndex(ctx.addr);
     const Tag tag = missTag(ctx.addr);
     const bool row_was_full = tht_.full(index);
+
+    // Leader lane: stage the pre-push history for the group log (the
+    // push below mutates the same storage the history span views).
+    if (lane_log_) [[unlikely]] {
+        Tag *stage = lane_log_->stagePrepush();
+        if (row_was_full) {
+            const std::span<const Tag> h = tht_.history(index);
+            std::copy(h.begin(), h.end(), stage);
+        }
+    }
 
     // Telemetry: a "THT hit run" is a streak of misses that found
     // their row already full (history warm); it closes — and its
@@ -214,6 +241,11 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
     tht_.push(index, tag);
     traceEvent("tht_update", "tcp", ctx.cycle, ctx.addr);
 
+    if (lane_log_) [[unlikely]] {
+        lane_log_->commit(ctx.addr, ctx.pc, index, tag, row_was_full,
+                          tht_.full(index), tht_.history(index));
+    }
+
     // --- Lookup: predict the successor(s) of the updated sequence
     // and reconstruct prefetch addresses with the same miss index.
     if (!tht_.full(index))
@@ -251,6 +283,54 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
             ++degree;
     }
 
+    chainPredict(ctx, index, tag, degree, out);
+}
+
+void
+TagCorrelatingPrefetcher::observeMissReplay(
+    const AccessContext &ctx, std::vector<PrefetchRequest> &out)
+{
+    // Mirror of the live path for share-eligible configs (no stride
+    // assist / critical filter / adaptive throttle): every THT answer
+    // comes from the leader's log instead of a private table, and the
+    // sharing precondition — this lane sees the leader's miss stream
+    // — is asserted on every event.
+    const TcpLaneLog::View ev = lane_log_->at(lane_cursor_++);
+    tcp_assert(ev.addr == ctx.addr && ev.pc == ctx.pc,
+               "lane follower miss stream diverged from the leader");
+    const SetIndex index = ev.index;
+    const Tag tag = ev.tag;
+
+    if (metrics_) [[unlikely]] {
+        if (ev.row_was_full) {
+            ++tht_run_;
+        } else if (tht_run_) {
+            metrics_->thtHitRun(tht_run_);
+            tht_run_ = 0;
+        }
+    }
+
+    if (ev.row_was_full) {
+        pht_.update(ev.prepush, index, tag);
+        ++pht_updates;
+    } else {
+        ++tht_warmups;
+    }
+    traceEvent("tht_update", "tcp", ctx.cycle, ctx.addr);
+
+    if (!ev.full_after)
+        return;
+
+    seq_scratch_.assign(ev.postpush.begin(), ev.postpush.end());
+    chainPredict(ctx, index, tag, config_.degree, out);
+}
+
+void
+TagCorrelatingPrefetcher::chainPredict(const AccessContext &ctx,
+                                       SetIndex index, Tag tag,
+                                       unsigned degree,
+                                       std::vector<PrefetchRequest> &out)
+{
     for (unsigned d = 0; d < degree; ++d) {
         ++pht_lookups;
         traceEvent("pht_lookup", "tcp", ctx.cycle, ctx.addr);

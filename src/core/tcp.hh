@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/lane_log.hh"
 #include "core/pht.hh"
 #include "core/tht.hh"
 #include "prefetch/criticality.hh"
@@ -134,6 +135,48 @@ class TagCorrelatingPrefetcher : public Prefetcher
     const TcpConfig &config() const { return config_; }
     /// @}
 
+    /// @name Config-parallel lane sharing (harness/multisim)
+    /// @{
+    /**
+     * Whether this lane's tag-history evolution is a pure function of
+     * the miss stream — no timing-coupled features (criticality,
+     * adaptive throttle), no stream-perturbing features (L1
+     * promotion), no per-row side state (stride assist) — so a lane
+     * group may share one THT across every compatible lane.
+     */
+    bool laneShareEligible() const
+    {
+        return !config_.critical_filter && !config_.adaptive &&
+               !config_.stride_assist && !config_.promote_to_l1;
+    }
+
+    /** Whether @p other decomposes misses and keeps history the same
+     *  way, i.e. its THT transitions are identical to ours. */
+    bool laneShareCompatible(const TagCorrelatingPrefetcher &o) const
+    {
+        return laneShareEligible() && o.laneShareEligible() &&
+               config_.tht_rows == o.config_.tht_rows &&
+               config_.history_depth == o.config_.history_depth &&
+               config_.l1_block_bits == o.config_.l1_block_bits &&
+               config_.l1_set_bits == o.config_.l1_set_bits;
+    }
+
+    /**
+     * Attach the lane group's shared tag-history log (nullptr
+     * detaches). The leader runs its live THT and records every
+     * transition; followers replay the recorded THT answers into
+     * their own PHTs and assert their miss stream matches the
+     * leader's event for event. Requires laneShareEligible().
+     */
+    void setLaneLog(TcpLaneLog *log, bool leader);
+
+    /** Events this follower has consumed from the current log. */
+    std::size_t laneLogCursor() const { return lane_cursor_; }
+
+    /** Restart the follower cursor after the driver rotates the log. */
+    void laneLogRewind() { lane_cursor_ = 0; }
+    /// @}
+
     /// @name Address decomposition (L1-D geometry)
     /// @{
     SetIndex
@@ -169,6 +212,19 @@ class TagCorrelatingPrefetcher : public Prefetcher
     /** Re-evaluate the aggressiveness from the epoch's accuracy. */
     void adaptEpoch();
 
+    /**
+     * The PHT lookup/chain loop shared by the live path and the lane
+     * replay path: predict successors of seq_scratch_ and append the
+     * reconstructed prefetch addresses to @p out.
+     */
+    void chainPredict(const AccessContext &ctx, SetIndex index,
+                      Tag tag, unsigned degree,
+                      std::vector<PrefetchRequest> &out);
+
+    /** Follower-lane observeMiss: THT answers come from the log. */
+    void observeMissReplay(const AccessContext &ctx,
+                           std::vector<PrefetchRequest> &out);
+
     TcpConfig config_;
     TagHistoryTable tht_;
     PatternHistoryTable pht_;
@@ -176,6 +232,13 @@ class TagCorrelatingPrefetcher : public Prefetcher
     std::vector<Tag> targets_scratch_;
     std::vector<RowStride> row_stride_;
     const CriticalityTable *crit_table_ = nullptr;
+
+    /// @name Config-parallel lane state
+    /// @{
+    TcpLaneLog *lane_log_ = nullptr;
+    bool lane_leader_ = false;
+    std::size_t lane_cursor_ = 0;
+    /// @}
 
     /// @name Sweep-telemetry state (null sink = all hooks off)
     /// @{

@@ -70,15 +70,27 @@ OooCore::throttle(Cycle want, Cycle &cur, unsigned &count,
 CoreResult
 OooCore::run(TraceSource &source, std::uint64_t max_instructions)
 {
-    const unsigned rob = config_.rob_entries;
-    const unsigned lsq = config_.lsq_entries;
-
     // Pull ops in blocks so the per-op cost is one array read, not a
     // virtual call; never over-fetch past max_instructions, so
     // chunked runs (warmup, intervals) consume exactly their share.
-    constexpr std::size_t kBlock = 256;
-    MicroOp block[kBlock];
-    std::size_t have = 0, bpos = 0;
+    MicroOp block[kRunBlock];
+    for (std::uint64_t n = 0; n < max_instructions;) {
+        const std::size_t have = source.fill(
+            block, static_cast<std::size_t>(std::min<std::uint64_t>(
+                       kRunBlock, max_instructions - n)));
+        if (have == 0)
+            break;
+        runBlock(block, have);
+        n += have;
+    }
+    return result();
+}
+
+void
+OooCore::runBlock(const MicroOp *ops, std::size_t count)
+{
+    const unsigned rob = config_.rob_entries;
+    const unsigned lsq = config_.lsq_entries;
 
     // Ring cursors carried incrementally across the loop: rob/lsq
     // are runtime values, so the straightforward `count % size` is a
@@ -87,16 +99,8 @@ OooCore::run(TraceSource &source, std::uint64_t max_instructions)
     std::size_t lsq_cursor =
         static_cast<std::size_t>(mem_count_ % lsq);
 
-    for (std::uint64_t n = 0; n < max_instructions; ++n) {
-        if (bpos == have) {
-            have = source.fill(
-                block, static_cast<std::size_t>(std::min<std::uint64_t>(
-                           kBlock, max_instructions - n)));
-            bpos = 0;
-            if (have == 0)
-                break;
-        }
-        const MicroOp &op = block[bpos++];
+    for (std::size_t n = 0; n < count; ++n) {
+        const MicroOp &op = ops[n];
 
         // --- Front end: fetch the instruction block.
         const Addr fetch_block = op.pc >> 6;
@@ -199,7 +203,11 @@ OooCore::run(TraceSource &source, std::uint64_t max_instructions)
         }
         ++insns;
     }
+}
 
+CoreResult
+OooCore::result() const
+{
     CoreResult out;
     out.instructions = insn_count_;
     out.cycles = last_retire_;

@@ -52,10 +52,31 @@ class OooCore
     OooCore(const CoreConfig &config, MemoryHierarchy &mem);
 
     /**
+     * Block granularity run() pulls from its trace source. Exposed so
+     * the config-parallel lane driver (harness/multisim) can decode
+     * each arena block once and feed it to every lane's core with the
+     * same segmentation as an independent run.
+     */
+    static constexpr std::size_t kRunBlock = 256;
+
+    /**
      * Run @p max_instructions micro-ops from @p source (or fewer if
      * the source ends).
      */
     CoreResult run(TraceSource &source, std::uint64_t max_instructions);
+
+    /**
+     * Execute @p n already-decoded micro-ops. This is run()'s inner
+     * loop: pipeline state carries across calls, so any segmentation
+     * of the same op stream into blocks produces identical timing.
+     */
+    void runBlock(const MicroOp *ops, std::size_t n);
+
+    /**
+     * Cumulative result over every run()/runBlock() call since the
+     * last reset() (exactly what run() returns).
+     */
+    CoreResult result() const;
 
     /** Reset all pipeline state (the hierarchy is left untouched). */
     void reset();

@@ -85,6 +85,20 @@ struct RunSpec
 };
 
 /**
+ * Config-parallel lane coalescing knobs (--lanes / --no-coalesce).
+ * See harness/multisim.hh for the machinery; results are
+ * bit-identical with coalescing on or off — lanes only change how
+ * specs are scheduled and how much shared front-end work is reused.
+ */
+struct LaneOptions
+{
+    /** Lanes per coalesced group at most; < 2 disables coalescing. */
+    unsigned max_lanes = 16;
+    /** Master switch (--no-coalesce clears it). */
+    bool coalesce = true;
+};
+
+/**
  * Execute one spec start to finish (workload + engine construction
  * and the runTrace call). The unit of work BatchRunner schedules;
  * also the sequential reference the determinism tests compare with.
@@ -142,6 +156,20 @@ class BatchRunner
      */
     std::vector<RunResult> run(const std::vector<RunSpec> &specs,
                                ProgressStreamer *progress = nullptr);
+
+    /**
+     * Lane-coalescing run: specs sharing (workload, seed, arena, run
+     * shape, canonical machine key) are grouped into LaneGroup jobs
+     * that replay one shared arena cursor through K resident lanes
+     * (harness/multisim.hh). Results still come back in submission
+     * order and bit-identical to the plain run() above — coalescing
+     * is purely a scheduling/throughput decision. Progress sees one
+     * job per group, with each group's op credit equal to the sum of
+     * its lanes' specOpsNeeded().
+     */
+    std::vector<RunResult> run(const std::vector<RunSpec> &specs,
+                               ProgressStreamer *progress,
+                               const LaneOptions &lanes);
 
     /**
      * Ordered parallel map for jobs that are not RunSpec-shaped

@@ -1,0 +1,431 @@
+#include "multisim.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "check/diff.hh"
+#include "core/lane_log.hh"
+#include "core/tcp.hh"
+#include "harness/run_internal.hh"
+#include "obs/profiler.hh"
+#include "sim/trace_sink.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+std::string
+laneGroupKey(const RunSpec &spec)
+{
+    std::ostringstream oss;
+    oss << spec.workload << '|' << spec.seed << '|'
+        << spec.instructions << '|'
+        << resolveAutoWarmup(spec.instructions, spec.warmup,
+                             spec.interval)
+        << '|' << spec.interval << '|' << spec.machine.canonicalKey()
+        << '|' << spec.arena.get();
+    return oss.str();
+}
+
+std::vector<LaneGroup>
+coalesceSpecs(const std::vector<RunSpec> &specs,
+              const LaneOptions &opt)
+{
+    std::vector<LaneGroup> groups;
+    const bool enabled = opt.coalesce && opt.max_lanes >= 2;
+    // Group index by key; groups appear in order of their first
+    // member so the schedule is deterministic.
+    std::map<std::string, std::size_t> by_key;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        // No shared arena means no shared cursor to replay: the spec
+        // synthesizes its own stream and stays a singleton job.
+        if (!enabled || !specs[i].arena) {
+            groups.push_back(LaneGroup{{i}});
+            continue;
+        }
+        const std::string key = laneGroupKey(specs[i]);
+        const auto it = by_key.find(key);
+        if (it == by_key.end() ||
+            groups[it->second].lanes.size() >= opt.max_lanes) {
+            // New key, or the current group for it is full: open a
+            // fresh group and point the key at it.
+            by_key[key] = groups.size();
+            groups.push_back(LaneGroup{{i}});
+        } else {
+            groups[it->second].lanes.push_back(i);
+        }
+    }
+    return groups;
+}
+
+namespace {
+
+/** One resident lane: a complete private machine plus bookkeeping. */
+struct Lane
+{
+    const RunSpec *spec = nullptr;
+    EngineSetup engine;
+    std::unique_ptr<MemoryHierarchy> mem;
+    std::unique_ptr<PrefetchLedger> ledger;
+    std::unique_ptr<DiffChecker> checker;
+    std::unique_ptr<OooCore> core;
+    /** Private registry when spec->metrics; else null. */
+    std::unique_ptr<MetricsRegistry> local_metrics;
+    /** Destination registry (local or spec->shared_metrics). */
+    MetricsRegistry *metrics_registry = nullptr;
+    std::unique_ptr<SimMetrics> sim_metrics;
+    CoreResult warm{};
+    CoreResult cr{};
+    IntervalSnapshot prev{};
+    std::vector<IntervalSample> intervals;
+};
+
+} // namespace
+
+std::vector<RunResult>
+runLaneGroup(const std::vector<RunSpec> &specs, const LaneGroup &group)
+{
+    tcp_assert(!group.lanes.empty(), "empty lane group");
+    const RunSpec &first = specs[group.lanes.front()];
+    tcp_assert(first.arena != nullptr,
+               "lane groups replay a shared arena");
+    const std::string key = laneGroupKey(first);
+    const std::uint64_t instructions = first.instructions;
+    const std::uint64_t interval = first.interval;
+    const std::uint64_t warmup = resolveAutoWarmup(
+        instructions, first.warmup, interval);
+    const TraceArena &arena = *first.arena;
+    tcp_assert(arena.size() >= warmup + instructions, "arena '",
+               arena.name(), "' holds ", arena.size(),
+               " ops but the lane group needs ",
+               warmup + instructions);
+
+    // --- Build every lane's private machine, in lane order (the
+    // same construction order runSpec uses per spec).
+    std::vector<Lane> lanes(group.lanes.size());
+    for (std::size_t i = 0; i < group.lanes.size(); ++i) {
+        const RunSpec &spec = specs[group.lanes[i]];
+        tcp_assert(laneGroupKey(spec) == key,
+                   "lane group mixes incompatible specs");
+        Lane &ln = lanes[i];
+        ln.spec = &spec;
+        ln.engine = spec.engine_factory ? spec.engine_factory()
+                                        : makeEngine(spec.engine);
+        MachineConfig cfg = spec.machine;
+        if (ln.engine.wants_prefetch_bus)
+            cfg.prefetch_bus = true;
+        if (ln.engine.wants_l2_training)
+            cfg.train_on_l2_misses = true;
+        if (ln.engine.wants_naive_promote)
+            cfg.naive_l1_promote = true;
+        ln.mem = std::make_unique<MemoryHierarchy>(
+            cfg, ln.engine.prefetcher.get(), ln.engine.dbp.get());
+        if (spec.ledger) {
+            ln.ledger =
+                std::make_unique<PrefetchLedger>(spec.ledger_config);
+            ln.mem->attachLedger(ln.ledger.get());
+        }
+        // The checker attaches before warmup: the reference models
+        // must see every access that shaped the state they mirror.
+        if (spec.check)
+            ln.checker = std::make_unique<DiffChecker>(
+                *ln.mem, ln.engine.prefetcher.get());
+        ln.core = std::make_unique<OooCore>(cfg.core, *ln.mem);
+        if (ln.engine.crit)
+            ln.core->setCriticalityTable(ln.engine.crit.get());
+        ln.metrics_registry = spec.shared_metrics;
+        if (spec.metrics) {
+            ln.local_metrics = std::make_unique<MetricsRegistry>();
+            ln.metrics_registry = ln.local_metrics.get();
+        }
+
+        // Share-eligible lanes must see the leader's L1-D miss
+        // stream; a machine that trains on L2 misses or promotes
+        // prefetches into L1 perturbs it, so those lanes opt out
+        // regardless of their TCP config (which the eligibility
+        // check below also consults).
+        (void)cfg;
+    }
+
+    // --- Shared-THT fast path: among lanes whose machine leaves the
+    // L1-D miss stream untouched, compatible plain-TCP lanes share
+    // one live tag-history table. The first such lane leads (it runs
+    // first in every block sweep); the rest replay its transitions.
+    std::optional<TcpLaneLog> lane_log;
+    std::vector<TagCorrelatingPrefetcher *> sharers;
+    for (Lane &ln : lanes) {
+        const MachineConfig &m = ln.spec->machine;
+        if (m.train_on_l2_misses || m.naive_l1_promote ||
+            ln.engine.wants_l2_training ||
+            ln.engine.wants_naive_promote)
+            continue;
+        auto *tcp = dynamic_cast<TagCorrelatingPrefetcher *>(
+            ln.engine.prefetcher.get());
+        if (!tcp || !tcp->laneShareEligible())
+            continue;
+        if (!sharers.empty() &&
+            !sharers.front()->laneShareCompatible(*tcp))
+            continue;
+        sharers.push_back(tcp);
+    }
+    if (sharers.size() >= 2) {
+        lane_log.emplace(sharers.front()->config().history_depth);
+        for (std::size_t i = 0; i < sharers.size(); ++i)
+            sharers[i]->setLaneLog(&*lane_log, /*leader=*/i == 0);
+    }
+
+    // --- The shared cursor: decode each chunk once, step every lane
+    // through it, rotate the lane log when all lanes have consumed
+    // the chunk's miss events.
+    //
+    // The chunk is much larger than the core's run block: a lane
+    // switch evicts that lane's hot simulator state (cache metadata,
+    // ROB/LSQ, predictor tables) from the host caches, so switching
+    // every 256 ops costs far more in refills than the shared decode
+    // saves. A sweep over chunk sizes (fig13, dev host) found 256 K
+    // ops per switch the flattest point — larger chunks stop helping
+    // once the decoded buffer itself outgrows the host's private
+    // caches. Chunk segmentation cannot affect results since all
+    // core state lives in member variables.
+    constexpr std::size_t kLaneChunk = 1024 * OooCore::kRunBlock;
+    std::uint64_t pos = 0;
+    std::vector<MicroOp> chunk(kLaneChunk);
+    const auto sweep = [&](std::uint64_t count) {
+        std::uint64_t done = 0;
+        while (done < count) {
+            const std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(kLaneChunk, count - done));
+            const std::size_t have =
+                arena.fill(chunk.data(), want, pos);
+            tcp_assert(have == want, "arena ended mid lane sweep");
+            for (Lane &ln : lanes) {
+                for (std::size_t off = 0; off < have;
+                     off += OooCore::kRunBlock)
+                    ln.core->runBlock(
+                        chunk.data() + off,
+                        std::min(OooCore::kRunBlock, have - off));
+            }
+            if (lane_log) {
+                for (std::size_t i = 1; i < sharers.size(); ++i) {
+                    tcp_assert(sharers[i]->laneLogCursor() ==
+                                   lane_log->size(),
+                               "lane follower fell behind the leader "
+                               "log");
+                    sharers[i]->laneLogRewind();
+                }
+                lane_log->clear();
+            }
+            pos += have;
+            done += have;
+        }
+    };
+
+    // --- Warmup: populate caches and predictor tables, then reset
+    // the statistics (but not the learned state) before measuring.
+    // Trace hooks are muted so an installed sink only sees the
+    // measured window — exactly as in runTrace().
+    if (warmup > 0) {
+        ScopedPhase phase(Phase::Warmup);
+        ScopedTraceSink mute(nullptr);
+        sweep(warmup);
+        for (Lane &ln : lanes) {
+            ln.warm = ln.core->result();
+            resetStatsAfterWarmup(*ln.mem, ln.ledger.get(),
+                                  ln.engine);
+        }
+    }
+
+    // Telemetry attaches at the warmup boundary so its distributions
+    // describe exactly the measured window.
+    for (Lane &ln : lanes) {
+        if (!ln.metrics_registry)
+            continue;
+        ln.sim_metrics =
+            std::make_unique<SimMetrics>(*ln.metrics_registry);
+        ln.sim_metrics->setWindow(warmup, instructions);
+        ln.mem->attachMetrics(ln.sim_metrics.get());
+        if (ln.engine.prefetcher)
+            ln.engine.prefetcher->setMetrics(ln.sim_metrics.get());
+    }
+
+    // --- Measured window: one sweep, or interval-sized chunks with
+    // a counter-delta sample per lane after each chunk.
+    std::optional<ScopedPhase> measure_phase(std::in_place,
+                                             Phase::Measure);
+    if (interval == 0 || instructions == 0) {
+        sweep(instructions);
+        for (Lane &ln : lanes)
+            ln.cr = ln.core->result();
+    } else {
+        for (Lane &ln : lanes) {
+            ln.prev = IntervalSnapshot::take(
+                CoreResult{ln.warm.instructions, ln.warm.cycles, 0.0,
+                           0, 0, 0, 0},
+                *ln.mem, ln.engine.prefetcher.get());
+        }
+        std::uint64_t remaining = instructions;
+        while (remaining > 0) {
+            const std::uint64_t chunk =
+                std::min(interval, remaining);
+            sweep(chunk);
+            for (Lane &ln : lanes) {
+                ln.cr = ln.core->result();
+                const IntervalSnapshot cur = IntervalSnapshot::take(
+                    ln.cr, *ln.mem, ln.engine.prefetcher.get());
+                const std::uint64_t ran = cur.insns - ln.prev.insns;
+                const IntervalSample s =
+                    buildIntervalSample(ln.prev, cur, ln.warm, ran);
+                ln.intervals.push_back(s);
+                emitIntervalTracks(s, cur.cycles, ln.ledger.get());
+                ln.prev = cur;
+            }
+            remaining -= chunk;
+        }
+    }
+    measure_phase.reset();
+    ScopedPhase finalize_phase(Phase::Finalize);
+
+    // --- Per-lane finalize + snapshot, identical to runTrace().
+    std::vector<RunResult> results;
+    results.reserve(lanes.size());
+    for (Lane &ln : lanes) {
+        ln.cr = subtractWarm(ln.cr, ln.warm);
+        if (ln.checker)
+            ln.checker->finalize();
+        if (ln.sim_metrics) {
+            if (ln.engine.prefetcher) {
+                ln.engine.prefetcher->flushMetrics();
+                ln.engine.prefetcher->setMetrics(nullptr);
+            }
+            ln.mem->attachMetrics(nullptr);
+        }
+        RunResult r = snapshotRunResult(
+            ln.spec->workload, ln.engine, *ln.mem, ln.cr,
+            std::move(ln.intervals), ln.ledger.get());
+        if (ln.local_metrics)
+            r.metrics = ln.local_metrics->snapshotJson();
+        results.push_back(std::move(r));
+    }
+    // Detach the shared log before the leader's THT dies with this
+    // frame (the prefetchers die here too, but keep the teardown
+    // explicit and ordered).
+    for (TagCorrelatingPrefetcher *tcp : sharers)
+        tcp->setLaneLog(nullptr, false);
+    return results;
+}
+
+std::vector<RunResult>
+BatchRunner::run(const std::vector<RunSpec> &specs,
+                 ProgressStreamer *progress, const LaneOptions &lanes)
+{
+    const std::vector<LaneGroup> groups = coalesceSpecs(specs, lanes);
+    const bool any_multi =
+        std::any_of(groups.begin(), groups.end(),
+                    [](const LaneGroup &g) {
+                        return g.lanes.size() > 1;
+                    });
+    // All-singleton partitions reproduce the classic schedule (one
+    // job per spec, with per-spec progress granularity).
+    if (!any_multi)
+        return run(specs, progress);
+
+    if (progress) {
+        std::uint64_t total_ops = 0;
+        for (const RunSpec &spec : specs)
+            total_ops += specOpsNeeded(spec);
+        progress->addTotal(groups.size(), total_ops);
+    }
+    const std::vector<std::vector<RunResult>> per_group =
+        map<std::vector<RunResult>>(
+            groups.size(), [&](std::size_t g) {
+                const LaneGroup &grp = groups[g];
+                if (progress)
+                    progress->jobStarted();
+                std::vector<RunResult> rs;
+                if (grp.lanes.size() == 1) {
+                    rs.push_back(runSpec(specs[grp.lanes.front()]));
+                } else {
+                    rs = runLaneGroup(specs, grp);
+                }
+                if (progress) {
+                    std::uint64_t ops = 0;
+                    for (std::size_t idx : grp.lanes)
+                        ops += specOpsNeeded(specs[idx]);
+                    progress->jobFinished(ops);
+                }
+                return rs;
+            });
+
+    // Scatter back to submission order.
+    std::vector<std::optional<RunResult>> slots(specs.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (std::size_t i = 0; i < groups[g].lanes.size(); ++i)
+            slots[groups[g].lanes[i]].emplace(
+                std::move(per_group[g][i]));
+    }
+    std::vector<RunResult> out;
+    out.reserve(specs.size());
+    for (std::optional<RunResult> &slot : slots)
+        out.push_back(std::move(*slot));
+    return out;
+}
+
+Json
+laneGroupsJson(const std::vector<RunSpec> &specs,
+               const std::vector<RunResult> &results,
+               const LaneOptions &opt)
+{
+    tcp_assert(specs.size() == results.size(),
+               "laneGroupsJson needs one result per spec");
+    const std::vector<LaneGroup> groups = coalesceSpecs(specs, opt);
+    Json doc = Json::object();
+    doc["max_lanes"] = static_cast<std::uint64_t>(opt.max_lanes);
+    doc["coalesce"] = opt.coalesce;
+    Json arr = Json::array();
+    for (const LaneGroup &g : groups) {
+        const RunSpec &first = specs[g.lanes.front()];
+        Json rec = Json::object();
+        rec["workload"] = first.workload;
+        rec["seed"] = first.seed;
+        rec["instructions"] = first.instructions;
+        rec["warmup"] = resolveAutoWarmup(
+            first.instructions, first.warmup, first.interval);
+        rec["interval"] = first.interval;
+        rec["machine_key"] = first.machine.canonicalKey();
+        std::uint64_t issued = 0, useful = 0, late = 0, early = 0,
+                      pollution = 0, redundant = 0, dropped = 0,
+                      unresolved = 0;
+        Json lanes_json = Json::array();
+        for (std::size_t idx : g.lanes) {
+            const RunResult &r = results[idx];
+            issued += r.ledger_issued;
+            useful += r.ledger_useful;
+            late += r.ledger_late;
+            early += r.ledger_early;
+            pollution += r.ledger_pollution;
+            redundant += r.ledger_redundant;
+            dropped += r.ledger_dropped;
+            unresolved += r.ledger_unresolved;
+            lanes_json.push(r.toJson());
+        }
+        rec["lanes"] = std::move(lanes_json);
+        Json totals = Json::object();
+        totals["issued"] = issued;
+        totals["useful"] = useful;
+        totals["late"] = late;
+        totals["early"] = early;
+        totals["pollution"] = pollution;
+        totals["redundant"] = redundant;
+        totals["dropped"] = dropped;
+        totals["unresolved"] = unresolved;
+        rec["totals"] = std::move(totals);
+        arr.push(std::move(rec));
+    }
+    doc["groups"] = std::move(arr);
+    return doc;
+}
+
+} // namespace tcp

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Config-parallel multi-sim: run K predictor configurations ("lanes")
+ * against one workload in a single pass over a shared trace arena.
+ *
+ * The paper's figures race many TCP geometries that differ only in
+ * predictor parameters; independently those runs re-decode the same
+ * arena K times and re-walk identical tag histories. A LaneGroup
+ * instead holds K complete per-lane machines (core + hierarchy +
+ * engine + observability) and steps them block-interleaved from one
+ * arena cursor: each 256-op block is decoded once and fed to every
+ * lane's core. Per-lane timing state stays fully private — prefetch
+ * fills change each lane's L2 (and therefore its IPC), so lanes
+ * cannot share a hierarchy — which is exactly what makes the lane
+ * determinism contract possible:
+ *
+ *   Every lane's RunResult is bit-identical to the equivalent
+ *   independent runSpec() of the same RunSpec, at any --jobs count.
+ *
+ * Cross-lane sharing beyond the decoded block is taken only where it
+ * is provably exact: share-eligible TCP lanes (see
+ * TagCorrelatingPrefetcher::laneShareEligible) train on the same
+ * program-order L1-D miss stream, so one leader lane runs the live
+ * THT and followers replay its transitions from a TcpLaneLog
+ * (core/lane_log.hh), with the stream identity asserted per event.
+ */
+
+#ifndef TCP_HARNESS_MULTISIM_HH
+#define TCP_HARNESS_MULTISIM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/batch.hh"
+#include "sim/json.hh"
+
+namespace tcp {
+
+/**
+ * One coalesced job: the specs (by index into the submitted batch)
+ * that share a workload pass. A group of one is scheduled as a plain
+ * runSpec() job; larger groups run through runLaneGroup().
+ */
+struct LaneGroup
+{
+    /** Member spec indices, in submission order. */
+    std::vector<std::size_t> lanes;
+};
+
+/**
+ * The coalescing key of one spec: every field that must match for two
+ * specs to share an arena cursor and phase boundaries — workload
+ * identity (name, seed, arena), run shape (instructions, warmup,
+ * interval), and the canonical hierarchy-config hash. Engine and
+ * observability fields (ledger/check/metrics) are deliberately
+ * absent: they are per-lane.
+ */
+std::string laneGroupKey(const RunSpec &spec);
+
+/**
+ * Partition @p specs into lane groups: specs sharing a laneGroupKey()
+ * coalesce (up to @p opt.max_lanes per group, in submission order),
+ * everything else — including specs with no attached arena — becomes
+ * a singleton group. With coalescing disabled every group is a
+ * singleton, reproducing the classic one-job-per-spec schedule.
+ */
+std::vector<LaneGroup> coalesceSpecs(const std::vector<RunSpec> &specs,
+                                     const LaneOptions &opt);
+
+/**
+ * Run one multi-lane group start to finish on the calling thread and
+ * return the per-lane results in group.lanes order. Mirrors
+ * runTrace() exactly — same warmup reset, interval sampling, and
+ * result snapshot, via harness/run_internal.hh — with the core
+ * stepping replaced by the shared-cursor block interleave.
+ */
+std::vector<RunResult> runLaneGroup(const std::vector<RunSpec> &specs,
+                                    const LaneGroup &group);
+
+/**
+ * Serialize a finished batch's lane structure: one record per group
+ * with the coalescing key fields, the per-lane result JSON, and the
+ * group's summed ledger counters ("totals"). `tcpreport diff --lanes`
+ * cross-checks that the per-lane ledger partitions sum to exactly
+ * these totals.
+ */
+Json laneGroupsJson(const std::vector<RunSpec> &specs,
+                    const std::vector<RunResult> &results,
+                    const LaneOptions &opt);
+
+} // namespace tcp
+
+#endif // TCP_HARNESS_MULTISIM_HH

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Pieces of the run loop shared by the single-run path (runner.cc)
+ * and the config-parallel lane path (multisim.cc). Both paths must
+ * produce bit-identical RunResults for the same spec — the lane
+ * determinism contract — so everything that shapes a result beyond
+ * the core/hierarchy stepping itself lives here exactly once:
+ * interval snapshots and sample construction, the warmup-boundary
+ * statistics reset, and the end-of-run result snapshot.
+ *
+ * Internal to the harness; not part of its public interface.
+ */
+
+#ifndef TCP_HARNESS_RUN_INTERNAL_HH
+#define TCP_HARNESS_RUN_INTERNAL_HH
+
+#include "harness/runner.hh"
+#include "prefetch/dbcp.hh"
+#include "sim/trace_sink.hh"
+
+namespace tcp {
+
+/** Counter snapshot used to difference interval samples. */
+struct IntervalSnapshot
+{
+    std::uint64_t insns = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t l1d_hits = 0;
+    std::uint64_t l1d_misses = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l2_misses = 0;
+    std::uint64_t original = 0;
+    std::uint64_t prefetched_original = 0;
+    std::uint64_t pf_issued = 0;
+    std::uint64_t pf_useful = 0;
+    std::uint64_t pf_late = 0;
+
+    static IntervalSnapshot
+    take(const CoreResult &cr, const MemoryHierarchy &mem,
+         const Prefetcher *pf)
+    {
+        IntervalSnapshot s;
+        s.insns = cr.instructions;
+        s.cycles = cr.cycles;
+        s.l1d_hits = mem.l1d_hits.value();
+        s.l1d_misses = mem.l1d_misses.value();
+        s.l2_hits = mem.l2_demand_hits.value();
+        s.l2_misses = mem.l2_demand_misses.value();
+        s.original = mem.original_l2.value();
+        s.prefetched_original = mem.prefetched_original.value();
+        if (pf) {
+            s.pf_issued = pf->issued.value();
+            s.pf_useful = pf->useful.value();
+            s.pf_late = pf->late.value();
+        }
+        return s;
+    }
+};
+
+/**
+ * Build one interval sample from the counter deltas between @p prev
+ * and @p cur (@p ran measured instructions in between), positioned
+ * relative to the end-of-warmup core state @p warm.
+ */
+inline IntervalSample
+buildIntervalSample(const IntervalSnapshot &prev,
+                    const IntervalSnapshot &cur, const CoreResult &warm,
+                    std::uint64_t ran)
+{
+    const auto rate = [](std::uint64_t num, std::uint64_t den) {
+        return den ? static_cast<double>(num) /
+                         static_cast<double>(den)
+                   : 0.0;
+    };
+    IntervalSample s;
+    s.instructions = cur.insns - warm.instructions;
+    s.cycles = cur.cycles - warm.cycles;
+    s.ipc = rate(ran, cur.cycles - prev.cycles);
+    s.l1d_miss_rate =
+        rate(cur.l1d_misses - prev.l1d_misses,
+             (cur.l1d_hits - prev.l1d_hits) +
+                 (cur.l1d_misses - prev.l1d_misses));
+    s.l2_miss_rate =
+        rate(cur.l2_misses - prev.l2_misses,
+             (cur.l2_hits - prev.l2_hits) +
+                 (cur.l2_misses - prev.l2_misses));
+    s.pf_accuracy = rate(cur.pf_useful - prev.pf_useful,
+                         cur.pf_issued - prev.pf_issued);
+    s.pf_coverage =
+        rate(cur.prefetched_original - prev.prefetched_original,
+             cur.original - prev.original);
+    s.pf_lateness = rate(cur.pf_late - prev.pf_late,
+                         cur.pf_useful - prev.pf_useful);
+    return s;
+}
+
+/** Emit one interval's counter tracks to the installed trace sink. */
+inline void
+emitIntervalTracks(const IntervalSample &s, std::uint64_t cycles,
+                   const PrefetchLedger *ledger)
+{
+    traceCounter("ipc", cycles, s.ipc);
+    traceCounter("l1d_miss_rate", cycles, s.l1d_miss_rate);
+    traceCounter("l2_miss_rate", cycles, s.l2_miss_rate);
+    traceCounter("pf_accuracy", cycles, s.pf_accuracy);
+    traceCounter("pf_coverage", cycles, s.pf_coverage);
+    if (ledger) {
+        // Cumulative lifecycle outcomes as counter tracks;
+        // retirement lags issue, so rates over one interval
+        // would misattribute and cumulative counts are the
+        // honest series.
+        const auto track = [&](const char *name, const Counter &c) {
+            traceCounter(name, cycles,
+                         static_cast<double>(c.value()));
+        };
+        track("ledger_useful", ledger->useful);
+        track("ledger_late", ledger->late);
+        track("ledger_early", ledger->early);
+        track("ledger_pollution", ledger->pollution);
+        track("ledger_redundant", ledger->redundant);
+        track("ledger_dropped", ledger->dropped);
+    }
+}
+
+/**
+ * Warmup boundary: reset every statistic the measured window reports
+ * (but no learned state).
+ */
+inline void
+resetStatsAfterWarmup(MemoryHierarchy &mem, PrefetchLedger *ledger,
+                      EngineSetup &engine)
+{
+    mem.stats().resetAll();
+    if (ledger)
+        ledger->reset();
+    if (engine.prefetcher)
+        engine.prefetcher->stats().resetAll();
+    if (engine.dbp)
+        engine.dbp->stats().resetAll();
+    if (engine.crit)
+        engine.crit->stats().resetAll();
+}
+
+/** Restrict a cumulative core result to the measured window. */
+inline CoreResult
+subtractWarm(CoreResult cr, const CoreResult &warm)
+{
+    cr.instructions -= warm.instructions;
+    cr.cycles -= warm.cycles;
+    cr.ipc = cr.cycles ? static_cast<double>(cr.instructions) /
+                             static_cast<double>(cr.cycles)
+                       : 0.0;
+    cr.loads -= warm.loads;
+    cr.stores -= warm.stores;
+    cr.branches -= warm.branches;
+    cr.mispredicts -= warm.mispredicts;
+    return cr;
+}
+
+/**
+ * Snapshot everything a finished run reports before its components
+ * die with the caller's frame. Finalizes the ledger.
+ */
+inline RunResult
+snapshotRunResult(const std::string &workload, EngineSetup &engine,
+                  MemoryHierarchy &mem, const CoreResult &cr,
+                  std::vector<IntervalSample> intervals,
+                  PrefetchLedger *ledger)
+{
+    RunResult out;
+    out.workload = workload;
+    out.prefetcher =
+        engine.prefetcher ? engine.prefetcher->name() : "none";
+    out.core = cr;
+    out.l1d_hits = mem.l1d_hits.value();
+    out.l1d_misses = mem.l1d_misses.value();
+    out.l2_demand_hits = mem.l2_demand_hits.value();
+    out.l2_demand_misses = mem.l2_demand_misses.value();
+    out.original_l2 = mem.original_l2.value();
+    out.prefetched_original = mem.prefetched_original.value();
+    out.nonprefetched_original = mem.nonprefetched_original.value();
+    out.promotions_l1 = mem.promotions_l1.value();
+    if (engine.prefetcher) {
+        out.pf_fills = mem.prefetch_fills.value();
+        out.pf_issued = engine.prefetcher->issued.value();
+        out.pf_useful = engine.prefetcher->useful.value();
+        out.pf_late = engine.prefetcher->late.value();
+        out.pf_dropped = engine.prefetcher->dropped.value();
+        out.pf_storage_bits = engine.prefetcher->storageBits();
+    }
+    out.intervals = std::move(intervals);
+    if (ledger) {
+        ledger->finalize();
+        out.ledger_issued = ledger->issued.value();
+        out.ledger_useful = ledger->useful.value();
+        out.ledger_late = ledger->late.value();
+        out.ledger_early = ledger->early.value();
+        out.ledger_pollution = ledger->pollution.value();
+        out.ledger_redundant = ledger->redundant.value();
+        out.ledger_dropped = ledger->dropped.value();
+        out.ledger_unresolved = ledger->unresolved.value();
+        out.ledger = ledger->toJson();
+    }
+    // Capture the full stats tree before the components die with
+    // the caller's frame. Only groups reset at the start of the
+    // measured window belong here: everything in "stats" then
+    // describes the same window as the snapshot counters above.
+    out.stats = Json::object();
+    out.stats["mem"] = mem.stats().toJson();
+    if (engine.prefetcher)
+        out.stats["prefetcher"] = engine.prefetcher->stats().toJson();
+    if (engine.dbp)
+        out.stats["dead_block"] = engine.dbp->stats().toJson();
+    if (engine.crit)
+        out.stats["criticality"] = engine.crit->stats().toJson();
+    return out;
+}
+
+} // namespace tcp
+
+#endif // TCP_HARNESS_RUN_INTERNAL_HH

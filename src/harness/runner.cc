@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "check/diff.hh"
+#include "harness/run_internal.hh"
 #include "obs/profiler.hh"
 #include "prefetch/dbcp.hh"
 #include "sim/build_info.hh"
@@ -230,43 +231,6 @@ standardEngineNames()
     return names;
 }
 
-/** Counter snapshot used to difference interval samples. */
-struct IntervalSnapshot
-{
-    std::uint64_t insns = 0;
-    std::uint64_t cycles = 0;
-    std::uint64_t l1d_hits = 0;
-    std::uint64_t l1d_misses = 0;
-    std::uint64_t l2_hits = 0;
-    std::uint64_t l2_misses = 0;
-    std::uint64_t original = 0;
-    std::uint64_t prefetched_original = 0;
-    std::uint64_t pf_issued = 0;
-    std::uint64_t pf_useful = 0;
-    std::uint64_t pf_late = 0;
-
-    static IntervalSnapshot
-    take(const CoreResult &cr, const MemoryHierarchy &mem,
-         const Prefetcher *pf)
-    {
-        IntervalSnapshot s;
-        s.insns = cr.instructions;
-        s.cycles = cr.cycles;
-        s.l1d_hits = mem.l1d_hits.value();
-        s.l1d_misses = mem.l1d_misses.value();
-        s.l2_hits = mem.l2_demand_hits.value();
-        s.l2_misses = mem.l2_demand_misses.value();
-        s.original = mem.original_l2.value();
-        s.prefetched_original = mem.prefetched_original.value();
-        if (pf) {
-            s.pf_issued = pf->issued.value();
-            s.pf_useful = pf->useful.value();
-            s.pf_late = pf->late.value();
-        }
-        return s;
-    }
-};
-
 RunResult
 runTrace(TraceSource &source, const MachineConfig &machine,
          EngineSetup &engine, std::uint64_t instructions,
@@ -308,15 +272,8 @@ runTrace(TraceSource &source, const MachineConfig &machine,
         ScopedPhase phase(Phase::Warmup);
         ScopedTraceSink mute(nullptr);
         warm = core.run(source, warmup);
-        mem.stats().resetAll();
-        if (ledger_obj)
-            ledger_obj->reset();
-        if (engine.prefetcher)
-            engine.prefetcher->stats().resetAll();
-        if (engine.dbp)
-            engine.dbp->stats().resetAll();
-        if (engine.crit)
-            engine.crit->stats().resetAll();
+        resetStatsAfterWarmup(mem, ledger_obj ? &*ledger_obj : nullptr,
+                              engine);
     }
 
     // Telemetry attaches at the warmup boundary so its distributions
@@ -352,53 +309,11 @@ runTrace(TraceSource &source, const MachineConfig &machine,
             const std::uint64_t ran = cur.insns - prev.insns;
             if (ran == 0)
                 break; // source exhausted at the chunk boundary
-            const auto rate = [](std::uint64_t num, std::uint64_t den) {
-                return den ? static_cast<double>(num) /
-                                 static_cast<double>(den)
-                           : 0.0;
-            };
-            IntervalSample s;
-            s.instructions = cur.insns - warm.instructions;
-            s.cycles = cur.cycles - warm.cycles;
-            s.ipc = rate(ran, cur.cycles - prev.cycles);
-            s.l1d_miss_rate =
-                rate(cur.l1d_misses - prev.l1d_misses,
-                     (cur.l1d_hits - prev.l1d_hits) +
-                         (cur.l1d_misses - prev.l1d_misses));
-            s.l2_miss_rate =
-                rate(cur.l2_misses - prev.l2_misses,
-                     (cur.l2_hits - prev.l2_hits) +
-                         (cur.l2_misses - prev.l2_misses));
-            s.pf_accuracy = rate(cur.pf_useful - prev.pf_useful,
-                                 cur.pf_issued - prev.pf_issued);
-            s.pf_coverage =
-                rate(cur.prefetched_original - prev.prefetched_original,
-                     cur.original - prev.original);
-            s.pf_lateness = rate(cur.pf_late - prev.pf_late,
-                                 cur.pf_useful - prev.pf_useful);
+            const IntervalSample s =
+                buildIntervalSample(prev, cur, warm, ran);
             intervals.push_back(s);
-            traceCounter("ipc", cur.cycles, s.ipc);
-            traceCounter("l1d_miss_rate", cur.cycles, s.l1d_miss_rate);
-            traceCounter("l2_miss_rate", cur.cycles, s.l2_miss_rate);
-            traceCounter("pf_accuracy", cur.cycles, s.pf_accuracy);
-            traceCounter("pf_coverage", cur.cycles, s.pf_coverage);
-            if (ledger_obj) {
-                // Cumulative lifecycle outcomes as counter tracks;
-                // retirement lags issue, so rates over one interval
-                // would misattribute and cumulative counts are the
-                // honest series.
-                const auto track = [&](const char *name,
-                                       const Counter &c) {
-                    traceCounter(name, cur.cycles,
-                                 static_cast<double>(c.value()));
-                };
-                track("ledger_useful", ledger_obj->useful);
-                track("ledger_late", ledger_obj->late);
-                track("ledger_early", ledger_obj->early);
-                track("ledger_pollution", ledger_obj->pollution);
-                track("ledger_redundant", ledger_obj->redundant);
-                track("ledger_dropped", ledger_obj->dropped);
-            }
+            emitIntervalTracks(s, cur.cycles,
+                               ledger_obj ? &*ledger_obj : nullptr);
             prev = cur;
             remaining -= chunk;
             if (ran < chunk)
@@ -407,15 +322,7 @@ runTrace(TraceSource &source, const MachineConfig &machine,
     }
     // The core accumulates across run() calls; report the measured
     // window only.
-    cr.instructions -= warm.instructions;
-    cr.cycles -= warm.cycles;
-    cr.ipc = cr.cycles ? static_cast<double>(cr.instructions) /
-                             static_cast<double>(cr.cycles)
-                       : 0.0;
-    cr.loads -= warm.loads;
-    cr.stores -= warm.stores;
-    cr.branches -= warm.branches;
-    cr.mispredicts -= warm.mispredicts;
+    cr = subtractWarm(cr, warm);
     measure_phase.reset();
     ScopedPhase finalize_phase(Phase::Finalize);
 
@@ -432,53 +339,9 @@ runTrace(TraceSource &source, const MachineConfig &machine,
         mem.attachMetrics(nullptr);
     }
 
-    RunResult out;
-    out.workload = source.name();
-    out.prefetcher =
-        engine.prefetcher ? engine.prefetcher->name() : "none";
-    out.core = cr;
-    out.l1d_hits = mem.l1d_hits.value();
-    out.l1d_misses = mem.l1d_misses.value();
-    out.l2_demand_hits = mem.l2_demand_hits.value();
-    out.l2_demand_misses = mem.l2_demand_misses.value();
-    out.original_l2 = mem.original_l2.value();
-    out.prefetched_original = mem.prefetched_original.value();
-    out.nonprefetched_original = mem.nonprefetched_original.value();
-    out.promotions_l1 = mem.promotions_l1.value();
-    if (engine.prefetcher) {
-        out.pf_fills = mem.prefetch_fills.value();
-        out.pf_issued = engine.prefetcher->issued.value();
-        out.pf_useful = engine.prefetcher->useful.value();
-        out.pf_late = engine.prefetcher->late.value();
-        out.pf_dropped = engine.prefetcher->dropped.value();
-        out.pf_storage_bits = engine.prefetcher->storageBits();
-    }
-    out.intervals = std::move(intervals);
-    if (ledger_obj) {
-        ledger_obj->finalize();
-        out.ledger_issued = ledger_obj->issued.value();
-        out.ledger_useful = ledger_obj->useful.value();
-        out.ledger_late = ledger_obj->late.value();
-        out.ledger_early = ledger_obj->early.value();
-        out.ledger_pollution = ledger_obj->pollution.value();
-        out.ledger_redundant = ledger_obj->redundant.value();
-        out.ledger_dropped = ledger_obj->dropped.value();
-        out.ledger_unresolved = ledger_obj->unresolved.value();
-        out.ledger = ledger_obj->toJson();
-    }
-    // Capture the full stats tree before the components die with
-    // this frame. Only groups reset at the start of the measured
-    // window belong here: everything in "stats" then describes the
-    // same window as the snapshot counters above.
-    out.stats = Json::object();
-    out.stats["mem"] = mem.stats().toJson();
-    if (engine.prefetcher)
-        out.stats["prefetcher"] = engine.prefetcher->stats().toJson();
-    if (engine.dbp)
-        out.stats["dead_block"] = engine.dbp->stats().toJson();
-    if (engine.crit)
-        out.stats["criticality"] = engine.crit->stats().toJson();
-    return out;
+    return snapshotRunResult(source.name(), engine, mem, cr,
+                             std::move(intervals),
+                             ledger_obj ? &*ledger_obj : nullptr);
 }
 
 RunResult

@@ -46,4 +46,34 @@ MachineConfig::describe() const
     return oss.str();
 }
 
+namespace {
+
+void
+keyCache(std::ostringstream &oss, const CacheConfig &c)
+{
+    oss << c.size_bytes << ',' << c.assoc << ',' << c.block_bytes
+        << ',' << c.latency << ',' << c.mshrs << ','
+        << static_cast<unsigned>(c.repl) << ';';
+}
+
+} // namespace
+
+std::string
+MachineConfig::canonicalKey() const
+{
+    std::ostringstream oss;
+    oss << core.rob_entries << ',' << core.lsq_entries << ','
+        << core.issue_width << ',' << core.int_alu << ','
+        << core.int_mult << ',' << core.fp_alu << ','
+        << core.fp_mult << ',' << core.mem_ports << ';';
+    keyCache(oss, l1d);
+    keyCache(oss, l1i);
+    keyCache(oss, l2);
+    oss << l1l2_bus.bytes_per_cycle << ',' << mem_bus.bytes_per_cycle
+        << ',' << memory_latency << ',' << ideal_l2 << ','
+        << prefetch_bus << ',' << train_on_l2_misses << ','
+        << naive_l1_promote;
+    return oss.str();
+}
+
 } // namespace tcp

@@ -122,6 +122,15 @@ struct MachineConfig
 
     /** Render a human-readable summary (reproduces Table 1). */
     std::string describe() const;
+
+    /**
+     * Canonical identity key: two configs produce identical hierarchy
+     * timing iff their keys compare equal. Every timing-relevant
+     * field is serialized (display names are excluded); the batch
+     * coalescer groups RunSpecs by this key instead of comparing
+     * whole structs field by field.
+     */
+    std::string canonicalKey() const;
 };
 
 } // namespace tcp

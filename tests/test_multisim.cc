@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the config-parallel multi-sim: the lane determinism
+ * contract (every lane of a coalesced group is bit-identical to the
+ * equivalent independent runSpec(), at any job count, with every
+ * observer attached), coalescing-key hygiene, clean operation under
+ * the differential checker, a fuzz-style seed sweep in lane mode,
+ * and the lane-group ledger partition invariant.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/batch.hh"
+#include "harness/multisim.hh"
+
+namespace tcp {
+namespace {
+
+constexpr std::uint64_t kInstructions = 40000;
+
+/**
+ * A K-lane matrix over one workload pass: engines spanning the
+ * share-eligible TCP fast path (several geometries that share a
+ * leader THT), a TCP variant that is NOT share-eligible (hybrid uses
+ * stride assist), and non-TCP lanes — so one group exercises leader,
+ * followers, and bystanders together.
+ */
+std::vector<RunSpec>
+laneMatrix(const std::string &workload, std::uint64_t seed,
+           bool ledger, bool check, bool metrics,
+           std::uint64_t interval = 0)
+{
+    std::vector<RunSpec> specs;
+    for (const std::string &engine :
+         {std::string("tcp8k"), std::string("tcp:2048:0"),
+          std::string("tcp:32768:2"), std::string("hybrid8k"),
+          std::string("none"), std::string("stride")}) {
+        specs.push_back({.workload = workload,
+                         .engine = engine,
+                         .instructions = kInstructions,
+                         .seed = seed,
+                         .interval = interval,
+                         .ledger = ledger,
+                         .check = check,
+                         .metrics = metrics});
+    }
+    return specs;
+}
+
+/** Independent reference: one runSpec() per spec, sequentially. */
+std::vector<RunResult>
+independent(const std::vector<RunSpec> &specs)
+{
+    std::vector<RunResult> out;
+    for (const RunSpec &spec : specs)
+        out.push_back(runSpec(spec));
+    return out;
+}
+
+/// The lane determinism contract with every observer attached:
+/// stats, ledger, and telemetry JSON of each lane are bit-identical
+/// to the independent run of the same spec, at --jobs 1 and 8.
+TEST(MultiSimTest, LanesBitIdenticalToIndependentRuns)
+{
+    std::vector<RunSpec> specs =
+        laneMatrix("swim", 1, /*ledger=*/true, /*check=*/false,
+                   /*metrics=*/true, /*interval=*/10000);
+    attachArenas(specs);
+
+    // The matrix must actually coalesce: one shared pass, K lanes.
+    const std::vector<LaneGroup> groups =
+        coalesceSpecs(specs, LaneOptions{});
+    ASSERT_EQ(groups.size(), 1u);
+    ASSERT_EQ(groups[0].lanes.size(), specs.size());
+
+    const std::vector<RunResult> reference = independent(specs);
+    BatchRunner narrow(1);
+    BatchRunner wide(8);
+    const std::vector<RunResult> lanes1 =
+        narrow.run(specs, nullptr, LaneOptions{});
+    const std::vector<RunResult> lanes8 =
+        wide.run(specs, nullptr, LaneOptions{});
+    ASSERT_EQ(lanes1.size(), specs.size());
+    ASSERT_EQ(lanes8.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        // toJson() serialises every counter, stat map, interval
+        // sample, ledger block, and metrics snapshot — equal dumps
+        // mean bit-identical results.
+        const std::string want = reference[i].toJson().dump(2);
+        EXPECT_EQ(lanes1[i].toJson().dump(2), want)
+            << specs[i].engine << " (jobs=1)";
+        EXPECT_EQ(lanes8[i].toJson().dump(2), want)
+            << specs[i].engine << " (jobs=8)";
+    }
+}
+
+/// --no-coalesce (and lanes < 2) reproduce the classic schedule and
+/// the same bits.
+TEST(MultiSimTest, NoCoalesceMatchesCoalesced)
+{
+    std::vector<RunSpec> specs = laneMatrix(
+        "gzip", 7, /*ledger=*/false, /*check=*/false,
+        /*metrics=*/false);
+    attachArenas(specs);
+    BatchRunner runner(2);
+    const std::vector<RunResult> grouped =
+        runner.run(specs, nullptr, LaneOptions{});
+    const std::vector<RunResult> solo = runner.run(
+        specs, nullptr, LaneOptions{.max_lanes = 16, .coalesce = false});
+    ASSERT_EQ(grouped.size(), solo.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(grouped[i].toJson().dump(), solo[i].toJson().dump())
+            << specs[i].engine;
+}
+
+/// Coalescing keys: only specs sharing workload, seed, run shape,
+/// and canonical machine config group together; max_lanes splits;
+/// arena-less specs stay singletons.
+TEST(MultiSimTest, CoalesceKeysAndLimits)
+{
+    RunSpec base{.workload = "art",
+                 .engine = "tcp8k",
+                 .instructions = kInstructions,
+                 .seed = 1};
+    RunSpec other_seed = base;
+    other_seed.seed = 2;
+    RunSpec other_machine = base;
+    other_machine.machine.l2.size_bytes *= 2;
+    RunSpec other_shape = base;
+    other_shape.instructions = kInstructions / 2;
+    std::vector<RunSpec> specs = {base, base, other_seed,
+                                  other_machine, other_shape, base};
+    attachArenas(specs);
+    const std::vector<LaneGroup> groups =
+        coalesceSpecs(specs, LaneOptions{});
+    // {0,1,5} coalesce; the seed/machine/shape variants are alone.
+    ASSERT_EQ(groups.size(), 4u);
+    EXPECT_EQ(groups[0].lanes,
+              (std::vector<std::size_t>{0, 1, 5}));
+
+    // max_lanes caps the group size.
+    const std::vector<LaneGroup> capped =
+        coalesceSpecs(specs, LaneOptions{.max_lanes = 2});
+    ASSERT_EQ(capped.size(), 5u);
+    EXPECT_EQ(capped[0].lanes, (std::vector<std::size_t>{0, 1}));
+
+    // Specs with no arena never coalesce.
+    std::vector<RunSpec> bare = {base, base};
+    const std::vector<LaneGroup> singles =
+        coalesceSpecs(bare, LaneOptions{});
+    EXPECT_EQ(singles.size(), 2u);
+}
+
+/// Lane mode stays clean under the differential checker: the
+/// reference models see the same access stream the lanes simulate,
+/// for leader, follower, and bystander lanes alike.
+TEST(MultiSimTest, CleanUnderDifferentialChecker)
+{
+    std::vector<RunSpec> specs =
+        laneMatrix("mcf", 3, /*ledger=*/false, /*check=*/true,
+                   /*metrics=*/false);
+    attachArenas(specs);
+    BatchRunner runner(2);
+    // DiffChecker panics on the first divergence, so completing the
+    // batch IS the assertion.
+    const std::vector<RunResult> results =
+        runner.run(specs, nullptr, LaneOptions{});
+    EXPECT_EQ(results.size(), specs.size());
+}
+
+/// Fuzz-style smoke: sweep seeds through lane mode with the checker
+/// armed and compare each lane against its independent run.
+TEST(MultiSimTest, SeedSweepLaneModeSmoke)
+{
+    BatchRunner runner(4);
+    for (std::uint64_t seed : {11ull, 12ull, 13ull, 14ull}) {
+        std::vector<RunSpec> specs;
+        for (const std::string &engine :
+             {std::string("tcp8k"), std::string("tcp:2048:0"),
+              std::string("tcp:8192:1")}) {
+            specs.push_back({.workload = "facerec",
+                             .engine = engine,
+                             .instructions = 20000,
+                             .seed = seed,
+                             .check = true});
+        }
+        attachArenas(specs);
+        const std::vector<RunResult> reference = independent(specs);
+        const std::vector<RunResult> lanes =
+            runner.run(specs, nullptr, LaneOptions{});
+        ASSERT_EQ(lanes.size(), specs.size());
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            EXPECT_EQ(lanes[i].toJson().dump(),
+                      reference[i].toJson().dump())
+                << specs[i].engine << " seed=" << seed;
+    }
+}
+
+/// The lane-group record's summed ledger totals equal the per-lane
+/// partitions — the invariant `tcpreport diff --lanes` gates on.
+TEST(MultiSimTest, LedgerPartitionsSumToGroupTotals)
+{
+    std::vector<RunSpec> specs =
+        laneMatrix("ammp", 5, /*ledger=*/true, /*check=*/false,
+                   /*metrics=*/false);
+    attachArenas(specs);
+    BatchRunner runner(2);
+    const LaneOptions opt{};
+    const std::vector<RunResult> results =
+        runner.run(specs, nullptr, opt);
+    const Json doc = laneGroupsJson(specs, results, opt);
+    const Json &groups = doc.at("groups");
+    ASSERT_EQ(groups.size(), 1u);
+    const Json &group = groups.at(0);
+    const Json &lanes = group.at("lanes");
+    ASSERT_EQ(lanes.size(), specs.size());
+    const Json &totals = group.at("totals");
+    for (const char *name : {"issued", "useful", "late", "early",
+                             "pollution", "redundant", "dropped",
+                             "unresolved"}) {
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            const Json *ledger = lanes.at(i).find("ledger");
+            ASSERT_NE(ledger, nullptr);
+            if (const Json *v = ledger->find(name))
+                sum += v->asUint();
+        }
+        EXPECT_EQ(totals.at(name).asUint(), sum) << name;
+    }
+    // At least one lane prefetches, so the invariant is non-vacuous.
+    EXPECT_GT(totals.at("issued").asUint(), 0u);
+}
+
+} // namespace
+} // namespace tcp

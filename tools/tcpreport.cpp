@@ -725,12 +725,74 @@ printHeadline(const Json &a, const Json &b)
     std::cout << table.render();
 }
 
+/**
+ * Lane-partition cross-check: for every group in a lane-group record
+ * (tcpsim sweep --lanes-json / laneGroupsJson), the per-lane ledger
+ * outcome counters must sum to exactly the group's "totals" block —
+ * lanes partition the coalesced group's prefetch attribution, so any
+ * drift means a lane double-counted or lost lifecycle events.
+ */
+int
+diffLanes(const std::string &path)
+{
+    const Json doc = loadRecord(path);
+    const Json *groups = doc.find("groups");
+    if (!groups || groups->type() != Json::Type::Array)
+        tcp_fatal("tcpreport diff --lanes: ", path,
+                  " has no \"groups\" array (expected a "
+                  "tcpsim sweep --lanes-json record)");
+    static const char *const kOutcomes[] = {
+        "issued",  "useful",    "late",    "early",
+        "pollution", "redundant", "dropped", "unresolved"};
+    TextTable table("lane-partition ledger cross-check");
+    table.setHeader({"group", "workload", "lanes", "status"});
+    std::size_t bad = 0;
+    for (std::size_t g = 0; g < groups->size(); ++g) {
+        const Json &group = groups->at(g);
+        const Json &lanes = group.at("lanes");
+        const Json &totals = group.at("totals");
+        std::string status = "ok";
+        for (const char *name : kOutcomes) {
+            std::uint64_t sum = 0;
+            for (std::size_t i = 0; i < lanes.size(); ++i) {
+                const Json *ledger = lanes.at(i).find("ledger");
+                if (ledger)
+                    sum += uintOr0(*ledger, name);
+            }
+            const std::uint64_t want = uintOr0(totals, name);
+            if (sum != want) {
+                status = std::string(name) + ": lanes sum " +
+                         std::to_string(sum) + " != total " +
+                         std::to_string(want);
+                ++bad;
+                break;
+            }
+        }
+        const Json *wl = group.find("workload");
+        table.addRow({std::to_string(g),
+                      wl ? wl->asString() : std::string("-"),
+                      std::to_string(lanes.size()), status});
+    }
+    std::cout << table.render();
+    if (bad) {
+        std::cout << "\n" << bad << " group(s) with ledger "
+                  << "partitions that do not sum to their totals\n";
+        return 1;
+    }
+    std::cout << "\nall lane partitions sum to their group totals\n";
+    return 0;
+}
+
 int
 cmdDiff(int argc, char **argv)
 {
     ArgParser args;
     args.addFlag("a", "", "baseline run record");
     args.addFlag("b", "", "candidate run record");
+    args.addFlag("lanes", "",
+                 "lane-group record (tcpsim sweep --lanes-json): "
+                 "verify each group's per-lane ledger counters sum "
+                 "to its totals instead of diffing two records");
     args.addFlag("tolerance", "0",
                  "relative tolerance for numeric values "
                  "(0 = exact; integers always exact at 0)");
@@ -742,10 +804,14 @@ cmdDiff(int argc, char **argv)
                  "numeric tolerance");
     args.parse(argc, argv);
 
+    const std::string lanes_path = args.getString("lanes");
+    if (!lanes_path.empty())
+        return diffLanes(lanes_path);
     const std::string path_a = args.getString("a");
     const std::string path_b = args.getString("b");
     if (path_a.empty() || path_b.empty())
-        tcp_fatal("tcpreport diff: --a and --b are required");
+        tcp_fatal("tcpreport diff: --a and --b are required "
+                  "(or pass --lanes <file>)");
     const double tolerance = args.getDouble("tolerance");
     if (tolerance < 0.0)
         tcp_fatal("tcpreport diff: --tolerance must be >= 0");
@@ -797,6 +863,10 @@ usage()
         "      compare two records; exit 1 when any value differs\n"
         "      beyond the tolerance (the CI metrics gate). --hist\n"
         "      quantiles gates histograms on total/p50/p90/p99/max\n"
+        "  diff --lanes <file>\n"
+        "      cross-check a lane-group record (tcpsim sweep\n"
+        "      --lanes-json): per-lane ledger counters must sum to\n"
+        "      each group's totals; exit 1 on any drift\n"
         "  profile <file>\n"
         "      phase breakdown (wall/CPU seconds, counts) from the\n"
         "      record's profile block\n"

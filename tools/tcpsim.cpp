@@ -23,6 +23,7 @@
 #include "analysis/miss_stream.hh"
 #include "analysis/reuse_distance.hh"
 #include "harness/batch.hh"
+#include "harness/multisim.hh"
 #include "harness/runner.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
@@ -81,18 +82,39 @@ addBatchFlags(ArgParser &args)
     args.addFlag("arena", "1",
                  "materialize each workload stream once and share it "
                  "across runs (0 = synthesize per run)");
+    args.addFlag("lanes", "16",
+                 "max predictor lanes per coalesced trace pass "
+                 "(specs sharing a workload/machine run as resident "
+                 "lanes of one job; < 2 disables coalescing)");
+    args.addFlag("no-coalesce", "false",
+                 "schedule every spec as its own job even when specs "
+                 "could share a trace pass (results are bit-identical "
+                 "either way)");
     addProgressFlags(args);
+}
+
+/** Resolve the lane-coalescing flags of addBatchFlags(). */
+LaneOptions
+laneOptionsOf(const ArgParser &args)
+{
+    LaneOptions lanes;
+    lanes.max_lanes = static_cast<unsigned>(args.getUint("lanes"));
+    lanes.coalesce = !args.getBool("no-coalesce");
+    return lanes;
 }
 
 /**
  * Run a multi-run command's specs: one shared arena per workload
- * (unless --arena 0), on a --jobs worker pool. Results come back in
- * submission order, bit-identical to a sequential runNamed() loop.
- * The profiler is installed by the caller so its lifetime spans the
- * progress streamer's final summary.
+ * (unless --arena 0), on a --jobs worker pool, with specs sharing a
+ * workload pass coalesced into lane groups (unless --no-coalesce).
+ * Results come back in submission order, bit-identical to a
+ * sequential runNamed() loop. @p specs is taken by reference so the
+ * caller keeps the arena-attached specs (laneGroupsJson keys on
+ * them). The profiler is installed by the caller so its lifetime
+ * spans the progress streamer's final summary.
  */
 std::vector<RunResult>
-runCommandBatch(const ArgParser &args, std::vector<RunSpec> specs,
+runCommandBatch(const ArgParser &args, std::vector<RunSpec> &specs,
                 const std::string &label)
 {
     PhaseProfiler profiler;
@@ -103,7 +125,7 @@ runCommandBatch(const ArgParser &args, std::vector<RunSpec> specs,
         attachArenas(specs);
     BatchRunner runner(
         static_cast<unsigned>(args.getUint("jobs")));
-    return runner.run(specs, progress.get());
+    return runner.run(specs, progress.get(), laneOptionsOf(args));
 }
 
 /** Register the observability flags shared by run and replay. */
@@ -284,8 +306,7 @@ cmdCompare(int argc, char **argv)
                                 .instructions = instructions,
                                 .seed = seed});
     const std::vector<RunResult> results =
-        runCommandBatch(args, std::move(specs),
-                        "tcpsim compare " + workload);
+        runCommandBatch(args, specs, "tcpsim compare " + workload);
     const RunResult &base = results[0];
 
     TextTable table("tcpsim compare: " + workload);
@@ -337,8 +358,7 @@ cmdSuite(int argc, char **argv)
                                 .seed = seed});
     }
     const std::vector<RunResult> results =
-        runCommandBatch(args, std::move(specs),
-                        "tcpsim suite " + engine);
+        runCommandBatch(args, specs, "tcpsim suite " + engine);
 
     TextTable table("tcpsim suite: " + engine);
     table.setHeader({"workload", "base IPC", "engine IPC", "speedup"});
@@ -367,10 +387,18 @@ cmdSweep(int argc, char **argv)
     args.addFlag("index-bits", "0", "PHT miss-index bits (n)");
     addBatchFlags(args);
     args.addFlag("csv", "false", "emit CSV instead of a text table");
+    args.addFlag("ledger", "false",
+                 "attach the prefetch lifecycle ledger to every run");
+    args.addFlag("lanes-json", "",
+                 "write the batch's lane-group structure (per-lane "
+                 "results + summed ledger totals) as JSON here; "
+                 "cross-check it with 'tcpreport diff --lanes'");
     args.parse(argc, argv);
     const std::string workload = args.getString("workload");
     const std::uint64_t instructions = args.getUint("instructions");
     const std::uint64_t seed = args.getUint("seed");
+    const bool ledger = args.getBool("ledger") ||
+                        !args.getString("lanes-json").empty();
     const unsigned n =
         static_cast<unsigned>(args.getUint("index-bits"));
 
@@ -385,17 +413,22 @@ cmdSweep(int argc, char **argv)
     specs.push_back(RunSpec{.workload = workload,
                             .engine = "none",
                             .instructions = instructions,
-                            .seed = seed});
+                            .seed = seed,
+                            .ledger = ledger});
     for (std::uint64_t bytes : sizes)
         specs.push_back(RunSpec{.workload = workload,
                                 .engine = "tcp:" +
                                           std::to_string(bytes) + ":" +
                                           std::to_string(n),
                                 .instructions = instructions,
-                                .seed = seed});
+                                .seed = seed,
+                                .ledger = ledger});
     const std::vector<RunResult> results =
-        runCommandBatch(args, std::move(specs),
-                        "tcpsim sweep " + workload);
+        runCommandBatch(args, specs, "tcpsim sweep " + workload);
+    const std::string lanes_json = args.getString("lanes-json");
+    if (!lanes_json.empty())
+        writeJsonFile(lanes_json, laneGroupsJson(specs, results,
+                                                 laneOptionsOf(args)));
     const RunResult &base = results[0];
 
     TextTable table("tcpsim sweep: PHT size on " + workload);
