@@ -19,6 +19,7 @@
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "mem/hierarchy.hh"
+#include "obs/causal.hh"
 #include "obs/ledger.hh"
 #include "obs/metrics.hh"
 #include "prefetch/dbcp.hh"
@@ -271,6 +272,47 @@ BM_MetricsEnabled(benchmark::State &state)
     mem.attachMetrics(nullptr);
 }
 BENCHMARK(BM_MetricsEnabled);
+
+void
+BM_CausalDisabled(benchmark::State &state)
+{
+    // The causal-tracer contract: detached, every attach point on
+    // the miss path (engine begin/reason/probe hooks, hierarchy
+    // issue hooks, ledger retire join) is one pointer test and a
+    // not-taken [[unlikely]] branch. CI gates this row against
+    // BM_MetricsDisabled-style drift (<=1% over the plain path).
+    MemoryHierarchy mem(MachineConfig{});
+    Rng rng(7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr a = (rng.next() & 2047) * 32;
+        benchmark::DoNotOptimize(
+            mem.dataAccess(a, AccessType::Read, 0x1000, ++now));
+    }
+}
+BENCHMARK(BM_CausalDisabled);
+
+void
+BM_CausalEnabled(benchmark::State &state)
+{
+    // Attached path: every L1-D miss opens a packed SoA record
+    // (trigger, THT transition, PHT probe, decision) and every
+    // issued prefetch appends an event plus a ledger-id map entry
+    // for the retirement join. Bounded capacity keeps the working
+    // set flat over a long benchmark run.
+    CausalTracer tracer(/*capacity=*/64 * 1024);
+    MemoryHierarchy mem(MachineConfig{});
+    mem.attachCausal(&tracer);
+    Rng rng(7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr a = (rng.next() & 2047) * 32;
+        benchmark::DoNotOptimize(
+            mem.dataAccess(a, AccessType::Read, 0x1000, ++now));
+    }
+    mem.attachCausal(nullptr);
+}
+BENCHMARK(BM_CausalEnabled);
 
 void
 BM_TcpObserveMissTraced(benchmark::State &state)

@@ -27,8 +27,18 @@ def load(path):
         print(f"bench_compare: cannot read {path}: {err}",
               file=sys.stderr)
         return None
+    # A schema mismatch (not google-benchmark JSON, e.g. an artifact
+    # from an older pipeline) degrades the same way as a missing
+    # file: report it and let the caller carry on without the diff.
+    if not isinstance(doc, dict) or \
+            not isinstance(doc.get("benchmarks"), list):
+        print(f"bench_compare: {path} is not google-benchmark JSON "
+              "(no 'benchmarks' list)", file=sys.stderr)
+        return None
     out = {}
-    for bench in doc.get("benchmarks", []):
+    for bench in doc["benchmarks"]:
+        if not isinstance(bench, dict) or "name" not in bench:
+            continue
         if bench.get("run_type") == "aggregate":
             continue
         out[bench["name"]] = bench
@@ -56,12 +66,16 @@ def main():
 
     cur = load(opts.current)
     if cur is None:
-        return 1
+        # The table is informational; a broken current file should
+        # not fail the build any more than a slow benchmark does.
+        print("bench_compare: nothing to compare; skipping")
+        return 0
     base = load(opts.baseline)
     if base is None:
-        # First run of the pipeline (or expired artifact): nothing to
-        # diff against, but still show the current numbers.
-        print(f"no baseline at {opts.baseline}; current results only")
+        # First run of the pipeline (or expired / reshaped artifact):
+        # nothing to diff against, but still show current numbers.
+        print(f"no usable baseline at {opts.baseline}; "
+              "current results only")
         base = {}
 
     name_w = max([len(n) for n in cur] + [9])
@@ -72,7 +86,11 @@ def main():
     for name, bench in cur.items():
         cur_ns = bench.get("cpu_time")
         base_ns = base.get(name, {}).get("cpu_time")
-        if base_ns:
+        if not isinstance(cur_ns, (int, float)):
+            cur_ns = None
+        if not isinstance(base_ns, (int, float)):
+            base_ns = None
+        if base_ns and cur_ns is not None:
             pct = 100.0 * (cur_ns - base_ns) / base_ns
             mark = "  !!" if pct > opts.threshold else ""
             delta = f"{pct:+7.1f}%{mark}"

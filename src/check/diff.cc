@@ -86,6 +86,20 @@ DivergenceReport::format() const
     return os.str();
 }
 
+Json
+DivergenceReport::toJson() const
+{
+    Json j = Json::object();
+    j["event"] = event;
+    j["component"] = component;
+    j["addr"] = addr;
+    j["set"] = set;
+    j["cycle"] = cycle;
+    j["expected"] = expected;
+    j["actual"] = actual;
+    return j;
+}
+
 DiffChecker::DiffChecker(MemoryHierarchy &mem, const Prefetcher *engine)
     : mem_(mem),
       ref_l1d_(mem.config().l1d),
@@ -130,6 +144,10 @@ DiffChecker::fail(DivergenceReport report)
 {
     report.event = events_;
     failure_ = std::move(report);
+    // The flight recorder (or any other observer) sees the report
+    // before a panic can tear the process down.
+    if (divergence_hook_)
+        divergence_hook_(*failure_);
     if (panic_)
         tcp_panic(failure_->format());
 }

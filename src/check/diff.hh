@@ -17,11 +17,13 @@
 #define TCP_CHECK_DIFF_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
 #include "check/reference.hh"
 #include "mem/hierarchy.hh"
+#include "sim/json.hh"
 
 namespace tcp {
 
@@ -44,6 +46,9 @@ struct DivergenceReport
 
     /** Render the report as a multi-line human-readable block. */
     std::string format() const;
+
+    /** The same fields as an ordered JSON object (flight dumps). */
+    Json toJson() const;
 };
 
 /**
@@ -86,6 +91,19 @@ class DiffChecker : public MemCheckHook
      * catch -> shrink -> report pipeline end to end.
      */
     void injectFaultAt(std::uint64_t event) { inject_at_ = event; }
+
+    /**
+     * Observer fired with the completed report at the moment a
+     * divergence is recorded — before the panic (when armed), so a
+     * flight recorder can dump its postmortem while the state that
+     * diverged is still live. Fires once: only the first divergence
+     * is ever recorded.
+     */
+    void setDivergenceHook(
+        std::function<void(const DivergenceReport &)> hook)
+    {
+        divergence_hook_ = std::move(hook);
+    }
 
     /**
      * Flush any end-of-run checks (predicted prefetches the engine
@@ -146,6 +164,7 @@ class DiffChecker : public MemCheckHook
     /** Prefetch addresses the reference protocol expects next. */
     std::vector<Addr> expected_pf_;
     std::optional<DivergenceReport> failure_;
+    std::function<void(const DivergenceReport &)> divergence_hook_;
     bool panic_ = true;
     std::uint64_t events_ = 0;
     std::uint64_t inject_at_ = 0;

@@ -7,6 +7,7 @@
 
 #include "core/tcp.hh"
 #include "mem/cache.hh"
+#include "obs/causal.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -231,13 +232,32 @@ runCacheTrace(const FuzzTrace &t, std::uint64_t inject_at)
 }
 
 std::optional<DivergenceReport>
-runHierarchyTrace(const FuzzTrace &t, std::uint64_t inject_at)
+runHierarchyTrace(const FuzzTrace &t, std::uint64_t inject_at,
+                  const std::string &flight_path)
 {
     std::unique_ptr<Prefetcher> engine = buildFuzzEngine(t);
     const MachineConfig machine = machineFor(t);
     MemoryHierarchy mem(machine, engine.get());
+    // Flight recording: keep the tail of the causal decision stream
+    // and dump it the moment the checker records a divergence (the
+    // fuzzer runs panic-off, so the hook is the only dump trigger).
+    std::optional<CausalTracer> causal;
+    std::optional<FlightRecorder> flight;
+    if (!flight_path.empty()) {
+        causal.emplace(/*capacity=*/65536);
+        mem.attachCausal(&*causal);
+        flight.emplace(&*causal, flight_path);
+        // Armed for panics too: an assert inside the simulated
+        // machine dumps the same postmortem a divergence would.
+        flight->arm();
+    }
     DiffChecker checker(mem, engine.get());
     checker.setPanicOnDivergence(false);
+    if (flight)
+        checker.setDivergenceHook(
+            [&flight](const DivergenceReport &r) {
+                flight->dumpDivergence(r.toJson());
+            });
     if (inject_at != 0)
         checker.injectFaultAt(inject_at);
 
@@ -365,11 +385,12 @@ genTrace(std::uint64_t seed, FuzzMode mode, std::size_t num_ops,
 }
 
 std::optional<DivergenceReport>
-runFuzzTrace(const FuzzTrace &trace, std::uint64_t inject_at)
+runFuzzTrace(const FuzzTrace &trace, std::uint64_t inject_at,
+             const std::string &flight_path)
 {
     if (trace.mode == FuzzMode::Cache)
         return runCacheTrace(trace, inject_at);
-    return runHierarchyTrace(trace, inject_at);
+    return runHierarchyTrace(trace, inject_at, flight_path);
 }
 
 FuzzTrace

@@ -89,10 +89,15 @@ FuzzTrace genTrace(std::uint64_t seed, FuzzMode mode,
  *        checker event (hierarchy mode) or op index (cache mode);
  *        0 disables. The fault-injection path of the acceptance
  *        criteria.
+ * @param flight_path hierarchy mode: attach a causal tracer and a
+ *        FlightRecorder writing its postmortem here if the trace
+ *        diverges (src/obs/causal). Empty disables; cache mode
+ *        ignores it (no hierarchy to trace).
  * @return the first divergence, or nullopt if lockstep held
  */
 std::optional<DivergenceReport>
-runFuzzTrace(const FuzzTrace &trace, std::uint64_t inject_at = 0);
+runFuzzTrace(const FuzzTrace &trace, std::uint64_t inject_at = 0,
+             const std::string &flight_path = "");
 
 /**
  * Greedy chunk-removal shrink (ddmin-style): repeatedly delete op

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/causal.hh"
 #include "obs/metrics.hh"
 #include "sim/trace_sink.hh"
 #include "util/bits.hh"
@@ -147,6 +148,16 @@ TagCorrelatingPrefetcher::flushMetrics()
 }
 
 void
+TagCorrelatingPrefetcher::setCausalTracer(CausalTracer *tracer)
+{
+    causal_ = tracer;
+    if (tracer)
+        tracer->setGeometry(config_.history_depth,
+                            config_.l1_block_bits,
+                            config_.l1_set_bits);
+}
+
+void
 TagCorrelatingPrefetcher::setLaneLog(TcpLaneLog *log, bool leader)
 {
     if (log) {
@@ -175,6 +186,15 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
     const SetIndex index = missIndex(ctx.addr);
     const Tag tag = missTag(ctx.addr);
     const bool row_was_full = tht_.full(index);
+
+    // Causal record: open the chain before the push mutates the
+    // history storage the span views.
+    if (causal_) [[unlikely]] {
+        causal_->beginMiss(ctx.cycle, ctx.pc, ctx.addr, index, tag,
+                           row_was_full,
+                           row_was_full ? tht_.history(index)
+                                        : std::span<const Tag>{});
+    }
 
     // Leader lane: stage the pre-push history for the group log (the
     // push below mutates the same storage the history span views).
@@ -205,6 +225,11 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
         !crit_table_->isCritical(ctx.pc)) {
         ++filtered;
         tht_.push(index, tag);
+        if (causal_) [[unlikely]] {
+            causal_->setReason(CauseCode::Filtered);
+            if (tht_.full(index))
+                causal_->markFullAfter();
+        }
         return;
     }
 
@@ -248,13 +273,20 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
 
     // --- Lookup: predict the successor(s) of the updated sequence
     // and reconstruct prefetch addresses with the same miss index.
-    if (!tht_.full(index))
+    if (!tht_.full(index)) {
+        if (causal_) [[unlikely]]
+            causal_->setReason(CauseCode::NoHistory);
         return;
+    }
+    if (causal_) [[unlikely]]
+        causal_->markFullAfter();
 
     if (strided) {
         // Predict tag + stride directly.
         const std::int64_t next =
             static_cast<std::int64_t>(tag) + stride;
+        if (causal_) [[unlikely]]
+            causal_->setReason(CauseCode::StridePredicted);
         if (next > 0) {
             ++predictions;
             ++stride_predictions;
@@ -277,6 +309,8 @@ TagCorrelatingPrefetcher::observeMiss(const AccessContext &ctx,
         if (aggression_ == Aggression::Low &&
             (gate_counter_++ & 1)) {
             ++gated;
+            if (causal_) [[unlikely]]
+                causal_->setReason(CauseCode::Gated);
             return;
         }
         if (aggression_ == Aggression::High)
@@ -301,6 +335,16 @@ TagCorrelatingPrefetcher::observeMissReplay(
     const SetIndex index = ev.index;
     const Tag tag = ev.tag;
 
+    // Follower lanes instrument identically to the live path (the
+    // lane bit-identity contract covers attached tracers too).
+    if (causal_) [[unlikely]] {
+        causal_->beginMiss(ctx.cycle, ctx.pc, ctx.addr, index, tag,
+                           ev.row_was_full,
+                           ev.row_was_full
+                               ? ev.prepush
+                               : std::span<const Tag>{});
+    }
+
     if (metrics_) [[unlikely]] {
         if (ev.row_was_full) {
             ++tht_run_;
@@ -318,8 +362,13 @@ TagCorrelatingPrefetcher::observeMissReplay(
     }
     traceEvent("tht_update", "tcp", ctx.cycle, ctx.addr);
 
-    if (!ev.full_after)
+    if (!ev.full_after) {
+        if (causal_) [[unlikely]]
+            causal_->setReason(CauseCode::NoHistory);
         return;
+    }
+    if (causal_) [[unlikely]]
+        causal_->markFullAfter();
 
     seq_scratch_.assign(ev.postpush.begin(), ev.postpush.end());
     chainPredict(ctx, index, tag, config_.degree, out);
@@ -341,6 +390,10 @@ TagCorrelatingPrefetcher::chainPredict(const AccessContext &ctx,
         if (n == 0) {
             ++pht_misses;
             traceEvent("pht_miss", "tcp", ctx.cycle, ctx.addr);
+            if (causal_ && d == 0) [[unlikely]] {
+                causal_->phtProbe(0, 0, false);
+                causal_->setReason(CauseCode::PhtMiss);
+            }
             if (metrics_ && pht_run_) [[unlikely]] {
                 metrics_->phtHitRun(pht_run_);
                 pht_run_ = 0;
@@ -348,6 +401,10 @@ TagCorrelatingPrefetcher::chainPredict(const AccessContext &ctx,
             break;
         }
         traceEvent("pht_hit", "tcp", ctx.cycle, ctx.addr);
+        if (causal_ && d == 0) [[unlikely]] {
+            causal_->phtProbe(hit.set, hit.way, true);
+            causal_->setReason(CauseCode::Predicted);
+        }
         if (metrics_) [[unlikely]]
             ++pht_run_;
         // Attribution: the PHT entry behind these predictions and a
@@ -368,6 +425,8 @@ TagCorrelatingPrefetcher::chainPredict(const AccessContext &ctx,
                 // The predicted block is the one being fetched right
                 // now; issuing it would be pure overhead.
                 ++self_targets;
+                if (causal_) [[unlikely]]
+                    causal_->onSelfTarget(rebuildAddr(next, index));
                 continue;
             }
             out.push_back(PrefetchRequest{rebuildAddr(next, index),

@@ -118,6 +118,14 @@ class TagCorrelatingPrefetcher : public Prefetcher
     void flushMetrics() override;
 
     /**
+     * Causal tracing: with a tracer attached, observeMiss records
+     * the full decision chain of every miss (THT transition, PHT
+     * probe, issue/suppress reason) into it. Stamps the tracer with
+     * this engine's address geometry on attach.
+     */
+    void setCausalTracer(CausalTracer *tracer) override;
+
+    /**
      * Attach the criticality estimator consulted when
      * config().critical_filter is set. The table stays owned by the
      * caller (the harness wires the same instance into the core).
@@ -239,6 +247,9 @@ class TagCorrelatingPrefetcher : public Prefetcher
     bool lane_leader_ = false;
     std::size_t lane_cursor_ = 0;
     /// @}
+
+    /** Causal decision tracer (null = all hooks off). */
+    CausalTracer *causal_ = nullptr;
 
     /// @name Sweep-telemetry state (null sink = all hooks off)
     /// @{

@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "obs/causal.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
 #include "trace/trace_file.hh"
@@ -24,6 +25,12 @@ runSpec(const RunSpec &spec)
         local_metrics.emplace();
         metrics = &*local_metrics;
     }
+    // Private per-job tracer: jobs never share observability state,
+    // so traced batches keep the determinism contract at any --jobs.
+    std::optional<CausalTracer> causal;
+    if (!spec.causal_path.empty())
+        causal.emplace(spec.causal_capacity);
+    CausalTracer *causal_ptr = causal ? &*causal : nullptr;
 
     RunResult result;
     if (spec.arena) {
@@ -42,7 +49,7 @@ runSpec(const RunSpec &spec)
                           spec.instructions, spec.warmup,
                           spec.interval,
                           spec.ledger ? &spec.ledger_config : nullptr,
-                          spec.check, metrics);
+                          spec.check, metrics, causal_ptr);
     } else {
         // Construction order matches runNamed() exactly so a batch
         // job is bit-identical to the sequential convenience path.
@@ -54,10 +61,12 @@ runSpec(const RunSpec &spec)
                           spec.instructions, spec.warmup,
                           spec.interval,
                           spec.ledger ? &spec.ledger_config : nullptr,
-                          spec.check, metrics);
+                          spec.check, metrics, causal_ptr);
     }
     if (local_metrics)
         result.metrics = local_metrics->snapshotJson();
+    if (causal)
+        causal->save(spec.causal_path);
     return result;
 }
 

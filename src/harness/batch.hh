@@ -67,6 +67,18 @@ struct RunSpec
      */
     MetricsRegistry *shared_metrics = nullptr;
     /**
+     * Record the causal decision trace (src/obs/causal) of this run
+     * and save it to this path (.tcpcau) when non-empty. Each job
+     * owns a private tracer, so traced batch runs stay bit-identical
+     * to plain ones at any --jobs / --lanes setting.
+     */
+    std::string causal_path{};
+    /**
+     * Tracer record capacity when @c causal_path is set: keep only
+     * the newest this-many decision records (0 = unbounded).
+     */
+    std::size_t causal_capacity = 0;
+    /**
      * Optional engine override for configurations makeEngine() has no
      * name for (ablation sweeps over TcpConfig). Must be a pure
      * factory: it is invoked once per job, possibly on a worker

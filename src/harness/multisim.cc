@@ -11,6 +11,7 @@
 #include "core/lane_log.hh"
 #include "core/tcp.hh"
 #include "harness/run_internal.hh"
+#include "obs/causal.hh"
 #include "obs/profiler.hh"
 #include "sim/trace_sink.hh"
 #include "util/logging.hh"
@@ -71,6 +72,8 @@ struct Lane
     std::unique_ptr<MemoryHierarchy> mem;
     std::unique_ptr<PrefetchLedger> ledger;
     std::unique_ptr<DiffChecker> checker;
+    /** Private tracer when spec->causal_path is set; else null. */
+    std::unique_ptr<CausalTracer> causal;
     std::unique_ptr<OooCore> core;
     /** Private registry when spec->metrics; else null. */
     std::unique_ptr<MetricsRegistry> local_metrics;
@@ -86,7 +89,8 @@ struct Lane
 } // namespace
 
 std::vector<RunResult>
-runLaneGroup(const std::vector<RunSpec> &specs, const LaneGroup &group)
+runLaneGroup(const std::vector<RunSpec> &specs, const LaneGroup &group,
+             ProgressStreamer *progress)
 {
     tcp_assert(!group.lanes.empty(), "empty lane group");
     const RunSpec &first = specs[group.lanes.front()];
@@ -123,6 +127,13 @@ runLaneGroup(const std::vector<RunSpec> &specs, const LaneGroup &group)
             cfg.naive_l1_promote = true;
         ln.mem = std::make_unique<MemoryHierarchy>(
             cfg, ln.engine.prefetcher.get(), ln.engine.dbp.get());
+        // Same attach order as runTrace(): tracer before ledger, so
+        // a traced lane is bit-identical to its independent run.
+        if (!spec.causal_path.empty()) {
+            ln.causal =
+                std::make_unique<CausalTracer>(spec.causal_capacity);
+            ln.mem->attachCausal(ln.causal.get());
+        }
         if (spec.ledger) {
             ln.ledger =
                 std::make_unique<PrefetchLedger>(spec.ledger_config);
@@ -220,6 +231,11 @@ runLaneGroup(const std::vector<RunSpec> &specs, const LaneGroup &group)
             }
             pos += have;
             done += have;
+            // One chunk advanced every lane by `have` ops; credit
+            // them now so the ETA tracks the group as it runs
+            // instead of jumping when the whole group lands.
+            if (progress)
+                progress->opsProgress(have * lanes.size());
         }
     };
 
@@ -302,6 +318,10 @@ runLaneGroup(const std::vector<RunSpec> &specs, const LaneGroup &group)
             }
             ln.mem->attachMetrics(nullptr);
         }
+        if (ln.causal) {
+            ln.mem->attachCausal(nullptr);
+            ln.causal->save(ln.spec->causal_path);
+        }
         RunResult r = snapshotRunResult(
             ln.spec->workload, ln.engine, *ln.mem, ln.cr,
             std::move(ln.intervals), ln.ledger.get());
@@ -347,14 +367,18 @@ BatchRunner::run(const std::vector<RunSpec> &specs,
                 std::vector<RunResult> rs;
                 if (grp.lanes.size() == 1) {
                     rs.push_back(runSpec(specs[grp.lanes.front()]));
+                    // Singleton groups run opaquely; their full op
+                    // credit lands at completion.
+                    if (progress)
+                        progress->jobFinished(
+                            specOpsNeeded(specs[grp.lanes.front()]));
                 } else {
-                    rs = runLaneGroup(specs, grp);
-                }
-                if (progress) {
-                    std::uint64_t ops = 0;
-                    for (std::size_t idx : grp.lanes)
-                        ops += specOpsNeeded(specs[idx]);
-                    progress->jobFinished(ops);
+                    // Multi-lane groups stream opsProgress() per
+                    // arena chunk inside runLaneGroup, so finishing
+                    // the job must not credit the ops again.
+                    rs = runLaneGroup(specs, grp, progress);
+                    if (progress)
+                        progress->jobFinished(0);
                 }
                 return rs;
             });

@@ -73,10 +73,20 @@ std::vector<LaneGroup> coalesceSpecs(const std::vector<RunSpec> &specs,
  * return the per-lane results in group.lanes order. Mirrors
  * runTrace() exactly — same warmup reset, interval sampling, and
  * result snapshot, via harness/run_internal.hh — with the core
- * stepping replaced by the shared-cursor block interleave.
+ * stepping replaced by the shared-cursor block interleave. Specs
+ * with a causal_path record into private per-lane tracers, so a
+ * traced lane stays bit-identical to its independent runSpec().
+ *
+ * With @p progress attached, each arena chunk credits
+ * opsProgress(chunk * lanes) as it completes — a lane group is one
+ * job covering many specs' ops, and without per-chunk credit the ETA
+ * would see nothing until the whole group lands at once. The caller
+ * finishes the group job with jobFinished(0).
  */
 std::vector<RunResult> runLaneGroup(const std::vector<RunSpec> &specs,
-                                    const LaneGroup &group);
+                                    const LaneGroup &group,
+                                    ProgressStreamer *progress =
+                                        nullptr);
 
 /**
  * Serialize a finished batch's lane structure: one record per group

@@ -6,6 +6,7 @@
 
 #include "check/diff.hh"
 #include "harness/run_internal.hh"
+#include "obs/causal.hh"
 #include "obs/profiler.hh"
 #include "prefetch/dbcp.hh"
 #include "sim/build_info.hh"
@@ -236,7 +237,8 @@ runTrace(TraceSource &source, const MachineConfig &machine,
          EngineSetup &engine, std::uint64_t instructions,
          std::uint64_t warmup, std::uint64_t interval,
          const LedgerConfig *ledger, bool check,
-         MetricsRegistry *metrics)
+         MetricsRegistry *metrics, CausalTracer *causal,
+         FlightRecorder *flight)
 {
     MachineConfig cfg = machine;
     if (engine.wants_prefetch_bus)
@@ -249,6 +251,10 @@ runTrace(TraceSource &source, const MachineConfig &machine,
 
     MemoryHierarchy mem(cfg, engine.prefetcher.get(),
                         engine.dbp.get());
+    // The causal tracer attaches before warmup: a decision record is
+    // only explainable against the history that shaped it.
+    if (causal)
+        mem.attachCausal(causal);
     std::optional<PrefetchLedger> ledger_obj;
     if (ledger) {
         ledger_obj.emplace(*ledger);
@@ -257,8 +263,16 @@ runTrace(TraceSource &source, const MachineConfig &machine,
     // The checker attaches before warmup: the reference models must
     // see every access that shaped the cache state they mirror.
     std::optional<DiffChecker> checker;
-    if (check)
+    if (check) {
         checker.emplace(mem, engine.prefetcher.get());
+        if (flight)
+            checker->setDivergenceHook(
+                [flight](const DivergenceReport &r) {
+                    flight->dumpDivergence(r.toJson());
+                });
+    }
+    if (flight)
+        flight->arm();
     OooCore core(cfg.core, mem);
     if (engine.crit)
         core.setCriticalityTable(engine.crit.get());
@@ -338,6 +352,12 @@ runTrace(TraceSource &source, const MachineConfig &machine,
         }
         mem.attachMetrics(nullptr);
     }
+    if (flight)
+        flight->disarm();
+    // Detach the tracer: the engine outlives this frame but keeps no
+    // record open across runs (attachCausal forwards the detach).
+    if (causal)
+        mem.attachCausal(nullptr);
 
     return snapshotRunResult(source.name(), engine, mem, cr,
                              std::move(intervals),
@@ -350,12 +370,13 @@ runNamed(const std::string &workload_name,
          const MachineConfig &base, std::uint64_t seed,
          std::uint64_t warmup, std::uint64_t interval,
          const LedgerConfig *ledger, bool check,
-         MetricsRegistry *metrics)
+         MetricsRegistry *metrics, CausalTracer *causal,
+         FlightRecorder *flight)
 {
     auto workload = makeWorkload(workload_name, seed);
     EngineSetup engine = makeEngine(engine_name);
     return runTrace(*workload, base, engine, instructions, warmup,
-                    interval, ledger, check, metrics);
+                    interval, ledger, check, metrics, causal, flight);
 }
 
 double

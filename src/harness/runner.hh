@@ -26,6 +26,9 @@
 
 namespace tcp {
 
+class CausalTracer;
+class FlightRecorder;
+
 /**
  * One interval of a time-sampled run: the rates over a window of
  * roughly @c interval instructions (the last window may be short).
@@ -238,6 +241,18 @@ std::uint64_t resolveAutoWarmup(std::uint64_t instructions,
  *
  * When a PhaseProfiler is installed (src/obs/profiler), the warmup,
  * measured, and finalize sections are recorded as phases.
+ *
+ * When @p causal is non-null, the tracer is attached to the hierarchy
+ * (and through it the engine and ledger) for the whole run, warmup
+ * included — a decision record is only explainable if the history that
+ * shaped it was recorded too. Attaching a tracer does not perturb
+ * timing: the simulated machine never observes it, so a traced run is
+ * bit-identical to a plain one.
+ *
+ * When @p flight is non-null it is armed for the duration of the run
+ * (panics dump a postmortem) and, if @p check is also set, wired to
+ * the checker's divergence hook so the dump fires before the panic
+ * tears the diverged state down.
  */
 RunResult runTrace(TraceSource &source, const MachineConfig &machine,
                    EngineSetup &engine, std::uint64_t instructions,
@@ -245,7 +260,9 @@ RunResult runTrace(TraceSource &source, const MachineConfig &machine,
                    std::uint64_t interval = 0,
                    const LedgerConfig *ledger = nullptr,
                    bool check = false,
-                   MetricsRegistry *metrics = nullptr);
+                   MetricsRegistry *metrics = nullptr,
+                   CausalTracer *causal = nullptr,
+                   FlightRecorder *flight = nullptr);
 
 /**
  * Convenience: build the named workload and engine and run them on a
@@ -260,7 +277,9 @@ RunResult runNamed(const std::string &workload_name,
                    std::uint64_t interval = 0,
                    const LedgerConfig *ledger = nullptr,
                    bool check = false,
-                   MetricsRegistry *metrics = nullptr);
+                   MetricsRegistry *metrics = nullptr,
+                   CausalTracer *causal = nullptr,
+                   FlightRecorder *flight = nullptr);
 
 /** Geometric mean of @p values (which must all be positive). */
 double geomean(const std::vector<double> &values);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/causal.hh"
 #include "obs/ledger.hh"
 #include "obs/metrics.hh"
 #include "sim/trace_sink.hh"
@@ -308,6 +309,7 @@ MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
         ++prefetch_l2_present;
         if (ledger_) [[unlikely]]
             ledger_->onRedundant(block, req.origin, t);
+        causalRedundant(causal_, block);
         const CacheLine *line = l2_.probe(block);
         ready = std::max(t + config_.l2.latency, line->available_at);
     } else {
@@ -318,6 +320,7 @@ MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
             traceEvent("pf_drop", "prefetch", t, block);
             if (ledger_) [[unlikely]]
                 ledger_->onDrop(block, req.origin, t);
+            causalDropped(causal_, block);
             return;
         }
         ready = mem_bus_.request(t + config_.l2.latency,
@@ -330,8 +333,10 @@ MemoryHierarchy::issuePrefetch(const PrefetchRequest &req, Cycle t)
         traceEvent("pf_fill", "prefetch", ready, block);
         // Before the fill, so the ledger can attribute the fill's
         // eviction to this prefetch.
+        std::uint64_t ledger_id = 0;
         if (ledger_) [[unlikely]]
-            ledger_->onIssue(block, req.origin, t, ready);
+            ledger_id = ledger_->onIssue(block, req.origin, t, ready);
+        causalIssued(causal_, block, ledger_id);
         if (auto ev = l2_.fill(block, t); ev && ev->dirty) {
             ++writebacks;
             mem_bus_.request(t, l2_.blockBytes());
@@ -428,8 +433,20 @@ MemoryHierarchy::attachLedger(PrefetchLedger *ledger)
     ledger_ = ledger;
     l1d_.setListener(ledger, kLedgerCacheL1D);
     l2_.setListener(ledger, kLedgerCacheL2);
-    if (ledger)
+    if (ledger) {
         ledger->setGeometry(l1d_.blockBits(), l2_.blockBits());
+        ledger->setCausalTracer(causal_);
+    }
+}
+
+void
+MemoryHierarchy::attachCausal(CausalTracer *causal)
+{
+    causal_ = causal;
+    if (prefetcher_)
+        prefetcher_->setCausalTracer(causal);
+    if (ledger_)
+        ledger_->setCausalTracer(causal);
 }
 
 } // namespace tcp

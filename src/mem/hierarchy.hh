@@ -147,6 +147,19 @@ class MemoryHierarchy
     SimMetrics *metrics() { return metrics_; }
 
     /**
+     * Attach the causal decision tracer (src/obs/causal), or nullptr
+     * to detach. Forwards to the engine (which records the per-miss
+     * decision chain) and the ledger (which joins final outcomes
+     * back by prefetch id); the hierarchy itself stamps the
+     * issue/redundant/drop outcome of every prefetch request. The
+     * tracer stays owned by the caller; detached cost per hook is a
+     * pointer test (bounded by bench/micro_components
+     * BM_CausalDisabled).
+     */
+    void attachCausal(CausalTracer *causal);
+    CausalTracer *causal() { return causal_; }
+
+    /**
      * Attach the differential-checker hook (nullptr detaches). The
      * hook stays owned by the caller and composes with the ledger:
      * both observe the same run. See src/check.
@@ -209,6 +222,7 @@ class MemoryHierarchy
     Prefetcher *access_observer_;
     DeadBlockPredictor *dbp_;
     PrefetchLedger *ledger_ = nullptr;
+    CausalTracer *causal_ = nullptr;
     SimMetrics *metrics_ = nullptr;
     MemCheckHook *check_ = nullptr;
     std::vector<PrefetchRequest> pending_;

@@ -1,0 +1,788 @@
+#include "obs/causal.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "obs/ledger.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+const char *
+causeCodeName(CauseCode code)
+{
+    switch (code) {
+      case CauseCode::None: return "none";
+      case CauseCode::NoHistory: return "no-history";
+      case CauseCode::Filtered: return "filtered";
+      case CauseCode::Gated: return "gated";
+      case CauseCode::PhtMiss: return "pht-miss";
+      case CauseCode::StridePredicted: return "stride-predicted";
+      case CauseCode::Predicted: return "predicted";
+    }
+    return "?";
+}
+
+const char *
+causalIssueName(CausalIssue code)
+{
+    switch (code) {
+      case CausalIssue::SelfTarget: return "self-target";
+      case CausalIssue::Issued: return "issued";
+      case CausalIssue::Redundant: return "redundant";
+      case CausalIssue::DroppedMshrFull: return "dropped-mshr-full";
+    }
+    return "?";
+}
+
+// --------------------------------------------------------------------
+// CausalStore
+
+Json
+CausalStore::recordJson(std::size_t i) const
+{
+    Json rec = Json::object();
+    rec["cycle"] = cycle[i];
+    rec["pc"] = pc[i];
+    rec["addr"] = addr[i];
+    rec["set"] = std::uint64_t{index[i]};
+    rec["tag"] = tag[i];
+    rec["row_was_full"] = rowWasFull(i);
+    rec["full_after"] = fullAfter(i);
+    rec["reason"] =
+        causeCodeName(static_cast<CauseCode>(reason[i]));
+    if (rowWasFull(i)) {
+        Json hist = Json::array();
+        for (Tag t : historyOf(i))
+            hist.push(t);
+        rec["history"] = std::move(hist);
+        // The post-push history is the pre-push one shifted left
+        // with the miss tag appended — derivable, so never stored.
+        Json after = Json::array();
+        auto h = historyOf(i);
+        for (std::size_t j = 1; j < h.size(); ++j)
+            after.push(h[j]);
+        after.push(tag[i]);
+        rec["history_after"] = std::move(after);
+    }
+    if (phtProbed(i)) {
+        Json probe = Json::object();
+        probe["hit"] = phtHit(i);
+        if (phtHit(i)) {
+            probe["set"] = std::uint64_t{pht_set[i]};
+            probe["way"] = std::uint64_t{pht_way[i]};
+        }
+        rec["pht"] = std::move(probe);
+    }
+    Json events = Json::array();
+    for (std::uint64_t e = pf_off[i]; e < pf_off[i] + pf_count[i];
+         ++e) {
+        Json ev = Json::object();
+        ev["addr"] = pf_addr[e];
+        ev["action"] =
+            causalIssueName(static_cast<CausalIssue>(pf_code[e]));
+        if (pf_id[e])
+            ev["ledger_id"] = pf_id[e];
+        if (pf_outcome[e] != kCausalNoOutcome)
+            ev["outcome"] = pfOutcomeName(
+                static_cast<PfOutcome>(pf_outcome[e]));
+        events.push(std::move(ev));
+    }
+    rec["prefetches"] = std::move(events);
+    return rec;
+}
+
+std::size_t
+CausalStore::appendRecord()
+{
+    const std::size_t i = size();
+    cycle.push_back(0);
+    pc.push_back(0);
+    addr.push_back(0);
+    tag.push_back(0);
+    index.push_back(0);
+    flags.push_back(0);
+    reason.push_back(static_cast<std::uint8_t>(CauseCode::None));
+    pht_set.push_back(0);
+    pht_way.push_back(0);
+    pf_off.push_back(eventCount());
+    pf_count.push_back(0);
+    history.resize(history.size() + depth, 0);
+    return i;
+}
+
+std::size_t
+CausalStore::dropFront(std::size_t keep)
+{
+    if (keep >= size())
+        return 0;
+    const std::size_t drop = size() - keep;
+    // Events are appended in record order, so the dropped records
+    // own exactly the flat-event prefix [0, pf_off[drop]).
+    const std::uint64_t ev_drop = pf_off[drop];
+    const auto erasePrefix = [](auto &v, std::size_t n) {
+        v.erase(v.begin(),
+                v.begin() + static_cast<std::ptrdiff_t>(n));
+    };
+    erasePrefix(cycle, drop);
+    erasePrefix(pc, drop);
+    erasePrefix(addr, drop);
+    erasePrefix(tag, drop);
+    erasePrefix(index, drop);
+    erasePrefix(flags, drop);
+    erasePrefix(reason, drop);
+    erasePrefix(pht_set, drop);
+    erasePrefix(pht_way, drop);
+    erasePrefix(pf_off, drop);
+    erasePrefix(pf_count, drop);
+    erasePrefix(history, drop * depth);
+    erasePrefix(pf_addr, ev_drop);
+    erasePrefix(pf_id, ev_drop);
+    erasePrefix(pf_code, ev_drop);
+    erasePrefix(pf_outcome, ev_drop);
+    for (auto &off : pf_off)
+        off -= ev_drop;
+    return ev_drop;
+}
+
+// --------------------------------------------------------------------
+// CausalTracer
+
+CausalTracer::CausalTracer(std::size_t capacity) : capacity_(capacity)
+{
+}
+
+void
+CausalTracer::setGeometry(unsigned depth, unsigned block_bits,
+                          unsigned set_bits)
+{
+    tcp_assert(store_.size() == 0 || store_.depth == depth,
+               "causal tracer geometry changed mid-trace");
+    store_.depth = depth;
+    store_.block_bits = block_bits;
+    store_.set_bits = set_bits;
+}
+
+void
+CausalTracer::beginMiss(Cycle cycle, Pc pc, Addr addr, SetIndex index,
+                        Tag tag, bool row_was_full,
+                        std::span<const Tag> history)
+{
+    tcp_assert(store_.depth > 0,
+               "causal tracer used before setGeometry");
+    maybeCompact();
+    const std::size_t i = store_.appendRecord();
+    store_.cycle[i] = cycle;
+    store_.pc[i] = pc;
+    store_.addr[i] = addr;
+    store_.tag[i] = tag;
+    store_.index[i] = static_cast<std::uint32_t>(index);
+    if (row_was_full) {
+        store_.flags[i] |= CausalStore::kFlagRowWasFull;
+        Tag *dst = store_.history.data() + i * store_.depth;
+        const std::size_t n =
+            std::min<std::size_t>(history.size(), store_.depth);
+        std::copy_n(history.data(), n, dst);
+    }
+    open_ = true;
+}
+
+void
+CausalTracer::markFullAfter()
+{
+    if (!open_)
+        return;
+    store_.flags.back() |= CausalStore::kFlagFullAfter;
+}
+
+void
+CausalTracer::setReason(CauseCode code)
+{
+    if (!open_)
+        return;
+    store_.reason.back() = static_cast<std::uint8_t>(code);
+}
+
+void
+CausalTracer::phtProbe(std::uint64_t set, unsigned way, bool hit)
+{
+    if (!open_)
+        return;
+    store_.flags.back() |= CausalStore::kFlagPhtProbed;
+    if (hit) {
+        store_.flags.back() |= CausalStore::kFlagPhtHit;
+        store_.pht_set.back() = static_cast<std::uint32_t>(set);
+        store_.pht_way.back() = static_cast<std::uint8_t>(way);
+    }
+}
+
+void
+CausalTracer::onSelfTarget(Addr block)
+{
+    appendEvent(block, CausalIssue::SelfTarget, 0);
+}
+
+void
+CausalTracer::onIssued(Addr block, std::uint64_t ledger_id)
+{
+    if (!open_)
+        return;
+    appendEvent(block, CausalIssue::Issued, ledger_id);
+    if (ledger_id)
+        live_[ledger_id] = store_.eventCount() - 1;
+}
+
+void
+CausalTracer::onRedundant(Addr block)
+{
+    appendEvent(block, CausalIssue::Redundant, 0);
+}
+
+void
+CausalTracer::onDropped(Addr block)
+{
+    appendEvent(block, CausalIssue::DroppedMshrFull, 0);
+}
+
+void
+CausalTracer::onLedgerRetire(std::uint64_t ledger_id,
+                             std::uint8_t outcome)
+{
+    auto it = live_.find(ledger_id);
+    if (it == live_.end())
+        return; // the issuing record was compacted away
+    store_.pf_outcome[it->second] = outcome;
+    live_.erase(it);
+}
+
+void
+CausalTracer::appendEvent(Addr block, CausalIssue code,
+                          std::uint64_t ledger_id)
+{
+    // A hierarchy-side hook with no open record means the resident
+    // engine is not instrumented (non-TCP); there is no chain to
+    // attach the event to.
+    if (!open_)
+        return;
+    store_.pf_addr.push_back(block);
+    store_.pf_id.push_back(ledger_id);
+    store_.pf_code.push_back(static_cast<std::uint8_t>(code));
+    store_.pf_outcome.push_back(kCausalNoOutcome);
+    ++store_.pf_count.back();
+}
+
+void
+CausalTracer::maybeCompact()
+{
+    // Amortized O(1): let the window grow to twice the capacity,
+    // then shed the older half in one contiguous erase.
+    if (!capacity_ || store_.size() < 2 * capacity_)
+        return;
+    const std::size_t ev_drop = store_.dropFront(capacity_);
+    if (live_.empty())
+        return;
+    std::unordered_map<std::uint64_t, std::uint64_t> kept;
+    kept.reserve(live_.size());
+    for (const auto &[id, ev] : live_)
+        if (ev >= ev_drop)
+            kept.emplace(id, ev - ev_drop);
+    live_ = std::move(kept);
+}
+
+Json
+CausalTracer::tailJson(std::size_t n) const
+{
+    Json arr = Json::array();
+    const std::size_t count = std::min(n, store_.size());
+    for (std::size_t i = store_.size() - count; i < store_.size();
+         ++i)
+        arr.push(store_.recordJson(i));
+    return arr;
+}
+
+// --------------------------------------------------------------------
+// .tcpcau persistence
+//
+// Layout: an 8-byte magic, five geometry/count words, then every
+// column as a raw little-endian dump in declaration order. Columns
+// (not interleaved structs) keep the file mmap-friendly and make the
+// format trivially extensible by appending columns in later versions.
+
+namespace {
+
+constexpr char kCausalMagic[8] = {'T', 'C', 'P', 'C',
+                                  'A', 'U', '1', '\n'};
+constexpr std::uint32_t kCausalVersion = 1;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool
+writeColumn(std::FILE *f, const std::vector<T> &v)
+{
+    return v.empty() ||
+           std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
+}
+
+template <typename T>
+bool
+readColumn(std::FILE *f, std::vector<T> &v, std::size_t n)
+{
+    v.resize(n);
+    return n == 0 ||
+           std::fread(v.data(), sizeof(T), n, f) == n;
+}
+
+template <typename T>
+bool
+readScalar(std::FILE *f, T &out)
+{
+    return std::fread(&out, sizeof(T), 1, f) == 1;
+}
+
+} // namespace
+
+void
+CausalTracer::save(const std::string &path) const
+{
+    FileHandle f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        tcp_fatal("cannot open causal trace for writing: ", path);
+    const std::uint32_t depth = store_.depth;
+    const std::uint32_t block_bits = store_.block_bits;
+    const std::uint32_t set_bits = store_.set_bits;
+    const std::uint64_t n = store_.size();
+    const std::uint64_t ne = store_.eventCount();
+    bool ok =
+        std::fwrite(kCausalMagic, 1, sizeof(kCausalMagic), f.get()) ==
+            sizeof(kCausalMagic) &&
+        std::fwrite(&kCausalVersion, 4, 1, f.get()) == 1 &&
+        std::fwrite(&depth, 4, 1, f.get()) == 1 &&
+        std::fwrite(&block_bits, 4, 1, f.get()) == 1 &&
+        std::fwrite(&set_bits, 4, 1, f.get()) == 1 &&
+        std::fwrite(&n, 8, 1, f.get()) == 1 &&
+        std::fwrite(&ne, 8, 1, f.get()) == 1;
+    ok = ok && writeColumn(f.get(), store_.cycle) &&
+         writeColumn(f.get(), store_.pc) &&
+         writeColumn(f.get(), store_.addr) &&
+         writeColumn(f.get(), store_.tag) &&
+         writeColumn(f.get(), store_.index) &&
+         writeColumn(f.get(), store_.flags) &&
+         writeColumn(f.get(), store_.reason) &&
+         writeColumn(f.get(), store_.pht_set) &&
+         writeColumn(f.get(), store_.pht_way) &&
+         writeColumn(f.get(), store_.pf_off) &&
+         writeColumn(f.get(), store_.pf_count) &&
+         writeColumn(f.get(), store_.history) &&
+         writeColumn(f.get(), store_.pf_addr) &&
+         writeColumn(f.get(), store_.pf_id) &&
+         writeColumn(f.get(), store_.pf_code) &&
+         writeColumn(f.get(), store_.pf_outcome);
+    if (!ok || std::fflush(f.get()) != 0)
+        tcp_fatal("short write to causal trace: ", path);
+}
+
+std::optional<CausalStore>
+loadCausalFile(const std::string &path)
+{
+    FileHandle f(std::fopen(path.c_str(), "rb"));
+    if (!f) {
+        tcp_warn("cannot open causal trace: ", path);
+        return std::nullopt;
+    }
+    char magic[8] = {};
+    if (std::fread(magic, 1, sizeof(magic), f.get()) !=
+            sizeof(magic) ||
+        std::memcmp(magic, kCausalMagic, sizeof(magic)) != 0) {
+        tcp_warn("not a .tcpcau file: ", path);
+        return std::nullopt;
+    }
+    std::uint32_t version = 0, depth = 0, block_bits = 0,
+                  set_bits = 0;
+    std::uint64_t n = 0, ne = 0;
+    if (!readScalar(f.get(), version) ||
+        version != kCausalVersion) {
+        tcp_warn("unsupported .tcpcau version in ", path);
+        return std::nullopt;
+    }
+    if (!readScalar(f.get(), depth) ||
+        !readScalar(f.get(), block_bits) ||
+        !readScalar(f.get(), set_bits) || !readScalar(f.get(), n) ||
+        !readScalar(f.get(), ne) || depth == 0) {
+        tcp_warn("truncated .tcpcau header in ", path);
+        return std::nullopt;
+    }
+    CausalStore s;
+    s.depth = depth;
+    s.block_bits = block_bits;
+    s.set_bits = set_bits;
+    bool ok = readColumn(f.get(), s.cycle, n) &&
+              readColumn(f.get(), s.pc, n) &&
+              readColumn(f.get(), s.addr, n) &&
+              readColumn(f.get(), s.tag, n) &&
+              readColumn(f.get(), s.index, n) &&
+              readColumn(f.get(), s.flags, n) &&
+              readColumn(f.get(), s.reason, n) &&
+              readColumn(f.get(), s.pht_set, n) &&
+              readColumn(f.get(), s.pht_way, n) &&
+              readColumn(f.get(), s.pf_off, n) &&
+              readColumn(f.get(), s.pf_count, n) &&
+              readColumn(f.get(), s.history, n * depth) &&
+              readColumn(f.get(), s.pf_addr, ne) &&
+              readColumn(f.get(), s.pf_id, ne) &&
+              readColumn(f.get(), s.pf_code, ne) &&
+              readColumn(f.get(), s.pf_outcome, ne);
+    if (!ok) {
+        tcp_warn("truncated .tcpcau columns in ", path);
+        return std::nullopt;
+    }
+    return s;
+}
+
+void
+CausalTracer::exportJsonl(const std::string &path) const
+{
+    FileHandle f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        tcp_fatal("cannot open JSONL export for writing: ", path);
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+        const std::string line = store_.recordJson(i).dump() + "\n";
+        if (std::fwrite(line.data(), 1, line.size(), f.get()) !=
+            line.size())
+            tcp_fatal("short write to JSONL export: ", path);
+    }
+}
+
+// --------------------------------------------------------------------
+// Query layer
+
+namespace {
+
+Addr
+blockOf(const CausalStore &s, Addr addr)
+{
+    return addr & ~((Addr{1} << s.block_bits) - 1);
+}
+
+/** Issue events of record @p i matching @p code. */
+unsigned
+countEvents(const CausalStore &s, std::size_t i, CausalIssue code)
+{
+    unsigned n = 0;
+    for (std::uint64_t e = s.pf_off[i];
+         e < s.pf_off[i] + s.pf_count[i]; ++e)
+        if (s.pf_code[e] == static_cast<std::uint8_t>(code))
+            ++n;
+    return n;
+}
+
+} // namespace
+
+Json
+explainAddr(const CausalStore &store, Addr addr,
+            std::size_t max_records)
+{
+    const Addr block = blockOf(store, addr);
+    std::vector<std::size_t> triggers;
+    struct Target
+    {
+        std::size_t rec;
+        std::uint64_t ev;
+    };
+    std::vector<Target> targets;
+    for (std::size_t i = 0; i < store.size(); ++i) {
+        if (blockOf(store, store.addr[i]) == block)
+            triggers.push_back(i);
+        for (std::uint64_t e = store.pf_off[i];
+             e < store.pf_off[i] + store.pf_count[i]; ++e)
+            if (blockOf(store, store.pf_addr[e]) == block)
+                targets.push_back({i, e});
+    }
+
+    Json out = Json::object();
+    out["addr"] = addr;
+    out["block"] = block;
+
+    Json trig = Json::object();
+    trig["count"] = std::uint64_t{triggers.size()};
+    Json chains = Json::array();
+    const std::size_t t0 =
+        triggers.size() > max_records ? triggers.size() - max_records
+                                      : 0;
+    for (std::size_t k = t0; k < triggers.size(); ++k)
+        chains.push(store.recordJson(triggers[k]));
+    trig["records"] = std::move(chains);
+    out["as_trigger"] = std::move(trig);
+
+    Json tgt = Json::object();
+    tgt["count"] = std::uint64_t{targets.size()};
+    Json evs = Json::array();
+    const std::size_t g0 =
+        targets.size() > max_records ? targets.size() - max_records
+                                     : 0;
+    for (std::size_t k = g0; k < targets.size(); ++k) {
+        const auto [i, e] = targets[k];
+        Json ev = Json::object();
+        ev["cycle"] = store.cycle[i];
+        ev["trigger_pc"] = store.pc[i];
+        ev["trigger_addr"] = store.addr[i];
+        ev["action"] = causalIssueName(
+            static_cast<CausalIssue>(store.pf_code[e]));
+        if (store.pf_id[e])
+            ev["ledger_id"] = store.pf_id[e];
+        if (store.pf_outcome[e] != kCausalNoOutcome)
+            ev["outcome"] = pfOutcomeName(
+                static_cast<PfOutcome>(store.pf_outcome[e]));
+        ev["chain"] = store.recordJson(i);
+        evs.push(std::move(ev));
+    }
+    tgt["events"] = std::move(evs);
+    out["as_target"] = std::move(tgt);
+    return out;
+}
+
+Json
+explainTopMisses(const CausalStore &store, std::optional<Pc> pc_filter,
+                 std::size_t top_n)
+{
+    struct Hot
+    {
+        std::uint64_t count = 0;
+        std::uint64_t reasons[8] = {};
+        std::size_t example = 0;
+    };
+    // An ordered map makes the top-N tie-break deterministic.
+    std::map<Pc, Hot> by_pc;
+    std::uint64_t unprefetched = 0;
+    for (std::size_t i = 0; i < store.size(); ++i) {
+        if (pc_filter && store.pc[i] != *pc_filter)
+            continue;
+        if (countEvents(store, i, CausalIssue::Issued) > 0)
+            continue;
+        ++unprefetched;
+        Hot &h = by_pc[store.pc[i]];
+        if (h.count == 0)
+            h.example = i;
+        ++h.count;
+        ++h.reasons[store.reason[i] & 7u];
+    }
+    std::vector<std::pair<Pc, const Hot *>> order;
+    order.reserve(by_pc.size());
+    for (const auto &[pc, hot] : by_pc)
+        order.emplace_back(pc, &hot);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second->count > b.second->count;
+                     });
+    if (order.size() > top_n)
+        order.resize(top_n);
+
+    Json out = Json::object();
+    out["unprefetched_misses"] = unprefetched;
+    Json hotspots = Json::array();
+    for (const auto &[pc, hot] : order) {
+        Json row = Json::object();
+        row["pc"] = pc;
+        row["count"] = hot->count;
+        Json reasons = Json::object();
+        for (unsigned r = 0; r < 8; ++r)
+            if (hot->reasons[r])
+                reasons[causeCodeName(static_cast<CauseCode>(r))] =
+                    hot->reasons[r];
+        row["reasons"] = std::move(reasons);
+        row["example"] = store.recordJson(hot->example);
+        hotspots.push(std::move(row));
+    }
+    out["hotspots"] = std::move(hotspots);
+    return out;
+}
+
+Json
+explainPollution(const CausalStore &store, std::size_t top_n)
+{
+    struct Entry
+    {
+        std::uint64_t count = 0;
+        std::uint64_t stride = 0; ///< via stride assist, no PHT entry
+        std::vector<std::string> histories; ///< distinct, capped
+        std::vector<std::size_t> history_recs;
+    };
+    std::map<std::uint64_t, Entry> by_entry;
+    std::uint64_t total = 0, stride_total = 0;
+    constexpr std::size_t kMaxHistories = 4;
+    for (std::size_t i = 0; i < store.size(); ++i) {
+        for (std::uint64_t e = store.pf_off[i];
+             e < store.pf_off[i] + store.pf_count[i]; ++e) {
+            if (store.pf_code[e] !=
+                    static_cast<std::uint8_t>(CausalIssue::Issued) ||
+                store.pf_outcome[e] !=
+                    static_cast<std::uint8_t>(PfOutcome::Pollution))
+                continue;
+            ++total;
+            if (!store.phtHit(i)) {
+                ++stride_total;
+                continue;
+            }
+            const std::uint64_t key =
+                (std::uint64_t{store.pht_set[i]} << 8) |
+                store.pht_way[i];
+            Entry &ent = by_entry[key];
+            ++ent.count;
+            if (store.rowWasFull(i) &&
+                ent.histories.size() < kMaxHistories) {
+                std::string sig;
+                for (Tag t : store.historyOf(i))
+                    sig += std::to_string(t) + ",";
+                if (std::find(ent.histories.begin(),
+                              ent.histories.end(),
+                              sig) == ent.histories.end()) {
+                    ent.histories.push_back(std::move(sig));
+                    ent.history_recs.push_back(i);
+                }
+            }
+        }
+    }
+    std::vector<std::pair<std::uint64_t, const Entry *>> order;
+    order.reserve(by_entry.size());
+    for (const auto &[key, ent] : by_entry)
+        order.emplace_back(key, &ent);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second->count > b.second->count;
+                     });
+    if (order.size() > top_n)
+        order.resize(top_n);
+
+    Json out = Json::object();
+    out["polluting_prefetches"] = total;
+    out["via_stride_assist"] = stride_total;
+    Json entries = Json::array();
+    for (const auto &[key, ent] : order) {
+        Json row = Json::object();
+        row["pht_set"] = key >> 8;
+        row["pht_way"] = key & 0xff;
+        row["count"] = ent->count;
+        Json hists = Json::array();
+        for (std::size_t r : ent->history_recs) {
+            Json h = Json::object();
+            Json tags = Json::array();
+            for (Tag t : store.historyOf(r))
+                tags.push(t);
+            h["history"] = std::move(tags);
+            h["trigger_pc"] = store.pc[r];
+            h["miss_set"] = std::uint64_t{store.index[r]};
+            hists.push(std::move(h));
+        }
+        row["trained_by"] = std::move(hists);
+        entries.push(std::move(row));
+    }
+    out["entries"] = std::move(entries);
+    return out;
+}
+
+// --------------------------------------------------------------------
+// FlightRecorder
+
+FlightRecorder::FlightRecorder(CausalTracer *tracer,
+                               std::string out_path,
+                               std::size_t last_n)
+    : tracer_(tracer), out_path_(std::move(out_path)), last_n_(last_n)
+{
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    disarm();
+}
+
+void
+FlightRecorder::arm()
+{
+    setPanicHook(
+        [this](const std::string &msg) { dumpPanic(msg); });
+    armed_ = true;
+}
+
+void
+FlightRecorder::disarm()
+{
+    if (!armed_)
+        return;
+    clearPanicHook();
+    armed_ = false;
+}
+
+void
+FlightRecorder::setStateProvider(std::function<Json()> provider)
+{
+    state_provider_ = std::move(provider);
+}
+
+bool
+FlightRecorder::dumpPanic(const std::string &message)
+{
+    Json detail = Json::object();
+    detail["message"] = message;
+    return dump("panic", std::move(detail));
+}
+
+bool
+FlightRecorder::dumpDivergence(const Json &report)
+{
+    Json detail = Json::object();
+    detail["report"] = report;
+    return dump("divergence", std::move(detail));
+}
+
+bool
+FlightRecorder::dump(const char *reason, Json detail)
+{
+    if (dumped_)
+        return false;
+    dumped_ = true;
+    Json doc = Json::object();
+    doc["reason"] = reason;
+    for (const auto &[key, value] : detail.members())
+        doc[key] = value;
+    if (tracer_) {
+        doc["records_in_window"] =
+            std::uint64_t{tracer_->size()};
+        doc["window_capacity"] =
+            std::uint64_t{tracer_->capacity()};
+        doc["records"] = tracer_->tailJson(last_n_);
+    }
+    if (state_provider_)
+        doc["state"] = state_provider_();
+    // Hand-rolled write: this runs on the panic path, where
+    // writeJsonFile's tcp_fatal (exit instead of abort) would
+    // change how the process dies.
+    FileHandle f(std::fopen(out_path_.c_str(), "wb"));
+    if (!f) {
+        tcp_warn("cannot write flight-recorder dump: ", out_path_);
+        return false;
+    }
+    const std::string text = doc.dump(2) + "\n";
+    if (std::fwrite(text.data(), 1, text.size(), f.get()) !=
+        text.size()) {
+        tcp_warn("short flight-recorder dump: ", out_path_);
+        return false;
+    }
+    tcp_inform("flight recorder dumped ", reason, " postmortem to ",
+               out_path_);
+    return true;
+}
+
+} // namespace tcp

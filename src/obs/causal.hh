@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Causal prefetch tracing: per-miss decision records, the bounded
+ * flight recorder, and the query layer behind `tcpreport explain`.
+ *
+ * The ledger (obs/ledger.hh) classifies every issued prefetch after
+ * the fact; the metrics registry counts them. Neither says *why* an
+ * individual prefetch was issued or suppressed — yet TCP's whole
+ * mechanism is a causal chain (L1-D miss -> THT history transition ->
+ * PHT probe -> predicted tag -> issue-or-suppress), and debugging a
+ * coverage gap means walking that chain for one address. The
+ * CausalTracer records the chain per L1-D miss as one packed SoA
+ * record:
+ *
+ *   trigger   cycle, PC, address, miss index, miss tag
+ *   THT       row-full before/after, the pre-push history tags
+ *             (the post-push history is derivable: shift + tag)
+ *   PHT       whether a probe happened, the set/way it hit
+ *   decision  a reason code: no-history, filtered, gated, PHT-miss,
+ *             stride-predicted, predicted
+ *   issue     one event per predicted block: self-target skip,
+ *             issued (with the ledger's prefetch id), redundant,
+ *             or dropped (prefetch MSHRs full)
+ *   outcome   the ledger's final classification, joined back onto
+ *             the issue event by prefetch id at retirement
+ *
+ * Records live in memory (the outcome join patches earlier records)
+ * and are written at the end of the run as a compact binary .tcpcau
+ * column dump, with a JSON-lines export path for ad-hoc tooling.
+ *
+ * Every hook follows the established detached discipline: with no
+ * tracer attached the cost on the miss path is one pointer test
+ * (bounded by bench/micro_components BM_CausalDisabled).
+ *
+ * The FlightRecorder turns the tracer into a postmortem ring: bound
+ * the tracer's capacity, register the recorder's panic hook, and any
+ * tcp_panic or DiffChecker divergence dumps the last-N decision
+ * records plus simulator state summaries to a JSON file before the
+ * process dies — a readable narrative instead of "diverged at op
+ * 48M".
+ */
+
+#ifndef TCP_OBS_CAUSAL_HH
+#define TCP_OBS_CAUSAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/json.hh"
+#include "sim/types.hh"
+
+namespace tcp {
+
+/** Why a miss's decision chain ended the way it did. */
+enum class CauseCode : std::uint8_t
+{
+    None = 0,        ///< record never classified (engine bug)
+    NoHistory,       ///< THT row not yet full: nothing to correlate
+    Filtered,        ///< critical-PC filter suppressed training
+    Gated,           ///< adaptive controller suppressed the lookup
+    PhtMiss,         ///< history hashed to no stored correlation
+    StridePredicted, ///< stride assist issued without a PHT probe
+    Predicted,       ///< PHT hit produced at least one prediction
+};
+
+/** Human-readable name of a CauseCode. */
+const char *causeCodeName(CauseCode code);
+
+/** What happened to one predicted block at issue time. */
+enum class CausalIssue : std::uint8_t
+{
+    SelfTarget,      ///< predicted tag == miss tag; skipped in engine
+    Issued,          ///< handed to the L2 fill path (has a ledger id)
+    Redundant,       ///< target already resident in the L2
+    DroppedMshrFull, ///< rejected: no free prefetch MSHR
+};
+
+/** Human-readable name of a CausalIssue code. */
+const char *causalIssueName(CausalIssue code);
+
+/** Sentinel for "ledger outcome not (yet) known" in pf_outcome. */
+inline constexpr std::uint8_t kCausalNoOutcome = 0xff;
+
+/**
+ * The packed record columns, shared between the live tracer and a
+ * .tcpcau file loaded back for querying. Record i owns history tags
+ * [i*depth, (i+1)*depth) and prefetch events
+ * [pf_off[i], pf_off[i]+pf_count[i]).
+ */
+struct CausalStore
+{
+    /// @name Geometry (stamped by the engine, stored in the header)
+    /// @{
+    unsigned depth = 0;      ///< THT history tags per record
+    unsigned block_bits = 0; ///< L1 block offset bits
+    unsigned set_bits = 0;   ///< L1 set index bits
+    /// @}
+
+    /// @name Per-record columns
+    /// @{
+    std::vector<Cycle> cycle;
+    std::vector<Pc> pc;
+    std::vector<Addr> addr;
+    std::vector<Tag> tag;
+    std::vector<std::uint32_t> index;
+    std::vector<std::uint8_t> flags; ///< kFlag* bits below
+    std::vector<std::uint8_t> reason; ///< CauseCode
+    std::vector<std::uint32_t> pht_set;
+    std::vector<std::uint8_t> pht_way;
+    std::vector<std::uint64_t> pf_off;
+    std::vector<std::uint16_t> pf_count;
+    /** depth tags per record, zero-filled unless row_was_full. */
+    std::vector<Tag> history;
+    /// @}
+
+    /// @name Per-prefetch-event columns
+    /// @{
+    std::vector<Addr> pf_addr;
+    std::vector<std::uint64_t> pf_id; ///< ledger id, 0 if never issued
+    std::vector<std::uint8_t> pf_code; ///< CausalIssue
+    std::vector<std::uint8_t> pf_outcome; ///< PfOutcome or sentinel
+    /// @}
+
+    static constexpr std::uint8_t kFlagRowWasFull = 1u << 0;
+    static constexpr std::uint8_t kFlagFullAfter = 1u << 1;
+    static constexpr std::uint8_t kFlagPhtProbed = 1u << 2;
+    static constexpr std::uint8_t kFlagPhtHit = 1u << 3;
+
+    std::size_t size() const { return cycle.size(); }
+    std::size_t eventCount() const { return pf_addr.size(); }
+
+    bool rowWasFull(std::size_t i) const
+    {
+        return (flags[i] & kFlagRowWasFull) != 0;
+    }
+    bool fullAfter(std::size_t i) const
+    {
+        return (flags[i] & kFlagFullAfter) != 0;
+    }
+    bool phtProbed(std::size_t i) const
+    {
+        return (flags[i] & kFlagPhtProbed) != 0;
+    }
+    bool phtHit(std::size_t i) const
+    {
+        return (flags[i] & kFlagPhtHit) != 0;
+    }
+
+    /** The pre-push history tags of record @p i (oldest first). */
+    std::span<const Tag> historyOf(std::size_t i) const
+    {
+        return {history.data() + i * depth, depth};
+    }
+
+    /** Rebuild the full block address of a (tag, index) pair. */
+    Addr rebuildAddr(Tag t, std::uint64_t idx) const
+    {
+        return (t << (set_bits + block_bits)) | (idx << block_bits);
+    }
+
+    /** One record as an ordered JSON object (exports, flight dumps). */
+    Json recordJson(std::size_t i) const;
+
+    /** Append one empty record; returns its index. */
+    std::size_t appendRecord();
+
+    /**
+     * Drop the oldest records so only the last @p keep remain.
+     * @return the number of flat events dropped with them (the
+     *         caller rebases its event-index bookkeeping by this).
+     */
+    std::size_t dropFront(std::size_t keep);
+};
+
+/**
+ * Records the per-miss decision chain. Attach points: the TCP engine
+ * (beginMiss/setReason/phtProbe/onSelfTarget), MemoryHierarchy's
+ * issuePrefetch (onIssued/onRedundant/onDropped), and the ledger's
+ * retirement path (onLedgerRetire). All engine- and hierarchy-side
+ * hooks refer to "the open record" — the one begun by the latest
+ * beginMiss — because the hierarchy issues an observeMiss's requests
+ * immediately after it returns, before the next miss can open a new
+ * record.
+ */
+class CausalTracer
+{
+  public:
+    /**
+     * @param capacity keep only the last @p capacity records
+     *        (flight-recorder mode); 0 keeps everything.
+     */
+    explicit CausalTracer(std::size_t capacity = 0);
+
+    /** Stamped lazily by the engine on its first recorded miss. */
+    void setGeometry(unsigned depth, unsigned block_bits,
+                     unsigned set_bits);
+
+    /// @name Engine-side hooks (core/tcp.cc)
+    /// @{
+    /**
+     * Open a record for the miss (@p history is the THT row *before*
+     * the push; empty/ignored unless @p row_was_full).
+     */
+    void beginMiss(Cycle cycle, Pc pc, Addr addr, SetIndex index,
+                   Tag tag, bool row_was_full,
+                   std::span<const Tag> history);
+    /** The THT row is full after this miss's push. */
+    void markFullAfter();
+    /** Classify the open record's decision. */
+    void setReason(CauseCode code);
+    /** The first-degree PHT probe's location and result. */
+    void phtProbe(std::uint64_t set, unsigned way, bool hit);
+    /** A prediction was skipped because it targeted the miss block. */
+    void onSelfTarget(Addr block);
+    /// @}
+
+    /// @name Hierarchy-side hooks (mem/hierarchy.cc issuePrefetch)
+    /// @{
+    void onIssued(Addr block, std::uint64_t ledger_id);
+    void onRedundant(Addr block);
+    void onDropped(Addr block);
+    /// @}
+
+    /** Ledger-side: the final outcome of prefetch @p ledger_id. */
+    void onLedgerRetire(std::uint64_t ledger_id, std::uint8_t outcome);
+
+    const CausalStore &store() const { return store_; }
+    std::size_t size() const { return store_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Write the .tcpcau binary; tcp_fatal on I/O error. */
+    void save(const std::string &path) const;
+
+    /** One JSON object per line, one line per record. */
+    void exportJsonl(const std::string &path) const;
+
+    /**
+     * The last min(n, size()) records as a JSON array (flight dump).
+     */
+    Json tailJson(std::size_t n) const;
+
+  private:
+    void appendEvent(Addr block, CausalIssue code,
+                     std::uint64_t ledger_id);
+    /** Enforce the bounded-capacity window (amortized O(1)). */
+    void maybeCompact();
+
+    CausalStore store_;
+    std::size_t capacity_;
+    bool open_ = false;
+    /** ledger id -> flat event index, for the retirement join. */
+    std::unordered_map<std::uint64_t, std::uint64_t> live_;
+};
+
+/// @name .tcpcau persistence
+/// @{
+/** Load a .tcpcau file; nullopt (with a warning) if unreadable. */
+std::optional<CausalStore> loadCausalFile(const std::string &path);
+/// @}
+
+/// @name Query layer (tcpreport explain renders these)
+/// @{
+/**
+ * Why was / wasn't @p addr prefetched: every record triggered by a
+ * miss on its block ("as_trigger", the decision chains) and every
+ * prefetch event targeting it ("as_target"), capped at
+ * @p max_records each, newest last.
+ */
+Json explainAddr(const CausalStore &store, Addr addr,
+                 std::size_t max_records = 16);
+
+/**
+ * Unprefetched-miss hotspots: records whose chain issued nothing,
+ * grouped by trigger PC, top @p top_n by count, each with the reason
+ * breakdown and one example chain. @p pc_filter restricts to one PC.
+ */
+Json explainTopMisses(const CausalStore &store,
+                      std::optional<Pc> pc_filter = std::nullopt,
+                      std::size_t top_n = 10);
+
+/**
+ * Top polluting PHT entries: issue events retired as pollution,
+ * grouped by the PHT set/way that predicted them, with the trigger
+ * histories that trained each entry.
+ */
+Json explainPollution(const CausalStore &store, std::size_t top_n = 10);
+/// @}
+
+/**
+ * Dumps the tracer's tail plus state summaries to a postmortem JSON
+ * file when tcp_panic fires (via the thread-local panic hook; see
+ * util/logging.hh) or when the DiffChecker reports divergence (the
+ * wiring routes DiffChecker::setDivergenceHook here). Does not own
+ * the tracer. One dump per recorder: the divergence hook fires
+ * first, then panic would fire again — the second dump is skipped so
+ * the divergence narrative survives.
+ */
+class FlightRecorder
+{
+  public:
+    /** @param last_n records included in the dump (tail). */
+    FlightRecorder(CausalTracer *tracer, std::string out_path,
+                   std::size_t last_n = 256);
+    ~FlightRecorder();
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Install this thread's panic hook (see util/logging.hh). */
+    void arm();
+    /** Remove the panic hook (idempotent; the dtor calls it). */
+    void disarm();
+
+    /**
+     * Provider of simulator state summaries (caches, THT/PHT,
+     * MSHRs), called at dump time. Keep it exception-free: it runs
+     * inside the panic path.
+     */
+    void setStateProvider(std::function<Json()> provider);
+
+    /** Dump with reason "panic". @return false if already dumped. */
+    bool dumpPanic(const std::string &message);
+    /** Dump with reason "divergence" and the checker's report. */
+    bool dumpDivergence(const Json &report);
+
+    bool dumped() const { return dumped_; }
+    const std::string &path() const { return out_path_; }
+
+  private:
+    bool dump(const char *reason, Json detail);
+
+    CausalTracer *tracer_;
+    std::string out_path_;
+    std::size_t last_n_;
+    bool armed_ = false;
+    bool dumped_ = false;
+    std::function<Json()> state_provider_;
+};
+
+/// @name Detached-discipline wrappers
+/// Mirror traceEvent()/the ledger hooks: the disabled path is one
+/// pointer test and an [[unlikely]] not-taken branch.
+/// @{
+inline void
+causalIssued(CausalTracer *t, Addr block, std::uint64_t ledger_id)
+{
+    if (t) [[unlikely]]
+        t->onIssued(block, ledger_id);
+}
+
+inline void
+causalRedundant(CausalTracer *t, Addr block)
+{
+    if (t) [[unlikely]]
+        t->onRedundant(block);
+}
+
+inline void
+causalDropped(CausalTracer *t, Addr block)
+{
+    if (t) [[unlikely]]
+        t->onDropped(block);
+}
+
+inline void
+causalLedgerRetire(CausalTracer *t, std::uint64_t id,
+                   std::uint8_t outcome)
+{
+    if (t) [[unlikely]]
+        t->onLedgerRetire(id, outcome);
+}
+/// @}
+
+} // namespace tcp
+
+#endif // TCP_OBS_CAUSAL_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/causal.hh"
 #include "sim/trace_sink.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
@@ -205,7 +206,7 @@ PrefetchLedger::shadowCheck(std::uint32_t domain, Addr block, Cycle now)
 // ---------------------------------------------------------------------
 // Issue-side hooks
 
-void
+std::uint64_t
 PrefetchLedger::onIssue(Addr l2_block, const PfOrigin &origin, Cycle now,
                         Cycle ready)
 {
@@ -229,6 +230,7 @@ PrefetchLedger::onIssue(Addr l2_block, const PfOrigin &origin, Cycle now,
     rec.ready_cycle = ready;
     rec.issue_seq = miss_seq_;
     rec.in_l2 = true;
+    return rec.id;
 }
 
 void
@@ -292,6 +294,8 @@ PrefetchLedger::retire(Addr l2_block, Record &rec, PfOutcome outcome,
         tcp_panic("ledger: immediate outcome in retire()");
     }
     attribute(rec.origin, outcome);
+    causalLedgerRetire(causal_, rec.id,
+                       static_cast<std::uint8_t>(outcome));
     live_.erase(l2_block);
 }
 

@@ -48,6 +48,8 @@
 
 namespace tcp {
 
+class CausalTracer;
+
 /** Cache ids the hierarchy tags its listener installations with. */
 inline constexpr std::uint32_t kLedgerCacheL1D = 1;
 inline constexpr std::uint32_t kLedgerCacheL2 = 2;
@@ -109,9 +111,11 @@ class PrefetchLedger : public CacheEventListener
      * L2 with data arriving at @p ready. Must be called before the
      * corresponding CacheModel::fill so the eviction notification
      * can attribute the fill's victim.
+     * @return the new record's ledger id (the join key the causal
+     *         tracer uses to patch outcomes back onto issue events)
      */
-    void onIssue(Addr l2_block, const PfOrigin &origin, Cycle now,
-                 Cycle ready);
+    std::uint64_t onIssue(Addr l2_block, const PfOrigin &origin,
+                          Cycle now, Cycle ready);
     /** The target was already resident or in flight. */
     void onRedundant(Addr l2_block, const PfOrigin &origin, Cycle now);
     /** The prefetch was rejected at issue (no MSHR). */
@@ -156,6 +160,14 @@ class PrefetchLedger : public CacheEventListener
 
     /** Drop all records and statistics (fresh measured window). */
     void reset();
+
+    /**
+     * Causal-tracing join: with a tracer attached, every retirement
+     * reports (ledger id, outcome) so the tracer can patch the final
+     * outcome onto the issue event that created the record. Detached
+     * cost on retire(): one pointer test.
+     */
+    void setCausalTracer(CausalTracer *tracer) { causal_ = tracer; }
 
     /// @name Introspection (tests, export)
     /// @{
@@ -243,6 +255,7 @@ class PrefetchLedger : public CacheEventListener
     LedgerConfig config_;
     Addr l1_block_mask_ = 31; ///< default Table 1 geometry (32 B)
     Addr l2_block_mask_ = 63; ///< default Table 1 geometry (64 B)
+    CausalTracer *causal_ = nullptr;
 
     std::uint64_t next_id_ = 1;
     std::uint64_t miss_seq_ = 0;

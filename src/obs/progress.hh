@@ -89,6 +89,18 @@ class ProgressStreamer
         ops_done_.fetch_add(ops, std::memory_order_relaxed);
         jobs_done_.fetch_add(1, std::memory_order_relaxed);
     }
+
+    /**
+     * Credit @p ops completed ops without finishing a job. Long jobs
+     * (lane groups sweeping many specs through one cursor) call this
+     * per chunk so the ETA tracks real completion instead of jumping
+     * at group boundaries; such jobs then finish with jobFinished(0).
+     */
+    void
+    opsProgress(std::uint64_t ops)
+    {
+        ops_done_.fetch_add(ops, std::memory_order_relaxed);
+    }
     /// @}
 
     /** Build one record (also the unit the schema tests validate). */

@@ -22,6 +22,7 @@
 namespace tcp {
 
 struct SimMetrics;
+class CausalTracer;
 
 /** Context handed to a prefetcher on every L1-D demand access. */
 struct AccessContext
@@ -181,6 +182,17 @@ class Prefetcher
      * run) at the end of the measured window. Default: nothing.
      */
     virtual void flushMetrics() {}
+
+    /**
+     * Attach the causal decision tracer (src/obs/causal), or nullptr
+     * to detach. Instrumented engines (TCP) record their per-miss
+     * decision chain into it; the default ignores it, so causal
+     * tracing is opt-in per engine like setMetrics().
+     */
+    virtual void setCausalTracer(CausalTracer *tracer)
+    {
+        (void)tracer;
+    }
 
     /** Engine name for reports. */
     const std::string &name() const { return name_; }

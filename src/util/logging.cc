@@ -11,6 +11,8 @@ bool quiet = false;
 
 namespace {
 
+thread_local std::function<void(const std::string &)> panic_hook;
+
 /**
  * Emit one complete message with a single fwrite. BatchRunner workers
  * log concurrently; composing the whole line first (instead of
@@ -44,6 +46,13 @@ locationSuffix(const char *file, int line)
 panicImpl(const char *file, int line, const std::string &msg)
 {
     writeWhole("panic: ", msg, locationSuffix(file, line));
+    if (panic_hook) {
+        // Detach before invoking so a panic inside the hook falls
+        // straight through to abort() instead of recursing.
+        auto hook = std::move(panic_hook);
+        panic_hook = nullptr;
+        hook(msg);
+    }
     std::abort();
 }
 
@@ -80,6 +89,18 @@ bool
 quietLogging()
 {
     return detail::quiet;
+}
+
+void
+setPanicHook(std::function<void(const std::string &)> hook)
+{
+    detail::panic_hook = std::move(hook);
+}
+
+void
+clearPanicHook()
+{
+    detail::panic_hook = nullptr;
 }
 
 } // namespace tcp

@@ -9,6 +9,7 @@
 #define TCP_UTIL_LOGGING_HH
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string_view>
@@ -42,6 +43,18 @@ extern bool quiet;
 /** Suppress warn()/inform() output (used by tests and sweeps). */
 void setQuietLogging(bool quiet);
 bool quietLogging();
+
+/**
+ * Install a last-words hook run by tcp_panic just before abort(),
+ * after the message is printed. Thread-local (BatchRunner workers
+ * panic independently), one hook per thread: the flight recorder
+ * (obs/causal.hh) uses it to dump a postmortem. The hook is removed
+ * before it runs, so a panic *inside* the hook cannot recurse.
+ */
+void setPanicHook(std::function<void(const std::string &)> hook);
+
+/** Remove this thread's panic hook (no-op when none is set). */
+void clearPanicHook();
 
 } // namespace tcp
 

@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Tests for the causal tracing subsystem (src/obs/causal): the
+ * hand-constructed fixture whose `tcpreport explain --addr` chain is
+ * the acceptance contract, .tcpcau round-tripping, the bounded
+ * flight-recorder window, divergence postmortems matching the
+ * DiffChecker's report, the traced-run bit-identity guarantee (a run
+ * with a tracer attached equals the plain run, solo and in lane
+ * groups at any job count), and the lane-group ETA credit fix.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/diff.hh"
+#include "check/fuzz.hh"
+#include "harness/batch.hh"
+#include "harness/multisim.hh"
+#include "obs/causal.hh"
+#include "obs/ledger.hh"
+#include "obs/progress.hh"
+#include "sim/json.hh"
+
+namespace tcp {
+namespace {
+
+/** RAII temp directory for trace/dump files. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("tcp_causal_test_" + std::to_string(::getpid()) +
+                  "_" + std::to_string(counter_++)))
+                    .string();
+        std::filesystem::create_directories(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    static inline int counter_ = 0;
+    std::string path_;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+// ------------------------------------------------------------- fixture
+
+constexpr unsigned kDepth = 2;
+constexpr unsigned kBlockBits = 5;
+constexpr unsigned kSetBits = 4;
+
+Addr
+mkAddr(Tag tag, std::uint64_t set, std::uint64_t off = 0)
+{
+    return (tag << (kSetBits + kBlockBits)) | (set << kBlockBits) |
+           off;
+}
+
+/**
+ * A hand-constructed decision history exercising every chain shape:
+ *   rec 0  full row, PHT hit -> one issued prefetch (retired useful)
+ *          plus a self-target skip
+ *   rec 1  row not yet full -> no-history suppress
+ *   rec 2  the prefetched block misses on demand; its probe misses
+ *   rec 3  PHT hit -> issued prefetch the ledger retires as pollution
+ *   rec 4  stride assist (no probe) -> issued, also pollution
+ */
+CausalTracer
+fixtureTracer()
+{
+    CausalTracer t;
+    t.setGeometry(kDepth, kBlockBits, kSetBits);
+
+    const Tag h0[] = {0x3, 0x5};
+    t.beginMiss(100, 0x4000, mkAddr(0x7, 3, 8), 3, 0x7, true, h0);
+    t.markFullAfter();
+    t.phtProbe(12, 1, true);
+    t.setReason(CauseCode::Predicted);
+    t.onIssued(mkAddr(0x9, 3), 42);
+    t.onSelfTarget(mkAddr(0x7, 3));
+
+    t.beginMiss(110, 0x4008, mkAddr(0x2, 5), 5, 0x2, false, {});
+    t.setReason(CauseCode::NoHistory);
+
+    const Tag h2[] = {0x5, 0x7};
+    t.beginMiss(130, 0x4010, mkAddr(0x9, 3, 16), 3, 0x9, true, h2);
+    t.markFullAfter();
+    t.phtProbe(0, 0, false);
+    t.setReason(CauseCode::PhtMiss);
+
+    const Tag h3[] = {0xA, 0xB};
+    t.beginMiss(150, 0x4020, mkAddr(0xC, 7), 7, 0xC, true, h3);
+    t.markFullAfter();
+    t.phtProbe(7, 2, true);
+    t.setReason(CauseCode::Predicted);
+    t.onIssued(mkAddr(0xD, 7), 77);
+
+    t.beginMiss(160, 0x4028, mkAddr(0xE, 9), 9, 0xE, false, {});
+    t.setReason(CauseCode::StridePredicted);
+    t.onIssued(mkAddr(0xF, 9), 88);
+
+    t.onLedgerRetire(42, static_cast<std::uint8_t>(PfOutcome::Useful));
+    t.onLedgerRetire(77,
+                     static_cast<std::uint8_t>(PfOutcome::Pollution));
+    t.onLedgerRetire(88,
+                     static_cast<std::uint8_t>(PfOutcome::Pollution));
+    return t;
+}
+
+// ------------------------------------------------- explain (tcpreport)
+
+/// The acceptance contract: `tcpreport explain --addr` on a recorded
+/// .tcpcau reproduces the exact issue/suppress reason chain of the
+/// hand-constructed fixture, through a save/load round trip.
+TEST(CausalExplainTest, ExplainAddrReproducesReasonChain)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/fixture.tcpcau";
+    fixtureTracer().save(path);
+    const auto store = loadCausalFile(path);
+    ASSERT_TRUE(store.has_value());
+    ASSERT_EQ(store->size(), 5u);
+    ASSERT_EQ(store->eventCount(), 4u);
+
+    // The prefetched block, asked about by a non-block-aligned
+    // address inside it.
+    const Json out = explainAddr(*store, mkAddr(0x9, 3, 16));
+    EXPECT_EQ(out.at("block").asUint(), mkAddr(0x9, 3));
+
+    // As target: the issued prefetch from record 0, with the full
+    // decision chain that produced it.
+    const Json &tgt = out.at("as_target");
+    ASSERT_EQ(tgt.at("count").asUint(), 1u);
+    const Json &ev = tgt.at("events").at(0);
+    EXPECT_EQ(ev.at("cycle").asUint(), 100u);
+    EXPECT_EQ(ev.at("trigger_pc").asUint(), 0x4000u);
+    EXPECT_EQ(ev.at("action").asString(), "issued");
+    EXPECT_EQ(ev.at("ledger_id").asUint(), 42u);
+    EXPECT_EQ(ev.at("outcome").asString(), "useful");
+    const Json &chain = ev.at("chain");
+    EXPECT_EQ(chain.at("reason").asString(), "predicted");
+    EXPECT_TRUE(chain.at("row_was_full").asBool());
+    EXPECT_TRUE(chain.at("full_after").asBool());
+    EXPECT_TRUE(chain.at("pht").at("hit").asBool());
+    EXPECT_EQ(chain.at("pht").at("set").asUint(), 12u);
+    EXPECT_EQ(chain.at("pht").at("way").asUint(), 1u);
+    EXPECT_EQ(chain.at("history").at(0).asUint(), 0x3u);
+    EXPECT_EQ(chain.at("history").at(1).asUint(), 0x5u);
+    // The post-push history is derived: shifted left, miss tag in.
+    EXPECT_EQ(chain.at("history_after").at(0).asUint(), 0x5u);
+    EXPECT_EQ(chain.at("history_after").at(1).asUint(), 0x7u);
+
+    // As trigger: the later demand miss on the same block, whose own
+    // probe missed the PHT and issued nothing.
+    const Json &trig = out.at("as_trigger");
+    ASSERT_EQ(trig.at("count").asUint(), 1u);
+    const Json &rec = trig.at("records").at(0);
+    EXPECT_EQ(rec.at("cycle").asUint(), 130u);
+    EXPECT_EQ(rec.at("pc").asUint(), 0x4010u);
+    EXPECT_EQ(rec.at("reason").asString(), "pht-miss");
+    EXPECT_FALSE(rec.at("pht").at("hit").asBool());
+    EXPECT_EQ(rec.at("prefetches").size(), 0u);
+
+    // The trigger block of record 0 also shows its self-target skip.
+    const Json self = explainAddr(*store, mkAddr(0x7, 3, 8));
+    const Json &self_tgt = self.at("as_target");
+    ASSERT_EQ(self_tgt.at("count").asUint(), 1u);
+    EXPECT_EQ(self_tgt.at("events").at(0).at("action").asString(),
+              "self-target");
+    ASSERT_EQ(self.at("as_trigger").at("count").asUint(), 1u);
+}
+
+TEST(CausalExplainTest, TopMissesGroupsByPcWithReasonBreakdown)
+{
+    const CausalTracer t = fixtureTracer();
+
+    // Records 1 and 2 issued nothing; each is its own PC hotspot.
+    const Json all = explainTopMisses(t.store());
+    EXPECT_EQ(all.at("unprefetched_misses").asUint(), 2u);
+    ASSERT_EQ(all.at("hotspots").size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const Json &row = all.at("hotspots").at(i);
+        EXPECT_EQ(row.at("count").asUint(), 1u);
+    }
+
+    const Json one = explainTopMisses(t.store(), Pc{0x4008});
+    EXPECT_EQ(one.at("unprefetched_misses").asUint(), 1u);
+    ASSERT_EQ(one.at("hotspots").size(), 1u);
+    const Json &row = one.at("hotspots").at(0);
+    EXPECT_EQ(row.at("pc").asUint(), 0x4008u);
+    EXPECT_EQ(row.at("reasons").at("no-history").asUint(), 1u);
+    EXPECT_EQ(row.at("example").at("reason").asString(),
+              "no-history");
+}
+
+TEST(CausalExplainTest, PollutionBlamesThePhtEntry)
+{
+    const CausalTracer t = fixtureTracer();
+    const Json out = explainPollution(t.store());
+    EXPECT_EQ(out.at("polluting_prefetches").asUint(), 2u);
+    EXPECT_EQ(out.at("via_stride_assist").asUint(), 1u);
+    ASSERT_EQ(out.at("entries").size(), 1u);
+    const Json &row = out.at("entries").at(0);
+    EXPECT_EQ(row.at("pht_set").asUint(), 7u);
+    EXPECT_EQ(row.at("pht_way").asUint(), 2u);
+    EXPECT_EQ(row.at("count").asUint(), 1u);
+    ASSERT_EQ(row.at("trained_by").size(), 1u);
+    const Json &hist = row.at("trained_by").at(0);
+    EXPECT_EQ(hist.at("history").at(0).asUint(), 0xAu);
+    EXPECT_EQ(hist.at("history").at(1).asUint(), 0xBu);
+    EXPECT_EQ(hist.at("trigger_pc").asUint(), 0x4020u);
+}
+
+// --------------------------------------------------------- persistence
+
+TEST(CausalStoreTest, TcpcauRoundTripPreservesEveryColumn)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/roundtrip.tcpcau";
+    const CausalTracer t = fixtureTracer();
+    t.save(path);
+    const auto loaded = loadCausalFile(path);
+    ASSERT_TRUE(loaded.has_value());
+    const CausalStore &a = t.store();
+    const CausalStore &b = *loaded;
+    EXPECT_EQ(b.depth, a.depth);
+    EXPECT_EQ(b.block_bits, a.block_bits);
+    EXPECT_EQ(b.set_bits, a.set_bits);
+    ASSERT_EQ(b.size(), a.size());
+    ASSERT_EQ(b.eventCount(), a.eventCount());
+    // Equal per-record JSON means every column round-tripped.
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(b.recordJson(i).dump(), a.recordJson(i).dump())
+            << "record " << i;
+}
+
+TEST(CausalStoreTest, LoadRejectsMissingAndCorruptFiles)
+{
+    TempDir dir;
+    EXPECT_FALSE(loadCausalFile(dir.path() + "/absent.tcpcau"));
+
+    const std::string garbage = dir.path() + "/garbage.tcpcau";
+    std::ofstream(garbage) << "not a causal trace";
+    EXPECT_FALSE(loadCausalFile(garbage));
+
+    // Valid header, truncated columns.
+    const std::string truncated = dir.path() + "/trunc.tcpcau";
+    fixtureTracer().save(truncated);
+    std::filesystem::resize_file(
+        truncated, std::filesystem::file_size(truncated) - 7);
+    EXPECT_FALSE(loadCausalFile(truncated));
+}
+
+// ------------------------------------------------------ bounded window
+
+TEST(CausalTracerTest, BoundedCapacityKeepsTheNewestRecords)
+{
+    CausalTracer t(/*capacity=*/4);
+    t.setGeometry(kDepth, kBlockBits, kSetBits);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        t.beginMiss(1000 + i, 0x5000, mkAddr(i + 1, 1), 1, i + 1,
+                    false, {});
+        t.setReason(CauseCode::NoHistory);
+    }
+    // Compaction is amortized: the window never exceeds 2x capacity
+    // and never shrinks below capacity.
+    EXPECT_LE(t.size(), 8u);
+    EXPECT_GE(t.size(), 4u);
+    // The survivors are the newest records, newest last.
+    const Json tail = t.tailJson(2);
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail.at(0).at("cycle").asUint(), 1018u);
+    EXPECT_EQ(tail.at(1).at("cycle").asUint(), 1019u);
+    // A retire for a compacted-away ledger id is a quiet no-op.
+    t.onLedgerRetire(12345,
+                     static_cast<std::uint8_t>(PfOutcome::Useful));
+}
+
+// ------------------------------------------------------ flight recorder
+
+TEST(FlightRecorderTest, DumpsOnceWithTailAndState)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/flight.json";
+    CausalTracer t = fixtureTracer();
+    FlightRecorder flight(&t, path, /*last_n=*/2);
+    flight.setStateProvider([] {
+        Json state = Json::object();
+        state["tht_rows"] = std::uint64_t{64};
+        return state;
+    });
+
+    EXPECT_TRUE(flight.dumpPanic("boom"));
+    EXPECT_TRUE(flight.dumped());
+    // One dump per recorder: a panic after a divergence dump (or a
+    // second panic) must not clobber the first narrative.
+    EXPECT_FALSE(flight.dumpPanic("boom again"));
+
+    const Json doc = Json::parse(readFile(path));
+    EXPECT_EQ(doc.at("reason").asString(), "panic");
+    EXPECT_EQ(doc.at("message").asString(), "boom");
+    EXPECT_EQ(doc.at("records_in_window").asUint(), t.size());
+    ASSERT_EQ(doc.at("records").size(), 2u);
+    // The tail is the newest records of the fixture, newest last.
+    EXPECT_EQ(doc.at("records").at(1).at("cycle").asUint(), 160u);
+    EXPECT_EQ(doc.at("state").at("tht_rows").asUint(), 64u);
+}
+
+/// A seeded fuzz divergence writes a postmortem whose embedded report
+/// is exactly the DivergenceReport the checker returned, with causal
+/// records in the window.
+TEST(FlightRecorderTest, DivergenceDumpMatchesTheCheckerReport)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/divergence.json";
+    FuzzTrace trace = genTrace(3, FuzzMode::Hierarchy, 400, "tcp");
+    const std::uint64_t inject_at = 120;
+    const auto failure = runFuzzTrace(trace, inject_at, path);
+    ASSERT_TRUE(failure.has_value());
+    EXPECT_EQ(failure->event, inject_at);
+
+    const Json doc = Json::parse(readFile(path));
+    EXPECT_EQ(doc.at("reason").asString(), "divergence");
+    EXPECT_EQ(doc.at("report").dump(), failure->toJson().dump());
+    EXPECT_GT(doc.at("records").size(), 0u);
+    EXPECT_EQ(doc.at("records_in_window").asUint(),
+              doc.at("records").size());
+}
+
+// --------------------------------------------------------- bit-identity
+
+RunSpec
+tracedSpec(const std::string &engine, const std::string &causal_path)
+{
+    return {.workload = "swim",
+            .engine = engine,
+            .instructions = 20000,
+            .seed = 11,
+            .ledger = true,
+            .causal_path = causal_path};
+}
+
+/// Attaching the tracer must not perturb the simulated machine: a
+/// traced run's result is bit-identical to the plain run's.
+TEST(CausalRunTest, TracedRunBitIdenticalToPlainRun)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/run.tcpcau";
+    const RunResult plain = runSpec(tracedSpec("tcp8k", ""));
+    const RunResult traced = runSpec(tracedSpec("tcp8k", path));
+    EXPECT_EQ(traced.toJson().dump(2), plain.toJson().dump(2));
+
+    // The side channel did fill: decisions were recorded and saved.
+    const auto store = loadCausalFile(path);
+    ASSERT_TRUE(store.has_value());
+    EXPECT_GT(store->size(), 0u);
+    EXPECT_GT(store->eventCount(), 0u);
+    EXPECT_EQ(store->depth, 2u); // tcp8k history depth
+}
+
+/// Lane groups give every traced lane a private tracer: results and
+/// the .tcpcau bytes match the independent run at --jobs 1 and 8.
+TEST(CausalRunTest, LaneTracersMatchIndependentRuns)
+{
+    TempDir dir;
+    std::vector<std::string> engines = {"tcp8k", "tcp:2048:0",
+                                        "tcp:32768:2"};
+
+    std::vector<RunSpec> solo_specs;
+    for (const std::string &engine : engines)
+        solo_specs.push_back(tracedSpec(
+            engine, dir.path() + "/solo-" + engine + ".tcpcau"));
+    attachArenas(solo_specs);
+    std::vector<RunResult> reference;
+    for (const RunSpec &spec : solo_specs)
+        reference.push_back(runSpec(spec));
+
+    for (int jobs : {1, 8}) {
+        std::vector<RunSpec> specs;
+        for (const std::string &engine : engines)
+            specs.push_back(tracedSpec(
+                engine, dir.path() + "/j" + std::to_string(jobs) +
+                            "-" + engine + ".tcpcau"));
+        attachArenas(specs);
+        // The matrix must actually coalesce into one lane group.
+        ASSERT_EQ(coalesceSpecs(specs, LaneOptions{}).size(), 1u);
+        BatchRunner runner(jobs);
+        const std::vector<RunResult> lanes =
+            runner.run(specs, nullptr, LaneOptions{});
+        ASSERT_EQ(lanes.size(), specs.size());
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            EXPECT_EQ(lanes[i].toJson().dump(),
+                      reference[i].toJson().dump())
+                << engines[i] << " (jobs=" << jobs << ")";
+            EXPECT_EQ(readFile(specs[i].causal_path),
+                      readFile(solo_specs[i].causal_path))
+                << engines[i] << " .tcpcau (jobs=" << jobs << ")";
+        }
+    }
+}
+
+// ------------------------------------------------------- progress / ETA
+
+TEST(ProgressStreamerTest, OpsProgressCreditsWithoutFinishingAJob)
+{
+    TempDir dir;
+    ProgressConfig cfg;
+    cfg.sink = dir.path() + "/progress.ndjson";
+    cfg.period_seconds = 3600; // no heartbeat racing the asserts
+    ProgressStreamer stream(cfg);
+    stream.addTotal(1, 100);
+
+    stream.opsProgress(60);
+    Json rec = stream.record("heartbeat");
+    EXPECT_EQ(rec.at("ops").at("done").asUint(), 60u);
+    EXPECT_EQ(rec.at("jobs").at("done").asUint(), 0u);
+
+    // The long job then finishes with no further op credit.
+    stream.jobFinished(0);
+    rec = stream.record("heartbeat");
+    EXPECT_EQ(rec.at("ops").at("done").asUint(), 60u);
+    EXPECT_EQ(rec.at("jobs").at("done").asUint(), 1u);
+}
+
+/// The lane-group ETA regression: a coalesced group streams per-chunk
+/// op credit that sums to exactly the declared total — no double
+/// count at the group boundary, no jump from zero.
+TEST(ProgressStreamerTest, LaneGroupOpCreditSumsExactly)
+{
+    TempDir dir;
+    std::vector<RunSpec> specs;
+    for (const std::string &engine :
+         {std::string("tcp8k"), std::string("tcp:2048:0"),
+          std::string("none")})
+        specs.push_back({.workload = "gzip",
+                         .engine = engine,
+                         .instructions = 20000,
+                         .seed = 5});
+    attachArenas(specs);
+    ASSERT_EQ(coalesceSpecs(specs, LaneOptions{}).size(), 1u);
+
+    std::uint64_t expected_ops = 0;
+    for (const RunSpec &spec : specs)
+        expected_ops += specOpsNeeded(spec);
+
+    ProgressConfig cfg;
+    cfg.sink = dir.path() + "/lanes.ndjson";
+    cfg.period_seconds = 3600;
+    ProgressStreamer stream(cfg);
+    BatchRunner runner(2);
+    const std::vector<RunResult> results =
+        runner.run(specs, &stream, LaneOptions{});
+    EXPECT_EQ(results.size(), specs.size());
+
+    const Json rec = stream.record("summary");
+    EXPECT_EQ(rec.at("ops").at("total").asUint(), expected_ops);
+    EXPECT_EQ(rec.at("ops").at("done").asUint(), expected_ops);
+    EXPECT_EQ(rec.at("jobs").at("total").asUint(), 1u);
+    EXPECT_EQ(rec.at("jobs").at("done").asUint(), 1u);
+}
+
+} // namespace
+} // namespace tcp

@@ -15,11 +15,14 @@
  */
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "check/fuzz.hh"
+#include "sim/json.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
 
@@ -40,12 +43,26 @@ reproducerPath(const std::string &dir, const FuzzTrace &trace)
            modeName(trace.mode) + ".trc";
 }
 
+/**
+ * Postmortem destination for one hierarchy-mode trace. Cache-mode
+ * traces have no hierarchy to trace, so they get no flight recorder.
+ */
+std::string
+flightPath(const std::string &dir, const FuzzTrace &trace)
+{
+    if (trace.mode != FuzzMode::Hierarchy)
+        return "";
+    return dir + "/flight-seed" + std::to_string(trace.seed) +
+           "-hier.json";
+}
+
 /** Run one trace; on divergence shrink (optionally) and report. */
 bool
 runOne(const FuzzTrace &trace, bool shrink, const std::string &out_dir,
        std::uint64_t inject_at)
 {
-    const auto failure = runFuzzTrace(trace, inject_at);
+    const auto failure =
+        runFuzzTrace(trace, inject_at, flightPath(out_dir, trace));
     if (!failure)
         return true;
 
@@ -72,6 +89,39 @@ runOne(const FuzzTrace &trace, bool shrink, const std::string &out_dir,
  * Prove the catch -> shrink -> report -> replay pipeline end to end by
  * injecting a synthetic fault into an otherwise healthy trace.
  */
+/**
+ * Verify the flight dump written for a caught divergence: it must
+ * parse as JSON and carry the same report the checker returned.
+ */
+bool
+checkFlightDump(const std::string &path,
+                const DivergenceReport &failure)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "self-test: no flight dump at " << path << "\n";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const Json doc = Json::parse(text.str());
+    const Json *report = doc.find("report");
+    if (!report || report->dump() != failure.toJson().dump()) {
+        std::cerr << "self-test: flight dump report does not match "
+                     "the checker's divergence (" << path << ")\n";
+        return false;
+    }
+    const Json *records = doc.find("records");
+    if (!records) {
+        std::cerr << "self-test: flight dump carries no causal "
+                     "records (" << path << ")\n";
+        return false;
+    }
+    std::cout << "self-test: flight dump at " << path << " ("
+              << records->size() << " records in window)\n";
+    return true;
+}
+
 int
 selfTest(const std::string &out_dir)
 {
@@ -80,7 +130,11 @@ selfTest(const std::string &out_dir)
         FuzzTrace trace = genTrace(1, mode, 400, "tcp");
         trace.seed = 9999; // keep the reproducer apart from real runs
 
-        const auto failure = runFuzzTrace(trace, inject_at);
+        const std::string flight =
+            mode == FuzzMode::Hierarchy
+                ? out_dir + "/flight-selftest.json"
+                : std::string{};
+        const auto failure = runFuzzTrace(trace, inject_at, flight);
         if (!failure) {
             std::cerr << "self-test: injected fault not caught ("
                       << modeName(mode) << ")\n";
@@ -93,6 +147,8 @@ selfTest(const std::string &out_dir)
                       << ")\n";
             return 1;
         }
+        if (!flight.empty() && !checkFlightDump(flight, *failure))
+            return 1;
 
         const FuzzTrace shrunk = shrinkTrace(trace, inject_at);
         if (shrunk.ops.size() >= trace.ops.size()) {

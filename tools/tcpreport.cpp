@@ -18,6 +18,12 @@
  *                      total/p50/p90/p99/max
  *   tcpreport progress one-line summary of a --progress NDJSON
  *                      stream (jobs, ops/s, phase breakdown)
+ *   tcpreport explain  query a .tcpcau causal trace (tcpsim
+ *                      --causal): why an address was or wasn't
+ *                      prefetched (--addr), unprefetched-miss
+ *                      hotspots by trigger PC (--top-misses [--pc]),
+ *                      or the PHT entries behind pollution
+ *                      (--pollution)
  *
  * Every subcommand accepts --help.
  */
@@ -31,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/causal.hh"
 #include "sim/json.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
@@ -849,6 +856,246 @@ cmdDiff(int argc, char **argv)
     return 1;
 }
 
+// -------------------------------------------------------------- explain
+
+/** Tags of a history array as a compact hex list: "[0x3, 0x7]". */
+std::string
+tagList(const Json &tags)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += hex(tags.at(i).asUint());
+    }
+    return out + "]";
+}
+
+/** One prefetch event: "0x40 Issued #12 -> Useful". */
+std::string
+eventLine(const Json &ev)
+{
+    std::string out;
+    if (const Json *a = ev.find("addr"))
+        out += hex(a->asUint()) + " ";
+    out += ev.at("action").asString();
+    if (const Json *id = ev.find("ledger_id"))
+        out += " #" + std::to_string(id->asUint());
+    if (const Json *o = ev.find("outcome"))
+        out += " -> " + o->asString();
+    return out;
+}
+
+/**
+ * One decision chain (CausalStore::recordJson) as indented text: the
+ * trigger, the THT history transition, the PHT probe, the reason, and
+ * one line per prefetch event.
+ */
+void
+renderChain(const Json &rec, const std::string &pad)
+{
+    std::cout << pad << "cycle " << rec.at("cycle").asUint()
+              << "  pc " << hex(rec.at("pc").asUint()) << "  addr "
+              << hex(rec.at("addr").asUint()) << "  set "
+              << rec.at("set").asUint() << "  tag "
+              << hex(rec.at("tag").asUint()) << "\n";
+    if (const Json *h = rec.find("history"))
+        std::cout << pad << "  history " << tagList(*h) << " -> "
+                  << tagList(rec.at("history_after")) << "\n";
+    else
+        std::cout << pad << "  history (row not yet full)\n";
+    if (const Json *p = rec.find("pht")) {
+        if (p->at("hit").asBool())
+            std::cout << pad << "  pht hit: set "
+                      << p->at("set").asUint() << " way "
+                      << p->at("way").asUint() << "\n";
+        else
+            std::cout << pad << "  pht miss\n";
+    }
+    std::cout << pad << "  reason: " << rec.at("reason").asString()
+              << "\n";
+    const Json &evs = rec.at("prefetches");
+    for (std::size_t i = 0; i < evs.size(); ++i)
+        std::cout << pad << "  prefetch " << eventLine(evs.at(i))
+                  << "\n";
+    if (evs.size() == 0)
+        std::cout << pad << "  (no prefetch issued)\n";
+}
+
+void
+renderExplainAddr(const Json &out)
+{
+    std::cout << "address " << hex(out.at("addr").asUint())
+              << ", block " << hex(out.at("block").asUint()) << "\n";
+
+    const Json &trig = out.at("as_trigger");
+    const Json &recs = trig.at("records");
+    std::cout << "\nas trigger: " << trig.at("count").asUint()
+              << " miss record(s)";
+    if (recs.size() < trig.at("count").asUint())
+        std::cout << " (newest " << recs.size() << " shown)";
+    std::cout << "\n";
+    for (std::size_t i = 0; i < recs.size(); ++i)
+        renderChain(recs.at(i), "  ");
+
+    const Json &tgt = out.at("as_target");
+    const Json &evs = tgt.at("events");
+    std::cout << "\nas target: " << tgt.at("count").asUint()
+              << " prefetch event(s)";
+    if (evs.size() < tgt.at("count").asUint())
+        std::cout << " (newest " << evs.size() << " shown)";
+    std::cout << "\n";
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+        const Json &ev = evs.at(i);
+        std::cout << "  cycle " << ev.at("cycle").asUint() << "  "
+                  << eventLine(ev) << "  (trigger pc "
+                  << hex(ev.at("trigger_pc").asUint()) << ", addr "
+                  << hex(ev.at("trigger_addr").asUint()) << ")\n";
+        renderChain(ev.at("chain"), "    ");
+    }
+}
+
+void
+renderTopMisses(const Json &out)
+{
+    std::cout << "unprefetched misses: "
+              << out.at("unprefetched_misses").asUint() << "\n";
+    const Json &hotspots = out.at("hotspots");
+    if (hotspots.size() == 0)
+        return;
+
+    TextTable table("top miss PCs");
+    table.setHeader({"pc", "misses", "reasons"});
+    for (std::size_t i = 0; i < hotspots.size(); ++i) {
+        const Json &row = hotspots.at(i);
+        std::string reasons;
+        for (const auto &[name, count] : row.at("reasons").members()) {
+            if (!reasons.empty())
+                reasons += ", ";
+            reasons += name + " " + std::to_string(count.asUint());
+        }
+        table.addRow({hex(row.at("pc").asUint()),
+                      std::to_string(row.at("count").asUint()),
+                      reasons});
+    }
+    std::cout << "\n" << table.render();
+    for (std::size_t i = 0; i < hotspots.size(); ++i) {
+        const Json &row = hotspots.at(i);
+        std::cout << "\nexample chain for pc "
+                  << hex(row.at("pc").asUint()) << ":\n";
+        renderChain(row.at("example"), "  ");
+    }
+}
+
+void
+renderPollution(const Json &out)
+{
+    std::cout << "polluting prefetches: "
+              << out.at("polluting_prefetches").asUint() << " ("
+              << out.at("via_stride_assist").asUint()
+              << " via stride assist, no PHT entry)\n";
+    const Json &entries = out.at("entries");
+    if (entries.size() == 0)
+        return;
+
+    TextTable table("top polluting PHT entries");
+    table.setHeader({"pht set", "way", "pollution"});
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const Json &row = entries.at(i);
+        table.addRow({std::to_string(row.at("pht_set").asUint()),
+                      std::to_string(row.at("pht_way").asUint()),
+                      std::to_string(row.at("count").asUint())});
+    }
+    std::cout << "\n" << table.render();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const Json &row = entries.at(i);
+        const Json &hists = row.at("trained_by");
+        if (hists.size() == 0)
+            continue;
+        std::cout << "\npht " << row.at("pht_set").asUint() << "/"
+                  << row.at("pht_way").asUint() << " trained by:\n";
+        for (std::size_t h = 0; h < hists.size(); ++h) {
+            const Json &hist = hists.at(h);
+            std::cout << "  history "
+                      << tagList(hist.at("history")) << "  (pc "
+                      << hex(hist.at("trigger_pc").asUint())
+                      << ", miss set "
+                      << hist.at("miss_set").asUint() << ")\n";
+        }
+    }
+}
+
+int
+cmdExplain(int argc, char **argv)
+{
+    const std::string positional = takePositional(argc, argv);
+    ArgParser args;
+    args.addFlag("causal", "",
+                 ".tcpcau causal trace (or pass it as the first "
+                 "argument)");
+    args.addFlag("addr", "",
+                 "explain one address: every decision chain its "
+                 "block triggered and every prefetch targeting it");
+    args.addFlag("top-misses", "false",
+                 "unprefetched-miss hotspots grouped by trigger PC");
+    args.addFlag("pc", "", "restrict --top-misses to this trigger PC");
+    args.addFlag("pollution", "false",
+                 "top polluting PHT entries and the histories that "
+                 "trained them");
+    args.addFlag("top", "10", "rows / newest records per section");
+    args.addFlag("json", "false",
+                 "print the raw query JSON instead of text");
+    args.parse(argc, argv);
+
+    const std::string path =
+        positional.empty() ? args.getString("causal") : positional;
+    if (path.empty())
+        tcp_fatal("tcpreport explain: pass the .tcpcau path (first "
+                  "argument or --causal)");
+    const auto store = loadCausalFile(path);
+    if (!store)
+        tcp_fatal("tcpreport explain: cannot load '", path, "'");
+
+    const std::size_t top = args.getUint("top");
+    const bool as_json = args.getBool("json");
+    const std::string addr_s = args.getString("addr");
+    const bool top_misses = args.getBool("top-misses");
+    const bool pollution = args.getBool("pollution");
+    if (int(!addr_s.empty()) + int(top_misses) + int(pollution) != 1) {
+        std::cerr << "tcpreport explain: pick exactly one of --addr, "
+                     "--top-misses, --pollution\n";
+        return 2;
+    }
+
+    Json out;
+    if (!addr_s.empty()) {
+        const Addr addr = std::stoull(addr_s, nullptr, 0);
+        out = explainAddr(*store, addr, top);
+    } else if (top_misses) {
+        std::optional<Pc> pc;
+        if (const std::string s = args.getString("pc"); !s.empty())
+            pc = std::stoull(s, nullptr, 0);
+        out = explainTopMisses(*store, pc, top);
+    } else {
+        out = explainPollution(*store, top);
+    }
+
+    if (as_json) {
+        std::cout << out.dump(2) << "\n";
+        return 0;
+    }
+    std::cout << path << ": " << store->size()
+              << " causal record(s), " << store->eventCount()
+              << " prefetch event(s)\n\n";
+    if (!addr_s.empty())
+        renderExplainAddr(out);
+    else if (top_misses)
+        renderTopMisses(out);
+    else
+        renderPollution(out);
+    return 0;
+}
+
 void
 usage()
 {
@@ -874,6 +1121,12 @@ usage()
         "      every histogram in the record as total/p50/p90/p99/max\n"
         "  progress <file.ndjson>\n"
         "      one-line summary of a --progress stream\n"
+        "  explain <file.tcpcau> --addr A | --top-misses [--pc P] | "
+        "--pollution\n"
+        "      query a causal trace (tcpsim --causal): the decision\n"
+        "      chains behind one address, unprefetched-miss hotspots\n"
+        "      by trigger PC, or the PHT entries behind pollution\n"
+        "      (--top N, --json for the raw query output)\n"
         "\n"
         "Every subcommand accepts --help.\n";
 }
@@ -900,6 +1153,8 @@ main(int argc, char **argv)
         return cmdHist(argc, argv);
     if (cmd == "progress")
         return cmdProgress(argc, argv);
+    if (cmd == "explain")
+        return cmdExplain(argc, argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
         usage();
         return 0;

@@ -25,6 +25,7 @@
 #include "harness/batch.hh"
 #include "harness/multisim.hh"
 #include "harness/runner.hh"
+#include "obs/causal.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
 #include "obs/progress.hh"
@@ -146,7 +147,47 @@ addObservabilityFlags(ArgParser &args)
     args.addFlag("metrics", "false",
                  "record run telemetry (latency/occupancy/hit-run "
                  "histograms) into the stats JSON");
+    args.addFlag("causal", "",
+                 "record the per-miss causal decision trace and save "
+                 "it here (.tcpcau; inspect with 'tcpreport explain')");
+    args.addFlag("flightrec", "",
+                 "keep a flight-recorder window of recent causal "
+                 "records and dump a postmortem JSON here on panic or "
+                 "(with --check) divergence");
     addProgressFlags(args);
+}
+
+/**
+ * Build the --causal / --flightrec observers. The --causal tracer is
+ * unbounded (the whole run is saved at exit); with --flightrec alone
+ * a bounded tracer keeps only the recorder's lookback window.
+ */
+void
+setupCausal(const ArgParser &args,
+            std::optional<CausalTracer> &tracer,
+            std::optional<FlightRecorder> &flight)
+{
+    const std::string causal_path = args.getString("causal");
+    const std::string flight_path = args.getString("flightrec");
+    if (!causal_path.empty())
+        tracer.emplace(/*capacity=*/0);
+    else if (!flight_path.empty())
+        tracer.emplace(/*capacity=*/std::size_t{64} * 1024);
+    if (!flight_path.empty())
+        flight.emplace(&*tracer, flight_path);
+}
+
+/** Save the --causal trace after a finished run. */
+void
+finishCausal(const ArgParser &args,
+             const std::optional<CausalTracer> &tracer)
+{
+    const std::string causal_path = args.getString("causal");
+    if (causal_path.empty() || !tracer)
+        return;
+    tracer->save(causal_path);
+    std::cout << "wrote " << tracer->size() << " causal records to "
+              << causal_path << "\n";
 }
 
 /** Render the ledger outcome breakdown of a run, if it has one. */
@@ -230,6 +271,9 @@ cmdRun(int argc, char **argv, const std::string &workload_override = "")
     std::optional<MetricsRegistry> registry;
     if (args.getBool("metrics"))
         registry.emplace();
+    std::optional<CausalTracer> tracer;
+    std::optional<FlightRecorder> flight;
+    setupCausal(args, tracer, flight);
     const std::uint64_t total_ops =
         resolveAutoWarmup(instructions, kAutoWarmup, interval) +
         instructions;
@@ -243,7 +287,9 @@ cmdRun(int argc, char **argv, const std::string &workload_override = "")
                  interval,
                  args.getBool("ledger") ? &ledger_cfg : nullptr,
                  args.getBool("check"),
-                 registry ? &*registry : nullptr);
+                 registry ? &*registry : nullptr,
+                 tracer ? &*tracer : nullptr,
+                 flight ? &*flight : nullptr);
     if (progress)
         progress->jobFinished(total_ops);
     if (registry)
@@ -267,6 +313,7 @@ cmdRun(int argc, char **argv, const std::string &workload_override = "")
                   formatBytes(r.pf_storage_bits / 8)});
     std::cout << table.render();
     printLedgerSummary(r);
+    finishCausal(args, tracer);
 
     if (dump && engine.prefetcher)
         std::cout << "\n" << engine.prefetcher->stats().report();
@@ -534,6 +581,9 @@ cmdReplay(int argc, char **argv)
     std::optional<MetricsRegistry> registry;
     if (args.getBool("metrics"))
         registry.emplace();
+    std::optional<CausalTracer> tracer;
+    std::optional<FlightRecorder> flight;
+    setupCausal(args, tracer, flight);
     if (progress) {
         progress->addTotal(1, src.size());
         progress->jobStarted();
@@ -545,7 +595,9 @@ cmdReplay(int argc, char **argv)
                            args.getBool("ledger") ? &ledger_cfg
                                                   : nullptr,
                            args.getBool("check"),
-                           registry ? &*registry : nullptr);
+                           registry ? &*registry : nullptr,
+                           tracer ? &*tracer : nullptr,
+                           flight ? &*flight : nullptr);
     if (progress)
         progress->jobFinished(src.size());
     if (registry)
@@ -555,6 +607,7 @@ cmdReplay(int argc, char **argv)
               << r.l1d_misses << ", prefetches useful "
               << r.pf_useful << "\n";
     printLedgerSummary(r);
+    finishCausal(args, tracer);
     if (!stats_json.empty()) {
         Json doc = r.toJson();
         doc["profile"] = profiler.toJson();
