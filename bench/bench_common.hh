@@ -238,10 +238,16 @@ tableToJson(const TextTable &table)
  * did not pass --json). Every figure and ablation binary calls this
  * after printing its text tables, so a results directory can carry a
  * BENCH_<name>.json next to each text report.
+ *
+ * A bench with machine-readable output beyond its tables (fig16's
+ * per-run championship records, consumed by `tcpreport leaderboard`)
+ * passes it as (@p extra_key, @p extra); the block lands at the
+ * document's top level next to "tables".
  */
 inline void
 writeJsonReport(const SuiteOptions &opt, const std::string &bench,
-                std::initializer_list<const TextTable *> tables)
+                std::initializer_list<const TextTable *> tables,
+                const std::string &extra_key = "", Json extra = {})
 {
     if (opt.json_path.empty())
         return;
@@ -275,6 +281,8 @@ writeJsonReport(const SuiteOptions &opt, const std::string &bench,
             arr.push(tableToJson(*t));
         doc["tables"] = std::move(arr);
     }
+    if (!extra_key.empty())
+        doc[extra_key] = std::move(extra);
     if (opt.profiler)
         doc["profile"] = opt.profiler->toJson();
     if (opt.metrics)

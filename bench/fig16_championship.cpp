@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 16 (extension): the prefetcher championship. Races every
+ * self-contained engine in the repository — TCP-8K, DBCP-2M, stride,
+ * stream, address-Markov, DCPT, GHB PC/DC, and delta-Markov — across
+ * the whole 26-workload suite in one ledger-instrumented batch, then
+ * ranks them with the shared leaderboard scoring
+ * (score = coverage x accuracy x (1 - pollution), storage bits as the
+ * cost axis; see src/obs/leaderboard.hh).
+ *
+ * The JSON report additionally carries a "championship" block with
+ * one record per (workload, engine) race so `tcpreport leaderboard`
+ * can re-rank or re-slice the tournament without re-simulating.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "obs/leaderboard.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcp;
+    ArgParser args;
+    bench::addSuiteFlags(args, "2000000");
+    args.parse(argc, argv);
+    const auto opt = bench::suiteOptions(args);
+    bench::printHeader("Figure 16: the prefetcher championship", opt);
+
+    const std::vector<std::string> engines = {
+        "tcp8k", "dbcp2m", "stride", "stream",
+        "markov", "dcpt",  "ghb",    "dmarkov",
+    };
+
+    // One base ("none") run plus one ledger-instrumented run per
+    // engine, per workload; the batch returns submission order.
+    const std::size_t stride_len = engines.size() + 1;
+    std::vector<RunSpec> specs;
+    for (const std::string &name : opt.workloads) {
+        specs.push_back({.workload = name,
+                         .instructions = opt.instructions,
+                         .seed = opt.seed});
+        for (const std::string &engine : engines) {
+            RunSpec spec{.workload = name,
+                         .engine = engine,
+                         .instructions = opt.instructions,
+                         .seed = opt.seed};
+            spec.ledger = true;
+            specs.push_back(std::move(spec));
+        }
+    }
+    const std::vector<RunResult> results = bench::runBatch(opt, specs);
+
+    std::vector<ChampionshipRun> runs;
+    runs.reserve(opt.workloads.size() * engines.size());
+    for (std::size_t w = 0; w < opt.workloads.size(); ++w) {
+        const RunResult &base = results[w * stride_len];
+        for (std::size_t e = 0; e < engines.size(); ++e) {
+            const RunResult &r = results[w * stride_len + 1 + e];
+            ChampionshipRun run;
+            run.workload = opt.workloads[w];
+            run.wl_class = workloadClass(run.workload);
+            run.engine = engines[e];
+            run.ipc = r.ipc();
+            run.base_ipc = base.ipc();
+            run.storage_bits = r.pf_storage_bits;
+            run.original_l2 = base.original_l2;
+            run.prefetched_original = r.prefetched_original;
+            // Score from the ledger's retired outcomes, not the raw
+            // hierarchy counters: the ledger partitions every issued
+            // prefetch into exactly one outcome, which is what makes
+            // accuracy and pollution comparable across engines.
+            tcp_assert(!r.ledger.isNull(),
+                       "championship run lost its ledger");
+            run.pf_issued = r.ledger.at("issued").asUint();
+            run.pf_useful = r.ledger.at("useful").asUint();
+            run.pf_late = r.ledger.at("late").asUint();
+            run.pf_pollution = r.ledger.at("pollution").asUint();
+            runs.push_back(std::move(run));
+        }
+    }
+
+    const TextTable winners = championshipWinnersTable(runs);
+    const TextTable overall = leaderboardTable(runs, "");
+    const TextTable board_int = leaderboardTable(runs, "int");
+    const TextTable board_fp = leaderboardTable(runs, "fp");
+    std::cout << winners.render() << "\n"
+              << overall.render() << "\n"
+              << board_int.render() << "\n"
+              << board_fp.render();
+
+    Json championship = Json::object();
+    {
+        Json names = Json::array();
+        for (const std::string &engine : engines)
+            names.push(engine);
+        championship["engines"] = std::move(names);
+    }
+    {
+        Json arr = Json::array();
+        for (const ChampionshipRun &run : runs)
+            arr.push(championshipRunJson(run));
+        championship["runs"] = std::move(arr);
+    }
+    bench::writeJsonReport(opt, "fig16_championship",
+                           {&winners, &overall, &board_int, &board_fp},
+                           "championship", std::move(championship));
+    return 0;
+}

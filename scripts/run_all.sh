@@ -79,8 +79,16 @@ for p in "$ROOT"/results/progress/*.ndjson; do
     "$BUILD/tools/tcpreport" progress "$p"
 done 2>&1 | tee "$ROOT/results/progress_summary.txt"
 
+echo "== championship leaderboard =="
+# Re-rank the fig16 tournament from its report (same tcp_obs scoring
+# the bench used) so results/ carries a standalone standings file.
+"$BUILD/tools/tcpreport" leaderboard \
+    "$ROOT/results/fig16_championship.json" \
+    2>&1 | tee "$ROOT/results/leaderboard.txt"
+
 echo "== done =="
 echo "tests:    $ROOT/test_output.txt"
 echo "figures:  $ROOT/results/bench_all.txt"
+echo "ranking:  $ROOT/results/leaderboard.txt"
 echo "json:     $ROOT/results/*.json (one per bench binary)"
 echo "progress: $ROOT/results/progress/*.ndjson (live NDJSON streams)"

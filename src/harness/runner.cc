@@ -10,6 +10,9 @@
 #include "obs/profiler.hh"
 #include "prefetch/dbcp.hh"
 #include "sim/build_info.hh"
+#include "prefetch/dcpt.hh"
+#include "prefetch/delta_markov.hh"
+#include "prefetch/ghb.hh"
 #include "prefetch/markov.hh"
 #include "prefetch/stream.hh"
 #include "prefetch/stride.hh"
@@ -187,6 +190,12 @@ makeEngine(const std::string &name)
         setup.prefetcher = std::make_unique<StreamPrefetcher>();
     } else if (name == "markov") {
         setup.prefetcher = std::make_unique<MarkovPrefetcher>();
+    } else if (name == "dcpt") {
+        setup.prefetcher = std::make_unique<DcptPrefetcher>();
+    } else if (name == "ghb") {
+        setup.prefetcher = std::make_unique<GhbPrefetcher>();
+    } else if (name == "dmarkov") {
+        setup.prefetcher = std::make_unique<DeltaMarkovPrefetcher>();
     } else if (name.rfind("tcp:", 0) == 0) {
         // "tcp:<pht_bytes>:<miss_index_bits>"
         const auto parts = splitString(name, ':');
@@ -226,8 +235,8 @@ const std::vector<std::string> &
 standardEngineNames()
 {
     static const std::vector<std::string> names = {
-        "none", "stride", "stream", "markov", "dbcp2m",
-        "tcp8k", "tcp8m", "hybrid8k",
+        "none", "stride", "stream", "markov", "dcpt", "ghb",
+        "dmarkov", "dbcp2m", "tcp8k", "tcp8m", "hybrid8k",
     };
     return names;
 }

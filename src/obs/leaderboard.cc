@@ -1,0 +1,257 @@
+#include "leaderboard.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+namespace {
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den ? static_cast<double>(num) / static_cast<double>(den)
+               : 0.0;
+}
+
+} // namespace
+
+double
+ChampionshipRun::coverage() const
+{
+    return ratio(prefetched_original, original_l2);
+}
+
+double
+ChampionshipRun::accuracy() const
+{
+    return ratio(pf_useful + pf_late, pf_issued);
+}
+
+double
+ChampionshipRun::pollutionRate() const
+{
+    return ratio(pf_pollution, pf_issued);
+}
+
+double
+ChampionshipRun::score() const
+{
+    return championshipScore(coverage(), accuracy(), pollutionRate());
+}
+
+double
+ChampionshipRun::speedup() const
+{
+    tcp_assert(base_ipc > 0.0, "championship run '", workload, "/",
+               engine, "' has no baseline IPC");
+    return ipc / base_ipc;
+}
+
+double
+championshipScore(double coverage, double accuracy,
+                  double pollution_rate)
+{
+    return coverage * accuracy * (1.0 - pollution_rate);
+}
+
+Json
+championshipRunJson(const ChampionshipRun &run)
+{
+    Json j = Json::object();
+    j["workload"] = run.workload;
+    j["class"] = run.wl_class;
+    j["engine"] = run.engine;
+    j["ipc"] = run.ipc;
+    j["base_ipc"] = run.base_ipc;
+    j["storage_bits"] = run.storage_bits;
+    j["original_l2"] = run.original_l2;
+    j["prefetched_original"] = run.prefetched_original;
+    j["pf_issued"] = run.pf_issued;
+    j["pf_useful"] = run.pf_useful;
+    j["pf_late"] = run.pf_late;
+    j["pf_pollution"] = run.pf_pollution;
+    // Derived values are recomputed on parse; stamping them anyway
+    // keeps the raw JSON greppable without a calculator.
+    j["score"] = run.score();
+    j["speedup"] = run.speedup();
+    return j;
+}
+
+ChampionshipRun
+parseChampionshipRun(const Json &j)
+{
+    ChampionshipRun run;
+    run.workload = j.at("workload").asString();
+    run.wl_class = j.at("class").asString();
+    run.engine = j.at("engine").asString();
+    run.ipc = j.at("ipc").asDouble();
+    run.base_ipc = j.at("base_ipc").asDouble();
+    run.storage_bits = j.at("storage_bits").asUint();
+    run.original_l2 = j.at("original_l2").asUint();
+    run.prefetched_original = j.at("prefetched_original").asUint();
+    run.pf_issued = j.at("pf_issued").asUint();
+    run.pf_useful = j.at("pf_useful").asUint();
+    run.pf_late = j.at("pf_late").asUint();
+    run.pf_pollution = j.at("pf_pollution").asUint();
+    return run;
+}
+
+std::vector<ChampionshipRun>
+parseChampionshipRuns(const Json &doc)
+{
+    const Json *champ = doc.find("championship");
+    if (!champ || !champ->contains("runs"))
+        tcp_fatal("document carries no championship block; expected "
+                  "a fig16_championship report");
+    const Json &runs = champ->at("runs");
+    std::vector<ChampionshipRun> out;
+    out.reserve(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        out.push_back(parseChampionshipRun(runs.at(i)));
+    return out;
+}
+
+namespace {
+
+/** Runs of @p group (empty = all), grouped per workload. */
+std::map<std::string, std::vector<const ChampionshipRun *>>
+byWorkload(const std::vector<ChampionshipRun> &runs,
+           const std::string &group)
+{
+    std::map<std::string, std::vector<const ChampionshipRun *>> m;
+    for (const ChampionshipRun &r : runs)
+        if (group.empty() || r.wl_class == group)
+            m[r.workload].push_back(&r);
+    return m;
+}
+
+/** The winning run of one workload's field (deterministic). */
+const ChampionshipRun *
+winnerOf(const std::vector<const ChampionshipRun *> &field)
+{
+    const ChampionshipRun *best = nullptr;
+    for (const ChampionshipRun *r : field) {
+        if (!best) {
+            best = r;
+            continue;
+        }
+        const double s = r->score(), bs = best->score();
+        if (s > bs ||
+            (s == bs && (r->storage_bits < best->storage_bits ||
+                         (r->storage_bits == best->storage_bits &&
+                          r->engine < best->engine))))
+            best = r;
+    }
+    return best;
+}
+
+} // namespace
+
+std::vector<LeaderboardRow>
+rankEngines(const std::vector<ChampionshipRun> &runs,
+            const std::string &group)
+{
+    // Accumulate per engine, keyed in insertion order of first
+    // appearance so equal engines stay in tournament order.
+    std::vector<LeaderboardRow> rows;
+    std::vector<double> log_speedups; // parallel per-engine sums
+    auto rowFor = [&](const std::string &engine) -> std::size_t {
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            if (rows[i].engine == engine)
+                return i;
+        rows.push_back(LeaderboardRow{});
+        rows.back().engine = engine;
+        log_speedups.push_back(0.0);
+        return rows.size() - 1;
+    };
+
+    const auto grouped = byWorkload(runs, group);
+    for (const auto &[workload, field] : grouped) {
+        (void)workload;
+        for (const ChampionshipRun *r : field) {
+            const std::size_t i = rowFor(r->engine);
+            LeaderboardRow &row = rows[i];
+            ++row.workloads;
+            row.mean_score += r->score();
+            row.mean_coverage += r->coverage();
+            row.mean_accuracy += r->accuracy();
+            row.mean_pollution += r->pollutionRate();
+            row.storage_bits =
+                std::max(row.storage_bits, r->storage_bits);
+            log_speedups[i] += std::log(r->speedup());
+        }
+        if (const ChampionshipRun *w = winnerOf(field))
+            ++rows[rowFor(w->engine)].wins;
+    }
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        LeaderboardRow &row = rows[i];
+        tcp_assert(row.workloads > 0, "empty leaderboard row");
+        const double n = static_cast<double>(row.workloads);
+        row.mean_score /= n;
+        row.mean_coverage /= n;
+        row.mean_accuracy /= n;
+        row.mean_pollution /= n;
+        row.geomean_speedup = std::exp(log_speedups[i] / n);
+    }
+
+    std::sort(rows.begin(), rows.end(),
+              [](const LeaderboardRow &a, const LeaderboardRow &b) {
+                  if (a.mean_score != b.mean_score)
+                      return a.mean_score > b.mean_score;
+                  if (a.storage_bits != b.storage_bits)
+                      return a.storage_bits < b.storage_bits;
+                  return a.engine < b.engine;
+              });
+    return rows;
+}
+
+TextTable
+championshipWinnersTable(const std::vector<ChampionshipRun> &runs)
+{
+    TextTable table("championship: per-workload winners");
+    table.setHeader({"workload", "class", "winner", "score",
+                     "coverage", "accuracy", "pollution", "speedup"});
+    for (const auto &[workload, field] : byWorkload(runs, "")) {
+        const ChampionshipRun *w = winnerOf(field);
+        if (!w)
+            continue;
+        table.addRow({workload, w->wl_class, w->engine,
+                      formatDouble(w->score(), 4),
+                      formatPercent(w->coverage(), 1),
+                      formatPercent(w->accuracy(), 1),
+                      formatPercent(w->pollutionRate(), 1),
+                      formatPercent(w->speedup() - 1.0, 1)});
+    }
+    return table;
+}
+
+TextTable
+leaderboardTable(const std::vector<ChampionshipRun> &runs,
+                 const std::string &group)
+{
+    TextTable table("championship leaderboard" +
+                    (group.empty() ? std::string{" (overall)"}
+                                   : " (" + group + ")"));
+    table.setHeader({"rank", "engine", "score", "wins", "coverage",
+                     "accuracy", "pollution", "speedup", "storage"});
+    const std::vector<LeaderboardRow> rows = rankEngines(runs, group);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const LeaderboardRow &r = rows[i];
+        table.addRow({std::to_string(i + 1), r.engine,
+                      formatDouble(r.mean_score, 4),
+                      std::to_string(r.wins),
+                      formatPercent(r.mean_coverage, 1),
+                      formatPercent(r.mean_accuracy, 1),
+                      formatPercent(r.mean_pollution, 1),
+                      formatPercent(r.geomean_speedup - 1.0, 1),
+                      formatBytes(r.storage_bits / 8)});
+    }
+    return table;
+}
+
+} // namespace tcp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Championship leaderboard: the scoring and ranking layer behind the
+ * Figure 16 prefetcher tournament (bench/fig16_championship) and the
+ * `tcpreport leaderboard` subcommand.
+ *
+ * Every (workload, engine) race is summarized as a ChampionshipRun —
+ * coverage, ledger-scored accuracy and pollution, storage budget, and
+ * IPC against the paired no-prefetch baseline. A run's score is
+ *
+ *     score = coverage x accuracy x (1 - pollution_rate)
+ *
+ * which rewards engines that remove many original misses (coverage),
+ * with prefetches that get used (accuracy), without evicting lines
+ * the program still wanted (pollution). Rankings average the score
+ * across a workload group; ties break toward the smaller table.
+ *
+ * Lives in tcp_obs (not the harness) so tcpreport — which only reads
+ * report JSON and never links the simulator — can share the exact
+ * parsing, scoring, and rendering the bench used to write the file.
+ */
+
+#ifndef TCP_OBS_LEADERBOARD_HH
+#define TCP_OBS_LEADERBOARD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+#include "util/table.hh"
+
+namespace tcp {
+
+/** One engine's result on one workload of the championship. */
+struct ChampionshipRun
+{
+    std::string workload;
+    std::string wl_class; ///< workload group ("int" / "fp")
+    std::string engine;
+    double ipc = 0.0;
+    double base_ipc = 0.0; ///< paired "none" run on the same trace
+    std::uint64_t storage_bits = 0;
+    std::uint64_t original_l2 = 0;         ///< base-run L2 misses
+    std::uint64_t prefetched_original = 0; ///< covered by prefetch
+    std::uint64_t pf_issued = 0;
+    std::uint64_t pf_useful = 0;    ///< ledger: retired useful
+    std::uint64_t pf_late = 0;      ///< ledger: useful but late
+    std::uint64_t pf_pollution = 0; ///< ledger: retired pollution
+
+    /** Fraction of the base run's L2 misses removed. */
+    double coverage() const;
+    /** Ledger accuracy: (useful + late) / issued. */
+    double accuracy() const;
+    /** Ledger pollution rate: pollution / issued. */
+    double pollutionRate() const;
+    /** championshipScore() of this run. */
+    double score() const;
+    /** IPC relative to the paired baseline (1.0 = no change). */
+    double speedup() const;
+};
+
+/** The tournament scoring formula (all inputs in [0, 1]). */
+double championshipScore(double coverage, double accuracy,
+                         double pollution_rate);
+
+/** Serialize one run as a championship record. */
+Json championshipRunJson(const ChampionshipRun &run);
+
+/** Parse one championship record (fatal on malformed input). */
+ChampionshipRun parseChampionshipRun(const Json &j);
+
+/**
+ * Extract every run from a fig16_championship report document
+ * (`doc["championship"]["runs"]`). Fatal if the document does not
+ * carry a championship block.
+ */
+std::vector<ChampionshipRun> parseChampionshipRuns(const Json &doc);
+
+/** One engine's aggregate standing over a workload group. */
+struct LeaderboardRow
+{
+    std::string engine;
+    unsigned workloads = 0; ///< runs aggregated
+    unsigned wins = 0;      ///< workloads where this engine topped
+    double mean_score = 0.0;
+    double mean_coverage = 0.0;
+    double mean_accuracy = 0.0;
+    double mean_pollution = 0.0;
+    double geomean_speedup = 1.0;
+    std::uint64_t storage_bits = 0; ///< max across the group's runs
+};
+
+/**
+ * Rank engines over the runs whose class matches @p group (empty =
+ * all workloads). Sorted by mean score descending; ties break toward
+ * the smaller storage budget, then the engine name, so the ranking
+ * is deterministic.
+ */
+std::vector<LeaderboardRow>
+rankEngines(const std::vector<ChampionshipRun> &runs,
+            const std::string &group);
+
+/** Per-workload winner table (one row per workload, all groups). */
+TextTable championshipWinnersTable(
+    const std::vector<ChampionshipRun> &runs);
+
+/** Leaderboard table for @p group ("" = overall). */
+TextTable leaderboardTable(const std::vector<ChampionshipRun> &runs,
+                           const std::string &group);
+
+} // namespace tcp
+
+#endif // TCP_OBS_LEADERBOARD_HH

@@ -1,0 +1,207 @@
+#include "dcpt.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+DcptPrefetcher::DcptPrefetcher(const DcptConfig &config)
+    : Prefetcher("dcpt"), config_(config),
+      table_(config.entries),
+      inflight_(config.inflight, kInvalidAddr),
+      correlations(stats_, "correlations", "delta-pair matches found"),
+      filtered(stats_, "filtered",
+               "candidates dropped by the in-flight filter")
+{
+    tcp_assert(isPowerOfTwo(config_.entries),
+               "DCPT entries must be a power of two");
+    tcp_assert(config_.deltas >= 3,
+               "need at least three delta slots to correlate");
+    tcp_assert(config_.delta_bits >= 2 && config_.delta_bits <= 31,
+               "delta width must be in [2, 31] bits");
+    tcp_assert(config_.degree >= 1, "degree must be >= 1");
+    tcp_assert(config_.inflight >= 1,
+               "need at least one in-flight filter slot");
+    tcp_assert(config_.block_bytes > 0 &&
+                   isPowerOfTwo(config_.block_bytes),
+               "block size must be a power of two");
+    for (Entry &e : table_)
+        e.deltas.assign(config_.deltas, 0);
+}
+
+std::uint64_t
+DcptPrefetcher::entryIndexOf(Pc pc) const
+{
+    return (pc >> 2) & (config_.entries - 1);
+}
+
+DcptPrefetcher::Entry &
+DcptPrefetcher::entryFor(Pc pc)
+{
+    return table_[entryIndexOf(pc)];
+}
+
+std::int32_t
+DcptPrefetcher::deltaAt(const Entry &e, unsigned i) const
+{
+    return e.deltas[(e.head + i) % config_.deltas];
+}
+
+void
+DcptPrefetcher::pushDelta(Entry &e, std::int32_t delta)
+{
+    if (e.count < config_.deltas) {
+        e.deltas[(e.head + e.count) % config_.deltas] = delta;
+        ++e.count;
+    } else {
+        e.deltas[e.head] = delta;
+        e.head = (e.head + 1) % config_.deltas;
+    }
+}
+
+void
+DcptPrefetcher::resetPattern(Entry &e, Addr block)
+{
+    e.last_block = block;
+    e.has_prefetch = false;
+    e.head = 0;
+    e.count = 0;
+}
+
+bool
+DcptPrefetcher::inFlight(Addr block) const
+{
+    for (Addr a : inflight_)
+        if (a == block)
+            return true;
+    return false;
+}
+
+void
+DcptPrefetcher::markInFlight(Addr block)
+{
+    inflight_[inflight_head_] = block;
+    inflight_head_ = (inflight_head_ + 1) % inflight_.size();
+}
+
+void
+DcptPrefetcher::observeMiss(const AccessContext &ctx,
+                            std::vector<PrefetchRequest> &out)
+{
+    const Addr block = ctx.addr & ~Addr{config_.block_bytes - 1};
+    Entry &e = entryFor(ctx.pc);
+
+    if (!e.valid || e.pc != ctx.pc) {
+        e.valid = true;
+        e.pc = ctx.pc;
+        resetPattern(e, block);
+        return;
+    }
+
+    const std::int64_t delta_blocks =
+        (static_cast<std::int64_t>(block) -
+         static_cast<std::int64_t>(e.last_block)) /
+        static_cast<std::int64_t>(config_.block_bytes);
+    if (delta_blocks == 0)
+        return; // same block: no new information
+    const std::int64_t lim =
+        std::int64_t{1} << (config_.delta_bits - 1);
+    if (delta_blocks >= lim || delta_blocks < -lim) {
+        // Unrepresentable jump: the pattern is broken.
+        resetPattern(e, block);
+        return;
+    }
+    pushDelta(e, static_cast<std::int32_t>(delta_blocks));
+    e.last_block = block;
+    if (e.count < 3)
+        return; // need two trailing deltas plus one earlier pair
+
+    // Correlate: find the oldest occurrence of the two newest deltas
+    // (d2, d1) adjacent in the buffer. Scanning from the oldest end
+    // maximizes lookahead — for a constant stride the whole buffer
+    // past the match replays as the prefetch frontier.
+    const std::int32_t d1 = deltaAt(e, e.count - 1);
+    const std::int32_t d2 = deltaAt(e, e.count - 2);
+    unsigned match = e.count; // sentinel: no match
+    for (unsigned j = 0; j + 3 <= e.count; ++j) {
+        if (deltaAt(e, j) == d2 && deltaAt(e, j + 1) == d1) {
+            match = j;
+            break;
+        }
+    }
+    if (match == e.count)
+        return;
+    ++correlations;
+
+    const auto span = [&](unsigned j) {
+        return static_cast<Addr>(
+            static_cast<std::int64_t>(deltaAt(e, j)) *
+            static_cast<std::int64_t>(config_.block_bytes));
+    };
+
+    // The deltas after the matched pair, added cumulatively to the
+    // current block, are the candidates. Candidates up to the newest
+    // one already issued for this entry were covered by earlier
+    // misses — resume after it (if it no longer appears in the walk,
+    // the pattern moved and the whole walk is fresh).
+    unsigned resume = match + 2;
+    if (e.has_prefetch) {
+        Addr probe = block;
+        for (unsigned j = match + 2; j < e.count; ++j) {
+            probe += span(j);
+            if (probe == e.last_prefetch)
+                resume = j + 1;
+        }
+    }
+
+    const PfOrigin origin{
+        PfSource::DcptDelta, entryIndexOf(ctx.pc),
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(d2)) << 32) |
+            static_cast<std::uint32_t>(d1),
+        ctx.pc, (block / config_.block_bytes) & 1023};
+    Addr candidate = block;
+    unsigned issued_here = 0;
+    for (unsigned j = match + 2;
+         j < e.count && issued_here < config_.degree; ++j) {
+        candidate += span(j);
+        if (j < resume)
+            continue; // issued on an earlier miss
+        if (inFlight(candidate)) {
+            ++filtered;
+            continue;
+        }
+        out.push_back(PrefetchRequest{candidate, false, origin});
+        markInFlight(candidate);
+        e.last_prefetch = candidate;
+        e.has_prefetch = true;
+        ++issued_here;
+    }
+}
+
+std::uint64_t
+DcptPrefetcher::storageBits() const
+{
+    // Per entry: valid (1) + PC tag (16) + last address and last
+    // prefetch as compressed block pointers (36 each) + the delta
+    // buffer; plus the in-flight filter of block pointers.
+    return config_.entries *
+               (1 + 16 + 36 + 36 +
+                std::uint64_t{config_.deltas} * config_.delta_bits) +
+           std::uint64_t{config_.inflight} * 36;
+}
+
+void
+DcptPrefetcher::reset()
+{
+    for (Entry &e : table_) {
+        e.valid = false;
+        e.pc = 0;
+        resetPattern(e, 0);
+    }
+    inflight_.assign(config_.inflight, kInvalidAddr);
+    inflight_head_ = 0;
+    stats_.resetAll();
+}
+
+} // namespace tcp

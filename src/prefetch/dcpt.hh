@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Delta-Correlating Prediction Tables after Grannaes, Jahre and
+ * Natvig (the DPC-1 winner): a per-PC table where each entry keeps
+ * the last miss address and a small circular buffer of the deltas
+ * between that PC's successive misses. When the two most recent
+ * deltas reappear earlier in the buffer, the deltas that followed
+ * the earlier occurrence are replayed forward from the current miss
+ * address as prefetch candidates, filtered against a small in-flight
+ * buffer so a repeating pattern is not re-issued every miss.
+ *
+ * Where the classic Markov table correlates full addresses (an entry
+ * per miss address, megabytes of state), DCPT correlates *deltas*
+ * localized by PC, so a few hundred entries of a few dozen bits
+ * cover strided and repeating composite patterns alike.
+ */
+
+#ifndef TCP_PREFETCH_DCPT_HH
+#define TCP_PREFETCH_DCPT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tcp {
+
+/** DCPT table configuration. */
+struct DcptConfig
+{
+    std::uint64_t entries = 128; ///< per-PC entries (power of two)
+    unsigned deltas = 8;         ///< delta slots per entry (circular)
+    /**
+     * Signed storage width of one delta, in bits. A miss whose
+     * block delta does not fit resets the entry's pattern (the
+     * hardware would store an overflow marker that never matches).
+     */
+    unsigned delta_bits = 12;
+    unsigned degree = 4;      ///< max prefetches per correlation hit
+    unsigned inflight = 32;   ///< in-flight filter entries
+    unsigned block_bytes = 64; ///< prediction granularity
+};
+
+/** Grannaes et al.-style delta-correlating prefetcher. */
+class DcptPrefetcher : public Prefetcher
+{
+  public:
+    explicit DcptPrefetcher(const DcptConfig &config = {});
+
+    void observeMiss(const AccessContext &ctx,
+                     std::vector<PrefetchRequest> &out) override;
+
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Pc pc = 0;
+        Addr last_block = 0;     ///< last miss, block-aligned
+        Addr last_prefetch = 0;  ///< newest candidate issued
+        bool has_prefetch = false;
+        /** Circular delta history, oldest first from @c head. */
+        std::vector<std::int32_t> deltas;
+        unsigned head = 0;  ///< index of the oldest delta
+        unsigned count = 0; ///< valid deltas in the buffer
+    };
+
+    std::uint64_t entryIndexOf(Pc pc) const;
+    Entry &entryFor(Pc pc);
+    /** Delta at logical position @p i (0 = oldest). */
+    std::int32_t deltaAt(const Entry &e, unsigned i) const;
+    void pushDelta(Entry &e, std::int32_t delta);
+    /** Forget the entry's pattern but keep tracking its PC. */
+    void resetPattern(Entry &e, Addr block);
+    bool inFlight(Addr block) const;
+    void markInFlight(Addr block);
+
+    DcptConfig config_;
+    std::vector<Entry> table_;
+    /** Recently issued targets, oldest first (circular). */
+    std::vector<Addr> inflight_;
+    std::size_t inflight_head_ = 0;
+
+  public:
+    /// @name DCPT-specific statistics
+    /// @{
+    Counter correlations; ///< delta-pair matches found
+    Counter filtered;     ///< candidates dropped by the flight filter
+    /// @}
+};
+
+} // namespace tcp
+
+#endif // TCP_PREFETCH_DCPT_HH

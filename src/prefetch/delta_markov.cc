@@ -1,0 +1,172 @@
+#include "delta_markov.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+DeltaMarkovPrefetcher::DeltaMarkovPrefetcher(
+    const DeltaMarkovConfig &config)
+    : Prefetcher("dmarkov"), config_(config),
+      table_(config.rows),
+      counter_max_((std::uint32_t{1} << config.counter_bits) - 1),
+      transitions(stats_, "transitions", "delta pairs recorded"),
+      halvings(stats_, "halvings", "rows aged by saturate-and-halve")
+{
+    tcp_assert(isPowerOfTwo(config_.rows),
+               "delta-Markov rows must be a power of two");
+    tcp_assert(config_.targets >= 1, "need at least one target slot");
+    tcp_assert(config_.counter_bits >= 1 && config_.counter_bits <= 31,
+               "counter width must be in [1, 31] bits");
+    tcp_assert(config_.delta_bits >= 2 && config_.delta_bits <= 31,
+               "delta width must be in [2, 31] bits");
+    tcp_assert(config_.degree >= 1, "degree must be >= 1");
+    tcp_assert(config_.block_bytes > 0 &&
+                   isPowerOfTwo(config_.block_bytes),
+               "block size must be a power of two");
+    for (Row &row : table_)
+        row.slots.assign(config_.targets, Slot{});
+}
+
+std::uint64_t
+DeltaMarkovPrefetcher::rowIndexOf(std::int32_t key) const
+{
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(key)) *
+        0x9e3779b97f4a7c15ULL;
+    return (h >> 24) & (config_.rows - 1);
+}
+
+void
+DeltaMarkovPrefetcher::train(std::int32_t key, std::int32_t next)
+{
+    Row &row = table_[rowIndexOf(key)];
+    if (!row.valid || row.key != key) {
+        row.valid = true;
+        row.key = key;
+        for (Slot &s : row.slots)
+            s = Slot{};
+    }
+
+    // Bump the matching slot, saturating with a halve-all aging step
+    // so old phases decay instead of pinning the row forever.
+    Slot *victim = &row.slots[0];
+    for (Slot &s : row.slots) {
+        if (s.count != 0 && s.delta == next) {
+            if (s.count == counter_max_) {
+                for (Slot &t : row.slots)
+                    t.count >>= 1;
+                ++halvings;
+            }
+            ++s.count;
+            ++transitions;
+            return;
+        }
+        if (s.count < victim->count)
+            victim = &s;
+    }
+    // No slot holds this delta: replace the least-frequent one.
+    victim->delta = next;
+    victim->count = 1;
+    ++transitions;
+}
+
+bool
+DeltaMarkovPrefetcher::predict(std::int32_t key, std::int32_t &next,
+                               std::uint64_t &row_index) const
+{
+    const std::uint64_t idx = rowIndexOf(key);
+    const Row &row = table_[idx];
+    if (!row.valid || row.key != key)
+        return false;
+    const Slot *best = nullptr;
+    for (const Slot &s : row.slots)
+        if (s.count != 0 && (!best || s.count > best->count))
+            best = &s;
+    if (!best)
+        return false;
+    next = best->delta;
+    row_index = idx;
+    return true;
+}
+
+void
+DeltaMarkovPrefetcher::observeMiss(const AccessContext &ctx,
+                                   std::vector<PrefetchRequest> &out)
+{
+    const Addr block = ctx.addr & ~Addr{config_.block_bytes - 1};
+
+    if (prev_block_ == kInvalidAddr) {
+        prev_block_ = block;
+        return;
+    }
+    const std::int64_t delta_blocks =
+        (static_cast<std::int64_t>(block) -
+         static_cast<std::int64_t>(prev_block_)) /
+        static_cast<std::int64_t>(config_.block_bytes);
+    prev_block_ = block;
+    if (delta_blocks == 0)
+        return; // same block: no transition
+    const std::int64_t lim =
+        std::int64_t{1} << (config_.delta_bits - 1);
+    if (delta_blocks >= lim || delta_blocks < -lim) {
+        // Unrepresentable jump: break the chain, keep the table.
+        has_prev_delta_ = false;
+        return;
+    }
+    const std::int32_t cur = static_cast<std::int32_t>(delta_blocks);
+
+    if (has_prev_delta_)
+        train(prev_delta_, cur);
+    prev_delta_ = cur;
+    has_prev_delta_ = true;
+
+    // Chained prediction: the predicted delta keys the next lookup.
+    Addr candidate = block;
+    std::int32_t key = cur;
+    for (unsigned hop = 0; hop < config_.degree; ++hop) {
+        std::int32_t next = 0;
+        std::uint64_t row_index = 0;
+        if (!predict(key, next, row_index))
+            break;
+        candidate += static_cast<Addr>(
+            static_cast<std::int64_t>(next) *
+            static_cast<std::int64_t>(config_.block_bytes));
+        const PfOrigin origin{
+            PfSource::DeltaMarkovTarget, row_index,
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(key)) << 32) |
+                static_cast<std::uint32_t>(next),
+            ctx.pc, (block / config_.block_bytes) & 1023};
+        out.push_back(PrefetchRequest{candidate, false, origin});
+        key = next;
+    }
+}
+
+std::uint64_t
+DeltaMarkovPrefetcher::storageBits() const
+{
+    // Per row: valid bit + delta key tag + targets x (delta +
+    // frequency counter).
+    return config_.rows *
+           (1 + config_.delta_bits +
+            std::uint64_t{config_.targets} *
+                (config_.delta_bits + config_.counter_bits));
+}
+
+void
+DeltaMarkovPrefetcher::reset()
+{
+    for (Row &row : table_) {
+        row.valid = false;
+        row.key = 0;
+        for (Slot &s : row.slots)
+            s = Slot{};
+    }
+    prev_block_ = kInvalidAddr;
+    prev_delta_ = 0;
+    has_prev_delta_ = false;
+    stats_.resetAll();
+}
+
+} // namespace tcp

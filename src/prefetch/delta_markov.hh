@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Delta-Markov prefetching in the spirit of Pangloss (Michelogiannakis
+ * /Lotfi-Kamran lineage, DPC-3): a Markov model over block *deltas*
+ * rather than absolute addresses. Each row is keyed by the previous
+ * global delta and holds a few candidate next-deltas with saturating
+ * frequency counters; prediction walks the chain — predicted delta
+ * feeds the next row lookup — up to the configured degree.
+ *
+ * Keying on deltas is what keeps the table kilobytes where the
+ * classic Joseph/Grunwald table needs an entry per miss address:
+ * delta behavior recurs across the whole footprint, so a few hundred
+ * rows capture it.
+ */
+
+#ifndef TCP_PREFETCH_DELTA_MARKOV_HH
+#define TCP_PREFETCH_DELTA_MARKOV_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tcp {
+
+/** Delta-Markov table configuration. */
+struct DeltaMarkovConfig
+{
+    std::uint64_t rows = 256; ///< delta-keyed rows (power of two)
+    unsigned targets = 4;     ///< next-delta slots per row
+    /** Saturating frequency counter width, in bits. */
+    unsigned counter_bits = 6;
+    /** Signed storage width of one delta, in bits. */
+    unsigned delta_bits = 12;
+    unsigned degree = 4;      ///< chained predictions per miss
+    unsigned block_bytes = 64; ///< prediction granularity
+};
+
+/** Pangloss-style frequency-weighted delta-Markov prefetcher. */
+class DeltaMarkovPrefetcher : public Prefetcher
+{
+  public:
+    explicit DeltaMarkovPrefetcher(const DeltaMarkovConfig &config = {});
+
+    void observeMiss(const AccessContext &ctx,
+                     std::vector<PrefetchRequest> &out) override;
+
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+  private:
+    struct Slot
+    {
+        std::int32_t delta = 0;
+        std::uint32_t count = 0; ///< saturating frequency
+    };
+
+    struct Row
+    {
+        bool valid = false;
+        std::int32_t key = 0; ///< previous delta (tag check)
+        std::vector<Slot> slots; ///< fixed size config_.targets
+    };
+
+    std::uint64_t rowIndexOf(std::int32_t key) const;
+    /** Record @p next as a successor of @p key. */
+    void train(std::int32_t key, std::int32_t next);
+    /**
+     * Highest-frequency successor of @p key, or false if the row
+     * is absent/empty. Ties break toward the lowest slot index so
+     * prediction is deterministic.
+     */
+    bool predict(std::int32_t key, std::int32_t &next,
+                 std::uint64_t &row_index) const;
+
+    DeltaMarkovConfig config_;
+    std::vector<Row> table_;
+    Addr prev_block_ = kInvalidAddr;
+    std::int32_t prev_delta_ = 0;
+    bool has_prev_delta_ = false;
+    std::uint32_t counter_max_;
+
+  public:
+    /// @name Delta-Markov-specific statistics
+    /// @{
+    Counter transitions; ///< delta pairs recorded
+    Counter halvings;    ///< rows aged by saturate-and-halve
+    /// @}
+};
+
+} // namespace tcp
+
+#endif // TCP_PREFETCH_DELTA_MARKOV_HH

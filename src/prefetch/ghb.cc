@@ -1,0 +1,204 @@
+#include "ghb.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tcp {
+
+GhbPrefetcher::GhbPrefetcher(const GhbConfig &config)
+    : Prefetcher("ghb"), config_(config),
+      ghb_(config.ghb_entries),
+      index_(config.index_entries),
+      degree_(config.degree),
+      correlations(stats_, "correlations",
+                   "localized delta-pair matches"),
+      recalibrations(stats_, "recalibrations",
+                     "degree adjustments applied")
+{
+    tcp_assert(isPowerOfTwo(config_.ghb_entries),
+               "GHB entries must be a power of two");
+    tcp_assert(isPowerOfTwo(config_.index_entries),
+               "GHB index entries must be a power of two");
+    tcp_assert(config_.lookback >= 3,
+               "need at least three localized misses to correlate");
+    tcp_assert(config_.min_degree >= 1 &&
+                   config_.min_degree <= config_.degree &&
+                   config_.degree <= config_.max_degree,
+               "degree bounds must satisfy min <= initial <= max");
+    tcp_assert(config_.lower_pct < config_.raise_pct &&
+                   config_.raise_pct <= 100,
+               "accuracy thresholds must satisfy lower < raise <= 100");
+    tcp_assert(config_.block_bytes > 0 &&
+                   isPowerOfTwo(config_.block_bytes),
+               "block size must be a power of two");
+    history_.reserve(config_.lookback);
+}
+
+std::uint64_t
+GhbPrefetcher::indexOf(Pc pc) const
+{
+    return (pc >> 2) & (config_.index_entries - 1);
+}
+
+void
+GhbPrefetcher::calibrate()
+{
+    // Read our own feedback counters (MemoryHierarchy maintains them)
+    // and compare against the snapshot from the previous interval.
+    // After an external stats reset the counters run backwards;
+    // resync the snapshot instead of computing garbage deltas.
+    const std::uint64_t issued_now = issued.value();
+    const std::uint64_t useful_now = useful.value();
+    if (issued_now < last_issued_ || useful_now < last_useful_) {
+        last_issued_ = issued_now;
+        last_useful_ = useful_now;
+        return;
+    }
+    const std::uint64_t d_issued = issued_now - last_issued_;
+    const std::uint64_t d_useful = useful_now - last_useful_;
+    last_issued_ = issued_now;
+    last_useful_ = useful_now;
+    if (d_issued == 0)
+        return; // nothing issued this interval: no evidence
+
+    const std::uint64_t pct = d_useful * 100 / d_issued;
+    unsigned next = degree_;
+    if (pct >= config_.raise_pct && degree_ < config_.max_degree)
+        ++next;
+    else if (pct < config_.lower_pct && degree_ > config_.min_degree)
+        --next;
+    if (next != degree_) {
+        degree_ = next;
+        ++recalibrations;
+    }
+}
+
+void
+GhbPrefetcher::observeMiss(const AccessContext &ctx,
+                           std::vector<PrefetchRequest> &out)
+{
+    const Addr block = ctx.addr & ~Addr{config_.block_bytes - 1};
+
+    if (config_.calibration_interval != 0 &&
+        ++since_calibration_ >= config_.calibration_interval) {
+        since_calibration_ = 0;
+        calibrate();
+    }
+
+    // Append to the GHB, linking back to this PC's previous miss.
+    IndexEntry &idx = index_[indexOf(ctx.pc)];
+    const std::uint64_t prev =
+        (idx.valid && idx.pc == ctx.pc) ? idx.last_pos : kNoLink;
+    const std::uint64_t my_pos = pos_++;
+    GhbEntry &slot = ghb_[my_pos % config_.ghb_entries];
+    slot.block = block;
+    slot.prev = prev;
+    idx.valid = true;
+    idx.pc = ctx.pc;
+    idx.last_pos = my_pos;
+
+    // Localize: walk the backward chain, newest first, stopping when
+    // a link points at a position the circular buffer has already
+    // overwritten (absolute positions make that a distance check).
+    history_.clear();
+    history_.push_back(block);
+    std::uint64_t walk = prev;
+    while (walk != kNoLink && history_.size() < config_.lookback) {
+        if (my_pos - walk >= config_.ghb_entries)
+            break; // overwritten since it was linked
+        const GhbEntry &ge = ghb_[walk % config_.ghb_entries];
+        history_.push_back(ge.block);
+        if (ge.prev != kNoLink && ge.prev >= walk)
+            break; // stale slot reused by a newer chain
+        walk = ge.prev;
+    }
+    if (history_.size() < 3)
+        return; // need two trailing deltas to correlate
+
+    // history_ is newest-first: deltas[i] = history_[i] - history_[i+1].
+    const auto delta = [&](std::size_t i) {
+        return static_cast<std::int64_t>(history_[i]) -
+               static_cast<std::int64_t>(history_[i + 1]);
+    };
+    const std::int64_t d1 = delta(0);
+    const std::int64_t d2 = delta(1);
+
+    // Find the most recent earlier occurrence of the trailing delta
+    // pair (d2, d1). With the newest-first layout the pair at logical
+    // position i means delta(i) == d1 and delta(i+1) == d2.
+    std::size_t match = history_.size(); // sentinel: no match
+    for (std::size_t i = 2; i + 2 < history_.size(); ++i) {
+        if (delta(i) == d1 && delta(i + 1) == d2) {
+            match = i;
+            break;
+        }
+    }
+
+    const PfOrigin origin{
+        PfSource::GhbDelta, indexOf(ctx.pc),
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(d2)) << 32) |
+            static_cast<std::uint32_t>(d1),
+        ctx.pc, (block / config_.block_bytes) & 1023};
+
+    if (match == history_.size()) {
+        // No pair recurrence in the window. A repeated trailing delta
+        // is still a stride (the history may simply be too short to
+        // hold the pair twice); anything else is no prediction.
+        if (d1 == 0 || d1 != d2)
+            return;
+        ++correlations;
+        Addr candidate = block;
+        for (unsigned k = 0; k < degree_; ++k) {
+            candidate += static_cast<Addr>(d1);
+            out.push_back(PrefetchRequest{candidate, false, origin});
+        }
+        return;
+    }
+    ++correlations;
+
+    // Replay the deltas that followed the earlier occurrence forward
+    // from the current block: delta(match - 1) came right after the
+    // pair, then delta(match - 2), and so on toward the present.
+    Addr candidate = block;
+    unsigned issued_here = 0;
+    for (std::size_t i = match; i-- > 0 && issued_here < degree_;) {
+        candidate += static_cast<Addr>(delta(i));
+        if (candidate == block)
+            continue;
+        out.push_back(PrefetchRequest{candidate, false, origin});
+        ++issued_here;
+    }
+}
+
+std::uint64_t
+GhbPrefetcher::storageBits() const
+{
+    // GHB entry: 36-bit block pointer + a link pointer wide enough to
+    // index the buffer. Index entry: valid + 16-bit PC tag + link.
+    const std::uint64_t link_bits = floorLog2(config_.ghb_entries);
+    return config_.ghb_entries * (36 + link_bits) +
+           config_.index_entries * (1 + 16 + link_bits);
+}
+
+void
+GhbPrefetcher::reset()
+{
+    for (GhbEntry &e : ghb_) {
+        e.block = 0;
+        e.prev = kNoLink;
+    }
+    for (IndexEntry &e : index_) {
+        e.valid = false;
+        e.pc = 0;
+        e.last_pos = kNoLink;
+    }
+    pos_ = 0;
+    degree_ = config_.degree;
+    since_calibration_ = 0;
+    last_issued_ = 0;
+    last_useful_ = 0;
+    stats_.resetAll();
+}
+
+} // namespace tcp

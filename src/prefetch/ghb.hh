@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Global History Buffer prefetching after Nesbit and Smith, in the
+ * PC/DC (per-PC localization, delta correlation) organization: every
+ * L1-D miss is appended to one circular global buffer, and a small
+ * PC-indexed table points at the newest buffer entry for that PC.
+ * Buffer entries link backward to the previous miss of the same PC,
+ * so walking the chain reconstructs that PC's recent miss history
+ * without dedicating per-PC storage to it. Delta correlation over the
+ * localized history then predicts the next blocks.
+ *
+ * On top of the textbook structure this engine carries the runtime
+ * aggressiveness loop of the TDT4260 reference prefetcher
+ * (`prefetcher_calibrate`): every calibration interval it reads its
+ * own issued/useful feedback counters (maintained by the memory
+ * hierarchy) and steps the prefetch degree up when accuracy is high
+ * and down when prefetches are mostly wasted.
+ */
+
+#ifndef TCP_PREFETCH_GHB_HH
+#define TCP_PREFETCH_GHB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tcp {
+
+/** GHB PC/DC configuration. */
+struct GhbConfig
+{
+    unsigned ghb_entries = 1024;  ///< circular history buffer size
+    unsigned index_entries = 512; ///< PC index table (power of two)
+    unsigned lookback = 64;       ///< max chain entries walked
+    unsigned degree = 2;          ///< initial prefetch degree
+    unsigned min_degree = 1;      ///< calibration floor
+    unsigned max_degree = 8;      ///< calibration ceiling
+    /** Misses between degree recalibrations (0 disables). */
+    unsigned calibration_interval = 2048;
+    /**
+     * Accuracy thresholds, in percent: above @c raise_pct the degree
+     * steps up, below @c lower_pct it steps down.
+     */
+    unsigned raise_pct = 60;
+    unsigned lower_pct = 30;
+    unsigned block_bytes = 64;    ///< prediction granularity
+};
+
+/** Nesbit/Smith-style GHB prefetcher (PC/DC localization). */
+class GhbPrefetcher : public Prefetcher
+{
+  public:
+    explicit GhbPrefetcher(const GhbConfig &config = {});
+
+    void observeMiss(const AccessContext &ctx,
+                     std::vector<PrefetchRequest> &out) override;
+
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+    /** Degree currently in force (calibration moves it). */
+    unsigned currentDegree() const { return degree_; }
+
+  private:
+    /** No backward link. */
+    static constexpr std::uint64_t kNoLink = ~std::uint64_t{0};
+
+    struct GhbEntry
+    {
+        Addr block = 0;
+        std::uint64_t prev = kNoLink; ///< absolute buffer position
+    };
+
+    struct IndexEntry
+    {
+        bool valid = false;
+        Pc pc = 0;
+        std::uint64_t last_pos = kNoLink; ///< absolute position
+    };
+
+    std::uint64_t indexOf(Pc pc) const;
+    void calibrate();
+
+    GhbConfig config_;
+    std::vector<GhbEntry> ghb_;
+    std::vector<IndexEntry> index_;
+    /** Next absolute position to write (monotonic, wraps modulo N). */
+    std::uint64_t pos_ = 0;
+    unsigned degree_;
+    /** Misses since the last recalibration. */
+    unsigned since_calibration_ = 0;
+    /** issued/useful values at the last recalibration. */
+    std::uint64_t last_issued_ = 0;
+    std::uint64_t last_useful_ = 0;
+    /** Scratch for the localized history (no per-miss allocation). */
+    std::vector<Addr> history_;
+
+  public:
+    /// @name GHB-specific statistics
+    /// @{
+    Counter correlations;  ///< localized delta-pair matches
+    Counter recalibrations;///< degree adjustments applied
+    /// @}
+};
+
+} // namespace tcp
+
+#endif // TCP_PREFETCH_GHB_HH

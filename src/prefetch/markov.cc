@@ -15,6 +15,10 @@ MarkovPrefetcher::MarkovPrefetcher(const MarkovConfig &config)
     tcp_assert(isPowerOfTwo(config_.entries),
                "Markov table entries must be a power of two");
     tcp_assert(config_.targets >= 1, "need at least one target slot");
+    // A row never holds more than config_.targets successors;
+    // reserving up front keeps training free of reallocation.
+    for (Row &row : table_)
+        row.targets.reserve(config_.targets);
 }
 
 std::uint64_t
@@ -44,13 +48,15 @@ MarkovPrefetcher::observeMiss(const AccessContext &ctx,
             row.block = prev_block_;
             row.targets.clear();
         }
+        // Make room before the MRU insertion so the row never grows
+        // past its reserved config_.targets capacity.
         auto it = std::find(row.targets.begin(), row.targets.end(),
                             block);
         if (it != row.targets.end())
             row.targets.erase(it);
+        else if (row.targets.size() >= config_.targets)
+            row.targets.pop_back();
         row.targets.insert(row.targets.begin(), block);
-        if (row.targets.size() > config_.targets)
-            row.targets.resize(config_.targets);
         ++transitions;
     }
     prev_block_ = block;
@@ -69,15 +75,27 @@ MarkovPrefetcher::observeMiss(const AccessContext &ctx,
 std::uint64_t
 MarkovPrefetcher::storageBits() const
 {
-    // Row tag (32) + targets x 32-bit addresses.
-    return config_.entries * (32 + 32ull * config_.targets);
+    // Hardware model per row: valid bit + a 32-bit block-address tag
+    // + targets x kTargetPointerBits compressed block pointers (the
+    // simulator stores full Addrs for convenience, but a real table
+    // would hold block numbers truncated to the physical address
+    // width, exactly as the paper costs DBCP's 2 MB table).
+    return config_.entries *
+           (1 + 32 + std::uint64_t{kTargetPointerBits} *
+                         config_.targets);
 }
 
 void
 MarkovPrefetcher::reset()
 {
-    for (Row &row : table_)
-        row = Row{};
+    // Clear in place (valid off, targets emptied) so the capacity
+    // reserved at construction survives and training after a reset
+    // still never reallocates.
+    for (Row &row : table_) {
+        row.valid = false;
+        row.block = 0;
+        row.targets.clear();
+    }
     prev_block_ = kInvalidAddr;
     stats_.resetAll();
 }

@@ -27,6 +27,15 @@ struct MarkovConfig
     unsigned block_bytes = 32;     ///< correlation granularity
 };
 
+/**
+ * Modeled width of one stored successor: a block pointer compressed
+ * to the machine's physical address space (40-bit physical addresses
+ * minus 5 block-offset bits, rounded to 36 for the tag-store ECC
+ * granule), not the 64-bit host Addr the simulator keeps for
+ * convenience. storageBits() costs targets at this width.
+ */
+inline constexpr unsigned kTargetPointerBits = 36;
+
 /** Joseph/Grunwald-style Markov prefetcher. */
 class MarkovPrefetcher : public Prefetcher
 {

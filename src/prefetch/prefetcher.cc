@@ -16,6 +16,9 @@ pfSourceName(PfSource source)
       case PfSource::StreamAdvance:  return "stream_advance";
       case PfSource::StreamAllocate: return "stream_alloc";
       case PfSource::MarkovTarget:   return "markov";
+      case PfSource::DcptDelta:      return "dcpt";
+      case PfSource::GhbDelta:       return "ghb_pcdc";
+      case PfSource::DeltaMarkovTarget: return "dmarkov";
     }
     return "invalid";
 }

@@ -60,6 +60,9 @@ enum class PfSource : std::uint8_t
     StreamAdvance,  ///< stream buffer advanced by an in-window miss
     StreamAllocate, ///< stream buffer freshly allocated
     MarkovTarget,   ///< Markov row successor
+    DcptDelta,      ///< DCPT: per-PC delta-buffer correlation match
+    GhbDelta,       ///< GHB PC/DC: localized delta-correlation match
+    DeltaMarkovTarget, ///< delta-Markov frequency-weighted successor
 };
 
 /** Human-readable name of a PfSource (for reports). */

@@ -20,13 +20,18 @@ StreamPrefetcher::observeMiss(const AccessContext &ctx,
 {
     const Addr block = ctx.addr & ~Addr{config_.block_bytes - 1};
 
-    // A miss within the window of an active stream advances it.
+    // A miss within the window of an active stream advances it. The
+    // window is the depth blocks below next_block; comparing the
+    // modular distance (next_block - block) keeps the test correct
+    // when the window straddles address 0 — the old form
+    // `block >= next_block - depth * block_bytes` underflowed there
+    // and the stream perpetually re-allocated instead of advancing.
     for (Buffer &b : buffers_) {
         if (!b.valid)
             continue;
-        const Addr window_lo =
-            b.next_block - Addr{config_.depth} * config_.block_bytes;
-        if (block >= window_lo && block < b.next_block) {
+        const Addr dist = b.next_block - block;
+        if (dist != 0 &&
+            dist <= Addr{config_.depth} * config_.block_bytes) {
             ++advances;
             b.lru = ++stamp_;
             // Top the stream back up to full depth.

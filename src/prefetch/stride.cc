@@ -14,6 +14,9 @@ StridePrefetcher::StridePrefetcher(const StrideConfig &config)
     tcp_assert(isPowerOfTwo(config_.entries),
                "RPT entries must be a power of two");
     tcp_assert(config_.degree >= 1, "degree must be >= 1");
+    tcp_assert(config_.block_bytes > 0 &&
+                   isPowerOfTwo(config_.block_bytes),
+               "block size must be a power of two");
 }
 
 StridePrefetcher::Entry &
@@ -53,7 +56,7 @@ StridePrefetcher::train(const AccessContext &ctx,
             const PfOrigin origin{
                 PfSource::StrideSteady,
                 (ctx.pc >> 2) & (config_.entries - 1), 0, ctx.pc,
-                (ctx.addr >> 6) & 1023};
+                (ctx.addr / config_.block_bytes) & 1023};
             for (unsigned d = 1; d <= config_.degree; ++d) {
                 const std::int64_t target =
                     static_cast<std::int64_t>(ctx.addr) +

@@ -21,6 +21,12 @@ struct StrideConfig
 {
     std::uint64_t entries = 512; ///< RPT entries (power of two)
     unsigned degree = 2;         ///< prefetches per confirmed stride
+    /**
+     * L1-D block size used to derive the PfOrigin miss index, so
+     * ledger heat tables attribute stride prefetches to the same
+     * block coordinates every other engine reports.
+     */
+    unsigned block_bytes = 64;
 };
 
 /** Baer/Chen-style stride prefetcher. */

@@ -426,4 +426,20 @@ workloadDescription(const std::string &name)
     return findSpec(name).description;
 }
 
+std::string
+workloadClass(const std::string &name)
+{
+    // The twelve SPECint2000 benchmarks; everything else in the
+    // 26-workload suite stands in for SPECfp2000.
+    static const std::vector<std::string> spec_int = {
+        "gzip", "vpr",     "gcc", "mcf",    "crafty", "parser",
+        "eon",  "perlbmk", "gap", "vortex", "bzip2",  "twolf",
+    };
+    findSpec(name); // fatal on unknown workloads
+    for (const std::string &n : spec_int)
+        if (n == name)
+            return "int";
+    return "fp";
+}
+
 } // namespace tcp

@@ -46,6 +46,13 @@ makeWorkload(const std::string &name, std::uint64_t seed = 1);
  */
 std::string workloadDescription(const std::string &name);
 
+/**
+ * The SPEC CPU2000 sub-suite the named workload stands in for:
+ * "int" (SPECint2000) or "fp" (SPECfp2000). Reports group
+ * per-workload results by this class.
+ */
+std::string workloadClass(const std::string &name);
+
 } // namespace tcp
 
 #endif // TCP_TRACE_WORKLOADS_HH

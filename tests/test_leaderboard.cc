@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the championship leaderboard (src/obs/leaderboard): the
+ * scoring formula, per-run derived metrics, JSON round-tripping of
+ * championship records, deterministic ranking with storage-bits tie
+ * breaks, per-class grouping against workloadClass(), and a seeded
+ * end-to-end tournament smoke test over real (small) runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/batch.hh"
+#include "harness/runner.hh"
+#include "obs/leaderboard.hh"
+#include "trace/workloads.hh"
+
+namespace tcp {
+namespace {
+
+ChampionshipRun
+makeRun(const std::string &workload, const std::string &wl_class,
+        const std::string &engine, std::uint64_t issued,
+        std::uint64_t useful, std::uint64_t pollution,
+        std::uint64_t storage_bits)
+{
+    ChampionshipRun run;
+    run.workload = workload;
+    run.wl_class = wl_class;
+    run.engine = engine;
+    run.ipc = 1.0;
+    run.base_ipc = 1.0;
+    run.storage_bits = storage_bits;
+    run.original_l2 = 1000;
+    run.prefetched_original = useful; // coverage = useful / 1000
+    run.pf_issued = issued;
+    run.pf_useful = useful;
+    run.pf_late = 0;
+    run.pf_pollution = pollution;
+    return run;
+}
+
+TEST(LeaderboardTest, ScoreFormula)
+{
+    EXPECT_DOUBLE_EQ(championshipScore(0.5, 0.8, 0.1),
+                     0.5 * 0.8 * 0.9);
+    EXPECT_DOUBLE_EQ(championshipScore(0.0, 1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(championshipScore(1.0, 1.0, 0.0), 1.0);
+}
+
+TEST(LeaderboardTest, RunDerivedMetrics)
+{
+    ChampionshipRun run =
+        makeRun("gzip", "int", "dcpt", 200, 80, 20, 1024);
+    run.pf_late = 40;
+    run.ipc = 1.2;
+    run.base_ipc = 1.0;
+    EXPECT_DOUBLE_EQ(run.coverage(), 0.08);
+    EXPECT_DOUBLE_EQ(run.accuracy(), (80.0 + 40.0) / 200.0);
+    EXPECT_DOUBLE_EQ(run.pollutionRate(), 0.1);
+    EXPECT_DOUBLE_EQ(run.score(),
+                     championshipScore(0.08, 0.6, 0.1));
+    EXPECT_DOUBLE_EQ(run.speedup(), 1.2);
+
+    // Zero-issued runs score zero instead of dividing by zero.
+    const ChampionshipRun idle =
+        makeRun("gzip", "int", "none-ish", 0, 0, 0, 0);
+    EXPECT_DOUBLE_EQ(idle.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(idle.pollutionRate(), 0.0);
+}
+
+TEST(LeaderboardTest, ChampionshipRecordRoundTrips)
+{
+    ChampionshipRun run =
+        makeRun("swim", "fp", "ghb", 500, 321, 17, 60928);
+    run.ipc = 0.91;
+    run.base_ipc = 0.75;
+    run.pf_late = 55;
+    const ChampionshipRun back =
+        parseChampionshipRun(championshipRunJson(run));
+    EXPECT_EQ(back.workload, run.workload);
+    EXPECT_EQ(back.wl_class, run.wl_class);
+    EXPECT_EQ(back.engine, run.engine);
+    EXPECT_DOUBLE_EQ(back.ipc, run.ipc);
+    EXPECT_DOUBLE_EQ(back.base_ipc, run.base_ipc);
+    EXPECT_EQ(back.storage_bits, run.storage_bits);
+    EXPECT_EQ(back.original_l2, run.original_l2);
+    EXPECT_EQ(back.prefetched_original, run.prefetched_original);
+    EXPECT_EQ(back.pf_issued, run.pf_issued);
+    EXPECT_EQ(back.pf_useful, run.pf_useful);
+    EXPECT_EQ(back.pf_late, run.pf_late);
+    EXPECT_EQ(back.pf_pollution, run.pf_pollution);
+    EXPECT_DOUBLE_EQ(back.score(), run.score());
+}
+
+TEST(LeaderboardTest, RanksByMeanScoreWithStorageTieBreak)
+{
+    std::vector<ChampionshipRun> runs;
+    for (const char *wl : {"gzip", "swim"}) {
+        const std::string cls = workloadClass(wl);
+        // "big" and "small" produce identical scores; "weak" trails.
+        runs.push_back(makeRun(wl, cls, "big", 100, 50, 0, 4096));
+        runs.push_back(makeRun(wl, cls, "small", 100, 50, 0, 512));
+        runs.push_back(makeRun(wl, cls, "weak", 100, 10, 5, 256));
+    }
+    const auto rows = rankEngines(runs, "");
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].engine, "small"); // tie -> smaller table wins
+    EXPECT_EQ(rows[1].engine, "big");
+    EXPECT_EQ(rows[2].engine, "weak");
+    EXPECT_EQ(rows[0].workloads, 2u);
+    EXPECT_GT(rows[0].mean_score, rows[2].mean_score);
+    // Every workload's win went to the tie-break victor.
+    EXPECT_EQ(rows[0].wins, 2u);
+    EXPECT_EQ(rows[1].wins, 0u);
+}
+
+TEST(LeaderboardTest, GroupFilterSlicesByWorkloadClass)
+{
+    std::vector<ChampionshipRun> runs;
+    // "intstar" dominates the int workload, "fpstar" the fp one.
+    runs.push_back(makeRun("gzip", "int", "intstar", 100, 90, 0, 64));
+    runs.push_back(makeRun("gzip", "int", "fpstar", 100, 10, 0, 64));
+    runs.push_back(makeRun("swim", "fp", "intstar", 100, 10, 0, 64));
+    runs.push_back(makeRun("swim", "fp", "fpstar", 100, 90, 0, 64));
+
+    const auto overall = rankEngines(runs, "");
+    ASSERT_EQ(overall.size(), 2u);
+    EXPECT_EQ(overall[0].workloads, 2u);
+    EXPECT_EQ(overall[0].wins, 1u); // one class each
+
+    const auto ints = rankEngines(runs, "int");
+    ASSERT_EQ(ints.size(), 2u);
+    EXPECT_EQ(ints[0].engine, "intstar");
+    EXPECT_EQ(ints[0].workloads, 1u);
+    EXPECT_EQ(ints[0].wins, 1u);
+    const auto fps = rankEngines(runs, "fp");
+    EXPECT_EQ(fps[0].engine, "fpstar");
+}
+
+TEST(LeaderboardTest, WorkloadClassPartitionsTheSuite)
+{
+    // Spot checks against the SPEC2000 sub-suites, plus the
+    // invariant that every suite member lands in exactly one class.
+    EXPECT_EQ(workloadClass("gzip"), "int");
+    EXPECT_EQ(workloadClass("mcf"), "int");
+    EXPECT_EQ(workloadClass("twolf"), "int");
+    EXPECT_EQ(workloadClass("swim"), "fp");
+    EXPECT_EQ(workloadClass("art"), "fp");
+    unsigned ints = 0, fps = 0;
+    for (const std::string &name : workloadNames()) {
+        const std::string cls = workloadClass(name);
+        ASSERT_TRUE(cls == "int" || cls == "fp") << name;
+        (cls == "int" ? ints : fps) += 1;
+    }
+    EXPECT_EQ(ints, 12u); // SPECint2000
+    EXPECT_EQ(ints + fps, workloadNames().size());
+}
+
+TEST(LeaderboardTest, TablesCarryOneRowPerEntity)
+{
+    std::vector<ChampionshipRun> runs;
+    runs.push_back(makeRun("gzip", "int", "a", 10, 5, 0, 64));
+    runs.push_back(makeRun("gzip", "int", "b", 10, 2, 0, 64));
+    runs.push_back(makeRun("swim", "fp", "a", 10, 5, 0, 64));
+    runs.push_back(makeRun("swim", "fp", "b", 10, 2, 0, 64));
+    EXPECT_EQ(championshipWinnersTable(runs).rowCount(), 2u);
+    EXPECT_EQ(leaderboardTable(runs, "").rowCount(), 2u);
+    EXPECT_EQ(leaderboardTable(runs, "int").rowCount(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Seeded tournament smoke test (real runs)
+
+TEST(LeaderboardTest, SeededTournamentSmoke)
+{
+    // A miniature fig16: two workloads x two engines over real
+    // ledger-instrumented runs, scored exactly as the bench does.
+    const std::vector<std::string> workloads = {"gzip", "swim"};
+    const std::vector<std::string> engines = {"stride", "stream"};
+    std::vector<ChampionshipRun> runs;
+    for (const std::string &wl : workloads) {
+        RunSpec base_spec;
+        base_spec.workload = wl;
+        base_spec.instructions = 60000;
+        const RunResult base = runSpec(base_spec);
+        for (const std::string &engine : engines) {
+            RunSpec spec = base_spec;
+            spec.engine = engine;
+            spec.ledger = true;
+            const RunResult r = runSpec(spec);
+            ChampionshipRun run;
+            run.workload = wl;
+            run.wl_class = workloadClass(wl);
+            run.engine = engine;
+            run.ipc = r.ipc();
+            run.base_ipc = base.ipc();
+            run.storage_bits = r.pf_storage_bits;
+            run.original_l2 = base.original_l2;
+            run.prefetched_original = r.prefetched_original;
+            run.pf_issued = r.ledger_issued;
+            run.pf_useful = r.ledger_useful;
+            run.pf_late = r.ledger_late;
+            run.pf_pollution = r.ledger_pollution;
+            runs.push_back(std::move(run));
+        }
+    }
+
+    for (const ChampionshipRun &run : runs) {
+        EXPECT_GE(run.score(), 0.0) << run.engine;
+        EXPECT_LE(run.score(), 1.0) << run.engine;
+        EXPECT_GT(run.speedup(), 0.0) << run.engine;
+    }
+    const auto rows = rankEngines(runs, "");
+    ASSERT_EQ(rows.size(), engines.size());
+    unsigned wins = 0;
+    for (const LeaderboardRow &row : rows) {
+        EXPECT_EQ(row.workloads, workloads.size()) << row.engine;
+        wins += row.wins;
+    }
+    EXPECT_EQ(wins, workloads.size()); // every workload crowns one
+
+    // The same records survive the report JSON round trip fig16
+    // writes and tcpreport reads.
+    Json doc = Json::object();
+    Json arr = Json::array();
+    for (const ChampionshipRun &run : runs)
+        arr.push(championshipRunJson(run));
+    doc["championship"]["runs"] = std::move(arr);
+    const auto reparsed = parseChampionshipRuns(doc);
+    ASSERT_EQ(reparsed.size(), runs.size());
+    const auto rows2 = rankEngines(reparsed, "");
+    ASSERT_EQ(rows2.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows2[i].engine, rows[i].engine);
+        EXPECT_DOUBLE_EQ(rows2[i].mean_score, rows[i].mean_score);
+    }
+}
+
+} // namespace
+} // namespace tcp

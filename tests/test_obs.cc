@@ -225,7 +225,8 @@ TEST(LedgerTest, HeatTablesSortedAndCapped)
 TEST(LedgerRunTest, OutcomeClassesPartitionIssuedAcrossEngines)
 {
     for (const char *engine :
-         {"tcp8k", "stream", "dbcp2m", "markov", "hybrid8k"}) {
+         {"tcp8k", "stream", "dbcp2m", "markov", "hybrid8k", "dcpt",
+          "ghb", "dmarkov"}) {
         RunSpec spec;
         spec.workload = "gzip";
         spec.engine = engine;
@@ -265,7 +266,8 @@ TEST(LedgerRunTest, AgreesWithHierarchyCountersAtZeroWarmup)
 TEST(LedgerRunTest, LedgerJsonBitIdenticalAcrossWorkerCounts)
 {
     std::vector<RunSpec> specs;
-    for (const char *engine : {"tcp8k", "stream", "hybrid8k"}) {
+    for (const char *engine :
+         {"tcp8k", "stream", "hybrid8k", "dcpt", "ghb", "dmarkov"}) {
         RunSpec spec;
         spec.workload = "art";
         spec.engine = engine;
@@ -286,6 +288,23 @@ TEST(LedgerRunTest, LedgerJsonBitIdenticalAcrossWorkerCounts)
             << specs[i].engine;
         EXPECT_EQ(a[i].toJson().dump(), b[i].toJson().dump())
             << specs[i].engine;
+    }
+}
+
+TEST(LedgerRunTest, NewEnginesRunCleanUnderChecker)
+{
+    // The differential checker panics on any divergence between the
+    // timing hierarchy and its functional reference models; the new
+    // championship engines must not perturb either.
+    for (const char *engine : {"dcpt", "ghb", "dmarkov"}) {
+        RunSpec spec;
+        spec.workload = "gzip";
+        spec.engine = engine;
+        spec.instructions = 40000;
+        spec.ledger = true;
+        spec.check = true;
+        const RunResult r = runSpec(spec);
+        EXPECT_GT(r.core.instructions, 0u) << engine;
     }
 }
 

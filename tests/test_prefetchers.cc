@@ -1,13 +1,17 @@
 /**
  * @file
  * Tests for the baseline prefetch engines: stride (Baer/Chen),
- * stream buffers (Jouppi), Markov (Joseph/Grunwald) and DBCP
- * (Lai et al.).
+ * stream buffers (Jouppi), Markov (Joseph/Grunwald), DBCP
+ * (Lai et al.), DCPT (Grannaes et al.), GHB PC/DC (Nesbit/Smith)
+ * and the Pangloss-style delta-Markov table.
  */
 
 #include <gtest/gtest.h>
 
 #include "prefetch/dbcp.hh"
+#include "prefetch/dcpt.hh"
+#include "prefetch/delta_markov.hh"
+#include "prefetch/ghb.hh"
 #include "prefetch/markov.hh"
 #include "prefetch/prefetcher.hh"
 #include "prefetch/stream.hh"
@@ -26,6 +30,16 @@ missTargets(Prefetcher &pf, Addr addr, Pc pc = 0x400000)
     for (const auto &r : out)
         targets.push_back(r.addr);
     return targets;
+}
+
+/** Like missTargets, but keeps the full requests (origin checks). */
+std::vector<PrefetchRequest>
+missRequests(Prefetcher &pf, Addr addr, Pc pc = 0x400000)
+{
+    std::vector<PrefetchRequest> out;
+    pf.observeMiss(AccessContext{addr, pc, 0, false, AccessType::Read},
+                   out);
+    return out;
 }
 
 std::vector<Addr>
@@ -296,6 +310,301 @@ TEST(DbcpTest, ResetForgets)
     pf.reset();
     EXPECT_TRUE(missTargets(pf, 0x10000, pc).empty());
     EXPECT_EQ(pf.deaths_recorded.value(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Regressions: stream window straddling address 0, stride miss-index
+// attribution at non-default block sizes, Markov storage honesty
+
+TEST(StreamTest, WindowStraddlingAddressZeroAdvances)
+{
+    // Allocate a stream so high that its prefetch window wraps
+    // through address 0: next_block ends up at a *low* address while
+    // the window's oldest block is still near 2^64. The unsigned
+    // window test `block >= next_block - depth * block_bytes`
+    // underflowed here, so in-window misses re-allocated the stream
+    // instead of advancing it.
+    StreamPrefetcher pf(StreamConfig{4, 4, 64});
+    const auto alloc = missTargets(pf, 0xFFFFFFFFFFFFFF80);
+    ASSERT_EQ(alloc.size(), 4u);
+    EXPECT_EQ(alloc[0], 0xFFFFFFFFFFFFFFC0u);
+    EXPECT_EQ(alloc[1], 0x0u); // window wrapped through zero
+    EXPECT_EQ(alloc[3], 0x80u);
+    ASSERT_EQ(pf.allocations.value(), 1u);
+
+    // A miss on a wrapped in-window block must advance the stream.
+    const auto t = missTargets(pf, 0x80);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], 0xC0u);
+    EXPECT_EQ(pf.advances.value(), 1u);
+    EXPECT_EQ(pf.allocations.value(), 1u); // no re-allocation
+}
+
+TEST(StrideTest, MissIndexFollowsConfiguredBlockSize)
+{
+    // The ledger's miss-index heat table buckets by
+    // (addr / block_bytes) & 1023; the old stamp hard-coded 64-byte
+    // blocks (addr >> 6), mis-attributing every non-64-byte config.
+    StrideConfig cfg;
+    cfg.entries = 512;
+    cfg.degree = 1;
+    cfg.block_bytes = 32;
+    StridePrefetcher pf(cfg);
+    const Pc pc = 0x400100;
+    missRequests(pf, 32, pc);
+    missRequests(pf, 64, pc);
+    const auto reqs = missRequests(pf, 96, pc); // steady
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].origin.source, PfSource::StrideSteady);
+    EXPECT_EQ(reqs[0].origin.miss_index, 96u / 32u);
+}
+
+TEST(MarkovTest, StorageBitsMatchDocumentedModel)
+{
+    // Honest hardware budget: valid + 32-bit tag + targets at the
+    // compressed block-pointer width — independent of how many
+    // successors the simulator's vectors currently hold.
+    MarkovPrefetcher pf(MarkovConfig{65536, 2, 32});
+    const std::uint64_t expected =
+        65536ull * (1 + 32 + 2ull * kTargetPointerBits);
+    EXPECT_EQ(pf.storageBits(), expected);
+    for (Addr a = 0; a < 64 * 1024; a += 32)
+        missTargets(pf, a);
+    EXPECT_EQ(pf.storageBits(), expected); // content-independent
+}
+
+// ---------------------------------------------------------------------
+// DcptPrefetcher
+
+TEST(DcptTest, ConstantStrideReplaysAfterThreeDeltas)
+{
+    DcptPrefetcher pf;
+    const Pc pc = 0x400200;
+    EXPECT_TRUE(missTargets(pf, 0, pc).empty());   // allocate
+    EXPECT_TRUE(missTargets(pf, 64, pc).empty());  // 1 delta
+    EXPECT_TRUE(missTargets(pf, 128, pc).empty()); // 2 deltas
+    const auto t = missTargets(pf, 192, pc);       // (1,1) recurs
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], 256u);
+    EXPECT_EQ(pf.correlations.value(), 1u);
+
+    // The next miss resumes past the already-issued candidate.
+    const auto t2 = missTargets(pf, 256, pc);
+    ASSERT_EQ(t2.size(), 2u);
+    EXPECT_EQ(t2[0], 320u);
+    EXPECT_EQ(t2[1], 384u);
+}
+
+TEST(DcptTest, InFlightFilterSquashesDuplicateTargets)
+{
+    // Two PCs (different table entries) walking the same addresses:
+    // the first issues the prefetch, the second's identical candidate
+    // is squashed by the shared in-flight buffer.
+    DcptPrefetcher pf;
+    const Pc pc1 = 0x400200, pc2 = 0x400204;
+    for (Addr a : {0u, 64u, 128u})
+        missTargets(pf, a, pc1);
+    ASSERT_EQ(missTargets(pf, 192, pc1).size(), 1u); // issues 256
+    for (Addr a : {0u, 64u, 128u})
+        missTargets(pf, a, pc2);
+    EXPECT_TRUE(missTargets(pf, 192, pc2).empty()); // 256 in flight
+    EXPECT_EQ(pf.filtered.value(), 1u);
+}
+
+TEST(DcptTest, OriginStampsFollowConfiguredBlockSize)
+{
+    DcptConfig cfg;
+    cfg.block_bytes = 32;
+    DcptPrefetcher pf(cfg);
+    const Pc pc = 0x400208;
+    missTargets(pf, 0, pc);
+    missTargets(pf, 32, pc);
+    missTargets(pf, 64, pc);
+    const auto reqs = missRequests(pf, 96, pc);
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].addr, 128u);
+    EXPECT_EQ(reqs[0].origin.source, PfSource::DcptDelta);
+    EXPECT_EQ(reqs[0].origin.pc, pc);
+    EXPECT_EQ(reqs[0].origin.entry, (pc >> 2) & 127u);
+    EXPECT_EQ(reqs[0].origin.miss_index, 96u / 32u);
+    // history_hash packs the matched trailing pair (d2 << 32) | d1.
+    EXPECT_EQ(reqs[0].origin.history_hash, (1ull << 32) | 1ull);
+}
+
+TEST(DcptTest, HugeJumpBreaksThePattern)
+{
+    DcptPrefetcher pf;
+    const Pc pc = 0x400200;
+    for (Addr a : {0u, 64u, 128u})
+        missTargets(pf, a, pc);
+    // A delta outside the 12-bit signed range resets the entry, so
+    // the old (1, 1) pattern must not fire on the next stride pair.
+    missTargets(pf, Addr{1} << 40, pc);
+    EXPECT_TRUE(missTargets(pf, 192, pc).empty());
+    EXPECT_TRUE(missTargets(pf, 256, pc).empty());
+}
+
+TEST(DcptTest, ResetForgetsPatternsAndStats)
+{
+    DcptPrefetcher pf;
+    const Pc pc = 0x400200;
+    for (Addr a : {0u, 64u, 128u})
+        missTargets(pf, a, pc);
+    ASSERT_FALSE(missTargets(pf, 192, pc).empty());
+    const std::uint64_t bits = pf.storageBits();
+    pf.reset();
+    EXPECT_EQ(pf.correlations.value(), 0u);
+    EXPECT_EQ(pf.storageBits(), bits);
+    EXPECT_TRUE(missTargets(pf, 256, pc).empty()); // must re-learn
+}
+
+// ---------------------------------------------------------------------
+// GhbPrefetcher
+
+TEST(GhbTest, LocalizesInterleavedStreamsByPc)
+{
+    // Two PCs with different strides, perfectly interleaved: the
+    // per-PC chains must keep the streams apart, so each predicts
+    // its own stride.
+    GhbPrefetcher pf;
+    const Pc pc1 = 0x400300, pc2 = 0x400304;
+    EXPECT_TRUE(missTargets(pf, 0x1000, pc1).empty());
+    EXPECT_TRUE(missTargets(pf, 0x80000, pc2).empty());
+    EXPECT_TRUE(missTargets(pf, 0x1040, pc1).empty());
+    EXPECT_TRUE(missTargets(pf, 0x80080, pc2).empty());
+    const auto t1 = missTargets(pf, 0x1080, pc1);
+    ASSERT_EQ(t1.size(), pf.currentDegree());
+    EXPECT_EQ(t1[0], 0x10C0u);
+    EXPECT_EQ(t1[1], 0x1100u);
+    const auto t2 = missTargets(pf, 0x80100, pc2);
+    ASSERT_EQ(t2.size(), pf.currentDegree());
+    EXPECT_EQ(t2[0], 0x80180u);
+    EXPECT_EQ(t2[1], 0x80200u);
+}
+
+TEST(GhbTest, DeltaPairMatchReplaysCompositePattern)
+{
+    // Alternating +64/+128 deltas: once the trailing pair recurs in
+    // the localized history, the deltas that followed the earlier
+    // occurrence replay forward from the current miss.
+    GhbPrefetcher pf;
+    const Pc pc = 0x400308;
+    for (Addr a : {0u, 64u, 192u, 256u})
+        missTargets(pf, a, pc);
+    const auto t = missTargets(pf, 384, pc);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0], 448u); // +64 followed the matched pair
+    EXPECT_EQ(t[1], 576u); // then +128
+}
+
+TEST(GhbTest, OriginStampsGhbCoordinates)
+{
+    GhbPrefetcher pf;
+    const Pc pc = 0x40030C;
+    missTargets(pf, 0x2000, pc);
+    missTargets(pf, 0x2040, pc);
+    const auto reqs = missRequests(pf, 0x2080, pc);
+    ASSERT_FALSE(reqs.empty());
+    EXPECT_EQ(reqs[0].origin.source, PfSource::GhbDelta);
+    EXPECT_EQ(reqs[0].origin.pc, pc);
+    EXPECT_EQ(reqs[0].origin.entry, (pc >> 2) & 511u);
+    EXPECT_EQ(reqs[0].origin.miss_index, (0x2080u / 64u) & 1023u);
+}
+
+TEST(GhbTest, CalibrationStepsDegreeWithAccuracy)
+{
+    GhbConfig cfg;
+    cfg.degree = 4;
+    cfg.calibration_interval = 4;
+    GhbPrefetcher pf(cfg);
+    ASSERT_EQ(pf.currentDegree(), 4u);
+
+    // Simulate an interval of useless prefetching (the hierarchy
+    // owns these counters in a real run): accuracy 0% < 30%.
+    pf.issued += 100;
+    for (unsigned i = 0; i < 4; ++i)
+        missTargets(pf, 0x10000 + i * 0x5000, Pc{0x500000 + 8 * i});
+    EXPECT_EQ(pf.currentDegree(), 3u);
+
+    // An accurate interval (90% >= 60%) steps the degree back up.
+    pf.issued += 10;
+    pf.useful += 9;
+    for (unsigned i = 0; i < 4; ++i)
+        missTargets(pf, 0x90000 + i * 0x5000, Pc{0x600000 + 8 * i});
+    EXPECT_EQ(pf.currentDegree(), 4u);
+    EXPECT_EQ(pf.recalibrations.value(), 2u);
+}
+
+TEST(GhbTest, ResetRestoresConfiguredDegree)
+{
+    GhbConfig cfg;
+    cfg.degree = 4;
+    cfg.calibration_interval = 4;
+    GhbPrefetcher pf(cfg);
+    pf.issued += 100;
+    for (unsigned i = 0; i < 4; ++i)
+        missTargets(pf, 0x10000 + i * 0x5000, Pc{0x500000 + 8 * i});
+    ASSERT_EQ(pf.currentDegree(), 3u);
+    pf.reset();
+    EXPECT_EQ(pf.currentDegree(), 4u);
+    EXPECT_EQ(pf.correlations.value(), 0u);
+    // History is gone: a previously hot PC predicts nothing.
+    EXPECT_TRUE(missTargets(pf, 0x1080, 0x400300).empty());
+}
+
+// ---------------------------------------------------------------------
+// DeltaMarkovPrefetcher
+
+TEST(DeltaMarkovTest, ChainsPredictionsThroughTheDeltaTable)
+{
+    DeltaMarkovPrefetcher pf;
+    EXPECT_TRUE(missTargets(pf, 0).empty());
+    EXPECT_TRUE(missTargets(pf, 64).empty());  // first delta
+    const auto t = missTargets(pf, 128);       // (+1 -> +1) learned
+    ASSERT_EQ(t.size(), 4u); // degree hops, each keyed by the last
+    EXPECT_EQ(t[0], 192u);
+    EXPECT_EQ(t[3], 384u);
+}
+
+TEST(DeltaMarkovTest, PredictsTheMostFrequentSuccessor)
+{
+    // Key +1 is followed by +2 twice and +3 once; the prediction
+    // must take the majority transition.
+    DeltaMarkovPrefetcher pf;
+    for (Addr a : {0u, 64u, 192u, 256u, 448u, 512u, 640u})
+        missTargets(pf, a); // deltas: +1 +2 +1 +3 +1 +2
+    const auto t = missTargets(pf, 704); // delta +1 again
+    ASSERT_FALSE(t.empty());
+    EXPECT_EQ(t[0], 704u + 128u); // +2 outvotes +3
+}
+
+TEST(DeltaMarkovTest, OriginStampsRowAndTransition)
+{
+    DeltaMarkovPrefetcher pf;
+    missTargets(pf, 0);
+    missTargets(pf, 64);
+    const auto reqs = missRequests(pf, 128, 0x400400);
+    ASSERT_FALSE(reqs.empty());
+    EXPECT_EQ(reqs[0].origin.source, PfSource::DeltaMarkovTarget);
+    EXPECT_EQ(reqs[0].origin.pc, 0x400400u);
+    EXPECT_EQ(reqs[0].origin.miss_index, 128u / 64u);
+    // history_hash packs (key << 32) | predicted delta.
+    EXPECT_EQ(reqs[0].origin.history_hash, (1ull << 32) | 1ull);
+}
+
+TEST(DeltaMarkovTest, ResetForgetsTransitions)
+{
+    DeltaMarkovPrefetcher pf;
+    missTargets(pf, 0);
+    missTargets(pf, 64);
+    ASSERT_FALSE(missTargets(pf, 128).empty());
+    pf.reset();
+    EXPECT_EQ(pf.transitions.value(), 0u);
+    // The table is empty again: the first post-reset +1 delta has no
+    // row to predict from, and learning restarts from scratch.
+    missTargets(pf, 0);
+    EXPECT_TRUE(missTargets(pf, 64).empty());
+    EXPECT_FALSE(missTargets(pf, 128).empty());
 }
 
 } // namespace

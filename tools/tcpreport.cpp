@@ -14,6 +14,10 @@
  *   tcpreport profile  phase breakdown (wall/CPU seconds) of the
  *                      "profile" block a bench report or tcpsim
  *                      stats record carries
+ *   tcpreport leaderboard
+ *                      rank the engines of a fig16_championship
+ *                      report by ledger score, overall and per
+ *                      workload class (int/fp)
  *   tcpreport hist     every histogram in a record, summarised as
  *                      total/p50/p90/p99/max
  *   tcpreport progress one-line summary of a --progress NDJSON
@@ -38,6 +42,7 @@
 #include <vector>
 
 #include "obs/causal.hh"
+#include "obs/leaderboard.hh"
 #include "sim/json.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
@@ -415,6 +420,50 @@ cmdProfile(int argc, char **argv)
     if (const Json *wall = doc.find("wall_clock_seconds"))
         std::cout << "\nwall clock: "
                   << formatDouble(wall->asDouble(), 3) << "s\n";
+    return 0;
+}
+
+// ----------------------------------------------------------- leaderboard
+
+int
+cmdLeaderboard(int argc, char **argv)
+{
+    std::string path = takePositional(argc, argv);
+    ArgParser args;
+    args.addFlag("stats-json", "",
+                 "record to read (alternative to the positional path)");
+    args.addFlag("class", "",
+                 "restrict the ranking to one workload class "
+                 "(int/fp; default: overall plus both classes)");
+    args.addFlag("winners", "1",
+                 "also print the per-workload winner table");
+    args.parse(argc, argv);
+    if (path.empty())
+        path = args.getString("stats-json");
+    if (path.empty())
+        tcp_fatal("tcpreport leaderboard: pass a fig16_championship "
+                  "report path (or --stats-json)");
+
+    // Parsing, scoring, and rendering are the same tcp_obs code the
+    // bench used to write the file, so a re-rendered leaderboard can
+    // never drift from the one fig16_championship printed.
+    const Json doc = loadRecord(path);
+    const std::vector<ChampionshipRun> runs =
+        parseChampionshipRuns(doc);
+    const std::string group = args.getString("class");
+    if (!group.empty() && group != "int" && group != "fp")
+        tcp_fatal("tcpreport leaderboard: unknown workload class '",
+                  group, "' (expected int or fp)");
+
+    if (args.getUint("winners") != 0)
+        std::cout << championshipWinnersTable(runs).render() << "\n";
+    if (group.empty()) {
+        std::cout << leaderboardTable(runs, "").render() << "\n"
+                  << leaderboardTable(runs, "int").render() << "\n"
+                  << leaderboardTable(runs, "fp").render();
+    } else {
+        std::cout << leaderboardTable(runs, group).render();
+    }
     return 0;
 }
 
@@ -1117,6 +1166,10 @@ usage()
         "  profile <file>\n"
         "      phase breakdown (wall/CPU seconds, counts) from the\n"
         "      record's profile block\n"
+        "  leaderboard <file> [--class int|fp] [--winners 0]\n"
+        "      rank the engines of a fig16_championship report by\n"
+        "      ledger score (coverage x accuracy x (1 - pollution)),\n"
+        "      overall and per workload class\n"
         "  hist <file>\n"
         "      every histogram in the record as total/p50/p90/p99/max\n"
         "  progress <file.ndjson>\n"
@@ -1149,6 +1202,8 @@ main(int argc, char **argv)
         return cmdDiff(argc, argv);
     if (cmd == "profile")
         return cmdProfile(argc, argv);
+    if (cmd == "leaderboard")
+        return cmdLeaderboard(argc, argv);
     if (cmd == "hist")
         return cmdHist(argc, argv);
     if (cmd == "progress")
