@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "harness/batch.hh"
+#include "harness/multisim.hh"
 #include "harness/runner.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
@@ -27,6 +28,7 @@
 #include "trace/workloads.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "util/table.hh"
 
 namespace tcp::bench {
@@ -78,6 +80,13 @@ struct SuiteOptions
      * passed by const reference everywhere.
      */
     mutable std::uint64_t ops_simulated = 0;
+    /**
+     * Effective lane count of every coalesced group scheduled by
+     * runBatch(), across all its calls (singletons included), for
+     * the report's "lanes" record. Mutable for the same reason as
+     * ops_simulated.
+     */
+    mutable std::vector<unsigned> lane_groups;
 };
 
 /** Register the common flags on @p args. */
@@ -107,6 +116,11 @@ addSuiteFlags(ArgParser &args, const std::string &default_instructions)
                  "schedule every spec as its own job even when specs "
                  "could share a trace pass (results are bit-identical "
                  "either way)");
+    args.addFlag("lockstep", "0",
+                 "step coalesced lanes in lockstep over "
+                 "lane-interleaved SIMD tag directories (bit-identical "
+                 "to the default lane-sequential sweep; pays only when "
+                 "the group's state overflows the host LLC)");
     args.addFlag("progress", "",
                  "stream live NDJSON progress records to this sink "
                  "(a file path, '-' for stderr, or 'fd:N')");
@@ -143,6 +157,7 @@ suiteOptions(const ArgParser &args)
     opt.lanes.max_lanes =
         static_cast<unsigned>(args.getUint("lanes"));
     opt.lanes.coalesce = args.getUint("no-coalesce") == 0;
+    opt.lanes.lockstep = args.getUint("lockstep") != 0;
     opt.start = std::chrono::steady_clock::now();
     opt.profiler = std::make_shared<PhaseProfiler>();
     PhaseProfiler::install(opt.profiler.get());
@@ -179,6 +194,12 @@ runBatch(const SuiteOptions &opt, std::vector<RunSpec> specs)
             if (!spec.metrics)
                 spec.shared_metrics = opt.metrics.get();
     }
+    // Record the schedule's effective lane counts for the report:
+    // the same partition BatchRunner::run derives internally
+    // (coalesceSpecs is deterministic).
+    for (const LaneGroup &g : coalesceSpecs(specs, opt.lanes))
+        opt.lane_groups.push_back(
+            static_cast<unsigned>(g.lanes.size()));
     BatchRunner runner(opt.jobs);
     return runner.run(specs, opt.progress.get(), opt.lanes);
 }
@@ -264,6 +285,21 @@ writeJsonReport(const SuiteOptions &opt, const std::string &bench,
         std::chrono::steady_clock::now() - opt.start).count();
     doc["wall_clock_seconds"] = wall;
     doc["ops_simulated"] = opt.ops_simulated;
+    {
+        // The effective lane schedule: how the specs actually
+        // coalesced (group sizes in schedule order), plus the knobs
+        // that shaped it — so a timing report says what it measured.
+        Json lanes = Json::object();
+        lanes["max_lanes"] = std::uint64_t{opt.lanes.max_lanes};
+        lanes["coalesce"] = opt.lanes.coalesce;
+        lanes["lockstep"] = opt.lanes.lockstep;
+        lanes["simd_tier"] = std::string(simdTierName(simdTier()));
+        Json groups = Json::array();
+        for (unsigned size : opt.lane_groups)
+            groups.push(std::uint64_t{size});
+        lanes["groups"] = std::move(groups);
+        doc["lanes"] = std::move(lanes);
+    }
     doc["ops_per_second"] =
         wall > 0.0 ? static_cast<double>(opt.ops_simulated) / wall
                    : 0.0;

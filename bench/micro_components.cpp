@@ -28,6 +28,7 @@
 #include "trace/trace_file.hh"
 #include "trace/workloads.hh"
 #include "util/random.hh"
+#include "util/simd.hh"
 
 namespace {
 
@@ -564,6 +565,106 @@ BM_MultiSimLanes(benchmark::State &state)
 }
 BENCHMARK(BM_MultiSimLanes)->Arg(1)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
+
+void
+BM_MultiSimLanesLockstep(benchmark::State &state)
+{
+    // The same group as BM_MultiSimLanes, stepped in lockstep over
+    // lane-interleaved SIMD directories (LaneOptions::lockstep).
+    // Bit-identical results; this measures only the kernel's
+    // host-cache behaviour against the default lane-sequential sweep.
+    const unsigned k = static_cast<unsigned>(state.range(0));
+    const std::vector<RunSpec> specs = laneBenchSpecs(k);
+    LaneGroup group;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        group.lanes.push_back(i);
+    const LaneOptions opt{.lockstep = true};
+    for (auto _ : state) {
+        const std::vector<RunResult> results =
+            runLaneGroup(specs, group, nullptr, opt);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * k * specOpsNeeded(specs[0])));
+}
+BENCHMARK(BM_MultiSimLanesLockstep)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The raw tag-scan kernels at every vector tier, over the two shapes
+ * the simulator uses them in: a packed per-set key column (findTag,
+ * "across ways" — the solo CacheModel::findWay scan) and a
+ * lane-interleaved ways-by-lanes block (matchMask, "across lanes" —
+ * the LaneDirectory scan serving a whole group). Arg0 is the tier
+ * (0 scalar, 1 SSE2, 2 AVX2), Arg1 the keys per scan.
+ */
+void
+BM_SimdSetScan(benchmark::State &state)
+{
+    const auto tier = static_cast<SimdTier>(state.range(0));
+    const unsigned n = static_cast<unsigned>(state.range(1));
+    if (!simdTierAvailable(tier)) {
+        state.SkipWithError("tier unavailable on this host");
+        return;
+    }
+    // A pool of key rows with the needle planted at rotating
+    // positions (and sometimes absent), so the scan sees hit-at-0,
+    // hit-at-tail, and miss patterns instead of one branch-predicted
+    // shape.
+    constexpr unsigned kRows = 64;
+    Rng rng(11);
+    std::vector<Tag> keys(kRows * n);
+    for (Tag &key : keys)
+        key = rng.next();
+    const Tag needle = 0x7a57ed;
+    for (unsigned r = 0; r + 1 < kRows; ++r)
+        keys[r * n + (r % n)] = needle;
+    unsigned row = 0;
+    const bool across_lanes = n > 16; // ways*lanes block vs way column
+    for (auto _ : state) {
+        const Tag *base = &keys[row * n];
+        row = (row + 1) % kRows;
+        if (across_lanes) {
+            std::uint64_t mask;
+            switch (tier) {
+              case SimdTier::Avx2:
+                mask = matchMaskAvx2(base, n, needle);
+                break;
+              case SimdTier::Sse2:
+                mask = matchMaskSse2(base, n, needle);
+                break;
+              default:
+                mask = matchMaskScalar(base, n, needle);
+                break;
+            }
+            benchmark::DoNotOptimize(mask);
+        } else {
+            unsigned way;
+            switch (tier) {
+              case SimdTier::Avx2:
+                way = findTagAvx2(base, n, needle);
+                break;
+              case SimdTier::Sse2:
+                way = findTagSse2(base, n, needle);
+                break;
+              default:
+                way = findTagScalar(base, n, needle);
+                break;
+            }
+            benchmark::DoNotOptimize(way);
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_SimdSetScan)
+    ->ArgNames({"tier", "keys"})
+    // Across ways: the 4-way L2 column and a hypothetical 8-way one.
+    ->Args({0, 4})->Args({1, 4})->Args({2, 4})
+    ->Args({0, 8})->Args({1, 8})->Args({2, 8})
+    // Across lanes: 4-way x 8-lane and 4-way x 16-lane blocks.
+    ->Args({0, 32})->Args({1, 32})->Args({2, 32})
+    ->Args({0, 64})->Args({1, 64})->Args({2, 64});
 
 void
 BM_MultiSimIndependent(benchmark::State &state)

@@ -1,14 +1,26 @@
 #!/usr/bin/env sh
 # Time the fig13 PHT sweep with lane coalescing on vs off at equal
-# --jobs and write a small comparison report. Results are
-# bit-identical either way (the lane determinism contract); this
-# captures only the wall-clock effect of coalescing, as measured on
-# whatever machine ran it — CI runners are noisy, so the report is
-# informational, not a gate.
+# --jobs (plus the lockstep SIMD-directory kernel, informationally)
+# and write a comparison report. Results are bit-identical in every
+# mode (the lane determinism contract); this captures only the
+# host-time effect of the schedule, as measured on whatever machine
+# ran it — CI runners are noisy, so the report is informational, not
+# a gate.
+#
+# Outputs (in OUT_DIR):
+#   lane_timing.txt         human-readable comparison
+#   fig13_lanes.json        coalesced sweep report (default kernel)
+#   fig13_lockstep.json     coalesced sweep report (lockstep kernel)
+#   fig13_independent.json  uncoalesced sweep report
+#   BENCH_pr10.json         the three wall-clock times in
+#                           google-benchmark schema, so CI's
+#                           bench_compare.py can diff them across
+#                           runs like any other perf artifact
 #
 # Usage: scripts/lane_timing.sh BUILD_DIR [OUT_DIR]
 # Env:   JOBS (default 2), INSTRUCTIONS (default 50000),
-#        WORKLOADS (default gzip,swim)
+#        WORKLOADS (default gzip,swim), LANES (default 16; max
+#        lanes per coalesced group)
 set -eu
 
 build_dir=${1:?usage: lane_timing.sh BUILD_DIR [OUT_DIR]}
@@ -16,15 +28,19 @@ out_dir=${2:-results}
 jobs=${JOBS:-2}
 instructions=${INSTRUCTIONS:-50000}
 workloads=${WORKLOADS:-gzip,swim}
+lanes=${LANES:-16}
 mkdir -p "$out_dir"
 
 bin="$build_dir/bench/fig13_pht_sweep"
 common="--jobs=$jobs --instructions=$instructions \
-    --workloads=$workloads"
+    --workloads=$workloads --lanes=$lanes"
 
 # shellcheck disable=SC2086  # $common is a flag list
 "$bin" $common --json="$out_dir/fig13_lanes.json" \
     > /dev/null
+# shellcheck disable=SC2086
+"$bin" $common --lockstep=1 \
+    --json="$out_dir/fig13_lockstep.json" > /dev/null
 # shellcheck disable=SC2086
 "$bin" $common --no-coalesce=1 \
     --json="$out_dir/fig13_independent.json" > /dev/null
@@ -35,27 +51,70 @@ import sys
 
 out_dir = sys.argv[1]
 lanes = json.load(open(f"{out_dir}/fig13_lanes.json"))
+lock = json.load(open(f"{out_dir}/fig13_lockstep.json"))
 solo = json.load(open(f"{out_dir}/fig13_independent.json"))
 
-# The figure tables must be identical — coalescing is scheduling
-# only. This is a hard check even though the timing is not.
+# The figure tables must be identical — coalescing and the execution
+# kernel are scheduling only. This is a hard check even though the
+# timing is not.
 if lanes["tables"] != solo["tables"]:
     sys.exit("lane_timing: coalesced and independent runs "
              "disagree on figure tables")
+if lock["tables"] != solo["tables"]:
+    sys.exit("lane_timing: lockstep and independent runs "
+             "disagree on figure tables")
 
-tl, ts = lanes["wall_clock_seconds"], solo["wall_clock_seconds"]
+tl = lanes["wall_clock_seconds"]
+tk = lock["wall_clock_seconds"]
+ts = solo["wall_clock_seconds"]
+groups = lanes.get("lanes", {}).get("groups", [])
+tier = lanes.get("lanes", {}).get("simd_tier", "?")
 report = [
     "fig13 lane-vs-independent timing "
     f"(jobs={lanes['jobs']}, "
-    f"instructions={lanes['instructions']})",
+    f"instructions={lanes['instructions']}, "
+    f"simd={tier}, groups={groups})",
     f"  coalesced (lanes): {tl:8.2f} s  "
     f"({lanes['ops_per_second'] / 1e6:6.2f} Mops/s)",
+    f"  lockstep (lanes):  {tk:8.2f} s  "
+    f"({lock['ops_per_second'] / 1e6:6.2f} Mops/s)",
     f"  independent:       {ts:8.2f} s  "
     f"({solo['ops_per_second'] / 1e6:6.2f} Mops/s)",
-    f"  speedup:           {ts / tl:8.2f}x",
+    f"  speedup:           {ts / tl:8.2f}x  (lockstep "
+    f"{ts / tk:.2f}x)",
     "  tables: identical (checked)",
 ]
 text = "\n".join(report) + "\n"
 print(text, end="")
 open(f"{out_dir}/lane_timing.txt", "w").write(text)
+
+# The same three numbers in google-benchmark schema so
+# scripts/bench_compare.py (and anything else that reads perf smoke
+# artifacts) can diff them run over run.
+benches = []
+for name, wall, doc in (("LaneTiming/fig13_coalesced", tl, lanes),
+                        ("LaneTiming/fig13_lockstep", tk, lock),
+                        ("LaneTiming/fig13_independent", ts, solo)):
+    benches.append({
+        "name": name,
+        "run_type": "iteration",
+        "iterations": 1,
+        "real_time": wall * 1e9,
+        "cpu_time": wall * 1e9,
+        "time_unit": "ns",
+        "ops_per_second": doc["ops_per_second"],
+    })
+out = {
+    "context": {
+        "jobs": lanes["jobs"],
+        "instructions": lanes["instructions"],
+        "max_lanes": lanes.get("lanes", {}).get("max_lanes"),
+        "lane_groups": groups,
+        "simd_tier": tier,
+    },
+    "benchmarks": benches,
+}
+with open(f"{out_dir}/BENCH_pr10.json", "w") as fh:
+    json.dump(out, fh, indent=2)
+    fh.write("\n")
 EOF

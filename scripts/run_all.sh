@@ -10,6 +10,11 @@
 #                   (default: one per hardware thread)
 #   INSTRUCTIONS=N  override per-run instruction count (smoke runs)
 #   WORKLOADS=a,b   override the workload list (smoke runs)
+#   LANES=K         cap predictor lanes per coalesced trace pass
+#                   (default 16; <2 disables coalescing). Results are
+#                   bit-identical at any value; only scheduling and
+#                   host-cache behaviour change. Each figure's JSON
+#                   records the effective group sizes under "lanes".
 #   REUSE_TRACES=0  disable the shared trace cache: every figure
 #                   binary re-materializes its workloads in memory
 #                   instead of recording each (workload, instructions)
@@ -66,7 +71,8 @@ mkdir -p "$ROOT/results" "$ROOT/results/progress"
                  --progress "$ROOT/results/progress/$name.ndjson" \
                  ${TRACE_CACHE:+--trace-cache "$TRACE_CACHE"} \
                  ${INSTRUCTIONS:+--instructions "$INSTRUCTIONS"} \
-                 ${WORKLOADS:+--workloads "$WORKLOADS"}
+                 ${WORKLOADS:+--workloads "$WORKLOADS"} \
+                 ${LANES:+--lanes "$LANES"}
             ;;
         esac
     done

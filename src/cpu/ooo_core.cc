@@ -92,12 +92,13 @@ OooCore::runBlock(const MicroOp *ops, std::size_t count)
     const unsigned rob = config_.rob_entries;
     const unsigned lsq = config_.lsq_entries;
 
-    // Ring cursors carried incrementally across the loop: rob/lsq
-    // are runtime values, so the straightforward `count % size` is a
-    // 64-bit division on every instruction.
-    std::size_t rob_slot = static_cast<std::size_t>(insn_count_ % rob);
-    std::size_t lsq_cursor =
-        static_cast<std::size_t>(mem_count_ % lsq);
+    // Ring cursors carried incrementally across calls: rob/lsq are
+    // runtime values, so the straightforward `count % size` is a
+    // 64-bit division on every instruction — and recomputing them per
+    // call would make the lockstep driver's runBlock(op, 1) pattern
+    // pay it per op. Local copies keep them in registers in the loop.
+    std::size_t rob_slot = rob_slot_;
+    std::size_t lsq_cursor = lsq_slot_;
 
     for (std::size_t n = 0; n < count; ++n) {
         const MicroOp &op = ops[n];
@@ -203,6 +204,8 @@ OooCore::runBlock(const MicroOp *ops, std::size_t count)
         }
         ++insns;
     }
+    rob_slot_ = rob_slot;
+    lsq_slot_ = lsq_cursor;
 }
 
 CoreResult
@@ -238,6 +241,8 @@ OooCore::reset()
     last_fetch_done_ = 0;
     insn_count_ = 0;
     mem_count_ = 0;
+    rob_slot_ = 0;
+    lsq_slot_ = 0;
     last_retire_ = 0;
     stats_.resetAll();
 }

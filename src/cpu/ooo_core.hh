@@ -182,6 +182,14 @@ class OooCore
     Cycle last_fetch_done_ = 0;
     std::uint64_t insn_count_ = 0;
     std::uint64_t mem_count_ = 0;
+    /**
+     * Ring cursors (insn_count_ % rob, mem_count_ % lsq) carried
+     * across runBlock() calls, so the per-op lockstep driver
+     * (harness/multisim) can call runBlock(op, 1) without paying two
+     * 64-bit divisions per instruction.
+     */
+    std::size_t rob_slot_ = 0;
+    std::size_t lsq_slot_ = 0;
     Cycle last_retire_ = 0;
     /// @}
 

@@ -108,6 +108,18 @@ struct LaneOptions
     unsigned max_lanes = 16;
     /** Master switch (--no-coalesce clears it). */
     bool coalesce = true;
+    /**
+     * Lockstep execution: bind the group's caches to lane-interleaved
+     * SoA tag directories (mem/lane_directory.hh) and advance all K
+     * lanes over small decoded strides, so one memoized SIMD scan per
+     * (set, tag) serves every lane. Bit-identical to the default
+     * lane-sequential chunk sweep (the lane determinism contract puts
+     * no ceiling on the interleaving). Off by default: it pays only
+     * when K resident hierarchies overflow the host's last-level
+     * cache, and measurably loses when they fit (see
+     * docs/architecture.md, "SIMD-across-lanes core").
+     */
+    bool lockstep = false;
 };
 
 /**

@@ -11,6 +11,7 @@
 #include "core/lane_log.hh"
 #include "core/tcp.hh"
 #include "harness/run_internal.hh"
+#include "mem/lane_directory.hh"
 #include "obs/causal.hh"
 #include "obs/profiler.hh"
 #include "sim/trace_sink.hh"
@@ -86,11 +87,67 @@ struct Lane
     std::vector<IntervalSample> intervals;
 };
 
+/**
+ * Ops per lockstep stride: the group decodes this many ops into a
+ * buffer small enough to stay resident in the host's private caches,
+ * then every lane advances over it before the next stride is
+ * decoded. The directories' per-set memos stay exact across any
+ * interleaving (every key write patches them), so correctness puts
+ * no ceiling on the stride — the value trades the per-lane hot state
+ * (rings, predictor tables, line metadata) a lane switch evicts
+ * against how much decoded-stride + memo state the lanes share while
+ * resident. Any value is bit-identical: lanes are independent and
+ * runBlock is segmentation-invariant.
+ */
+constexpr std::size_t kLockstepBlock = 4 * OooCore::kRunBlock;
+
+/**
+ * Chunk-execution kernels, selected once per group into a plain
+ * function pointer so the sweep's inner loop carries no per-op
+ * branching on group shape. Both take the hoisted raw core pointers
+ * (lane order) — the per-lane unique_ptr indirection is paid once
+ * per group, not per chunk.
+ */
+using StepFn = void (*)(OooCore *const *, std::size_t,
+                        const MicroOp *, std::size_t);
+
+/**
+ * Lane-lockstep: all K lanes advance over one decoded stride (which
+ * is the whole chunk handed here) before the group moves on, so the
+ * K lookups an op implies land on the same interleaved directory
+ * region back to back (one SIMD scan, K-1 memo hits) and the decoded
+ * ops are read K times while still cache-resident.
+ */
+void
+stepLockstep(OooCore *const *cores, std::size_t n_lanes,
+             const MicroOp *ops, std::size_t have)
+{
+    for (std::size_t l = 0; l < n_lanes; ++l)
+        cores[l]->runBlock(ops, have);
+}
+
+/**
+ * Lane-sequential: each lane consumes the whole (large) chunk before
+ * the next starts. The default kernel — fine-grained lane switching
+ * only pays when the K resident hierarchies overflow the host's
+ * last-level cache, and on hosts where they fit it just thrashes the
+ * private caches (measured; see docs/architecture.md).
+ */
+void
+stepBlocked(OooCore *const *cores, std::size_t n_lanes,
+            const MicroOp *ops, std::size_t have)
+{
+    for (std::size_t l = 0; l < n_lanes; ++l)
+        for (std::size_t off = 0; off < have; off += OooCore::kRunBlock)
+            cores[l]->runBlock(ops + off,
+                               std::min(OooCore::kRunBlock, have - off));
+}
+
 } // namespace
 
 std::vector<RunResult>
 runLaneGroup(const std::vector<RunSpec> &specs, const LaneGroup &group,
-             ProgressStreamer *progress)
+             ProgressStreamer *progress, const LaneOptions &opt)
 {
     tcp_assert(!group.lanes.empty(), "empty lane group");
     const RunSpec &first = specs[group.lanes.front()];
@@ -106,6 +163,18 @@ runLaneGroup(const std::vector<RunSpec> &specs, const LaneGroup &group,
                arena.name(), "' holds ", arena.size(),
                " ops but the lane group needs ",
                warmup + instructions);
+
+    // --- Lane-interleaved SoA tag directories (lockstep mode only):
+    // every lane of the group has the same cache geometry (the group
+    // key hashes the machine's canonical key), so the per-level tag
+    // columns can live lane-interleaved and one memoized SIMD scan
+    // per lookup serves all K lanes. Levels whose assoc*K exceeds the
+    // match-mask word stay null and run on their private packed keys.
+    // Declared before the lanes so it outlives every bound CacheModel.
+    LaneDirectorySet lane_dirs;
+    if (opt.lockstep && group.lanes.size() >= 2)
+        lane_dirs = makeLaneDirectories(
+            first.machine, static_cast<unsigned>(group.lanes.size()));
 
     // --- Build every lane's private machine, in lane order (the
     // same construction order runSpec uses per spec).
@@ -127,6 +196,10 @@ runLaneGroup(const std::vector<RunSpec> &specs, const LaneGroup &group,
             cfg.naive_l1_promote = true;
         ln.mem = std::make_unique<MemoryHierarchy>(
             cfg, ln.engine.prefetcher.get(), ln.engine.dbp.get());
+        // Bind the freshly built (empty) caches to this lane's
+        // columns before any access shapes their state.
+        ln.mem->bindLaneDirectories(lane_dirs,
+                                    static_cast<unsigned>(i));
         // Same attach order as runTrace(): tracer before ledger, so
         // a traced lane is bit-identical to its independent run.
         if (!spec.causal_path.empty()) {
@@ -186,6 +259,8 @@ runLaneGroup(const std::vector<RunSpec> &specs, const LaneGroup &group,
         lane_log.emplace(sharers.front()->config().history_depth);
         for (std::size_t i = 0; i < sharers.size(); ++i)
             sharers[i]->setLaneLog(&*lane_log, /*leader=*/i == 0);
+    } else {
+        sharers.clear();
     }
 
     // --- The shared cursor: decode each chunk once, step every lane
@@ -202,24 +277,42 @@ runLaneGroup(const std::vector<RunSpec> &specs, const LaneGroup &group,
     // caches. Chunk segmentation cannot affect results since all
     // core state lives in member variables.
     constexpr std::size_t kLaneChunk = 1024 * OooCore::kRunBlock;
+
+    // Hoist the per-lane indirection out of the chunk loop: raw core
+    // pointers in lane order, plus the execution kernel picked once
+    // for the group's shape. In lockstep mode (interleaved
+    // directories bound) the lanes advance together over small
+    // decoded strides — that is what makes the cross-lane memo and
+    // the shared decode pay; by default they sweep big chunks
+    // lane-sequentially. Either kernel is bit-identical (independent
+    // lanes, segmentation-invariant cores) — only host-cache
+    // behaviour differs.
+    std::vector<OooCore *> cores;
+    cores.reserve(lanes.size());
+    for (Lane &ln : lanes)
+        cores.push_back(ln.core.get());
+    const bool lockstep = lane_dirs.any();
+    const StepFn step = lockstep ? &stepLockstep : &stepBlocked;
+    const std::size_t stride = lockstep ? kLockstepBlock : kLaneChunk;
+
     std::uint64_t pos = 0;
-    std::vector<MicroOp> chunk(kLaneChunk);
+    std::vector<MicroOp> chunk(static_cast<std::size_t>(
+        std::min<std::uint64_t>(stride, warmup + instructions)));
+    // Progress is credited in coarse batches so the lockstep mode's
+    // small strides do not hammer the streamer.
+    std::uint64_t ops_unreported = 0;
     const auto sweep = [&](std::uint64_t count) {
         std::uint64_t done = 0;
         while (done < count) {
             const std::size_t want = static_cast<std::size_t>(
-                std::min<std::uint64_t>(kLaneChunk, count - done));
+                std::min<std::uint64_t>(stride, count - done));
             const std::size_t have =
                 arena.fill(chunk.data(), want, pos);
             tcp_assert(have == want, "arena ended mid lane sweep");
-            for (Lane &ln : lanes) {
-                for (std::size_t off = 0; off < have;
-                     off += OooCore::kRunBlock)
-                    ln.core->runBlock(
-                        chunk.data() + off,
-                        std::min(OooCore::kRunBlock, have - off));
-            }
+            step(cores.data(), cores.size(), chunk.data(), have);
             if (lane_log) {
+                // Every lane consumed the chunk, so the followers
+                // must have drained the leader's log: rotate it.
                 for (std::size_t i = 1; i < sharers.size(); ++i) {
                     tcp_assert(sharers[i]->laneLogCursor() ==
                                    lane_log->size(),
@@ -231,11 +324,19 @@ runLaneGroup(const std::vector<RunSpec> &specs, const LaneGroup &group,
             }
             pos += have;
             done += have;
-            // One chunk advanced every lane by `have` ops; credit
-            // them now so the ETA tracks the group as it runs
-            // instead of jumping when the whole group lands.
-            if (progress)
-                progress->opsProgress(have * lanes.size());
+            // Chunks advance every lane by `have` ops; credit them in
+            // kLaneChunk batches so the ETA tracks the group as it
+            // runs instead of jumping when the whole group lands.
+            ops_unreported += have * lanes.size();
+            if (progress && ops_unreported >=
+                                kLaneChunk * lanes.size()) {
+                progress->opsProgress(ops_unreported);
+                ops_unreported = 0;
+            }
+        }
+        if (progress && ops_unreported) {
+            progress->opsProgress(ops_unreported);
+            ops_unreported = 0;
         }
     };
 
@@ -376,7 +477,7 @@ BatchRunner::run(const std::vector<RunSpec> &specs,
                     // Multi-lane groups stream opsProgress() per
                     // arena chunk inside runLaneGroup, so finishing
                     // the job must not credit the ops again.
-                    rs = runLaneGroup(specs, grp, progress);
+                    rs = runLaneGroup(specs, grp, progress, lanes);
                     if (progress)
                         progress->jobFinished(0);
                 }

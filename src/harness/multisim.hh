@@ -82,11 +82,16 @@ std::vector<LaneGroup> coalesceSpecs(const std::vector<RunSpec> &specs,
  * job covering many specs' ops, and without per-chunk credit the ETA
  * would see nothing until the whole group lands at once. The caller
  * finishes the group job with jobFinished(0).
+ *
+ * @p opt selects the execution kernel (LaneOptions::lockstep); the
+ * grouping fields (max_lanes, coalesce) were consumed by
+ * coalesceSpecs() and are ignored here.
  */
 std::vector<RunResult> runLaneGroup(const std::vector<RunSpec> &specs,
                                     const LaneGroup &group,
                                     ProgressStreamer *progress =
-                                        nullptr);
+                                        nullptr,
+                                    const LaneOptions &opt = {});
 
 /**
  * Serialize a finished batch's lane structure: one record per group

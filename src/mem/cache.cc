@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "mem/lane_directory.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace tcp {
 
@@ -63,12 +65,15 @@ CacheModel::findWay(SetIndex set, Tag tag) const
     if (tag == kInvalidTag) [[unlikely]]
         return findWaySlow(set, tag);
     // Invalid ways hold kInvalidTag and can never match, so the scan
-    // needs no validity checks and no hole/prefix reasoning.
+    // needs no validity checks and no hole/prefix reasoning. Bound
+    // mode answers from the lane group's interleaved directory (one
+    // memoized SIMD pass covers every lane of the group); solo mode
+    // SIMD-scans the private packed keys.
+    if (lane_dir_)
+        return lane_dir_->findWay(set, tag, lane_);
     const Tag *keys = &keys_[set * assoc_];
-    for (unsigned w = 0; w < assoc_; ++w)
-        if (keys[w] == tag)
-            return w;
-    return kNoWay;
+    const unsigned w = simdFindTag(keys, assoc_, tag);
+    return w == assoc_ ? kNoWay : w;
 }
 
 unsigned
@@ -184,7 +189,7 @@ CacheModel::fill(Addr addr, Cycle now)
     line.fill_cycle = now;
     line.last_access = now;
     line.lru_stamp = ++stamp_;
-    keys_[set * assoc_ + way] = line.tag;
+    keyWrite(set, way, line.tag);
     touchWay(set, way);
     return evicted;
 }
@@ -207,7 +212,7 @@ CacheModel::invalidate(Addr addr)
     const unsigned way = findWay(set, tagOf(addr));
     if (way != kNoWay) {
         lines_[set * assoc_ + way].valid = false;
-        keys_[set * assoc_ + way] = kInvalidTag;
+        keyWrite(set, way, kInvalidTag);
         may_have_holes_ = true;
     }
 }
@@ -218,8 +223,46 @@ CacheModel::flush()
     for (CacheLine &line : lines_)
         line = CacheLine{};
     std::fill(keys_.begin(), keys_.end(), kInvalidTag);
+    if (lane_dir_)
+        lane_dir_->clearLane(lane_);
     std::fill(plru_.begin(), plru_.end(), 0);
     may_have_holes_ = false;
+}
+
+void
+CacheModel::keyWrite(SetIndex set, unsigned way, Tag tag)
+{
+    if (lane_dir_)
+        lane_dir_->setKey(set, way, lane_, tag);
+    else
+        keys_[set * assoc_ + way] = tag;
+}
+
+void
+CacheModel::bindLaneDirectory(LaneDirectory *dir, unsigned lane)
+{
+    if (dir) {
+        tcp_assert(dir->sets() == num_sets_ && dir->assoc() == assoc_ &&
+                       lane < dir->lanes(),
+                   name_, ": lane directory geometry mismatch");
+        // Carry the current keys into the lane's column (usually all
+        // sentinels: groups bind freshly built hierarchies).
+        for (std::uint64_t set = 0; set < num_sets_; ++set)
+            for (unsigned way = 0; way < assoc_; ++way)
+                dir->setKey(set, way, lane, keys_[set * assoc_ + way]);
+        lane_dir_ = dir;
+        lane_ = lane;
+        return;
+    }
+    // Unbind: copy the column back so solo lookups stay coherent.
+    if (lane_dir_) {
+        for (std::uint64_t set = 0; set < num_sets_; ++set)
+            for (unsigned way = 0; way < assoc_; ++way)
+                keys_[set * assoc_ + way] =
+                    lane_dir_->key(set, way, lane_);
+    }
+    lane_dir_ = nullptr;
+    lane_ = 0;
 }
 
 unsigned

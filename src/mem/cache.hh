@@ -18,6 +18,8 @@
 
 namespace tcp {
 
+class LaneDirectory;
+
 /**
  * State of one cache line. MemoryHierarchy and the prefetchers use the
  * metadata fields; the cache itself only interprets valid/lru_stamp.
@@ -180,6 +182,17 @@ class CacheModel
         listener_id_ = id;
     }
 
+    /**
+     * Route this model's tag lookups through column @p lane of the
+     * lane group's interleaved directory @p dir (nullptr unbinds and
+     * copies the column back into the private packed keys). Directory
+     * content is preserved across bind/unbind, so results are
+     * bit-identical either way; the directory only changes the memory
+     * layout the scans touch.
+     * @pre dir geometry matches this cache and lane < dir->lanes()
+     */
+    void bindLaneDirectory(LaneDirectory *dir, unsigned lane);
+
   private:
     /** Sentinel way index: the tag is not resident in the set. */
     static constexpr unsigned kNoWay = ~0u;
@@ -196,6 +209,8 @@ class CacheModel
 
     CacheLine *findLine(Addr addr);
     const CacheLine *findLine(Addr addr) const;
+    /** Write one lookup key, wherever the keys currently live. */
+    void keyWrite(SetIndex set, unsigned way, Tag tag);
     /** Index of the way to replace in @p set. */
     unsigned victimWay(SetIndex set) const;
     /** Update replacement state after touching @p way of @p set. */
@@ -225,9 +240,18 @@ class CacheModel
      * Packed lookup keys mirroring lines_: the line's tag when valid,
      * kInvalidTag otherwise. A whole set's keys share one cache line,
      * so the per-access associative scan stays out of the (much
-     * wider) CacheLine structs.
+     * wider) CacheLine structs. Dormant while a lane directory is
+     * bound (the keys then live in the directory's interleaved
+     * column) and refreshed on unbind.
      */
     std::vector<Tag> keys_;
+    /**
+     * Lane-group interleaved key store this model is bound to, or
+     * nullptr when running solo. Owned by the lane-group driver;
+     * lane_ is this model's column.
+     */
+    LaneDirectory *lane_dir_ = nullptr;
+    unsigned lane_ = 0;
     /** Tree-PLRU direction bits, one word per set (TreePLRU only). */
     std::vector<std::uint64_t> plru_;
 };

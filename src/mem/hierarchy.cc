@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/lane_directory.hh"
 #include "obs/causal.hh"
 #include "obs/ledger.hh"
 #include "obs/metrics.hh"
@@ -57,6 +58,18 @@ MemoryHierarchy::MemoryHierarchy(const MachineConfig &config,
 {
     tcp_assert(config_.l2.block_bytes >= config_.l1d.block_bytes,
                "L2 blocks must be at least as large as L1 blocks");
+}
+
+void
+MemoryHierarchy::bindLaneDirectories(const LaneDirectorySet &dirs,
+                                     unsigned lane)
+{
+    if (dirs.l1d)
+        l1d_.bindLaneDirectory(dirs.l1d.get(), lane);
+    if (dirs.l1i)
+        l1i_.bindLaneDirectory(dirs.l1i.get(), lane);
+    if (dirs.l2)
+        l2_.bindLaneDirectory(dirs.l2.get(), lane);
 }
 
 AccessResult

@@ -31,6 +31,7 @@ namespace tcp {
 
 class PrefetchLedger;
 struct SimMetrics;
+struct LaneDirectorySet;
 
 /** Timing outcome of one data access. */
 struct AccessResult
@@ -109,6 +110,16 @@ class MemoryHierarchy
      * @return the cycle the block is available to the front end
      */
     Cycle instFetch(Pc pc, Cycle now);
+
+    /**
+     * Bind this hierarchy's cache models to column @p lane of the
+     * lane group's interleaved tag directories (src/mem/
+     * lane_directory.hh). Levels whose geometry the set does not
+     * carry stay on their private packed keys. Called by the
+     * lane-group driver right after construction; lookups are
+     * bit-identical bound or unbound.
+     */
+    void bindLaneDirectories(const LaneDirectorySet &dirs, unsigned lane);
 
     /// @name Component access (tests, analysis)
     /// @{

@@ -1,0 +1,57 @@
+#include "lane_directory.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tcp {
+
+LaneDirectory::LaneDirectory(std::uint64_t sets, unsigned assoc,
+                             unsigned lanes)
+    : sets_(sets), assoc_(assoc), lanes_(lanes), row_(assoc * lanes)
+{
+    tcp_assert(supports(sets, assoc, lanes),
+               "LaneDirectory: unsupported geometry sets=", sets,
+               " assoc=", assoc, " lanes=", lanes);
+    keys_.assign(sets_ * row_, kInvalidTag);
+    memo_.assign(sets_, Memo{});
+    for (unsigned way = 0; way < assoc_; ++way) {
+        for (unsigned lane = 0; lane < lanes_; ++lane) {
+            const unsigned bit = way * lanes_ + lane;
+            col_mask_[lane] |= std::uint64_t{1} << bit;
+            way_of_bit_[bit] = static_cast<std::uint8_t>(way);
+        }
+    }
+}
+
+void
+LaneDirectory::clearLane(unsigned lane)
+{
+    for (std::uint64_t set = 0; set < sets_; ++set) {
+        Tag *row = &keys_[set * row_];
+        for (unsigned way = 0; way < assoc_; ++way)
+            row[way * lanes_ + lane] = kInvalidTag;
+    }
+    // Conservative: a column-wide clear is rare (flush), so drop the
+    // whole memo instead of patching every entry bit by bit.
+    std::fill(memo_.begin(), memo_.end(), Memo{});
+}
+
+LaneDirectorySet
+makeLaneDirectories(const MachineConfig &machine, unsigned lanes)
+{
+    LaneDirectorySet dirs;
+    const auto build = [lanes](const CacheConfig &cfg) {
+        std::unique_ptr<LaneDirectory> dir;
+        if (LaneDirectory::supports(cfg.numSets(), cfg.assoc, lanes))
+            dir = std::make_unique<LaneDirectory>(cfg.numSets(),
+                                                  cfg.assoc, lanes);
+        return dir;
+    };
+    dirs.l1d = build(machine.l1d);
+    dirs.l1i = build(machine.l1i);
+    dirs.l2 = build(machine.l2);
+    return dirs;
+}
+
+} // namespace tcp

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Lane-interleaved SoA tag directories for coalesced lane groups.
+ *
+ * When K predictor configs run as resident lanes of one trace pass
+ * (src/harness/multisim.cc), every lane owns a full MemoryHierarchy
+ * with the *same* cache geometry — the lane-group key hashes
+ * MachineConfig::canonicalKey() — and consumes the same demand op
+ * stream, so one op decomposes to the same (set, tag) in every lane.
+ * With per-lane packed key arrays that lookup walks K scattered
+ * directories; when the group's combined state overflows the host's
+ * last-level cache, those walks thrash it.
+ *
+ * A LaneDirectory stores the tag columns of all K lanes
+ * lane-interleaved instead:
+ *
+ *     keys[((set * assoc) + way) * lanes + lane]
+ *
+ * so a set's ways-by-lanes block is one contiguous region and a
+ * single SIMD pass (util/simd.hh) answers the lookup for every lane
+ * at once. The cross-lane match mask is memoized per (set, tag):
+ * lanes advance in lockstep over the same ops, so after the first
+ * lane scans, the remaining K-1 lookups are a memo load plus a
+ * per-lane column mask. Each lane mutates only its own column, and
+ * every key write patches the memo bit it owns exactly, so the memo
+ * never returns stale state — bit-identity with the unbound path is
+ * structural, not statistical (tests/test_simd.cc,
+ * tests/test_multisim.cc).
+ *
+ * Geometry guard: the mask packs assoc*lanes match bits into one
+ * uint64_t, so a directory engages only when assoc*lanes <= 64
+ * (supports()); unsupported levels simply stay on the per-lane
+ * packed-key path.
+ */
+
+#ifndef TCP_MEM_LANE_DIRECTORY_HH
+#define TCP_MEM_LANE_DIRECTORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+#include "util/simd.hh"
+
+namespace tcp {
+
+/** One cache level's lane-interleaved tag store for a lane group. */
+class LaneDirectory
+{
+  public:
+    /** Sentinel way index: the tag is not resident (mirrors CacheModel). */
+    static constexpr unsigned kNoWay = ~0u;
+
+    /** Whether this geometry fits the one-word cross-lane match mask. */
+    static bool
+    supports(std::uint64_t sets, unsigned assoc, unsigned lanes)
+    {
+        return lanes >= 2 && sets > 0 && assoc > 0 &&
+               std::uint64_t{assoc} * lanes <= 64;
+    }
+
+    LaneDirectory(std::uint64_t sets, unsigned assoc, unsigned lanes);
+
+    std::uint64_t sets() const { return sets_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned lanes() const { return lanes_; }
+
+    /**
+     * Way of @p tag in @p set for @p lane, or kNoWay. One SIMD scan
+     * of the whole ways-by-lanes block serves all K lanes via the
+     * memo; the caller never passes the kInvalidTag sentinel
+     * (CacheModel routes that to its slow path).
+     */
+    unsigned
+    findWay(SetIndex set, Tag tag, unsigned lane)
+    {
+        Memo &m = memo_[set];
+        if (m.tag != tag) {
+            m.tag = tag;
+            m.mask = simdMatchMask(&keys_[set * row_], row_, tag);
+            ++memo_scans_;
+        } else {
+            ++memo_hits_;
+        }
+        const std::uint64_t hits = m.mask & col_mask_[lane];
+        if (!hits)
+            return kNoWay;
+        return way_of_bit_[static_cast<unsigned>(
+            __builtin_ctzll(hits))];
+    }
+
+    /**
+     * Write @p lane's key for (@p set, @p way): the line's tag on
+     * fill, kInvalidTag on invalidate. Patches the bit this slot owns
+     * in every memo entry covering @p set, keeping memoized masks
+     * exact across fills/invalidates (including the fill-then-access
+     * of the same block inside one lane step).
+     */
+    void
+    setKey(SetIndex set, unsigned way, unsigned lane, Tag tag)
+    {
+        const unsigned bit = way * lanes_ + lane;
+        keys_[set * row_ + bit] = tag;
+        Memo &m = memo_[set];
+        if (m.tag == kInvalidTag)
+            return; // never scanned, nothing memoized
+        const std::uint64_t one = std::uint64_t{1} << bit;
+        if (tag == m.tag)
+            m.mask |= one;
+        else
+            m.mask &= ~one;
+    }
+
+    /** Read back one slot (tests / rebind verification). */
+    Tag
+    key(SetIndex set, unsigned way, unsigned lane) const
+    {
+        return keys_[set * row_ + way * lanes_ + lane];
+    }
+
+    /** Flush @p lane: clear its whole column, drop every memo entry. */
+    void clearLane(unsigned lane);
+
+    /// @name Memo telemetry (single-threaded counters, tests/bench)
+    /// @{
+    std::uint64_t memoHits() const { return memo_hits_; }
+    std::uint64_t memoScans() const { return memo_scans_; }
+    /// @}
+
+  private:
+    /**
+     * Per-set memo of the last scanned (tag, cross-lane mask). Every
+     * setKey() patches the bit it owns exactly, so a memoized mask
+     * stays correct across fills and invalidates from any lane, in
+     * any execution interleaving, for as long as no different tag is
+     * looked up in the set — the K-1 trailing lanes of a lockstep
+     * step answer from it without rescanning no matter how large the
+     * step is. The sentinel tag marks never-scanned entries; it can
+     * never match a search tag (CacheModel routes sentinel searches
+     * to its slow path).
+     */
+    struct Memo
+    {
+        Tag tag = kInvalidTag;
+        std::uint64_t mask = 0;
+    };
+
+    std::uint64_t sets_;
+    unsigned assoc_;
+    unsigned lanes_;
+    /** assoc_ * lanes_: keys per set region. */
+    unsigned row_;
+    std::uint64_t memo_hits_ = 0;
+    std::uint64_t memo_scans_ = 0;
+    /** memo_[set] */
+    std::vector<Memo> memo_;
+    /** Per-lane mask of the bits that lane owns (bit way*lanes+lane). */
+    std::array<std::uint64_t, 64> col_mask_{};
+    /** bit index -> way, so mask extraction never divides by lanes_. */
+    std::array<std::uint8_t, 64> way_of_bit_{};
+    /** keys_[(set * assoc + way) * lanes + lane] */
+    std::vector<Tag> keys_;
+};
+
+/**
+ * The three per-level directories of one lane group. A level whose
+ * geometry fails LaneDirectory::supports() stays null and its
+ * CacheModels run unbound.
+ */
+struct LaneDirectorySet
+{
+    std::unique_ptr<LaneDirectory> l1d;
+    std::unique_ptr<LaneDirectory> l1i;
+    std::unique_ptr<LaneDirectory> l2;
+
+    bool any() const { return l1d || l1i || l2; }
+};
+
+/** Build the supported per-level directories for @p lanes lanes. */
+LaneDirectorySet makeLaneDirectories(const MachineConfig &machine,
+                                     unsigned lanes);
+
+} // namespace tcp
+
+#endif // TCP_MEM_LANE_DIRECTORY_HH

@@ -1,0 +1,203 @@
+#include "simd.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define TCP_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace tcp {
+
+namespace {
+
+SimdTier
+resolveTier()
+{
+#if defined(TCP_FORCE_SCALAR)
+    return SimdTier::Scalar;
+#elif defined(TCP_SIMD_X86)
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2"))
+        return SimdTier::Avx2;
+    if (__builtin_cpu_supports("sse2"))
+        return SimdTier::Sse2;
+    return SimdTier::Scalar;
+#else
+    return SimdTier::Scalar;
+#endif
+}
+
+} // namespace
+
+namespace detail {
+SimdTier g_active_tier = resolveTier();
+} // namespace detail
+
+const char *
+simdTierName(SimdTier tier)
+{
+    switch (tier) {
+      case SimdTier::Avx2:
+        return "avx2";
+      case SimdTier::Sse2:
+        return "sse2";
+      default:
+        return "scalar";
+    }
+}
+
+bool
+simdTierAvailable(SimdTier tier)
+{
+    if (tier == SimdTier::Scalar)
+        return true;
+#if defined(TCP_SIMD_X86)
+    __builtin_cpu_init();
+    if (tier == SimdTier::Avx2)
+        return __builtin_cpu_supports("avx2");
+    return __builtin_cpu_supports("sse2");
+#else
+    return false;
+#endif
+}
+
+SimdTier
+simdTier()
+{
+    return detail::g_active_tier;
+}
+
+unsigned
+findTagScalar(const Tag *keys, unsigned n, Tag tag)
+{
+    for (unsigned w = 0; w < n; ++w)
+        if (keys[w] == tag)
+            return w;
+    return n;
+}
+
+std::uint64_t
+matchMaskScalar(const Tag *keys, unsigned n, Tag tag)
+{
+    std::uint64_t mask = 0;
+    for (unsigned i = 0; i < n; ++i)
+        mask |= std::uint64_t{keys[i] == tag} << i;
+    return mask;
+}
+
+#if defined(TCP_SIMD_X86)
+
+/**
+ * SSE2 has no 64-bit equality compare (_mm_cmpeq_epi64 is SSE4.1),
+ * so build it from the 32-bit compare: a 64-bit lane is equal iff
+ * both of its 32-bit halves compare equal, i.e. AND the compare
+ * result with its half-swapped self.
+ */
+__attribute__((target("sse2"))) static inline __m128i
+cmpeq64Sse2(__m128i a, __m128i b)
+{
+    const __m128i eq32 = _mm_cmpeq_epi32(a, b);
+    return _mm_and_si128(eq32,
+                         _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+
+__attribute__((target("sse2"))) unsigned
+findTagSse2(const Tag *keys, unsigned n, Tag tag)
+{
+    const __m128i needle = _mm_set1_epi64x(static_cast<long long>(tag));
+    unsigned w = 0;
+    for (; w + 2 <= n; w += 2) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(keys + w));
+        const int m = _mm_movemask_pd(_mm_castsi128_pd(cmpeq64Sse2(v, needle)));
+        if (m)
+            return w + static_cast<unsigned>(__builtin_ctz(m));
+    }
+    if (w < n && keys[w] == tag)
+        return w;
+    return n;
+}
+
+__attribute__((target("sse2"))) std::uint64_t
+matchMaskSse2(const Tag *keys, unsigned n, Tag tag)
+{
+    const __m128i needle = _mm_set1_epi64x(static_cast<long long>(tag));
+    std::uint64_t mask = 0;
+    unsigned i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(keys + i));
+        const unsigned m = static_cast<unsigned>(
+            _mm_movemask_pd(_mm_castsi128_pd(cmpeq64Sse2(v, needle))));
+        mask |= std::uint64_t{m} << i;
+    }
+    if (i < n)
+        mask |= std::uint64_t{keys[i] == tag} << i;
+    return mask;
+}
+
+__attribute__((target("avx2"))) unsigned
+findTagAvx2(const Tag *keys, unsigned n, Tag tag)
+{
+    const __m256i needle = _mm256_set1_epi64x(static_cast<long long>(tag));
+    unsigned w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(keys + w));
+        const int m = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, needle)));
+        if (m)
+            return w + static_cast<unsigned>(__builtin_ctz(m));
+    }
+    for (; w < n; ++w)
+        if (keys[w] == tag)
+            return w;
+    return n;
+}
+
+__attribute__((target("avx2"))) std::uint64_t
+matchMaskAvx2(const Tag *keys, unsigned n, Tag tag)
+{
+    const __m256i needle = _mm256_set1_epi64x(static_cast<long long>(tag));
+    std::uint64_t mask = 0;
+    unsigned i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(keys + i));
+        const unsigned m = static_cast<unsigned>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, needle))));
+        mask |= std::uint64_t{m} << i;
+    }
+    for (; i < n; ++i)
+        mask |= std::uint64_t{keys[i] == tag} << i;
+    return mask;
+}
+
+#else // !TCP_SIMD_X86: the vector tiers alias the scalar loop.
+
+unsigned
+findTagSse2(const Tag *keys, unsigned n, Tag tag)
+{
+    return findTagScalar(keys, n, tag);
+}
+
+std::uint64_t
+matchMaskSse2(const Tag *keys, unsigned n, Tag tag)
+{
+    return matchMaskScalar(keys, n, tag);
+}
+
+unsigned
+findTagAvx2(const Tag *keys, unsigned n, Tag tag)
+{
+    return findTagScalar(keys, n, tag);
+}
+
+std::uint64_t
+matchMaskAvx2(const Tag *keys, unsigned n, Tag tag)
+{
+    return matchMaskScalar(keys, n, tag);
+}
+
+#endif // TCP_SIMD_X86
+
+} // namespace tcp

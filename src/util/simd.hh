@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the cache-directory tag scans.
+ *
+ * Two primitives cover every associative lookup in the simulator:
+ *
+ *  - simdFindTag(): first matching index in a packed per-set tag
+ *    column (the single-simulation CacheModel::findWay scan);
+ *  - simdMatchMask(): a bitmask of every match in a contiguous
+ *    ways-by-lanes tag block (the lane-interleaved LaneDirectory
+ *    scan, where one pass answers the same lookup for every lane of
+ *    a coalesced group at once).
+ *
+ * The implementation tier (AVX2 -> SSE2 -> scalar) is detected once
+ * at startup; every tier computes bit-identical results, enforced by
+ * tests/test_simd.cc and CI's forced-scalar job. Building with
+ * -DTCP_FORCE_SCALAR=ON (CMake) pins the scalar tier at compile time
+ * so the fallback path stays covered on any machine.
+ */
+
+#ifndef TCP_UTIL_SIMD_HH
+#define TCP_UTIL_SIMD_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace tcp {
+
+/** Vector width tier of the tag-scan kernels. */
+enum class SimdTier : std::uint8_t
+{
+    Scalar = 0,
+    Sse2 = 1,
+    Avx2 = 2,
+};
+
+/** Printable tier name ("scalar", "sse2", "avx2"). */
+const char *simdTierName(SimdTier tier);
+
+/** Whether this host can execute @p tier (scalar is always true). */
+bool simdTierAvailable(SimdTier tier);
+
+/**
+ * The tier the dispatched kernels below actually run: the widest
+ * available one, or Scalar when the build forces it
+ * (TCP_FORCE_SCALAR).
+ */
+SimdTier simdTier();
+
+/// @name Per-tier kernels
+/// Direct entry points for the equivalence tests and the
+/// BM_SimdSetScan microbenchmark; callers must check
+/// simdTierAvailable() first for the vector tiers. On non-x86 hosts
+/// the vector tiers compile to the scalar loop.
+/// @{
+unsigned findTagScalar(const Tag *keys, unsigned n, Tag tag);
+unsigned findTagSse2(const Tag *keys, unsigned n, Tag tag);
+unsigned findTagAvx2(const Tag *keys, unsigned n, Tag tag);
+std::uint64_t matchMaskScalar(const Tag *keys, unsigned n, Tag tag);
+std::uint64_t matchMaskSse2(const Tag *keys, unsigned n, Tag tag);
+std::uint64_t matchMaskAvx2(const Tag *keys, unsigned n, Tag tag);
+/// @}
+
+namespace detail {
+/**
+ * Active tier, resolved by a dynamic initializer. Scalar (0) before
+ * initialization, so a static-init-order race degrades to the
+ * correct-but-unvectorized path instead of an illegal instruction.
+ */
+extern SimdTier g_active_tier;
+} // namespace detail
+
+/**
+ * First index in [0, n) with keys[i] == tag, or @p n if absent.
+ * Valid entries are unique per set (fill() rejects duplicates), so
+ * "first" is just "the" match.
+ *
+ * Narrow scans (a direct-mapped or low-associativity set column)
+ * stay an inline compare loop: at n <= 4 the out-of-line vector
+ * kernels cost more in call overhead than the whole scan, and the
+ * compiler unrolls this into straight-line compares
+ * (bench/micro_components BM_SimdSetScan).
+ */
+inline unsigned
+simdFindTag(const Tag *keys, unsigned n, Tag tag)
+{
+    if (n <= 4) {
+        for (unsigned i = 0; i < n; ++i)
+            if (keys[i] == tag)
+                return i;
+        return n;
+    }
+#if defined(TCP_FORCE_SCALAR)
+    return findTagScalar(keys, n, tag);
+#else
+    switch (detail::g_active_tier) {
+      case SimdTier::Avx2:
+        return findTagAvx2(keys, n, tag);
+      case SimdTier::Sse2:
+        return findTagSse2(keys, n, tag);
+      default:
+        return findTagScalar(keys, n, tag);
+    }
+#endif
+}
+
+/**
+ * Bit i of the result is set iff keys[i] == tag, for i in [0, n).
+ * @pre n <= 64
+ */
+inline std::uint64_t
+simdMatchMask(const Tag *keys, unsigned n, Tag tag)
+{
+#if defined(TCP_FORCE_SCALAR)
+    return matchMaskScalar(keys, n, tag);
+#else
+    switch (detail::g_active_tier) {
+      case SimdTier::Avx2:
+        return matchMaskAvx2(keys, n, tag);
+      case SimdTier::Sse2:
+        return matchMaskSse2(keys, n, tag);
+      default:
+        return matchMaskScalar(keys, n, tag);
+    }
+#endif
+}
+
+} // namespace tcp
+
+#endif // TCP_UTIL_SIMD_HH

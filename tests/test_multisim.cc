@@ -8,10 +8,14 @@
  * and the lane-group ledger partition invariant.
  */
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include "harness/batch.hh"
 #include "harness/multisim.hh"
@@ -196,6 +200,116 @@ TEST(MultiSimTest, SeedSweepLaneModeSmoke)
             EXPECT_EQ(lanes[i].toJson().dump(),
                       reference[i].toJson().dump())
                 << specs[i].engine << " seed=" << seed;
+    }
+}
+
+/// Lockstep execution (lane-interleaved SIMD directories + lockstep
+/// strides) is bit-identical to both the default lane-sequential
+/// sweep and the independent runs, at jobs 1 and 8 — the determinism
+/// contract holds for every execution kernel.
+TEST(MultiSimTest, LockstepBitIdenticalToIndependentRuns)
+{
+    std::vector<RunSpec> specs =
+        laneMatrix("applu", 9, /*ledger=*/true, /*check=*/false,
+                   /*metrics=*/true, /*interval=*/10000);
+    attachArenas(specs);
+    const std::vector<RunResult> reference = independent(specs);
+    for (int jobs : {1, 8}) {
+        BatchRunner runner(jobs);
+        const std::vector<RunResult> lanes = runner.run(
+            specs, nullptr, LaneOptions{.lockstep = true});
+        ASSERT_EQ(lanes.size(), specs.size());
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            EXPECT_EQ(lanes[i].toJson().dump(2),
+                      reference[i].toJson().dump(2))
+                << specs[i].engine << " (lockstep, jobs=" << jobs
+                << ")";
+    }
+}
+
+/** RAII temp directory for the heterogeneous-matrix causal dumps. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("tcp_multisim_test_" + std::to_string(::getpid()) +
+                  "_" + std::to_string(counter_++)))
+                    .string();
+        std::filesystem::create_directories(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    static inline int counter_ = 0;
+    std::string path_;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/// A maximally heterogeneous group: four unrelated engine families
+/// (tag-correlating, delta-correlating, GHB, distance-Markov) plus a
+/// no-prefetch bystander, every observer attached (ledger + causal
+/// tracer + metrics), bit-identical to solo runs at jobs 1 and 8 —
+/// in both execution kernels. No cross-lane fast path (THT sharing,
+/// directory memo) may leak state between engines that merely share
+/// a trace pass.
+TEST(MultiSimTest, HeterogeneousEnginesBitIdentical)
+{
+    TempDir dir;
+    const std::vector<std::string> engines = {
+        "tcp8k", "dcpt", "ghb", "dmarkov", "none"};
+    const auto matrix = [&](const std::string &label) {
+        std::vector<RunSpec> specs;
+        for (const std::string &engine : engines) {
+            specs.push_back(
+                {.workload = "lucas",
+                 .engine = engine,
+                 .instructions = kInstructions,
+                 .seed = 21,
+                 .interval = 10000,
+                 .ledger = true,
+                 .metrics = true,
+                 .causal_path = dir.path() + "/" + label + "-" +
+                                engine + ".tcpcau"});
+        }
+        attachArenas(specs);
+        return specs;
+    };
+
+    const std::vector<RunSpec> solo_specs = matrix("solo");
+    const std::vector<RunResult> reference = independent(solo_specs);
+
+    for (const bool lockstep : {false, true}) {
+        for (int jobs : {1, 8}) {
+            const std::string label =
+                (lockstep ? std::string("lock") : std::string("blk")) +
+                std::to_string(jobs);
+            std::vector<RunSpec> specs = matrix(label);
+            ASSERT_EQ(coalesceSpecs(specs, LaneOptions{}).size(), 1u);
+            BatchRunner runner(jobs);
+            const std::vector<RunResult> lanes = runner.run(
+                specs, nullptr, LaneOptions{.lockstep = lockstep});
+            ASSERT_EQ(lanes.size(), specs.size());
+            for (std::size_t i = 0; i < specs.size(); ++i) {
+                EXPECT_EQ(lanes[i].toJson().dump(2),
+                          reference[i].toJson().dump(2))
+                    << engines[i] << " (" << label << ")";
+                EXPECT_EQ(readFile(specs[i].causal_path),
+                          readFile(solo_specs[i].causal_path))
+                    << engines[i] << " .tcpcau (" << label << ")";
+            }
+        }
     }
 }
 

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests for the SIMD tag-scan layer (util/simd.hh) and the
+ * lane-interleaved directory built on it (mem/lane_directory.hh):
+ *
+ *  - every kernel tier available on the host (scalar, SSE2, AVX2)
+ *    computes bit-identical results over adversarial key arrays;
+ *  - a LaneDirectory answers exactly like a naive per-lane reference
+ *    model under random writes, lookups, and lane flushes;
+ *  - CacheModels bound to a shared LaneDirectory behave
+ *    bit-identically to unbound solo models over random
+ *    access/fill/invalidate/flush interleavings, across bind and
+ *    unbind boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/lane_directory.hh"
+#include "util/random.hh"
+#include "util/simd.hh"
+
+namespace tcp {
+namespace {
+
+// ---------------------------------------------------------------------
+// Kernel tier equivalence
+// ---------------------------------------------------------------------
+
+/** Keys that stress the SSE2 32-bit-halves equality emulation. */
+std::vector<Tag>
+adversarialKeys(Rng &rng, unsigned n)
+{
+    std::vector<Tag> keys(n);
+    for (unsigned i = 0; i < n; ++i) {
+        switch (rng.next() % 5) {
+          case 0:
+            keys[i] = kInvalidTag;
+            break;
+          case 1:
+            // Differ from a neighbour only in the high 32 bits.
+            keys[i] = (rng.next() << 32) | 0x1234u;
+            break;
+          case 2:
+            // Differ only in the low 32 bits.
+            keys[i] = 0xabcd000000000000ull | (rng.next() >> 32);
+            break;
+          default:
+            keys[i] = rng.next();
+            break;
+        }
+    }
+    return keys;
+}
+
+TEST(SimdKernelsTest, TierReporting)
+{
+    EXPECT_TRUE(simdTierAvailable(SimdTier::Scalar));
+    EXPECT_STREQ(simdTierName(SimdTier::Scalar), "scalar");
+    EXPECT_STREQ(simdTierName(SimdTier::Sse2), "sse2");
+    EXPECT_STREQ(simdTierName(SimdTier::Avx2), "avx2");
+    // The dispatched tier must be runnable on this host.
+    EXPECT_TRUE(simdTierAvailable(simdTier()));
+}
+
+TEST(SimdKernelsTest, FindTagTiersAgree)
+{
+    Rng rng(0x51d0);
+    for (unsigned n = 0; n <= 80; ++n) {
+        for (int rep = 0; rep < 32; ++rep) {
+            std::vector<Tag> keys = adversarialKeys(rng, n);
+            // Mix absent needles with planted ones (any position).
+            Tag tag = rng.next();
+            if (n > 0 && rep % 2 == 0) {
+                const unsigned at = rng.next() % n;
+                tag = keys[at];
+            }
+            const unsigned want = findTagScalar(keys.data(), n, tag);
+            EXPECT_EQ(simdFindTag(keys.data(), n, tag), want);
+            if (simdTierAvailable(SimdTier::Sse2)) {
+                EXPECT_EQ(findTagSse2(keys.data(), n, tag), want);
+            }
+            if (simdTierAvailable(SimdTier::Avx2)) {
+                EXPECT_EQ(findTagAvx2(keys.data(), n, tag), want);
+            }
+        }
+    }
+}
+
+TEST(SimdKernelsTest, MatchMaskTiersAgree)
+{
+    Rng rng(0x9a5c);
+    for (unsigned n = 1; n <= 64; ++n) {
+        for (int rep = 0; rep < 32; ++rep) {
+            std::vector<Tag> keys = adversarialKeys(rng, n);
+            Tag tag = rng.next();
+            if (rep % 2 == 0) {
+                // Plant several matches: masks are not one-hot.
+                tag = keys[rng.next() % n];
+                keys[rng.next() % n] = tag;
+                keys[rng.next() % n] = tag;
+            }
+            const std::uint64_t want =
+                matchMaskScalar(keys.data(), n, tag);
+            EXPECT_EQ(simdMatchMask(keys.data(), n, tag), want);
+            if (simdTierAvailable(SimdTier::Sse2)) {
+                EXPECT_EQ(matchMaskSse2(keys.data(), n, tag), want);
+            }
+            if (simdTierAvailable(SimdTier::Avx2)) {
+                EXPECT_EQ(matchMaskAvx2(keys.data(), n, tag), want);
+            }
+        }
+    }
+}
+
+TEST(SimdKernelsTest, MatchMaskEdges)
+{
+    // All-match and no-match at the widest mask.
+    std::vector<Tag> keys(64, Tag{42});
+    EXPECT_EQ(matchMaskScalar(keys.data(), 64, 42), ~std::uint64_t{0});
+    EXPECT_EQ(simdMatchMask(keys.data(), 64, 42), ~std::uint64_t{0});
+    EXPECT_EQ(simdMatchMask(keys.data(), 64, 43), 0u);
+    // Tail handling: n not a multiple of the vector width.
+    for (unsigned n : {1u, 3u, 5u, 7u, 63u})
+        EXPECT_EQ(simdMatchMask(keys.data(), n, 42),
+                  n == 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << n) - 1);
+}
+
+// ---------------------------------------------------------------------
+// LaneDirectory vs naive reference
+// ---------------------------------------------------------------------
+
+TEST(LaneDirectoryTest, SupportsGuard)
+{
+    EXPECT_TRUE(LaneDirectory::supports(64, 4, 16));  // 64 bits
+    EXPECT_FALSE(LaneDirectory::supports(64, 4, 17)); // 68 bits
+    EXPECT_FALSE(LaneDirectory::supports(64, 4, 1));  // solo
+    EXPECT_FALSE(LaneDirectory::supports(0, 4, 8));
+}
+
+TEST(LaneDirectoryTest, MatchesReferenceModel)
+{
+    constexpr std::uint64_t kSets = 32;
+    constexpr unsigned kAssoc = 4;
+    constexpr unsigned kLanes = 8;
+    LaneDirectory dir(kSets, kAssoc, kLanes);
+    // ref[set][way][lane], kInvalidTag = empty.
+    std::vector<Tag> ref(kSets * kAssoc * kLanes, kInvalidTag);
+    const auto at = [&](std::uint64_t set, unsigned way,
+                        unsigned lane) -> Tag & {
+        return ref[(set * kAssoc + way) * kLanes + lane];
+    };
+
+    Rng rng(0xd1f0);
+    for (int op = 0; op < 200000; ++op) {
+        const std::uint64_t set = rng.next() % kSets;
+        const unsigned way = rng.next() % kAssoc;
+        const unsigned lane = rng.next() % kLanes;
+        // A tiny tag alphabet makes cross-way and cross-lane
+        // collisions (multi-bit masks) common.
+        const Tag tag = rng.next() % 13;
+        switch (rng.next() % 16) {
+          case 0:
+            at(set, way, lane) = kInvalidTag;
+            dir.setKey(set, way, lane, kInvalidTag);
+            break;
+          case 1:
+            if (op % 1024 == 1) { // rare, like a cache flush
+                for (std::uint64_t s = 0; s < kSets; ++s)
+                    for (unsigned w = 0; w < kAssoc; ++w)
+                        at(s, w, lane) = kInvalidTag;
+                dir.clearLane(lane);
+            }
+            break;
+          case 2:
+          case 3:
+          case 4:
+            at(set, way, lane) = tag;
+            dir.setKey(set, way, lane, tag);
+            break;
+          default: {
+            unsigned want = LaneDirectory::kNoWay;
+            for (unsigned w = 0; w < kAssoc; ++w) {
+                if (at(set, w, lane) == tag) {
+                    want = w;
+                    break;
+                }
+            }
+            ASSERT_EQ(dir.findWay(set, tag, lane), want)
+                << "op " << op << " set " << set << " lane " << lane;
+            break;
+          }
+        }
+    }
+    // The memo must actually be earning its keep in this mix.
+    EXPECT_GT(dir.memoHits(), 0u);
+    EXPECT_GT(dir.memoScans(), 0u);
+    // Full readback sweep.
+    for (std::uint64_t s = 0; s < kSets; ++s)
+        for (unsigned w = 0; w < kAssoc; ++w)
+            for (unsigned l = 0; l < kLanes; ++l)
+                ASSERT_EQ(dir.key(s, w, l), at(s, w, l));
+}
+
+// ---------------------------------------------------------------------
+// Bound CacheModel vs solo CacheModel
+// ---------------------------------------------------------------------
+
+/** One lane pair: a directory-bound model and its solo reference. */
+struct LanePair
+{
+    CacheModel bound;
+    CacheModel solo;
+
+    explicit LanePair(const CacheConfig &cfg) : bound(cfg), solo(cfg) {}
+};
+
+void
+expectIdentical(const CacheModel &a, const CacheModel &b)
+{
+    for (std::uint64_t set = 0; set < a.numSets(); ++set) {
+        for (unsigned way = 0; way < a.assoc(); ++way) {
+            const CacheLine &la = a.lineAt(set, way);
+            const CacheLine &lb = b.lineAt(set, way);
+            ASSERT_EQ(la.valid, lb.valid) << set << "/" << way;
+            ASSERT_EQ(la.tag, lb.tag) << set << "/" << way;
+            ASSERT_EQ(la.lru_stamp, lb.lru_stamp) << set << "/" << way;
+            ASSERT_EQ(la.last_access, lb.last_access);
+        }
+    }
+}
+
+/**
+ * Drive every lane's (bound, solo) pair through the same seeded
+ * stream of accesses, fills, invalidates, and flushes, asserting the
+ * models never diverge. The per-op interleaving across lanes is
+ * deliberately random — the directory contract is exactness under
+ * any interleaving, not just lockstep.
+ */
+void
+runBoundVsSolo(const CacheConfig &cfg, unsigned lanes,
+               std::uint64_t seed)
+{
+    ASSERT_TRUE(
+        LaneDirectory::supports(cfg.numSets(), cfg.assoc, lanes));
+    LaneDirectory dir(cfg.numSets(), cfg.assoc, lanes);
+    std::vector<LanePair> pairs;
+    pairs.reserve(lanes);
+    for (unsigned l = 0; l < lanes; ++l)
+        pairs.emplace_back(cfg);
+
+    Rng rng(seed);
+    Cycle now = 0;
+    // Confined address space so sets collide and evict often.
+    const auto randAddr = [&] {
+        return (rng.next() % (cfg.numSets() * 8)) * cfg.block_bytes;
+    };
+    const auto step = [&](LanePair &p) {
+        ++now;
+        const std::uint64_t roll = rng.next() % 100;
+        const Addr addr = randAddr();
+        if (roll < 80) {
+            CacheLine *hb = p.bound.access(addr, now);
+            CacheLine *hs = p.solo.access(addr, now);
+            ASSERT_EQ(hb != nullptr, hs != nullptr);
+            if (!hb) {
+                const auto eb = p.bound.fill(addr, now);
+                const auto es = p.solo.fill(addr, now);
+                ASSERT_EQ(eb.has_value(), es.has_value());
+                if (eb) {
+                    ASSERT_EQ(eb->block_addr, es->block_addr);
+                }
+            }
+        } else if (roll < 95) {
+            p.bound.invalidate(addr);
+            p.solo.invalidate(addr);
+        } else {
+            p.bound.flush();
+            p.solo.flush();
+        }
+    };
+
+    // Phase 1: solo warm-up on both models, then bind mid-life (the
+    // bind copies live keys into the directory column).
+    for (int op = 0; op < 2000; ++op)
+        step(pairs[rng.next() % lanes]);
+    for (unsigned l = 0; l < lanes; ++l)
+        pairs[l].bound.bindLaneDirectory(&dir, l);
+
+    // Phase 2: bound, random lane interleaving.
+    for (int op = 0; op < 20000; ++op)
+        step(pairs[rng.next() % lanes]);
+    for (LanePair &p : pairs)
+        expectIdentical(p.bound, p.solo);
+
+    // Phase 3: unbind (copies the column back) and keep going.
+    for (unsigned l = 0; l < lanes; ++l)
+        pairs[l].bound.bindLaneDirectory(nullptr, l);
+    for (int op = 0; op < 2000; ++op)
+        step(pairs[rng.next() % lanes]);
+    for (LanePair &p : pairs)
+        expectIdentical(p.bound, p.solo);
+}
+
+TEST(LaneDirectoryTest, BoundCacheMatchesSoloDirectMapped)
+{
+    // The L1-D shape of the default machine, scaled down: assoc 1,
+    // 16 lanes.
+    runBoundVsSolo(CacheConfig{"l1d", 64 * 32, 1, 32, 1, 8}, 16,
+                   0xb0b1);
+}
+
+TEST(LaneDirectoryTest, BoundCacheMatchesSoloSetAssociative)
+{
+    // The L2 shape: assoc 4, 8 lanes (32 mask bits), 64-byte blocks.
+    runBoundVsSolo(CacheConfig{"l2", 64 * 4 * 64, 4, 64, 10, 16}, 8,
+                   0xc4c2);
+}
+
+TEST(LaneDirectoryTest, BoundCacheMatchesSoloRandomRepl)
+{
+    CacheConfig cfg{"l1i", 32 * 4 * 32, 4, 32, 1, 8};
+    cfg.repl = ReplPolicy::Random;
+    runBoundVsSolo(cfg, 4, 0x5eed);
+}
+
+} // namespace
+} // namespace tcp

@@ -91,6 +91,11 @@ addBatchFlags(ArgParser &args)
                  "schedule every spec as its own job even when specs "
                  "could share a trace pass (results are bit-identical "
                  "either way)");
+    args.addFlag("lockstep", "false",
+                 "step coalesced lanes in lockstep over "
+                 "lane-interleaved SIMD tag directories (bit-identical "
+                 "to the default lane-sequential sweep; pays only when "
+                 "the group's state overflows the host LLC)");
     addProgressFlags(args);
 }
 
@@ -101,6 +106,7 @@ laneOptionsOf(const ArgParser &args)
     LaneOptions lanes;
     lanes.max_lanes = static_cast<unsigned>(args.getUint("lanes"));
     lanes.coalesce = !args.getBool("no-coalesce");
+    lanes.lockstep = args.getBool("lockstep");
     return lanes;
 }
 
